@@ -1,0 +1,158 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `predictors` — SZ3's multi-level interpolation vs SZ2's block
+//!   Lorenzo/regression (why interpolation wins at loose bounds),
+//! * `backend` — the value of the Huffman and LZ lossless stages,
+//! * `qoz_levels` — QoZ's level-adaptive bounds vs plain SZ3,
+//! * `szx_blocks` — SZx constant-block detection on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eblcio_codec::{compress_dataset, CompressorId, ErrorBound};
+use eblcio_codec::{huffman, lz};
+use eblcio_data::generators::Scale;
+use eblcio_data::{DatasetKind, DatasetSpec};
+use std::hint::black_box;
+
+fn ablation_predictors(c: &mut Criterion) {
+    // Size ablation is reported via custom measurement: we benchmark
+    // runtime and print achieved bytes once.
+    let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+    let mut g = c.benchmark_group("ablation_predictors");
+    g.sample_size(10);
+    for (label, id) in [("interp_sz3", CompressorId::Sz3), ("block_sz2", CompressorId::Sz2)] {
+        let codec = id.instance();
+        let bytes = compress_dataset(codec.as_ref(), &data, ErrorBound::Relative(1e-2))
+            .unwrap()
+            .len();
+        eprintln!("ablation_predictors/{label}: {bytes} bytes at eps 1e-2");
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                black_box(
+                    compress_dataset(codec.as_ref(), black_box(&data), ErrorBound::Relative(1e-2))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_backend(c: &mut Criterion) {
+    // Quantization codes from a real SZ3 run shape; encode them with
+    // (a) Huffman+LZ, (b) Huffman only, (c) raw 4-byte codes + LZ.
+    let codes: Vec<u32> = (0..1usize << 16)
+        .map(|i| 32768 + ((i * 31) % 7) as u32)
+        .collect();
+    let mut g = c.benchmark_group("ablation_backend");
+    g.sample_size(10);
+
+    let huff = huffman::encode_block(&codes);
+    let huff_lz = lz::compress(&huff);
+    let raw: Vec<u8> = codes.iter().flat_map(|c| c.to_le_bytes()).collect();
+    let raw_lz = lz::compress(&raw);
+    eprintln!(
+        "ablation_backend sizes: huffman+lz {} B, huffman {} B, raw+lz {} B, raw {} B",
+        huff_lz.len(),
+        huff.len(),
+        raw_lz.len(),
+        raw.len()
+    );
+
+    g.bench_function("huffman_plus_lz", |b| {
+        b.iter(|| black_box(lz::compress(&huffman::encode_block(black_box(&codes)))))
+    });
+    g.bench_function("huffman_only", |b| {
+        b.iter(|| black_box(huffman::encode_block(black_box(&codes))))
+    });
+    g.bench_function("raw_plus_lz", |b| {
+        b.iter(|| {
+            let raw: Vec<u8> = black_box(&codes).iter().flat_map(|c| c.to_le_bytes()).collect();
+            black_box(lz::compress(&raw))
+        })
+    });
+    g.finish();
+}
+
+fn ablation_qoz_levels(c: &mut Criterion) {
+    let data = DatasetSpec::new(DatasetKind::Cesm, Scale::Tiny).generate();
+    let mut g = c.benchmark_group("ablation_qoz_levels");
+    g.sample_size(10);
+    for (label, id) in [("qoz_adaptive", CompressorId::Qoz), ("sz3_flat", CompressorId::Sz3)] {
+        let codec = id.instance();
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                black_box(
+                    compress_dataset(codec.as_ref(), black_box(&data), ErrorBound::Relative(1e-3))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_zfp_planes(c: &mut Criterion) {
+    // ZFP's precision↔quality↔size knob, exposed through the
+    // fixed-precision mode.
+    use eblcio_codec::codecs::zfp::Zfp;
+    use eblcio_codec::Compressor;
+    use eblcio_data::psnr;
+    let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+    let arr = data.as_f32();
+    let mut g = c.benchmark_group("ablation_zfp_planes");
+    g.sample_size(10);
+    for planes in [8u32, 16, 32] {
+        let codec = Zfp::with_fixed_precision(planes);
+        let stream = codec.compress_f32(arr, ErrorBound::Relative(1e-1)).unwrap();
+        let back = codec.decompress_f32(&stream).unwrap();
+        eprintln!(
+            "ablation_zfp_planes/{planes}: {} bytes, PSNR {:.1} dB",
+            stream.len(),
+            psnr(arr, &back)
+        );
+        g.bench_function(BenchmarkId::from_parameter(planes), |b| {
+            b.iter(|| {
+                black_box(
+                    codec
+                        .compress_f32(black_box(arr), ErrorBound::Relative(1e-1))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_interp_degree(c: &mut Criterion) {
+    // Cubic vs linear interpolation stencils in SZ3.
+    use eblcio_codec::codecs::sz3::Sz3;
+    use eblcio_codec::Compressor;
+    let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+    let arr = data.as_f32();
+    let mut g = c.benchmark_group("ablation_interp_degree");
+    g.sample_size(10);
+    for (label, codec) in [("cubic", Sz3::default()), ("linear", Sz3::linear_only())] {
+        let bytes = codec.compress_f32(arr, ErrorBound::Relative(1e-3)).unwrap().len();
+        eprintln!("ablation_interp_degree/{label}: {bytes} bytes at eps 1e-3");
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                black_box(
+                    codec
+                        .compress_f32(black_box(arr), ErrorBound::Relative(1e-3))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_predictors,
+    ablation_backend,
+    ablation_qoz_levels,
+    ablation_zfp_planes,
+    ablation_interp_degree
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the shared codec machinery: canonical Huffman,
+//! the LZ backend, the ZFP lifted transform, and the bitplane coder.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eblcio_codec::bitstream::BitWriter;
+use eblcio_codec::transform::{encode_planes, fwd_transform, int_to_nega, sequency_order};
+use eblcio_codec::{huffman, lz};
+use std::hint::black_box;
+
+fn quant_codes(n: usize) -> Vec<u32> {
+    // Realistic post-prediction code distribution: heavy zero bin.
+    (0..n)
+        .map(|i| {
+            let r = (i.wrapping_mul(2654435761)) % 100;
+            match r {
+                0..=79 => 32769,
+                80..=89 => 32768,
+                90..=96 => 32770,
+                _ => 32769 + (i % 9) as u32,
+            }
+        })
+        .collect()
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    let codes = quant_codes(1 << 18);
+    let encoded = huffman::encode_block(&codes);
+    let mut g = c.benchmark_group("huffman");
+    g.throughput(Throughput::Elements(codes.len() as u64));
+    g.sample_size(10);
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(huffman::encode_block(black_box(&codes))))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(huffman::decode_block(black_box(&encoded)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_lz(c: &mut Criterion) {
+    let data: Vec<u8> = (0..1usize << 20)
+        .map(|i| ((i / 64) % 251) as u8)
+        .collect();
+    let compressed = lz::compress(&data);
+    let mut g = c.benchmark_group("lz");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.sample_size(10);
+    g.bench_function("compress", |b| {
+        b.iter(|| black_box(lz::compress(black_box(&data))))
+    });
+    g.bench_function("decompress", |b| {
+        b.iter(|| black_box(lz::decompress(black_box(&compressed)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_zfp_parts(c: &mut Criterion) {
+    let mut block: Vec<i64> = (0..64).map(|i| (i as i64 - 32) * 1_000_000).collect();
+    let perm = sequency_order(3);
+    let nega: Vec<u64> = perm.iter().map(|&i| int_to_nega(block[i])).collect();
+    let mut g = c.benchmark_group("zfp_parts");
+    g.sample_size(20);
+    g.bench_function("fwd_transform_3d", |b| {
+        b.iter(|| {
+            fwd_transform(black_box(&mut block), 3);
+            black_box(&block);
+        })
+    });
+    g.bench_function("encode_planes", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            encode_planes(&mut w, black_box(&nega), 52, 30);
+            black_box(w.finish())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_huffman, bench_lz, bench_zfp_parts);
+criterion_main!(benches);

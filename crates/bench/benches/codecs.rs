@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks: compression/decompression throughput of
+//! all five codecs on a NYX-like field at ε = 1e-3 (the working point of
+//! Figs. 10–13). Complements the figure binaries with statistically
+//! robust per-codec timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eblcio_codec::{compress_dataset, decompress_any, CompressorId, ErrorBound};
+use eblcio_data::generators::Scale;
+use eblcio_data::{DatasetKind, DatasetSpec};
+use std::hint::black_box;
+
+fn bench_compress(c: &mut Criterion) {
+    let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+    let mut g = c.benchmark_group("compress_nyx_1e-3");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        g.bench_function(BenchmarkId::from_parameter(id.name()), |b| {
+            b.iter(|| {
+                let s =
+                    compress_dataset(codec.as_ref(), black_box(&data), ErrorBound::Relative(1e-3))
+                        .unwrap();
+                black_box(s)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+    let mut g = c.benchmark_group("decompress_nyx_1e-3");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let stream =
+            compress_dataset(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(id.name()), |b| {
+            b.iter(|| black_box(decompress_any(black_box(&stream)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    // Runtime vs error bound (the Fig. 5 axis) for the fastest and the
+    // most thorough codec.
+    let data = DatasetSpec::new(DatasetKind::Cesm, Scale::Tiny).generate();
+    let mut g = c.benchmark_group("bound_sweep_cesm");
+    g.sample_size(10);
+    for id in [CompressorId::Szx, CompressorId::Sz3] {
+        let codec = id.instance();
+        for eps in [1e-1, 1e-3, 1e-5] {
+            g.bench_function(BenchmarkId::new(id.name(), format!("{eps:.0e}")), |b| {
+                b.iter(|| {
+                    black_box(
+                        compress_dataset(
+                            codec.as_ref(),
+                            black_box(&data),
+                            ErrorBound::Relative(eps),
+                        )
+                        .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress, bench_bounds);
+criterion_main!(benches);

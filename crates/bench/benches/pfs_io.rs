@@ -1,0 +1,75 @@
+//! PFS-model and container-format benches + the striping/contention
+//! ablation DESIGN.md lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eblcio_energy::CpuGeneration;
+use eblcio_pfs::format::{hdf5lite, netcdflite, DataObject};
+use eblcio_pfs::{IoRequest, PfsSim};
+use std::hint::black_box;
+
+fn objects(bytes: usize) -> Vec<DataObject> {
+    vec![DataObject {
+        name: "field".into(),
+        dtype: 0,
+        shape: vec![(bytes / 4) as u64],
+        attrs: vec![("eps".into(), "1e-3".into())],
+        payload: vec![0x3c; bytes],
+    }]
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let objs = objects(1 << 22);
+    let h_img = hdf5lite::write_file(&objs);
+    let n_img = netcdflite::write_file(&objs);
+    let mut g = c.benchmark_group("container_formats");
+    g.throughput(Throughput::Bytes(h_img.len() as u64));
+    g.sample_size(10);
+    g.bench_function("hdf5lite_write", |b| {
+        b.iter(|| black_box(hdf5lite::write_file(black_box(&objs))))
+    });
+    g.bench_function("hdf5lite_read", |b| {
+        b.iter(|| black_box(hdf5lite::read_file(black_box(&h_img)).unwrap()))
+    });
+    g.bench_function("netcdflite_write", |b| {
+        b.iter(|| black_box(netcdflite::write_file(black_box(&objs))))
+    });
+    g.bench_function("netcdflite_read", |b| {
+        b.iter(|| black_box(netcdflite::read_file(black_box(&n_img)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_pfs_model(c: &mut Criterion) {
+    // The model itself is cheap; this bench doubles as the striping /
+    // contention ablation, printing the modeled bandwidths.
+    let profile = CpuGeneration::Skylake8160.profile();
+    let req = IoRequest {
+        payload_bytes: 1 << 28,
+        meta_bytes: 1 << 10,
+        ops: 2,
+        efficiency: 0.92,
+    };
+    for osts in [4u32, 16, 64] {
+        let pfs = PfsSim::new(osts, 2.0);
+        for writers in [1u32, 64, 512] {
+            let m = pfs.write_concurrent(&req, writers, &profile);
+            eprintln!(
+                "ablation_pfs: osts={osts} writers={writers} -> {:.1} MB/s/writer, {:.3} J",
+                m.bandwidth_bps / 1e6,
+                m.cpu_energy.value()
+            );
+        }
+    }
+    let pfs = PfsSim::new(64, 2.0);
+    let mut g = c.benchmark_group("pfs_model");
+    g.sample_size(20);
+    for writers in [1u32, 64, 512] {
+        g.bench_function(BenchmarkId::new("write_concurrent", writers), |b| {
+            b.iter(|| black_box(pfs.write_concurrent(black_box(&req), writers, &profile)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_formats, bench_pfs_model);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 5: serial compression + decompression runtime vs relative
+//! error bound on the Intel Xeon CPU MAX 9480, for all four data sets
+//! and all five compressors.
+
+use eblcio_bench::{runner_from_env, scale_from_env, TextTable};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_core::experiment::ExperimentConfig;
+use eblcio_data::{DatasetKind, DatasetSpec};
+use eblcio_energy::CpuGeneration;
+
+fn main() {
+    let scale = scale_from_env();
+    let runner = runner_from_env();
+    let generation = CpuGeneration::SapphireRapids9480;
+    let mut table = TextTable::new(&[
+        "dataset", "codec", "rel_eps", "compress_s", "decompress_s", "total_s",
+    ]);
+
+    for kind in DatasetKind::TABLE2 {
+        let data = DatasetSpec::new(kind, scale).generate();
+        for id in CompressorId::ALL {
+            let codec = id.instance();
+            for &eps in &ExperimentConfig::paper_epsilons() {
+                let cell = runner
+                    .measure_cell(&data, codec.as_ref(), ErrorBound::Relative(eps), generation, 1)
+                    .expect("cell");
+                table.row(vec![
+                    kind.name().into(),
+                    id.name().into(),
+                    format!("{eps:.0e}"),
+                    format!("{:.4}", cell.compress_seconds.value()),
+                    format!("{:.4}", cell.decompress_seconds.value()),
+                    format!(
+                        "{:.4}",
+                        cell.compress_seconds.value() + cell.decompress_seconds.value()
+                    ),
+                ]);
+            }
+        }
+    }
+
+    table.print("Fig. 5 — Serial comp+decomp runtime vs REL error bound (Intel Xeon CPU Max 9480)");
+    let path = table.write_csv("fig05_runtime_serial").expect("csv");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,58 @@
+//! Figure 7: serial compression/decompression *energy* (stacked) across
+//! all three CPU generations, four data sets, five compressors, and
+//! five relative error bounds — the paper's central characterization.
+
+use eblcio_bench::{runner_from_env, scale_from_env, TextTable};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_core::experiment::ExperimentConfig;
+use eblcio_data::{DatasetKind, DatasetSpec};
+use eblcio_energy::CpuGeneration;
+
+fn main() {
+    let scale = scale_from_env();
+    let runner = runner_from_env();
+    let mut table = TextTable::new(&[
+        "cpu",
+        "dataset",
+        "codec",
+        "rel_eps",
+        "compress_J",
+        "decompress_J",
+        "total_J",
+        "runs",
+    ]);
+
+    for generation in CpuGeneration::ALL {
+        for kind in DatasetKind::TABLE2 {
+            let data = DatasetSpec::new(kind, scale).generate();
+            for id in CompressorId::ALL {
+                let codec = id.instance();
+                for &eps in &ExperimentConfig::paper_epsilons() {
+                    let cell = runner
+                        .measure_cell(
+                            &data,
+                            codec.as_ref(),
+                            ErrorBound::Relative(eps),
+                            generation,
+                            1,
+                        )
+                        .expect("cell");
+                    table.row(vec![
+                        generation.profile().name.into(),
+                        kind.name().into(),
+                        id.name().into(),
+                        format!("{eps:.0e}"),
+                        format!("{:.3}", cell.compress_joules.value()),
+                        format!("{:.3}", cell.decompress_joules.value()),
+                        format!("{:.3}", cell.total_joules().value()),
+                        cell.runs.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+
+    table.print("Fig. 7 — Serial EBLC energy (compress + decompress stacked) by CPU / dataset / eps");
+    let path = table.write_csv("fig07_energy_serial").expect("csv");
+    println!("\nCSV: {}", path.display());
+}

@@ -1,0 +1,42 @@
+//! Figure 8: compression ratio against total (compress + decompress)
+//! energy for one S3D field across all compressors and bounds, on the
+//! Intel Xeon CPU Max 9480.
+
+use eblcio_bench::{runner_from_env, scale_from_env, TextTable};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_core::experiment::ExperimentConfig;
+use eblcio_data::{DatasetKind, DatasetSpec};
+use eblcio_energy::CpuGeneration;
+
+fn main() {
+    let scale = scale_from_env();
+    let runner = runner_from_env();
+    let data = DatasetSpec::new(DatasetKind::S3d, scale).generate();
+    let mut table = TextTable::new(&["codec", "rel_eps", "cr", "total_J"]);
+
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        for &eps in &ExperimentConfig::paper_epsilons() {
+            let cell = runner
+                .measure_cell(
+                    &data,
+                    codec.as_ref(),
+                    ErrorBound::Relative(eps),
+                    CpuGeneration::SapphireRapids9480,
+                    1,
+                )
+                .expect("cell");
+            table.row(vec![
+                id.name().into(),
+                format!("{eps:.0e}"),
+                format!("{:.2}", cell.cr()),
+                format!("{:.3}", cell.total_joules().value()),
+            ]);
+        }
+    }
+
+    table.print("Fig. 8 — CR vs total energy, S3D field (Intel Xeon CPU Max 9480)");
+    let path = table.write_csv("fig08_cr_vs_energy").expect("csv");
+    println!("\nCSV: {}", path.display());
+    println!("\nShape check: SZx bottom-left (cheap, low CR); SZ3/QoZ right (high CR, costly).");
+}

@@ -1,0 +1,42 @@
+//! Figure 9: PSNR against total energy for one S3D field — the quality
+//! side of the trade-off. QoZ is the designed outlier (quality above its
+//! nominal bound).
+
+use eblcio_bench::{runner_from_env, scale_from_env, TextTable};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_core::experiment::ExperimentConfig;
+use eblcio_data::{DatasetKind, DatasetSpec};
+use eblcio_energy::CpuGeneration;
+
+fn main() {
+    let scale = scale_from_env();
+    let runner = runner_from_env();
+    let data = DatasetSpec::new(DatasetKind::S3d, scale).generate();
+    let mut table = TextTable::new(&["codec", "rel_eps", "psnr_db", "total_J"]);
+
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        for &eps in &ExperimentConfig::paper_epsilons() {
+            let cell = runner
+                .measure_cell(
+                    &data,
+                    codec.as_ref(),
+                    ErrorBound::Relative(eps),
+                    CpuGeneration::SapphireRapids9480,
+                    1,
+                )
+                .expect("cell");
+            table.row(vec![
+                id.name().into(),
+                format!("{eps:.0e}"),
+                format!("{:.2}", cell.quality.psnr_db),
+                format!("{:.3}", cell.total_joules().value()),
+            ]);
+        }
+    }
+
+    table.print("Fig. 9 — PSNR vs total energy, S3D field (Intel Xeon CPU Max 9480)");
+    let path = table.write_csv("fig09_psnr_vs_energy").expect("csv");
+    println!("\nCSV: {}", path.display());
+    println!("\nShape check: higher PSNR costs more energy; QoZ sits above the trend line.");
+}

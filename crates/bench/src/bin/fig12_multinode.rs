@@ -1,0 +1,73 @@
+//! Figure 12: multi-node compress + parallel-write energy vs total core
+//! count (16–512), NYX via HDF5 on Skylake nodes at ε = 1e-3, with the
+//! uncompressed "Original" baseline.
+
+use eblcio_bench::{scale_from_env, TextTable};
+use eblcio_cluster::{run_compress_and_write, run_write_original, ClusterSpec};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::{DatasetKind, DatasetSpec};
+use eblcio_pfs::{IoToolKind, PfsSim};
+
+fn main() {
+    let scale = scale_from_env();
+    let data = DatasetSpec::new(DatasetKind::Nyx, scale).generate();
+    // Size the PFS relative to the (scaled-down) per-rank data so the
+    // paper's compute/IO balance is preserved: on the real testbed a
+    // 537 MB NYX rank-copy against shared Lustre gives write times of
+    // the same order as compression times at high core counts. 400 B/s
+    // of aggregate bandwidth per payload byte reproduces that ratio at
+    // any EBLCIO_SCALE.
+    let ost_bw_gbps = (data.nbytes() as f64 * 400.0 / 64.0) / 1e9;
+    let pfs = PfsSim::new(64, ost_bw_gbps);
+    // The paper's Fig. 12 omits SZx; it sweeps SZ2/SZ3/ZFP/QoZ.
+    let codecs = [
+        CompressorId::Sz2,
+        CompressorId::Sz3,
+        CompressorId::Zfp,
+        CompressorId::Qoz,
+    ];
+    let mut table = TextTable::new(&[
+        "cores", "codec", "compress_J", "write_J", "total_J", "bytes_written",
+    ]);
+
+    for spec in ClusterSpec::fig12_sweep() {
+        for id in codecs {
+            let codec = id.instance();
+            let r = run_compress_and_write(
+                &spec,
+                &data,
+                codec.as_ref(),
+                ErrorBound::Relative(1e-3),
+                IoToolKind::Hdf5Lite,
+                &pfs,
+            )
+            .expect("run");
+            table.row(vec![
+                r.cores.to_string(),
+                id.name().into(),
+                format!("{:.2}", r.compression.joules.value()),
+                format!("{:.2}", r.write.joules.value()),
+                format!("{:.2}", r.total_joules().value()),
+                r.total_bytes_written.to_string(),
+            ]);
+        }
+        let orig = run_write_original(&spec, &data, IoToolKind::Hdf5Lite, &pfs);
+        table.row(vec![
+            orig.cores.to_string(),
+            "Original".into(),
+            "0.00".into(),
+            format!("{:.2}", orig.write.joules.value()),
+            format!("{:.2}", orig.total_joules().value()),
+            orig.total_bytes_written.to_string(),
+        ]);
+    }
+
+    table.print("Fig. 12 — Multi-node compress+write energy vs cores (NYX, HDF5, eps = 1e-3)");
+    let path = table.write_csv("fig12_multinode").expect("csv");
+    println!("\nCSV: {}", path.display());
+    println!(
+        "\nShape checks: write_J << compress_J on the compressed paths; the Original\n\
+         baseline jumps super-linearly from 256 to 512 cores (PFS contention knee);\n\
+         at 512 cores compress+write beats writing the original."
+    );
+}

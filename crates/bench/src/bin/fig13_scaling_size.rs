@@ -1,0 +1,59 @@
+//! Figure 13: serial compression energy vs inflated NYX sizes.
+//!
+//! The paper inflates NYX by ×2…×5 per dimension (cubic growth) and
+//! shows energy scaling essentially linearly with data size at fixed
+//! ε = 1e-3 (constant throughput per compressor), on the 8260M.
+
+use eblcio_bench::{runner_from_env, scale_from_env, TextTable};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::generators::Scale;
+use eblcio_data::{inflate::inflate, Dataset, DatasetKind, DatasetSpec};
+use eblcio_energy::CpuGeneration;
+
+fn main() {
+    let scale = scale_from_env();
+    let runner = runner_from_env();
+    // Inflation grows memory cubically; start from one scale class down
+    // unless the user explicitly asked for the paper dims.
+    let base_scale = match scale {
+        Scale::Paper => Scale::Paper,
+        _ => Scale::Tiny,
+    };
+    let base = DatasetSpec::new(DatasetKind::Nyx, base_scale).generate();
+    let base_arr = base.as_f32();
+    let mut table = TextTable::new(&[
+        "inflation", "size_MB", "codec", "compress_J", "decompress_J", "total_J", "throughput_MBps",
+    ]);
+
+    for k in 1..=5usize {
+        let inflated = Dataset::F32(inflate(base_arr, k));
+        let mb = inflated.nbytes() as f64 / 1e6;
+        for id in CompressorId::ALL {
+            let codec = id.instance();
+            let cell = runner
+                .measure_cell(
+                    &inflated,
+                    codec.as_ref(),
+                    ErrorBound::Relative(1e-3),
+                    CpuGeneration::CascadeLake8260M,
+                    1,
+                )
+                .expect("cell");
+            let thr = mb / cell.compress_seconds.value().max(1e-12);
+            table.row(vec![
+                format!("x{k}"),
+                format!("{mb:.1}"),
+                id.name().into(),
+                format!("{:.3}", cell.compress_joules.value()),
+                format!("{:.3}", cell.decompress_joules.value()),
+                format!("{:.3}", cell.total_joules().value()),
+                format!("{thr:.1}"),
+            ]);
+        }
+    }
+
+    table.print("Fig. 13 — Energy vs inflated NYX size (8260M, rel eps = 1e-3)");
+    let path = table.write_csv("fig13_scaling_size").expect("csv");
+    println!("\nCSV: {}", path.display());
+    println!("\nShape checks: energy grows ~linearly with bytes; per-codec throughput stays flat.");
+}

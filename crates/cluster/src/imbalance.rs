@@ -1,0 +1,129 @@
+//! Load-imbalance accounting (paper §IV-E: the monitoring "captures …
+//! potential load imbalances").
+//!
+//! In the Fig. 6 workflow every rank compresses the same-sized data, but
+//! real ranks never finish together: data-dependent codec branches, OS
+//! noise, and NUMA placement skew the per-rank times. Ranks that finish
+//! early sit in the MPI barrier at idle power until the slowest rank
+//! arrives — energy the paper's node-level RAPL readings include. This
+//! module quantifies that: given per-rank phase times, it reports the
+//! barrier waste and the effective parallel efficiency.
+
+use eblcio_energy::{CpuProfile, Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Imbalance analysis of one barrier-synchronized phase.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ImbalanceReport {
+    /// Slowest rank's time (the phase's wall time).
+    pub critical_path: Seconds,
+    /// Mean rank time.
+    pub mean_time: Seconds,
+    /// Σ (critical_path − tᵢ): total rank-seconds spent waiting.
+    pub total_wait: Seconds,
+    /// Parallel efficiency `mean / max` (1.0 = perfectly balanced).
+    pub efficiency: f64,
+    /// Energy burned at idle power during the waits.
+    pub wait_energy: Joules,
+}
+
+/// Analyzes a barrier phase from per-rank times.
+///
+/// # Panics
+/// Panics on an empty slice or non-finite times.
+pub fn barrier_analysis(rank_times: &[Seconds], profile: &CpuProfile) -> ImbalanceReport {
+    assert!(!rank_times.is_empty(), "no ranks");
+    assert!(
+        rank_times.iter().all(|t| t.value().is_finite() && t.value() >= 0.0),
+        "invalid rank time"
+    );
+    let max = rank_times.iter().map(|t| t.value()).fold(0.0, f64::max);
+    let mean = rank_times.iter().map(|t| t.value()).sum::<f64>() / rank_times.len() as f64;
+    let wait: f64 = rank_times.iter().map(|t| max - t.value()).sum();
+    // Waiting ranks idle one core's share of the node.
+    let idle_per_core = profile.idle_power() / f64::from(profile.cores);
+    ImbalanceReport {
+        critical_path: Seconds(max),
+        mean_time: Seconds(mean),
+        total_wait: Seconds(wait),
+        efficiency: if max > 0.0 { mean / max } else { 1.0 },
+        wait_energy: idle_per_core * Seconds(wait),
+    }
+}
+
+/// Deterministic per-rank skew factors for simulation: rank `i` of `n`
+/// runs `1 + amplitude·u(i)` slower, where `u` is a hash-derived value
+/// in `[0, 1)`. `amplitude` 0.05–0.15 matches typical HPC OS-noise skew.
+pub fn skew_factors(n: u32, amplitude: f64, seed: u64) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&amplitude), "amplitude in [0,1)");
+    (0..n)
+        .map(|i| {
+            let mut x = seed ^ (u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            1.0 + amplitude * u
+        })
+        .collect()
+}
+
+/// Applies skew to a common base time, yielding per-rank times.
+pub fn skewed_times(base: Seconds, factors: &[f64]) -> Vec<Seconds> {
+    factors.iter().map(|&f| Seconds(base.value() * f)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblcio_energy::CpuGeneration;
+
+    fn profile() -> CpuProfile {
+        CpuGeneration::Skylake8160.profile()
+    }
+
+    #[test]
+    fn balanced_phase_has_no_waste() {
+        let times = vec![Seconds(2.0); 8];
+        let r = barrier_analysis(&times, &profile());
+        assert_eq!(r.critical_path.value(), 2.0);
+        assert_eq!(r.total_wait.value(), 0.0);
+        assert_eq!(r.efficiency, 1.0);
+        assert_eq!(r.wait_energy.value(), 0.0);
+    }
+
+    #[test]
+    fn skewed_phase_accounts_waits() {
+        let times = vec![Seconds(1.0), Seconds(2.0), Seconds(4.0)];
+        let r = barrier_analysis(&times, &profile());
+        assert_eq!(r.critical_path.value(), 4.0);
+        assert!((r.total_wait.value() - (3.0 + 2.0)).abs() < 1e-12);
+        assert!((r.efficiency - (7.0 / 3.0) / 4.0).abs() < 1e-12);
+        assert!(r.wait_energy.value() > 0.0);
+    }
+
+    #[test]
+    fn skew_factors_deterministic_and_bounded() {
+        let a = skew_factors(64, 0.1, 42);
+        let b = skew_factors(64, 0.1, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&f| (1.0..1.1).contains(&f)));
+        // Different seeds differ.
+        assert_ne!(a, skew_factors(64, 0.1, 43));
+    }
+
+    #[test]
+    fn more_skew_lowers_efficiency() {
+        let base = Seconds(10.0);
+        let mild = barrier_analysis(&skewed_times(base, &skew_factors(128, 0.02, 7)), &profile());
+        let harsh = barrier_analysis(&skewed_times(base, &skew_factors(128, 0.3, 7)), &profile());
+        assert!(harsh.efficiency < mild.efficiency);
+        assert!(harsh.wait_energy.value() > mild.wait_energy.value());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_ranks_rejected() {
+        let _ = barrier_analysis(&[], &profile());
+    }
+}

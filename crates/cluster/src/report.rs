@@ -1,0 +1,86 @@
+//! Multi-node run reports (the rows behind Fig. 12).
+
+use eblcio_energy::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Time and energy of one phase (compression or write).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Phase wall time (on the modeled platform).
+    pub seconds: Seconds,
+    /// Cluster-wide energy of the phase.
+    pub joules: Joules,
+}
+
+/// One bar of Fig. 12: a (codec, core-count) cell.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MultiNodeReport {
+    /// Total ranks (x-axis of Fig. 12).
+    pub cores: u32,
+    /// Node count.
+    pub nodes: u32,
+    /// Bytes each rank wrote.
+    pub compressed_bytes_per_rank: u64,
+    /// Aggregate bytes written to the PFS.
+    pub total_bytes_written: u64,
+    /// Compression phase (the lighter, lower bar segment).
+    pub compression: PhaseCost,
+    /// Write phase (the darker, upper bar segment).
+    pub write: PhaseCost,
+}
+
+impl MultiNodeReport {
+    /// Total energy of the run (both stacked segments).
+    pub fn total_joules(&self) -> Joules {
+        self.compression.joules + self.write.joules
+    }
+
+    /// Total time of the run.
+    pub fn total_seconds(&self) -> Seconds {
+        self.compression.seconds + self.write.seconds
+    }
+
+    /// Eq. 4's left side vs an uncompressed baseline: true when
+    /// compressing then writing beats writing the original.
+    pub fn beats(&self, original: &MultiNodeReport) -> bool {
+        self.total_joules().value() < original.write.joules.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(comp_j: f64, write_j: f64) -> MultiNodeReport {
+        MultiNodeReport {
+            cores: 64,
+            nodes: 4,
+            compressed_bytes_per_rank: 1000,
+            total_bytes_written: 64_000,
+            compression: PhaseCost {
+                seconds: Seconds(1.0),
+                joules: Joules(comp_j),
+            },
+            write: PhaseCost {
+                seconds: Seconds(0.5),
+                joules: Joules(write_j),
+            },
+        }
+    }
+
+    #[test]
+    fn totals_add_phases() {
+        let r = report(10.0, 5.0);
+        assert_eq!(r.total_joules(), Joules(15.0));
+        assert_eq!(r.total_seconds(), Seconds(1.5));
+    }
+
+    #[test]
+    fn beats_compares_against_original_write_only() {
+        let compressed = report(10.0, 5.0);
+        let original = report(0.0, 20.0);
+        assert!(compressed.beats(&original));
+        let expensive = report(30.0, 5.0);
+        assert!(!expensive.beats(&original));
+    }
+}

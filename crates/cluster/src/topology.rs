@@ -1,0 +1,82 @@
+//! Cluster topology description (paper Fig. 6: N nodes × R ranks).
+
+use eblcio_energy::{CpuGeneration, CpuProfile};
+use serde::Serialize;
+
+/// The machine allocation for one multi-node run.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ClusterSpec {
+    /// Node count `N`.
+    pub nodes: u32,
+    /// MPI ranks per node `R`.
+    pub ranks_per_node: u32,
+    /// Node hardware.
+    pub profile: CpuProfile,
+}
+
+impl ClusterSpec {
+    /// Creates a spec on the given platform.
+    pub fn new(nodes: u32, ranks_per_node: u32, generation: CpuGeneration) -> Self {
+        assert!(nodes >= 1 && ranks_per_node >= 1, "empty cluster");
+        Self {
+            nodes,
+            ranks_per_node,
+            profile: generation.profile(),
+        }
+    }
+
+    /// Total rank (≈ core) count `N·R` — the x-axis of Fig. 12.
+    pub fn total_ranks(&self) -> u32 {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// Worker threads used to *emulate* the rank pool on this machine
+    /// (capped to the host's parallelism; the energy model rescales).
+    pub fn local_parallelism(&self) -> usize {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        (self.total_ranks() as usize).min(host)
+    }
+
+    /// The Fig. 12 sweep: 16–512 cores as (nodes, ranks) pairs on
+    /// Skylake (the paper's platform for that figure), keeping 16
+    /// ranks per node like a two-socket 8160 allocation would.
+    pub fn fig12_sweep() -> Vec<ClusterSpec> {
+        [16u32, 32, 64, 128, 256, 512]
+            .iter()
+            .map(|&cores| {
+                let ranks_per_node = cores.min(16);
+                let nodes = cores / ranks_per_node;
+                ClusterSpec::new(nodes, ranks_per_node, CpuGeneration::Skylake8160)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let s = ClusterSpec::new(4, 16, CpuGeneration::Skylake8160);
+        assert_eq!(s.total_ranks(), 64);
+        assert!(s.local_parallelism() >= 1);
+    }
+
+    #[test]
+    fn fig12_sweep_core_counts() {
+        let cores: Vec<u32> = ClusterSpec::fig12_sweep()
+            .iter()
+            .map(|s| s.total_ranks())
+            .collect();
+        assert_eq!(cores, [16, 32, 64, 128, 256, 512]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_cluster_rejected() {
+        let _ = ClusterSpec::new(0, 4, CpuGeneration::Skylake8160);
+    }
+}

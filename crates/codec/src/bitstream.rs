@@ -1,0 +1,211 @@
+//! MSB-first bit-level I/O used by the Huffman coder, the ZFP bitplane
+//! coder, and the SZx bit packer.
+
+use crate::error::{CodecError, Result};
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Default, Debug)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits pending in `acc` (0–7), stored in the high bits.
+    acc: u8,
+    used: u32,
+    nbits: u64,
+}
+
+impl BitWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with a pre-reserved byte capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.nbits
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn put_bit(&mut self, bit: bool) {
+        self.acc |= u8::from(bit) << (7 - self.used);
+        self.used += 1;
+        self.nbits += 1;
+        if self.used == 8 {
+            self.bytes.push(self.acc);
+            self.acc = 0;
+            self.used = 0;
+        }
+    }
+
+    /// Writes the low `n` bits of `v`, most significant first (`n ≤ 64`).
+    #[inline]
+    pub fn put_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.put_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Writes `v` in unary: `v` one-bits then a zero-bit.
+    pub fn put_unary(&mut self, v: u32) {
+        for _ in 0..v {
+            self.put_bit(true);
+        }
+        self.put_bit(false);
+    }
+
+    /// Pads to a byte boundary with zero bits and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.bytes.push(self.acc);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit index.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining_bits(&self) -> u64 {
+        (self.bytes.len() as u64 * 8).saturating_sub(self.pos)
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn get_bit(&mut self, context: &'static str) -> Result<bool> {
+        let byte = (self.pos / 8) as usize;
+        if byte >= self.bytes.len() {
+            return Err(CodecError::TruncatedStream { context });
+        }
+        let bit = (self.bytes[byte] >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits MSB-first (`n ≤ 64`).
+    #[inline]
+    pub fn get_bits(&mut self, n: u32, context: &'static str) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if self.remaining_bits() < u64::from(n) {
+            return Err(CodecError::TruncatedStream { context });
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.get_bit(context)?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a unary-coded value (count of one-bits before the zero).
+    pub fn get_unary(&mut self, context: &'static str) -> Result<u32> {
+        let mut v = 0;
+        while self.get_bit(context)? {
+            v += 1;
+            if v > 1 << 24 {
+                return Err(CodecError::Corrupt { context });
+            }
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true, true, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len() as u64);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit("t").unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multibit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_bits(0xdead_beef, 32);
+        w.put_bits(u64::MAX, 64);
+        w.put_bits(0, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(4, "t").unwrap(), 0b1011);
+        assert_eq!(r.get_bits(32, "t").unwrap(), 0xdead_beef);
+        assert_eq!(r.get_bits(64, "t").unwrap(), u64::MAX);
+        assert_eq!(r.get_bits(1, "t").unwrap(), 0);
+    }
+
+    #[test]
+    fn msb_first_byte_layout() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1, 1);
+        w.put_bits(0, 7);
+        assert_eq!(w.finish(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn unary_roundtrip() {
+        let mut w = BitWriter::new();
+        for v in [0u32, 1, 2, 7, 31] {
+            w.put_unary(v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for v in [0u32, 1, 2, 7, 31] {
+            assert_eq!(r.get_unary("t").unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn reader_detects_truncation() {
+        let mut w = BitWriter::new();
+        w.put_bits(0x3ff, 10);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        // The padded byte still contains readable (zero) padding bits, so
+        // only reads beyond 16 bits fail.
+        assert!(r.get_bits(16, "t").is_ok());
+        assert!(r.get_bit("t").is_err());
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.put_bits(123, 0);
+        assert_eq!(w.bit_len(), 0);
+        assert!(w.finish().is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Shared plumbing for the SZ-family pipelines: input validation, block
+//! iteration, outlier transport, and the Huffman + LZ backend framing.
+
+use crate::error::{CodecError, Result};
+use crate::header::{read_stream, Header};
+use crate::traits::CompressorId;
+use crate::util::{put_varint, ByteReader};
+use crate::{huffman, lz};
+use eblcio_data::{Element, NdArray, Shape};
+
+/// Rejects inputs the error-bound contract cannot cover.
+pub fn validate_input<T: Element>(data: &NdArray<T>) -> Result<()> {
+    if data.as_slice().iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(CodecError::NonFiniteInput)
+    }
+}
+
+/// Parses a stream and checks codec id and dtype before handing the
+/// payload to the codec-specific decoder.
+pub fn open_payload<'a, T: Element>(
+    stream: &'a [u8],
+    expect: CompressorId,
+) -> Result<(Header, &'a [u8])> {
+    let (h, payload) = read_stream(stream)?;
+    if h.codec != expect {
+        return Err(CodecError::UnknownCodec(h.codec as u8));
+    }
+    h.expect_dtype::<T>()?;
+    Ok((h, payload))
+}
+
+/// The standard SZ-family payload: codec-specific side info, raw outlier
+/// samples, and Huffman-coded quantization codes — the whole thing passed
+/// through the LZ backend (the paper pipeline's "Zstd" stage).
+pub struct SzPayload {
+    /// Codec-specific side information (block modes, coefficients…).
+    pub extra: Vec<u8>,
+    /// Raw little-endian sample bytes for out-of-range residuals.
+    pub outliers: Vec<u8>,
+    /// Quantization codes in visit order (0 = outlier marker).
+    pub codes: Vec<u32>,
+}
+
+impl SzPayload {
+    /// Serializes and LZ-compresses the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut inner = Vec::with_capacity(self.codes.len() / 2 + self.outliers.len() + 64);
+        put_varint(&mut inner, self.extra.len() as u64);
+        inner.extend_from_slice(&self.extra);
+        put_varint(&mut inner, self.outliers.len() as u64);
+        inner.extend_from_slice(&self.outliers);
+        inner.extend_from_slice(&huffman::encode_block(&self.codes));
+        lz::compress(&inner)
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let inner = lz::decompress(bytes)?;
+        let mut r = ByteReader::new(&inner);
+        let extra_len = r.varint("sz extra length")? as usize;
+        let extra = r.take(extra_len, "sz extra")?.to_vec();
+        let outlier_len = r.varint("sz outlier length")? as usize;
+        let outliers = r.take(outlier_len, "sz outliers")?.to_vec();
+        let (codes, used) = huffman::decode_block(&inner[r.position()..])?;
+        if r.position() + used != inner.len() {
+            return Err(CodecError::Corrupt { context: "sz payload trailer" });
+        }
+        Ok(Self {
+            extra,
+            outliers,
+            codes,
+        })
+    }
+}
+
+/// Sequential reader over the outlier byte stream.
+pub struct OutlierReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> OutlierReader<'a> {
+    /// Wraps the outlier bytes of a payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Pops the next outlier sample.
+    pub fn next<T: Element>(&mut self) -> Result<T> {
+        let v = T::read_le(&self.bytes[self.pos.min(self.bytes.len())..])
+            .ok_or(CodecError::TruncatedStream { context: "outlier sample" })?;
+        self.pos += T::BYTES;
+        Ok(v)
+    }
+
+    /// True when every outlier has been consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+/// Iterates a shape in fixed-size blocks (clipped at the upper edges),
+/// invoking `f(base_index, block_dims)` in raster order of the block grid.
+pub fn for_each_block(
+    shape: Shape,
+    block_dims: &[usize],
+    mut f: impl FnMut(&[usize], &[usize]),
+) {
+    let rank = shape.rank();
+    debug_assert_eq!(block_dims.len(), rank);
+    let mut counts = [1usize; 4];
+    for d in 0..rank {
+        counts[d] = shape.dim(d).div_ceil(block_dims[d]);
+    }
+    let total: usize = counts[..rank].iter().product();
+    let mut bidx = [0usize; 4];
+    for _ in 0..total {
+        let mut base = [0usize; 4];
+        let mut dims = [0usize; 4];
+        for d in 0..rank {
+            base[d] = bidx[d] * block_dims[d];
+            dims[d] = block_dims[d].min(shape.dim(d) - base[d]);
+        }
+        f(&base[..rank], &dims[..rank]);
+        for d in (0..rank).rev() {
+            bidx[d] += 1;
+            if bidx[d] < counts[d] {
+                break;
+            }
+            bidx[d] = 0;
+        }
+    }
+}
+
+/// Iterates the samples of one block in raster order, yielding
+/// `(global_index, flat_offset)`.
+pub fn for_each_in_block(
+    shape: Shape,
+    base: &[usize],
+    dims: &[usize],
+    mut f: impl FnMut(&[usize], usize),
+) {
+    let rank = shape.rank();
+    let strides = shape.strides();
+    let total: usize = dims.iter().product();
+    let mut local = [0usize; 4];
+    for _ in 0..total {
+        let mut idx = [0usize; 4];
+        let mut off = 0usize;
+        for d in 0..rank {
+            idx[d] = base[d] + local[d];
+            off += idx[d] * strides[d];
+        }
+        f(&idx[..rank], off);
+        for d in (0..rank).rev() {
+            local[d] += 1;
+            if local[d] < dims[d] {
+                break;
+            }
+            local[d] = 0;
+        }
+    }
+}
+
+/// The default SZ block edge per rank (SZ2's defaults: long 1-D blocks,
+/// 16² planes, 8³ and 6⁴ volumes).
+pub fn sz_block_dims(rank: usize) -> [usize; 4] {
+    match rank {
+        1 => [256, 1, 1, 1],
+        2 => [16, 16, 1, 1],
+        3 => [8, 8, 8, 1],
+        _ => [6, 6, 6, 6],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_roundtrip() {
+        let p = SzPayload {
+            extra: vec![1, 2, 3],
+            outliers: vec![0xde, 0xad, 0xbe, 0xef],
+            codes: (0..5000u32).map(|i| 32768 + (i % 7)).collect(),
+        };
+        let enc = p.encode();
+        let d = SzPayload::decode(&enc).unwrap();
+        assert_eq!(d.extra, p.extra);
+        assert_eq!(d.outliers, p.outliers);
+        assert_eq!(d.codes, p.codes);
+    }
+
+    #[test]
+    fn payload_truncation_detected() {
+        let p = SzPayload {
+            extra: vec![],
+            outliers: vec![],
+            codes: vec![1, 2, 3, 2, 1],
+        };
+        let enc = p.encode();
+        for cut in 0..enc.len() {
+            assert!(SzPayload::decode(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn outlier_reader_sequences() {
+        let mut bytes = Vec::new();
+        1.5f32.write_le(&mut bytes);
+        (-2.25f32).write_le(&mut bytes);
+        let mut r = OutlierReader::new(&bytes);
+        assert_eq!(r.next::<f32>().unwrap(), 1.5);
+        assert_eq!(r.next::<f32>().unwrap(), -2.25);
+        assert!(r.exhausted());
+        assert!(r.next::<f32>().is_err());
+    }
+
+    #[test]
+    fn block_iteration_covers_exactly_once() {
+        let shape = Shape::d3(10, 7, 5);
+        let mut seen = vec![0u32; shape.len()];
+        for_each_block(shape, &[4, 4, 4], |base, dims| {
+            for_each_in_block(shape, base, dims, |_, off| {
+                seen[off] += 1;
+            });
+        });
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn edge_blocks_are_clipped() {
+        let shape = Shape::d2(5, 5);
+        let mut blocks = Vec::new();
+        for_each_block(shape, &[4, 4], |base, dims| {
+            blocks.push((base.to_vec(), dims.to_vec()));
+        });
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(blocks[3], (vec![4, 4], vec![1, 1]));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut a = NdArray::<f32>::zeros(Shape::d1(4));
+        assert!(validate_input(&a).is_ok());
+        a.as_mut_slice()[2] = f32::NAN;
+        assert_eq!(validate_input(&a), Err(CodecError::NonFiniteInput));
+    }
+}

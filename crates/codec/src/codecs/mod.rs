@@ -1,0 +1,47 @@
+//! The five EBLC pipelines the paper characterizes.
+
+pub mod common;
+pub mod qoz;
+pub mod sz2;
+pub mod sz3;
+pub mod szx;
+pub mod zfp;
+
+/// Implements the [`crate::traits::Compressor`] trait by delegating to a
+/// codec's generic `compress_impl`/`decompress_impl` inherent methods.
+macro_rules! impl_compressor_via_impls {
+    ($ty:ty, $id:expr) => {
+        impl $crate::traits::Compressor for $ty {
+            fn id(&self) -> $crate::traits::CompressorId {
+                $id
+            }
+            fn compress_f32(
+                &self,
+                data: &eblcio_data::NdArray<f32>,
+                bound: $crate::traits::ErrorBound,
+            ) -> $crate::error::Result<Vec<u8>> {
+                self.compress_impl(data, bound)
+            }
+            fn compress_f64(
+                &self,
+                data: &eblcio_data::NdArray<f64>,
+                bound: $crate::traits::ErrorBound,
+            ) -> $crate::error::Result<Vec<u8>> {
+                self.compress_impl(data, bound)
+            }
+            fn decompress_f32(
+                &self,
+                stream: &[u8],
+            ) -> $crate::error::Result<eblcio_data::NdArray<f32>> {
+                self.decompress_impl(stream)
+            }
+            fn decompress_f64(
+                &self,
+                stream: &[u8],
+            ) -> $crate::error::Result<eblcio_data::NdArray<f64>> {
+                self.decompress_impl(stream)
+            }
+        }
+    };
+}
+pub(crate) use impl_compressor_via_impls;

@@ -1,0 +1,386 @@
+//! SZ2: block-based hybrid Lorenzo/regression prediction (Liang et al.,
+//! IEEE Big Data 2018).
+//!
+//! The field is processed in small multi-dimensional blocks. For each
+//! block the encoder fits an affine regression predictor and estimates
+//! whether it beats the order-1 Lorenzo predictor on that block; the
+//! winner's residuals are quantized with the error-controlled linear
+//! quantizer, and the code stream is entropy-coded (canonical Huffman)
+//! and passed through the LZ backend — the SZ2 pipeline of §II-B.
+
+use super::common::{
+    for_each_block, for_each_in_block, open_payload, sz_block_dims, validate_input,
+    OutlierReader, SzPayload,
+};
+use super::impl_compressor_via_impls;
+use crate::error::{CodecError, Result};
+use crate::header::{write_stream, Header};
+use crate::predict::{fit_affine, lorenzo, AffineCoef};
+use crate::quantizer::{LinearQuantizer, Quantized};
+use crate::traits::{CompressorId, ErrorBound};
+use eblcio_data::{Element, NdArray};
+
+/// Quantization code radius (SZ default: 2^15 bins each side).
+const RADIUS: u32 = 32768;
+
+/// The SZ2 compressor.
+#[derive(Clone, Debug)]
+pub struct Sz2 {
+    /// Per-rank block edge override; `None` uses SZ2's defaults.
+    pub block_dims: Option<[usize; 4]>,
+}
+
+impl Default for Sz2 {
+    fn default() -> Self {
+        Self { block_dims: None }
+    }
+}
+
+impl Sz2 {
+    /// Compresses with the hybrid block predictor.
+    pub fn compress_impl<T: Element>(
+        &self,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>> {
+        validate_input(data)?;
+        let shape = data.shape();
+        let rank = shape.rank();
+        let abs = bound.to_absolute(data.value_range())?;
+        let quant = LinearQuantizer::new(abs, RADIUS);
+        let block_dims = self.block_dims.unwrap_or_else(|| sz_block_dims(rank));
+
+        let n = shape.len();
+        let mut recon = vec![0.0f64; n];
+        let raw: Vec<f64> = data.as_slice().iter().map(|v| v.to_f64()).collect();
+
+        let mut codes: Vec<u32> = Vec::with_capacity(n);
+        let mut outliers: Vec<u8> = Vec::new();
+        let mut mode_bits: Vec<bool> = Vec::new();
+        let mut coef_bytes: Vec<u8> = Vec::new();
+
+        for_each_block(shape, &block_dims[..rank], |base, dims| {
+            // Gather the raw block and fit the regression predictor.
+            let block_len: usize = dims.iter().product();
+            let mut block = Vec::with_capacity(block_len);
+            for_each_in_block(shape, base, dims, |_, off| block.push(raw[off]));
+            let coef = fit_affine(&block, dims).quantized(rank);
+
+            // Mode selection on raw data: total absolute residual of the
+            // regression plane vs the raw-data Lorenzo prediction.
+            let mut reg_err = 0.0f64;
+            let mut lor_err = 0.0f64;
+            let mut li = 0usize;
+            for_each_in_block(shape, base, dims, |idx, off| {
+                let local: Vec<usize> = idx.iter().zip(base).map(|(&i, &b)| i - b).collect();
+                reg_err += (raw[off] - coef.eval(&local)).abs();
+                lor_err += (raw[off] - lorenzo(&raw, shape, idx)).abs();
+                li += 1;
+            });
+            let _ = li;
+            let use_regression = reg_err < lor_err;
+            mode_bits.push(use_regression);
+            if use_regression {
+                coef.to_f32_bytes(rank, &mut coef_bytes);
+            }
+
+            // Encode the block against the evolving reconstruction.
+            for_each_in_block(shape, base, dims, |idx, off| {
+                let v = raw[off];
+                let pred = if use_regression {
+                    let mut local = [0usize; 4];
+                    for d in 0..rank {
+                        local[d] = idx[d] - base[d];
+                    }
+                    coef.eval(&local[..rank])
+                } else {
+                    lorenzo(&recon, shape, idx)
+                };
+                // The decoder will round the f64 reconstruction to T, so
+                // the bound must hold *after* that rounding; otherwise
+                // fall back to the outlier path.
+                match quant.quantize(v, pred) {
+                    (Quantized::Code(c), r) => {
+                        let rt = T::from_f64(r).to_f64();
+                        if (rt - v).abs() <= quant.abs_bound() {
+                            codes.push(c);
+                            recon[off] = rt;
+                        } else {
+                            codes.push(0);
+                            let t = T::from_f64(v);
+                            t.write_le(&mut outliers);
+                            recon[off] = t.to_f64();
+                        }
+                    }
+                    (Quantized::Outlier, _) => {
+                        codes.push(0);
+                        let t = T::from_f64(v);
+                        t.write_le(&mut outliers);
+                        recon[off] = t.to_f64();
+                    }
+                }
+            });
+        });
+
+        // Pack block modes into the side channel.
+        let mut extra = Vec::with_capacity(mode_bits.len() / 8 + coef_bytes.len() + 8);
+        crate::util::put_varint(&mut extra, mode_bits.len() as u64);
+        let mut bw = crate::bitstream::BitWriter::new();
+        for &b in &mode_bits {
+            bw.put_bit(b);
+        }
+        extra.extend_from_slice(&bw.finish());
+        extra.extend_from_slice(&coef_bytes);
+
+        let payload = SzPayload {
+            extra,
+            outliers,
+            codes,
+        }
+        .encode();
+        let header = Header {
+            codec: CompressorId::Sz2,
+            dtype: Header::dtype_of::<T>(),
+            shape,
+            abs_bound: abs,
+        };
+        Ok(write_stream(&header, &payload))
+    }
+
+    /// Decompresses an SZ2 stream.
+    pub fn decompress_impl<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
+        let (h, payload) = open_payload::<T>(stream, CompressorId::Sz2)?;
+        let shape = h.shape;
+        let rank = shape.rank();
+        let quant = LinearQuantizer::new(h.abs_bound.max(f64::MIN_POSITIVE), RADIUS);
+        let block_dims = self.block_dims.unwrap_or_else(|| sz_block_dims(rank));
+
+        let p = SzPayload::decode(payload)?;
+        let mut outliers = OutlierReader::new(&p.outliers);
+
+        // Unpack modes.
+        let mut er = crate::util::ByteReader::new(&p.extra);
+        let n_blocks = er.varint("sz2 block count")? as usize;
+        let mode_bytes = er.take(n_blocks.div_ceil(8), "sz2 block modes")?;
+        let mut modes = Vec::with_capacity(n_blocks);
+        {
+            let mut br = crate::bitstream::BitReader::new(mode_bytes);
+            for _ in 0..n_blocks {
+                modes.push(br.get_bit("sz2 mode bit")?);
+            }
+        }
+        let coef_bytes = &p.extra[er.position()..];
+
+        let n = shape.len();
+        if p.codes.len() != n {
+            return Err(CodecError::Corrupt { context: "sz2 code count" });
+        }
+        let mut recon = vec![0.0f64; n];
+        let mut out: Vec<T> = vec![T::default(); n];
+        let mut code_i = 0usize;
+        let mut block_i = 0usize;
+        let mut coef_pos = 0usize;
+        let mut failure: Option<CodecError> = None;
+
+        for_each_block(shape, &block_dims[..rank], |base, dims| {
+            if failure.is_some() {
+                return;
+            }
+            if block_i >= modes.len() {
+                failure = Some(CodecError::Corrupt { context: "sz2 block modes" });
+                return;
+            }
+            let use_regression = modes[block_i];
+            block_i += 1;
+            let coef = if use_regression {
+                match AffineCoef::from_f32_bytes(rank, &coef_bytes[coef_pos.min(coef_bytes.len())..]) {
+                    Some((c, used)) => {
+                        coef_pos += used;
+                        c
+                    }
+                    None => {
+                        failure = Some(CodecError::TruncatedStream { context: "sz2 coefficients" });
+                        return;
+                    }
+                }
+            } else {
+                AffineCoef { c0: 0.0, c: [0.0; 4] }
+            };
+
+            for_each_in_block(shape, base, dims, |idx, off| {
+                if failure.is_some() {
+                    return;
+                }
+                let pred = if use_regression {
+                    let mut local = [0usize; 4];
+                    for d in 0..rank {
+                        local[d] = idx[d] - base[d];
+                    }
+                    coef.eval(&local[..rank])
+                } else {
+                    lorenzo(&recon, shape, idx)
+                };
+                let code = p.codes[code_i];
+                code_i += 1;
+                let v = if code == 0 {
+                    match outliers.next::<T>() {
+                        Ok(t) => {
+                            recon[off] = t.to_f64();
+                            t
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            return;
+                        }
+                    }
+                } else {
+                    let t = T::from_f64(quant.reconstruct(code, pred));
+                    recon[off] = t.to_f64();
+                    t
+                };
+                out[off] = v;
+            });
+        });
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(NdArray::from_vec(shape, out))
+    }
+}
+
+impl_compressor_via_impls!(Sz2, CompressorId::Sz2);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Compressor;
+    use eblcio_data::{max_rel_error, psnr, Shape};
+
+    fn smooth_2d(n: usize, m: usize) -> NdArray<f32> {
+        NdArray::from_fn(Shape::d2(n, m), |i| {
+            let x = i[0] as f32 / n as f32;
+            let y = i[1] as f32 / m as f32;
+            (x * 6.0).sin() * (y * 4.0).cos() * 100.0
+        })
+    }
+
+    #[test]
+    fn roundtrip_respects_bound_2d() {
+        let data = smooth_2d(50, 60);
+        let c = Sz2::default();
+        for eps in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let stream = c.compress_f32(&data, ErrorBound::Relative(eps)).unwrap();
+            let back = c.decompress_f32(&stream).unwrap();
+            assert_eq!(back.shape(), data.shape());
+            assert!(
+                max_rel_error(&data, &back) <= eps * 1.0000001,
+                "eps {eps}: {}",
+                max_rel_error(&data, &back)
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_1d_3d_4d() {
+        let c = Sz2::default();
+        let d1 = NdArray::<f64>::from_fn(Shape::d1(500), |i| (i[0] as f64 * 0.01).sin());
+        let d3 = NdArray::<f32>::from_fn(Shape::d3(17, 19, 23), |i| {
+            (i[0] + i[1] * 2 + i[2]) as f32
+        });
+        let d4 = NdArray::<f64>::from_fn(Shape::d4(5, 6, 7, 8), |i| {
+            i.iter().sum::<usize>() as f64 * 0.5
+        });
+        let s1 = c.compress_f64(&d1, ErrorBound::Relative(1e-3)).unwrap();
+        assert!(max_rel_error(&d1, &c.decompress_f64(&s1).unwrap()) <= 1e-3 * 1.0000001);
+        let s3 = c.compress_f32(&d3, ErrorBound::Relative(1e-3)).unwrap();
+        assert!(max_rel_error(&d3, &c.decompress_f32(&s3).unwrap()) <= 1e-3 * 1.0000001);
+        let s4 = c.compress_f64(&d4, ErrorBound::Relative(1e-3)).unwrap();
+        assert!(max_rel_error(&d4, &c.decompress_f64(&s4).unwrap()) <= 1e-3 * 1.0000001);
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let data = smooth_2d(100, 100);
+        let c = Sz2::default();
+        let stream = c.compress_f32(&data, ErrorBound::Relative(1e-2)).unwrap();
+        let cr = data.nbytes() as f64 / stream.len() as f64;
+        assert!(cr > 4.0, "CR {cr}");
+    }
+
+    #[test]
+    fn tighter_bound_larger_stream_higher_psnr() {
+        let data = smooth_2d(64, 64);
+        let c = Sz2::default();
+        let loose = c.compress_f32(&data, ErrorBound::Relative(1e-1)).unwrap();
+        let tight = c.compress_f32(&data, ErrorBound::Relative(1e-4)).unwrap();
+        assert!(tight.len() > loose.len());
+        let p_loose = psnr(&data, &c.decompress_f32(&loose).unwrap());
+        let p_tight = psnr(&data, &c.decompress_f32(&tight).unwrap());
+        assert!(p_tight > p_loose + 20.0, "{p_tight} vs {p_loose}");
+    }
+
+    #[test]
+    fn constant_data_is_tiny_and_exact() {
+        let data = NdArray::<f32>::from_vec(Shape::d2(32, 32), vec![3.25; 1024]);
+        let c = Sz2::default();
+        let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        let back = c.decompress_f32(&stream).unwrap();
+        assert_eq!(back.as_slice(), data.as_slice());
+        assert!(stream.len() < 200, "stream {}", stream.len());
+    }
+
+    #[test]
+    fn nan_input_rejected() {
+        let mut data = NdArray::<f32>::zeros(Shape::d1(10));
+        data.as_mut_slice()[5] = f32::NAN;
+        let c = Sz2::default();
+        assert_eq!(
+            c.compress_f32(&data, ErrorBound::Relative(1e-3)),
+            Err(CodecError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    fn wrong_codec_stream_rejected() {
+        let data = smooth_2d(8, 8);
+        let sz3 = crate::codecs::sz3::Sz3::default();
+        let stream = sz3.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        assert!(Sz2::default().decompress_f32(&stream).is_err());
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let data = smooth_2d(8, 8);
+        let c = Sz2::default();
+        let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        assert!(matches!(
+            c.decompress_f64(&stream),
+            Err(CodecError::DtypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = smooth_2d(16, 16);
+        let c = Sz2::default();
+        let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        for cut in [0, 5, stream.len() / 2, stream.len() - 1] {
+            assert!(c.decompress_f32(&stream[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn absolute_bound_honoured() {
+        let data = smooth_2d(40, 40);
+        let c = Sz2::default();
+        let stream = c.compress_f32(&data, ErrorBound::Absolute(0.5)).unwrap();
+        let back = c.decompress_f32(&stream).unwrap();
+        let max_err = data
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err <= 0.5000001, "{max_err}");
+    }
+}

@@ -1,0 +1,266 @@
+//! SZx: ultra-fast error-bounded compression (Yu et al., HPDC'22).
+//!
+//! SZx trades compression ratio for speed: the field is cut into small
+//! flat blocks, constant blocks (range ≤ 2ε) collapse to their midpoint,
+//! and the rest are stored as fixed-point offsets from the block minimum
+//! using just enough bits to honour the bound — no prediction, no entropy
+//! coding. This is why SZx is the energy-efficiency winner across the
+//! paper's Figures 7/10/11 while posting the lowest ratios in Table III.
+
+use super::common::{open_payload, validate_input};
+use super::impl_compressor_via_impls;
+use crate::bitstream::{BitReader, BitWriter};
+use crate::error::{CodecError, Result};
+use crate::header::{write_stream, Header};
+use crate::traits::{CompressorId, ErrorBound};
+use crate::util::{put_varint, ByteReader};
+use eblcio_data::{Element, NdArray};
+
+/// Samples per block (SZx default).
+const BLOCK: usize = 128;
+
+/// Block encodings.
+const MODE_CONSTANT: u8 = 0;
+const MODE_PACKED: u8 = 1;
+const MODE_RAW: u8 = 2;
+
+/// The SZx compressor.
+#[derive(Clone, Debug, Default)]
+pub struct Szx;
+
+impl Szx {
+    /// Compresses with the block constant/fixed-point scheme.
+    pub fn compress_impl<T: Element>(
+        &self,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>> {
+        validate_input(data)?;
+        let abs = bound.to_absolute(data.value_range())?;
+        let step = 2.0 * abs;
+
+        let samples = data.as_slice();
+        let mut out = Vec::with_capacity(samples.len() / 2 + 64);
+        put_varint(&mut out, samples.len().div_ceil(BLOCK) as u64);
+
+        for block in samples.chunks(BLOCK) {
+            let mut mn = block[0].to_f64();
+            let mut mx = mn;
+            for v in block {
+                let f = v.to_f64();
+                if f < mn {
+                    mn = f;
+                }
+                if f > mx {
+                    mx = f;
+                }
+            }
+            let range = mx - mn;
+
+            if range <= step {
+                // Constant block: the midpoint is within ε of every
+                // sample (after T rounding, which we verify).
+                let mid = T::from_f64(mn + range * 0.5);
+                if block.iter().all(|v| (mid.to_f64() - v.to_f64()).abs() <= abs) {
+                    out.push(MODE_CONSTANT);
+                    mid.write_le(&mut out);
+                    continue;
+                }
+            }
+
+            // Fixed-point offsets from the block minimum.
+            let levels = (range / step).ceil() + 1.0;
+            let bits = levels.log2().ceil().max(1.0) as u32;
+            if bits <= 32 {
+                let base = T::from_f64(mn);
+                let base_f = base.to_f64();
+                let mut codes = Vec::with_capacity(block.len());
+                let mut ok = true;
+                for v in block {
+                    let q = ((v.to_f64() - base_f) / step).round();
+                    let r = T::from_f64(base_f + q * step);
+                    if q < 0.0 || q >= (1u64 << bits) as f64
+                        || (r.to_f64() - v.to_f64()).abs() > abs
+                    {
+                        ok = false;
+                        break;
+                    }
+                    codes.push(q as u64);
+                }
+                if ok {
+                    out.push(MODE_PACKED);
+                    base.write_le(&mut out);
+                    out.push(bits as u8);
+                    let mut bw = BitWriter::with_capacity(block.len() * bits as usize / 8 + 1);
+                    for &q in &codes {
+                        bw.put_bits(q, bits);
+                    }
+                    out.extend_from_slice(&bw.finish());
+                    continue;
+                }
+            }
+
+            // Pathological block (range/ε overflow): store verbatim.
+            out.push(MODE_RAW);
+            for v in block {
+                v.write_le(&mut out);
+            }
+        }
+
+        let header = Header {
+            codec: CompressorId::Szx,
+            dtype: Header::dtype_of::<T>(),
+            shape: data.shape(),
+            abs_bound: abs,
+        };
+        Ok(write_stream(&header, &out))
+    }
+
+    /// Decompresses an SZx stream.
+    pub fn decompress_impl<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
+        let (h, payload) = open_payload::<T>(stream, CompressorId::Szx)?;
+        let n = h.shape.len();
+        let step = 2.0 * h.abs_bound;
+        let mut r = ByteReader::new(payload);
+        let n_blocks = r.varint("szx block count")? as usize;
+        if n_blocks != n.div_ceil(BLOCK) {
+            return Err(CodecError::Corrupt { context: "szx block count" });
+        }
+
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        for b in 0..n_blocks {
+            let block_len = BLOCK.min(n - b * BLOCK);
+            match r.u8("szx block mode")? {
+                MODE_CONSTANT => {
+                    let mid = T::read_le(r.take(T::BYTES, "szx constant")?)
+                        .ok_or(CodecError::TruncatedStream { context: "szx constant" })?;
+                    out.extend(std::iter::repeat_n(mid, block_len));
+                }
+                MODE_PACKED => {
+                    let base = T::read_le(r.take(T::BYTES, "szx base")?)
+                        .ok_or(CodecError::TruncatedStream { context: "szx base" })?;
+                    let bits = u32::from(r.u8("szx bit width")?);
+                    if bits == 0 || bits > 32 {
+                        return Err(CodecError::Corrupt { context: "szx bit width" });
+                    }
+                    let nbytes = (block_len * bits as usize).div_ceil(8);
+                    let packed = r.take(nbytes, "szx packed codes")?;
+                    let mut br = BitReader::new(packed);
+                    let base_f = base.to_f64();
+                    for _ in 0..block_len {
+                        let q = br.get_bits(bits, "szx code")? as f64;
+                        out.push(T::from_f64(base_f + q * step));
+                    }
+                }
+                MODE_RAW => {
+                    for _ in 0..block_len {
+                        let v = T::read_le(r.take(T::BYTES, "szx raw sample")?)
+                            .ok_or(CodecError::TruncatedStream { context: "szx raw sample" })?;
+                        out.push(v);
+                    }
+                }
+                _ => return Err(CodecError::Corrupt { context: "szx block mode" }),
+            }
+        }
+        Ok(NdArray::from_vec(h.shape, out))
+    }
+}
+
+impl_compressor_via_impls!(Szx, CompressorId::Szx);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::Compressor;
+    use eblcio_data::{max_rel_error, Shape};
+
+    fn wavy(n: usize) -> NdArray<f32> {
+        NdArray::from_fn(Shape::d1(n), |i| ((i[0] as f32) * 0.01).sin() * 50.0)
+    }
+
+    #[test]
+    fn roundtrip_respects_bound() {
+        let data = wavy(10_000);
+        let c = Szx::default();
+        for eps in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5] {
+            let stream = c.compress_f32(&data, ErrorBound::Relative(eps)).unwrap();
+            let back = c.decompress_f32(&stream).unwrap();
+            assert!(max_rel_error(&data, &back) <= eps * 1.0000001, "eps {eps}");
+        }
+    }
+
+    #[test]
+    fn constant_blocks_collapse() {
+        let data = NdArray::<f32>::from_vec(Shape::d1(4096), vec![7.5; 4096]);
+        let c = Szx::default();
+        let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        // 32 blocks × (1 + 4) bytes + framing.
+        assert!(stream.len() < 300, "{} bytes", stream.len());
+        assert_eq!(c.decompress_f32(&stream).unwrap().as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn cr_is_moderate_but_nonzero_on_smooth_data() {
+        // SZx's signature: modest CR even where SZ3 gets huge ratios.
+        let data = wavy(100_000);
+        let c = Szx::default();
+        let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        let cr = data.nbytes() as f64 / stream.len() as f64;
+        assert!(cr > 2.0 && cr < 64.0, "CR {cr}");
+    }
+
+    #[test]
+    fn faster_looser_bounds_give_smaller_streams() {
+        let data = wavy(50_000);
+        let c = Szx::default();
+        let loose = c.compress_f32(&data, ErrorBound::Relative(1e-1)).unwrap();
+        let tight = c.compress_f32(&data, ErrorBound::Relative(1e-5)).unwrap();
+        assert!(loose.len() < tight.len());
+    }
+
+    #[test]
+    fn partial_final_block() {
+        let data = wavy(BLOCK + 17);
+        let c = Szx::default();
+        let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        let back = c.decompress_f32(&stream).unwrap();
+        assert_eq!(back.len(), data.len());
+        assert!(max_rel_error(&data, &back) <= 1e-3 * 1.0000001);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let data = NdArray::<f64>::from_fn(Shape::d2(100, 100), |i| {
+            (i[0] as f64).mul_add(1e-3, (i[1] as f64) * 2e-3).exp()
+        });
+        let c = Szx::default();
+        let stream = c.compress_f64(&data, ErrorBound::Relative(1e-4)).unwrap();
+        let back = c.decompress_f64(&stream).unwrap();
+        assert!(max_rel_error(&data, &back) <= 1e-4 * 1.0000001);
+    }
+
+    #[test]
+    fn extreme_dynamic_range_falls_back_to_raw() {
+        // Range/ε too wide for 32-bit packing: raw mode keeps exactness.
+        let mut v = vec![0.0f64; 256];
+        v[0] = 1e300;
+        v[255] = -1e300;
+        let data = NdArray::from_vec(Shape::d1(256), v);
+        let c = Szx::default();
+        let stream = c
+            .compress_f64(&data, ErrorBound::Absolute(1e-280))
+            .unwrap();
+        let back = c.decompress_f64(&stream).unwrap();
+        assert_eq!(back.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let data = wavy(1000);
+        let c = Szx::default();
+        let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        for cut in [10, stream.len() / 2, stream.len() - 1] {
+            assert!(c.decompress_f32(&stream[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Codec error types.
+
+/// Errors surfaced by compression, decompression, and stream parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The stream ended before the decoder expected.
+    TruncatedStream {
+        /// What the decoder was reading when the stream ran out.
+        context: &'static str,
+    },
+    /// The stream does not start with the `EBLC` container magic.
+    BadMagic,
+    /// The container was produced by an incompatible format version.
+    UnsupportedVersion(u8),
+    /// The codec id byte does not name a known compressor.
+    UnknownCodec(u8),
+    /// The stream's element type does not match the requested type.
+    DtypeMismatch {
+        /// Dtype recorded in the stream header.
+        expected: &'static str,
+        /// Dtype the caller asked to decode into.
+        got: &'static str,
+    },
+    /// The stream checksum does not match its payload (corruption).
+    ChecksumMismatch,
+    /// A structurally invalid field (impossible shape, huffman table…).
+    Corrupt {
+        /// Which structure failed validation.
+        context: &'static str,
+    },
+    /// The requested error bound cannot be honoured.
+    InvalidBound {
+        /// Explanation of the rejection.
+        reason: &'static str,
+    },
+    /// The input contains NaN/Inf samples, which EBLC bounds cannot cover.
+    NonFiniteInput,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::TruncatedStream { context } => {
+                write!(f, "truncated stream while reading {context}")
+            }
+            CodecError::BadMagic => write!(f, "not an EBLC stream (bad magic)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported stream version {v}"),
+            CodecError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            CodecError::DtypeMismatch { expected, got } => {
+                write!(f, "stream holds {expected} but {got} was requested")
+            }
+            CodecError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            CodecError::Corrupt { context } => write!(f, "corrupt stream: invalid {context}"),
+            CodecError::InvalidBound { reason } => write!(f, "invalid error bound: {reason}"),
+            CodecError::NonFiniteInput => write!(f, "input contains NaN or infinite samples"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Codec result alias.
+pub type Result<T> = std::result::Result<T, CodecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodecError::TruncatedStream { context: "huffman table" };
+        assert!(e.to_string().contains("huffman table"));
+        let e = CodecError::DtypeMismatch { expected: "f32", got: "f64" };
+        assert!(e.to_string().contains("f32") && e.to_string().contains("f64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CodecError::BadMagic);
+    }
+}

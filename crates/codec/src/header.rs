@@ -1,0 +1,201 @@
+//! The self-describing `EBLC` stream container.
+//!
+//! Every compressor in this crate emits the same outer framing so that
+//! streams can be identified, routed to the right decoder, and checked
+//! for corruption:
+//!
+//! ```text
+//! "EBLC" | version u8 | codec u8 | dtype u8 | rank u8
+//! dims (rank × varint) | abs_bound f64 | payload crc32 u32
+//! payload_len varint | payload…
+//! ```
+
+use crate::error::{CodecError, Result};
+use crate::traits::CompressorId;
+use crate::util::{crc32, put_varint, ByteReader};
+use eblcio_data::{Element, Shape};
+
+/// Container magic bytes.
+pub const MAGIC: &[u8; 4] = b"EBLC";
+/// Current container version.
+pub const VERSION: u8 = 1;
+
+/// Parsed stream header.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Header {
+    /// Which compressor produced the payload.
+    pub codec: CompressorId,
+    /// Element type tag (0 = f32, 1 = f64).
+    pub dtype: u8,
+    /// Original array shape.
+    pub shape: Shape,
+    /// Absolute error bound the encoder enforced.
+    pub abs_bound: f64,
+}
+
+impl Header {
+    /// Dtype tag for an element type.
+    pub fn dtype_of<T: Element>() -> u8 {
+        match T::BYTES {
+            4 => 0,
+            8 => 1,
+            _ => unreachable!("Element is sealed to f32/f64"),
+        }
+    }
+
+    /// Checks that the stream's dtype matches `T`.
+    pub fn expect_dtype<T: Element>(&self) -> Result<()> {
+        if self.dtype == Self::dtype_of::<T>() {
+            Ok(())
+        } else {
+            Err(CodecError::DtypeMismatch {
+                expected: if self.dtype == 0 { "f32" } else { "f64" },
+                got: T::NAME,
+            })
+        }
+    }
+}
+
+/// Serializes a header + payload into a finished stream.
+pub fn write_stream(header: &Header, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(header.codec as u8);
+    out.push(header.dtype);
+    out.push(header.shape.rank() as u8);
+    for &d in header.shape.dims() {
+        put_varint(&mut out, d as u64);
+    }
+    out.extend_from_slice(&header.abs_bound.to_bits().to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    put_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses a stream, verifying magic, version, and payload checksum.
+///
+/// Returns the header and the payload slice.
+pub fn read_stream(stream: &[u8]) -> Result<(Header, &[u8])> {
+    let mut r = ByteReader::new(stream);
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = r.u8("version")?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let codec = CompressorId::from_u8(r.u8("codec id")?)?;
+    let dtype = r.u8("dtype")?;
+    if dtype > 1 {
+        return Err(CodecError::Corrupt { context: "dtype tag" });
+    }
+    let rank = r.u8("rank")? as usize;
+    if rank == 0 || rank > 4 {
+        return Err(CodecError::Corrupt { context: "rank" });
+    }
+    let mut dims = [0usize; 4];
+    for d in dims.iter_mut().take(rank) {
+        let v = r.varint("dimension")?;
+        if v == 0 || v > 1 << 40 {
+            return Err(CodecError::Corrupt { context: "dimension" });
+        }
+        *d = v as usize;
+    }
+    let shape = Shape::new(&dims[..rank]);
+    let abs_bound = r.f64("abs bound")?;
+    if !(abs_bound.is_finite() && abs_bound >= 0.0) {
+        return Err(CodecError::Corrupt { context: "abs bound" });
+    }
+    let crc_expect = r.u32("payload crc")?;
+    let payload_len = r.varint("payload length")? as usize;
+    let payload = r.take(payload_len, "payload")?;
+    if crc32(payload) != crc_expect {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok((
+        Header {
+            codec,
+            dtype,
+            shape,
+            abs_bound,
+        },
+        payload,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Header {
+        Header {
+            codec: CompressorId::Sz3,
+            dtype: 0,
+            shape: Shape::d3(26, 1800, 3600),
+            abs_bound: 1e-3,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let payload = b"the payload".to_vec();
+        let stream = write_stream(&sample_header(), &payload);
+        let (h, p) = read_stream(&stream).unwrap();
+        assert_eq!(h, sample_header());
+        assert_eq!(p, payload.as_slice());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut stream = write_stream(&sample_header(), b"x");
+        stream[0] = b'X';
+        assert_eq!(read_stream(&stream).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut stream = write_stream(&sample_header(), b"x");
+        stream[4] = 99;
+        assert_eq!(
+            read_stream(&stream).unwrap_err(),
+            CodecError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn payload_corruption_detected() {
+        let stream = write_stream(&sample_header(), b"sensitive-payload");
+        let n = stream.len();
+        let mut bad = stream.clone();
+        bad[n - 3] ^= 0x01;
+        assert_eq!(read_stream(&bad).unwrap_err(), CodecError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let stream = write_stream(&sample_header(), b"0123456789");
+        for cut in 0..stream.len() {
+            assert!(read_stream(&stream[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn dtype_check() {
+        let h = sample_header();
+        assert!(h.expect_dtype::<f32>().is_ok());
+        assert!(matches!(
+            h.expect_dtype::<f64>(),
+            Err(CodecError::DtypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let stream = write_stream(&sample_header(), b"");
+        let (_, p) = read_stream(&stream).unwrap();
+        assert!(p.is_empty());
+    }
+}

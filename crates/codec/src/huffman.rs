@@ -1,0 +1,391 @@
+//! Canonical Huffman coding of quantization codes.
+//!
+//! The SZ-family pipelines (SZ2 §II-B, SZ3) entropy-code their quantized
+//! prediction residuals with Huffman before the lossless backend. This
+//! module implements a self-contained canonical-Huffman block format:
+//!
+//! ```text
+//! [n_symbols varint] [table: (symbol delta varint, code len u8)*]
+//! [n_values varint] [payload bit length varint] [payload bits…]
+//! ```
+//!
+//! Code lengths are capped at [`MAX_CODE_LEN`]; if the optimal tree is
+//! deeper (possible with extremely skewed counts), frequencies are
+//! repeatedly halved until the tree fits — the classic pragmatic
+//! length-limiting approach.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::error::{CodecError, Result};
+use crate::util::{put_varint, ByteReader};
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Maximum admissible code length in bits.
+pub const MAX_CODE_LEN: u8 = 32;
+
+/// Encodes a symbol sequence as a self-contained Huffman block.
+pub fn encode_block(symbols: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    if symbols.is_empty() {
+        put_varint(&mut out, 0); // n_symbols
+        put_varint(&mut out, 0); // n_values
+        put_varint(&mut out, 0); // payload bits
+        return out;
+    }
+
+    // Frequency census. Quantization codes are dense small integers, so
+    // use a flat table when the alphabet is small and fall back to a map
+    // for sparse/huge symbols.
+    let max_sym = symbols.iter().copied().max().unwrap_or(0);
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    if max_sym < 1 << 20 {
+        let mut counts = vec![0u64; max_sym as usize + 1];
+        for &s in symbols {
+            counts[s as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                freq.insert(s as u32, c);
+            }
+        }
+    } else {
+        for &s in symbols {
+            *freq.entry(s).or_insert(0) += 1;
+        }
+    }
+    let lengths = code_lengths(&freq);
+    let canon = canonical_codes(&lengths);
+
+    // Table: symbols sorted ascending, delta-coded.
+    let mut table: Vec<(u32, u8)> = lengths.clone();
+    table.sort_unstable_by_key(|&(s, _)| s);
+    put_varint(&mut out, table.len() as u64);
+    let mut prev = 0u32;
+    for &(sym, len) in &table {
+        put_varint(&mut out, u64::from(sym - prev));
+        out.push(len);
+        prev = sym;
+    }
+
+    // Payload.
+    let mut bits = BitWriter::with_capacity(symbols.len() / 2);
+    for &s in symbols {
+        let &(code, len) = canon.get(&s).expect("symbol in census");
+        bits.put_bits(code, u32::from(len));
+    }
+    put_varint(&mut out, symbols.len() as u64);
+    put_varint(&mut out, bits.bit_len());
+    out.extend_from_slice(&bits.finish());
+    out
+}
+
+/// Decodes a block produced by [`encode_block`].
+///
+/// Returns the symbols and the number of bytes consumed from `buf`.
+pub fn decode_block(buf: &[u8]) -> Result<(Vec<u32>, usize)> {
+    let mut r = ByteReader::new(buf);
+    let n_table = r.varint("huffman table size")? as usize;
+    if n_table == 0 {
+        let n_values = r.varint("huffman value count")?;
+        let n_bits = r.varint("huffman bit length")?;
+        if n_values != 0 || n_bits != 0 {
+            return Err(CodecError::Corrupt { context: "empty huffman block" });
+        }
+        return Ok((Vec::new(), r.position()));
+    }
+    if n_table > 1 << 28 {
+        return Err(CodecError::Corrupt { context: "huffman table size" });
+    }
+
+    let mut table = Vec::with_capacity(n_table);
+    let mut sym = 0u32;
+    for i in 0..n_table {
+        let delta = r.varint("huffman table symbol")?;
+        if i > 0 && delta == 0 {
+            // Symbols are strictly increasing after the first entry.
+            return Err(CodecError::Corrupt { context: "huffman duplicate symbol" });
+        }
+        sym = sym
+            .checked_add(u32::try_from(delta).map_err(|_| CodecError::Corrupt {
+                context: "huffman symbol delta",
+            })?)
+            .ok_or(CodecError::Corrupt { context: "huffman symbol overflow" })?;
+        let len = r.u8("huffman code length")?;
+        if len == 0 || len > MAX_CODE_LEN {
+            return Err(CodecError::Corrupt { context: "huffman code length" });
+        }
+        table.push((sym, len));
+    }
+
+    let decoder = Decoder::new(&table)?;
+    let n_values = r.varint("huffman value count")? as usize;
+    let n_bits = r.varint("huffman bit length")?;
+    let n_bytes = n_bits.div_ceil(8) as usize;
+    let payload = r.take(n_bytes, "huffman payload")?;
+    let consumed = r.position();
+
+    let mut bits = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        out.push(decoder.decode_one(&mut bits)?);
+    }
+    Ok((out, consumed))
+}
+
+/// Builds optimal (length-limited) code lengths from a frequency census.
+fn code_lengths(freq: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
+    // Single-symbol alphabets get a 1-bit code.
+    if freq.len() == 1 {
+        let (&s, _) = freq.iter().next().unwrap();
+        return vec![(s, 1)];
+    }
+    let mut scale = 0u32;
+    loop {
+        let lens = try_code_lengths(freq, scale);
+        if lens.iter().all(|&(_, l)| l <= MAX_CODE_LEN) {
+            return lens;
+        }
+        scale += 1; // halve frequencies and retry
+    }
+}
+
+fn try_code_lengths(freq: &HashMap<u32, u64>, scale: u32) -> Vec<(u32, u8)> {
+    #[derive(PartialEq, Eq)]
+    struct Node {
+        weight: u64,
+        // Tie-break on id for determinism.
+        id: u32,
+        kind: NodeKind,
+    }
+    #[derive(PartialEq, Eq)]
+    enum NodeKind {
+        Leaf(u32),
+        Internal(Box<Node>, Box<Node>),
+    }
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for min-heap.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then_with(|| other.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut heap: BinaryHeap<Node> = freq
+        .iter()
+        .map(|(&s, &f)| Node {
+            weight: (f >> scale).max(1),
+            id: s,
+            kind: NodeKind::Leaf(s),
+        })
+        .collect();
+    let mut next_id = u32::MAX;
+    while heap.len() > 1 {
+        let a = heap.pop().unwrap();
+        let b = heap.pop().unwrap();
+        next_id -= 1;
+        heap.push(Node {
+            weight: a.weight + b.weight,
+            id: next_id,
+            kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+        });
+    }
+    let root = heap.pop().unwrap();
+    let mut out = Vec::with_capacity(freq.len());
+    // Iterative DFS to avoid recursion depth limits on skewed trees.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((node, depth)) = stack.pop() {
+        match node.kind {
+            NodeKind::Leaf(s) => out.push((s, depth.max(1))),
+            NodeKind::Internal(a, b) => {
+                stack.push((*a, depth.saturating_add(1)));
+                stack.push((*b, depth.saturating_add(1)));
+            }
+        }
+    }
+    out
+}
+
+/// Assigns canonical codes (shorter codes first, ties by symbol value).
+fn canonical_codes(lengths: &[(u32, u8)]) -> HashMap<u32, (u64, u8)> {
+    let mut sorted: Vec<(u32, u8)> = lengths.to_vec();
+    sorted.sort_unstable_by_key(|&(s, l)| (l, s));
+    let mut map = HashMap::with_capacity(sorted.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &(sym, len) in &sorted {
+        code <<= len - prev_len;
+        map.insert(sym, (code, len));
+        code += 1;
+        prev_len = len;
+    }
+    map
+}
+
+/// Canonical decoder: per-length first-code/first-index tables.
+struct Decoder {
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+    /// For each length 1..=MAX: (first code, first index, count).
+    per_len: Vec<(u64, usize, usize)>,
+}
+
+impl Decoder {
+    fn new(table: &[(u32, u8)]) -> Result<Self> {
+        let mut sorted: Vec<(u32, u8)> = table.to_vec();
+        sorted.sort_unstable_by_key(|&(s, l)| (l, s));
+        let symbols: Vec<u32> = sorted.iter().map(|&(s, _)| s).collect();
+        let mut per_len = vec![(0u64, 0usize, 0usize); MAX_CODE_LEN as usize + 1];
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for (i, &(_, len)) in sorted.iter().enumerate() {
+            if len != prev_len {
+                code <<= len - prev_len;
+                per_len[len as usize] = (code, i, 0);
+                prev_len = len;
+            }
+            per_len[len as usize].2 += 1;
+            code += 1;
+            // Kraft violation ⇒ corrupt table.
+            if len < 64 && code > (1u64 << len) {
+                return Err(CodecError::Corrupt { context: "huffman kraft inequality" });
+            }
+        }
+        Ok(Self { symbols, per_len })
+    }
+
+    fn decode_one(&self, bits: &mut BitReader<'_>) -> Result<u32> {
+        let mut code = 0u64;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | u64::from(bits.get_bit("huffman payload")?);
+            let (first_code, first_idx, count) = self.per_len[len];
+            if count > 0 && code >= first_code && code < first_code + count as u64 {
+                return Ok(self.symbols[first_idx + (code - first_code) as usize]);
+            }
+        }
+        Err(CodecError::Corrupt { context: "huffman code" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(symbols: &[u32]) {
+        let enc = encode_block(symbols);
+        let (dec, used) = decode_block(&enc).unwrap();
+        assert_eq!(dec, symbols);
+        assert_eq!(used, enc.len());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_roundtrip() {
+        roundtrip(&[42]);
+        roundtrip(&vec![7u32; 1000]);
+    }
+
+    #[test]
+    fn two_symbol_roundtrip() {
+        let s: Vec<u32> = (0..500).map(|i| if i % 3 == 0 { 10 } else { 20 }).collect();
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrip_and_compresses() {
+        // Geometric-ish distribution like quantization codes around the
+        // zero bin.
+        let mut s = Vec::new();
+        for i in 0..20_000u32 {
+            let v = match i % 100 {
+                0..=69 => 512,      // dominant bin
+                70..=89 => 511,
+                90..=97 => 513,
+                _ => 500 + (i % 7), // rare tail
+            };
+            s.push(v);
+        }
+        let enc = encode_block(&s);
+        // Entropy ≈ 1.2 bits/symbol; raw is 32 bits.
+        assert!(enc.len() < s.len() / 2, "encoded {} bytes", enc.len());
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn wide_alphabet_roundtrip() {
+        let s: Vec<u32> = (0..4096u64)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 20) & 0xfff) as u32)
+            .collect();
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn large_symbol_values() {
+        roundtrip(&[u32::MAX, 0, u32::MAX - 1, 5, u32::MAX]);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let mut freq = HashMap::new();
+        for (i, f) in [50u64, 30, 10, 5, 3, 1, 1].iter().enumerate() {
+            freq.insert(i as u32, *f);
+        }
+        let lens = code_lengths(&freq);
+        let codes = canonical_codes(&lens);
+        let entries: Vec<(u64, u8)> = codes.values().copied().collect();
+        for (i, &(c1, l1)) in entries.iter().enumerate() {
+            for &(c2, l2) in entries.iter().skip(i + 1) {
+                let (short, slen, long, llen) = if l1 <= l2 {
+                    (c1, l1, c2, l2)
+                } else {
+                    (c2, l2, c1, l1)
+                };
+                assert!(
+                    long >> (llen - slen) != short,
+                    "code {short:b}/{slen} is a prefix of {long:b}/{llen}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_detected() {
+        let enc = encode_block(&[1, 2, 3, 1, 2, 1, 1]);
+        for cut in 0..enc.len() {
+            let r = decode_block(&enc[..cut]);
+            assert!(r.is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn kraft_violation_rejected() {
+        // Hand-build a table claiming two symbols with 1-bit codes plus
+        // one more: 3 × len-1 violates Kraft.
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 3);
+        for (d, l) in [(0u64, 1u8), (1, 1), (1, 1)] {
+            put_varint(&mut buf, d);
+            buf.push(l);
+        }
+        put_varint(&mut buf, 1); // one value
+        put_varint(&mut buf, 1); // one bit
+        buf.push(0);
+        assert!(decode_block(&buf).is_err());
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let s: Vec<u32> = (0..1000u32).map(|i| i % 17).collect();
+        assert_eq!(encode_block(&s), encode_block(&s));
+    }
+}

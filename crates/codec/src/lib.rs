@@ -1,0 +1,46 @@
+//! # eblcio-codec
+//!
+//! From-scratch Rust implementations of the five error-bounded lossy
+//! compressors (EBLC) the paper characterizes — SZ2, SZ3, ZFP, QoZ, SZx —
+//! plus the four lossless baselines of its Figure 1, and the shared
+//! machinery they are built from:
+//!
+//! * [`bitstream`] — MSB-first bit-level I/O,
+//! * [`huffman`] — canonical Huffman coding of quantization codes,
+//! * [`lz`] — an LZ77+Huffman lossless backend (the "Zstd stage" of
+//!   SZ-family pipelines),
+//! * [`quantizer`] — error-controlled linear quantization,
+//! * [`predict`] — Lorenzo and block linear-regression predictors (SZ2),
+//! * [`interp`] — multi-level spline interpolation predictors (SZ3/QoZ),
+//! * [`transform`] — the ZFP block decorrelating transform + embedded
+//!   bitplane coder,
+//! * [`codecs`] — the five EBLC pipelines behind one [`Compressor`] trait,
+//! * [`lossless`] — zstd/blosc/fpzip/FPC-style lossless baselines,
+//! * [`parallel`] — the "OpenMP mode": thread-chunked compression used
+//!   for the paper's strong-scaling study (Fig. 10).
+//!
+//! Every codec guarantees the paper's Eq. 1 value-range relative error
+//! bound, enforced by construction and verified by property tests.
+
+pub mod bitstream;
+pub mod codecs;
+pub mod error;
+pub mod estimate;
+pub mod header;
+pub mod huffman;
+pub mod interp;
+pub mod lossless;
+pub mod lz;
+pub mod parallel;
+pub mod predict;
+pub mod quantizer;
+pub mod traits;
+pub mod transform;
+pub mod util;
+
+pub use codecs::{qoz::Qoz, sz2::Sz2, sz3::Sz3, szx::Szx, zfp::Zfp};
+pub use error::{CodecError, Result};
+pub use parallel::{compress_parallel, decompress_parallel};
+pub use traits::{
+    compress, compress_dataset, decompress, decompress_any, Compressor, CompressorId, ErrorBound,
+};

@@ -1,0 +1,268 @@
+//! "OpenMP mode": thread-parallel block compression (paper §IV-C,
+//! Fig. 10).
+//!
+//! The paper's strong-scaling study runs each compressor's OpenMP build
+//! at 1–64 threads over a fixed problem. The OpenMP SZ/SZx designs split
+//! the field into per-thread slabs, compress each independently, and
+//! concatenate the pieces; we reproduce exactly that structure on a
+//! dedicated rayon pool of the requested width.
+//!
+//! The relative error bound is resolved against the *global* value range
+//! before splitting, so parallel output obeys the same ε contract as
+//! serial output.
+
+use crate::error::{CodecError, Result};
+use crate::traits::{compress, decompress, Compressor, ErrorBound};
+use crate::util::{put_varint, ByteReader};
+use eblcio_data::{Element, NdArray, Shape};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Magic for the parallel multi-chunk container.
+const PAR_MAGIC: &[u8; 4] = b"EBLP";
+
+/// Reuses one rayon pool per thread count across calls — pool spin-up
+/// would otherwise dominate small-problem strong-scaling measurements.
+fn pool_for(threads: usize) -> Result<Arc<rayon::ThreadPool>> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = pools.lock().expect("pool registry");
+    if let Some(p) = guard.get(&threads) {
+        return Ok(p.clone());
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|_| CodecError::Corrupt { context: "thread pool" })?;
+    let pool = Arc::new(pool);
+    guard.insert(threads, pool.clone());
+    Ok(pool)
+}
+
+/// Splits `shape` into at most `n` contiguous slabs along dimension 0,
+/// returning `(start_row, rows)` pairs.
+pub fn slab_partition(shape: Shape, n: usize) -> Vec<(usize, usize)> {
+    let d0 = shape.dim(0);
+    let n = n.clamp(1, d0);
+    let base = d0 / n;
+    let extra = d0 % n;
+    let mut out = Vec::with_capacity(n);
+    let mut row = 0;
+    for i in 0..n {
+        let rows = base + usize::from(i < extra);
+        out.push((row, rows));
+        row += rows;
+    }
+    out
+}
+
+fn slab_shape(shape: Shape, rows: usize) -> Shape {
+    let mut dims = [0usize; 4];
+    dims[..shape.rank()].copy_from_slice(shape.dims());
+    dims[0] = rows;
+    Shape::new(&dims[..shape.rank()])
+}
+
+/// Compresses `data` with `threads` worker threads, emitting a
+/// self-describing multi-chunk stream.
+pub fn compress_parallel<T: Element>(
+    codec: &dyn Compressor,
+    data: &NdArray<T>,
+    bound: ErrorBound,
+    threads: usize,
+) -> Result<Vec<u8>> {
+    assert!(threads >= 1, "thread count must be >= 1");
+    let shape = data.shape();
+    // Resolve ε against the global range so slab-local compression keeps
+    // the whole-array contract.
+    let abs = bound.to_absolute(data.value_range())?;
+    let slabs = slab_partition(shape, threads);
+    let row_elems: usize = shape.len() / shape.dim(0);
+
+    let pool = pool_for(threads)?;
+    let chunks: Vec<Result<Vec<u8>>> = pool.install(|| {
+        slabs
+            .par_iter()
+            .map(|&(start, rows)| {
+                let sub = NdArray::from_vec(
+                    slab_shape(shape, rows),
+                    data.as_slice()[start * row_elems..(start + rows) * row_elems].to_vec(),
+                );
+                compress(codec, &sub, ErrorBound::Absolute(abs))
+            })
+            .collect()
+    });
+
+    let mut out = Vec::new();
+    out.extend_from_slice(PAR_MAGIC);
+    out.push(codec.id() as u8);
+    out.push(crate::header::Header::dtype_of::<T>());
+    out.push(shape.rank() as u8);
+    for &d in shape.dims() {
+        put_varint(&mut out, d as u64);
+    }
+    out.extend_from_slice(&abs.to_bits().to_le_bytes());
+    put_varint(&mut out, chunks.len() as u64);
+    for c in chunks {
+        let c = c?;
+        put_varint(&mut out, c.len() as u64);
+        out.extend_from_slice(&c);
+    }
+    Ok(out)
+}
+
+/// Decompresses a [`compress_parallel`] stream with `threads` workers.
+pub fn decompress_parallel<T: Element>(
+    codec: &dyn Compressor,
+    stream: &[u8],
+    threads: usize,
+) -> Result<NdArray<T>> {
+    assert!(threads >= 1, "thread count must be >= 1");
+    let mut r = ByteReader::new(stream);
+    if r.take(4, "parallel magic")? != PAR_MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let codec_id = crate::traits::CompressorId::from_u8(r.u8("parallel codec")?)?;
+    if codec_id != codec.id() {
+        return Err(CodecError::UnknownCodec(codec_id as u8));
+    }
+    let dtype = r.u8("parallel dtype")?;
+    if dtype != crate::header::Header::dtype_of::<T>() {
+        return Err(CodecError::DtypeMismatch {
+            expected: if dtype == 0 { "f32" } else { "f64" },
+            got: T::NAME,
+        });
+    }
+    let rank = r.u8("parallel rank")? as usize;
+    if rank == 0 || rank > 4 {
+        return Err(CodecError::Corrupt { context: "parallel rank" });
+    }
+    let mut dims = [0usize; 4];
+    for d in dims.iter_mut().take(rank) {
+        *d = r.varint("parallel dimension")? as usize;
+        if *d == 0 {
+            return Err(CodecError::Corrupt { context: "parallel dimension" });
+        }
+    }
+    let shape = Shape::new(&dims[..rank]);
+    let _abs = r.f64("parallel abs bound")?;
+    let n_chunks = r.varint("parallel chunk count")? as usize;
+    if n_chunks == 0 || n_chunks > shape.dim(0) {
+        return Err(CodecError::Corrupt { context: "parallel chunk count" });
+    }
+    let mut chunk_slices = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let len = r.varint("parallel chunk length")? as usize;
+        chunk_slices.push(r.take(len, "parallel chunk")?);
+    }
+    if r.remaining() != 0 {
+        return Err(CodecError::Corrupt { context: "parallel trailer" });
+    }
+
+    let pool = pool_for(threads)?;
+    let parts: Vec<Result<NdArray<T>>> = pool.install(|| {
+        chunk_slices
+            .par_iter()
+            .map(|c| decompress::<T>(codec, c))
+            .collect()
+    });
+
+    let mut out: Vec<T> = Vec::with_capacity(shape.len());
+    let mut rows = 0usize;
+    for p in parts {
+        let p = p?;
+        if p.shape().rank() != rank || p.shape().dims()[1..] != shape.dims()[1..] {
+            return Err(CodecError::Corrupt { context: "parallel chunk shape" });
+        }
+        rows += p.shape().dim(0);
+        out.extend_from_slice(p.as_slice());
+    }
+    if rows != shape.dim(0) || out.len() != shape.len() {
+        return Err(CodecError::Corrupt { context: "parallel row total" });
+    }
+    Ok(NdArray::from_vec(shape, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codecs::sz3::Sz3;
+    use crate::codecs::szx::Szx;
+    use eblcio_data::max_rel_error;
+
+    fn field() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d3(32, 16, 16), |i| {
+            ((i[0] as f32) * 0.3).sin() * 20.0 + (i[1] as f32) - (i[2] as f32) * 0.5
+        })
+    }
+
+    #[test]
+    fn partition_covers_rows() {
+        for (d0, n) in [(10, 3), (64, 8), (5, 8), (1, 4), (7, 7)] {
+            let parts = slab_partition(Shape::d2(d0, 3), n);
+            assert_eq!(parts.iter().map(|&(_, r)| r).sum::<usize>(), d0);
+            assert!(parts.iter().all(|&(_, r)| r > 0));
+            let mut row = 0;
+            for &(start, rows) in &parts {
+                assert_eq!(start, row);
+                row += rows;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_roundtrip_matches_bound() {
+        let data = field();
+        let codec = Sz3::default();
+        for threads in [1, 2, 4, 8] {
+            let stream =
+                compress_parallel(&codec, &data, ErrorBound::Relative(1e-3), threads).unwrap();
+            let back = decompress_parallel::<f32>(&codec, &stream, threads).unwrap();
+            assert_eq!(back.shape(), data.shape());
+            assert!(
+                max_rel_error(&data, &back) <= 1e-3 * 1.0000001,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bound_semantics() {
+        // ε is resolved on the global range: a slab with a narrow local
+        // range must not get a tighter/looser effective bound.
+        let data = field();
+        let codec = Szx::default();
+        let serial = compress_parallel(&codec, &data, ErrorBound::Relative(1e-3), 1).unwrap();
+        let parallel = compress_parallel(&codec, &data, ErrorBound::Relative(1e-3), 4).unwrap();
+        let a = decompress_parallel::<f32>(&codec, &serial, 1).unwrap();
+        let b = decompress_parallel::<f32>(&codec, &parallel, 4).unwrap();
+        assert!(max_rel_error(&data, &a) <= 1e-3 * 1.0000001);
+        assert!(max_rel_error(&data, &b) <= 1e-3 * 1.0000001);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let data = NdArray::<f32>::from_fn(Shape::d2(3, 100), |i| (i[0] * 100 + i[1]) as f32);
+        let codec = Szx::default();
+        let stream = compress_parallel(&codec, &data, ErrorBound::Relative(1e-2), 16).unwrap();
+        let back = decompress_parallel::<f32>(&codec, &stream, 16).unwrap();
+        assert!(max_rel_error(&data, &back) <= 1e-2 * 1.0000001);
+    }
+
+    #[test]
+    fn wrong_codec_rejected() {
+        let data = field();
+        let stream = compress_parallel(&Sz3::default(), &data, ErrorBound::Relative(1e-2), 2).unwrap();
+        assert!(decompress_parallel::<f32>(&Szx::default(), &stream, 2).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let data = field();
+        let stream = compress_parallel(&Sz3::default(), &data, ErrorBound::Relative(1e-2), 2).unwrap();
+        for cut in [3, 20, stream.len() / 2, stream.len() - 1] {
+            assert!(decompress_parallel::<f32>(&Sz3::default(), &stream[..cut], 2).is_err());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Spatial predictors: the Lorenzo predictor and SZ2's block linear
+//! regression.
+//!
+//! Both operate on the *reconstructed* field (the values the decoder will
+//! have), which is what lets prediction + error-controlled quantization
+//! guarantee the point-wise bound end to end.
+
+use eblcio_data::Shape;
+
+/// Lorenzo prediction of order 1 at multi-index `idx`, reading previously
+/// reconstructed values from the flat `recon` buffer.
+///
+/// The d-dimensional Lorenzo predictor estimates a sample from its
+/// "lower corner" neighbours: `Σ_{∅≠S⊆dims} (−1)^{|S|+1} · v(idx − 1_S)`.
+/// Missing (out-of-bounds) neighbours contribute 0, so the very first
+/// sample is predicted as 0 — its large residual is absorbed by the
+/// outlier path.
+#[inline]
+pub fn lorenzo(recon: &[f64], shape: Shape, idx: &[usize]) -> f64 {
+    let rank = shape.rank();
+    let strides = shape.strides();
+    let base: usize = idx
+        .iter()
+        .zip(&strides[..rank])
+        .map(|(&c, &s)| c * s)
+        .sum();
+    let mut pred = 0.0;
+    // Subsets of dims as bitmasks.
+    'subset: for mask in 1u32..(1 << rank) {
+        let mut off = base;
+        for (d, stride) in strides[..rank].iter().enumerate() {
+            if mask >> d & 1 == 1 {
+                if idx[d] == 0 {
+                    continue 'subset; // neighbour out of bounds
+                }
+                off -= stride;
+            }
+        }
+        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        pred += sign * recon[off];
+    }
+    pred
+}
+
+/// Least-squares fit of an affine function `v ≈ c₀ + Σ cᵢ·xᵢ` over a
+/// dense block of raw samples (SZ2's regression predictor).
+///
+/// `values` is the row-major block content, `dims` its per-axis extents
+/// (rank = `dims.len()` ≤ 4). Because the sample coordinates form a full
+/// grid, the normal equations decouple per axis, giving a closed form.
+pub fn fit_affine(values: &[f64], dims: &[usize]) -> AffineCoef {
+    let rank = dims.len();
+    debug_assert_eq!(values.len(), dims.iter().product::<usize>());
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+
+    let mut coef = [0.0f64; 4];
+    let block_shape = Shape::new(dims);
+    for d in 0..rank {
+        let m = dims[d];
+        if m < 2 {
+            continue;
+        }
+        let xbar = (m - 1) as f64 / 2.0;
+        // Σ (x − x̄)² over the whole block = (other dims product) · Σ_x (x−x̄)².
+        let sxx_axis: f64 = (0..m).map(|x| (x as f64 - xbar).powi(2)).sum();
+        let others = (values.len() / m) as f64;
+        let sxx = sxx_axis * others;
+        let mut sxy = 0.0;
+        for (off, &v) in values.iter().enumerate() {
+            let x = block_shape.unoffset(off)[d] as f64;
+            sxy += (x - xbar) * (v - mean);
+        }
+        coef[d] = sxy / sxx;
+    }
+    let mut c0 = mean;
+    for d in 0..rank {
+        if dims[d] >= 2 {
+            c0 -= coef[d] * (dims[d] - 1) as f64 / 2.0;
+        }
+    }
+    AffineCoef { c0, c: coef }
+}
+
+/// Coefficients of the affine block predictor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AffineCoef {
+    /// Intercept.
+    pub c0: f64,
+    /// Per-axis slopes (unused axes are 0).
+    pub c: [f64; 4],
+}
+
+impl AffineCoef {
+    /// Evaluates the predictor at block-local coordinates.
+    #[inline]
+    pub fn eval(&self, idx: &[usize]) -> f64 {
+        let mut v = self.c0;
+        for (d, &x) in idx.iter().enumerate() {
+            v += self.c[d] * x as f64;
+        }
+        v
+    }
+
+    /// Serializes to `f32` per coefficient (SZ2 stores regression
+    /// coefficients at reduced precision — prediction quality only).
+    pub fn to_f32_bytes(&self, rank: usize, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.c0 as f32).to_le_bytes());
+        for d in 0..rank {
+            out.extend_from_slice(&(self.c[d] as f32).to_le_bytes());
+        }
+    }
+
+    /// Inverse of [`Self::to_f32_bytes`]; returns `None` on truncation.
+    pub fn from_f32_bytes(rank: usize, bytes: &[u8]) -> Option<(Self, usize)> {
+        let need = 4 * (rank + 1);
+        if bytes.len() < need {
+            return None;
+        }
+        let mut c = [0.0f64; 4];
+        let c0 = f32::from_le_bytes(bytes[0..4].try_into().ok()?) as f64;
+        for (d, slot) in c.iter_mut().take(rank).enumerate() {
+            let s = 4 + 4 * d;
+            *slot = f32::from_le_bytes(bytes[s..s + 4].try_into().ok()?) as f64;
+        }
+        Some((Self { c0, c }, need))
+    }
+
+    /// The round-trip the encoder must apply before predicting with the
+    /// coefficients (the decoder only sees the `f32` versions).
+    pub fn quantized(&self, rank: usize) -> Self {
+        let mut c = [0.0f64; 4];
+        for d in 0..rank {
+            c[d] = self.c[d] as f32 as f64;
+        }
+        Self {
+            c0: self.c0 as f32 as f64,
+            c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lorenzo_1d_is_previous_value() {
+        let shape = Shape::d1(5);
+        let recon = [1.0, 2.0, 4.0, 8.0, 0.0];
+        assert_eq!(lorenzo(&recon, shape, &[0]), 0.0);
+        assert_eq!(lorenzo(&recon, shape, &[3]), 4.0);
+    }
+
+    #[test]
+    fn lorenzo_2d_parallelogram_rule() {
+        // pred(i,j) = v(i-1,j) + v(i,j-1) - v(i-1,j-1).
+        let shape = Shape::d2(2, 2);
+        let recon = [1.0, 2.0, 3.0, 0.0];
+        assert_eq!(lorenzo(&recon, shape, &[1, 1]), 2.0 + 3.0 - 1.0);
+        assert_eq!(lorenzo(&recon, shape, &[0, 1]), 1.0);
+        assert_eq!(lorenzo(&recon, shape, &[1, 0]), 1.0);
+    }
+
+    #[test]
+    fn lorenzo_exact_on_affine_fields_2d() {
+        // Order-1 Lorenzo reproduces affine fields exactly (away from the
+        // boundary).
+        let shape = Shape::d2(6, 7);
+        let f = |i: usize, j: usize| 2.0 + 3.0 * i as f64 - 1.5 * j as f64;
+        let mut recon = vec![0.0; shape.len()];
+        for i in 0..6 {
+            for j in 0..7 {
+                recon[shape.offset(&[i, j])] = f(i, j);
+            }
+        }
+        for i in 1..6 {
+            for j in 1..7 {
+                let p = lorenzo(&recon, shape, &[i, j]);
+                assert!((p - f(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo_exact_on_affine_fields_3d_4d() {
+        let shape3 = Shape::d3(4, 4, 4);
+        let mut recon = vec![0.0; shape3.len()];
+        for off in 0..shape3.len() {
+            let ix = shape3.unoffset(off);
+            recon[off] = 1.0 + ix[0] as f64 - 2.0 * ix[1] as f64 + 0.5 * ix[2] as f64;
+        }
+        let p = lorenzo(&recon, shape3, &[2, 3, 1]);
+        assert!((p - (1.0 + 2.0 - 6.0 + 0.5)).abs() < 1e-12);
+
+        let shape4 = Shape::d4(3, 3, 3, 3);
+        let mut recon4 = vec![0.0; shape4.len()];
+        for off in 0..shape4.len() {
+            let ix = shape4.unoffset(off);
+            recon4[off] = ix.iter().take(4).sum::<usize>() as f64;
+        }
+        let p = lorenzo(&recon4, shape4, &[1, 2, 1, 2]);
+        assert!((p - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_fit_recovers_exact_plane() {
+        let dims = [4usize, 5, 6];
+        let shape = Shape::new(&dims);
+        let mut vals = vec![0.0; shape.len()];
+        for off in 0..shape.len() {
+            let ix = shape.unoffset(off);
+            vals[off] = 7.0 + 0.25 * ix[0] as f64 - 3.0 * ix[1] as f64 + 1.5 * ix[2] as f64;
+        }
+        let c = fit_affine(&vals, &dims);
+        assert!((c.c0 - 7.0).abs() < 1e-9);
+        assert!((c.c[0] - 0.25).abs() < 1e-9);
+        assert!((c.c[1] + 3.0).abs() < 1e-9);
+        assert!((c.c[2] - 1.5).abs() < 1e-9);
+        // And evaluation reproduces the field.
+        for off in 0..shape.len() {
+            let ix = shape.unoffset(off);
+            assert!((c.eval(&ix[..3]) - vals[off]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn affine_fit_handles_singleton_dims() {
+        let dims = [1usize, 4];
+        let vals = [0.0, 1.0, 2.0, 3.0];
+        let c = fit_affine(&vals, &dims);
+        assert_eq!(c.c[0], 0.0);
+        assert!((c.c[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coef_serialization_roundtrip() {
+        let c = AffineCoef {
+            c0: 1.25,
+            c: [0.5, -0.125, 3.0, 0.0],
+        };
+        let mut buf = Vec::new();
+        c.to_f32_bytes(3, &mut buf);
+        assert_eq!(buf.len(), 16);
+        let (d, used) = AffineCoef::from_f32_bytes(3, &buf).unwrap();
+        assert_eq!(used, 16);
+        assert_eq!(d, c.quantized(3));
+        assert!(AffineCoef::from_f32_bytes(3, &buf[..10]).is_none());
+    }
+}

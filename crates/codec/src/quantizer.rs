@@ -1,0 +1,184 @@
+//! Error-controlled linear quantization (the SZ-family core primitive).
+//!
+//! Given a prediction `p` for a sample `v` and an absolute error bound
+//! `e`, the residual is mapped to an integer code
+//! `q = round((v − p) / (2e))`; reconstruction `p + 2e·q` then differs
+//! from `v` by at most `e`. Codes are folded into a bounded unsigned
+//! alphabet centred on [`LinearQuantizer::radius`]; residuals outside the
+//! representable range become *outliers* stored losslessly, exactly like
+//! SZ's "unpredictable data" path.
+
+/// Code emitted for one sample: a bin index or an outlier marker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantized {
+    /// In-range residual: the unsigned code (0 is reserved for outliers;
+    /// in-range codes are `1..=2·radius`; `radius` means zero residual
+    /// after the +1 shift... see [`LinearQuantizer::quantize`]).
+    Code(u32),
+    /// Residual too large for the code range — store the value verbatim.
+    Outlier,
+}
+
+/// Linear quantizer with a fixed absolute bound and code radius.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearQuantizer {
+    abs_bound: f64,
+    inv_step: f64,
+    step: f64,
+    radius: i64,
+}
+
+impl LinearQuantizer {
+    /// Creates a quantizer.
+    ///
+    /// * `abs_bound` — maximum allowed reconstruction error (> 0).
+    /// * `radius` — half-width of the code alphabet (SZ default 32768).
+    ///
+    /// # Panics
+    /// Panics if `abs_bound` is not finite-positive or radius < 1.
+    pub fn new(abs_bound: f64, radius: u32) -> Self {
+        assert!(
+            abs_bound.is_finite() && abs_bound > 0.0,
+            "abs_bound must be finite positive, got {abs_bound}"
+        );
+        assert!(radius >= 1, "radius must be >= 1");
+        let step = 2.0 * abs_bound;
+        Self {
+            abs_bound,
+            step,
+            inv_step: 1.0 / step,
+            radius: i64::from(radius),
+        }
+    }
+
+    /// The absolute error bound.
+    #[inline]
+    pub fn abs_bound(&self) -> f64 {
+        self.abs_bound
+    }
+
+    /// The code alphabet size (`2·radius + 1`, plus code 0 for outliers).
+    #[inline]
+    pub fn alphabet(&self) -> u32 {
+        (2 * self.radius + 1) as u32
+    }
+
+    /// The code representing a zero residual (`radius + 1` — dominant in
+    /// smooth data, which is what makes Huffman effective downstream).
+    #[inline]
+    pub fn zero_code(&self) -> u32 {
+        (self.radius + 1) as u32
+    }
+
+    /// Quantizes sample `v` against prediction `p`.
+    ///
+    /// Returns the code and, via `recon`, the value the decoder will see
+    /// (callers must continue predicting from `recon`, not `v`).
+    #[inline]
+    pub fn quantize(&self, v: f64, p: f64) -> (Quantized, f64) {
+        let diff = v - p;
+        let q = (diff * self.inv_step).round();
+        if !q.is_finite() || q.abs() > self.radius as f64 {
+            return (Quantized::Outlier, v);
+        }
+        let qi = q as i64;
+        let recon = p + q * self.step;
+        // Guard against catastrophic cancellation: verify the bound holds
+        // in floating point, not just algebraically.
+        if (recon - v).abs() > self.abs_bound {
+            return (Quantized::Outlier, v);
+        }
+        (Quantized::Code((qi + self.radius + 1) as u32), recon)
+    }
+
+    /// Reconstructs a sample from its code and the decoder's prediction.
+    ///
+    /// Code 0 (outlier) must be handled by the caller; this method expects
+    /// an in-range code.
+    #[inline]
+    pub fn reconstruct(&self, code: u32, p: f64) -> f64 {
+        debug_assert!(code != 0, "outlier code passed to reconstruct");
+        let qi = i64::from(code) - self.radius - 1;
+        p + qi as f64 * self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_residual_gets_zero_code() {
+        let q = LinearQuantizer::new(0.1, 8);
+        let (code, recon) = q.quantize(5.0, 5.0);
+        assert_eq!(code, Quantized::Code(q.zero_code()));
+        assert_eq!(recon, 5.0);
+    }
+
+    #[test]
+    fn reconstruction_respects_bound() {
+        let q = LinearQuantizer::new(0.05, 32768);
+        for i in 0..10_000 {
+            let v = (i as f64) * 0.013 - 60.0;
+            let p = v + ((i * 7) % 100) as f64 * 0.02 - 1.0;
+            match q.quantize(v, p) {
+                (Quantized::Code(c), recon) => {
+                    assert!((recon - v).abs() <= 0.05 + 1e-12, "v={v} p={p}");
+                    assert_eq!(q.reconstruct(c, p), recon);
+                }
+                (Quantized::Outlier, recon) => assert_eq!(recon, v),
+            }
+        }
+    }
+
+    #[test]
+    fn far_residuals_are_outliers() {
+        let q = LinearQuantizer::new(0.01, 4);
+        // |diff| = 1.0, step = 0.02, q = 50 > radius 4.
+        assert_eq!(q.quantize(1.0, 0.0).0, Quantized::Outlier);
+    }
+
+    #[test]
+    fn nan_prediction_is_outlier() {
+        let q = LinearQuantizer::new(0.01, 8);
+        assert_eq!(q.quantize(1.0, f64::NAN).0, Quantized::Outlier);
+        assert_eq!(q.quantize(1.0, f64::INFINITY).0, Quantized::Outlier);
+    }
+
+    #[test]
+    fn encoder_decoder_agree() {
+        let q = LinearQuantizer::new(0.5, 100);
+        let p = 10.0;
+        for v in [9.0, 10.0, 11.0, 10.49, 9.51, 60.0, -40.0] {
+            if let (Quantized::Code(c), recon) = q.quantize(v, p) {
+                assert_eq!(q.reconstruct(c, p), recon);
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_in_alphabet() {
+        let q = LinearQuantizer::new(0.1, 16);
+        for i in -20..=20 {
+            let v = i as f64 * 0.2;
+            if let (Quantized::Code(c), _) = q.quantize(v, 0.0) {
+                assert!(c >= 1 && c < q.alphabet() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_bound_tiny_values() {
+        let q = LinearQuantizer::new(1e30, 8);
+        let (code, recon) = q.quantize(1.0, 0.0);
+        assert_eq!(code, Quantized::Code(q.zero_code()));
+        // recon = 0, error 1.0 <= 1e30.
+        assert_eq!(recon, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bound_rejected() {
+        let _ = LinearQuantizer::new(0.0, 8);
+    }
+}

@@ -1,0 +1,251 @@
+//! The [`Compressor`] abstraction: one trait in front of the five EBLC
+//! pipelines, mirroring how the paper drives SZ2/SZ3/ZFP/QoZ/SZx through
+//! LibPressio's uniform API.
+
+use crate::error::{CodecError, Result};
+use crate::header;
+use eblcio_data::{Dataset, Element, NdArray};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one of the five EBLCs characterized by the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum CompressorId {
+    /// SZ2: block Lorenzo + regression prediction (Liang et al. 2018).
+    Sz2 = 1,
+    /// SZ3: multi-level spline interpolation (Liang et al. 2023).
+    Sz3 = 2,
+    /// ZFP: block-transform coding (Lindstrom 2014).
+    Zfp = 3,
+    /// QoZ: quality-oriented SZ3 derivative (Liu et al. SC'22).
+    Qoz = 4,
+    /// SZx: ultra-fast block coding (Yu et al. HPDC'22).
+    Szx = 5,
+}
+
+impl CompressorId {
+    /// All five, in the paper's legend order.
+    pub const ALL: [CompressorId; 5] = [
+        CompressorId::Sz2,
+        CompressorId::Sz3,
+        CompressorId::Zfp,
+        CompressorId::Qoz,
+        CompressorId::Szx,
+    ];
+
+    /// Parses the stream-header codec byte.
+    pub fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            1 => Ok(CompressorId::Sz2),
+            2 => Ok(CompressorId::Sz3),
+            3 => Ok(CompressorId::Zfp),
+            4 => Ok(CompressorId::Qoz),
+            5 => Ok(CompressorId::Szx),
+            other => Err(CodecError::UnknownCodec(other)),
+        }
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressorId::Sz2 => "SZ2",
+            CompressorId::Sz3 => "SZ3",
+            CompressorId::Zfp => "ZFP",
+            CompressorId::Qoz => "QoZ",
+            CompressorId::Szx => "SZx",
+        }
+    }
+
+    /// Instantiates the codec with default parameters.
+    pub fn instance(self) -> Box<dyn Compressor> {
+        match self {
+            CompressorId::Sz2 => Box::new(crate::codecs::sz2::Sz2::default()),
+            CompressorId::Sz3 => Box::new(crate::codecs::sz3::Sz3::default()),
+            CompressorId::Zfp => Box::new(crate::codecs::zfp::Zfp::default()),
+            CompressorId::Qoz => Box::new(crate::codecs::qoz::Qoz::default()),
+            CompressorId::Szx => Box::new(crate::codecs::szx::Szx::default()),
+        }
+    }
+}
+
+/// User-facing error-bound specification (paper §III).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ErrorBound {
+    /// Value-range relative bound ε: `|D−D̂| ≤ ε · (max D − min D)`.
+    /// This is the paper's Eq. 1 as adopted by the EBLC community.
+    Relative(f64),
+    /// Absolute bound: `|D−D̂| ≤ e`.
+    Absolute(f64),
+}
+
+impl ErrorBound {
+    /// Resolves the bound to an absolute tolerance for data with the
+    /// given value range.
+    ///
+    /// A zero range (constant data) yields a tiny positive tolerance so
+    /// the quantizer stays well-defined; reconstruction is then exact.
+    pub fn to_absolute(self, value_range: f64) -> Result<f64> {
+        let raw = match self {
+            ErrorBound::Relative(eps) => {
+                if !(eps.is_finite() && eps > 0.0 && eps <= 1.0) {
+                    return Err(CodecError::InvalidBound {
+                        reason: "relative bound must be in (0, 1]",
+                    });
+                }
+                eps * value_range
+            }
+            ErrorBound::Absolute(e) => {
+                if !(e.is_finite() && e > 0.0) {
+                    return Err(CodecError::InvalidBound {
+                        reason: "absolute bound must be finite positive",
+                    });
+                }
+                e
+            }
+        };
+        Ok(raw.max(f64::MIN_POSITIVE))
+    }
+}
+
+/// A lossy compressor with an error-bound guarantee.
+///
+/// Object-safe: the two element types get explicit methods (generic
+/// callers use [`compress`]/[`decompress`], which dispatch on `T`).
+pub trait Compressor: Send + Sync {
+    /// Which of the five compressors this is.
+    fn id(&self) -> CompressorId;
+
+    /// Display name (paper legend).
+    fn name(&self) -> &'static str {
+        self.id().name()
+    }
+
+    /// Compresses a single-precision array.
+    fn compress_f32(&self, data: &NdArray<f32>, bound: ErrorBound) -> Result<Vec<u8>>;
+    /// Compresses a double-precision array.
+    fn compress_f64(&self, data: &NdArray<f64>, bound: ErrorBound) -> Result<Vec<u8>>;
+    /// Decompresses a single-precision stream.
+    fn decompress_f32(&self, stream: &[u8]) -> Result<NdArray<f32>>;
+    /// Decompresses a double-precision stream.
+    fn decompress_f64(&self, stream: &[u8]) -> Result<NdArray<f64>>;
+}
+
+/// Generic compression entry point: dispatches on the element type.
+pub fn compress<T: Element>(
+    c: &dyn Compressor,
+    data: &NdArray<T>,
+    bound: ErrorBound,
+) -> Result<Vec<u8>> {
+    match T::BYTES {
+        4 => c.compress_f32(data_as_f32(data), bound),
+        8 => c.compress_f64(data_as_f64(data), bound),
+        _ => unreachable!(),
+    }
+}
+
+// The Element trait is sealed to f32/f64; these helpers perform the
+// type-identity casts without unsafe code by matching on BYTES and using
+// Any.
+fn data_as_f32<T: Element>(data: &NdArray<T>) -> &NdArray<f32> {
+    (data as &dyn std::any::Any)
+        .downcast_ref::<NdArray<f32>>()
+        .expect("T::BYTES == 4 implies T == f32")
+}
+
+fn data_as_f64<T: Element>(data: &NdArray<T>) -> &NdArray<f64> {
+    (data as &dyn std::any::Any)
+        .downcast_ref::<NdArray<f64>>()
+        .expect("T::BYTES == 8 implies T == f64")
+}
+
+/// Generic decompression entry point: dispatches on the element type.
+pub fn decompress<T: Element>(c: &dyn Compressor, stream: &[u8]) -> Result<NdArray<T>> {
+    match T::BYTES {
+        4 => {
+            let arr = c.decompress_f32(stream)?;
+            Ok((&arr as &dyn std::any::Any)
+                .downcast_ref::<NdArray<T>>()
+                .expect("T == f32")
+                .clone())
+        }
+        8 => {
+            let arr = c.decompress_f64(stream)?;
+            Ok((&arr as &dyn std::any::Any)
+                .downcast_ref::<NdArray<T>>()
+                .expect("T == f64")
+                .clone())
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Compresses either precision of a [`Dataset`].
+pub fn compress_dataset(
+    c: &dyn Compressor,
+    data: &Dataset,
+    bound: ErrorBound,
+) -> Result<Vec<u8>> {
+    match data {
+        Dataset::F32(a) => c.compress_f32(a, bound),
+        Dataset::F64(a) => c.compress_f64(a, bound),
+    }
+}
+
+/// Decompresses any EBLC stream into a [`Dataset`], dispatching on the
+/// header's codec id and dtype.
+pub fn decompress_any(stream: &[u8]) -> Result<Dataset> {
+    let (h, _) = header::read_stream(stream)?;
+    let codec = h.codec.instance();
+    if h.dtype == 0 {
+        Ok(Dataset::F32(codec.decompress_f32(stream)?))
+    } else {
+        Ok(Dataset::F64(codec.decompress_f64(stream)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        for id in CompressorId::ALL {
+            assert_eq!(CompressorId::from_u8(id as u8).unwrap(), id);
+        }
+        assert!(CompressorId::from_u8(0).is_err());
+        assert!(CompressorId::from_u8(99).is_err());
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        let names: Vec<&str> = CompressorId::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["SZ2", "SZ3", "ZFP", "QoZ", "SZx"]);
+    }
+
+    #[test]
+    fn relative_bound_resolution() {
+        let abs = ErrorBound::Relative(1e-3).to_absolute(100.0).unwrap();
+        assert!((abs - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn constant_data_bound_is_positive() {
+        let abs = ErrorBound::Relative(1e-3).to_absolute(0.0).unwrap();
+        assert!(abs > 0.0);
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert!(ErrorBound::Relative(0.0).to_absolute(1.0).is_err());
+        assert!(ErrorBound::Relative(-1.0).to_absolute(1.0).is_err());
+        assert!(ErrorBound::Relative(2.0).to_absolute(1.0).is_err());
+        assert!(ErrorBound::Relative(f64::NAN).to_absolute(1.0).is_err());
+        assert!(ErrorBound::Absolute(0.0).to_absolute(1.0).is_err());
+        assert!(ErrorBound::Absolute(f64::INFINITY).to_absolute(1.0).is_err());
+    }
+
+    #[test]
+    fn absolute_bound_passthrough() {
+        assert_eq!(ErrorBound::Absolute(0.5).to_absolute(123.0).unwrap(), 0.5);
+    }
+}

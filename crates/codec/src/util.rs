@@ -1,0 +1,194 @@
+//! Byte-level helpers shared by every codec: little-endian scalar I/O
+//! with truncation checking, LEB128 varints, zig-zag mapping, and CRC32.
+
+use crate::error::{CodecError, Result};
+
+/// Cursor over a byte slice with checked reads.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::TruncatedStream { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, context: &'static str) -> Result<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2, context)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, context)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian f64.
+    pub fn f64(&mut self, context: &'static str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a LEB128-encoded unsigned varint.
+    pub fn varint(&mut self, context: &'static str) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8(context)?;
+            if shift >= 64 || (shift == 63 && b > 1) {
+                return Err(CodecError::Corrupt { context });
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Appends a LEB128 varint to `out`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Zig-zag maps a signed value to unsigned (small magnitudes stay small).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial), used as the container checksum for
+/// corruption detection in failure-injection tests.
+pub fn crc32(data: &[u8]) -> u32 {
+    // Small 16-entry nibble table: compact and fast enough for headers
+    // and per-stream integrity checks.
+    const TABLE: [u32; 16] = [
+        0x0000_0000, 0x1db7_1064, 0x3b6e_20c8, 0x26d9_30ac, 0x76dc_4190, 0x6b6b_51f4,
+        0x4db2_6158, 0x5005_713c, 0xedb8_8320, 0xf00f_9344, 0xd6d6_a3e8, 0xcb61_b38c,
+        0x9b64_c2b0, 0x86d3_d2d4, 0xa00a_e278, 0xbdbd_f21c,
+    ];
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ u32::from(b)) & 0x0f) as usize] ^ (crc >> 4);
+        crc = TABLE[((crc ^ (u32::from(b) >> 4)) & 0x0f) as usize] ^ (crc >> 4);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_reads_scalars() {
+        let mut buf = Vec::new();
+        buf.push(7u8);
+        buf.extend_from_slice(&0x1234u16.to_le_bytes());
+        buf.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        buf.extend_from_slice(&42u64.to_le_bytes());
+        buf.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 0x1234);
+        assert_eq!(r.u32("c").unwrap(), 0xdead_beef);
+        assert_eq!(r.u64("d").unwrap(), 42);
+        assert_eq!(r.f64("e").unwrap(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_reports_truncation() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(
+            r.u32("field"),
+            Err(CodecError::TruncatedStream { context: "field" })
+        );
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let cases = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(r.varint("v").unwrap(), v, "value {v}");
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        // 11 continuation bytes cannot encode a u64.
+        let buf = [0xffu8; 11];
+        let mut r = ByteReader::new(&buf);
+        assert!(r.varint("v").is_err());
+    }
+
+    #[test]
+    fn zigzag_roundtrip_and_ordering() {
+        for v in [-1_000_000i64, -2, -1, 0, 1, 2, 1_000_000, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn crc32_detects_change() {
+        let a = crc32(b"hello world");
+        let b = crc32(b"hello worle");
+        assert_ne!(a, b);
+        assert_eq!(crc32(b"hello world"), a);
+        assert_eq!(crc32(b""), 0);
+    }
+}

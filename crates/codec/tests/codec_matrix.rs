@@ -1,0 +1,213 @@
+//! Cross-codec conformance matrix: every compressor must satisfy the
+//! same contracts across ranks, precisions, bound modes, and degenerate
+//! inputs.
+
+use eblcio_codec::{compress, decompress, CompressorId, ErrorBound};
+use eblcio_data::{max_abs_error, max_rel_error, Element, NdArray, Shape};
+
+fn field<T: Element>(shape: Shape, roughness: f64) -> NdArray<T> {
+    let mut x = 0x1234_5678_9abc_def0u64;
+    NdArray::from_fn(shape, |idx| {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let smooth: f64 = idx
+            .iter()
+            .enumerate()
+            .map(|(d, &i)| ((i as f64) * 0.21 / (d + 1) as f64).sin())
+            .sum();
+        let noise = (x % 1_000_000) as f64 / 1e6 - 0.5;
+        T::from_f64(10.0 * smooth + roughness * noise)
+    })
+}
+
+fn all_shapes() -> Vec<Shape> {
+    vec![
+        Shape::d1(1),
+        Shape::d1(2),
+        Shape::d1(257),
+        Shape::d2(1, 1),
+        Shape::d2(3, 127),
+        Shape::d2(16, 16),
+        Shape::d3(1, 1, 1),
+        Shape::d3(7, 11, 13),
+        Shape::d4(2, 3, 4, 5),
+        Shape::d4(6, 6, 6, 6),
+    ]
+}
+
+#[test]
+fn relative_bound_matrix_f32() {
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        for shape in all_shapes() {
+            let data = field::<f32>(shape, 1.0);
+            for eps in [1e-2, 1e-4] {
+                let stream = compress(codec.as_ref(), &data, ErrorBound::Relative(eps))
+                    .unwrap_or_else(|e| panic!("{} {shape}: {e}", id.name()));
+                let back: NdArray<f32> = decompress(codec.as_ref(), &stream).unwrap();
+                assert_eq!(back.shape(), shape);
+                let err = max_rel_error(&data, &back);
+                assert!(
+                    err <= eps * 1.0000001,
+                    "{} {shape} eps {eps}: {err}",
+                    id.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn relative_bound_matrix_f64() {
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        for shape in [Shape::d1(300), Shape::d2(17, 19), Shape::d3(9, 9, 9)] {
+            let data = field::<f64>(shape, 2.0);
+            let stream = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-6)).unwrap();
+            let back: NdArray<f64> = decompress(codec.as_ref(), &stream).unwrap();
+            let err = max_rel_error(&data, &back);
+            assert!(err <= 1e-6 * 1.0000001, "{} {shape}: {err}", id.name());
+        }
+    }
+}
+
+#[test]
+fn absolute_bound_matrix() {
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let data = field::<f32>(Shape::d2(40, 40), 5.0);
+        for abs in [0.5, 0.01] {
+            let stream = compress(codec.as_ref(), &data, ErrorBound::Absolute(abs)).unwrap();
+            let back: NdArray<f32> = decompress(codec.as_ref(), &stream).unwrap();
+            let err = max_abs_error(&data, &back);
+            assert!(err <= abs * 1.0000001, "{} abs {abs}: {err}", id.name());
+        }
+    }
+}
+
+#[test]
+fn compression_is_deterministic() {
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let data = field::<f32>(Shape::d3(12, 12, 12), 1.0);
+        let a = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+        let b = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+        assert_eq!(a, b, "{} is nondeterministic", id.name());
+    }
+}
+
+#[test]
+fn decompression_is_idempotent_fixed_point() {
+    // Compressing the reconstruction at the same bound must reproduce it
+    // exactly or nearly so — and always within bound of the original.
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let data = field::<f32>(Shape::d2(30, 30), 1.0);
+        let s1 = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+        let r1: NdArray<f32> = decompress(codec.as_ref(), &s1).unwrap();
+        let abs = ErrorBound::Relative(1e-3)
+            .to_absolute(data.value_range())
+            .unwrap();
+        let s2 = compress(codec.as_ref(), &r1, ErrorBound::Absolute(abs)).unwrap();
+        let r2: NdArray<f32> = decompress(codec.as_ref(), &s2).unwrap();
+        let drift = max_abs_error(&r1, &r2);
+        assert!(drift <= abs * 1.0000001, "{} drift {drift}", id.name());
+    }
+}
+
+#[test]
+fn looser_bounds_never_larger_streams() {
+    // Within one codec, ε=1e-1 must not produce a larger stream than
+    // ε=1e-5 on compressible data.
+    let data = field::<f32>(Shape::d3(20, 20, 20), 0.1);
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let loose = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-1))
+            .unwrap()
+            .len();
+        let tight = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-5))
+            .unwrap()
+            .len();
+        assert!(loose <= tight, "{}: {loose} > {tight}", id.name());
+    }
+}
+
+#[test]
+fn negative_and_mixed_sign_data() {
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let data = NdArray::<f32>::from_fn(Shape::d2(25, 25), |i| {
+            -500.0 + (i[0] as f32) * 40.0 - (i[1] as f32) * 39.0
+        });
+        let stream = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-4)).unwrap();
+        let back: NdArray<f32> = decompress(codec.as_ref(), &stream).unwrap();
+        assert!(max_rel_error(&data, &back) <= 1e-4 * 1.0000001, "{}", id.name());
+    }
+}
+
+#[test]
+fn tiny_value_range_data() {
+    // Values clustered around a large offset: range ≪ magnitude.
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let data = NdArray::<f64>::from_fn(Shape::d1(500), |i| {
+            1.0e9 + (i[0] as f64 * 0.1).sin() * 1e-3
+        });
+        let stream = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+        let back: NdArray<f64> = decompress(codec.as_ref(), &stream).unwrap();
+        let err = max_rel_error(&data, &back);
+        assert!(err <= 1e-3 * 1.0000001, "{}: {err}", id.name());
+    }
+}
+
+#[test]
+fn constant_fields_compress_to_near_nothing() {
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let data = NdArray::<f32>::from_vec(Shape::d3(16, 16, 16), vec![-2.5; 4096]);
+        let stream = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+        let back: NdArray<f32> = decompress(codec.as_ref(), &stream).unwrap();
+        assert_eq!(back.as_slice(), data.as_slice(), "{}", id.name());
+        let cr = data.nbytes() as f64 / stream.len() as f64;
+        assert!(cr > 10.0, "{}: constant field CR only {cr}", id.name());
+    }
+}
+
+#[test]
+fn header_bound_is_truthful() {
+    // The abs bound recorded in the stream is an upper bound on the
+    // actual reconstruction error.
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let data = field::<f32>(Shape::d2(32, 32), 3.0);
+        let stream = compress(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+        let (h, _) = eblcio_codec::header::read_stream(&stream).unwrap();
+        let back: NdArray<f32> = decompress(codec.as_ref(), &stream).unwrap();
+        let err = max_abs_error(&data, &back);
+        assert!(
+            err <= h.abs_bound * 1.0000001,
+            "{}: err {err} > recorded {}",
+            id.name(),
+            h.abs_bound
+        );
+    }
+}
+
+#[test]
+fn paper_exclusions_do_not_apply_to_our_ports() {
+    // §IV-C: "QoZ is not capable of compressing 1D data, and the OpenMP
+    // version of SZ2 is not capable of compressing 1D or 4D data." Our
+    // reimplementations support the full matrix — worth pinning so the
+    // capability never regresses.
+    let d1 = field::<f32>(Shape::d1(1000), 1.0);
+    let d4 = field::<f32>(Shape::d4(5, 5, 5, 5), 1.0);
+    for id in [CompressorId::Qoz, CompressorId::Sz2] {
+        let codec = id.instance();
+        for data in [&d1, &d4] {
+            let stream = compress(codec.as_ref(), data, ErrorBound::Relative(1e-3)).unwrap();
+            let back: NdArray<f32> = decompress(codec.as_ref(), &stream).unwrap();
+            assert!(max_rel_error(data, &back) <= 1e-3 * 1.0000001, "{}", id.name());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The §III benefit conditions (Eqs. 3–5).
+//!
+//! Compression is beneficial for writing data set `Dᵢ` with compressor
+//! `Cⱼ`, bound ε, and I/O tool `I_k` iff all three hold:
+//!
+//! * Eq. 3 (time):    `T_c + T_w(D′) < T_w(D)`
+//! * Eq. 4 (energy):  `E_c + E_w(D′) < E_w(D)`
+//! * Eq. 5 (quality): `PSNR(D, D̂) ≥ PSNR_min`
+
+use eblcio_energy::{Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Everything the three conditions consume, in the paper's notation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BenefitInputs {
+    /// `T_c`: compression time.
+    pub compress_time: Seconds,
+    /// `T_w(D′)`: write time of the compressed stream.
+    pub write_time_compressed: Seconds,
+    /// `T_w(D)`: write time of the original data.
+    pub write_time_original: Seconds,
+    /// `E_c`: compression energy.
+    pub compress_energy: Joules,
+    /// `E_w(D′)`: write energy of the compressed stream.
+    pub write_energy_compressed: Joules,
+    /// `E_w(D)`: write energy of the original data.
+    pub write_energy_original: Joules,
+    /// `PSNR(Dᵢ, D̂)` of the reconstruction, in dB.
+    pub psnr_db: f64,
+    /// `PSNR_min`: the application's quality floor, in dB.
+    pub psnr_min_db: f64,
+}
+
+/// Per-condition outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenefitVerdict {
+    /// Eq. 3 satisfied.
+    pub time_ok: bool,
+    /// Eq. 4 satisfied.
+    pub energy_ok: bool,
+    /// Eq. 5 satisfied.
+    pub quality_ok: bool,
+}
+
+impl BenefitVerdict {
+    /// The conjunction the paper requires.
+    pub fn decision(&self) -> Decision {
+        if self.time_ok && self.energy_ok && self.quality_ok {
+            Decision::Compress
+        } else {
+            Decision::WriteOriginal
+        }
+    }
+}
+
+/// The answer to the paper's title question for one configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Compress, then write (all three conditions hold).
+    Compress,
+    /// Write the original data (some condition failed).
+    WriteOriginal,
+}
+
+impl BenefitInputs {
+    /// Evaluates Eqs. 3–5.
+    pub fn evaluate(&self) -> BenefitVerdict {
+        BenefitVerdict {
+            time_ok: (self.compress_time + self.write_time_compressed).value()
+                < self.write_time_original.value(),
+            energy_ok: (self.compress_energy + self.write_energy_compressed).value()
+                < self.write_energy_original.value(),
+            quality_ok: self.psnr_db >= self.psnr_min_db,
+        }
+    }
+
+    /// Energy saved by compressing (negative when compression loses).
+    pub fn energy_saving(&self) -> Joules {
+        self.write_energy_original - (self.compress_energy + self.write_energy_compressed)
+    }
+
+    /// The "weak" condition the paper notes holds almost everywhere:
+    /// `E_w(D′) ≤ E_w(D)` (ignoring the compression cost itself).
+    pub fn write_only_energy_ok(&self) -> bool {
+        self.write_energy_compressed.value() <= self.write_energy_original.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> BenefitInputs {
+        BenefitInputs {
+            compress_time: Seconds(1.0),
+            write_time_compressed: Seconds(0.2),
+            write_time_original: Seconds(10.0),
+            compress_energy: Joules(100.0),
+            write_energy_compressed: Joules(20.0),
+            write_energy_original: Joules(1000.0),
+            psnr_db: 80.0,
+            psnr_min_db: 60.0,
+        }
+    }
+
+    #[test]
+    fn all_conditions_met_means_compress() {
+        let v = inputs().evaluate();
+        assert_eq!(
+            v,
+            BenefitVerdict {
+                time_ok: true,
+                energy_ok: true,
+                quality_ok: true
+            }
+        );
+        assert_eq!(v.decision(), Decision::Compress);
+    }
+
+    #[test]
+    fn each_condition_can_individually_fail() {
+        let mut i = inputs();
+        i.compress_time = Seconds(100.0);
+        assert_eq!(i.evaluate().decision(), Decision::WriteOriginal);
+        assert!(!i.evaluate().time_ok && i.evaluate().energy_ok);
+
+        let mut i = inputs();
+        i.compress_energy = Joules(5000.0);
+        assert!(!i.evaluate().energy_ok && i.evaluate().time_ok);
+        assert_eq!(i.evaluate().decision(), Decision::WriteOriginal);
+
+        let mut i = inputs();
+        i.psnr_db = 40.0;
+        assert!(!i.evaluate().quality_ok);
+        assert_eq!(i.evaluate().decision(), Decision::WriteOriginal);
+    }
+
+    #[test]
+    fn boundary_cases() {
+        // Strict inequalities for time/energy; ≥ for quality.
+        let mut i = inputs();
+        i.compress_time = Seconds(9.8);
+        i.write_time_compressed = Seconds(0.2);
+        assert!(!i.evaluate().time_ok, "equality must not count as better");
+        let mut i = inputs();
+        i.psnr_db = i.psnr_min_db;
+        assert!(i.evaluate().quality_ok, "PSNR equality meets Eq. 5");
+    }
+
+    #[test]
+    fn savings_and_weak_condition() {
+        let i = inputs();
+        assert_eq!(i.energy_saving(), Joules(880.0));
+        assert!(i.write_only_energy_ok());
+        let mut bad = i;
+        bad.write_energy_compressed = Joules(2000.0);
+        assert!(!bad.write_only_energy_ok());
+        assert!(bad.energy_saving().value() < 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Declarative experiment configurations shared by the bench binaries.
+//!
+//! Each paper table/figure is a sweep over some axes; these types give
+//! the bench crate one vocabulary for all of them and a CSV emitter for
+//! `bench_results/`.
+
+use crate::campaign::MeasuredCell;
+use eblcio_codec::CompressorId;
+use eblcio_data::generators::Scale;
+use eblcio_data::DatasetKind;
+use eblcio_energy::CpuGeneration;
+use eblcio_pfs::IoToolKind;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Which axis a sweep varies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Relative error bounds (Figs. 5, 7, 11).
+    Epsilon(Vec<f64>),
+    /// Thread counts (Fig. 10).
+    Threads(Vec<u32>),
+    /// Total core counts (Fig. 12).
+    Cores(Vec<u32>),
+    /// Inflation factors (Fig. 13).
+    Inflation(Vec<usize>),
+}
+
+/// One experiment (≈ one paper figure/table).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Experiment id, e.g. `"fig07"`.
+    pub id: String,
+    /// Data sets involved.
+    pub datasets: Vec<DatasetKind>,
+    /// Data scale (Tiny for smoke tests, Small for bench runs).
+    pub scale: Scale,
+    /// Compressors involved.
+    pub codecs: Vec<CompressorId>,
+    /// CPU platforms.
+    pub generations: Vec<CpuGeneration>,
+    /// I/O tools (empty = no write phase).
+    pub tools: Vec<IoToolKind>,
+    /// The varied axis.
+    pub axis: SweepAxis,
+}
+
+impl ExperimentConfig {
+    /// Default ε sweep of the paper (1e-1 … 1e-5).
+    pub fn paper_epsilons() -> Vec<f64> {
+        vec![1e-1, 1e-2, 1e-3, 1e-4, 1e-5]
+    }
+
+    /// Default thread sweep of Fig. 10.
+    pub fn paper_threads() -> Vec<u32> {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    }
+}
+
+/// Writes measured cells to a CSV file under `dir` as `<id>.csv`.
+pub fn write_cells_csv(
+    dir: &Path,
+    id: &str,
+    cells: &[(String, MeasuredCell)],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(
+        f,
+        "context,codec,cpu,threads,bound,compressed_bytes,cr,psnr_db,max_rel_err,\
+         compress_j,compress_ci_j,compress_s,decompress_j,decompress_ci_j,decompress_s,runs"
+    )?;
+    for (context, c) in cells {
+        let bound = match c.bound {
+            eblcio_codec::ErrorBound::Relative(e) => format!("rel:{e:e}"),
+            eblcio_codec::ErrorBound::Absolute(e) => format!("abs:{e:e}"),
+        };
+        writeln!(
+            f,
+            "{context},{},{:?},{},{bound},{},{:.4},{:.3},{:.3e},{:.4},{:.4},{:.6},{:.4},{:.4},{:.6},{}",
+            c.codec,
+            c.generation,
+            c.threads,
+            c.compressed_bytes,
+            c.cr(),
+            c.quality.psnr_db,
+            c.quality.max_rel_error,
+            c.compress_joules.value(),
+            c.compress_ci_half.value(),
+            c.compress_seconds.value(),
+            c.decompress_joules.value(),
+            c.decompress_ci_half.value(),
+            c.decompress_seconds.value(),
+            c.runs,
+        )?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignRunner;
+    use eblcio_codec::ErrorBound;
+    use eblcio_data::DatasetSpec;
+
+    #[test]
+    fn sweep_defaults_match_paper() {
+        assert_eq!(ExperimentConfig::paper_epsilons().len(), 5);
+        assert_eq!(ExperimentConfig::paper_threads(), [1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn csv_emission() {
+        let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+        let runner = CampaignRunner {
+            min_runs: 1,
+            max_runs: 1,
+            ci_tol: 1.0,
+        };
+        let codec = CompressorId::Szx.instance();
+        let cell = runner
+            .measure_cell(
+                &data,
+                codec.as_ref(),
+                ErrorBound::Relative(1e-3),
+                CpuGeneration::Skylake8160,
+                1,
+            )
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("eblcio-csv-{}", std::process::id()));
+        let path = write_cells_csv(&dir, "test", &[("NYX".to_string(), cell)]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.lines().count() == 2);
+        assert!(content.contains("SZx"));
+        assert!(content.contains("rel:1e-3"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = ExperimentConfig {
+            id: "fig07".into(),
+            datasets: vec![DatasetKind::Cesm],
+            scale: Scale::Tiny,
+            codecs: vec![CompressorId::Sz3],
+            generations: vec![CpuGeneration::Skylake8160],
+            tools: vec![],
+            axis: SweepAxis::Epsilon(ExperimentConfig::paper_epsilons()),
+        };
+        let j = serde_json::to_string(&cfg).unwrap();
+        assert!(j.contains("fig07"));
+        let back: ExperimentConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.id, "fig07");
+    }
+}

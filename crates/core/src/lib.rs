@@ -1,0 +1,29 @@
+//! # eblcio-core
+//!
+//! The paper's primary intellectual contribution, §III: a formal
+//! framework deciding when error-bounded lossy compression is beneficial
+//! for data writing — and the measurement campaign machinery (§IV) that
+//! answers it empirically.
+//!
+//! * [`conditions`] — Eqs. 3–5: the time, energy, and quality conditions
+//!   that must hold simultaneously,
+//! * [`advisor`] — "to compress or not": sweeps codecs × bounds for a
+//!   data set and I/O tool and recommends a configuration,
+//! * [`campaign`] — repeated measurements with the paper's 25-run /
+//!   95 %-CI protocol, emitting the rows behind every figure,
+//! * [`experiment`] — declarative experiment configurations shared by
+//!   the bench binaries.
+
+pub mod advisor;
+pub mod campaign;
+pub mod carbon;
+pub mod conditions;
+pub mod experiment;
+pub mod workflow;
+
+pub use advisor::{Advisor, Recommendation};
+pub use campaign::{CampaignRunner, MeasuredCell};
+pub use carbon::{MediaClass, StorageFleet};
+pub use conditions::{BenefitInputs, BenefitVerdict, Decision};
+pub use experiment::{ExperimentConfig, SweepAxis};
+pub use workflow::{Campaign, CampaignTotals, DumpCost};

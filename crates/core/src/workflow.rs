@@ -1,0 +1,187 @@
+//! Continuous-checkpoint workflows (§I / §VII extrapolation).
+//!
+//! The paper motivates EBLC with simulations that dump state
+//! continuously (CESM petabytes per run, "an exascale system with
+//! continuous data dumps"). This module models that campaign: a
+//! simulation alternates compute phases with data dumps over many
+//! timesteps; each dump either writes the original data or compresses
+//! first. The accumulated energy difference — and the fraction of
+//! machine time spent in I/O — is what a facility operator actually
+//! budgets.
+
+use crate::campaign::WriteCost;
+use eblcio_energy::{CpuProfile, Joules, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// One dump strategy's per-step costs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DumpCost {
+    /// Compression time per dump (0 for the original path).
+    pub compress_seconds: Seconds,
+    /// Compression energy per dump.
+    pub compress_joules: Joules,
+    /// Write phase per dump.
+    pub write: WriteCost,
+}
+
+impl DumpCost {
+    /// The uncompressed baseline.
+    pub fn original(write: WriteCost) -> Self {
+        Self {
+            compress_seconds: Seconds::ZERO,
+            compress_joules: Joules::ZERO,
+            write,
+        }
+    }
+
+    /// Total time per dump.
+    pub fn seconds(&self) -> Seconds {
+        self.compress_seconds + self.write.seconds
+    }
+
+    /// Total energy per dump.
+    pub fn joules(&self) -> Joules {
+        self.compress_joules + self.write.joules
+    }
+}
+
+/// A campaign of `steps` timesteps, each computing for
+/// `compute_seconds` and then dumping.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Number of timesteps that dump data.
+    pub steps: u64,
+    /// Simulation compute time between dumps.
+    pub compute_seconds: Seconds,
+}
+
+/// Accumulated campaign totals for one strategy.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CampaignTotals {
+    /// End-to-end wall time (compute + dumps).
+    pub wall: Seconds,
+    /// Total dump (compress + write) energy.
+    pub dump_joules: Joules,
+    /// Total compute-phase energy.
+    pub compute_joules: Joules,
+    /// Fraction of wall time spent dumping.
+    pub io_fraction: f64,
+    /// Bytes shipped to storage over the campaign.
+    pub bytes_written: u64,
+}
+
+impl Campaign {
+    /// Evaluates the campaign under one dump strategy on `profile`.
+    pub fn run(&self, dump: &DumpCost, profile: &CpuProfile) -> CampaignTotals {
+        let n = self.steps as f64;
+        let dump_time = dump.seconds() * n;
+        let compute_time = self.compute_seconds * n;
+        let wall = compute_time + dump_time;
+        // Compute phases run near TDP.
+        let compute_power = profile.package_power(profile.cores, 0.85);
+        CampaignTotals {
+            wall,
+            dump_joules: dump.joules() * n,
+            compute_joules: compute_power * compute_time,
+            io_fraction: if wall.value() > 0.0 {
+                dump_time.value() / wall.value()
+            } else {
+                0.0
+            },
+            bytes_written: dump.write.bytes * self.steps,
+        }
+    }
+
+    /// Break-even dump count: after how many steps does the compressed
+    /// strategy's cumulative energy fall below the original's?
+    /// (1 when every dump already wins; `None` when it never does.)
+    pub fn break_even_steps(compressed: &DumpCost, original: &DumpCost) -> Option<u64> {
+        let saving = original.joules().value() - compressed.joules().value();
+        if saving > 0.0 {
+            Some(1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblcio_energy::CpuGeneration;
+
+    fn write(bytes: u64, seconds: f64, joules: f64) -> WriteCost {
+        WriteCost {
+            seconds: Seconds(seconds),
+            joules: Joules(joules),
+            bytes,
+            bandwidth_bps: bytes as f64 / seconds.max(1e-12),
+        }
+    }
+
+    fn profile() -> CpuProfile {
+        CpuGeneration::Skylake8160.profile()
+    }
+
+    #[test]
+    fn totals_scale_with_steps() {
+        let dump = DumpCost::original(write(1 << 30, 2.0, 100.0));
+        let c10 = Campaign {
+            steps: 10,
+            compute_seconds: Seconds(60.0),
+        }
+        .run(&dump, &profile());
+        let c100 = Campaign {
+            steps: 100,
+            compute_seconds: Seconds(60.0),
+        }
+        .run(&dump, &profile());
+        assert!((c100.dump_joules.value() - 10.0 * c10.dump_joules.value()).abs() < 1e-6);
+        assert_eq!(c100.bytes_written, 10 * c10.bytes_written);
+        assert!((c10.io_fraction - 2.0 / 62.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compressed_campaign_wins_when_per_dump_wins() {
+        let original = DumpCost::original(write(1 << 30, 10.0, 500.0));
+        let compressed = DumpCost {
+            compress_seconds: Seconds(1.0),
+            compress_joules: Joules(150.0),
+            write: write(1 << 24, 0.2, 10.0),
+        };
+        assert_eq!(Campaign::break_even_steps(&compressed, &original), Some(1));
+        let camp = Campaign {
+            steps: 1000,
+            compute_seconds: Seconds(30.0),
+        };
+        let a = camp.run(&compressed, &profile());
+        let b = camp.run(&original, &profile());
+        assert!(a.dump_joules.value() < b.dump_joules.value());
+        assert!(a.wall.value() < b.wall.value());
+        assert!(a.bytes_written < b.bytes_written / 10);
+        // Compute energy identical — the saving is pure I/O-side.
+        assert_eq!(a.compute_joules.value(), b.compute_joules.value());
+    }
+
+    #[test]
+    fn losing_strategy_has_no_break_even() {
+        let original = DumpCost::original(write(1 << 20, 0.01, 0.5));
+        let compressed = DumpCost {
+            compress_seconds: Seconds(5.0),
+            compress_joules: Joules(400.0),
+            write: write(1 << 16, 0.001, 0.05),
+        };
+        assert_eq!(Campaign::break_even_steps(&compressed, &original), None);
+    }
+
+    #[test]
+    fn io_fraction_bounded() {
+        let dump = DumpCost::original(write(1 << 28, 1.0, 50.0));
+        let t = Campaign {
+            steps: 5,
+            compute_seconds: Seconds(0.0),
+        }
+        .run(&dump, &profile());
+        assert!((t.io_fraction - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Floating-point element abstraction.
+//!
+//! The paper's data sets mix single precision (CESM, HACC, NYX) and
+//! double precision (S3D). Every codec and metric in the workspace is
+//! generic over this trait so both precisions flow through the same
+//! pipelines, exactly as LibPressio dispatches over `pressio_dtype`.
+
+/// A scientific floating-point sample type (`f32` or `f64`).
+///
+/// The trait exposes the handful of operations the codecs need: lossless
+/// bit transport (for outliers and lossless baselines), `f64` round-trips
+/// (predictions and quantization are carried out in `f64`, as SZ does
+/// internally), and byte serialization for the I/O layer.
+pub trait Element:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + std::fmt::Debug
+    + std::fmt::Display
+    + Default
+    + 'static
+{
+    /// Unsigned integer with the same bit width.
+    type Bits: Copy + Eq + std::hash::Hash + std::fmt::Debug + Send + Sync;
+
+    /// Size of one sample in bytes (4 or 8).
+    const BYTES: usize;
+    /// Number of explicit mantissa bits (23 or 52).
+    const MANTISSA_BITS: u32;
+    /// Human-readable precision label used in reports ("f32"/"f64").
+    const NAME: &'static str;
+
+    /// Lossless conversion to raw bits.
+    fn to_bits(self) -> Self::Bits;
+    /// Lossless conversion from raw bits.
+    fn from_bits(b: Self::Bits) -> Self;
+    /// Widening conversion to `f64` (exact for both supported types'
+    /// typical data ranges; `f32 -> f64` is always exact).
+    fn to_f64(self) -> f64;
+    /// Narrowing conversion from `f64` (rounds for `f32`).
+    fn from_f64(v: f64) -> Self;
+    /// Appends the little-endian byte representation to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Reads a sample from a little-endian byte slice.
+    ///
+    /// Returns `None` when fewer than [`Self::BYTES`] bytes remain.
+    fn read_le(bytes: &[u8]) -> Option<Self>;
+    /// IEEE-754 "finite" check.
+    fn is_finite(self) -> bool;
+}
+
+impl Element for f32 {
+    type Bits = u32;
+    const BYTES: usize = 4;
+    const MANTISSA_BITS: u32 = 23;
+    const NAME: &'static str = "f32";
+
+    #[inline]
+    fn to_bits(self) -> u32 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits(b: u32) -> Self {
+        f32::from_bits(b)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Option<Self> {
+        Some(f32::from_le_bytes(bytes.get(..4)?.try_into().ok()?))
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl Element for f64 {
+    type Bits = u64;
+    const BYTES: usize = 8;
+    const MANTISSA_BITS: u32 = 52;
+    const NAME: &'static str = "f64";
+
+    #[inline]
+    fn to_bits(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits(b: u64) -> Self {
+        f64::from_bits(b)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(bytes: &[u8]) -> Option<Self> {
+        Some(f64::from_le_bytes(bytes.get(..8)?.try_into().ok()?))
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_bits<T: Element + PartialEq>(v: T) {
+        assert_eq!(T::from_bits(v.to_bits()), v);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        roundtrip_bits(1.5f32);
+        roundtrip_bits(-0.0f32);
+        roundtrip_bits(std::f64::consts::PI);
+        roundtrip_bits(f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn le_roundtrip_f32() {
+        let mut buf = Vec::new();
+        1234.5678f32.write_le(&mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(f32::read_le(&buf), Some(1234.5678f32));
+        assert_eq!(f32::read_le(&buf[..3]), None);
+    }
+
+    #[test]
+    fn le_roundtrip_f64() {
+        let mut buf = Vec::new();
+        (-9.87654321e100f64).write_le(&mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(f64::read_le(&buf), Some(-9.87654321e100f64));
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(f32::BYTES * 8, 32);
+        assert_eq!(f64::BYTES * 8, 64);
+        assert_eq!(f32::MANTISSA_BITS, 23);
+        assert_eq!(f64::MANTISSA_BITS, 52);
+    }
+
+    #[test]
+    fn f64_narrowing() {
+        let x = f32::from_f64(1.0 / 3.0);
+        assert!((x as f64 - 1.0 / 3.0).abs() < 1e-7);
+    }
+}

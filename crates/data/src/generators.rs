@@ -1,0 +1,725 @@
+//! Synthetic SDRBench-analog data set generators.
+//!
+//! The paper benchmarks on four SDRBench snapshots (Table II) plus four
+//! more in its Figure 1. Those files are not redistributable, so each
+//! data set is replaced by a deterministic synthetic field with the same
+//! rank, precision, and — crucially for compression studies — the same
+//! *local correlation structure*:
+//!
+//! | Paper set | Rank | Precision | Synthetic analog |
+//! |-----------|------|-----------|------------------|
+//! | CESM-ATM  | 3-D (26×1800×3600) | f32 | latitudinal gradient + multi-scale Gaussian random field (GRF) per level |
+//! | HACC      | 1-D (280 M)        | f32 | unsorted halo-clustered particle coordinates (hard to predict ⇒ low CR) |
+//! | NYX       | 3-D (512³)         | f32 | log-normal density from a smooth GRF (high dynamic range, very smooth ⇒ huge CR at loose ε) |
+//! | S3D       | 4-D (11×500³)      | f64 | species fields with a tanh flame front + turbulence |
+//! | QMCPack   | 3-D                | f32 | smooth oscillatory orbital-like field |
+//! | ISABEL    | 3-D                | f32 | vortex pressure field (very smooth) |
+//! | EXAFEL    | 2-D stack          | f32 | detector images: shot noise + bright Bragg spots (nearly incompressible losslessly) |
+//!
+//! All generators are pure functions of `(kind, scale, seed)`.
+
+use crate::array::NdArray;
+use crate::shape::Shape;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Which SDRBench-analog data set to synthesize.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Community Earth System Model, atmosphere component (climate).
+    Cesm,
+    /// HACC cosmology particle positions (1-D).
+    Hacc,
+    /// NYX adaptive-mesh cosmology (baryon density).
+    Nyx,
+    /// S3D turbulent-combustion DNS (double precision, 4-D).
+    S3d,
+    /// QMCPack quantum Monte Carlo orbitals (Fig. 1 only).
+    QmcPack,
+    /// Hurricane ISABEL pressure field (Fig. 1 only).
+    Isabel,
+    /// EXAFEL LCLS detector images (Fig. 1 only).
+    ExaFel,
+}
+
+impl DatasetKind {
+    /// All four Table II benchmark sets, in the paper's column order.
+    pub const TABLE2: [DatasetKind; 4] = [
+        DatasetKind::Cesm,
+        DatasetKind::Hacc,
+        DatasetKind::Nyx,
+        DatasetKind::S3d,
+    ];
+
+    /// The four Figure 1 sets.
+    pub const FIG1: [DatasetKind; 4] = [
+        DatasetKind::QmcPack,
+        DatasetKind::Isabel,
+        DatasetKind::Cesm,
+        DatasetKind::ExaFel,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Cesm => "CESM",
+            DatasetKind::Hacc => "HACC",
+            DatasetKind::Nyx => "NYX",
+            DatasetKind::S3d => "S3D",
+            DatasetKind::QmcPack => "QMCPack",
+            DatasetKind::Isabel => "ISABEL",
+            DatasetKind::ExaFel => "EXAFEL",
+        }
+    }
+
+    /// True for the double-precision sets (only S3D in the paper).
+    pub fn is_f64(self) -> bool {
+        matches!(self, DatasetKind::S3d)
+    }
+
+    /// The full dimensions used in the paper (Table II).
+    pub fn paper_shape(self) -> Shape {
+        match self {
+            DatasetKind::Cesm => Shape::d3(26, 1800, 3600),
+            DatasetKind::Hacc => Shape::d1(280_953_867),
+            DatasetKind::Nyx => Shape::d3(512, 512, 512),
+            DatasetKind::S3d => Shape::d4(11, 500, 500, 500),
+            DatasetKind::QmcPack => Shape::d3(288, 115, 69),
+            DatasetKind::Isabel => Shape::d3(100, 500, 500),
+            DatasetKind::ExaFel => Shape::d3(352, 388, 185),
+        }
+    }
+}
+
+/// How much to shrink the paper's dimensions so experiments fit a single
+/// machine. The per-byte energy/bandwidth framework normalizes sizes out;
+/// only *relative* codec behaviour matters (see DESIGN.md).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Scale {
+    /// Very small — unit/property tests (≈64–260 k samples).
+    Tiny,
+    /// Default bench size (≈2–6 M samples).
+    Small,
+    /// The paper's full dimensions (hundreds of MB to 10 GB).
+    Paper,
+}
+
+impl Scale {
+    fn shape_for(self, kind: DatasetKind) -> Shape {
+        match (self, kind) {
+            (Scale::Paper, k) => k.paper_shape(),
+            (Scale::Tiny, DatasetKind::Cesm) => Shape::d3(8, 45, 90),
+            (Scale::Tiny, DatasetKind::Hacc) => Shape::d1(100_000),
+            (Scale::Tiny, DatasetKind::Nyx) => Shape::d3(48, 48, 48),
+            (Scale::Tiny, DatasetKind::S3d) => Shape::d4(4, 24, 24, 24),
+            (Scale::Tiny, DatasetKind::QmcPack) => Shape::d3(36, 29, 23),
+            (Scale::Tiny, DatasetKind::Isabel) => Shape::d3(25, 50, 50),
+            (Scale::Tiny, DatasetKind::ExaFel) => Shape::d3(11, 97, 93),
+            (Scale::Small, DatasetKind::Cesm) => Shape::d3(26, 180, 360),
+            (Scale::Small, DatasetKind::Hacc) => Shape::d1(2_000_000),
+            (Scale::Small, DatasetKind::Nyx) => Shape::d3(128, 128, 128),
+            (Scale::Small, DatasetKind::S3d) => Shape::d4(11, 64, 64, 64),
+            (Scale::Small, DatasetKind::QmcPack) => Shape::d3(72, 58, 35),
+            (Scale::Small, DatasetKind::Isabel) => Shape::d3(50, 125, 125),
+            (Scale::Small, DatasetKind::ExaFel) => Shape::d3(44, 97, 93),
+        }
+    }
+}
+
+/// Which physical variable of a data set to synthesize. SDRBench
+/// snapshots carry many variables per simulation; compressibility
+/// varies across them (velocities are rougher than densities, etc.),
+/// which several of the paper's "field of S3D/NYX" phrasings rely on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Variable {
+    /// The default/primary field of each set (temperature for CESM,
+    /// x-positions for HACC, baryon density for NYX, species mass
+    /// fractions for S3D).
+    #[default]
+    Primary,
+    /// A velocity-like component: rougher small-scale structure, lower
+    /// CR than the primary field.
+    Velocity,
+    /// A derived scalar (e.g. temperature for NYX, pressure for S3D):
+    /// smoother than the velocity field.
+    DerivedScalar,
+}
+
+impl Variable {
+    /// All variables.
+    pub const ALL: [Variable; 3] = [
+        Variable::Primary,
+        Variable::Velocity,
+        Variable::DerivedScalar,
+    ];
+
+    /// Display suffix for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variable::Primary => "primary",
+            Variable::Velocity => "velocity",
+            Variable::DerivedScalar => "derived",
+        }
+    }
+}
+
+/// A recipe for one synthetic data set.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which analog to generate.
+    pub kind: DatasetKind,
+    /// Target size class.
+    pub scale: Scale,
+    /// Which variable of the simulation to synthesize.
+    pub variable: Variable,
+    /// RNG seed — identical specs generate bit-identical data.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Spec with the default seed used throughout the benches.
+    pub fn new(kind: DatasetKind, scale: Scale) -> Self {
+        Self {
+            kind,
+            scale,
+            variable: Variable::Primary,
+            seed: 0x5DCB_00D1 ^ kind as u64,
+        }
+    }
+
+    /// Same data set, different simulation variable.
+    pub fn with_variable(mut self, variable: Variable) -> Self {
+        self.variable = variable;
+        // Distinct variables of the same run share large-scale structure
+        // but not noise; derive a per-variable seed.
+        self.seed ^= (variable as u64 + 1) << 32;
+        self
+    }
+
+    /// The shape this spec will generate.
+    pub fn shape(&self) -> Shape {
+        self.scale.shape_for(self.kind)
+    }
+
+    /// Generates the data set.
+    pub fn generate(&self) -> Dataset {
+        let shape = self.shape();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let base = match self.kind {
+            DatasetKind::Cesm => Dataset::F32(gen_cesm(shape, &mut rng)),
+            DatasetKind::Hacc => Dataset::F32(gen_hacc(shape, &mut rng)),
+            DatasetKind::Nyx => Dataset::F32(gen_nyx(shape, &mut rng)),
+            DatasetKind::S3d => Dataset::F64(gen_s3d(shape, &mut rng)),
+            DatasetKind::QmcPack => Dataset::F32(gen_qmcpack(shape, &mut rng)),
+            DatasetKind::Isabel => Dataset::F32(gen_isabel(shape, &mut rng)),
+            DatasetKind::ExaFel => Dataset::F32(gen_exafel(shape, &mut rng)),
+        };
+        match self.variable {
+            Variable::Primary => base,
+            Variable::Velocity => apply_variable(base, shape, &mut rng, 1.0, 0.35),
+            Variable::DerivedScalar => apply_variable(base, shape, &mut rng, 0.3, 0.02),
+        }
+    }
+}
+
+/// Turns the primary field into another variable of the same run:
+/// a rescaled copy plus `turb_amp` multi-scale turbulence and
+/// `noise_amp` white noise (both relative to the base value range).
+fn apply_variable(
+    base: Dataset,
+    shape: Shape,
+    rng: &mut StdRng,
+    turb_amp: f64,
+    noise_amp: f64,
+) -> Dataset {
+    let turb = multiscale_field(shape, 2, shape.dim(shape.rank() - 1).max(8) / 8, rng);
+    match base {
+        Dataset::F32(mut a) => {
+            let range = a.value_range().max(1e-9);
+            for (v, t) in a.as_mut_slice().iter_mut().zip(&turb) {
+                let n = normal(rng);
+                *v = (*v as f64 * 0.5 + range * (turb_amp * t + noise_amp * n)) as f32;
+            }
+            Dataset::F32(a)
+        }
+        Dataset::F64(mut a) => {
+            let range = a.value_range().max(1e-9);
+            for (v, t) in a.as_mut_slice().iter_mut().zip(&turb) {
+                let n = normal(rng);
+                *v = *v * 0.5 + range * (turb_amp * t + noise_amp * n);
+            }
+            Dataset::F64(a)
+        }
+    }
+}
+
+/// A generated data set: single- or double-precision.
+#[derive(Clone, Debug)]
+pub enum Dataset {
+    /// Single-precision field.
+    F32(NdArray<f32>),
+    /// Double-precision field.
+    F64(NdArray<f64>),
+}
+
+impl Dataset {
+    /// The array's shape.
+    pub fn shape(&self) -> Shape {
+        match self {
+            Dataset::F32(a) => a.shape(),
+            Dataset::F64(a) => a.shape(),
+        }
+    }
+
+    /// Uncompressed size in bytes.
+    pub fn nbytes(&self) -> usize {
+        match self {
+            Dataset::F32(a) => a.nbytes(),
+            Dataset::F64(a) => a.nbytes(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Dataset::F32(a) => a.len(),
+            Dataset::F64(a) => a.len(),
+        }
+    }
+
+    /// True when the data set holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the single-precision array, panicking for f64 sets.
+    pub fn as_f32(&self) -> &NdArray<f32> {
+        match self {
+            Dataset::F32(a) => a,
+            Dataset::F64(_) => panic!("dataset is f64, not f32"),
+        }
+    }
+
+    /// Borrows the double-precision array, panicking for f32 sets.
+    pub fn as_f64(&self) -> &NdArray<f64> {
+        match self {
+            Dataset::F64(a) => a,
+            Dataset::F32(_) => panic!("dataset is f32, not f64"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field-construction primitives
+// ---------------------------------------------------------------------------
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > 1e-12 {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// One box-blur pass of radius `r` along axis `axis`, in place, using a
+/// sliding-window running sum (O(n) regardless of radius). Three passes
+/// approximate a Gaussian kernel well; this is how the multi-scale GRFs
+/// acquire their correlation length.
+fn box_blur_axis(data: &mut [f64], shape: Shape, axis: usize, r: usize) {
+    if r == 0 {
+        return;
+    }
+    let n = shape.dim(axis);
+    if n == 1 {
+        return;
+    }
+    let stride = shape.strides()[axis];
+    let total = shape.len();
+    let lines = total / n;
+    let mut line = vec![0.0f64; n];
+    // Enumerate the starting offset of every 1-D line along `axis`.
+    for l in 0..lines {
+        // Decompose l into coordinates of the other axes.
+        let mut rem = l;
+        let mut base = 0usize;
+        for d in (0..shape.rank()).rev() {
+            if d == axis {
+                continue;
+            }
+            let dim = shape.dim(d);
+            let c = rem % dim;
+            rem /= dim;
+            base += c * shape.strides()[d];
+        }
+        for (i, slot) in line.iter_mut().enumerate() {
+            *slot = data[base + i * stride];
+        }
+        // Sliding window mean with clamped (replicated) boundaries.
+        let w = 2 * r + 1;
+        let mut acc = 0.0;
+        for k in -(r as isize)..=(r as isize) {
+            acc += line[k.clamp(0, n as isize - 1) as usize];
+        }
+        for i in 0..n {
+            data[base + i * stride] = acc / w as f64;
+            let out = (i as isize - r as isize).clamp(0, n as isize - 1) as usize;
+            let inn = (i as isize + r as isize + 1).clamp(0, n as isize - 1) as usize;
+            acc += line[inn] - line[out];
+        }
+    }
+}
+
+/// Smooth Gaussian random field: white noise blurred along every axis.
+///
+/// `radius` controls the correlation length; `passes` box-blur passes
+/// approximate a Gaussian kernel. The result is renormalized to unit
+/// standard deviation.
+pub fn gaussian_random_field(shape: Shape, radius: usize, passes: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut f: Vec<f64> = (0..shape.len()).map(|_| normal(rng)).collect();
+    for _ in 0..passes {
+        for axis in 0..shape.rank() {
+            box_blur_axis(&mut f, shape, axis, radius);
+        }
+    }
+    normalize_unit(&mut f);
+    f
+}
+
+/// Sum of GRFs at geometrically growing correlation lengths — the
+/// "turbulence" texture used by the CESM/NYX/S3D analogs.
+pub fn multiscale_field(shape: Shape, octaves: usize, base_radius: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut out = vec![0.0f64; shape.len()];
+    let mut amp = 1.0;
+    let mut radius = base_radius;
+    for _ in 0..octaves {
+        let f = gaussian_random_field(shape, radius, 2, rng);
+        for (o, v) in out.iter_mut().zip(&f) {
+            *o += amp * v;
+        }
+        amp *= 0.5;
+        radius = (radius / 2).max(1);
+    }
+    normalize_unit(&mut out);
+    out
+}
+
+fn normalize_unit(f: &mut [f64]) {
+    let n = f.len() as f64;
+    let mean = f.iter().sum::<f64>() / n;
+    let var = f.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt().max(1e-30);
+    for v in f.iter_mut() {
+        *v = (*v - mean) / sd;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-data-set recipes
+// ---------------------------------------------------------------------------
+
+fn gen_cesm(shape: Shape, rng: &mut StdRng) -> NdArray<f32> {
+    // Temperature-like field: per-level base value, strong smooth
+    // latitudinal gradient, multi-scale weather texture, faint noise.
+    let (levels, lat, lon) = (shape.dim(0), shape.dim(1), shape.dim(2));
+    let plane = Shape::d2(lat, lon);
+    let mut data = Vec::with_capacity(shape.len());
+    for k in 0..levels {
+        let base = 288.0 - 6.5 * k as f64; // lapse-rate profile
+        let texture = multiscale_field(plane, 3, lat.max(8) / 8, rng);
+        for i in 0..lat {
+            let latf = (i as f64 / (lat - 1).max(1) as f64 - 0.5) * std::f64::consts::PI;
+            let gradient = 30.0 * latf.cos().powi(2);
+            for j in 0..lon {
+                let t = texture[i * lon + j];
+                let v = base + gradient + 4.0 * t + 0.05 * normal(rng);
+                data.push(v as f32);
+            }
+        }
+    }
+    NdArray::from_vec(shape, data)
+}
+
+fn gen_hacc(shape: Shape, rng: &mut StdRng) -> NdArray<f32> {
+    // Particle x-coordinates in a periodic box, clustered into halos and
+    // stored in simulation (memory) order — neighbouring entries are
+    // nearly uncorrelated, which is what makes HACC hard for prediction-
+    // based codecs (Table III: CR 2.7–217 vs NYX's 13.7–102 k).
+    let n = shape.len();
+    let box_size = 256.0;
+    let n_halos = (n / 512).max(8);
+    let centers: Vec<f64> = (0..n_halos).map(|_| rng.random::<f64>() * box_size).collect();
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = if rng.random::<f64>() < 0.8 {
+            // Halo member: Gaussian cloud around a random halo centre.
+            let c = centers[rng.random_range(0..n_halos)];
+            (c + 1.5 * normal(rng)).rem_euclid(box_size)
+        } else {
+            // Field particle: uniform.
+            rng.random::<f64>() * box_size
+        };
+        data.push(v as f32);
+    }
+    NdArray::from_vec(shape, data)
+}
+
+fn gen_nyx(shape: Shape, rng: &mut StdRng) -> NdArray<f32> {
+    // Log-normal baryon density: exp(a·GRF). Smooth with huge dynamic
+    // range, giving the enormous CR at loose bounds seen in Table III.
+    let f = multiscale_field(shape, 3, shape.dim(0).max(8) / 8, rng);
+    let data: Vec<f32> = f.iter().map(|&v| (2.0 * v).exp() as f32).collect();
+    NdArray::from_vec(shape, data)
+}
+
+fn gen_s3d(shape: Shape, rng: &mut StdRng) -> NdArray<f64> {
+    // Species mass fractions around a propagating flame front: a tanh
+    // transition sheet perturbed by turbulence, one 3-D field per species.
+    let (species, nx, ny, nz) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+    let vol = Shape::d3(nx, ny, nz);
+    let mut data = Vec::with_capacity(shape.len());
+    for s in 0..species {
+        let turb = multiscale_field(vol, 3, nx.max(8) / 8, rng);
+        let front = 0.35 + 0.3 * (s as f64 / species.max(1) as f64);
+        let sharp = 12.0 + 2.0 * s as f64;
+        let amp = 0.02 + 0.2 * ((s * 7919) % 10) as f64 / 10.0;
+        for i in 0..nx {
+            let x = i as f64 / nx as f64;
+            for j in 0..ny {
+                for k in 0..nz {
+                    let t = turb[(i * ny + j) * nz + k];
+                    let phase = sharp * (x - front + 0.08 * t);
+                    let v = amp * 0.5 * (1.0 + phase.tanh()) + 1e-4 * t.abs();
+                    data.push(v);
+                }
+            }
+        }
+    }
+    NdArray::from_vec(shape, data)
+}
+
+fn gen_qmcpack(shape: Shape, rng: &mut StdRng) -> NdArray<f32> {
+    // Orbital-like oscillatory envelope: product of smooth GRF and a
+    // radial oscillation. Smooth ⇒ lossy compresses well; oscillation
+    // defeats lossless byte-level schemes (Fig. 1).
+    let f = gaussian_random_field(shape, shape.dim(0).max(8) / 8, 2, rng);
+    let (nx, ny, nz) = (shape.dim(0), shape.dim(1), shape.dim(2));
+    let mut data = Vec::with_capacity(shape.len());
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let r = ((i * i + j * j + k * k) as f64).sqrt();
+                let v = f[(i * ny + j) * nz + k] * (0.35 * r).sin();
+                data.push(v as f32);
+            }
+        }
+    }
+    NdArray::from_vec(shape, data)
+}
+
+fn gen_isabel(shape: Shape, rng: &mut StdRng) -> NdArray<f32> {
+    // Hurricane pressure: deep smooth vortex low + weather texture.
+    let (nx, ny, nz) = (shape.dim(0), shape.dim(1), shape.dim(2));
+    let texture = multiscale_field(shape, 2, ny.max(8) / 8, rng);
+    let (cy, cz) = (ny as f64 / 2.0, nz as f64 / 2.0);
+    let mut data = Vec::with_capacity(shape.len());
+    for i in 0..nx {
+        let depth = 1.0 - i as f64 / nx as f64;
+        for j in 0..ny {
+            for k in 0..nz {
+                let dy = (j as f64 - cy) / ny as f64;
+                let dz = (k as f64 - cz) / nz as f64;
+                let r2 = dy * dy + dz * dz;
+                let vortex = -55.0 * depth * (-r2 * 40.0).exp();
+                let v = 1013.0 + vortex + 2.0 * texture[(i * ny + j) * nz + k];
+                data.push(v as f32);
+            }
+        }
+    }
+    NdArray::from_vec(shape, data)
+}
+
+fn gen_exafel(shape: Shape, rng: &mut StdRng) -> NdArray<f32> {
+    // Detector image stack: per-pixel shot noise plus sparse bright
+    // Bragg peaks. Noise-dominated ⇒ nearly incompressible losslessly.
+    let (frames, h, w) = (shape.dim(0), shape.dim(1), shape.dim(2));
+    let mut data = Vec::with_capacity(shape.len());
+    for _ in 0..frames {
+        let n_peaks = 20 + rng.random_range(0..20);
+        let peaks: Vec<(usize, usize, f64)> = (0..n_peaks)
+            .map(|_| {
+                (
+                    rng.random_range(0..h),
+                    rng.random_range(0..w),
+                    200.0 + 800.0 * rng.random::<f64>(),
+                )
+            })
+            .collect();
+        for i in 0..h {
+            for j in 0..w {
+                let mut v = 10.0 + 3.0 * normal(rng).abs();
+                for &(pi, pj, amp) in &peaks {
+                    let d2 = (i as f64 - pi as f64).powi(2) + (j as f64 - pj as f64).powi(2);
+                    if d2 < 36.0 {
+                        v += amp * (-d2 / 4.0).exp();
+                    }
+                }
+                data.push(v as f32);
+            }
+        }
+    }
+    NdArray::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_deterministic() {
+        let spec = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.as_f32().as_slice(), b.as_f32().as_slice());
+    }
+
+    #[test]
+    fn seeds_change_data() {
+        let mut s1 = DatasetSpec::new(DatasetKind::Cesm, Scale::Tiny);
+        let mut s2 = s1;
+        s1.seed = 1;
+        s2.seed = 2;
+        assert_ne!(
+            s1.generate().as_f32().as_slice(),
+            s2.generate().as_f32().as_slice()
+        );
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        for kind in DatasetKind::TABLE2 {
+            let spec = DatasetSpec::new(kind, Scale::Tiny);
+            let d = spec.generate();
+            assert_eq!(d.shape(), spec.shape(), "{kind:?}");
+            assert_eq!(d.len(), spec.shape().len());
+        }
+    }
+
+    #[test]
+    fn paper_shapes_match_table2() {
+        assert_eq!(DatasetKind::Cesm.paper_shape().len(), 26 * 1800 * 3600);
+        assert_eq!(DatasetKind::Hacc.paper_shape().len(), 280_953_867);
+        assert_eq!(DatasetKind::Nyx.paper_shape().len(), 512usize.pow(3));
+        assert_eq!(DatasetKind::S3d.paper_shape().len(), 11 * 500usize.pow(3));
+    }
+
+    #[test]
+    fn s3d_is_double_precision() {
+        assert!(DatasetKind::S3d.is_f64());
+        let d = DatasetSpec::new(DatasetKind::S3d, Scale::Tiny).generate();
+        assert!(matches!(d, Dataset::F64(_)));
+        // Table II: S3D stored as double ⇒ 8 B/sample.
+        assert_eq!(d.nbytes(), d.len() * 8);
+    }
+
+    #[test]
+    fn all_values_finite() {
+        for kind in [
+            DatasetKind::Cesm,
+            DatasetKind::Hacc,
+            DatasetKind::Nyx,
+            DatasetKind::QmcPack,
+            DatasetKind::Isabel,
+            DatasetKind::ExaFel,
+        ] {
+            let d = DatasetSpec::new(kind, Scale::Tiny).generate();
+            assert!(
+                d.as_f32().as_slice().iter().all(|v| v.is_finite()),
+                "{kind:?} produced non-finite values"
+            );
+        }
+        let d = DatasetSpec::new(DatasetKind::S3d, Scale::Tiny).generate();
+        assert!(d.as_f64().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nyx_smoother_than_hacc() {
+        // Mean absolute first difference (normalized by value range) is the
+        // smoothness proxy that predicts CR ordering: NYX ≪ HACC.
+        fn roughness(a: &NdArray<f32>) -> f64 {
+            let s = a.as_slice();
+            let range = a.value_range().max(1e-30);
+            let sum: f64 = s.windows(2).map(|w| (w[1] - w[0]).abs() as f64).sum();
+            sum / (s.len() - 1) as f64 / range
+        }
+        let nyx = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+        let hacc = DatasetSpec::new(DatasetKind::Hacc, Scale::Tiny).generate();
+        assert!(roughness(nyx.as_f32()) < 0.5 * roughness(hacc.as_f32()));
+    }
+
+    #[test]
+    fn variables_are_distinct_same_shape() {
+        let spec = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny);
+        let primary = spec.generate();
+        let velocity = spec.with_variable(Variable::Velocity).generate();
+        let derived = spec.with_variable(Variable::DerivedScalar).generate();
+        assert_eq!(primary.shape(), velocity.shape());
+        assert_eq!(primary.shape(), derived.shape());
+        assert_ne!(primary.as_f32().as_slice(), velocity.as_f32().as_slice());
+        assert_ne!(velocity.as_f32().as_slice(), derived.as_f32().as_slice());
+    }
+
+    #[test]
+    fn velocity_rougher_than_derived() {
+        fn roughness(a: &NdArray<f32>) -> f64 {
+            let s = a.as_slice();
+            let range = a.value_range().max(1e-30);
+            s.windows(2).map(|w| (w[1] - w[0]).abs() as f64).sum::<f64>()
+                / (s.len() - 1) as f64
+                / range
+        }
+        let spec = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny);
+        let vel = spec.with_variable(Variable::Velocity).generate();
+        let der = spec.with_variable(Variable::DerivedScalar).generate();
+        assert!(
+            roughness(vel.as_f32()) > roughness(der.as_f32()),
+            "velocity should be rougher"
+        );
+        // All variables stay finite.
+        assert!(vel.as_f32().as_slice().iter().all(|v| v.is_finite()));
+        assert!(der.as_f32().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn f64_variables_work() {
+        let spec = DatasetSpec::new(DatasetKind::S3d, Scale::Tiny)
+            .with_variable(Variable::Velocity);
+        let d = spec.generate();
+        assert!(matches!(d, Dataset::F64(_)));
+        assert!(d.as_f64().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn grf_is_normalized() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = gaussian_random_field(Shape::d2(64, 64), 4, 2, &mut rng);
+        let n = f.len() as f64;
+        let mean = f.iter().sum::<f64>() / n;
+        let var = f.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blur_reduces_roughness() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let shape = Shape::d1(4096);
+        let rough = gaussian_random_field(shape, 0, 0, &mut rng);
+        let smooth = gaussian_random_field(shape, 8, 3, &mut rng);
+        let r = |f: &[f64]| -> f64 { f.windows(2).map(|w| (w[1] - w[0]).abs()).sum() };
+        assert!(r(&smooth) < 0.5 * r(&rough));
+    }
+}

@@ -1,0 +1,147 @@
+//! Data-set inflation (paper §VI-C).
+//!
+//! To study compression at production scale, the paper inflates NYX by
+//! multiplying each dimension by 2–5 "while maintaining the statistical
+//! properties and spatial patterns of the original simulation data". We
+//! implement the same transform: multi-linear interpolation upsampling of
+//! the original field to the inflated grid. Interpolation preserves the
+//! large-scale structure and smoothness spectrum (per unit volume) that
+//! drive compressor behaviour.
+
+use crate::array::NdArray;
+use crate::element::Element;
+
+/// Upsamples `src` by integer factor `k` along every dimension using
+/// multi-linear interpolation (rank 1–4).
+///
+/// The output shape is `src.shape().inflated(k)`; `k = 1` returns a clone.
+pub fn inflate<T: Element>(src: &NdArray<T>, k: usize) -> NdArray<T> {
+    assert!(k > 0, "inflation factor must be positive");
+    if k == 1 {
+        return src.clone();
+    }
+    let in_shape = src.shape();
+    let out_shape = in_shape.inflated(k);
+    let rank = in_shape.rank();
+
+    let mut out = Vec::with_capacity(out_shape.len());
+    // For each output index, find the fractional source coordinate and
+    // blend the 2^rank surrounding source samples.
+    let mut lo = [0usize; 4];
+    let mut frac = [0.0f64; 4];
+    for off in 0..out_shape.len() {
+        let idx = out_shape.unoffset(off);
+        for d in 0..rank {
+            let n_in = in_shape.dim(d);
+            // Map the output coordinate into [0, n_in - 1].
+            let x = if out_shape.dim(d) > 1 {
+                idx[d] as f64 * (n_in - 1) as f64 / (out_shape.dim(d) - 1) as f64
+            } else {
+                0.0
+            };
+            let l = (x.floor() as usize).min(n_in - 1);
+            lo[d] = l;
+            frac[d] = if l + 1 < n_in { x - l as f64 } else { 0.0 };
+        }
+        let mut acc = 0.0f64;
+        for corner in 0..(1usize << rank) {
+            let mut w = 1.0f64;
+            let mut src_idx = [0usize; 4];
+            for d in 0..rank {
+                let hi = (corner >> d) & 1 == 1;
+                let f = frac[d];
+                w *= if hi { f } else { 1.0 - f };
+                src_idx[d] = lo[d] + usize::from(hi && lo[d] + 1 < in_shape.dim(d));
+            }
+            if w != 0.0 {
+                acc += w * src.get(&src_idx[..rank]).to_f64();
+            }
+        }
+        out.push(T::from_f64(acc));
+    }
+    NdArray::from_vec(out_shape, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn identity_for_k1() {
+        let a = NdArray::<f32>::from_fn(Shape::d2(3, 3), |i| (i[0] + 2 * i[1]) as f32);
+        assert_eq!(inflate(&a, 1), a);
+    }
+
+    #[test]
+    fn shape_grows_cubically() {
+        let a = NdArray::<f32>::zeros(Shape::d3(8, 8, 8));
+        let b = inflate(&a, 3);
+        assert_eq!(b.shape().dims(), &[24, 24, 24]);
+        assert_eq!(b.len(), 27 * a.len());
+    }
+
+    #[test]
+    fn linear_fields_are_reproduced_exactly() {
+        // Multi-linear interpolation is exact on multi-linear fields.
+        let a = NdArray::<f64>::from_fn(Shape::d2(5, 7), |i| {
+            3.0 + 2.0 * i[0] as f64 - 0.5 * i[1] as f64
+        });
+        let b = inflate(&a, 4);
+        let (r0, r1) = (a.shape().dim(0), a.shape().dim(1));
+        let (n0, n1) = (b.shape().dim(0), b.shape().dim(1));
+        for i in 0..n0 {
+            for j in 0..n1 {
+                let x = i as f64 * (r0 - 1) as f64 / (n0 - 1) as f64;
+                let y = j as f64 * (r1 - 1) as f64 / (n1 - 1) as f64;
+                let expect = 3.0 + 2.0 * x - 0.5 * y;
+                assert!(
+                    (b.get(&[i, j]) - expect).abs() < 1e-9,
+                    "at ({i},{j}): {} vs {expect}",
+                    b.get(&[i, j])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corners_preserved() {
+        let a = NdArray::<f32>::from_fn(Shape::d3(4, 4, 4), |i| {
+            (i[0] * 16 + i[1] * 4 + i[2]) as f32
+        });
+        let b = inflate(&a, 2);
+        let last_in = a.shape().dim(0) - 1;
+        let last_out = b.shape().dim(0) - 1;
+        assert_eq!(b.get(&[0, 0, 0]), a.get(&[0, 0, 0]));
+        assert_eq!(
+            b.get(&[last_out, last_out, last_out]),
+            a.get(&[last_in, last_in, last_in])
+        );
+    }
+
+    #[test]
+    fn value_range_preserved() {
+        // Interpolation cannot extrapolate: the inflated range is within
+        // the original range (statistical-property preservation).
+        let a = NdArray::<f32>::from_fn(Shape::d2(16, 16), |i| {
+            ((i[0] * 31 + i[1] * 17) % 97) as f32
+        });
+        let b = inflate(&a, 3);
+        let (amin, amax) = a.min_max().unwrap();
+        let (bmin, bmax) = b.min_max().unwrap();
+        assert!(bmin >= amin && bmax <= amax);
+    }
+
+    #[test]
+    fn rank1_and_rank4() {
+        let a1 = NdArray::<f32>::from_fn(Shape::d1(10), |i| i[0] as f32);
+        let b1 = inflate(&a1, 2);
+        assert_eq!(b1.len(), 20);
+        assert_eq!(b1.get(&[19]), 9.0);
+
+        let a4 = NdArray::<f64>::from_fn(Shape::d4(3, 3, 3, 3), |i| i.iter().sum::<usize>() as f64);
+        let b4 = inflate(&a4, 2);
+        assert_eq!(b4.shape().dims(), &[6, 6, 6, 6]);
+        assert_eq!(b4.get(&[5, 5, 5, 5]), 8.0);
+    }
+}

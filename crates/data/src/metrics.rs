@@ -1,0 +1,246 @@
+//! Reconstruction-quality metrics (paper §III, Eqs. 1–2).
+//!
+//! * [`psnr`] — Eq. 2: `20·log10(max(D)/√MSE)`,
+//! * [`max_rel_error`] — the value-range relative error the EBLC
+//!   community (and the paper, footnote 1) uses for ε,
+//! * [`compression_ratio`] — original bytes ÷ compressed bytes,
+//! * [`error_autocorrelation`] — lag-1 autocorrelation of the residuals,
+//!   the quality metric QoZ optimizes besides PSNR.
+
+use crate::array::NdArray;
+use crate::element::Element;
+use serde::{Deserialize, Serialize};
+
+/// Mean squared error between the original and its reconstruction.
+///
+/// # Panics
+/// Panics if the arrays have different shapes or are empty.
+pub fn mse<T: Element>(original: &NdArray<T>, recon: &NdArray<T>) -> f64 {
+    assert_eq!(original.shape(), recon.shape(), "shape mismatch");
+    assert!(!original.is_empty(), "MSE of empty array");
+    let n = original.len() as f64;
+    original
+        .as_slice()
+        .iter()
+        .zip(recon.as_slice())
+        .map(|(&a, &b)| {
+            let d = a.to_f64() - b.to_f64();
+            d * d
+        })
+        .sum::<f64>()
+        / n
+}
+
+/// Peak signal-to-noise ratio in dB (paper Eq. 2).
+///
+/// Following the paper (and Z-checker), the "peak" is the value *range*
+/// of the original data. Identical arrays yield `f64::INFINITY`.
+pub fn psnr<T: Element>(original: &NdArray<T>, recon: &NdArray<T>) -> f64 {
+    let m = mse(original, recon);
+    if m == 0.0 {
+        return f64::INFINITY;
+    }
+    let range = original.value_range();
+    20.0 * (range / m.sqrt()).log10()
+}
+
+/// Maximum absolute point-wise error.
+pub fn max_abs_error<T: Element>(original: &NdArray<T>, recon: &NdArray<T>) -> f64 {
+    assert_eq!(original.shape(), recon.shape(), "shape mismatch");
+    original
+        .as_slice()
+        .iter()
+        .zip(recon.as_slice())
+        .map(|(&a, &b)| (a.to_f64() - b.to_f64()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Maximum value-range relative error: `max|D−D̂| / (max(D) − min(D))`.
+///
+/// An error-bounded compressor with relative bound ε must keep this ≤ ε
+/// (paper Eq. 1 in its value-range form; property-tested for every codec).
+pub fn max_rel_error<T: Element>(original: &NdArray<T>, recon: &NdArray<T>) -> f64 {
+    let range = original.value_range();
+    if range == 0.0 {
+        // Constant data: any exact reconstruction has zero error.
+        return if max_abs_error(original, recon) == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+    }
+    max_abs_error(original, recon) / range
+}
+
+/// Compression ratio `CR = original bytes / compressed bytes`.
+///
+/// # Panics
+/// Panics if `compressed_bytes` is zero.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    assert!(compressed_bytes > 0, "compressed size must be non-zero");
+    original_bytes as f64 / compressed_bytes as f64
+}
+
+/// Lag-1 autocorrelation of the reconstruction residuals.
+///
+/// QoZ can optimize this alongside PSNR; values near 0 mean the
+/// compression error looks like white noise (desirable), values near 1
+/// mean structured artefacts.
+pub fn error_autocorrelation<T: Element>(original: &NdArray<T>, recon: &NdArray<T>) -> f64 {
+    assert_eq!(original.shape(), recon.shape(), "shape mismatch");
+    let e: Vec<f64> = original
+        .as_slice()
+        .iter()
+        .zip(recon.as_slice())
+        .map(|(&a, &b)| a.to_f64() - b.to_f64())
+        .collect();
+    if e.len() < 2 {
+        return 0.0;
+    }
+    let n = e.len() as f64;
+    let mean = e.iter().sum::<f64>() / n;
+    let var = e.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    if var <= 1e-300 {
+        return 0.0;
+    }
+    let cov = e
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    cov / var
+}
+
+/// Everything Table III reports for one (data set, compressor, ε) cell,
+/// plus the bound-verification fields the test suite checks.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Compression ratio (original ÷ compressed bytes).
+    pub compression_ratio: f64,
+    /// PSNR in dB (Eq. 2).
+    pub psnr_db: f64,
+    /// Maximum value-range relative error actually observed.
+    pub max_rel_error: f64,
+    /// Maximum absolute error actually observed.
+    pub max_abs_error: f64,
+    /// Mean squared error.
+    pub mse: f64,
+    /// Lag-1 autocorrelation of the residuals.
+    pub error_autocorr: f64,
+}
+
+impl QualityReport {
+    /// Computes the full report for a reconstruction.
+    pub fn evaluate<T: Element>(
+        original: &NdArray<T>,
+        recon: &NdArray<T>,
+        compressed_bytes: usize,
+    ) -> Self {
+        Self {
+            compression_ratio: compression_ratio(original.nbytes(), compressed_bytes),
+            psnr_db: psnr(original, recon),
+            max_rel_error: max_rel_error(original, recon),
+            max_abs_error: max_abs_error(original, recon),
+            mse: mse(original, recon),
+            error_autocorr: error_autocorrelation(original, recon),
+        }
+    }
+
+    /// True when the observed error respects the requested value-range
+    /// relative bound (with a hair of floating-point slack).
+    pub fn within_bound(&self, epsilon: f64) -> bool {
+        self.max_rel_error <= epsilon * (1.0 + 1e-9) + f64::EPSILON
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn arr(vals: &[f64]) -> NdArray<f64> {
+        NdArray::from_vec(Shape::d1(vals.len()), vals.to_vec())
+    }
+
+    #[test]
+    fn mse_basics() {
+        let a = arr(&[1.0, 2.0, 3.0]);
+        let b = arr(&[1.0, 2.0, 3.0]);
+        assert_eq!(mse(&a, &b), 0.0);
+        let c = arr(&[2.0, 2.0, 3.0]);
+        assert!((mse(&a, &c) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let a = arr(&[0.0, 0.5, 1.0]);
+        assert!(psnr(&a, &a).is_infinite());
+    }
+
+    #[test]
+    fn psnr_matches_hand_computation() {
+        // range = 10, mse = 0.01 -> psnr = 20*log10(10/0.1) = 40 dB.
+        let a = arr(&[0.0, 10.0]);
+        let b = arr(&[0.1, 10.1]);
+        assert!((psnr(&a, &b) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_improves_with_smaller_error() {
+        let a = arr(&[0.0, 1.0, 2.0, 3.0]);
+        let coarse = arr(&[0.2, 1.2, 1.8, 3.2]);
+        let fine = arr(&[0.02, 1.02, 1.98, 3.02]);
+        assert!(psnr(&a, &fine) > psnr(&a, &coarse) + 15.0);
+    }
+
+    #[test]
+    fn rel_error_uses_value_range() {
+        let a = arr(&[0.0, 100.0]);
+        let b = arr(&[1.0, 100.0]);
+        assert!((max_rel_error(&a, &b) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_error_constant_data() {
+        let a = arr(&[5.0, 5.0, 5.0]);
+        assert_eq!(max_rel_error(&a, &a), 0.0);
+        let b = arr(&[5.0, 5.1, 5.0]);
+        assert!(max_rel_error(&a, &b).is_infinite());
+    }
+
+    #[test]
+    fn compression_ratio_basic() {
+        assert_eq!(compression_ratio(1000, 10), 100.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn compression_ratio_zero_denominator() {
+        let _ = compression_ratio(10, 0);
+    }
+
+    #[test]
+    fn autocorr_of_alternating_errors_is_negative() {
+        let a = arr(&[0.0; 64]);
+        let e: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let b = arr(&e);
+        assert!(error_autocorrelation(&a, &b) < -0.9);
+    }
+
+    #[test]
+    fn autocorr_of_constant_shift_is_zero() {
+        let a = arr(&[1.0, 2.0, 3.0, 4.0]);
+        let b = arr(&[1.5, 2.5, 3.5, 4.5]);
+        assert_eq!(error_autocorrelation(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn report_within_bound() {
+        let a = arr(&[0.0, 1.0]);
+        let b = arr(&[0.005, 1.0]);
+        let r = QualityReport::evaluate(&a, &b, 8);
+        assert!(r.within_bound(0.01));
+        assert!(!r.within_bound(0.001));
+        assert_eq!(r.compression_ratio, 2.0);
+    }
+}

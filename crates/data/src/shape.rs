@@ -1,0 +1,231 @@
+//! Array shapes for 1–4 dimensional scientific fields.
+//!
+//! The paper's data sets span one (HACC particles) to four (S3D
+//! combustion) dimensions, so the whole stack is generic over a small
+//! fixed-rank shape type rather than a fully dynamic tensor.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum rank supported by the library (S3D is 4-D).
+pub const MAX_RANK: usize = 4;
+
+/// A dense row-major shape of rank 1–4.
+///
+/// Dimensions are stored most-significant first (`dims[0]` is the slowest
+/// varying index), matching the `d1 × d2 × … × dk` convention of the
+/// paper's problem formulation (§III).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: usize,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty, longer than [`MAX_RANK`], or contains a
+    /// zero dimension.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_RANK,
+            "shape rank must be 1..={MAX_RANK}, got {}",
+            dims.len()
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        let mut a = [1usize; MAX_RANK];
+        a[..dims.len()].copy_from_slice(dims);
+        Self {
+            dims: a,
+            rank: dims.len(),
+        }
+    }
+
+    /// 1-D shape of `n` elements.
+    pub fn d1(n: usize) -> Self {
+        Self::new(&[n])
+    }
+
+    /// 2-D shape (`rows × cols`).
+    pub fn d2(a: usize, b: usize) -> Self {
+        Self::new(&[a, b])
+    }
+
+    /// 3-D shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Self::new(&[a, b, c])
+    }
+
+    /// 4-D shape.
+    pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
+        Self::new(&[a, b, c, d])
+    }
+
+    /// Number of dimensions (1–4).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The dimensions as a slice of length [`Self::rank`].
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank]
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> usize {
+        assert!(i < self.rank, "dimension {i} out of rank {}", self.rank);
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims[..self.rank].iter().product()
+    }
+
+    /// True when the shape holds zero elements (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides, one per dimension.
+    #[inline]
+    pub fn strides(&self) -> [usize; MAX_RANK] {
+        let mut s = [1usize; MAX_RANK];
+        for i in (0..self.rank.saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.dims[i + 1];
+        }
+        s
+    }
+
+    /// Linearizes a multi-index. Coordinates beyond the rank are ignored.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any coordinate is out of bounds.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.rank);
+        let strides = self.strides();
+        let mut off = 0;
+        for (i, &c) in idx.iter().enumerate() {
+            debug_assert!(c < self.dims[i], "index {c} out of dim {}", self.dims[i]);
+            off += c * strides[i];
+        }
+        off
+    }
+
+    /// Inverse of [`Self::offset`]: converts a linear offset to a
+    /// multi-index (only the first `rank` entries are meaningful).
+    #[inline]
+    pub fn unoffset(&self, mut off: usize) -> [usize; MAX_RANK] {
+        debug_assert!(off < self.len());
+        let strides = self.strides();
+        let mut idx = [0usize; MAX_RANK];
+        for i in 0..self.rank {
+            idx[i] = off / strides[i];
+            off %= strides[i];
+        }
+        idx
+    }
+
+    /// Shape with every dimension multiplied by `k` (paper §VI-C
+    /// inflation; the NYX 512³ cube inflated by 2 becomes 1024³).
+    pub fn inflated(&self, k: usize) -> Self {
+        assert!(k > 0, "inflation factor must be positive");
+        let mut d = self.dims;
+        for v in d[..self.rank].iter_mut() {
+            *v *= k;
+        }
+        Self {
+            dims: d,
+            rank: self.rank,
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for d in self.dims() {
+            if !first {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_len() {
+        let s = Shape::d3(4, 5, 6);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.dims(), &[4, 5, 6]);
+        assert_eq!(s.dim(1), 5);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::d3(4, 5, 6);
+        assert_eq!(s.strides()[..3], [30, 6, 1]);
+        let s2 = Shape::d4(2, 3, 4, 5);
+        assert_eq!(s2.strides()[..4], [60, 20, 5, 1]);
+    }
+
+    #[test]
+    fn offset_unoffset_roundtrip() {
+        let s = Shape::d4(3, 4, 5, 6);
+        for off in 0..s.len() {
+            let idx = s.unoffset(off);
+            assert_eq!(s.offset(&idx[..s.rank()]), off);
+        }
+    }
+
+    #[test]
+    fn offset_ordering_is_row_major() {
+        let s = Shape::d2(2, 3);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[0, 2]), 2);
+        assert_eq!(s.offset(&[1, 0]), 3);
+    }
+
+    #[test]
+    fn inflated_multiplies_dims() {
+        let s = Shape::d3(8, 8, 8).inflated(2);
+        assert_eq!(s.dims(), &[16, 16, 16]);
+        assert_eq!(s.len(), 4096);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(&[4, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn excess_rank_rejected() {
+        let _ = Shape::new(&[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::d3(26, 1800, 3600).to_string(), "26x1800x3600");
+    }
+}

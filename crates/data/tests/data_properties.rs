@@ -1,0 +1,136 @@
+//! Property tests for the data crate: shape algebra, serialization,
+//! metric identities, and the statistics machinery.
+
+use eblcio_data::{
+    inflate::inflate, max_abs_error, max_rel_error, mse, psnr, NdArray, RunningStats, Shape,
+};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1usize..500).prop_map(Shape::d1),
+        ((1usize..30), (1usize..30)).prop_map(|(a, b)| Shape::d2(a, b)),
+        ((1usize..12), (1usize..12), (1usize..12)).prop_map(|(a, b, c)| Shape::d3(a, b, c)),
+        ((1usize..6), (1usize..6), (1usize..6), (1usize..6))
+            .prop_map(|(a, b, c, d)| Shape::d4(a, b, c, d)),
+    ]
+}
+
+fn arb_array() -> impl Strategy<Value = NdArray<f64>> {
+    (arb_shape(), any::<u64>()).prop_map(|(shape, seed)| {
+        let mut x = seed | 1;
+        NdArray::from_fn(shape, |_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 2_000_001) as f64 / 1000.0 - 1000.0
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strides_and_offsets_consistent(shape in arb_shape()) {
+        let strides = shape.strides();
+        // Row-major: stride of the last dim is 1; products telescope.
+        prop_assert_eq!(strides[shape.rank() - 1], 1);
+        for d in 0..shape.rank() - 1 {
+            prop_assert_eq!(strides[d], strides[d + 1] * shape.dim(d + 1));
+        }
+        // Last index maps to len-1.
+        let last: Vec<usize> = shape.dims().iter().map(|&d| d - 1).collect();
+        prop_assert_eq!(shape.offset(&last), shape.len() - 1);
+    }
+
+    #[test]
+    fn unoffset_is_left_inverse(shape in arb_shape(), k in any::<usize>()) {
+        let off = k % shape.len();
+        let idx = shape.unoffset(off);
+        prop_assert_eq!(shape.offset(&idx[..shape.rank()]), off);
+        // And indices are in range.
+        for d in 0..shape.rank() {
+            prop_assert!(idx[d] < shape.dim(d));
+        }
+    }
+
+    #[test]
+    fn le_roundtrip_f64(a in arb_array()) {
+        let bytes = a.to_le_bytes();
+        prop_assert_eq!(bytes.len(), a.nbytes());
+        let b = NdArray::<f64>::from_le_bytes(a.shape(), &bytes).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metric_identities(a in arb_array()) {
+        // Self-comparison identities.
+        prop_assert_eq!(mse(&a, &a), 0.0);
+        prop_assert_eq!(max_abs_error(&a, &a), 0.0);
+        prop_assert!(psnr(&a, &a).is_infinite());
+        prop_assert!(max_rel_error(&a, &a) <= 0.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn metric_symmetry_and_positivity(a in arb_array(), delta in -5.0f64..5.0) {
+        if delta == 0.0 {
+            return Ok(());
+        }
+        let mut b = a.clone();
+        for v in b.as_mut_slice() {
+            *v += delta;
+        }
+        // MSE is symmetric; abs error equals |delta| for constant shift.
+        prop_assert!((mse(&a, &b) - mse(&b, &a)).abs() < 1e-9);
+        prop_assert!((max_abs_error(&a, &b) - delta.abs()).abs() < 1e-9);
+        prop_assert!(mse(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn inflate_len_and_range(a in arb_array(), k in 1usize..3) {
+        // Limit volume: skip very large sources.
+        if a.len() > 4000 {
+            return Ok(());
+        }
+        let b = inflate(&a, k);
+        prop_assert_eq!(b.len(), a.len() * k.pow(a.shape().rank() as u32));
+        let (amin, amax) = a.min_max().unwrap();
+        let (bmin, bmax) = b.min_max().unwrap();
+        prop_assert!(bmin >= amin - 1e-9 && bmax <= amax + 1e-9);
+    }
+
+    #[test]
+    fn running_stats_match_naive(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        // CI half-width is nonnegative and shrinks if we replicate data.
+        prop_assert!(s.ci95().half_width >= 0.0);
+    }
+
+    #[test]
+    fn psnr_monotone_in_noise(a in arb_array(), scale in 0.01f64..1.0) {
+        if a.value_range() < 1e-6 {
+            return Ok(());
+        }
+        let mut small = a.clone();
+        let mut large = a.clone();
+        let mut x = 123u64;
+        for (s, l) in small.as_mut_slice().iter_mut().zip(large.as_mut_slice().iter_mut()) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let noise = (x % 1000) as f64 / 1000.0 - 0.5;
+            *s += noise * scale;
+            *l += noise * scale * 10.0;
+        }
+        prop_assert!(psnr(&a, &small) >= psnr(&a, &large) - 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! DVFS (dynamic voltage/frequency scaling) energy modeling.
+//!
+//! The paper's §II-C cites Wilkins & Calhoun (IPDPSW'22), which models
+//! lossy-compression power under DVFS. This module implements that
+//! extension: a cubic dynamic-power frequency model
+//! `P(f) = P_static + c·f³` with runtime `t(f) = W/f` for compute-bound
+//! kernels, the induced energy curve `E(f) = P(f)·t(f)`, and the
+//! energy-optimal operating point — letting campaigns ask "would running
+//! the compressor at a lower clock save energy?"
+
+use crate::profile::CpuProfile;
+use crate::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A DVFS operating range for one CPU.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DvfsModel {
+    /// Static (leakage + uncore) power, independent of frequency.
+    pub static_power: Watts,
+    /// Dynamic power at the nominal frequency.
+    pub dynamic_power_nominal: Watts,
+    /// Nominal frequency in GHz.
+    pub f_nominal_ghz: f64,
+    /// Lowest admissible frequency in GHz.
+    pub f_min_ghz: f64,
+    /// Highest (turbo) frequency in GHz.
+    pub f_max_ghz: f64,
+}
+
+impl DvfsModel {
+    /// Derives a DVFS model from a platform profile, attributing the
+    /// idle power to the static term and the single-core dynamic slice
+    /// to the cubic term.
+    pub fn from_profile(profile: &CpuProfile, active_cores: u32) -> Self {
+        let at_load = profile.package_power(active_cores, 1.0);
+        let idle = profile.idle_power();
+        Self {
+            static_power: idle,
+            dynamic_power_nominal: at_load - idle,
+            f_nominal_ghz: 2.4,
+            f_min_ghz: 1.0,
+            f_max_ghz: 3.4,
+        }
+    }
+
+    /// Package power at frequency `f` (GHz): `P_s + P_d·(f/f_nom)³`.
+    pub fn power_at(&self, f_ghz: f64) -> Watts {
+        let r = f_ghz / self.f_nominal_ghz;
+        self.static_power + self.dynamic_power_nominal * (r * r * r)
+    }
+
+    /// Runtime at frequency `f` for a compute-bound region that takes
+    /// `t_nominal` at the nominal frequency.
+    pub fn runtime_at(&self, t_nominal: Seconds, f_ghz: f64) -> Seconds {
+        Seconds(t_nominal.value() * self.f_nominal_ghz / f_ghz)
+    }
+
+    /// Energy of the region at frequency `f`.
+    pub fn energy_at(&self, t_nominal: Seconds, f_ghz: f64) -> Joules {
+        self.power_at(f_ghz) * self.runtime_at(t_nominal, f_ghz)
+    }
+
+    /// The energy-optimal frequency in `[f_min, f_max]`.
+    ///
+    /// Analytically, minimizing `(P_s + P_d·(f/f_n)³)·(W/f)` gives
+    /// `f* = f_n · (P_s / (2·P_d))^{1/3}`, clamped to the range.
+    pub fn optimal_frequency(&self) -> f64 {
+        let ratio = self.static_power.value() / (2.0 * self.dynamic_power_nominal.value());
+        (self.f_nominal_ghz * ratio.cbrt()).clamp(self.f_min_ghz, self.f_max_ghz)
+    }
+
+    /// Energy saving (fraction) of running at the optimum vs nominal.
+    pub fn optimal_saving(&self, t_nominal: Seconds) -> f64 {
+        let e_nom = self.energy_at(t_nominal, self.f_nominal_ghz);
+        let e_opt = self.energy_at(t_nominal, self.optimal_frequency());
+        1.0 - e_opt.value() / e_nom.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CpuGeneration;
+
+    fn model() -> DvfsModel {
+        DvfsModel {
+            static_power: Watts(60.0),
+            dynamic_power_nominal: Watts(120.0),
+            f_nominal_ghz: 2.4,
+            f_min_ghz: 1.0,
+            f_max_ghz: 3.4,
+        }
+    }
+
+    #[test]
+    fn power_is_cubic_in_frequency() {
+        let m = model();
+        let p1 = m.power_at(2.4).value();
+        let p2 = m.power_at(4.8).value();
+        // Dynamic part grows 8x.
+        assert!(((p2 - 60.0) / (p1 - 60.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_inverse_in_frequency() {
+        let m = model();
+        let t = m.runtime_at(Seconds(10.0), 1.2);
+        assert!((t.value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimum_matches_analytic_form() {
+        let m = model();
+        let f_star = m.optimal_frequency();
+        let expect = 2.4 * (60.0f64 / 240.0).cbrt();
+        assert!((f_star - expect).abs() < 1e-12);
+        // Numerically verify it is a minimum over the range.
+        let e_star = m.energy_at(Seconds(1.0), f_star).value();
+        for f in [1.0, 1.5, 2.0, 2.4, 3.0, 3.4] {
+            assert!(m.energy_at(Seconds(1.0), f).value() >= e_star - 1e-9, "f={f}");
+        }
+    }
+
+    #[test]
+    fn optimum_clamped_to_range() {
+        // Overwhelming static power pushes f* to f_max.
+        let m = DvfsModel {
+            static_power: Watts(1000.0),
+            dynamic_power_nominal: Watts(1.0),
+            ..model()
+        };
+        assert_eq!(m.optimal_frequency(), m.f_max_ghz);
+        // Overwhelming dynamic power pushes it to f_min.
+        let m = DvfsModel {
+            static_power: Watts(0.1),
+            dynamic_power_nominal: Watts(1000.0),
+            ..model()
+        };
+        assert_eq!(m.optimal_frequency(), m.f_min_ghz);
+    }
+
+    #[test]
+    fn saving_nonnegative_and_bounded() {
+        for gen in CpuGeneration::ALL {
+            let m = DvfsModel::from_profile(&gen.profile(), 8);
+            let s = m.optimal_saving(Seconds(5.0));
+            assert!((0.0..1.0).contains(&s), "{gen:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn from_profile_splits_idle_and_dynamic() {
+        let p = CpuGeneration::Skylake8160.profile();
+        let m = DvfsModel::from_profile(&p, p.cores);
+        assert_eq!(m.static_power.value(), p.idle_power().value());
+        assert!(
+            (m.static_power.value() + m.dynamic_power_nominal.value()
+                - p.max_power().value())
+            .abs()
+                < 1e-9
+        );
+    }
+}

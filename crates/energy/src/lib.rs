@@ -1,0 +1,36 @@
+//! # eblcio-energy
+//!
+//! Energy measurement substrate for the reproduction of the paper's
+//! RAPL/PAPI methodology (§IV-B).
+//!
+//! The paper samples Intel RAPL package counters through PAPI and
+//! integrates `E = Σ P(tᵢ)·Δt` over each compression / I/O phase, on
+//! three Xeon generations (Table I). This container has no RAPL, so the
+//! crate provides both:
+//!
+//! * [`rapl::RaplMeter`] — a real `/sys/class/powercap` reader used
+//!   automatically when the interface exists (wraparound-safe), and
+//! * [`meter::ModeledMeter`] — the documented substitution: power is
+//!   modeled from a per-CPU [`profile::CpuProfile`] (TDP, idle power,
+//!   core scaling, memory power — derived from Table I) and integrated
+//!   over the *measured wall time and thread activity* of the actual
+//!   Rust workload, exactly the `E = Σ P(tᵢ)Δt` discretization the paper
+//!   describes.
+//!
+//! Cross-CPU comparisons (Figs. 5/7/10) come from each profile's
+//! throughput and power scaling; see `DESIGN.md` for the substitution
+//! argument.
+
+pub mod dvfs;
+pub mod measure;
+pub mod meter;
+pub mod profile;
+pub mod rapl;
+pub mod sampler;
+pub mod units;
+
+pub use dvfs::DvfsModel;
+pub use measure::{measure_compute, modeled_compute_energy, Activity, Measurement};
+pub use meter::{EnergyMeter, MeterKind, ModeledMeter};
+pub use profile::{CpuGeneration, CpuProfile};
+pub use units::{Joules, Seconds, Watts};

@@ -1,0 +1,223 @@
+//! Measured-workload energy accounting.
+//!
+//! [`measure_compute`] runs a closure, measures its wall time, and
+//! integrates the modeled package + memory power over that time for a
+//! given CPU profile — the substitution for "PAPI around the compression
+//! call" (paper Fig. 4). [`modeled_compute_energy`] is the deterministic
+//! variant used where reproducible numbers matter (tests, the PFS
+//! simulator's internal accounting).
+
+use crate::profile::CpuProfile;
+use crate::units::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// What the measured region was doing, for the power model.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Activity {
+    /// Worker threads actively computing.
+    pub threads: u32,
+    /// CPU utilization of those threads (1.0 for a busy codec loop).
+    pub utilization: f64,
+    /// Memory-traffic intensity in `[0,1]` (bytes touched / time vs
+    /// peak bandwidth; compressors stream their input ≈ 0.4–0.8).
+    pub memory_intensity: f64,
+}
+
+impl Activity {
+    /// A fully-busy serial codec loop.
+    pub fn serial_compute() -> Self {
+        Self {
+            threads: 1,
+            utilization: 1.0,
+            memory_intensity: 0.5,
+        }
+    }
+
+    /// A fully-busy parallel codec region on `threads` threads.
+    pub fn parallel_compute(threads: u32) -> Self {
+        Self {
+            threads,
+            utilization: 1.0,
+            memory_intensity: 0.6,
+        }
+    }
+
+    /// An I/O-bound phase (low CPU, streaming memory).
+    pub fn io_phase() -> Self {
+        Self {
+            threads: 1,
+            utilization: 0.15,
+            memory_intensity: 0.8,
+        }
+    }
+}
+
+/// One measured region: modeled runtime and energy on the target CPU.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Wall time measured on *this* machine.
+    pub wall: Seconds,
+    /// Runtime scaled to the target CPU (`wall / throughput_factor`).
+    pub scaled: Seconds,
+    /// Package energy over the scaled runtime (both RAPL zones, Eq. 6).
+    pub package: Joules,
+    /// DRAM energy over the scaled runtime.
+    pub dram: Joules,
+}
+
+impl Measurement {
+    /// Total energy (`package + dram`).
+    pub fn total(&self) -> Joules {
+        self.package + self.dram
+    }
+
+    /// Mean power over the scaled runtime.
+    pub fn mean_power(&self) -> Watts {
+        if self.scaled.value() <= 0.0 {
+            Watts::ZERO
+        } else {
+            self.total() / self.scaled
+        }
+    }
+
+    /// Accumulates another measurement (sequential phases).
+    pub fn accumulate(&mut self, other: &Measurement) {
+        self.wall += other.wall;
+        self.scaled += other.scaled;
+        self.package += other.package;
+        self.dram += other.dram;
+    }
+}
+
+/// Converts a measured wall time + activity into the target platform's
+/// runtime and energy.
+pub fn energy_for_wall(profile: &CpuProfile, activity: Activity, wall: Seconds) -> Measurement {
+    let scaled = Seconds(wall.value() / profile.throughput_factor);
+    let pkg_power = profile.package_power(activity.threads, activity.utilization);
+    let mem_power = profile.memory_power(activity.memory_intensity);
+    Measurement {
+        wall,
+        scaled,
+        package: pkg_power * scaled,
+        dram: mem_power * scaled,
+    }
+}
+
+/// Runs `f`, returning its value and the modeled measurement of the
+/// region on `profile`.
+pub fn measure_compute<R>(
+    profile: &CpuProfile,
+    activity: Activity,
+    f: impl FnOnce() -> R,
+) -> (R, Measurement) {
+    let start = Instant::now();
+    let out = f();
+    let wall = Seconds(start.elapsed().as_secs_f64());
+    (out, energy_for_wall(profile, activity, wall))
+}
+
+/// Deterministic energy for a purely modeled workload of `work_units`
+/// abstract units, where one unit takes one second at unit throughput on
+/// the 8260M baseline with one thread.
+///
+/// Parallel runs divide runtime by an Amdahl-style effective speedup
+/// with `parallel_fraction` of the work parallelizable.
+pub fn modeled_compute_energy(
+    profile: &CpuProfile,
+    activity: Activity,
+    work_units: f64,
+    parallel_fraction: f64,
+) -> Measurement {
+    assert!(work_units >= 0.0, "negative work");
+    let t = f64::from(activity.threads.max(1));
+    let speedup = 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / t);
+    let wall = Seconds(work_units / speedup);
+    energy_for_wall(profile, activity, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CpuGeneration;
+
+    fn profile() -> CpuProfile {
+        CpuGeneration::Skylake8160.profile()
+    }
+
+    #[test]
+    fn measure_compute_returns_value_and_positive_energy() {
+        let (out, m) = measure_compute(&profile(), Activity::serial_compute(), || {
+            let mut acc = 0u64;
+            for i in 0..2_000_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(out > 0);
+        assert!(m.wall.value() > 0.0);
+        assert!(m.package.value() > 0.0);
+        assert!(m.total().value() > m.package.value());
+    }
+
+    #[test]
+    fn scaled_runtime_uses_throughput_factor() {
+        let p = CpuGeneration::SapphireRapids9480.profile();
+        let m = energy_for_wall(&p, Activity::serial_compute(), Seconds(2.3));
+        assert!((m.scaled.value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modeled_energy_deterministic_and_monotone_in_work() {
+        let p = profile();
+        let a = Activity::serial_compute();
+        let e1 = modeled_compute_energy(&p, a, 1.0, 0.95);
+        let e2 = modeled_compute_energy(&p, a, 2.0, 0.95);
+        assert_eq!(
+            modeled_compute_energy(&p, a, 1.0, 0.95).total().value(),
+            e1.total().value()
+        );
+        assert!((e2.total().value() - 2.0 * e1.total().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_energy_decreases_then_plateaus() {
+        // Fig. 10's shape: more threads → less energy, with diminishing
+        // returns (power grows sub-linearly, runtime shrinks per Amdahl).
+        let p = profile();
+        let energies: Vec<f64> = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&t| {
+                modeled_compute_energy(&p, Activity::parallel_compute(t), 100.0, 0.95)
+                    .total()
+                    .value()
+            })
+            .collect();
+        assert!(energies[1] < energies[0]);
+        assert!(energies[2] < energies[1]);
+        // Diminishing improvement: the 16→32 gain is smaller than 1→2.
+        let early_gain = energies[0] - energies[1];
+        let late_gain = (energies[4] - energies[5]).max(0.0);
+        assert!(late_gain < early_gain);
+    }
+
+    #[test]
+    fn mean_power_between_idle_and_max() {
+        let p = profile();
+        let m = modeled_compute_energy(&p, Activity::parallel_compute(8), 10.0, 0.9);
+        let w = m.mean_power().value();
+        assert!(w >= p.idle_power().value());
+        assert!(w <= p.max_power().value() + p.mem_power.value());
+    }
+
+    #[test]
+    fn accumulate_sums_phases() {
+        let p = profile();
+        let a = Activity::serial_compute();
+        let mut total = modeled_compute_energy(&p, a, 1.0, 0.9);
+        let other = modeled_compute_energy(&p, a, 2.0, 0.9);
+        total.accumulate(&other);
+        assert!((total.wall.value() - 3.0).abs() < 1e-9);
+        assert!(total.total().value() > other.total().value());
+    }
+}

@@ -1,0 +1,148 @@
+//! The [`EnergyMeter`] front door: RAPL when available, model otherwise.
+
+use crate::measure::{energy_for_wall, Activity, Measurement};
+use crate::profile::CpuProfile;
+use crate::rapl::{RaplMeter, RaplSnapshot};
+use crate::units::Seconds;
+use std::time::Instant;
+
+/// A meter that can bracket a region and report its energy.
+pub trait EnergyMeter: Send + Sync {
+    /// Human-readable backend name.
+    fn backend(&self) -> &'static str;
+
+    /// Measures `f` and returns the region's [`Measurement`].
+    fn measure(&self, activity: Activity, f: &mut dyn FnMut()) -> Measurement;
+}
+
+/// Model-backed meter (the default in this container): real wall time ×
+/// profile power model.
+#[derive(Clone, Debug)]
+pub struct ModeledMeter {
+    /// The CPU whose power model to integrate.
+    pub profile: CpuProfile,
+}
+
+impl ModeledMeter {
+    /// Creates a meter for the given platform.
+    pub fn new(profile: CpuProfile) -> Self {
+        Self { profile }
+    }
+}
+
+impl EnergyMeter for ModeledMeter {
+    fn backend(&self) -> &'static str {
+        "modeled"
+    }
+
+    fn measure(&self, activity: Activity, f: &mut dyn FnMut()) -> Measurement {
+        let start = Instant::now();
+        f();
+        let wall = Seconds(start.elapsed().as_secs_f64());
+        energy_for_wall(&self.profile, activity, wall)
+    }
+}
+
+/// RAPL-backed meter for bare-metal Intel hosts.
+pub struct HardwareMeter {
+    rapl: RaplMeter,
+    profile: CpuProfile,
+}
+
+impl EnergyMeter for HardwareMeter {
+    fn backend(&self) -> &'static str {
+        "rapl"
+    }
+
+    fn measure(&self, activity: Activity, f: &mut dyn FnMut()) -> Measurement {
+        let before: Option<RaplSnapshot> = self.rapl.snapshot().ok();
+        let start = Instant::now();
+        f();
+        let wall = Seconds(start.elapsed().as_secs_f64());
+        let after = self.rapl.snapshot().ok();
+        match (before, after) {
+            (Some(b), Some(a)) => {
+                let pkg = self.rapl.energy_between(&b, &a);
+                Measurement {
+                    wall,
+                    scaled: wall,
+                    package: pkg,
+                    dram: self.profile.memory_power(activity.memory_intensity) * wall,
+                }
+            }
+            // Counter read failed mid-flight: fall back to the model.
+            _ => energy_for_wall(&self.profile, activity, wall),
+        }
+    }
+}
+
+/// Meter selection.
+pub enum MeterKind {
+    /// Hardware RAPL counters.
+    Hardware(HardwareMeter),
+    /// Power model over measured wall time.
+    Modeled(ModeledMeter),
+}
+
+impl MeterKind {
+    /// Picks RAPL when the powercap interface exists, otherwise the
+    /// model for `profile`.
+    pub fn auto(profile: CpuProfile) -> Self {
+        match RaplMeter::discover() {
+            Some(rapl) => MeterKind::Hardware(HardwareMeter { rapl, profile }),
+            None => MeterKind::Modeled(ModeledMeter::new(profile)),
+        }
+    }
+
+    /// The underlying meter as a trait object.
+    pub fn as_meter(&self) -> &dyn EnergyMeter {
+        match self {
+            MeterKind::Hardware(m) => m,
+            MeterKind::Modeled(m) => m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CpuGeneration;
+
+    #[test]
+    fn modeled_meter_measures_region() {
+        let meter = ModeledMeter::new(CpuGeneration::Skylake8160.profile());
+        let mut acc = 0u64;
+        let m = meter.measure(Activity::serial_compute(), &mut || {
+            for i in 0..1_000_000u64 {
+                acc = acc.wrapping_add(i);
+            }
+        });
+        assert!(acc > 0);
+        assert!(m.package.value() > 0.0);
+        assert_eq!(meter.backend(), "modeled");
+    }
+
+    #[test]
+    fn auto_selects_some_backend() {
+        let kind = MeterKind::auto(CpuGeneration::SapphireRapids9480.profile());
+        let name = kind.as_meter().backend();
+        assert!(name == "rapl" || name == "modeled");
+    }
+
+    #[test]
+    fn longer_work_more_energy() {
+        let meter = ModeledMeter::new(CpuGeneration::CascadeLake8260M.profile());
+        let mut sink = 0u64;
+        let short = meter.measure(Activity::serial_compute(), &mut || {
+            for i in 0..200_000u64 {
+                sink = sink.wrapping_add(std::hint::black_box(i) * 3);
+            }
+        });
+        let long = meter.measure(Activity::serial_compute(), &mut || {
+            for i in 0..20_000_000u64 {
+                sink = sink.wrapping_add(std::hint::black_box(i) * 3);
+            }
+        });
+        assert!(long.package.value() > short.package.value(), "{sink}");
+    }
+}

@@ -1,0 +1,184 @@
+//! PAPI-style power sampling.
+//!
+//! The paper's §IV-B stresses that RAPL energy is a discretized integral
+//! `E = Σ P(tᵢ)·Δt`. This module reproduces that machinery: a
+//! [`PowerTrace`] records `(t, P)` samples — from a background sampling
+//! thread in measured mode, or synthetically in tests — and integrates
+//! them with the same left-Riemann rule.
+
+use crate::units::{Joules, Seconds, Watts};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A recorded power trace.
+#[derive(Clone, Debug, Default)]
+pub struct PowerTrace {
+    /// `(timestamp, power)` samples, timestamps strictly increasing.
+    samples: Vec<(Seconds, Watts)>,
+}
+
+impl PowerTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample; out-of-order timestamps are rejected.
+    pub fn push(&mut self, t: Seconds, p: Watts) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(t.value() > last.value(), "non-monotonic sample time");
+        }
+        self.samples.push((t, p));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Left-Riemann integral `Σ P(tᵢ)·(tᵢ₊₁ − tᵢ)` — the paper's Eq. in
+    /// §IV-B.
+    pub fn integrate(&self) -> Joules {
+        let mut e = Joules::ZERO;
+        for w in self.samples.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            e += w[0].1 * dt;
+        }
+        e
+    }
+
+    /// Mean power over the trace span (0 with < 2 samples).
+    pub fn mean_power(&self) -> Watts {
+        if self.samples.len() < 2 {
+            return Watts::ZERO;
+        }
+        let span = self.samples.last().unwrap().0 - self.samples[0].0;
+        if span.value() <= 0.0 {
+            Watts::ZERO
+        } else {
+            self.integrate() / span
+        }
+    }
+}
+
+/// Samples a power callback on a background thread while a workload runs.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    trace: Arc<Mutex<PowerTrace>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts sampling `power_fn` every `interval`.
+    pub fn start(
+        interval: Duration,
+        power_fn: impl Fn() -> Watts + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let trace = Arc::new(Mutex::new(PowerTrace::new()));
+        let (stop2, trace2) = (stop.clone(), trace.clone());
+        let t0 = Instant::now();
+        let handle = std::thread::spawn(move || {
+            let mut last = -1.0f64;
+            while !stop2.load(Ordering::Relaxed) {
+                let now = t0.elapsed().as_secs_f64();
+                if now > last {
+                    trace2.lock().push(Seconds(now), power_fn());
+                    last = now;
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        Self {
+            stop,
+            trace,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops sampling and returns the trace.
+    pub fn finish(mut self) -> PowerTrace {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        let t = self.trace.lock().clone();
+        t
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_of_constant_power() {
+        let mut t = PowerTrace::new();
+        for i in 0..=10 {
+            t.push(Seconds(i as f64 * 0.1), Watts(50.0));
+        }
+        // 1 second at 50 W.
+        assert!((t.integrate().value() - 50.0 * 1.0).abs() < 1e-9);
+        assert!((t.mean_power().value() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_of_step_function() {
+        let mut t = PowerTrace::new();
+        t.push(Seconds(0.0), Watts(10.0));
+        t.push(Seconds(1.0), Watts(100.0));
+        t.push(Seconds(3.0), Watts(100.0));
+        // 1s @ 10W + 2s @ 100W.
+        assert!((t.integrate().value() - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let t = PowerTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.integrate(), Joules::ZERO);
+        let mut t = PowerTrace::new();
+        t.push(Seconds(1.0), Watts(5.0));
+        assert_eq!(t.integrate(), Joules::ZERO);
+        assert_eq!(t.mean_power(), Watts::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_monotonic_rejected() {
+        let mut t = PowerTrace::new();
+        t.push(Seconds(1.0), Watts(5.0));
+        t.push(Seconds(0.5), Watts(5.0));
+    }
+
+    #[test]
+    fn sampler_records_during_workload() {
+        let sampler = Sampler::start(Duration::from_millis(1), || Watts(42.0));
+        // Busy work for ~30 ms.
+        let mut acc = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(30) {
+            acc = acc.wrapping_add(1);
+        }
+        let trace = sampler.finish();
+        assert!(acc > 0);
+        assert!(trace.len() >= 2, "only {} samples", trace.len());
+        assert!((trace.mean_power().value() - 42.0).abs() < 1e-9);
+    }
+}

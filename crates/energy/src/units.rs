@@ -1,0 +1,171 @@
+//! Physical unit newtypes.
+//!
+//! Energy work in this workspace mixes joules, watts, and seconds across
+//! many models; the newtypes keep the dimensional algebra honest
+//! (`Watts × Seconds = Joules`) at zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Raw magnitude.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True when the value is finite and ≥ 0.
+            #[inline]
+            pub fn is_valid(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl std::iter::Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:.4} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Energy in joules.
+    Joules, "J"
+);
+unit!(
+    /// Power in watts.
+    Watts, "W"
+);
+unit!(
+    /// Time in seconds.
+    Seconds, "s"
+);
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// `P · t = E`.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    /// `t · P = E`.
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// `E / t = P̄`.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    /// `E / P = t`.
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensional_algebra() {
+        let e = Watts(100.0) * Seconds(3.0);
+        assert_eq!(e, Joules(300.0));
+        assert_eq!(e / Seconds(3.0), Watts(100.0));
+        assert_eq!(e / Watts(100.0), Seconds(3.0));
+        assert_eq!(Seconds(2.0) * Watts(5.0), Joules(10.0));
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Joules = [Joules(1.0), Joules(2.5), Joules(3.0)].into_iter().sum();
+        assert_eq!(total, Joules(6.5));
+        let mut acc = Joules::ZERO;
+        acc += Joules(4.0);
+        assert_eq!(acc - Joules(1.0), Joules(3.0));
+        assert_eq!(acc * 2.0, Joules(8.0));
+        assert_eq!(acc / 2.0, Joules(2.0));
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Joules(1.0).is_valid());
+        assert!(!Joules(-1.0).is_valid());
+        assert!(!Joules(f64::NAN).is_valid());
+    }
+
+    #[test]
+    fn display_has_suffix() {
+        assert_eq!(Watts(12.5).to_string(), "12.5000 W");
+        assert_eq!(Joules(1.0).to_string(), "1.0000 J");
+    }
+}

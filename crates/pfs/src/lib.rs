@@ -1,0 +1,28 @@
+//! # eblcio-pfs
+//!
+//! The storage substrate of the reproduction: a Lustre-like parallel
+//! file system model plus real, self-describing HDF5-lite / NetCDF-lite
+//! container formats.
+//!
+//! The paper writes compressed and uncompressed data through HDF5 and
+//! NetCDF to a Lustre PFS and measures the CPU-side energy of the write
+//! phase (§IV-D). Here:
+//!
+//! * [`ost`] — object storage targets and striping,
+//! * [`sim`] — the bandwidth/latency/contention model that turns an I/O
+//!   request into seconds and joules (the 256→512-writer contention knee
+//!   of Fig. 12 lives here),
+//! * [`format`] — byte-accurate `hdf5lite`/`netcdflite` serializers with
+//!   the per-tool efficiency profiles that reproduce the paper's
+//!   HDF5 < NetCDF energy ordering (§VI-A),
+//! * [`tool`] — the [`tool::IoTool`] trait the benefit framework (§III's
+//!   `I = {I₁ … I_q}`) programs against.
+
+pub mod format;
+pub mod ost;
+pub mod sim;
+pub mod tool;
+
+pub use ost::{Ost, StripeLayout};
+pub use sim::{IoMeasurement, IoRequest, PfsSim};
+pub use tool::{IoToolKind, WrittenObject};

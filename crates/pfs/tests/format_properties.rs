@@ -1,0 +1,98 @@
+//! Property tests for the container formats and the PFS model.
+
+use eblcio_energy::CpuGeneration;
+use eblcio_pfs::format::DataObject;
+use eblcio_pfs::{IoRequest, IoToolKind, PfsSim};
+use proptest::prelude::*;
+
+fn arb_object() -> impl Strategy<Value = DataObject> {
+    (
+        "[a-z][a-z0-9_]{0,24}",
+        0u8..3,
+        proptest::collection::vec(1u64..1000, 1..4),
+        proptest::collection::vec(("[a-z]{1,8}", "[ -~]{0,16}"), 0..4),
+        proptest::collection::vec(any::<u8>(), 0..2048),
+    )
+        .prop_map(|(name, dtype, shape, attrs, payload)| DataObject {
+            name,
+            dtype,
+            shape,
+            attrs: attrs
+                .into_iter()
+                .map(|(k, v)| (k, v))
+                .collect(),
+            payload,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn containers_roundtrip_arbitrary_objects(
+        objs in proptest::collection::vec(arb_object(), 0..5)
+    ) {
+        for tool in IoToolKind::ALL {
+            let img = tool.serialize(&objs);
+            let back = tool.deserialize(&img).unwrap();
+            prop_assert_eq!(&back, &objs, "{}", tool.name());
+        }
+    }
+
+    #[test]
+    fn io_requests_account_all_bytes(objs in proptest::collection::vec(arb_object(), 1..4)) {
+        for tool in IoToolKind::ALL {
+            let req = tool.io_request(&objs);
+            let payload: u64 = objs.iter().map(|o| o.payload.len() as u64).sum();
+            prop_assert_eq!(req.payload_bytes, payload);
+            prop_assert!(req.meta_bytes > 0, "metadata is never free");
+            prop_assert!(req.ops >= 1);
+            prop_assert!(req.efficiency > 0.0 && req.efficiency <= 1.0);
+        }
+    }
+
+    #[test]
+    fn pfs_time_monotone_in_bytes_and_writers(
+        bytes_a in 1u64..1_000_000_000,
+        bytes_b in 1u64..1_000_000_000,
+        writers in 1u32..2048,
+    ) {
+        let pfs = PfsSim::new(16, 1.0);
+        let profile = CpuGeneration::Skylake8160.profile();
+        let req = |b: u64| IoRequest {
+            payload_bytes: b,
+            meta_bytes: 0,
+            ops: 1,
+            efficiency: 0.9,
+        };
+        let (small, large) = if bytes_a <= bytes_b {
+            (bytes_a, bytes_b)
+        } else {
+            (bytes_b, bytes_a)
+        };
+        let t_small = pfs.write_concurrent(&req(small), writers, &profile).seconds.value();
+        let t_large = pfs.write_concurrent(&req(large), writers, &profile).seconds.value();
+        prop_assert!(t_large >= t_small);
+        // Per-writer time never improves when more writers pile on past 1.
+        let t1 = pfs.write_concurrent(&req(large), 1, &profile).seconds.value();
+        let tn = pfs.write_concurrent(&req(large), writers.max(2), &profile).seconds.value();
+        prop_assert!(tn >= t1 * 0.999);
+    }
+
+    #[test]
+    fn energy_consistent_with_time(bytes in 1u64..1_000_000_000, writers in 1u32..1024) {
+        let pfs = PfsSim::new(32, 2.0);
+        let profile = CpuGeneration::SapphireRapids9480.profile();
+        let req = IoRequest {
+            payload_bytes: bytes,
+            meta_bytes: 128,
+            ops: 3,
+            efficiency: 0.5,
+        };
+        let m = pfs.write_concurrent(&req, writers, &profile);
+        // E = P_io × t exactly.
+        let expect = profile.io_power.value() * m.seconds.value();
+        prop_assert!((m.cpu_energy.value() - expect).abs() < 1e-9 * expect.max(1.0));
+        prop_assert!(m.bandwidth_bps > 0.0 && m.bandwidth_bps.is_finite());
+    }
+}

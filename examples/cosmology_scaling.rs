@@ -1,0 +1,66 @@
+//! Cosmology-at-scale example: the paper's §VI-B/§VI-C combined.
+//!
+//! 1. Inflate a NYX-like cube ×1…×3 (Fig. 13's protocol) and watch
+//!    compression energy scale linearly with size.
+//! 2. Run the multi-node workflow (Fig. 6): N nodes × R ranks compress
+//!    and concurrently write to a contended Lustre-like PFS, vs the
+//!    uncompressed baseline.
+//!
+//! ```sh
+//! cargo run --release --example cosmology_scaling
+//! ```
+
+use eblcio::prelude::*;
+use eblcio_cluster::{run_compress_and_write, run_write_original, ClusterSpec};
+use eblcio_data::inflate::inflate;
+use eblcio_energy::{measure_compute, Activity, CpuGeneration};
+use eblcio_pfs::{IoToolKind, PfsSim};
+
+fn main() {
+    let base = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+    let profile = CpuGeneration::CascadeLake8260M.profile();
+    let codec = CompressorId::Sz3.instance();
+
+    println!("-- Part 1: inflation scaling (Fig. 13 protocol) --");
+    for k in 1..=3usize {
+        let inflated = Dataset::F32(inflate(base.as_f32(), k));
+        let (stream, m) = measure_compute(&profile, Activity::serial_compute(), || {
+            compress_dataset(codec.as_ref(), &inflated, ErrorBound::Relative(1e-3)).unwrap()
+        });
+        println!(
+            "x{k}: {:>7.1} MB -> {:>8} B compressed, {:.2} J, {:.1} MB/s",
+            inflated.nbytes() as f64 / 1e6,
+            stream.len(),
+            m.total().value(),
+            inflated.nbytes() as f64 / 1e6 / m.scaled.value().max(1e-9)
+        );
+    }
+
+    println!("\n-- Part 2: multi-node compress+write vs Original (Fig. 12 protocol) --");
+    // PFS bandwidth sized to the per-rank data so the compute/IO balance
+    // matches the paper's 537 MB-per-rank testbed (see the fig12 binary).
+    let pfs = PfsSim::new(64, base.nbytes() as f64 * 400.0 / 64.0 / 1e9);
+    for cores in [16u32, 128, 512] {
+        let ranks_per_node = cores.min(16);
+        let spec = ClusterSpec::new(cores / ranks_per_node, ranks_per_node, CpuGeneration::Skylake8160);
+        let compressed = run_compress_and_write(
+            &spec,
+            &base,
+            codec.as_ref(),
+            ErrorBound::Relative(1e-3),
+            IoToolKind::Hdf5Lite,
+            &pfs,
+        )
+        .expect("run");
+        let original = run_write_original(&spec, &base, IoToolKind::Hdf5Lite, &pfs);
+        println!(
+            "{cores:>4} cores: compress {:>9.2} J + write {:>8.2} J = {:>9.2} J | original write {:>9.2} J | compression wins: {}",
+            compressed.compression.joules.value(),
+            compressed.write.joules.value(),
+            compressed.total_joules().value(),
+            original.write.joules.value(),
+            compressed.beats(&original)
+        );
+    }
+    println!("\nShape to look for: the Original column grows super-linearly with cores\n(PFS contention), while the compressed path's write share stays negligible.");
+}

@@ -1,0 +1,213 @@
+//! `eblcio` — command-line front end for the EBLC codecs.
+//!
+//! ```text
+//! eblcio compress   --codec sz3 --eps 1e-3 --dtype f32 --dims 512x512x512 in.raw out.eblc
+//! eblcio decompress in.eblc out.raw
+//! eblcio inspect    in.eblc
+//! eblcio demo       [dataset]          # synthesize, compress with all codecs, report
+//! ```
+//!
+//! Raw files are flat little-endian sample arrays (the layout SDRBench
+//! distributes); compressed files are self-describing `EBLC` streams.
+
+use eblcio::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  eblcio compress --codec <sz2|sz3|zfp|qoz|szx> --eps <rel> \
+                 --dtype <f32|f64> --dims <AxBxC> <in.raw> <out.eblc>\n  \
+                 eblcio decompress <in.eblc> <out.raw>\n  \
+                 eblcio inspect <in.eblc>\n  \
+                 eblcio demo [cesm|hacc|nyx|s3d]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = args.get(i + 1).is_some();
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn parse_codec(s: &str) -> Result<CompressorId, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "sz2" => Ok(CompressorId::Sz2),
+        "sz3" => Ok(CompressorId::Sz3),
+        "zfp" => Ok(CompressorId::Zfp),
+        "qoz" => Ok(CompressorId::Qoz),
+        "szx" => Ok(CompressorId::Szx),
+        other => Err(format!("unknown codec '{other}'")),
+    }
+}
+
+fn parse_dims(s: &str) -> Result<Shape, String> {
+    let dims: Result<Vec<usize>, _> = s.split('x').map(str::parse).collect();
+    let dims = dims.map_err(|e| format!("bad --dims '{s}': {e}"))?;
+    if dims.is_empty() || dims.len() > 4 || dims.iter().any(|&d| d == 0) {
+        return Err(format!("--dims must be 1-4 positive sizes, got '{s}'"));
+    }
+    Ok(Shape::new(&dims))
+}
+
+fn cmd_compress(args: &[String]) -> CliResult {
+    let codec_id = parse_codec(flag(args, "--codec").ok_or("missing --codec")?)?;
+    let eps: f64 = flag(args, "--eps")
+        .ok_or("missing --eps")?
+        .parse()
+        .map_err(|e| format!("bad --eps: {e}"))?;
+    let dtype = flag(args, "--dtype").unwrap_or("f32");
+    let shape = parse_dims(flag(args, "--dims").ok_or("missing --dims")?)?;
+    let pos = positional(args);
+    let [input, output] = pos.as_slice() else {
+        return Err("expected <in.raw> <out.eblc>".into());
+    };
+
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let codec = codec_id.instance();
+    let t0 = std::time::Instant::now();
+    let stream = match dtype {
+        "f32" => {
+            let arr = NdArray::<f32>::from_le_bytes(shape, &bytes)
+                .ok_or_else(|| format!("{input}: size does not match {shape} f32", ))?;
+            codec
+                .compress_f32(&arr, ErrorBound::Relative(eps))
+                .map_err(|e| e.to_string())?
+        }
+        "f64" => {
+            let arr = NdArray::<f64>::from_le_bytes(shape, &bytes)
+                .ok_or_else(|| format!("{input}: size does not match {shape} f64"))?;
+            codec
+                .compress_f64(&arr, ErrorBound::Relative(eps))
+                .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("--dtype must be f32 or f64, got '{other}'")),
+    };
+    let dt = t0.elapsed().as_secs_f64();
+    std::fs::write(output, &stream).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{input} ({} B) -> {output} ({} B): CR {:.2}x, {:.1} MB/s, eps {eps:e}",
+        bytes.len(),
+        stream.len(),
+        bytes.len() as f64 / stream.len() as f64,
+        bytes.len() as f64 / 1e6 / dt
+    );
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [input, output] = pos.as_slice() else {
+        return Err("expected <in.eblc> <out.raw>".into());
+    };
+    let stream = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let data = decompress_any(&stream).map_err(|e| e.to_string())?;
+    let raw = match &data {
+        Dataset::F32(a) => a.to_le_bytes(),
+        Dataset::F64(a) => a.to_le_bytes(),
+    };
+    std::fs::write(output, &raw).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{input} -> {output}: shape {}, {} samples, {} B",
+        data.shape(),
+        data.len(),
+        raw.len()
+    );
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <in.eblc>".into());
+    };
+    let stream = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let (h, payload) =
+        eblcio::codec::header::read_stream(&stream).map_err(|e| e.to_string())?;
+    println!("file:      {input}");
+    println!("codec:     {}", h.codec.name());
+    println!("dtype:     {}", if h.dtype == 0 { "f32" } else { "f64" });
+    println!("shape:     {}", h.shape);
+    println!("abs bound: {:e}", h.abs_bound);
+    println!("payload:   {} B (stream {} B)", payload.len(), stream.len());
+    let raw = h.shape.len() * if h.dtype == 0 { 4 } else { 8 };
+    println!("ratio:     {:.2}x vs raw", raw as f64 / stream.len() as f64);
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> CliResult {
+    let kind = match positional(args).first().copied().unwrap_or("nyx") {
+        "cesm" => DatasetKind::Cesm,
+        "hacc" => DatasetKind::Hacc,
+        "nyx" => DatasetKind::Nyx,
+        "s3d" => DatasetKind::S3d,
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let data = DatasetSpec::new(kind, Scale::Tiny).generate();
+    println!(
+        "demo: {} analog, shape {}, {} B raw\n",
+        kind.name(),
+        data.shape(),
+        data.nbytes()
+    );
+    println!("{:<6} {:>10} {:>9} {:>10}", "codec", "CR", "PSNR_dB", "maxrelerr");
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let stream = compress_dataset(codec.as_ref(), &data, ErrorBound::Relative(1e-3))
+            .map_err(|e| e.to_string())?;
+        let (psnr_db, err) = match &data {
+            Dataset::F32(a) => {
+                let b = codec.decompress_f32(&stream).map_err(|e| e.to_string())?;
+                (psnr(a, &b), max_rel_error(a, &b))
+            }
+            Dataset::F64(a) => {
+                let b = codec.decompress_f64(&stream).map_err(|e| e.to_string())?;
+                (psnr(a, &b), max_rel_error(a, &b))
+            }
+        };
+        println!(
+            "{:<6} {:>10.2} {:>9.2} {:>10.2e}",
+            id.name(),
+            data.nbytes() as f64 / stream.len() as f64,
+            psnr_db,
+            err
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # eblcio
+//!
+//! Facade crate for the reproduction of *"To Compress or Not To
+//! Compress: Energy Trade-Offs and Benefits of Lossy Compressed I/O"*
+//! (Wilkins et al., IPDPS 2025).
+//!
+//! The workspace implements, from scratch in Rust, everything the paper's
+//! empirical study rests on:
+//!
+//! * [`codec`] — the five error-bounded lossy compressors (SZ2, SZ3,
+//!   ZFP, QoZ, SZx) plus the Figure 1 lossless baselines,
+//! * [`data`] — SDRBench-analog data sets and quality metrics,
+//! * [`energy`] — RAPL-style energy measurement and CPU power models,
+//! * [`pfs`] — a Lustre-like parallel file system simulator with
+//!   HDF5-lite and NetCDF-lite writers,
+//! * [`cluster`] — the multi-node MPI-style compression + write harness,
+//! * [`core`] — the §III benefit framework (Eqs. 3–5), campaign runner,
+//!   and the "to compress or not" advisor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use eblcio::prelude::*;
+//!
+//! // A small NYX-like cosmology field.
+//! let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+//!
+//! // Compress with SZ3 at a 1e-3 value-range relative bound.
+//! let codec = CompressorId::Sz3.instance();
+//! let stream = compress_dataset(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+//!
+//! // The bound is honoured and the ratio is large on smooth data.
+//! let back = codec.decompress_f32(&stream).unwrap();
+//! assert!(max_rel_error(data.as_f32(), &back) <= 1e-3);
+//! assert!(data.nbytes() / stream.len() > 10);
+//! ```
+
+pub use eblcio_cluster as cluster;
+pub use eblcio_codec as codec;
+pub use eblcio_core as core;
+pub use eblcio_data as data;
+pub use eblcio_energy as energy;
+pub use eblcio_pfs as pfs;
+
+/// Commonly used items, importable with `use eblcio::prelude::*;`.
+pub mod prelude {
+    pub use eblcio_codec::{
+        compress, compress_dataset, compress_parallel, decompress, decompress_any,
+        decompress_parallel, Compressor, CompressorId, ErrorBound,
+    };
+    pub use eblcio_data::{
+        compression_ratio, max_rel_error, psnr, Dataset, DatasetKind, DatasetSpec, NdArray,
+        QualityReport, Shape,
+    };
+    pub use eblcio_data::generators::Scale;
+}

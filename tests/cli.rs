@@ -1,0 +1,134 @@
+//! Integration tests for the `eblcio` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_eblcio")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eblcio-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn write_ramp_f32(path: &PathBuf, n: usize) -> Vec<u8> {
+    let bytes: Vec<u8> = (0..n)
+        .flat_map(|i| ((i as f32 * 0.01).sin() * 10.0).to_le_bytes())
+        .collect();
+    std::fs::write(path, &bytes).unwrap();
+    bytes
+}
+
+#[test]
+fn compress_inspect_decompress_roundtrip() {
+    let input = tmp("in.raw");
+    let compressed = tmp("out.eblc");
+    let output = tmp("out.raw");
+    let raw = write_ramp_f32(&input, 4096);
+
+    let st = Command::new(bin())
+        .args([
+            "compress",
+            "--codec",
+            "sz3",
+            "--eps",
+            "1e-3",
+            "--dtype",
+            "f32",
+            "--dims",
+            "64x64",
+        ])
+        .arg(&input)
+        .arg(&compressed)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("CR"), "{stdout}");
+
+    let st = Command::new(bin()).arg("inspect").arg(&compressed).output().unwrap();
+    assert!(st.status.success());
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("SZ3") && stdout.contains("64x64"), "{stdout}");
+
+    let st = Command::new(bin())
+        .arg("decompress")
+        .arg(&compressed)
+        .arg(&output)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+
+    // Reconstructed raw obeys the bound.
+    let back = std::fs::read(&output).unwrap();
+    assert_eq!(back.len(), raw.len());
+    let orig: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let recon: Vec<f32> = back
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let range = 20.0f32;
+    for (a, b) in orig.iter().zip(&recon) {
+        assert!((a - b).abs() <= 1e-3 * range * 1.01, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn bad_usage_reports_errors() {
+    // No args.
+    let st = Command::new(bin()).output().unwrap();
+    assert!(!st.status.success());
+
+    // Wrong dims for the file size.
+    let input = tmp("short.raw");
+    write_ramp_f32(&input, 16);
+    let st = Command::new(bin())
+        .args([
+            "compress", "--codec", "szx", "--eps", "1e-2", "--dtype", "f32", "--dims", "999",
+        ])
+        .arg(&input)
+        .arg(tmp("never.eblc"))
+        .output()
+        .unwrap();
+    assert!(!st.status.success());
+    assert!(String::from_utf8_lossy(&st.stderr).contains("size does not match"));
+
+    // Unknown codec.
+    let st = Command::new(bin())
+        .args([
+            "compress", "--codec", "lzma", "--eps", "1e-2", "--dtype", "f32", "--dims", "16",
+        ])
+        .arg(&input)
+        .arg(tmp("never2.eblc"))
+        .output()
+        .unwrap();
+    assert!(!st.status.success());
+
+    // Decompressing garbage.
+    let garbage = tmp("garbage.eblc");
+    std::fs::write(&garbage, b"junk").unwrap();
+    let st = Command::new(bin())
+        .arg("decompress")
+        .arg(&garbage)
+        .arg(tmp("never.raw"))
+        .output()
+        .unwrap();
+    assert!(!st.status.success());
+}
+
+#[test]
+fn demo_runs_for_all_datasets() {
+    for ds in ["cesm", "hacc", "nyx", "s3d"] {
+        let st = Command::new(bin()).args(["demo", ds]).output().unwrap();
+        assert!(st.status.success(), "demo {ds}");
+        let stdout = String::from_utf8_lossy(&st.stdout);
+        for codec in ["SZ2", "SZ3", "ZFP", "QoZ", "SZx"] {
+            assert!(stdout.contains(codec), "demo {ds} missing {codec}");
+        }
+    }
+}

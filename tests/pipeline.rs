@@ -1,0 +1,235 @@
+//! End-to-end integration tests spanning every crate: generate →
+//! compress → containerize → (simulated) PFS write → read back →
+//! decompress → verify the bound.
+
+use eblcio::prelude::*;
+use eblcio_cluster::{run_compress_and_write, run_write_original, ClusterSpec};
+use eblcio_core::{Advisor, CampaignRunner, Decision};
+use eblcio_energy::CpuGeneration;
+use eblcio_pfs::format::DataObject;
+use eblcio_pfs::{tool::write_objects, IoToolKind, PfsSim};
+
+fn check_quality(data: &Dataset, codec: &dyn Compressor, stream: &[u8], eps: f64) -> QualityReport {
+    match data {
+        Dataset::F32(a) => {
+            let b = codec.decompress_f32(stream).expect("decompress");
+            let r = QualityReport::evaluate(a, &b, stream.len());
+            assert!(r.within_bound(eps), "{}: {:e}", codec.name(), r.max_rel_error);
+            r
+        }
+        Dataset::F64(a) => {
+            let b = codec.decompress_f64(stream).expect("decompress");
+            let r = QualityReport::evaluate(a, &b, stream.len());
+            assert!(r.within_bound(eps), "{}: {:e}", codec.name(), r.max_rel_error);
+            r
+        }
+    }
+}
+
+#[test]
+fn full_matrix_bound_holds() {
+    // Every codec × every Table II data set × three bounds.
+    for kind in DatasetKind::TABLE2 {
+        let data = DatasetSpec::new(kind, Scale::Tiny).generate();
+        for id in CompressorId::ALL {
+            let codec = id.instance();
+            for eps in [1e-1, 1e-3, 1e-5] {
+                let stream = compress_dataset(codec.as_ref(), &data, ErrorBound::Relative(eps))
+                    .unwrap_or_else(|e| panic!("{} on {:?}: {e}", id.name(), kind));
+                check_quality(&data, codec.as_ref(), &stream, eps);
+            }
+        }
+    }
+}
+
+#[test]
+fn container_roundtrip_through_both_tools() {
+    let data = DatasetSpec::new(DatasetKind::Cesm, Scale::Tiny).generate();
+    let codec = CompressorId::Sz3.instance();
+    let stream = compress_dataset(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
+
+    for tool in IoToolKind::ALL {
+        let obj = DataObject::opaque("cesm_sz3", stream.clone())
+            .with_attr("compressor", "SZ3")
+            .with_attr("eps", "1e-3");
+        let pfs = PfsSim::testbed();
+        let profile = CpuGeneration::SapphireRapids9480.profile();
+        let written = write_objects(tool, std::slice::from_ref(&obj), &pfs, &profile, 1);
+        assert!(written.io.seconds.value() > 0.0);
+        assert!(written.io.cpu_energy.value() > 0.0);
+
+        // Read the file image back and decompress from inside it.
+        let objs = tool.deserialize(&written.file_image).expect("parse container");
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].attrs[0], ("compressor".into(), "SZ3".into()));
+        let recon = codec.decompress_f32(&objs[0].payload).expect("decompress");
+        assert!(max_rel_error(data.as_f32(), &recon) <= 1e-3 * 1.0000001);
+    }
+}
+
+#[test]
+fn decompress_any_routes_by_header() {
+    for kind in [DatasetKind::Nyx, DatasetKind::S3d] {
+        let data = DatasetSpec::new(kind, Scale::Tiny).generate();
+        for id in CompressorId::ALL {
+            let codec = id.instance();
+            let stream =
+                compress_dataset(codec.as_ref(), &data, ErrorBound::Relative(1e-2)).unwrap();
+            let back = decompress_any(&stream).expect("route");
+            assert_eq!(back.shape(), data.shape());
+            assert_eq!(
+                matches!(back, Dataset::F64(_)),
+                matches!(data, Dataset::F64(_))
+            );
+        }
+    }
+}
+
+#[test]
+fn multinode_run_is_deterministic_in_bytes() {
+    let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+    let spec = ClusterSpec::new(2, 2, CpuGeneration::Skylake8160);
+    let pfs = PfsSim::testbed();
+    let codec = CompressorId::Szx.instance();
+    let a = run_compress_and_write(
+        &spec,
+        &data,
+        codec.as_ref(),
+        ErrorBound::Relative(1e-3),
+        IoToolKind::Hdf5Lite,
+        &pfs,
+    )
+    .unwrap();
+    let b = run_compress_and_write(
+        &spec,
+        &data,
+        codec.as_ref(),
+        ErrorBound::Relative(1e-3),
+        IoToolKind::Hdf5Lite,
+        &pfs,
+    )
+    .unwrap();
+    // Energy varies with wall clock; the data path must not.
+    assert_eq!(a.compressed_bytes_per_rank, b.compressed_bytes_per_rank);
+    assert_eq!(a.total_bytes_written, b.total_bytes_written);
+    let orig = run_write_original(&spec, &data, IoToolKind::Hdf5Lite, &pfs);
+    assert!(a.total_bytes_written < orig.total_bytes_written);
+}
+
+#[test]
+fn advisor_decision_matches_conditions_everywhere() {
+    let data = DatasetSpec::new(DatasetKind::Isabel, Scale::Tiny).generate();
+    let advisor = Advisor {
+        codecs: vec![CompressorId::Szx, CompressorId::Zfp],
+        epsilons: vec![1e-2, 1e-4],
+        psnr_min_db: 45.0,
+        writers: 4,
+        runner: CampaignRunner {
+            min_runs: 1,
+            max_runs: 1,
+            ci_tol: 1.0,
+        },
+    };
+    let pfs = PfsSim::new(2, 0.05);
+    let cells = advisor
+        .evaluate_all(&data, IoToolKind::Hdf5Lite, &pfs, CpuGeneration::CascadeLake8260M)
+        .unwrap();
+    assert_eq!(cells.len(), 4);
+    for c in &cells {
+        let v = c.inputs.evaluate();
+        assert_eq!(
+            c.decision == Decision::Compress,
+            v.time_ok && v.energy_ok && v.quality_ok,
+            "advisor decision must equal the Eq. 3-5 conjunction"
+        );
+    }
+    // Sorted by saving, best first.
+    for w in cells.windows(2) {
+        assert!(w[0].energy_saving() >= w[1].energy_saving());
+    }
+}
+
+#[test]
+fn parallel_mode_interoperates_with_campaign() {
+    let data = DatasetSpec::new(DatasetKind::Cesm, Scale::Tiny).generate();
+    let runner = CampaignRunner {
+        min_runs: 1,
+        max_runs: 1,
+        ci_tol: 1.0,
+    };
+    for id in [CompressorId::Sz3, CompressorId::Szx] {
+        let codec = id.instance();
+        for threads in [1u32, 4] {
+            let cell = runner
+                .measure_cell(
+                    &data,
+                    codec.as_ref(),
+                    ErrorBound::Relative(1e-3),
+                    CpuGeneration::SapphireRapids9480,
+                    threads,
+                )
+                .unwrap();
+            assert!(cell.quality.within_bound(1e-3), "{} @ {threads}", id.name());
+        }
+    }
+}
+
+#[test]
+fn energy_model_orders_cpus_like_fig7() {
+    // Same cell on all three platforms: Sapphire Rapids must be the
+    // cheapest, Cascade Lake the most expensive (Fig. 7 rows).
+    let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
+    let runner = CampaignRunner {
+        min_runs: 2,
+        max_runs: 3,
+        ci_tol: 0.2,
+    };
+    let codec = CompressorId::Szx.instance();
+    let mut energies = Vec::new();
+    for generation in [
+        CpuGeneration::SapphireRapids9480,
+        CpuGeneration::Skylake8160,
+        CpuGeneration::CascadeLake8260M,
+    ] {
+        let cell = runner
+            .measure_cell(&data, codec.as_ref(), ErrorBound::Relative(1e-3), generation, 1)
+            .unwrap();
+        energies.push(cell.total_joules().value());
+    }
+    assert!(
+        energies[0] < energies[1] && energies[1] < energies[2],
+        "expected 9480 < 8160 < 8260M, got {energies:?}"
+    );
+}
+
+#[test]
+fn tighter_bounds_cost_more_energy_and_bytes() {
+    // The Fig. 7 trend within one platform.
+    let data = DatasetSpec::new(DatasetKind::S3d, Scale::Tiny).generate();
+    let runner = CampaignRunner {
+        min_runs: 2,
+        max_runs: 3,
+        ci_tol: 0.2,
+    };
+    let codec = CompressorId::Sz3.instance();
+    let loose = runner
+        .measure_cell(
+            &data,
+            codec.as_ref(),
+            ErrorBound::Relative(1e-1),
+            CpuGeneration::Skylake8160,
+            1,
+        )
+        .unwrap();
+    let tight = runner
+        .measure_cell(
+            &data,
+            codec.as_ref(),
+            ErrorBound::Relative(1e-5),
+            CpuGeneration::Skylake8160,
+            1,
+        )
+        .unwrap();
+    assert!(tight.compressed_bytes > loose.compressed_bytes);
+    assert!(tight.quality.psnr_db > loose.quality.psnr_db + 30.0);
+}
