@@ -19,10 +19,10 @@ pub fn validate_input<T: Element>(data: &NdArray<T>) -> Result<()> {
 
 /// Parses a stream and checks codec id and dtype before handing the
 /// payload to the codec-specific decoder.
-pub fn open_payload<'a, T: Element>(
-    stream: &'a [u8],
+pub fn open_payload<T: Element>(
+    stream: &[u8],
     expect: CompressorId,
-) -> Result<(Header, &'a [u8])> {
+) -> Result<(Header, &[u8])> {
     let (h, payload) = read_stream(stream)?;
     if h.codec != expect {
         return Err(CodecError::UnknownCodec(h.codec as u8));
@@ -88,7 +88,7 @@ impl<'a> OutlierReader<'a> {
     }
 
     /// Pops the next outlier sample.
-    pub fn next<T: Element>(&mut self) -> Result<T> {
+    pub fn take<T: Element>(&mut self) -> Result<T> {
         let v = T::read_le(&self.bytes[self.pos.min(self.bytes.len())..])
             .ok_or(CodecError::TruncatedStream { context: "outlier sample" })?;
         self.pos += T::BYTES;
@@ -212,10 +212,10 @@ mod tests {
         1.5f32.write_le(&mut bytes);
         (-2.25f32).write_le(&mut bytes);
         let mut r = OutlierReader::new(&bytes);
-        assert_eq!(r.next::<f32>().unwrap(), 1.5);
-        assert_eq!(r.next::<f32>().unwrap(), -2.25);
+        assert_eq!(r.take::<f32>().unwrap(), 1.5);
+        assert_eq!(r.take::<f32>().unwrap(), -2.25);
         assert!(r.exhausted());
-        assert!(r.next::<f32>().is_err());
+        assert!(r.take::<f32>().is_err());
     }
 
     #[test]

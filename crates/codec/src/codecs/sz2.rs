@@ -24,16 +24,10 @@ use eblcio_data::{Element, NdArray};
 const RADIUS: u32 = 32768;
 
 /// The SZ2 compressor.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Sz2 {
     /// Per-rank block edge override; `None` uses SZ2's defaults.
     pub block_dims: Option<[usize; 4]>,
-}
-
-impl Default for Sz2 {
-    fn default() -> Self {
-        Self { block_dims: None }
-    }
 }
 
 impl Sz2 {
@@ -223,7 +217,7 @@ impl Sz2 {
                 let code = p.codes[code_i];
                 code_i += 1;
                 let v = if code == 0 {
-                    match outliers.next::<T>() {
+                    match outliers.take::<T>() {
                         Ok(t) => {
                             recon[off] = t.to_f64();
                             t

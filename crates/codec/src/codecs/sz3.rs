@@ -162,7 +162,7 @@ pub(crate) fn interp_decode<T: Element>(
         let code = codes[*code_i];
         *code_i += 1;
         let t = if code == 0 {
-            outliers.next::<T>()?
+            outliers.take::<T>()?
         } else {
             T::from_f64(q.reconstruct(code, pred))
         };

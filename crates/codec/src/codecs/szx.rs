@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn roundtrip_respects_bound() {
         let data = wavy(10_000);
-        let c = Szx::default();
+        let c = Szx;
         for eps in [1e-1, 1e-2, 1e-3, 1e-4, 1e-5] {
             let stream = c.compress_f32(&data, ErrorBound::Relative(eps)).unwrap();
             let back = c.decompress_f32(&stream).unwrap();
@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn constant_blocks_collapse() {
         let data = NdArray::<f32>::from_vec(Shape::d1(4096), vec![7.5; 4096]);
-        let c = Szx::default();
+        let c = Szx;
         let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
         // 32 blocks × (1 + 4) bytes + framing.
         assert!(stream.len() < 300, "{} bytes", stream.len());
@@ -203,7 +203,7 @@ mod tests {
     fn cr_is_moderate_but_nonzero_on_smooth_data() {
         // SZx's signature: modest CR even where SZ3 gets huge ratios.
         let data = wavy(100_000);
-        let c = Szx::default();
+        let c = Szx;
         let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
         let cr = data.nbytes() as f64 / stream.len() as f64;
         assert!(cr > 2.0 && cr < 64.0, "CR {cr}");
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn faster_looser_bounds_give_smaller_streams() {
         let data = wavy(50_000);
-        let c = Szx::default();
+        let c = Szx;
         let loose = c.compress_f32(&data, ErrorBound::Relative(1e-1)).unwrap();
         let tight = c.compress_f32(&data, ErrorBound::Relative(1e-5)).unwrap();
         assert!(loose.len() < tight.len());
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn partial_final_block() {
         let data = wavy(BLOCK + 17);
-        let c = Szx::default();
+        let c = Szx;
         let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
         let back = c.decompress_f32(&stream).unwrap();
         assert_eq!(back.len(), data.len());
@@ -233,7 +233,7 @@ mod tests {
         let data = NdArray::<f64>::from_fn(Shape::d2(100, 100), |i| {
             (i[0] as f64).mul_add(1e-3, (i[1] as f64) * 2e-3).exp()
         });
-        let c = Szx::default();
+        let c = Szx;
         let stream = c.compress_f64(&data, ErrorBound::Relative(1e-4)).unwrap();
         let back = c.decompress_f64(&stream).unwrap();
         assert!(max_rel_error(&data, &back) <= 1e-4 * 1.0000001);
@@ -246,7 +246,7 @@ mod tests {
         v[0] = 1e300;
         v[255] = -1e300;
         let data = NdArray::from_vec(Shape::d1(256), v);
-        let c = Szx::default();
+        let c = Szx;
         let stream = c
             .compress_f64(&data, ErrorBound::Absolute(1e-280))
             .unwrap();
@@ -257,7 +257,7 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let data = wavy(1000);
-        let c = Szx::default();
+        let c = Szx;
         let stream = c.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
         for cut in [10, stream.len() / 2, stream.len() - 1] {
             assert!(c.decompress_f32(&stream[..cut]).is_err());

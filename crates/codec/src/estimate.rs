@@ -105,7 +105,7 @@ mod tests {
         let data = smooth(32);
         for (codec, tol) in [
             (&Sz3::default() as &dyn crate::traits::Compressor, 0.6),
-            (&Szx::default() as &dyn crate::traits::Compressor, 0.4),
+            (&Szx as &dyn crate::traits::Compressor, 0.4),
         ] {
             let actual = {
                 let s = codec
@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn degenerate_inputs() {
         let tiny = NdArray::<f32>::from_fn(Shape::d1(3), |i| i[0] as f32);
-        let codec = Szx::default();
+        let codec = Szx;
         let est = estimate_cr(&codec, &tiny, ErrorBound::Relative(1e-2), 10, 10).unwrap();
         assert!(est.cr > 0.0 && est.cr.is_finite());
         assert!(est.sampled_fraction <= 1.0 + 1e-9);
@@ -148,7 +148,7 @@ mod tests {
         // reality.
         let data = smooth(24);
         let sz3 = estimate_cr(&Sz3::default(), &data, ErrorBound::Relative(1e-2), 4, 3).unwrap();
-        let szx = estimate_cr(&Szx::default(), &data, ErrorBound::Relative(1e-2), 4, 3).unwrap();
+        let szx = estimate_cr(&Szx, &data, ErrorBound::Relative(1e-2), 4, 3).unwrap();
         assert!(sz3.cr > szx.cr, "sz3 {} vs szx {}", sz3.cr, szx.cr);
     }
 }

@@ -64,8 +64,8 @@ pub fn anchor_offsets(shape: Shape) -> Vec<usize> {
     let rank = shape.rank();
     let strides = shape.strides();
     let mut counts = [1usize; 4];
-    for d in 0..rank {
-        counts[d] = shape.dim(d).div_ceil(stride);
+    for (d, count) in counts.iter_mut().enumerate().take(rank) {
+        *count = shape.dim(d).div_ceil(stride);
     }
     let total: usize = counts[..rank].iter().product();
     let mut out = Vec::with_capacity(total);
@@ -103,13 +103,13 @@ pub fn walk(shape: Shape, mut visit: impl FnMut(Task)) {
             // stride h, axes > axis at stride s, and the target axis at
             // h, h+s, h+2s, …
             let mut counts = [1usize; 4];
-            for d in 0..rank {
+            for (d, count) in counts.iter_mut().enumerate().take(rank) {
                 if d == axis {
-                    counts[d] = (dim_a - h).div_ceil(s);
+                    *count = (dim_a - h).div_ceil(s);
                 } else if d < axis {
-                    counts[d] = shape.dim(d).div_ceil(h);
+                    *count = shape.dim(d).div_ceil(h);
                 } else {
-                    counts[d] = shape.dim(d).div_ceil(s);
+                    *count = shape.dim(d).div_ceil(s);
                 }
             }
             let total: usize = counts[..rank].iter().product();

@@ -53,7 +53,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         let mut best_len = 0usize;
         let mut best_off = 0usize;
         let mut chain = 0;
-        while cand != usize::MAX && i - cand <= WINDOW - 1 && chain < 32 {
+        while cand != usize::MAX && i - cand < WINDOW && chain < 32 {
             let maxl = n - i;
             let mut l = 0;
             while l < maxl && input[cand + l] == input[i + l] {

@@ -232,7 +232,7 @@ mod tests {
         // ε is resolved on the global range: a slab with a narrow local
         // range must not get a tighter/looser effective bound.
         let data = field();
-        let codec = Szx::default();
+        let codec = Szx;
         let serial = compress_parallel(&codec, &data, ErrorBound::Relative(1e-3), 1).unwrap();
         let parallel = compress_parallel(&codec, &data, ErrorBound::Relative(1e-3), 4).unwrap();
         let a = decompress_parallel::<f32>(&codec, &serial, 1).unwrap();
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn more_threads_than_rows() {
         let data = NdArray::<f32>::from_fn(Shape::d2(3, 100), |i| (i[0] * 100 + i[1]) as f32);
-        let codec = Szx::default();
+        let codec = Szx;
         let stream = compress_parallel(&codec, &data, ErrorBound::Relative(1e-2), 16).unwrap();
         let back = decompress_parallel::<f32>(&codec, &stream, 16).unwrap();
         assert!(max_rel_error(&data, &back) <= 1e-2 * 1.0000001);
@@ -254,7 +254,7 @@ mod tests {
     fn wrong_codec_rejected() {
         let data = field();
         let stream = compress_parallel(&Sz3::default(), &data, ErrorBound::Relative(1e-2), 2).unwrap();
-        assert!(decompress_parallel::<f32>(&Szx::default(), &stream, 2).is_err());
+        assert!(decompress_parallel::<f32>(&Szx, &stream, 2).is_err());
     }
 
     #[test]

@@ -130,8 +130,8 @@ impl AffineCoef {
     /// coefficients (the decoder only sees the `f32` versions).
     pub fn quantized(&self, rank: usize) -> Self {
         let mut c = [0.0f64; 4];
-        for d in 0..rank {
-            c[d] = self.c[d] as f32 as f64;
+        for (coeff, &orig) in c.iter_mut().zip(&self.c).take(rank) {
+            *coeff = orig as f32 as f64;
         }
         Self {
             c0: self.c0 as f32 as f64,
@@ -186,18 +186,18 @@ mod tests {
     fn lorenzo_exact_on_affine_fields_3d_4d() {
         let shape3 = Shape::d3(4, 4, 4);
         let mut recon = vec![0.0; shape3.len()];
-        for off in 0..shape3.len() {
+        for (off, r) in recon.iter_mut().enumerate() {
             let ix = shape3.unoffset(off);
-            recon[off] = 1.0 + ix[0] as f64 - 2.0 * ix[1] as f64 + 0.5 * ix[2] as f64;
+            *r = 1.0 + ix[0] as f64 - 2.0 * ix[1] as f64 + 0.5 * ix[2] as f64;
         }
         let p = lorenzo(&recon, shape3, &[2, 3, 1]);
         assert!((p - (1.0 + 2.0 - 6.0 + 0.5)).abs() < 1e-12);
 
         let shape4 = Shape::d4(3, 3, 3, 3);
         let mut recon4 = vec![0.0; shape4.len()];
-        for off in 0..shape4.len() {
+        for (off, r) in recon4.iter_mut().enumerate() {
             let ix = shape4.unoffset(off);
-            recon4[off] = ix.iter().take(4).sum::<usize>() as f64;
+            *r = ix.iter().take(4).sum::<usize>() as f64;
         }
         let p = lorenzo(&recon4, shape4, &[1, 2, 1, 2]);
         assert!((p - 6.0).abs() < 1e-12);
@@ -208,9 +208,9 @@ mod tests {
         let dims = [4usize, 5, 6];
         let shape = Shape::new(&dims);
         let mut vals = vec![0.0; shape.len()];
-        for off in 0..shape.len() {
+        for (off, v) in vals.iter_mut().enumerate() {
             let ix = shape.unoffset(off);
-            vals[off] = 7.0 + 0.25 * ix[0] as f64 - 3.0 * ix[1] as f64 + 1.5 * ix[2] as f64;
+            *v = 7.0 + 0.25 * ix[0] as f64 - 3.0 * ix[1] as f64 + 1.5 * ix[2] as f64;
         }
         let c = fit_affine(&vals, &dims);
         assert!((c.c0 - 7.0).abs() < 1e-9);
@@ -218,9 +218,9 @@ mod tests {
         assert!((c.c[1] + 3.0).abs() < 1e-9);
         assert!((c.c[2] - 1.5).abs() < 1e-9);
         // And evaluation reproduces the field.
-        for off in 0..shape.len() {
+        for (off, &v) in vals.iter().enumerate() {
             let ix = shape.unoffset(off);
-            assert!((c.eval(&ix[..3]) - vals[off]).abs() < 1e-8);
+            assert!((c.eval(&ix[..3]) - v).abs() < 1e-8);
         }
     }
 

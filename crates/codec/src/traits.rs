@@ -63,7 +63,7 @@ impl CompressorId {
             CompressorId::Sz3 => Box::new(crate::codecs::sz3::Sz3::default()),
             CompressorId::Zfp => Box::new(crate::codecs::zfp::Zfp::default()),
             CompressorId::Qoz => Box::new(crate::codecs::qoz::Qoz::default()),
-            CompressorId::Szx => Box::new(crate::codecs::szx::Szx::default()),
+            CompressorId::Szx => Box::new(crate::codecs::szx::Szx),
         }
     }
 }

@@ -1,0 +1,277 @@
+//! Focused encode→decode identity tests for the codec primitives —
+//! `huffman`, `bitstream`, `lz` — on random and adversarial inputs:
+//! empty streams, single symbols, all-equal runs, and byte images of
+//! NaN/Inf-bearing floats (the lossless backend must round-trip any
+//! bit pattern the quantizer or a raw-dump path hands it).
+
+use eblcio_codec::bitstream::{BitReader, BitWriter};
+use eblcio_codec::{huffman, lz};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Huffman
+// ---------------------------------------------------------------------------
+
+fn huffman_roundtrip(symbols: &[u32]) {
+    let enc = huffman::encode_block(symbols);
+    let (dec, used) = huffman::decode_block(&enc).expect("decode");
+    assert_eq!(dec, symbols, "huffman round-trip mismatch");
+    assert_eq!(used, enc.len(), "huffman did not consume its whole block");
+}
+
+#[test]
+fn huffman_empty() {
+    huffman_roundtrip(&[]);
+}
+
+#[test]
+fn huffman_single_symbol() {
+    huffman_roundtrip(&[0]);
+    huffman_roundtrip(&[42]);
+    huffman_roundtrip(&[u32::MAX]);
+}
+
+#[test]
+fn huffman_all_equal() {
+    // Degenerate one-entry alphabet: code length 0 is impossible, so the
+    // coder must still emit a decodable stream.
+    for len in [1usize, 2, 7, 256, 4099] {
+        huffman_roundtrip(&vec![7u32; len]);
+        huffman_roundtrip(&vec![u32::MAX; len]);
+    }
+}
+
+#[test]
+fn huffman_two_symbol_extreme_skew() {
+    // 4095:1 skew drives one code to maximum length.
+    let mut symbols = vec![1u32; 4095];
+    symbols.push(2);
+    huffman_roundtrip(&symbols);
+}
+
+#[test]
+fn huffman_wide_alphabet() {
+    // Every symbol distinct — no redundancy for the coder to exploit.
+    let symbols: Vec<u32> = (0..2048u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    huffman_roundtrip(&symbols);
+}
+
+#[test]
+fn huffman_float_bit_symbols() {
+    // Symbols taken from NaN/Inf float bit patterns (quantizer escape
+    // paths encode raw bits).
+    let specials = [
+        f32::NAN,
+        -f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::MIN_POSITIVE,
+        -0.0,
+        f32::MAX,
+    ];
+    let symbols: Vec<u32> = specials.iter().map(|f| f.to_bits()).collect();
+    huffman_roundtrip(&symbols);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn huffman_random_skewed(
+        base in any::<u32>(),
+        spread in 1u32..64,
+        data in proptest::collection::vec(0u32..4096, 0..2048),
+    ) {
+        // Shifted/clustered alphabets exercise canonical-code assignment
+        // away from the dense 0..n case.
+        let symbols: Vec<u32> = data.iter().map(|&d| base.wrapping_add(d % spread)).collect();
+        let enc = huffman::encode_block(&symbols);
+        let (dec, used) = huffman::decode_block(&enc).unwrap();
+        prop_assert_eq!(dec, symbols);
+        prop_assert_eq!(used, enc.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitstream
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bitstream_empty() {
+    let w = BitWriter::new();
+    let bytes = w.finish();
+    assert!(bytes.is_empty());
+    let mut r = BitReader::new(&bytes);
+    assert_eq!(r.remaining_bits(), 0);
+    assert!(r.get_bit("empty").is_err());
+}
+
+#[test]
+fn bitstream_all_widths_roundtrip() {
+    // Every width 1..=64 at both all-ones and alternating patterns.
+    let mut w = BitWriter::new();
+    for n in 1..=64u32 {
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        w.put_bits(mask, n);
+        w.put_bits(0xAAAA_AAAA_AAAA_AAAA & mask, n);
+    }
+    let total: u64 = (1..=64u64).map(|n| 2 * n).sum();
+    assert_eq!(w.bit_len(), total);
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    for n in 1..=64u32 {
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        assert_eq!(r.get_bits(n, "ones").unwrap(), mask, "width {n}");
+        assert_eq!(
+            r.get_bits(n, "alt").unwrap(),
+            0xAAAA_AAAA_AAAA_AAAA & mask,
+            "width {n}"
+        );
+    }
+}
+
+#[test]
+fn bitstream_float_payloads_roundtrip() {
+    // Raw NaN/Inf bit images through the bit-level layer.
+    let specials = [
+        f64::NAN,
+        -f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+        -0.0f64,
+    ];
+    let mut w = BitWriter::new();
+    // Offset by a 3-bit header so payloads straddle byte boundaries.
+    w.put_bits(0b101, 3);
+    for f in specials {
+        w.put_bits(f.to_bits(), 64);
+    }
+    let bytes = w.finish();
+    let mut r = BitReader::new(&bytes);
+    assert_eq!(r.get_bits(3, "hdr").unwrap(), 0b101);
+    for f in specials {
+        assert_eq!(r.get_bits(64, "f64 bits").unwrap(), f.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bitstream_mixed_ops_roundtrip(
+        ops in proptest::collection::vec((any::<u64>(), 1u32..65, 0u32..40), 0..200),
+    ) {
+        let mut w = BitWriter::new();
+        for &(v, n, u) in &ops {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            w.put_bits(v & mask, n);
+            w.put_unary(u);
+        }
+        let expected_bits: u64 = ops.iter().map(|&(_, n, u)| u64::from(n) + u64::from(u) + 1).sum();
+        prop_assert_eq!(w.bit_len(), expected_bits);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n, u) in &ops {
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            prop_assert_eq!(r.get_bits(n, "bits").unwrap(), v & mask);
+            prop_assert_eq!(r.get_unary("unary").unwrap(), u);
+        }
+        prop_assert_eq!(r.bit_position(), expected_bits);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LZ
+// ---------------------------------------------------------------------------
+
+fn lz_roundtrip(input: &[u8]) {
+    let c = lz::compress(input);
+    let back = lz::decompress(&c).expect("lz decompress");
+    assert_eq!(back, input, "lz round-trip mismatch ({} bytes)", input.len());
+}
+
+#[test]
+fn lz_empty() {
+    lz_roundtrip(&[]);
+}
+
+#[test]
+fn lz_single_byte() {
+    for b in [0u8, 1, 0x80, 0xFF] {
+        lz_roundtrip(&[b]);
+    }
+}
+
+#[test]
+fn lz_all_equal_runs() {
+    for len in [1usize, 2, 3, 255, 256, 257, 65_537] {
+        lz_roundtrip(&vec![0xABu8; len]);
+        lz_roundtrip(&vec![0u8; len]);
+    }
+}
+
+#[test]
+fn lz_short_period_runs() {
+    // Period-2/3/4 repetitions stress overlapping-match copying.
+    for period in [2usize, 3, 4, 7] {
+        let data: Vec<u8> = (0..10_000).map(|i| (i % period) as u8).collect();
+        lz_roundtrip(&data);
+    }
+}
+
+#[test]
+fn lz_nan_inf_float_images() {
+    // The lossless stage must be exactly lossless on every float bit
+    // pattern, including quiet/signalling NaNs and infinities, in both
+    // precisions — these appear verbatim in raw-dump containers.
+    let f32s = [
+        f32::NAN,
+        -f32::NAN,
+        f32::from_bits(0x7FA0_0001), // signalling-style NaN payload
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        -0.0f32,
+        f32::MIN_POSITIVE,
+        1.0f32,
+    ];
+    let mut bytes: Vec<u8> = f32s.iter().flat_map(|f| f.to_le_bytes()).collect();
+    // A NaN-flooded field (worst case: high-entropy mantissa payloads).
+    for i in 0..4096u32 {
+        bytes.extend_from_slice(
+            &f32::from_bits(0x7FC0_0000 | (i.wrapping_mul(2_654_435_769) % 0x3F_FFFF))
+                .to_le_bytes(),
+        );
+    }
+    let f64s = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0f64];
+    bytes.extend(f64s.iter().flat_map(|f| f.to_le_bytes()));
+    lz_roundtrip(&bytes);
+    // Round-tripped bytes reinterpret to bit-identical floats.
+    let c = lz::compress(&bytes);
+    let back = lz::decompress(&c).unwrap();
+    for (a, b) in bytes.chunks_exact(4).zip(back.chunks_exact(4)) {
+        let fa = f32::from_le_bytes(a.try_into().unwrap());
+        let fb = f32::from_le_bytes(b.try_into().unwrap());
+        assert_eq!(fa.to_bits(), fb.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lz_random_bytes(data in proptest::collection::vec(any::<u8>(), 0..16_384)) {
+        let c = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn lz_compressible_text(
+        word in "[a-z]{3,9}",
+        reps in 1usize..400,
+    ) {
+        let data: Vec<u8> = word.bytes().cycle().take(word.len() * reps).collect();
+        let c = lz::compress(&data);
+        prop_assert_eq!(lz::decompress(&c).unwrap(), data);
+    }
+}

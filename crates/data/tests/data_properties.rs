@@ -50,8 +50,8 @@ proptest! {
         let idx = shape.unoffset(off);
         prop_assert_eq!(shape.offset(&idx[..shape.rank()]), off);
         // And indices are in range.
-        for d in 0..shape.rank() {
-            prop_assert!(idx[d] < shape.dim(d));
+        for (d, &i) in idx.iter().enumerate().take(shape.rank()) {
+            prop_assert!(i < shape.dim(d));
         }
     }
 

@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn efficiency_below_hdf5() {
-        assert!(EFFICIENCY < super::super::hdf5lite::EFFICIENCY / 3.0);
+        const { assert!(EFFICIENCY < super::super::hdf5lite::EFFICIENCY / 3.0) }
     }
 
     #[test]

@@ -17,10 +17,7 @@ fn arb_object() -> impl Strategy<Value = DataObject> {
             name,
             dtype,
             shape,
-            attrs: attrs
-                .into_iter()
-                .map(|(k, v)| (k, v))
-                .collect(),
+            attrs,
             payload,
         })
 }

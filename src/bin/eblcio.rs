@@ -80,7 +80,7 @@ fn parse_codec(s: &str) -> Result<CompressorId, String> {
 fn parse_dims(s: &str) -> Result<Shape, String> {
     let dims: Result<Vec<usize>, _> = s.split('x').map(str::parse).collect();
     let dims = dims.map_err(|e| format!("bad --dims '{s}': {e}"))?;
-    if dims.is_empty() || dims.len() > 4 || dims.iter().any(|&d| d == 0) {
+    if dims.is_empty() || dims.len() > 4 || dims.contains(&0) {
         return Err(format!("--dims must be 1-4 positive sizes, got '{s}'"));
     }
     Ok(Shape::new(&dims))

@@ -1,0 +1,49 @@
+//! Smoke test: every `examples/` binary must build and exit 0, so the
+//! quickstart snippets in the README cannot silently rot.
+//!
+//! Each example is run through the same `cargo` that drives this test
+//! (the examples were already compiled by `cargo test`, so this is
+//! mostly a cheap re-entry; a cold `cargo test` pays one build).
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", name])
+        .current_dir(manifest_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` failed with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` produced no output"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn compressor_tour_runs() {
+    run_example("compressor_tour");
+}
+
+#[test]
+fn climate_io_runs() {
+    run_example("climate_io");
+}
+
+#[test]
+fn cosmology_scaling_runs() {
+    run_example("cosmology_scaling");
+}

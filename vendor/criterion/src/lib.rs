@@ -1,0 +1,167 @@
+//! Vendored `criterion` subset.
+//!
+//! A small but genuinely-running harness for `harness = false` bench
+//! targets: each `Bencher::iter` body is warmed up, timed over enough
+//! iterations to fill a short measurement window, and reported with
+//! mean time per iteration plus throughput when configured. No
+//! statistics beyond the mean — the paper's robust numbers come from
+//! the figure binaries, not these micro-benchmarks.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export for bench code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Throughput basis for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A composite benchmark id (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+#[derive(Default)]
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then enough iterations to fill
+    /// a short measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        let budget = Duration::from_millis(200);
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget || iters >= 1000 {
+                break;
+            }
+        }
+        self.mean = Some(start.elapsed() / iters.max(1) as u32);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput basis used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes its own window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let mean = b.mean.unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  {:>10.1} MiB/s", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:>10.1} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<32} {:>12.3?}{}", self.name, id.to_string(), mean, rate);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility (no CLI args are interpreted).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,172 @@
+//! Vendored `rand` stub: the `StdRng`/`SeedableRng`/`RngExt` surface the
+//! workspace uses, backed by a splitmix64 generator.
+//!
+//! Determinism is part of the contract — the data-set generators promise
+//! "identical specs generate bit-identical data", so the stream for a
+//! given seed must never change.
+
+use std::ops::Range;
+
+/// Sources of raw random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit word from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ergonomic sampling methods (the rand 0.9 `random`/`random_range` API).
+pub trait RngExt: RngCore + Sized {
+    /// Samples a value of `T` from its standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn random_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::uniform(self, range)
+    }
+}
+
+impl<R: RngCore + Sized> RngExt for R {}
+
+/// Types with a standard distribution for [`RngExt::random`].
+pub trait StandardSample {
+    /// Draws one sample using `rng`.
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types samplable uniformly from a `Range` for [`RngExt::random_range`].
+pub trait UniformSample: Sized {
+    /// Draws one sample from `range` using `rng`.
+    fn uniform<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn uniform<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Modulo bias is acceptable for simulation workloads.
+                range.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn uniform<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty random_range");
+        range.start + f64::from_rng(rng) * (range.end - range.start)
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let s = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+}

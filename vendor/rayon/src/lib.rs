@@ -1,0 +1,279 @@
+//! Vendored `rayon` subset.
+//!
+//! Implements the slice of rayon this workspace uses — `ThreadPool`
+//! with `install`, `par_iter`/`into_par_iter` + `map` + `collect` — with
+//! *real* `std::thread::scope` parallelism: the cluster harness and the
+//! "OpenMP mode" codec path genuinely fan work out across threads, and
+//! their wall-clock measurements feed the energy models.
+//!
+//! Work is split into one contiguous chunk per worker (the same slab
+//! decomposition the paper's OpenMP compressors use), and results are
+//! concatenated in order, so `collect` preserves item order exactly
+//! like rayon's indexed parallel iterators.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Worker width installed by the innermost `ThreadPool::install`.
+    static WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_width() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn current_width() -> usize {
+    let w = WIDTH.with(Cell::get);
+    if w == 0 {
+        default_width()
+    } else {
+        w
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by this stub, but
+/// part of the API contract callers handle).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine-sized) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means the machine's parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            default_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A logical pool: parallel operations run inside [`ThreadPool::install`]
+/// spawn up to `width` scoped worker threads per operation.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's width governing nested parallel
+    /// iterators, restoring the previous width afterwards (also on
+    /// panic, so a caught unwind cannot leak this pool's width into
+    /// later operations on the thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let _restore = Restore(WIDTH.with(Cell::get));
+        WIDTH.with(|w| w.set(self.width));
+        op()
+    }
+
+    /// The pool's worker width.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// The traits needed for `.par_iter()` / `.into_par_iter()`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// A materialized parallel iterator over items of `I`.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item through `f` (runs when the chain is collected).
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, executed by [`ParMap::collect`].
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Executes the map across the installed width and collects results
+    /// in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let width = current_width().clamp(1, self.items.len().max(1));
+        let f = &self.f;
+        if width <= 1 || self.items.len() <= 1 {
+            return self.items.into_iter().map(f).collect();
+        }
+        // One contiguous chunk per worker, concatenated in order.
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(width);
+        let mut items = self.items;
+        let total = items.len();
+        let base = total / width;
+        let extra = total % width;
+        for w in (0..width).rev() {
+            let take = base + usize::from(w < extra);
+            let rest = items.split_off(items.len() - take);
+            chunks.push(rest);
+        }
+        chunks.reverse();
+        let results: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    // Propagate the worker's original panic payload,
+                    // matching real rayon's behavior.
+                    h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))
+                })
+                .collect()
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing parallel iteration (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced item type (a reference).
+    type Item: Send;
+
+    /// Iterates over `&self` in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let out: Vec<u32> = pool.install(|| (0u32..17).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, (1..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn really_parallel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _: Vec<()> = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|_| {
+                    let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK.fetch_max(live, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    LIVE.fetch_sub(1, Ordering::SeqCst);
+                })
+                .collect()
+        });
+        assert!(PEAK.load(Ordering::SeqCst) > 1, "no overlap observed");
+    }
+}

@@ -1,0 +1,395 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` facade.
+//!
+//! The container registry is unreachable from the build environment, so
+//! this crate re-implements exactly the derive surface the workspace
+//! uses — non-generic named structs, tuple structs, and enums with
+//! unit/tuple/struct variants, plus the `#[serde(skip)]` field attribute
+//! — over a hand-rolled `proc_macro::TokenTree` parser (no syn/quote).
+//!
+//! Generated impls target the simplified `serde::Value` data model of
+//! the vendored facade, not the real serde `Serializer` architecture.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// True when a `#[...]` attribute body is `serde(skip)` (possibly among
+/// other serde options; only `skip` is recognized).
+fn attr_is_skip(g: &Group) -> bool {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if ident_of(toks.first().unwrap_or(&TokenTree::Punct(proc_macro::Punct::new(
+        '#',
+        proc_macro::Spacing::Alone,
+    ))))
+    .as_deref()
+        != Some("serde")
+    {
+        return false;
+    }
+    match toks.get(1) {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| ident_of(&t).as_deref() == Some("skip")),
+        _ => false,
+    }
+}
+
+/// Advances past any leading `#[...]` attributes; reports whether one of
+/// them was `#[serde(skip)]`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < toks.len() && is_punct(&toks[i], '#') {
+        match &toks[i + 1] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => {
+                if attr_is_skip(g) {
+                    skip = true;
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Advances past `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && ident_of(&toks[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Counts comma-separated fields of a tuple struct/variant body,
+/// ignoring commas nested inside `<...>` (other brackets are opaque
+/// `Group`s at this token level).
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for t in g.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    fields + usize::from(pending)
+}
+
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, skip) = skip_attrs(&toks, i);
+        let j = skip_vis(&toks, j);
+        let name = ident_of(&toks[j]).expect("expected field name");
+        let mut j = j + 1;
+        assert!(is_punct(&toks[j], ':'), "expected `:` after field name");
+        j += 1;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match &toks[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(Field { name, skip });
+        i = j;
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kw = ident_of(&toks[i]).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&toks[i]).expect("expected type name");
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("vendored serde derive does not support generic types (on `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Body::NamedStruct(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Body::TupleStruct(count_tuple_fields(g)))
+            }
+            _ => (name, Body::UnitStruct),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = toks.get(i) else {
+                panic!("expected enum body for `{name}`");
+            };
+            let vt: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut vars = Vec::new();
+            let mut j = 0;
+            while j < vt.len() {
+                let (k, _) = skip_attrs(&vt, j);
+                let vname = ident_of(&vt[k]).expect("expected variant name");
+                let mut k = k + 1;
+                let kind = match vt.get(k) {
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                        k += 1;
+                        VariantKind::Tuple(count_tuple_fields(vg))
+                    }
+                    Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                        k += 1;
+                        VariantKind::Named(
+                            parse_named_fields(vg).into_iter().map(|f| f.name).collect(),
+                        )
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip an optional discriminant up to the variant comma.
+                while k < vt.len() && !is_punct(&vt[k], ',') {
+                    k += 1;
+                }
+                j = k + 1;
+                vars.push(Variant { name: vname, kind });
+            }
+            (name, Body::Enum(vars))
+        }
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let code = match body {
+        Body::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize(&self) -> ::serde::Value {{ \
+                     ::serde::Value::Map(vec![{entries}]) }} }}"
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn serialize(&self) -> ::serde::Value {{ \
+                 ::serde::Serialize::serialize(&self.0) }} }}"
+        ),
+        Body::TupleStruct(n) => {
+            let items: String = (0..n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize(&self) -> ::serde::Value {{ \
+                     ::serde::Value::Seq(vec![{items}]) }} }}"
+            )
+        }
+        Body::UnitStruct => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }} }}"
+        ),
+        Body::Enum(vars) => {
+            let mut arms = String::new();
+            for v in &vars {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\
+                           \"{vn}\".to_string(), ::serde::Serialize::serialize(__f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bl}) => ::serde::Value::Map(vec![(\
+                               \"{vn}\".to_string(), ::serde::Value::Seq(vec![{items}]))]),",
+                            bl = binds.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fs) => {
+                        let bl = fs.join(",");
+                        let items: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::serialize({f})),")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}{{{bl}}} => ::serde::Value::Map(vec![(\
+                               \"{vn}\".to_string(), ::serde::Value::Map(vec![{items}]))]),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    let code = match body {
+        Body::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{n}: ::core::default::Default::default(),", n = f.name)
+                    } else {
+                        format!("{n}: ::serde::__field(__m, \"{n}\")?,", n = f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+                     let __m = __v.as_map().ok_or_else(|| ::serde::Error::msg(\
+                       \"expected map for {name}\"))?; \
+                     Ok({name} {{ {entries} }}) }} }}"
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "impl ::serde::Deserialize for {name} {{ \
+               fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+                 Ok({name}(::serde::Deserialize::deserialize(__v)?)) }} }}"
+        ),
+        Body::TupleStruct(n) => {
+            let items: String = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+                     let __s = __v.as_seq().ok_or_else(|| ::serde::Error::msg(\
+                       \"expected sequence for {name}\"))?; \
+                     if __s.len() != {n} {{ return Err(::serde::Error::msg(\
+                       \"wrong tuple length for {name}\")); }} \
+                     Ok({name}({items})) }} }}"
+            )
+        }
+        Body::UnitStruct => format!(
+            "impl ::serde::Deserialize for {name} {{ \
+               fn deserialize(_v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+                 Ok({name}) }} }}"
+        ),
+        Body::Enum(vars) => {
+            let mut arms = String::new();
+            for v in &vars {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "::serde::Value::Str(__s) if __s == \"{vn}\" => Ok({name}::{vn}),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "::serde::Value::Map(__m) if __m.len() == 1 && __m[0].0 == \"{vn}\" => \
+                           Ok({name}::{vn}(::serde::Deserialize::deserialize(&__m[0].1)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: String = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?,"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "::serde::Value::Map(__m) if __m.len() == 1 && __m[0].0 == \"{vn}\" => {{ \
+                               let __s = __m[0].1.as_seq().ok_or_else(|| ::serde::Error::msg(\
+                                 \"expected sequence for {name}::{vn}\"))?; \
+                               if __s.len() != {n} {{ return Err(::serde::Error::msg(\
+                                 \"wrong arity for {name}::{vn}\")); }} \
+                               Ok({name}::{vn}({items})) }},"
+                        ));
+                    }
+                    VariantKind::Named(fs) => {
+                        let entries: String = fs
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__field(__inner, \"{f}\")?,"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "::serde::Value::Map(__m) if __m.len() == 1 && __m[0].0 == \"{vn}\" => {{ \
+                               let __inner = __m[0].1.as_map().ok_or_else(|| ::serde::Error::msg(\
+                                 \"expected map for {name}::{vn}\"))?; \
+                               Ok({name}::{vn} {{ {entries} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ \
+                     match __v {{ {arms} _ => Err(::serde::Error::msg(\
+                       \"unknown variant for {name}\")) }} }} }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
