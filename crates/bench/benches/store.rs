@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the chunked store: chunked write and
+//! full read vs the monolithic single-stream path, and the region-read
+//! advantage (decode one chunk instead of the whole field).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::generators::Scale;
+use eblcio_data::{Dataset, DatasetKind, DatasetSpec, NdArray, Shape};
+use eblcio_store::{ChunkedStore, Region};
+use std::hint::black_box;
+
+const EPS: f64 = 1e-3;
+const THREADS: usize = 4;
+
+fn nyx_field() -> NdArray<f32> {
+    match DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate() {
+        Dataset::F32(a) => a,
+        Dataset::F64(_) => unreachable!("NYX is single precision"),
+    }
+}
+
+fn chunk_shape_for(shape: Shape) -> Shape {
+    Shape::new(
+        &shape
+            .dims()
+            .iter()
+            .map(|&d| d.div_ceil(4).max(1))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn bench_write(c: &mut Criterion) {
+    let data = nyx_field();
+    let chunk_shape = chunk_shape_for(data.shape());
+    let codec = CompressorId::Szx.instance();
+    let mut g = c.benchmark_group("store_write_nyx_szx");
+    g.throughput(Throughput::Bytes(data.nbytes() as u64));
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("monolithic"), |b| {
+        b.iter(|| {
+            black_box(
+                codec
+                    .compress_f32(black_box(&data), ErrorBound::Relative(EPS))
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("chunked"), |b| {
+        b.iter(|| {
+            black_box(
+                ChunkedStore::write(
+                    codec.as_ref(),
+                    black_box(&data),
+                    ErrorBound::Relative(EPS),
+                    chunk_shape,
+                    THREADS,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let data = nyx_field();
+    let shape = data.shape();
+    let chunk_shape = chunk_shape_for(shape);
+    let codec = CompressorId::Szx.instance();
+    let mono = codec.compress_f32(&data, ErrorBound::Relative(EPS)).unwrap();
+    let chunked =
+        ChunkedStore::write(codec.as_ref(), &data, ErrorBound::Relative(EPS), chunk_shape, THREADS)
+            .unwrap();
+    let region = Region::new(
+        &shape.dims().iter().map(|&d| d / 8).collect::<Vec<_>>(),
+        &shape.dims().iter().map(|&d| (d / 8).max(1)).collect::<Vec<_>>(),
+    );
+
+    let mut g = c.benchmark_group("store_read_nyx_szx");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("monolithic_full"), |b| {
+        b.iter(|| black_box(codec.decompress_f32(black_box(&mono)).unwrap()))
+    });
+    g.bench_function(BenchmarkId::from_parameter("chunked_full"), |b| {
+        let store = ChunkedStore::open(&chunked).unwrap();
+        b.iter(|| black_box(store.read_full::<f32>(THREADS).unwrap()))
+    });
+    g.bench_function(BenchmarkId::from_parameter("chunked_region"), |b| {
+        let store = ChunkedStore::open(&chunked).unwrap();
+        b.iter(|| black_box(store.read_region::<f32>(black_box(&region)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_write, bench_read);
+criterion_main!(benches);

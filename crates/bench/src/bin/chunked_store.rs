@@ -1,0 +1,157 @@
+//! Chunked-store study (extension beyond the paper, Fig. 13 style):
+//! monolithic single-stream compression + byte-striped write vs the
+//! `eblcio_store` chunked container, per codec.
+//!
+//! Three phases are costed for both layouts on a NYX-like cube:
+//!
+//! * **compress** — wall-clock + modeled compute energy (chunked runs
+//!   on the shared rayon pool),
+//! * **write** — PFS energy; monolithic streams byte-stripe across all
+//!   OSTs, chunked stores place whole chunks round-robin,
+//! * **region read** — pull an interior sub-cube back for analysis:
+//!   the monolithic layout must read + decompress *everything*, the
+//!   chunked layout touches only the intersecting chunks.
+//!
+//! Shape check: compression cost is within noise of monolithic (same ε
+//! contract, global-range resolution), write energy is comparable, and
+//! region reads are where chunking wins by an order of magnitude.
+
+use eblcio_bench::{scale_from_env, TextTable};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::{Dataset, DatasetKind, DatasetSpec, Shape};
+use eblcio_energy::{measure_compute, Activity, CpuGeneration};
+use eblcio_pfs::{IoRequest, PfsSim};
+use eblcio_store::{read_region_io, write_store, ChunkedStore, Region};
+
+/// HDF5-lite data-path efficiency (the store writes HDF5-style).
+const EFFICIENCY: f64 = 0.92;
+/// Worker threads for chunked compression/decompression.
+const THREADS: usize = 8;
+const EPS: f64 = 1e-3;
+
+fn main() {
+    let scale = scale_from_env();
+    let profile = CpuGeneration::SapphireRapids9480.profile();
+    let pfs = PfsSim::testbed();
+
+    let data = DatasetSpec::new(DatasetKind::Nyx, scale).generate();
+    let arr = match &data {
+        Dataset::F32(a) => a,
+        Dataset::F64(_) => unreachable!("NYX is single precision"),
+    };
+    let shape = arr.shape();
+    // Chunk grid: split every axis in four (64 chunks), clamped by the
+    // grid for tiny scales.
+    let chunk_shape = Shape::new(
+        &shape
+            .dims()
+            .iter()
+            .map(|&d| d.div_ceil(4).max(1))
+            .collect::<Vec<_>>(),
+    );
+    // Analysis region: an interior sub-cube one-quarter along each axis.
+    let region = Region::new(
+        &shape.dims().iter().map(|&d| d / 8).collect::<Vec<_>>(),
+        &shape
+            .dims()
+            .iter()
+            .map(|&d| (d / 4).max(1))
+            .collect::<Vec<_>>(),
+    );
+
+    let mut table = TextTable::new(&[
+        "codec", "layout", "bytes", "comp_s", "comp_J", "write_J", "region_read_J",
+        "region_read_s", "chunks_read",
+    ]);
+
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+
+        // ---- Monolithic: one stream, byte-striped across the OSTs.
+        let (mono_stream, comp) = measure_compute(&profile, Activity::serial_compute(), || {
+            codec
+                .compress_f32(arr, ErrorBound::Relative(EPS))
+                .expect("compress")
+        });
+        let write = pfs.write(
+            &IoRequest {
+                payload_bytes: mono_stream.len() as u64,
+                meta_bytes: 0,
+                ops: 1,
+                efficiency: EFFICIENCY,
+            },
+            &profile,
+        );
+        // A region read from a monolithic stream reads and decodes all
+        // of it before slicing.
+        let read_io = pfs.read_concurrent(
+            &IoRequest {
+                payload_bytes: mono_stream.len() as u64,
+                meta_bytes: 0,
+                ops: 1,
+                efficiency: EFFICIENCY,
+            },
+            1,
+            &profile,
+        );
+        let (_, read_cpu) = measure_compute(&profile, Activity::serial_compute(), || {
+            codec.decompress_f32(&mono_stream).expect("decompress")
+        });
+        table.row(vec![
+            id.name().into(),
+            "monolithic".into(),
+            mono_stream.len().to_string(),
+            format!("{:.4}", comp.wall.value()),
+            format!("{:.3}", comp.total().value()),
+            format!("{:.3}", write.cpu_energy.value()),
+            format!("{:.3}", read_io.cpu_energy.value() + read_cpu.total().value()),
+            format!("{:.4}", read_io.seconds.value() + read_cpu.wall.value()),
+            "all".into(),
+        ]);
+
+        // ---- Chunked store: whole chunks round-robined over OSTs.
+        let (chunk_stream, comp) =
+            measure_compute(&profile, Activity::parallel_compute(THREADS as u32), || {
+                ChunkedStore::write(
+                    codec.as_ref(),
+                    arr,
+                    ErrorBound::Relative(EPS),
+                    chunk_shape,
+                    THREADS,
+                )
+                .expect("store write")
+            });
+        let store = ChunkedStore::open(&chunk_stream).expect("store open");
+        let write = write_store(&pfs, &store, EFFICIENCY, 1, &profile);
+        let read_io = read_region_io(&pfs, &store, &region, EFFICIENCY, 1, &profile);
+        let (stats, read_cpu) = measure_compute(&profile, Activity::serial_compute(), || {
+            store
+                .read_region_with_stats::<f32>(&region)
+                .expect("region read")
+                .1
+        });
+        table.row(vec![
+            id.name().into(),
+            "chunked".into(),
+            chunk_stream.len().to_string(),
+            format!("{:.4}", comp.wall.value()),
+            format!("{:.3}", comp.total().value()),
+            format!("{:.3}", write.cpu_energy.value()),
+            format!("{:.3}", read_io.cpu_energy.value() + read_cpu.total().value()),
+            format!("{:.4}", read_io.seconds.value() + read_cpu.wall.value()),
+            format!("{}/{}", stats.chunks_decoded, stats.chunks_total),
+        ]);
+    }
+
+    table.print(&format!(
+        "Chunked store vs monolithic streams (NYX {scale:?}, eps {EPS:.0e}, region = interior 1/4-cube)"
+    ));
+    let path = table.write_csv("chunked_store").expect("csv");
+    println!("\nCSV: {}", path.display());
+    println!(
+        "\nShape checks: region reads touch a strict chunk subset (chunks_read), so the\n\
+         chunked region_read_J sits below the monolithic read-everything column for\n\
+         every codec whose streams are non-trivial; the chunked size premium is pure\n\
+         per-chunk framing and shrinks toward zero as EBLCIO_SCALE grows."
+    );
+}

@@ -6,10 +6,10 @@ use crate::header::{read_stream, Header};
 use crate::traits::CompressorId;
 use crate::util::{put_varint, ByteReader};
 use crate::{huffman, lz};
-use eblcio_data::{Element, NdArray, Shape};
+use eblcio_data::{ArrayView, Element, Shape};
 
 /// Rejects inputs the error-bound contract cannot cover.
-pub fn validate_input<T: Element>(data: &NdArray<T>) -> Result<()> {
+pub fn validate_input<T: Element>(data: ArrayView<'_, T>) -> Result<()> {
     if data.as_slice().iter().all(|v| v.is_finite()) {
         Ok(())
     } else {
@@ -243,9 +243,9 @@ mod tests {
 
     #[test]
     fn validate_rejects_nan() {
-        let mut a = NdArray::<f32>::zeros(Shape::d1(4));
-        assert!(validate_input(&a).is_ok());
+        let mut a = eblcio_data::NdArray::<f32>::zeros(Shape::d1(4));
+        assert!(validate_input(a.view()).is_ok());
         a.as_mut_slice()[2] = f32::NAN;
-        assert_eq!(validate_input(&a), Err(CodecError::NonFiniteInput));
+        assert_eq!(validate_input(a.view()), Err(CodecError::NonFiniteInput));
     }
 }

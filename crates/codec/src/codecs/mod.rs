@@ -15,16 +15,16 @@ macro_rules! impl_compressor_via_impls {
             fn id(&self) -> $crate::traits::CompressorId {
                 $id
             }
-            fn compress_f32(
+            fn compress_f32_view(
                 &self,
-                data: &eblcio_data::NdArray<f32>,
+                data: eblcio_data::ArrayView<'_, f32>,
                 bound: $crate::traits::ErrorBound,
             ) -> $crate::error::Result<Vec<u8>> {
                 self.compress_impl(data, bound)
             }
-            fn compress_f64(
+            fn compress_f64_view(
                 &self,
-                data: &eblcio_data::NdArray<f64>,
+                data: eblcio_data::ArrayView<'_, f64>,
                 bound: $crate::traits::ErrorBound,
             ) -> $crate::error::Result<Vec<u8>> {
                 self.compress_impl(data, bound)

@@ -14,7 +14,7 @@ use super::sz3::{interp_decode, interp_encode};
 use crate::error::{CodecError, Result};
 use crate::header::{write_stream, Header};
 use crate::traits::{CompressorId, ErrorBound};
-use eblcio_data::{metrics, Element, NdArray};
+use eblcio_data::{metrics, ArrayView, Element, NdArray};
 
 /// Per-level bound tightening factor (QoZ's `alpha`).
 const DEFAULT_ALPHA: f64 = 1.5;
@@ -59,7 +59,7 @@ impl Qoz {
         (abs / tighten).max(abs / beta)
     }
 
-    fn encode_once<T: Element>(&self, data: &NdArray<T>, abs: f64) -> (Vec<u32>, Vec<u8>) {
+    fn encode_once<T: Element>(&self, data: ArrayView<'_, T>, abs: f64) -> (Vec<u32>, Vec<u8>) {
         let (alpha, beta) = (self.alpha, self.beta);
         let anchor_abs = abs / beta;
         interp_encode(data, anchor_abs, |level| {
@@ -70,7 +70,7 @@ impl Qoz {
     /// Compresses with level-adaptive bounds (and optional PSNR search).
     pub fn compress_impl<T: Element>(
         &self,
-        data: &NdArray<T>,
+        data: ArrayView<'_, T>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>> {
         validate_input(data)?;
@@ -85,7 +85,9 @@ impl Qoz {
         if let Some(target) = self.target_psnr {
             // Quality-target mode: geometric search for the loosest abs
             // that still meets the PSNR goal (bounded trials, like QoZ's
-            // sampled auto-tuning).
+            // sampled auto-tuning). The PSNR check needs an owned
+            // original; one copy here covers all trials.
+            let original = data.to_owned();
             let mut best: Option<f64> = None;
             let mut trial = abs;
             for _ in 0..6 {
@@ -98,7 +100,7 @@ impl Qoz {
                     |l| Self::level_bound(self.alpha, self.beta, trial, l),
                     true,
                 )?;
-                if metrics::psnr(data, &recon) >= target {
+                if metrics::psnr(&original, &recon) >= target {
                     best = Some(trial);
                     trial *= 2.0; // try looser
                 } else {

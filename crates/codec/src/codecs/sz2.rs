@@ -18,7 +18,7 @@ use crate::header::{write_stream, Header};
 use crate::predict::{fit_affine, lorenzo, AffineCoef};
 use crate::quantizer::{LinearQuantizer, Quantized};
 use crate::traits::{CompressorId, ErrorBound};
-use eblcio_data::{Element, NdArray};
+use eblcio_data::{ArrayView, Element, NdArray};
 
 /// Quantization code radius (SZ default: 2^15 bins each side).
 const RADIUS: u32 = 32768;
@@ -34,7 +34,7 @@ impl Sz2 {
     /// Compresses with the hybrid block predictor.
     pub fn compress_impl<T: Element>(
         &self,
-        data: &NdArray<T>,
+        data: ArrayView<'_, T>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>> {
         validate_input(data)?;

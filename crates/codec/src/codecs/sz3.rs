@@ -16,7 +16,7 @@ use crate::header::{write_stream, Header};
 use crate::interp::{anchor_offsets, walk, Interp};
 use crate::quantizer::{LinearQuantizer, Quantized};
 use crate::traits::{CompressorId, ErrorBound};
-use eblcio_data::{Element, NdArray, Shape};
+use eblcio_data::{ArrayView, Element, NdArray, Shape};
 
 /// Quantization code radius (same default as SZ2).
 pub(crate) const RADIUS: u32 = 32768;
@@ -57,7 +57,7 @@ pub(crate) fn effective_stencil(pred: Interp, cubic: bool) -> Interp {
 /// interpolation level to its absolute bound (constant for SZ3, tightened
 /// per level by QoZ). Anchors use `anchor_abs`.
 pub(crate) fn interp_encode<T: Element>(
-    data: &NdArray<T>,
+    data: ArrayView<'_, T>,
     anchor_abs: f64,
     level_abs: impl Fn(u32) -> f64,
     cubic: bool,
@@ -220,7 +220,7 @@ impl Sz3 {
     /// Compresses with multi-level interpolation prediction.
     pub fn compress_impl<T: Element>(
         &self,
-        data: &NdArray<T>,
+        data: ArrayView<'_, T>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>> {
         validate_input(data)?;

@@ -14,7 +14,7 @@ use crate::error::{CodecError, Result};
 use crate::header::{write_stream, Header};
 use crate::traits::{CompressorId, ErrorBound};
 use crate::util::{put_varint, ByteReader};
-use eblcio_data::{Element, NdArray};
+use eblcio_data::{ArrayView, Element, NdArray};
 
 /// Samples per block (SZx default).
 const BLOCK: usize = 128;
@@ -32,7 +32,7 @@ impl Szx {
     /// Compresses with the block constant/fixed-point scheme.
     pub fn compress_impl<T: Element>(
         &self,
-        data: &NdArray<T>,
+        data: ArrayView<'_, T>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>> {
         validate_input(data)?;

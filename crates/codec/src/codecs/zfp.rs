@@ -20,7 +20,7 @@ use crate::transform::{
     decode_planes, encode_planes, fwd_transform, int_to_nega, inv_transform, nega_to_int,
     sequency_order, BLOCK_EDGE, FIXED_PREC,
 };
-use eblcio_data::{Element, NdArray};
+use eblcio_data::{ArrayView, Element, NdArray};
 
 /// Negabinary bit width coded per coefficient.
 const TOTAL_BITS: u32 = (FIXED_PREC + 4) as u32;
@@ -62,7 +62,7 @@ impl Zfp {
     /// Compresses in the configured mode.
     pub fn compress_impl<T: Element>(
         &self,
-        data: &NdArray<T>,
+        data: ArrayView<'_, T>,
         bound: ErrorBound,
     ) -> Result<Vec<u8>> {
         validate_input(data)?;

@@ -10,8 +10,8 @@
 //! evaluate to be useful.
 
 use crate::error::Result;
-use crate::traits::{compress, Compressor, ErrorBound};
-use eblcio_data::{Element, NdArray, Shape};
+use crate::traits::{compress_view, Compressor, ErrorBound};
+use eblcio_data::{Element, NdArray};
 
 /// A compression-ratio estimate from sampled slabs.
 #[derive(Clone, Copy, Debug)]
@@ -41,32 +41,23 @@ pub fn estimate_cr<T: Element>(
     let d0 = shape.dim(0);
     let rows_per_slab = slab_rows.clamp(1, d0);
     let n_slabs = n_slabs.clamp(1, d0 / rows_per_slab.max(1)).max(1);
-    let row_elems = shape.len() / d0;
 
     // Resolve the relative bound on the *global* range so slab-local
     // compression matches full-array semantics.
     let abs = bound.to_absolute(data.value_range())?;
 
-    // Framing floor: the cost of compressing a single sample, used to
-    // de-bias the per-slab overhead.
-    let floor = {
-        let probe = NdArray::from_vec(
-            slab_shape(shape, 1),
-            data.as_slice()[..row_elems].to_vec(),
-        );
-        compress(codec, &probe, ErrorBound::Absolute(abs))?.len()
-    };
+    // Framing floor: the cost of compressing a single row-slab, used to
+    // de-bias the per-slab overhead. Slabs are borrowed views, so the
+    // estimator's cost is the compression itself, not input copies.
+    let floor = compress_view(codec, data.slab(0, 1), ErrorBound::Absolute(abs))?.len();
 
     let mut in_bytes = 0usize;
     let mut out_bytes = 0usize;
     let stride = d0 / n_slabs;
     for s in 0..n_slabs {
         let start = (s * stride).min(d0 - rows_per_slab);
-        let sub = NdArray::from_vec(
-            slab_shape(shape, rows_per_slab),
-            data.as_slice()[start * row_elems..(start + rows_per_slab) * row_elems].to_vec(),
-        );
-        let stream = compress(codec, &sub, ErrorBound::Absolute(abs))?;
+        let sub = data.slab(start, rows_per_slab);
+        let stream = compress_view(codec, sub, ErrorBound::Absolute(abs))?;
         in_bytes += sub.nbytes();
         // Subtract most of the per-slab framing floor (keep a little so
         // the estimate never divides by ~zero).
@@ -80,17 +71,11 @@ pub fn estimate_cr<T: Element>(
     })
 }
 
-fn slab_shape(shape: Shape, rows: usize) -> Shape {
-    let mut dims = [0usize; 4];
-    dims[..shape.rank()].copy_from_slice(shape.dims());
-    dims[0] = rows;
-    Shape::new(&dims[..shape.rank()])
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::codecs::{sz3::Sz3, szx::Szx};
+    use eblcio_data::Shape;
 
     fn smooth(n: usize) -> NdArray<f32> {
         NdArray::from_fn(Shape::d3(n, n, n), |i| {

@@ -40,7 +40,10 @@ pub mod util;
 
 pub use codecs::{qoz::Qoz, sz2::Sz2, sz3::Sz3, szx::Szx, zfp::Zfp};
 pub use error::{CodecError, Result};
-pub use parallel::{compress_parallel, decompress_parallel};
+pub use parallel::{
+    compress_parallel, decompress_parallel, parallel_stream_info, ParallelStreamInfo,
+};
 pub use traits::{
-    compress, compress_dataset, decompress, decompress_any, Compressor, CompressorId, ErrorBound,
+    compress, compress_dataset, compress_view, decompress, decompress_any, Compressor,
+    CompressorId, ErrorBound,
 };

@@ -12,22 +12,31 @@
 //! serial output.
 
 use crate::error::{CodecError, Result};
-use crate::traits::{compress, decompress, Compressor, ErrorBound};
+use crate::traits::{compress_view, decompress, Compressor, CompressorId, ErrorBound};
 use crate::util::{put_varint, ByteReader};
 use eblcio_data::{Element, NdArray, Shape};
+use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Magic for the parallel multi-chunk container.
 const PAR_MAGIC: &[u8; 4] = b"EBLP";
 
 /// Reuses one rayon pool per thread count across calls — pool spin-up
 /// would otherwise dominate small-problem strong-scaling measurements.
-fn pool_for(threads: usize) -> Result<Arc<rayon::ThreadPool>> {
+///
+/// The registry lock is a `parking_lot::Mutex`, which has no poisoning:
+/// a panic inside one compression job (worker panics propagate through
+/// `install`) must not wedge the shared registry for every later caller
+/// the way a poisoned `std::sync::Mutex` would.
+///
+/// Public so other parallel consumers (the chunked store) share the
+/// same pools instead of spinning up competing ones.
+pub fn pool_for(threads: usize) -> Result<Arc<rayon::ThreadPool>> {
     static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
     let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = pools.lock().expect("pool registry");
+    let mut guard = pools.lock();
     if let Some(p) = guard.get(&threads) {
         return Ok(p.clone());
     }
@@ -57,13 +66,6 @@ pub fn slab_partition(shape: Shape, n: usize) -> Vec<(usize, usize)> {
     out
 }
 
-fn slab_shape(shape: Shape, rows: usize) -> Shape {
-    let mut dims = [0usize; 4];
-    dims[..shape.rank()].copy_from_slice(shape.dims());
-    dims[0] = rows;
-    Shape::new(&dims[..shape.rank()])
-}
-
 /// Compresses `data` with `threads` worker threads, emitting a
 /// self-describing multi-chunk stream.
 pub fn compress_parallel<T: Element>(
@@ -78,18 +80,15 @@ pub fn compress_parallel<T: Element>(
     // the whole-array contract.
     let abs = bound.to_absolute(data.value_range())?;
     let slabs = slab_partition(shape, threads);
-    let row_elems: usize = shape.len() / shape.dim(0);
 
     let pool = pool_for(threads)?;
     let chunks: Vec<Result<Vec<u8>>> = pool.install(|| {
         slabs
             .par_iter()
             .map(|&(start, rows)| {
-                let sub = NdArray::from_vec(
-                    slab_shape(shape, rows),
-                    data.as_slice()[start * row_elems..(start + rows) * row_elems].to_vec(),
-                );
-                compress(codec, &sub, ErrorBound::Absolute(abs))
+                // Dimension-0 slabs of a row-major array are contiguous:
+                // each worker compresses a borrowed view, no copy.
+                compress_view(codec, data.slab(start, rows), ErrorBound::Absolute(abs))
             })
             .collect()
     });
@@ -112,27 +111,36 @@ pub fn compress_parallel<T: Element>(
     Ok(out)
 }
 
-/// Decompresses a [`compress_parallel`] stream with `threads` workers.
-pub fn decompress_parallel<T: Element>(
-    codec: &dyn Compressor,
-    stream: &[u8],
-    threads: usize,
-) -> Result<NdArray<T>> {
-    assert!(threads >= 1, "thread count must be >= 1");
+/// Parsed header of a [`compress_parallel`] multi-chunk stream.
+///
+/// Surfaces the fields the container records — in particular the
+/// absolute error bound every slab was encoded with, which callers can
+/// check against their request without decompressing anything.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParallelStreamInfo {
+    /// Codec that produced every chunk.
+    pub codec: CompressorId,
+    /// Element type tag (0 = f32, 1 = f64).
+    pub dtype: u8,
+    /// Shape of the full (concatenated) array.
+    pub shape: Shape,
+    /// Absolute error bound resolved against the global value range.
+    pub abs_bound: f64,
+    /// Number of independently compressed slabs.
+    pub n_chunks: usize,
+}
+
+/// Parses and validates a parallel-container header, returning the
+/// stream info and the per-chunk payload slices.
+fn parse_parallel_header(stream: &[u8]) -> Result<(ParallelStreamInfo, Vec<&[u8]>)> {
     let mut r = ByteReader::new(stream);
     if r.take(4, "parallel magic")? != PAR_MAGIC {
         return Err(CodecError::BadMagic);
     }
-    let codec_id = crate::traits::CompressorId::from_u8(r.u8("parallel codec")?)?;
-    if codec_id != codec.id() {
-        return Err(CodecError::UnknownCodec(codec_id as u8));
-    }
+    let codec = CompressorId::from_u8(r.u8("parallel codec")?)?;
     let dtype = r.u8("parallel dtype")?;
-    if dtype != crate::header::Header::dtype_of::<T>() {
-        return Err(CodecError::DtypeMismatch {
-            expected: if dtype == 0 { "f32" } else { "f64" },
-            got: T::NAME,
-        });
+    if dtype > 1 {
+        return Err(CodecError::Corrupt { context: "parallel dtype" });
     }
     let rank = r.u8("parallel rank")? as usize;
     if rank == 0 || rank > 4 {
@@ -146,7 +154,12 @@ pub fn decompress_parallel<T: Element>(
         }
     }
     let shape = Shape::new(&dims[..rank]);
-    let _abs = r.f64("parallel abs bound")?;
+    // The bound every slab honoured. A NaN / non-positive / infinite
+    // value cannot have been written by the encoder.
+    let abs_bound = r.f64("parallel abs bound")?;
+    if !(abs_bound.is_finite() && abs_bound > 0.0) {
+        return Err(CodecError::Corrupt { context: "parallel abs bound" });
+    }
     let n_chunks = r.varint("parallel chunk count")? as usize;
     if n_chunks == 0 || n_chunks > shape.dim(0) {
         return Err(CodecError::Corrupt { context: "parallel chunk count" });
@@ -159,6 +172,42 @@ pub fn decompress_parallel<T: Element>(
     if r.remaining() != 0 {
         return Err(CodecError::Corrupt { context: "parallel trailer" });
     }
+    Ok((
+        ParallelStreamInfo {
+            codec,
+            dtype,
+            shape,
+            abs_bound,
+            n_chunks,
+        },
+        chunk_slices,
+    ))
+}
+
+/// Parses a parallel stream's header without decompressing any chunk.
+pub fn parallel_stream_info(stream: &[u8]) -> Result<ParallelStreamInfo> {
+    parse_parallel_header(stream).map(|(info, _)| info)
+}
+
+/// Decompresses a [`compress_parallel`] stream with `threads` workers.
+pub fn decompress_parallel<T: Element>(
+    codec: &dyn Compressor,
+    stream: &[u8],
+    threads: usize,
+) -> Result<NdArray<T>> {
+    assert!(threads >= 1, "thread count must be >= 1");
+    let (info, chunk_slices) = parse_parallel_header(stream)?;
+    if info.codec != codec.id() {
+        return Err(CodecError::UnknownCodec(info.codec as u8));
+    }
+    if info.dtype != crate::header::Header::dtype_of::<T>() {
+        return Err(CodecError::DtypeMismatch {
+            expected: if info.dtype == 0 { "f32" } else { "f64" },
+            got: T::NAME,
+        });
+    }
+    let shape = info.shape;
+    let rank = shape.rank();
 
     let pool = pool_for(threads)?;
     let parts: Vec<Result<NdArray<T>>> = pool.install(|| {
@@ -248,6 +297,44 @@ mod tests {
         let stream = compress_parallel(&codec, &data, ErrorBound::Relative(1e-2), 16).unwrap();
         let back = decompress_parallel::<f32>(&codec, &stream, 16).unwrap();
         assert!(max_rel_error(&data, &back) <= 1e-2 * 1.0000001);
+    }
+
+    #[test]
+    fn stream_info_surfaces_stored_bound() {
+        let data = field();
+        let stream =
+            compress_parallel(&Sz3::default(), &data, ErrorBound::Relative(1e-3), 4).unwrap();
+        let info = parallel_stream_info(&stream).unwrap();
+        assert_eq!(info.codec, CompressorId::Sz3);
+        assert_eq!(info.dtype, 0);
+        assert_eq!(info.shape, data.shape());
+        assert_eq!(info.n_chunks, 4);
+        let expected = ErrorBound::Relative(1e-3)
+            .to_absolute(data.value_range())
+            .unwrap();
+        assert_eq!(info.abs_bound, expected);
+    }
+
+    #[test]
+    fn corrupt_abs_bound_rejected() {
+        let data = field();
+        let stream =
+            compress_parallel(&Sz3::default(), &data, ErrorBound::Relative(1e-3), 2).unwrap();
+        // Header layout: magic(4) + codec(1) + dtype(1) + rank(1) +
+        // one varint byte per dimension (all dims < 128 here) + abs(8).
+        let abs_at = 7 + data.shape().rank();
+        for bad in [f64::NAN, -1.0, 0.0, f64::INFINITY] {
+            let mut s = stream.clone();
+            s[abs_at..abs_at + 8].copy_from_slice(&bad.to_bits().to_le_bytes());
+            assert_eq!(
+                decompress_parallel::<f32>(&Sz3::default(), &s, 2),
+                Err(CodecError::Corrupt { context: "parallel abs bound" }),
+                "bad bound {bad}"
+            );
+            assert!(parallel_stream_info(&s).is_err());
+        }
+        // Unmodified stream still parses.
+        assert!(decompress_parallel::<f32>(&Sz3::default(), &stream, 2).is_ok());
     }
 
     #[test]

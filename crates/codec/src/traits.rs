@@ -4,7 +4,7 @@
 
 use crate::error::{CodecError, Result};
 use crate::header;
-use eblcio_data::{Dataset, Element, NdArray};
+use eblcio_data::{ArrayView, Dataset, Element, NdArray};
 use serde::{Deserialize, Serialize};
 
 /// Identifies one of the five EBLCs characterized by the paper.
@@ -111,6 +111,10 @@ impl ErrorBound {
 ///
 /// Object-safe: the two element types get explicit methods (generic
 /// callers use [`compress`]/[`decompress`], which dispatch on `T`).
+///
+/// The required entry points take borrowed [`ArrayView`]s so sub-array
+/// compression (parallel slabs, store chunks) never copies its input;
+/// the `&NdArray` methods are thin delegating conveniences.
 pub trait Compressor: Send + Sync {
     /// Which of the five compressors this is.
     fn id(&self) -> CompressorId;
@@ -120,10 +124,18 @@ pub trait Compressor: Send + Sync {
         self.id().name()
     }
 
+    /// Compresses a borrowed single-precision view (zero-copy entry).
+    fn compress_f32_view(&self, data: ArrayView<'_, f32>, bound: ErrorBound) -> Result<Vec<u8>>;
+    /// Compresses a borrowed double-precision view (zero-copy entry).
+    fn compress_f64_view(&self, data: ArrayView<'_, f64>, bound: ErrorBound) -> Result<Vec<u8>>;
     /// Compresses a single-precision array.
-    fn compress_f32(&self, data: &NdArray<f32>, bound: ErrorBound) -> Result<Vec<u8>>;
+    fn compress_f32(&self, data: &NdArray<f32>, bound: ErrorBound) -> Result<Vec<u8>> {
+        self.compress_f32_view(data.view(), bound)
+    }
     /// Compresses a double-precision array.
-    fn compress_f64(&self, data: &NdArray<f64>, bound: ErrorBound) -> Result<Vec<u8>>;
+    fn compress_f64(&self, data: &NdArray<f64>, bound: ErrorBound) -> Result<Vec<u8>> {
+        self.compress_f64_view(data.view(), bound)
+    }
     /// Decompresses a single-precision stream.
     fn decompress_f32(&self, stream: &[u8]) -> Result<NdArray<f32>>;
     /// Decompresses a double-precision stream.
@@ -136,44 +148,47 @@ pub fn compress<T: Element>(
     data: &NdArray<T>,
     bound: ErrorBound,
 ) -> Result<Vec<u8>> {
-    match T::BYTES {
-        4 => c.compress_f32(data_as_f32(data), bound),
-        8 => c.compress_f64(data_as_f64(data), bound),
-        _ => unreachable!(),
+    compress_view(c, data.view(), bound)
+}
+
+/// Generic zero-copy compression of a borrowed view, dispatching on the
+/// element type via the sealed [`Element`] identity casts (`Any` cannot
+/// downcast non-`'static` borrows).
+pub fn compress_view<T: Element>(
+    c: &dyn Compressor,
+    data: ArrayView<'_, T>,
+    bound: ErrorBound,
+) -> Result<Vec<u8>> {
+    if let Some(s) = T::slice_as_f32(data.as_slice()) {
+        c.compress_f32_view(ArrayView::new(data.shape(), s), bound)
+    } else if let Some(s) = T::slice_as_f64(data.as_slice()) {
+        c.compress_f64_view(ArrayView::new(data.shape(), s), bound)
+    } else {
+        unreachable!("Element is sealed to f32/f64")
     }
 }
 
-// The Element trait is sealed to f32/f64; these helpers perform the
-// type-identity casts without unsafe code by matching on BYTES and using
-// Any.
-fn data_as_f32<T: Element>(data: &NdArray<T>) -> &NdArray<f32> {
-    (data as &dyn std::any::Any)
-        .downcast_ref::<NdArray<f32>>()
-        .expect("T::BYTES == 4 implies T == f32")
-}
-
-fn data_as_f64<T: Element>(data: &NdArray<T>) -> &NdArray<f64> {
-    (data as &dyn std::any::Any)
-        .downcast_ref::<NdArray<f64>>()
-        .expect("T::BYTES == 8 implies T == f64")
-}
-
 /// Generic decompression entry point: dispatches on the element type.
+///
+/// Adopts the decoder's buffer through the [`Element`] identity casts
+/// instead of cloning it, so generic decompression (the per-chunk hot
+/// path of the parallel decoder and the chunked store) costs no extra
+/// full-array copy.
 pub fn decompress<T: Element>(c: &dyn Compressor, stream: &[u8]) -> Result<NdArray<T>> {
     match T::BYTES {
         4 => {
             let arr = c.decompress_f32(stream)?;
-            Ok((&arr as &dyn std::any::Any)
-                .downcast_ref::<NdArray<T>>()
-                .expect("T == f32")
-                .clone())
+            let shape = arr.shape();
+            let data = T::vec_from_f32(arr.into_vec())
+                .unwrap_or_else(|_| unreachable!("T::BYTES == 4 implies T == f32"));
+            Ok(NdArray::from_vec(shape, data))
         }
         8 => {
             let arr = c.decompress_f64(stream)?;
-            Ok((&arr as &dyn std::any::Any)
-                .downcast_ref::<NdArray<T>>()
-                .expect("T == f64")
-                .clone())
+            let shape = arr.shape();
+            let data = T::vec_from_f64(arr.into_vec())
+                .unwrap_or_else(|_| unreachable!("T::BYTES == 8 implies T == f64"));
+            Ok(NdArray::from_vec(shape, data))
         }
         _ => unreachable!(),
     }

@@ -2,6 +2,7 @@
 
 use crate::element::Element;
 use crate::shape::Shape;
+use crate::view::ArrayView;
 
 /// A dense, row-major, 1–4 dimensional array — the `Dᵢ ∈ R^{d1×…×dk}`
 /// of the paper's problem formulation (§III).
@@ -99,22 +100,38 @@ impl<T: Element> NdArray<T> {
         self.data[off] = v;
     }
 
+    /// Borrows the whole array as an [`ArrayView`].
+    #[inline]
+    pub fn view(&self) -> ArrayView<'_, T> {
+        ArrayView::new(self.shape, &self.data)
+    }
+
+    /// Borrows `rows` consecutive dimension-0 slices starting at
+    /// `start_row` as a contiguous, zero-copy [`ArrayView`] (row-major
+    /// layout makes any dimension-0 slab contiguous).
+    ///
+    /// # Panics
+    /// Panics if `start_row + rows` exceeds dimension 0 or `rows == 0`.
+    pub fn slab(&self, start_row: usize, rows: usize) -> ArrayView<'_, T> {
+        let d0 = self.shape.dim(0);
+        assert!(
+            rows > 0 && start_row + rows <= d0,
+            "slab [{start_row}, {start_row}+{rows}) out of dimension 0 ({d0})"
+        );
+        let row_elems = self.shape.len() / d0;
+        let mut dims = [0usize; crate::shape::MAX_RANK];
+        dims[..self.shape.rank()].copy_from_slice(self.shape.dims());
+        dims[0] = rows;
+        ArrayView::new(
+            Shape::new(&dims[..self.shape.rank()]),
+            &self.data[start_row * row_elems..(start_row + rows) * row_elems],
+        )
+    }
+
     /// `(min, max)` over all samples; `None` for empty arrays or arrays
     /// of only NaN.
     pub fn min_max(&self) -> Option<(T, T)> {
-        let mut it = self.data.iter().copied().filter(|v| v.is_finite());
-        let first = it.next()?;
-        let mut mn = first;
-        let mut mx = first;
-        for v in it {
-            if v < mn {
-                mn = v;
-            }
-            if v > mx {
-                mx = v;
-            }
-        }
-        Some((mn, mx))
+        crate::view::slice_min_max(&self.data)
     }
 
     /// The value range `max − min` used by value-range relative error

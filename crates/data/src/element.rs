@@ -48,6 +48,20 @@ pub trait Element:
     fn read_le(bytes: &[u8]) -> Option<Self>;
     /// IEEE-754 "finite" check.
     fn is_finite(self) -> bool;
+
+    /// Identity cast of a sample slice when `Self` is `f32` (`None` for
+    /// `f64`). Together with [`Self::slice_as_f64`] this lets generic
+    /// code dispatch to precision-specific entry points without copying
+    /// and without `Any` (which cannot downcast borrowed slices).
+    fn slice_as_f32(s: &[Self]) -> Option<&[f32]>;
+    /// Identity cast of a sample slice when `Self` is `f64`.
+    fn slice_as_f64(s: &[Self]) -> Option<&[f64]>;
+    /// Identity cast of an owned sample buffer when `Self` is `f32`
+    /// (`Err` returns the buffer untouched). Lets generic decoders adopt
+    /// a precision-specific buffer without cloning it.
+    fn vec_from_f32(v: Vec<f32>) -> Result<Vec<Self>, Vec<f32>>;
+    /// Identity cast of an owned sample buffer when `Self` is `f64`.
+    fn vec_from_f64(v: Vec<f64>) -> Result<Vec<Self>, Vec<f64>>;
 }
 
 impl Element for f32 {
@@ -84,6 +98,22 @@ impl Element for f32 {
     fn is_finite(self) -> bool {
         f32::is_finite(self)
     }
+    #[inline]
+    fn slice_as_f32(s: &[Self]) -> Option<&[f32]> {
+        Some(s)
+    }
+    #[inline]
+    fn slice_as_f64(_s: &[Self]) -> Option<&[f64]> {
+        None
+    }
+    #[inline]
+    fn vec_from_f32(v: Vec<f32>) -> Result<Vec<Self>, Vec<f32>> {
+        Ok(v)
+    }
+    #[inline]
+    fn vec_from_f64(v: Vec<f64>) -> Result<Vec<Self>, Vec<f64>> {
+        Err(v)
+    }
 }
 
 impl Element for f64 {
@@ -119,6 +149,22 @@ impl Element for f64 {
     #[inline]
     fn is_finite(self) -> bool {
         f64::is_finite(self)
+    }
+    #[inline]
+    fn slice_as_f32(_s: &[Self]) -> Option<&[f32]> {
+        None
+    }
+    #[inline]
+    fn slice_as_f64(s: &[Self]) -> Option<&[f64]> {
+        Some(s)
+    }
+    #[inline]
+    fn vec_from_f32(v: Vec<f32>) -> Result<Vec<Self>, Vec<f32>> {
+        Err(v)
+    }
+    #[inline]
+    fn vec_from_f64(v: Vec<f64>) -> Result<Vec<Self>, Vec<f64>> {
+        Ok(v)
     }
 }
 

@@ -23,6 +23,7 @@ pub mod inflate;
 pub mod metrics;
 pub mod shape;
 pub mod stats;
+pub mod view;
 
 pub use array::NdArray;
 pub use element::Element;
@@ -30,3 +31,4 @@ pub use generators::{Dataset, DatasetKind, DatasetSpec};
 pub use metrics::{compression_ratio, max_abs_error, max_rel_error, mse, psnr, QualityReport};
 pub use shape::Shape;
 pub use stats::{ConfidenceInterval, RunningStats};
+pub use view::ArrayView;

@@ -35,12 +35,21 @@ pub fn mse<T: Element>(original: &NdArray<T>, recon: &NdArray<T>) -> f64 {
 ///
 /// Following the paper (and Z-checker), the "peak" is the value *range*
 /// of the original data. Identical arrays yield `f64::INFINITY`.
+///
+/// Constant originals have a zero range, so any nonzero MSE makes the
+/// ratio meaningless; mirroring [`max_rel_error`]'s constant-data
+/// handling, a lossless reconstruction still scores `INFINITY` (the
+/// `m == 0` branch) and a lossy one scores `NEG_INFINITY` — explicitly,
+/// rather than via a silent `log10(0)`.
 pub fn psnr<T: Element>(original: &NdArray<T>, recon: &NdArray<T>) -> f64 {
     let m = mse(original, recon);
     if m == 0.0 {
         return f64::INFINITY;
     }
     let range = original.value_range();
+    if range == 0.0 {
+        return f64::NEG_INFINITY;
+    }
     20.0 * (range / m.sqrt()).log10()
 }
 
@@ -183,6 +192,16 @@ mod tests {
         let a = arr(&[0.0, 10.0]);
         let b = arr(&[0.1, 10.1]);
         assert!((psnr(&a, &b) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_constant_data_is_explicit() {
+        // Mirrors max_rel_error: exact reconstruction of constant data is
+        // perfect, any error on constant data is maximally bad.
+        let a = arr(&[5.0, 5.0, 5.0]);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        let b = arr(&[5.0, 5.1, 5.0]);
+        assert_eq!(psnr(&a, &b), f64::NEG_INFINITY);
     }
 
     #[test]

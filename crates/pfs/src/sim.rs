@@ -183,6 +183,102 @@ impl PfsSim {
         1.15
     }
 
+    /// Per-writer bandwidth multiplier under the ramp/contention model
+    /// (the fraction of one OST's nominal bandwidth a single client
+    /// sees when `writers` clients are active).
+    fn client_share(&self, writers: u32) -> f64 {
+        let writers = writers.max(1);
+        let total = self.total_bandwidth().max(1.0);
+        self.effective_bandwidth(writers) / total / f64::from(writers)
+    }
+
+    /// Core of the chunk-placement model shared by
+    /// [`Self::write_chunks`] and [`Self::read_chunks`]: whole objects
+    /// placed on OST `index % n_osts`, phase time set by the slowest
+    /// target. `chunks` pairs each object's placement index with its
+    /// size, so a partial read uses the same placement the write did.
+    fn chunk_phase(
+        &self,
+        chunks: &[(usize, u64)],
+        meta_bytes: u64,
+        efficiency: f64,
+        clients: u32,
+        profile: &CpuProfile,
+        read: bool,
+    ) -> IoMeasurement {
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "bad efficiency");
+        let n = self.osts.len().max(1);
+        let mut bytes = vec![0u64; n];
+        let mut ops = vec![0u32; n];
+        for &(i, b) in chunks {
+            bytes[i % n] += b;
+            ops[i % n] += 1;
+        }
+        // The manifest lives at the stream head, on the first target.
+        bytes[0] += meta_bytes;
+        ops[0] += u32::from(meta_bytes > 0);
+
+        let scale = self.client_share(clients) * if read { Self::read_speedup() } else { 1.0 };
+        let mut t = 0.0f64;
+        for (o, (&b, &k)) in self.osts.iter().zip(bytes.iter().zip(&ops)) {
+            let bw = (o.effective_bandwidth() * scale * efficiency).max(1.0);
+            t = t.max(o.latency_s * f64::from(k) + b as f64 / bw);
+        }
+        let total: u64 = chunks.iter().map(|&(_, b)| b).sum::<u64>() + meta_bytes;
+        let seconds = Seconds(t);
+        let per_byte = if read {
+            // Reads cost the devices less than writes (no program/erase
+            // cycles), matching `read_concurrent`.
+            self.storage_j_per_byte / 3.0
+        } else {
+            self.storage_j_per_byte
+        };
+        IoMeasurement {
+            seconds,
+            cpu_energy: profile.io_power * seconds,
+            storage_energy: Joules(total as f64 * per_byte),
+            bandwidth_bps: total as f64 / t.max(1e-12),
+        }
+    }
+
+    /// Writes independently sized objects (the chunks of a chunked
+    /// store) round-robined across the OSTs, plus `meta_bytes` of
+    /// manifest on the first target.
+    ///
+    /// Unlike [`Self::write_concurrent`]'s byte-striping of one
+    /// monolithic stream, whole chunks land on single targets, so the
+    /// phase finishes when the most-loaded OST finishes — chunk-size
+    /// imbalance and chunk counts smaller than the OST count both show
+    /// up as lost bandwidth, exactly the trade a chunked layout makes.
+    pub fn write_chunks(
+        &self,
+        chunk_bytes: &[u64],
+        meta_bytes: u64,
+        efficiency: f64,
+        writers: u32,
+        profile: &CpuProfile,
+    ) -> IoMeasurement {
+        let placed: Vec<(usize, u64)> = chunk_bytes.iter().copied().enumerate().collect();
+        self.chunk_phase(&placed, meta_bytes, efficiency, writers, profile, false)
+    }
+
+    /// Reads a subset of chunk objects back (a partial region read
+    /// touches only the intersecting chunks' bytes — the "doubly
+    /// effective" reduction of §VI-A applied per chunk). Each entry
+    /// pairs the chunk's *write-time* placement index with its size, so
+    /// the read hits the OSTs the write actually used rather than
+    /// re-spreading the subset across all targets.
+    pub fn read_chunks(
+        &self,
+        chunks: &[(usize, u64)],
+        meta_bytes: u64,
+        efficiency: f64,
+        readers: u32,
+        profile: &CpuProfile,
+    ) -> IoMeasurement {
+        self.chunk_phase(chunks, meta_bytes, efficiency, readers, profile, true)
+    }
+
     /// Mean CPU power charged during I/O phases (exposed for reports).
     pub fn io_power(profile: &CpuProfile) -> Watts {
         profile.io_power
@@ -311,6 +407,71 @@ mod tests {
         let t64 = pfs.read_concurrent(&r, 64, &profile()).seconds.value();
         let t512 = pfs.read_concurrent(&r, 512, &profile()).seconds.value();
         assert!(t512 > 4.0 * t64, "t512 {t512} t64 {t64}");
+    }
+
+    #[test]
+    fn balanced_chunks_match_monolithic_write() {
+        // Equal chunks across all OSTs keep every target busy, so the
+        // chunked layout costs about the same as byte-striping one
+        // monolithic stream of the same total size.
+        let pfs = PfsSim::testbed();
+        let n = pfs.osts.len() as u64;
+        let per = 1u64 << 24;
+        let chunks: Vec<u64> = vec![per; n as usize];
+        let mono = pfs.write(&req(per * n), &profile());
+        let chunked = pfs.write_chunks(&chunks, 0, 1.0, 1, &profile());
+        let ratio = chunked.seconds.value() / mono.seconds.value();
+        assert!(ratio > 0.9 && ratio < 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn imbalanced_chunks_are_slower_than_balanced() {
+        let pfs = PfsSim::testbed();
+        let balanced: Vec<u64> = vec![1 << 22; 16];
+        let mut skewed = vec![1u64 << 18; 15];
+        skewed.push((1 << 22) * 16 - (1 << 18) * 15); // same total, one hot OST
+        let b = pfs.write_chunks(&balanced, 0, 1.0, 1, &profile());
+        let s = pfs.write_chunks(&skewed, 0, 1.0, 1, &profile());
+        assert_eq!(
+            balanced.iter().sum::<u64>(),
+            skewed.iter().sum::<u64>(),
+            "totals must match for the comparison"
+        );
+        assert!(s.seconds.value() > 5.0 * b.seconds.value());
+    }
+
+    #[test]
+    fn partial_chunk_read_is_cheaper_than_full() {
+        let pfs = PfsSim::testbed();
+        let chunks: Vec<(usize, u64)> = (0..32).map(|i| (i, 1 << 22)).collect();
+        let all = pfs.read_chunks(&chunks, 64, 1.0, 1, &profile());
+        let some = pfs.read_chunks(&chunks[..4], 64, 1.0, 1, &profile());
+        assert!(some.seconds.value() < all.seconds.value() / 1.5);
+        assert!(some.storage_energy.value() < all.storage_energy.value() / 4.0);
+    }
+
+    #[test]
+    fn chunk_reads_enjoy_read_speedup() {
+        let pfs = PfsSim::testbed();
+        let chunks: Vec<(usize, u64)> = (0..16).map(|i| (i, 1 << 24)).collect();
+        let lens: Vec<u64> = chunks.iter().map(|&(_, b)| b).collect();
+        let w = pfs.write_chunks(&lens, 0, 1.0, 1, &profile());
+        let r = pfs.read_chunks(&chunks, 0, 1.0, 1, &profile());
+        assert!(r.seconds.value() < w.seconds.value());
+    }
+
+    #[test]
+    fn read_placement_matches_write_placement() {
+        // Reading chunks that all landed on one OST at write time must
+        // serialize on that OST, not get re-spread across all targets.
+        let pfs = PfsSim::testbed();
+        let n = pfs.osts.len();
+        // Chunks 0, n, 2n, 3n all live on OST 0.
+        let colocated: Vec<(usize, u64)> = (0..4).map(|k| (k * n, 1 << 24)).collect();
+        let spread: Vec<(usize, u64)> = (0..4).map(|k| (k, 1 << 24)).collect();
+        let hot = pfs.read_chunks(&colocated, 0, 1.0, 1, &profile());
+        let cool = pfs.read_chunks(&spread, 0, 1.0, 1, &profile());
+        assert!(hot.seconds.value() > 3.0 * cool.seconds.value());
     }
 
     #[test]

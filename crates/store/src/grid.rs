@@ -1,0 +1,440 @@
+//! The regular chunk grid and axis-aligned regions.
+//!
+//! A store splits an array into a grid of equally shaped chunks
+//! (clipped at the upper edges, like zarr's regular grid). Chunks are
+//! numbered in raster order of the grid, so chunk 0 holds the array
+//! origin and the last chunk holds the far corner.
+
+use eblcio_data::shape::MAX_RANK;
+use eblcio_data::{Element, NdArray, Shape};
+
+/// An axis-aligned box inside an array: `origin[d] .. origin[d] + extent[d]`
+/// per dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    origin: [usize; MAX_RANK],
+    extent: [usize; MAX_RANK],
+    rank: usize,
+}
+
+impl Region {
+    /// Creates a region from per-dimension origins and extents.
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length, the rank is not 1–4, or
+    /// any extent is zero.
+    pub fn new(origin: &[usize], extent: &[usize]) -> Self {
+        assert_eq!(origin.len(), extent.len(), "origin/extent rank mismatch");
+        assert!(
+            !origin.is_empty() && origin.len() <= MAX_RANK,
+            "region rank must be 1..={MAX_RANK}"
+        );
+        assert!(extent.iter().all(|&e| e > 0), "zero extent in region");
+        let mut o = [0usize; MAX_RANK];
+        let mut e = [1usize; MAX_RANK];
+        o[..origin.len()].copy_from_slice(origin);
+        e[..extent.len()].copy_from_slice(extent);
+        Self {
+            origin: o,
+            extent: e,
+            rank: origin.len(),
+        }
+    }
+
+    /// The region covering all of `shape`.
+    pub fn full(shape: Shape) -> Self {
+        Self::new(&vec![0; shape.rank()], shape.dims())
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Per-dimension starting indices.
+    #[inline]
+    pub fn origin(&self) -> &[usize] {
+        &self.origin[..self.rank]
+    }
+
+    /// Per-dimension lengths.
+    #[inline]
+    pub fn extent(&self) -> &[usize] {
+        &self.extent[..self.rank]
+    }
+
+    /// The region's extents as a [`Shape`].
+    pub fn shape(&self) -> Shape {
+        Shape::new(self.extent())
+    }
+
+    /// Number of samples inside the region.
+    pub fn len(&self) -> usize {
+        self.extent().iter().product()
+    }
+
+    /// Regions are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when the region lies entirely inside `shape`.
+    pub fn fits_in(&self, shape: Shape) -> bool {
+        self.rank == shape.rank()
+            && (0..self.rank).all(|d| self.origin[d] + self.extent[d] <= shape.dim(d))
+    }
+
+    /// The overlap of two same-rank regions, if any.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        assert_eq!(self.rank, other.rank, "region rank mismatch");
+        let mut origin = [0usize; MAX_RANK];
+        let mut extent = [1usize; MAX_RANK];
+        for d in 0..self.rank {
+            let lo = self.origin[d].max(other.origin[d]);
+            let hi = (self.origin[d] + self.extent[d]).min(other.origin[d] + other.extent[d]);
+            if lo >= hi {
+                return None;
+            }
+            origin[d] = lo;
+            extent[d] = hi - lo;
+        }
+        Some(Region {
+            origin,
+            extent,
+            rank: self.rank,
+        })
+    }
+}
+
+/// A regular chunk grid over an array shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkGrid {
+    array: Shape,
+    chunk: Shape,
+    counts: [usize; MAX_RANK],
+    rank: usize,
+}
+
+impl ChunkGrid {
+    /// Builds the grid for `array` with the given interior chunk shape.
+    /// Chunk dimensions are clamped to the array dimensions, so an
+    /// oversized chunk shape degenerates to one chunk along that axis.
+    ///
+    /// # Panics
+    /// Panics if the ranks differ.
+    pub fn new(array: Shape, chunk_shape: Shape) -> Self {
+        assert_eq!(
+            array.rank(),
+            chunk_shape.rank(),
+            "array and chunk rank mismatch"
+        );
+        let rank = array.rank();
+        let mut chunk = [1usize; MAX_RANK];
+        let mut counts = [1usize; MAX_RANK];
+        for d in 0..rank {
+            chunk[d] = chunk_shape.dim(d).min(array.dim(d));
+            counts[d] = array.dim(d).div_ceil(chunk[d]);
+        }
+        Self {
+            array,
+            chunk: Shape::new(&chunk[..rank]),
+            counts,
+            rank,
+        }
+    }
+
+    /// The stored array's shape.
+    #[inline]
+    pub fn array_shape(&self) -> Shape {
+        self.array
+    }
+
+    /// The (interior) chunk shape; edge chunks are clipped.
+    #[inline]
+    pub fn chunk_shape(&self) -> Shape {
+        self.chunk
+    }
+
+    /// Chunks along each dimension.
+    #[inline]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts[..self.rank]
+    }
+
+    /// Total number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.counts().iter().product()
+    }
+
+    /// Grid coordinates of chunk `i` (raster order).
+    ///
+    /// # Panics
+    /// Panics if `i >= n_chunks()`.
+    pub fn chunk_coords(&self, i: usize) -> [usize; MAX_RANK] {
+        assert!(i < self.n_chunks(), "chunk {i} out of {}", self.n_chunks());
+        let mut rem = i;
+        let mut coords = [0usize; MAX_RANK];
+        for d in (0..self.rank).rev() {
+            coords[d] = rem % self.counts[d];
+            rem /= self.counts[d];
+        }
+        coords
+    }
+
+    /// Raster-order index of the chunk at grid coordinates `coords`.
+    pub fn chunk_index(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.rank, "coordinate rank mismatch");
+        let mut i = 0usize;
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < self.counts[d], "grid coordinate out of range");
+            i = i * self.counts[d] + c;
+        }
+        i
+    }
+
+    /// The array region chunk `i` covers (clipped at the upper edges).
+    pub fn chunk_region(&self, i: usize) -> Region {
+        let coords = self.chunk_coords(i);
+        let mut origin = [0usize; MAX_RANK];
+        let mut extent = [1usize; MAX_RANK];
+        for d in 0..self.rank {
+            origin[d] = coords[d] * self.chunk.dim(d);
+            extent[d] = self.chunk.dim(d).min(self.array.dim(d) - origin[d]);
+        }
+        Region::new(&origin[..self.rank], &extent[..self.rank])
+    }
+
+    /// True when chunk `i` is a contiguous dimension-0 slab of the
+    /// row-major array (chunking splits only dimension 0), which lets
+    /// the writer compress it from a zero-copy borrowed view.
+    pub fn chunk_is_slab(&self, i: usize) -> bool {
+        let r = self.chunk_region(i);
+        (1..self.rank).all(|d| r.origin()[d] == 0 && r.extent()[d] == self.array.dim(d))
+    }
+
+    /// Raster-order indices of every chunk overlapping `region`.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside the array shape.
+    pub fn chunks_intersecting(&self, region: &Region) -> Vec<usize> {
+        assert!(
+            region.fits_in(self.array),
+            "region out of array bounds {}",
+            self.array
+        );
+        let mut lo = [0usize; MAX_RANK];
+        let mut hi = [0usize; MAX_RANK];
+        for d in 0..self.rank {
+            lo[d] = region.origin()[d] / self.chunk.dim(d);
+            hi[d] = (region.origin()[d] + region.extent()[d] - 1) / self.chunk.dim(d);
+        }
+        let mut out = Vec::new();
+        let mut coords = lo;
+        loop {
+            out.push(self.chunk_index(&coords[..self.rank]));
+            // Raster-order advance through the [lo, hi] box.
+            let mut d = self.rank;
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                coords[d] += 1;
+                if coords[d] <= hi[d] {
+                    break;
+                }
+                coords[d] = lo[d];
+            }
+        }
+    }
+}
+
+/// Copies the axis-aligned box `extent` from `src` (starting at
+/// `src_origin`) into `dst` (starting at `dst_origin`). The innermost
+/// dimension is copied as contiguous runs.
+pub(crate) fn copy_region<T: Element>(
+    src: &[T],
+    src_shape: Shape,
+    src_origin: &[usize],
+    dst: &mut [T],
+    dst_shape: Shape,
+    dst_origin: &[usize],
+    extent: &[usize],
+) {
+    let rank = src_shape.rank();
+    debug_assert_eq!(dst_shape.rank(), rank);
+    let src_strides = src_shape.strides();
+    let dst_strides = dst_shape.strides();
+    let run = extent[rank - 1];
+    let outer: usize = extent[..rank - 1].iter().product();
+    let mut local = [0usize; MAX_RANK];
+    for _ in 0..outer.max(1) {
+        let mut s_off = 0usize;
+        let mut d_off = 0usize;
+        for d in 0..rank - 1 {
+            s_off += (src_origin[d] + local[d]) * src_strides[d];
+            d_off += (dst_origin[d] + local[d]) * dst_strides[d];
+        }
+        s_off += src_origin[rank - 1] * src_strides[rank - 1];
+        d_off += dst_origin[rank - 1] * dst_strides[rank - 1];
+        dst[d_off..d_off + run].copy_from_slice(&src[s_off..s_off + run]);
+        for d in (0..rank.saturating_sub(1)).rev() {
+            local[d] += 1;
+            if local[d] < extent[d] {
+                break;
+            }
+            local[d] = 0;
+        }
+    }
+}
+
+/// Extracts `region` of `src` into a new owned array.
+pub(crate) fn gather<T: Element>(src: &NdArray<T>, region: &Region) -> NdArray<T> {
+    let shape = region.shape();
+    let mut out = NdArray::zeros(shape);
+    copy_region(
+        src.as_slice(),
+        src.shape(),
+        region.origin(),
+        out.as_mut_slice(),
+        shape,
+        &[0usize; MAX_RANK][..shape.rank()],
+        region.extent(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts_and_edges() {
+        let g = ChunkGrid::new(Shape::d2(10, 7), Shape::d2(4, 4));
+        assert_eq!(g.counts(), &[3, 2]);
+        assert_eq!(g.n_chunks(), 6);
+        // Last chunk is clipped in both dimensions.
+        let r = g.chunk_region(5);
+        assert_eq!(r.origin(), &[8, 4]);
+        assert_eq!(r.extent(), &[2, 3]);
+    }
+
+    #[test]
+    fn coords_index_roundtrip() {
+        let g = ChunkGrid::new(Shape::d3(9, 5, 6), Shape::d3(4, 2, 5));
+        for i in 0..g.n_chunks() {
+            let c = g.chunk_coords(i);
+            assert_eq!(g.chunk_index(&c[..3]), i);
+        }
+    }
+
+    #[test]
+    fn regions_tile_the_array() {
+        let g = ChunkGrid::new(Shape::d3(9, 5, 6), Shape::d3(4, 2, 5));
+        let mut seen = vec![0u32; g.array_shape().len()];
+        for i in 0..g.n_chunks() {
+            let r = g.chunk_region(i);
+            let shape = g.array_shape();
+            let mut idx = [0usize; MAX_RANK];
+            let total = r.len();
+            for _ in 0..total {
+                let mut off = 0;
+                for (d, &i) in idx[..shape.rank()].iter().enumerate() {
+                    off += (r.origin()[d] + i) * shape.strides()[d];
+                }
+                seen[off] += 1;
+                for d in (0..shape.rank()).rev() {
+                    idx[d] += 1;
+                    if idx[d] < r.extent()[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "chunks must tile exactly once");
+    }
+
+    #[test]
+    fn oversized_chunk_clamps_to_one() {
+        let g = ChunkGrid::new(Shape::d2(5, 3), Shape::d2(100, 100));
+        assert_eq!(g.n_chunks(), 1);
+        assert_eq!(g.chunk_shape(), Shape::d2(5, 3));
+        assert!(g.chunk_is_slab(0));
+    }
+
+    #[test]
+    fn slab_detection() {
+        let g = ChunkGrid::new(Shape::d2(10, 6), Shape::d2(4, 6));
+        assert!((0..g.n_chunks()).all(|i| g.chunk_is_slab(i)));
+        let g2 = ChunkGrid::new(Shape::d2(10, 6), Shape::d2(4, 3));
+        assert!(!(0..g2.n_chunks()).all(|i| g2.chunk_is_slab(i)));
+    }
+
+    #[test]
+    fn intersecting_chunks_of_interior_region() {
+        let g = ChunkGrid::new(Shape::d2(8, 8), Shape::d2(4, 4));
+        // The region [2..6, 2..6] straddles all four chunks.
+        let all = g.chunks_intersecting(&Region::new(&[2, 2], &[4, 4]));
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        // A region inside one chunk touches only it.
+        let one = g.chunks_intersecting(&Region::new(&[5, 1], &[2, 2]));
+        assert_eq!(one, vec![2]);
+    }
+
+    #[test]
+    fn region_intersection() {
+        let a = Region::new(&[0, 0], &[4, 4]);
+        let b = Region::new(&[2, 3], &[5, 5]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.origin(), &[2, 3]);
+        assert_eq!(i.extent(), &[2, 1]);
+        let c = Region::new(&[4, 0], &[1, 1]);
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn gather_copies_the_right_box() {
+        let a = NdArray::<f32>::from_fn(Shape::d2(6, 5), |i| (i[0] * 10 + i[1]) as f32);
+        let r = Region::new(&[2, 1], &[3, 2]);
+        let g = gather(&a, &r);
+        assert_eq!(g.shape(), Shape::d2(3, 2));
+        assert_eq!(g.as_slice(), &[21.0, 22.0, 31.0, 32.0, 41.0, 42.0]);
+    }
+
+    #[test]
+    fn copy_region_roundtrips_through_scatter() {
+        let a = NdArray::<f64>::from_fn(Shape::d3(4, 3, 5), |i| {
+            (i[0] * 100 + i[1] * 10 + i[2]) as f64
+        });
+        let r = Region::new(&[1, 0, 2], &[2, 3, 2]);
+        let piece = gather(&a, &r);
+        let mut back = NdArray::<f64>::zeros(a.shape());
+        copy_region(
+            piece.as_slice(),
+            piece.shape(),
+            &[0, 0, 0],
+            back.as_mut_slice(),
+            a.shape(),
+            r.origin(),
+            r.extent(),
+        );
+        // Everything inside the region matches, everything outside is 0.
+        for off in 0..a.len() {
+            let idx = a.shape().unoffset(off);
+            let inside = (0..3).all(|d| {
+                idx[d] >= r.origin()[d] && idx[d] < r.origin()[d] + r.extent()[d]
+            });
+            let expect = if inside { a.as_slice()[off] } else { 0.0 };
+            assert_eq!(back.as_slice()[off], expect, "offset {off}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn region_outside_array_rejected() {
+        let g = ChunkGrid::new(Shape::d1(8), Shape::d1(4));
+        let _ = g.chunks_intersecting(&Region::new(&[6], &[4]));
+    }
+}

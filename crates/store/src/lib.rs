@@ -1,0 +1,53 @@
+//! # eblcio-store
+//!
+//! A zarr-inspired chunked container over the EBLC codecs: an
+//! [`NdArray`](eblcio_data::NdArray) is split into a regular chunk
+//! grid, every chunk is compressed independently (in parallel, with ε
+//! resolved once against the global value range so the whole-array
+//! error contract holds), and a self-describing manifest indexes the
+//! chunk payloads.
+//!
+//! What chunking buys over the paper's monolithic streams:
+//!
+//! * **partial reads** — [`ChunkedStore::read_region`] decompresses
+//!   only the chunks an axis-aligned region intersects,
+//! * **parallel scaling** — writes and full reads fan chunks out over
+//!   the shared rayon pool,
+//! * **placement** — chunks map onto PFS object placement
+//!   ([`pfs_io::write_store`] stripes them round-robin across OSTs), so
+//!   only the touched chunks pay I/O energy on read-back,
+//! * **per-chunk accounting** — [`ChunkedStore::chunk_quality`] reports
+//!   one [`QualityReport`](eblcio_data::QualityReport) per chunk.
+//!
+//! ```
+//! use eblcio_codec::{CompressorId, ErrorBound};
+//! use eblcio_data::{NdArray, Shape};
+//! use eblcio_store::{ChunkedStore, Region};
+//!
+//! let data = NdArray::<f32>::from_fn(Shape::d2(64, 64), |i| {
+//!     (i[0] as f32 * 0.1).sin() + (i[1] as f32 * 0.1).cos()
+//! });
+//! let codec = CompressorId::Sz3.instance();
+//! let stream = ChunkedStore::write(
+//!     codec.as_ref(), &data, ErrorBound::Relative(1e-3), Shape::d2(16, 16), 4,
+//! ).unwrap();
+//!
+//! let store = ChunkedStore::open(&stream).unwrap();
+//! assert_eq!(store.n_chunks(), 16);
+//! // Read one 8×8 corner: only a single 16×16 chunk is decompressed.
+//! let (corner, stats) = store
+//!     .read_region_with_stats::<f32>(&Region::new(&[0, 0], &[8, 8]))
+//!     .unwrap();
+//! assert_eq!(corner.shape(), Shape::d2(8, 8));
+//! assert_eq!(stats.chunks_decoded, 1);
+//! ```
+
+pub mod grid;
+pub mod manifest;
+pub mod pfs_io;
+pub mod store;
+
+pub use grid::{ChunkGrid, Region};
+pub use manifest::{ChunkEntry, Manifest};
+pub use pfs_io::{read_region_io, write_store};
+pub use store::{ChunkedStore, RegionReadStats};

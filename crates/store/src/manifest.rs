@@ -1,0 +1,293 @@
+//! The self-describing chunked-store container format.
+//!
+//! ```text
+//! "EBCS" | version u8 | codec u8 | dtype u8 | rank u8
+//! dims (rank × varint) | chunk dims (rank × varint)
+//! abs_bound f64 | n_chunks varint
+//! index: n_chunks × (offset varint, length varint)
+//! manifest crc32 u32 | chunk payloads…
+//! ```
+//!
+//! Offsets are relative to the payload start and must be contiguous in
+//! write order; the CRC covers every manifest byte before it, so a
+//! flipped bit in the index is caught before any chunk is decoded. Each
+//! chunk payload is itself a complete `EBLC` stream with its own
+//! header and payload checksum.
+
+use crate::grid::ChunkGrid;
+use eblcio_codec::util::{crc32, put_varint, ByteReader};
+use eblcio_codec::{CodecError, CompressorId, Result};
+use eblcio_data::shape::MAX_RANK;
+use eblcio_data::Shape;
+
+/// Container magic bytes.
+pub const MAGIC: &[u8; 4] = b"EBCS";
+/// Current container version.
+pub const VERSION: u8 = 1;
+
+/// Location of one compressed chunk inside the payload section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Byte offset from the payload start.
+    pub offset: u64,
+    /// Compressed length in bytes.
+    pub len: u64,
+}
+
+/// Parsed store manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Manifest {
+    /// Codec that produced every chunk.
+    pub codec: CompressorId,
+    /// Element type tag (0 = f32, 1 = f64).
+    pub dtype: u8,
+    /// Full array shape.
+    pub shape: Shape,
+    /// Interior chunk shape (edge chunks are clipped).
+    pub chunk_shape: Shape,
+    /// Absolute error bound resolved against the global value range.
+    pub abs_bound: f64,
+    /// Per-chunk offset/length index in raster order of the chunk grid.
+    pub chunks: Vec<ChunkEntry>,
+}
+
+impl Manifest {
+    /// The chunk grid this manifest describes.
+    pub fn grid(&self) -> ChunkGrid {
+        ChunkGrid::new(self.shape, self.chunk_shape)
+    }
+
+    /// Total payload bytes across all chunks.
+    pub fn payload_len(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len).sum()
+    }
+
+    /// Serializes the manifest (everything before the payload bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.chunks.len() * 6);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(self.codec as u8);
+        out.push(self.dtype);
+        out.push(self.shape.rank() as u8);
+        for &d in self.shape.dims() {
+            put_varint(&mut out, d as u64);
+        }
+        for &d in self.chunk_shape.dims() {
+            put_varint(&mut out, d as u64);
+        }
+        out.extend_from_slice(&self.abs_bound.to_bits().to_le_bytes());
+        put_varint(&mut out, self.chunks.len() as u64);
+        for c in &self.chunks {
+            put_varint(&mut out, c.offset);
+            put_varint(&mut out, c.len);
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a manifest from the head of `stream`,
+    /// returning it together with the payload start offset.
+    pub fn decode(stream: &[u8]) -> Result<(Self, usize)> {
+        let mut r = ByteReader::new(stream);
+        if r.take(4, "store magic")? != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u8("store version")?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let codec = CompressorId::from_u8(r.u8("store codec")?)?;
+        let dtype = r.u8("store dtype")?;
+        if dtype > 1 {
+            return Err(CodecError::Corrupt { context: "store dtype" });
+        }
+        let rank = r.u8("store rank")? as usize;
+        if rank == 0 || rank > MAX_RANK {
+            return Err(CodecError::Corrupt { context: "store rank" });
+        }
+        let mut dims = [0usize; MAX_RANK];
+        for d in dims.iter_mut().take(rank) {
+            *d = r.varint("store dimension")? as usize;
+            if *d == 0 {
+                return Err(CodecError::Corrupt { context: "store dimension" });
+            }
+        }
+        let shape = Shape::new(&dims[..rank]);
+        let mut cdims = [0usize; MAX_RANK];
+        for (d, &dim) in cdims.iter_mut().zip(&dims).take(rank) {
+            *d = r.varint("store chunk dimension")? as usize;
+            if *d == 0 || *d > dim {
+                return Err(CodecError::Corrupt { context: "store chunk dimension" });
+            }
+        }
+        let chunk_shape = Shape::new(&cdims[..rank]);
+        let abs_bound = r.f64("store abs bound")?;
+        if !(abs_bound.is_finite() && abs_bound > 0.0) {
+            return Err(CodecError::Corrupt { context: "store abs bound" });
+        }
+        let n_chunks = r.varint("store chunk count")? as usize;
+        // Every chunk needs at least two index bytes ahead of us plus
+        // one payload byte, so a count beyond the remaining stream
+        // cannot be valid. Checked *before* the count sizes any
+        // allocation or feeds a grid product: both are driven by
+        // untrusted header fields, and a corrupt stream must produce
+        // `Err`, never an abort.
+        if n_chunks == 0 || n_chunks > r.remaining() / 2 {
+            return Err(CodecError::Corrupt { context: "store chunk count" });
+        }
+        let expected = (0..rank).fold(1u128, |acc, d| {
+            acc.saturating_mul(dims[d].div_ceil(cdims[d]) as u128)
+        });
+        if n_chunks as u128 != expected {
+            return Err(CodecError::Corrupt { context: "store chunk count" });
+        }
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut next = 0u64;
+        for _ in 0..n_chunks {
+            let offset = r.varint("store chunk offset")?;
+            let len = r.varint("store chunk length")?;
+            if offset != next || len == 0 {
+                return Err(CodecError::Corrupt { context: "store chunk index" });
+            }
+            next = offset
+                .checked_add(len)
+                .ok_or(CodecError::Corrupt { context: "store chunk index" })?;
+            chunks.push(ChunkEntry { offset, len });
+        }
+        let manifest_len = r.position();
+        let crc_stored = r.u32("store manifest crc")?;
+        if crc_stored != crc32(&stream[..manifest_len]) {
+            return Err(CodecError::ChecksumMismatch);
+        }
+        let payload_start = r.position();
+        if stream.len() - payload_start != next as usize {
+            return Err(CodecError::TruncatedStream { context: "store payload" });
+        }
+        Ok((
+            Self {
+                codec,
+                dtype,
+                shape,
+                chunk_shape,
+                abs_bound,
+                chunks,
+            },
+            payload_start,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            codec: CompressorId::Sz3,
+            dtype: 0,
+            shape: Shape::d2(10, 7),
+            chunk_shape: Shape::d2(4, 4),
+            abs_bound: 1e-3,
+            chunks: vec![
+                ChunkEntry { offset: 0, len: 9 },
+                ChunkEntry { offset: 9, len: 4 },
+                ChunkEntry { offset: 13, len: 11 },
+                ChunkEntry { offset: 24, len: 2 },
+                ChunkEntry { offset: 26, len: 7 },
+                ChunkEntry { offset: 33, len: 5 },
+            ],
+        }
+    }
+
+    fn stream_of(m: &Manifest) -> Vec<u8> {
+        let mut s = m.encode();
+        s.extend(std::iter::repeat_n(0xAB, m.payload_len() as usize));
+        s
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let s = stream_of(&m);
+        let (back, payload_start) = Manifest::decode(&s).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(s.len() - payload_start, m.payload_len() as usize);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let s = stream_of(&sample());
+        for cut in 0..s.len() {
+            assert!(Manifest::decode(&s[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_manifest_bit_caught_by_crc() {
+        let s = stream_of(&sample());
+        // Flip one bit in every manifest byte after the magic/version
+        // (those two have dedicated errors) and expect rejection.
+        let manifest_end = s.len() - sample().payload_len() as usize;
+        for i in 5..manifest_end {
+            let mut bad = s.clone();
+            bad[i] ^= 0x10;
+            assert!(Manifest::decode(&bad).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn non_contiguous_index_rejected() {
+        let mut m = sample();
+        m.chunks[3].offset += 1;
+        assert!(Manifest::decode(&stream_of(&m)).is_err());
+    }
+
+    #[test]
+    fn wrong_chunk_count_rejected() {
+        let mut m = sample();
+        m.chunks.pop();
+        assert!(Manifest::decode(&stream_of(&m)).is_err());
+    }
+
+    #[test]
+    fn bad_abs_bound_rejected() {
+        for bad in [f64::NAN, 0.0, -2.0, f64::INFINITY] {
+            let mut m = sample();
+            m.abs_bound = bad;
+            assert!(Manifest::decode(&stream_of(&m)).is_err(), "bound {bad}");
+        }
+    }
+
+    #[test]
+    fn huge_fake_chunk_count_returns_err_without_allocating() {
+        // A tiny stream claiming an astronomically chunked array must be
+        // rejected (not abort on a capacity overflow). Hand-build the
+        // header so the grid product would be ~2^40.
+        let mut s = Vec::new();
+        s.extend_from_slice(MAGIC);
+        s.push(VERSION);
+        s.push(CompressorId::Szx as u8);
+        s.push(0); // dtype f32
+        s.push(1); // rank 1
+        put_varint(&mut s, 1u64 << 40); // dim
+        put_varint(&mut s, 1); // chunk dim -> 2^40 chunks
+        s.extend_from_slice(&1e-3f64.to_bits().to_le_bytes());
+        put_varint(&mut s, 1u64 << 40); // claimed chunk count
+        let crc = crc32(&s);
+        s.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            Manifest::decode(&s),
+            Err(CodecError::Corrupt { context: "store chunk count" })
+        ));
+    }
+
+    #[test]
+    fn oversized_chunk_dim_rejected() {
+        // chunk dim > array dim cannot have been written (write clamps).
+        let mut m = sample();
+        m.chunk_shape = Shape::d2(11, 4);
+        assert!(Manifest::decode(&stream_of(&m)).is_err());
+    }
+}

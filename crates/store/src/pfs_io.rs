@@ -1,0 +1,93 @@
+//! Routing store streams through the PFS model.
+//!
+//! A chunked stream maps naturally onto object placement: the manifest
+//! lands on the first OST, every chunk is a whole object round-robined
+//! across the targets (see [`PfsSim::write_chunks`]). Partial reads
+//! then pay I/O only for the chunks a region actually touches.
+
+use crate::grid::Region;
+use crate::store::ChunkedStore;
+use eblcio_energy::CpuProfile;
+use eblcio_pfs::{IoMeasurement, PfsSim};
+
+/// Simulates writing a chunked stream with its chunks striped across
+/// the file system's OSTs (manifest charged as metadata).
+pub fn write_store(
+    pfs: &PfsSim,
+    store: &ChunkedStore<'_>,
+    efficiency: f64,
+    writers: u32,
+    profile: &CpuProfile,
+) -> IoMeasurement {
+    pfs.write_chunks(
+        &store.chunk_lens(),
+        store.manifest_len() as u64,
+        efficiency,
+        writers,
+        profile,
+    )
+}
+
+/// Simulates reading back exactly the chunks a region read touches
+/// (manifest re-read included — a reader must parse the index first).
+/// Each touched chunk keeps its raster index, so the read lands on the
+/// OSTs the write-time round-robin actually placed it on.
+pub fn read_region_io(
+    pfs: &PfsSim,
+    store: &ChunkedStore<'_>,
+    region: &Region,
+    efficiency: f64,
+    readers: u32,
+    profile: &CpuProfile,
+) -> IoMeasurement {
+    let lens = store.chunk_lens();
+    let touched: Vec<(usize, u64)> = store
+        .grid()
+        .chunks_intersecting(region)
+        .into_iter()
+        .map(|i| (i, lens[i]))
+        .collect();
+    pfs.read_chunks(
+        &touched,
+        store.manifest_len() as u64,
+        efficiency,
+        readers,
+        profile,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblcio_codec::{CompressorId, ErrorBound};
+    use eblcio_data::{NdArray, Shape};
+    use eblcio_energy::CpuGeneration;
+
+    fn store_stream() -> Vec<u8> {
+        let data = NdArray::<f32>::from_fn(Shape::d3(32, 16, 16), |i| {
+            ((i[0] + i[1]) as f32 * 0.1).sin() * 10.0 + i[2] as f32
+        });
+        let codec = CompressorId::Szx.instance();
+        ChunkedStore::write(
+            codec.as_ref(),
+            &data,
+            ErrorBound::Relative(1e-3),
+            Shape::d3(8, 16, 16),
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn region_read_io_is_cheaper_than_full_write() {
+        let stream = store_stream();
+        let store = ChunkedStore::open(&stream).unwrap();
+        let pfs = PfsSim::testbed();
+        let profile = CpuGeneration::Skylake8160.profile();
+        let w = write_store(&pfs, &store, 0.9, 1, &profile);
+        let one_slab = Region::new(&[0, 0, 0], &[8, 16, 16]);
+        let r = read_region_io(&pfs, &store, &one_slab, 0.9, 1, &profile);
+        assert!(r.storage_energy.value() < w.storage_energy.value());
+        assert!(r.seconds.value() < w.seconds.value());
+    }
+}

@@ -1,0 +1,314 @@
+//! [`ChunkedStore`]: write a field as independently compressed chunks,
+//! read back all of it, one chunk, or any axis-aligned region.
+
+use crate::grid::{copy_region, gather, ChunkGrid, Region};
+use crate::manifest::{ChunkEntry, Manifest};
+use eblcio_codec::header::Header;
+use eblcio_codec::parallel::pool_for;
+use eblcio_codec::{
+    compress_view, decompress, CodecError, Compressor, CompressorId, ErrorBound, Result,
+};
+use eblcio_data::shape::MAX_RANK;
+use eblcio_data::{Element, NdArray, QualityReport, Shape};
+use rayon::prelude::*;
+
+/// Statistics of a partial read — how much work a region read actually
+/// did, used to verify (and benchmark) that only intersecting chunks
+/// pay decompression and I/O cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegionReadStats {
+    /// Chunks decompressed to satisfy the read.
+    pub chunks_decoded: usize,
+    /// Chunks in the whole store.
+    pub chunks_total: usize,
+    /// Compressed bytes touched (the intersecting chunks' payloads).
+    pub compressed_bytes_read: u64,
+}
+
+/// A zero-copy reader over a chunked compressed array stream, plus the
+/// associated `write` entry point that produces such streams.
+///
+/// The container splits an array into a regular chunk grid, compresses
+/// every chunk independently with one codec at one error bound (ε
+/// resolved once against the *global* value range, so per-chunk
+/// streams honour the same contract as whole-array compression), and
+/// prefixes a manifest indexing every chunk. See [`crate::manifest`]
+/// for the byte layout.
+#[derive(Clone, Debug)]
+pub struct ChunkedStore<'a> {
+    manifest: Manifest,
+    grid: ChunkGrid,
+    manifest_len: usize,
+    payload: &'a [u8],
+}
+
+impl<'a> ChunkedStore<'a> {
+    /// Compresses `data` into a chunked stream.
+    ///
+    /// Chunks are compressed in parallel on the shared rayon pool for
+    /// `threads` workers. Chunks that are contiguous dimension-0 slabs
+    /// are compressed from zero-copy borrowed views; interior chunks of
+    /// multi-axis grids are gathered into a chunk-sized buffer first
+    /// (unavoidable for non-contiguous regions of a row-major array).
+    pub fn write<T: Element>(
+        codec: &dyn Compressor,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        chunk_shape: Shape,
+        threads: usize,
+    ) -> Result<Vec<u8>> {
+        assert!(threads >= 1, "thread count must be >= 1");
+        let grid = ChunkGrid::new(data.shape(), chunk_shape);
+        // Resolve ε once against the global range: chunk-local ranges
+        // are narrower, so resolving per chunk would tighten the bound
+        // inconsistently across the grid.
+        let abs = bound.to_absolute(data.value_range())?;
+        let bound = ErrorBound::Absolute(abs);
+
+        let ids: Vec<usize> = (0..grid.n_chunks()).collect();
+        let pool = pool_for(threads)?;
+        let streams: Vec<Result<Vec<u8>>> = pool.install(|| {
+            ids.par_iter()
+                .map(|&i| {
+                    let region = grid.chunk_region(i);
+                    if grid.chunk_is_slab(i) {
+                        let view = data.slab(region.origin()[0], region.extent()[0]);
+                        compress_view(codec, view, bound)
+                    } else {
+                        let owned = gather(data, &region);
+                        compress_view(codec, owned.view(), bound)
+                    }
+                })
+                .collect()
+        });
+
+        // Index first (offsets/lengths are known once the compressions
+        // finish), then append each chunk stream straight into the
+        // output — no intermediate payload buffer, one copy total.
+        let streams: Vec<Vec<u8>> = streams.into_iter().collect::<Result<_>>()?;
+        let mut chunks = Vec::with_capacity(streams.len());
+        let mut offset = 0u64;
+        for s in &streams {
+            chunks.push(ChunkEntry {
+                offset,
+                len: s.len() as u64,
+            });
+            offset += s.len() as u64;
+        }
+        let manifest = Manifest {
+            codec: codec.id(),
+            dtype: Header::dtype_of::<T>(),
+            shape: data.shape(),
+            chunk_shape: grid.chunk_shape(),
+            abs_bound: abs,
+            chunks,
+        };
+        let mut out = manifest.encode();
+        out.reserve(offset as usize);
+        for s in &streams {
+            out.extend_from_slice(s);
+        }
+        Ok(out)
+    }
+
+    /// Opens a stream, parsing and validating the manifest without
+    /// touching any chunk payload.
+    pub fn open(stream: &'a [u8]) -> Result<Self> {
+        let (manifest, payload_start) = Manifest::decode(stream)?;
+        let grid = manifest.grid();
+        Ok(Self {
+            grid,
+            manifest_len: payload_start,
+            payload: &stream[payload_start..],
+            manifest,
+        })
+    }
+
+    /// The codec every chunk was compressed with.
+    pub fn codec_id(&self) -> CompressorId {
+        self.manifest.codec
+    }
+
+    /// Element type tag (0 = f32, 1 = f64).
+    pub fn dtype(&self) -> u8 {
+        self.manifest.dtype
+    }
+
+    /// Full array shape.
+    pub fn shape(&self) -> Shape {
+        self.manifest.shape
+    }
+
+    /// Interior chunk shape.
+    pub fn chunk_shape(&self) -> Shape {
+        self.manifest.chunk_shape
+    }
+
+    /// The absolute error bound every chunk honours.
+    pub fn abs_bound(&self) -> f64 {
+        self.manifest.abs_bound
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.manifest.chunks.len()
+    }
+
+    /// The chunk grid.
+    pub fn grid(&self) -> &ChunkGrid {
+        &self.grid
+    }
+
+    /// Compressed sizes of every chunk, in raster order (what a striped
+    /// writer places across storage targets).
+    pub fn chunk_lens(&self) -> Vec<u64> {
+        self.manifest.chunks.iter().map(|c| c.len).collect()
+    }
+
+    /// Manifest bytes preceding the payload (metadata cost of a write).
+    pub fn manifest_len(&self) -> usize {
+        self.manifest_len
+    }
+
+    /// Borrows the compressed payload of chunk `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_chunks()`.
+    pub fn chunk_payload(&self, i: usize) -> &'a [u8] {
+        let e = self.manifest.chunks[i];
+        &self.payload[e.offset as usize..(e.offset + e.len) as usize]
+    }
+
+    fn check_dtype<T: Element>(&self) -> Result<()> {
+        if self.manifest.dtype == Header::dtype_of::<T>() {
+            Ok(())
+        } else {
+            Err(CodecError::DtypeMismatch {
+                expected: if self.manifest.dtype == 0 { "f32" } else { "f64" },
+                got: T::NAME,
+            })
+        }
+    }
+
+    /// Decompresses chunk `i` alone.
+    pub fn read_chunk<T: Element>(&self, i: usize) -> Result<NdArray<T>> {
+        self.check_dtype::<T>()?;
+        let codec = self.manifest.codec.instance();
+        self.decode_chunk(codec.as_ref(), i)
+    }
+
+    fn decode_chunk<T: Element>(&self, codec: &dyn Compressor, i: usize) -> Result<NdArray<T>> {
+        let arr = decompress::<T>(codec, self.chunk_payload(i))?;
+        if arr.shape() != self.grid.chunk_region(i).shape() {
+            return Err(CodecError::Corrupt { context: "store chunk shape" });
+        }
+        Ok(arr)
+    }
+
+    /// Decompresses the whole array, decoding chunks in parallel on the
+    /// shared rayon pool for `threads` workers.
+    pub fn read_full<T: Element>(&self, threads: usize) -> Result<NdArray<T>> {
+        assert!(threads >= 1, "thread count must be >= 1");
+        self.check_dtype::<T>()?;
+        let codec = self.manifest.codec.instance();
+        let ids: Vec<usize> = (0..self.n_chunks()).collect();
+        let pool = pool_for(threads)?;
+        let parts: Vec<Result<NdArray<T>>> = pool.install(|| {
+            ids.par_iter()
+                .map(|&i| self.decode_chunk(codec.as_ref(), i))
+                .collect()
+        });
+        let mut out = NdArray::<T>::zeros(self.manifest.shape);
+        for (i, part) in parts.into_iter().enumerate() {
+            let part = part?;
+            let region = self.grid.chunk_region(i);
+            let rank = region.rank();
+            copy_region(
+                part.as_slice(),
+                part.shape(),
+                &[0usize; MAX_RANK][..rank],
+                out.as_mut_slice(),
+                self.manifest.shape,
+                region.origin(),
+                region.extent(),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Decompresses exactly the chunks intersecting `region` and
+    /// assembles the requested box, reporting how much work that took.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside the array shape.
+    pub fn read_region_with_stats<T: Element>(
+        &self,
+        region: &Region,
+    ) -> Result<(NdArray<T>, RegionReadStats)> {
+        self.check_dtype::<T>()?;
+        let codec = self.manifest.codec.instance();
+        let hits = self.grid.chunks_intersecting(region);
+        let mut out = NdArray::<T>::zeros(region.shape());
+        let mut bytes = 0u64;
+        for &i in &hits {
+            let part = self.decode_chunk::<T>(codec.as_ref(), i)?;
+            bytes += self.manifest.chunks[i].len;
+            let chunk_region = self.grid.chunk_region(i);
+            let inter = chunk_region
+                .intersect(region)
+                .expect("intersecting chunk must overlap the region");
+            let rank = inter.rank();
+            let mut src_origin = [0usize; MAX_RANK];
+            let mut dst_origin = [0usize; MAX_RANK];
+            for d in 0..rank {
+                src_origin[d] = inter.origin()[d] - chunk_region.origin()[d];
+                dst_origin[d] = inter.origin()[d] - region.origin()[d];
+            }
+            copy_region(
+                part.as_slice(),
+                part.shape(),
+                &src_origin[..rank],
+                out.as_mut_slice(),
+                region.shape(),
+                &dst_origin[..rank],
+                inter.extent(),
+            );
+        }
+        Ok((
+            out,
+            RegionReadStats {
+                chunks_decoded: hits.len(),
+                chunks_total: self.n_chunks(),
+                compressed_bytes_read: bytes,
+            },
+        ))
+    }
+
+    /// Decompresses an axis-aligned region, touching only the chunks
+    /// that intersect it.
+    pub fn read_region<T: Element>(&self, region: &Region) -> Result<NdArray<T>> {
+        self.read_region_with_stats(region).map(|(a, _)| a)
+    }
+
+    /// Per-chunk quality summary against the original array: one
+    /// [`QualityReport`] per chunk in raster order, each computed over
+    /// that chunk's samples and compressed size.
+    pub fn chunk_quality<T: Element>(&self, original: &NdArray<T>) -> Result<Vec<QualityReport>> {
+        self.check_dtype::<T>()?;
+        if original.shape() != self.manifest.shape {
+            return Err(CodecError::Corrupt { context: "store quality shape" });
+        }
+        let codec = self.manifest.codec.instance();
+        let mut out = Vec::with_capacity(self.n_chunks());
+        for i in 0..self.n_chunks() {
+            let recon = self.decode_chunk::<T>(codec.as_ref(), i)?;
+            let orig = gather(original, &self.grid.chunk_region(i));
+            out.push(QualityReport::evaluate(
+                &orig,
+                &recon,
+                self.manifest.chunks[i].len as usize,
+            ));
+        }
+        Ok(out)
+    }
+}

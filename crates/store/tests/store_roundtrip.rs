@@ -1,0 +1,301 @@
+//! Integration tests for the chunked store: round-trips across every
+//! codec and precision, edge chunks, partial reads, corruption
+//! rejection, and the ε contract.
+
+use eblcio_codec::{header, CompressorId, ErrorBound};
+use eblcio_data::{max_rel_error, Element, NdArray, Shape};
+use eblcio_store::{ChunkedStore, Region};
+use proptest::prelude::*;
+
+fn field<T: Element>(shape: Shape) -> NdArray<T> {
+    NdArray::from_fn(shape, |i| {
+        let v = (i[0] as f64 * 0.23).sin() * 40.0
+            + (i.get(1).copied().unwrap_or(0) as f64 * 0.31).cos() * 15.0
+            + i.get(2).copied().unwrap_or(0) as f64 * 0.5;
+        T::from_f64(v)
+    })
+}
+
+const EPS: f64 = 1e-3;
+// Value-range ε check with the same hair of float slack the codec
+// test-suite uses.
+const SLACK: f64 = 1.0000001;
+
+#[test]
+fn full_roundtrip_all_codecs_f32() {
+    let data = field::<f32>(Shape::d3(20, 12, 12));
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let stream = ChunkedStore::write(
+            codec.as_ref(),
+            &data,
+            ErrorBound::Relative(EPS),
+            Shape::d3(8, 8, 8),
+            4,
+        )
+        .unwrap();
+        let store = ChunkedStore::open(&stream).unwrap();
+        assert_eq!(store.codec_id(), id);
+        assert_eq!(store.shape(), data.shape());
+        let back = store.read_full::<f32>(4).unwrap();
+        assert_eq!(back.shape(), data.shape());
+        assert!(
+            max_rel_error(&data, &back) <= EPS * SLACK,
+            "{} broke the ε contract",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn full_roundtrip_all_codecs_f64() {
+    let data = field::<f64>(Shape::d2(30, 25));
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let stream = ChunkedStore::write(
+            codec.as_ref(),
+            &data,
+            ErrorBound::Relative(EPS),
+            Shape::d2(7, 9),
+            2,
+        )
+        .unwrap();
+        let store = ChunkedStore::open(&stream).unwrap();
+        let back = store.read_full::<f64>(2).unwrap();
+        assert!(
+            max_rel_error(&data, &back) <= EPS * SLACK,
+            "{} broke the ε contract (f64)",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn single_chunk_reads_match_full_read() {
+    let data = field::<f32>(Shape::d2(19, 13));
+    let codec = CompressorId::Sz3.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        3,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    let full = store.read_full::<f32>(1).unwrap();
+    for i in 0..store.n_chunks() {
+        let region = store.grid().chunk_region(i);
+        let chunk = store.read_chunk::<f32>(i).unwrap();
+        assert_eq!(chunk.shape(), region.shape(), "chunk {i}");
+        // The chunk must be exactly the corresponding box of read_full.
+        for off in 0..chunk.len() {
+            let local = chunk.shape().unoffset(off);
+            let global = [
+                region.origin()[0] + local[0],
+                region.origin()[1] + local[1],
+            ];
+            assert_eq!(chunk.as_slice()[off], full.get(&global), "chunk {i}");
+        }
+    }
+}
+
+#[test]
+fn region_read_decodes_only_intersecting_chunks() {
+    // 4×4×4 grid of 8³ chunks over a 32³ cube.
+    let data = field::<f32>(Shape::d3(32, 32, 32));
+    let codec = CompressorId::Szx.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d3(8, 8, 8),
+        4,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    assert_eq!(store.n_chunks(), 64);
+
+    // A region inside a single chunk: exactly one decode.
+    let (one, stats) = store
+        .read_region_with_stats::<f32>(&Region::new(&[9, 10, 11], &[4, 4, 4]))
+        .unwrap();
+    assert_eq!(stats.chunks_decoded, 1);
+    assert_eq!(stats.chunks_total, 64);
+    assert_eq!(one.shape(), Shape::d3(4, 4, 4));
+
+    // A 2×2×2 block of chunks: eight decodes.
+    let (_, stats) = store
+        .read_region_with_stats::<f32>(&Region::new(&[4, 4, 4], &[8, 8, 8]))
+        .unwrap();
+    assert_eq!(stats.chunks_decoded, 8);
+    assert!(stats.compressed_bytes_read < stream.len() as u64 / 4);
+
+    // Values match a direct gather from the original within ε.
+    let region = Region::new(&[3, 17, 5], &[13, 9, 20]);
+    let got = store.read_region::<f32>(&region).unwrap();
+    let want = NdArray::<f32>::from_fn(region.shape(), |i| {
+        data.get(&[
+            i[0] + region.origin()[0],
+            i[1] + region.origin()[1],
+            i[2] + region.origin()[2],
+        ])
+    });
+    let range = data.value_range();
+    for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+        assert!(((a - b).abs() as f64) <= EPS * SLACK * range);
+    }
+}
+
+#[test]
+fn non_divisible_edge_chunks() {
+    // 13 is prime: every chunk boundary is clipped somewhere.
+    let data = field::<f32>(Shape::d2(13, 13));
+    let codec = CompressorId::Sz2.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(5, 4),
+        2,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    assert_eq!(store.grid().counts(), &[3, 4]);
+    let last = store.read_chunk::<f32>(store.n_chunks() - 1).unwrap();
+    assert_eq!(last.shape(), Shape::d2(3, 1));
+    let back = store.read_full::<f32>(2).unwrap();
+    assert!(max_rel_error(&data, &back) <= EPS * SLACK);
+}
+
+#[test]
+fn one_dimensional_store() {
+    let data = field::<f32>(Shape::d1(1000));
+    let codec = CompressorId::Zfp.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d1(256),
+        4,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    assert_eq!(store.n_chunks(), 4);
+    let (mid, stats) = store
+        .read_region_with_stats::<f32>(&Region::new(&[500], &[10]))
+        .unwrap();
+    assert_eq!(stats.chunks_decoded, 1);
+    assert_eq!(mid.len(), 10);
+}
+
+#[test]
+fn corrupt_and_truncated_streams_rejected() {
+    let data = field::<f32>(Shape::d2(16, 16));
+    let codec = CompressorId::Sz3.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        1,
+    )
+    .unwrap();
+    // Any truncation fails at open() or at the first chunk read.
+    for cut in [0, 3, 10, stream.len() / 2, stream.len() - 1] {
+        let r = ChunkedStore::open(&stream[..cut]);
+        let failed = match r {
+            Err(_) => true,
+            Ok(s) => (0..s.n_chunks()).any(|i| s.read_chunk::<f32>(i).is_err()),
+        };
+        assert!(failed, "cut {cut}");
+    }
+    // Bad magic.
+    let mut bad = stream.clone();
+    bad[0] ^= 0xFF;
+    assert!(ChunkedStore::open(&bad).is_err());
+    // A flipped payload bit is caught by the chunk's own checksum.
+    let mut bad = stream.clone();
+    let last = bad.len() - 5;
+    bad[last] ^= 0x01;
+    let store = ChunkedStore::open(&bad).unwrap();
+    assert!((0..store.n_chunks()).any(|i| store.read_chunk::<f32>(i).is_err()));
+    // Dtype mismatch is typed, not garbled.
+    let store = ChunkedStore::open(&stream).unwrap();
+    assert!(store.read_full::<f64>(1).is_err());
+    assert!(store.read_chunk::<f64>(0).is_err());
+}
+
+#[test]
+fn per_chunk_quality_reports() {
+    let data = field::<f32>(Shape::d2(32, 32));
+    let codec = CompressorId::Qoz.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(16, 16),
+        2,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    let reports = store.chunk_quality(&data).unwrap();
+    assert_eq!(reports.len(), store.n_chunks());
+    let range = data.value_range();
+    for (i, r) in reports.iter().enumerate() {
+        // Per-chunk max |D−D̂| honours the global-range ε.
+        assert!(r.max_abs_error <= EPS * SLACK * range, "chunk {i}");
+        assert!(r.compression_ratio > 1.0, "chunk {i}");
+    }
+    // The summed compressed bytes are consistent with the ratios.
+    let total: u64 = store.chunk_lens().iter().sum();
+    assert!(total < data.nbytes() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The store resolves ε against the *global* value range, exactly
+    /// like whole-array serial compression: the manifest bound, every
+    /// chunk's own stream header bound, and the serial stream's header
+    /// bound must all agree — and the reconstruction must honour it.
+    #[test]
+    fn per_chunk_epsilon_equals_whole_array_epsilon(
+        d0 in 4usize..24,
+        d1 in 4usize..24,
+        c0 in 2usize..10,
+        c1 in 2usize..10,
+        eps_exp in 2u32..5,
+        codec_pick in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let eps = 10f64.powi(-(eps_exp as i32));
+        let shape = Shape::d2(d0, d1);
+        let mut x = seed | 1;
+        let data = NdArray::<f32>::from_fn(shape, |_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1_000_001) as f32 / 500.0 - 1000.0
+        });
+        let id = CompressorId::ALL[codec_pick];
+        let codec = id.instance();
+
+        let chunked = ChunkedStore::write(
+            codec.as_ref(), &data, ErrorBound::Relative(eps), Shape::d2(c0, c1), 2,
+        ).unwrap();
+        let serial = codec.compress_f32(&data, ErrorBound::Relative(eps)).unwrap();
+
+        let store = ChunkedStore::open(&chunked).unwrap();
+        let (serial_header, _) = header::read_stream(&serial).unwrap();
+        // One ε, resolved once, everywhere.
+        prop_assert_eq!(store.abs_bound(), serial_header.abs_bound);
+        for i in 0..store.n_chunks() {
+            let (h, _) = header::read_stream(store.chunk_payload(i)).unwrap();
+            prop_assert_eq!(h.abs_bound, store.abs_bound(), "chunk {}", i);
+        }
+        // And the contract holds end to end.
+        let back = store.read_full::<f32>(2).unwrap();
+        prop_assert!(max_rel_error(&data, &back) <= eps * SLACK);
+    }
+}

@@ -15,7 +15,9 @@
 //!   HDF5-lite and NetCDF-lite writers,
 //! * [`cluster`] — the multi-node MPI-style compression + write harness,
 //! * [`core`] — the §III benefit framework (Eqs. 3–5), campaign runner,
-//!   and the "to compress or not" advisor.
+//!   and the "to compress or not" advisor,
+//! * [`store`] — the chunked compressed array container (zarr-style
+//!   chunk grid + manifest) with partial region reads.
 //!
 //! ## Quickstart
 //!
@@ -41,16 +43,18 @@ pub use eblcio_core as core;
 pub use eblcio_data as data;
 pub use eblcio_energy as energy;
 pub use eblcio_pfs as pfs;
+pub use eblcio_store as store;
 
 /// Commonly used items, importable with `use eblcio::prelude::*;`.
 pub mod prelude {
     pub use eblcio_codec::{
-        compress, compress_dataset, compress_parallel, decompress, decompress_any,
-        decompress_parallel, Compressor, CompressorId, ErrorBound,
+        compress, compress_dataset, compress_parallel, compress_view, decompress, decompress_any,
+        decompress_parallel, parallel_stream_info, Compressor, CompressorId, ErrorBound,
     };
     pub use eblcio_data::{
-        compression_ratio, max_rel_error, psnr, Dataset, DatasetKind, DatasetSpec, NdArray,
-        QualityReport, Shape,
+        compression_ratio, max_rel_error, psnr, ArrayView, Dataset, DatasetKind, DatasetSpec,
+        NdArray, QualityReport, Shape,
     };
     pub use eblcio_data::generators::Scale;
+    pub use eblcio_store::{ChunkedStore, Region};
 }
