@@ -1,0 +1,151 @@
+//! Fixed vs adaptive per-chunk chain selection (extension beyond the
+//! paper, enabled by the chain refactor).
+//!
+//! A deliberately heterogeneous field — a smooth interpolable band, a
+//! near-constant band, and a rough high-entropy band stacked along
+//! dimension 0 — is written as a chunked store three ways:
+//!
+//! * **fixed** — every chunk uses one preset chain (each of the five),
+//! * **adaptive** — `ChunkedStore::write_adaptive` prices the candidate
+//!   chains per chunk with sampled CR estimates and mixes codecs inside
+//!   one store,
+//! * the adaptive run also reports its per-chunk selection histogram.
+//!
+//! Shape check: on heterogeneous data the adaptive store lands within a
+//! few percent of (or beats) the best fixed chain's total size without
+//! anyone knowing that chain in advance — and no fixed chain wins every
+//! band, which is the whole argument for per-chunk selection.
+
+use eblcio_bench::{scale_from_env, TextTable};
+use eblcio_codec::{ChainSpec, CompressorId, ErrorBound};
+use eblcio_data::generators::Scale;
+use eblcio_data::{NdArray, Shape};
+use eblcio_store::ChunkedStore;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const EPS: f64 = 1e-3;
+const THREADS: usize = 8;
+
+/// Three-regime field: rows [0, n) smooth, [n, 2n) near-constant,
+/// [2n, 3n) rough.
+fn heterogeneous(scale: Scale) -> NdArray<f32> {
+    let n = match scale {
+        Scale::Tiny => 24,
+        Scale::Small => 64,
+        Scale::Paper => 192,
+    };
+    let mut x = 0x2545F4914F6CDD1Du64;
+    NdArray::from_fn(Shape::d3(3 * n, n, n), |i| {
+        let band = i[0] / n;
+        match band {
+            0 => {
+                (i[0] as f32 * 0.11).sin() * 40.0
+                    + (i[1] as f32 * 0.07).cos() * 25.0
+                    + (i[2] as f32 * 0.05).sin() * 10.0
+            }
+            1 => 750.0 + ((i[0] + i[1] + i[2]) % 7) as f32 * 1e-4,
+            _ => {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 100_000) as f32 / 50.0
+            }
+        }
+    })
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let data = heterogeneous(scale);
+    let shape = data.shape();
+    // One chunk per band-third along dim 0, quartered across the rest.
+    let chunk_shape = Shape::new(&[
+        shape.dim(0) / 6,
+        shape.dim(1).div_ceil(2).max(1),
+        shape.dim(2).div_ceil(2).max(1),
+    ]);
+
+    let mut table = TextTable::new(&[
+        "mode", "chains", "bytes", "CR", "write_s", "chunks",
+    ]);
+
+    let mut best_fixed = u64::MAX;
+    for id in CompressorId::ALL {
+        let codec = id.instance();
+        let t0 = Instant::now();
+        let stream = ChunkedStore::write(
+            codec.as_ref(),
+            &data,
+            ErrorBound::Relative(EPS),
+            chunk_shape,
+            THREADS,
+        )
+        .expect("fixed write");
+        let dt = t0.elapsed().as_secs_f64();
+        best_fixed = best_fixed.min(stream.len() as u64);
+        let store = ChunkedStore::open(&stream).expect("open");
+        table.row(vec![
+            "fixed".into(),
+            id.name().into(),
+            stream.len().to_string(),
+            format!("{:.2}", data.nbytes() as f64 / stream.len() as f64),
+            format!("{dt:.3}"),
+            store.n_chunks().to_string(),
+        ]);
+    }
+
+    let candidates = vec![
+        ChainSpec::preset(CompressorId::Sz3),
+        ChainSpec::preset(CompressorId::Szx),
+        ChainSpec::preset(CompressorId::Sz2),
+        ChainSpec::parse("szx+lz").expect("chain"),
+    ];
+    let t0 = Instant::now();
+    let stream = ChunkedStore::write_adaptive(
+        &candidates,
+        &data,
+        ErrorBound::Relative(EPS),
+        chunk_shape,
+        THREADS,
+    )
+    .expect("adaptive write");
+    let dt = t0.elapsed().as_secs_f64();
+    let store = ChunkedStore::open(&stream).expect("open");
+    table.row(vec![
+        "adaptive".into(),
+        format!("{} candidates", candidates.len()),
+        stream.len().to_string(),
+        format!("{:.2}", data.nbytes() as f64 / stream.len() as f64),
+        format!("{dt:.3}"),
+        store.n_chunks().to_string(),
+    ]);
+
+    table.print(&format!(
+        "Fixed vs adaptive per-chunk chain selection (3-band field, {scale:?}, eps {EPS:.0e})"
+    ));
+    let path = table.write_csv("adaptive_store").expect("csv");
+    println!("\nCSV: {}", path.display());
+
+    // Selection histogram: which chain won how many chunks.
+    let mut hist: BTreeMap<String, usize> = BTreeMap::new();
+    for i in 0..store.n_chunks() {
+        *hist.entry(store.chunk_chain(i).label()).or_default() += 1;
+    }
+    println!("\nAdaptive per-chunk selection ({} chunks):", store.n_chunks());
+    for (chain, count) in &hist {
+        println!("  {chain:<16} {count}");
+    }
+    let overhead = stream.len() as f64 / best_fixed as f64;
+    println!(
+        "\nShape checks: the selection histogram spans >1 chain on this field \
+         (mixed-codec store), the round-trip stays within eps, and the adaptive \
+         size is {overhead:.3}x the best fixed chain — without knowing that \
+         chain in advance."
+    );
+
+    // Sanity: the adaptive store still honours ε end to end.
+    let back = store.read_full::<f32>(THREADS).expect("read_full");
+    let err = eblcio_data::max_rel_error(&data, &back);
+    assert!(err <= EPS * 1.0000001, "adaptive store broke ε: {err}");
+}

@@ -29,7 +29,7 @@ fn main() {
             let v = c.inputs.evaluate();
             table.row(vec![
                 kind.name().into(),
-                c.codec.name().into(),
+                c.chain.label(),
                 format!("{:.0e}", c.epsilon),
                 format!("{:.1}", c.cr),
                 format!("{:.1}", c.psnr_db),
@@ -44,7 +44,7 @@ fn main() {
                     / c.inputs.write_energy_compressed.value().max(1e-12);
                 if best_saving.as_ref().map(|b| c.energy_saving() > b.1).unwrap_or(true) {
                     best_saving = Some((
-                        format!("{} {} @ {:.0e}", kind.name(), c.codec.name(), c.epsilon),
+                        format!("{} {} @ {:.0e}", kind.name(), c.chain.label(), c.epsilon),
                         c.energy_saving(),
                         reduction,
                     ));

@@ -1,0 +1,522 @@
+//! Composable codec chains: serializable stage pipelines behind the
+//! [`Compressor`] trait.
+//!
+//! # Stage taxonomy
+//!
+//! A chain is **one array stage followed by zero or more byte stages**:
+//!
+//! ```text
+//! samples ──(array stage: predict/quantize/transform → bytes)──▶ payload
+//!         ──(byte stage₁)──▶ … ──(byte stageₙ)──▶ stream payload
+//! ```
+//!
+//! * **Array stages** are the lossy front ends — the SZ2 hybrid
+//!   Lorenzo/regression predictor, the SZ3/QoZ interpolation pyramids,
+//!   the ZFP block transform, the SZx fixed-point blocks. They own the
+//!   error bound: whatever bytes follow, the ε contract is decided here.
+//! * **Byte stages** are lossless byte→byte transforms — the LZ backend
+//!   ("Zstd stage"), the Blosc byte shuffle, FPC/fpzip-style float
+//!   coders — applied in order on encode, unwound in reverse on decode.
+//!
+//! The five paper codecs are *presets* of this algebra
+//! ([`ChainSpec::preset`]): `SZ2 = sz2+lz`, `SZ3 = sz3+lz`,
+//! `QoZ = qoz+lz`, `ZFP = zfp`, `SZx = szx` — byte-compatible with the
+//! monolithic pipelines they replaced. Custom chains (`sz3+shuffle4+lz`,
+//! `szx+fpc4`, …) open the scenario space the ROADMAP asks for: swap the
+//! lossless backend, stack filters, or register different stage
+//! constructors in a [`CodecRegistry`].
+//!
+//! A [`ChainSpec`] is the serializable description: it travels in the
+//! v2 `EBLC` stream header and in `EBCS` store manifests (which may hold
+//! a different chain per chunk), and parses from the CLI grammar
+//! `array[+byte…]` via [`ChainSpec::parse`].
+
+use crate::error::{CodecError, Result};
+use crate::header::{read_stream, write_stream, Header};
+use crate::stage::{
+    build_byte_stage, decode_array, encode_array, ArrayStage, ByteStage, ByteStageSpec,
+};
+use crate::traits::{Compressor, CompressorId, ErrorBound};
+use eblcio_data::{ArrayView, Element, NdArray};
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Upper bound on byte stages per chain (wire format sanity cap).
+pub const MAX_BYTE_STAGES: usize = 8;
+
+/// Serializable description of a codec chain: which array stage, then
+/// which byte stages in encode order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ChainSpec {
+    /// The lossy front end.
+    pub array: CompressorId,
+    /// Byte stages in encode order (decode unwinds them back to front).
+    pub bytes: Vec<ByteStageSpec>,
+}
+
+impl ChainSpec {
+    /// The preset chain that reproduces one of the five paper codecs
+    /// byte-for-byte: the SZ family runs its payload through the LZ
+    /// backend, ZFP and SZx emit raw coded bytes.
+    pub fn preset(id: CompressorId) -> Self {
+        let bytes = match id {
+            CompressorId::Sz2 | CompressorId::Sz3 | CompressorId::Qoz => {
+                vec![ByteStageSpec::Lz]
+            }
+            CompressorId::Zfp | CompressorId::Szx => Vec::new(),
+        };
+        Self { array: id, bytes }
+    }
+
+    /// All five paper presets, in legend order.
+    pub fn presets() -> Vec<Self> {
+        CompressorId::ALL.iter().map(|&id| Self::preset(id)).collect()
+    }
+
+    /// `Some(id)` when this spec is exactly the preset for `id`.
+    pub fn preset_id(&self) -> Option<CompressorId> {
+        (*self == Self::preset(self.array)).then_some(self.array)
+    }
+
+    /// Display label: the paper legend name for presets (`SZ3`), the
+    /// `+`-joined stage grammar otherwise (`sz3+shuffle4+lz`).
+    pub fn label(&self) -> String {
+        if let Some(id) = self.preset_id() {
+            return id.name().to_string();
+        }
+        let mut out = self.array.name().to_ascii_lowercase();
+        for b in &self.bytes {
+            out.push('+');
+            out.push_str(&b.label());
+        }
+        out
+    }
+
+    /// Parses the CLI grammar: `sz3` (a bare codec name is its preset),
+    /// `array+raw` (the bare array stage, no byte stages), or
+    /// `array+byte+byte…` listing explicit stages (`sz3+shuffle4+lz`).
+    /// `raw` is only legal as the sole trailing segment — mixing it
+    /// with byte stages is ambiguous and rejected.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        let lower = s.to_ascii_lowercase();
+        let mut parts = lower.split('+');
+        let head = parts.next().unwrap_or_default();
+        let array = match head {
+            "sz2" => CompressorId::Sz2,
+            "sz3" => CompressorId::Sz3,
+            "zfp" => CompressorId::Zfp,
+            "qoz" => CompressorId::Qoz,
+            "szx" => CompressorId::Szx,
+            other => return Err(format!("unknown array stage '{other}'")),
+        };
+        let rest: Vec<&str> = parts.collect();
+        if rest.is_empty() {
+            return Ok(Self::preset(array));
+        }
+        if rest.contains(&"raw") {
+            return if rest == ["raw"] {
+                Ok(Self { array, bytes: Vec::new() })
+            } else {
+                Err(format!("chain '{s}': 'raw' must be the only segment after the array stage"))
+            };
+        }
+        let mut bytes = Vec::new();
+        for seg in rest {
+            bytes.push(ByteStageSpec::parse(seg)?);
+        }
+        if bytes.len() > MAX_BYTE_STAGES {
+            return Err(format!("chain '{s}': more than {MAX_BYTE_STAGES} byte stages"));
+        }
+        Ok(Self { array, bytes })
+    }
+
+    /// Appends the wire encoding: `array u8 | n u8 | n × (id u8, param u8)`.
+    ///
+    /// # Panics
+    /// Panics if the spec holds more than [`MAX_BYTE_STAGES`] byte
+    /// stages — such a spec cannot be decoded and must be rejected
+    /// where it is built ([`CodecRegistry::build`], [`CodecChain::new`]),
+    /// not silently truncated onto the wire.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.array as u8);
+        assert!(
+            self.bytes.len() <= MAX_BYTE_STAGES,
+            "chain spec with {} byte stages is not wire-representable",
+            self.bytes.len()
+        );
+        out.push(self.bytes.len() as u8);
+        for b in &self.bytes {
+            out.push(b.wire_id());
+            out.push(b.wire_param());
+        }
+    }
+
+    /// Reads the wire encoding back.
+    pub fn decode(r: &mut crate::util::ByteReader<'_>) -> Result<Self> {
+        let array = CompressorId::from_u8(r.u8("chain array stage")?)?;
+        let n = r.u8("chain byte stage count")? as usize;
+        if n > MAX_BYTE_STAGES {
+            return Err(CodecError::Corrupt { context: "chain byte stage count" });
+        }
+        let mut bytes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u8("chain byte stage id")?;
+            let param = r.u8("chain byte stage param")?;
+            bytes.push(ByteStageSpec::from_wire(id, param)?);
+        }
+        Ok(Self { array, bytes })
+    }
+
+    /// Builds the chain through the global registry.
+    pub fn build(&self) -> Result<CodecChain> {
+        CodecRegistry::global().build(self)
+    }
+
+    /// Builds a boxed [`Compressor`] through the global registry.
+    pub fn build_boxed(&self) -> Result<Box<dyn Compressor>> {
+        Ok(Box::new(self.build()?))
+    }
+}
+
+impl std::fmt::Display for ChainSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A built chain: one array stage plus its byte stages, usable anywhere
+/// a [`Compressor`] is.
+pub struct CodecChain {
+    spec: ChainSpec,
+    array: Box<dyn ArrayStage>,
+    bytes: Vec<Box<dyn ByteStage>>,
+}
+
+impl CodecChain {
+    /// Assembles a chain from parts; the spec is derived from them.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_BYTE_STAGES`] byte stages are given
+    /// (the resulting spec could not travel in a stream header).
+    pub fn new(array: Box<dyn ArrayStage>, bytes: Vec<Box<dyn ByteStage>>) -> Self {
+        assert!(
+            bytes.len() <= MAX_BYTE_STAGES,
+            "a chain holds at most {MAX_BYTE_STAGES} byte stages"
+        );
+        let spec = ChainSpec {
+            array: array.id(),
+            bytes: bytes.iter().map(|b| b.spec()).collect(),
+        };
+        Self { spec, array, bytes }
+    }
+
+    /// Wraps an array stage in its preset byte stages — how the five
+    /// paper codecs reassemble their historical pipelines around a
+    /// (possibly parameterized) stage instance.
+    pub fn around(array: Box<dyn ArrayStage>) -> Self {
+        let bytes = ChainSpec::preset(array.id())
+            .bytes
+            .into_iter()
+            .map(build_byte_stage)
+            .collect();
+        Self::new(array, bytes)
+    }
+
+    /// The serializable description of this chain.
+    pub fn spec(&self) -> &ChainSpec {
+        &self.spec
+    }
+
+    fn compress_generic<T: Element>(
+        &self,
+        data: ArrayView<'_, T>,
+        bound: ErrorBound,
+    ) -> Result<Vec<u8>> {
+        crate::codecs::common::validate_input(data)?;
+        let abs = bound.to_absolute(data.value_range())?;
+        let (mut payload, abs_recorded) = encode_array(self.array.as_ref(), data, abs)?;
+        for s in &self.bytes {
+            payload = s.forward(&payload);
+        }
+        let header = Header {
+            chain: self.spec.clone(),
+            dtype: Header::dtype_of::<T>(),
+            shape: data.shape(),
+            abs_bound: abs_recorded,
+        };
+        Ok(write_stream(&header, &payload))
+    }
+
+    fn decompress_generic<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
+        let (h, payload) = read_stream(stream)?;
+        if h.chain != self.spec {
+            return Err(CodecError::ChainMismatch {
+                expected: self.spec.label(),
+                got: h.chain.label(),
+            });
+        }
+        h.expect_dtype::<T>()?;
+        let mut bytes: Cow<'_, [u8]> = Cow::Borrowed(payload);
+        for s in self.bytes.iter().rev() {
+            bytes = Cow::Owned(s.inverse(&bytes)?);
+        }
+        decode_array(self.array.as_ref(), &bytes, h.shape, h.abs_bound)
+    }
+}
+
+impl std::fmt::Debug for CodecChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodecChain").field("spec", &self.spec).finish()
+    }
+}
+
+impl Compressor for CodecChain {
+    fn spec(&self) -> ChainSpec {
+        self.spec.clone()
+    }
+    fn compress_f32_view(&self, data: ArrayView<'_, f32>, bound: ErrorBound) -> Result<Vec<u8>> {
+        self.compress_generic(data, bound)
+    }
+    fn compress_f64_view(&self, data: ArrayView<'_, f64>, bound: ErrorBound) -> Result<Vec<u8>> {
+        self.compress_generic(data, bound)
+    }
+    fn decompress_f32(&self, stream: &[u8]) -> Result<NdArray<f32>> {
+        self.decompress_generic(stream)
+    }
+    fn decompress_f64(&self, stream: &[u8]) -> Result<NdArray<f64>> {
+        self.decompress_generic(stream)
+    }
+}
+
+/// Constructor for an array stage.
+pub type ArrayStageFactory = Box<dyn Fn() -> Box<dyn ArrayStage> + Send + Sync>;
+
+/// Maps chain specs to stage constructors — the data-driven replacement
+/// for the hardcoded `CompressorId::instance()` match.
+///
+/// The global registry ([`CodecRegistry::global`]) holds the builtin
+/// default constructors; a local registry can override any of them
+/// (e.g. build every SZ3 stage linear-only, or an SZ2 stage with custom
+/// block dims) and hand out chains with the exact same wire specs.
+pub struct CodecRegistry {
+    arrays: HashMap<u8, ArrayStageFactory>,
+}
+
+impl CodecRegistry {
+    /// A registry with the five builtin array stages at their defaults.
+    pub fn builtin() -> Self {
+        let mut r = Self { arrays: HashMap::new() };
+        r.register_array(CompressorId::Sz2, || {
+            Box::new(crate::codecs::sz2::Sz2::default())
+        });
+        r.register_array(CompressorId::Sz3, || {
+            Box::new(crate::codecs::sz3::Sz3::default())
+        });
+        r.register_array(CompressorId::Zfp, || {
+            Box::new(crate::codecs::zfp::Zfp::default())
+        });
+        r.register_array(CompressorId::Qoz, || {
+            Box::new(crate::codecs::qoz::Qoz::default())
+        });
+        r.register_array(CompressorId::Szx, || Box::new(crate::codecs::szx::Szx));
+        r
+    }
+
+    /// Registers (or overrides) the constructor for an array stage id.
+    pub fn register_array(
+        &mut self,
+        id: CompressorId,
+        factory: impl Fn() -> Box<dyn ArrayStage> + Send + Sync + 'static,
+    ) {
+        self.arrays.insert(id as u8, Box::new(factory));
+    }
+
+    /// Builds the chain a spec describes.
+    pub fn build(&self, spec: &ChainSpec) -> Result<CodecChain> {
+        if spec.bytes.len() > MAX_BYTE_STAGES {
+            return Err(CodecError::InvalidChain {
+                reason: "more byte stages than the wire format can carry",
+            });
+        }
+        let factory = self
+            .arrays
+            .get(&(spec.array as u8))
+            .ok_or(CodecError::UnknownCodec(spec.array as u8))?;
+        let bytes = spec.bytes.iter().map(|&b| build_byte_stage(b)).collect();
+        let chain = CodecChain::new(factory(), bytes);
+        debug_assert_eq!(&chain.spec, spec);
+        Ok(chain)
+    }
+
+    /// The process-wide registry with the builtin stages.
+    pub fn global() -> &'static CodecRegistry {
+        static GLOBAL: OnceLock<CodecRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(CodecRegistry::builtin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblcio_data::{max_rel_error, NdArray, Shape};
+
+    fn field() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d2(40, 30), |i| {
+            (i[0] as f32 * 0.2).sin() * 30.0 + (i[1] as f32 * 0.15).cos() * 12.0
+        })
+    }
+
+    #[test]
+    fn preset_specs_match_paper_pipelines() {
+        assert_eq!(
+            ChainSpec::preset(CompressorId::Sz3).bytes,
+            vec![ByteStageSpec::Lz]
+        );
+        assert!(ChainSpec::preset(CompressorId::Zfp).bytes.is_empty());
+        assert!(ChainSpec::preset(CompressorId::Szx).bytes.is_empty());
+        for id in CompressorId::ALL {
+            let p = ChainSpec::preset(id);
+            assert_eq!(p.preset_id(), Some(id));
+            assert_eq!(p.label(), id.name());
+        }
+    }
+
+    #[test]
+    fn parse_grammar() {
+        assert_eq!(
+            ChainSpec::parse("sz3").unwrap(),
+            ChainSpec::preset(CompressorId::Sz3)
+        );
+        assert_eq!(
+            ChainSpec::parse("SZ3+Shuffle4+LZ").unwrap(),
+            ChainSpec {
+                array: CompressorId::Sz3,
+                bytes: vec![ByteStageSpec::Shuffle { element_size: 4 }, ByteStageSpec::Lz],
+            }
+        );
+        let bare = ChainSpec::parse("sz3+raw").unwrap();
+        assert!(bare.bytes.is_empty());
+        assert_eq!(bare.preset_id(), None);
+        assert!(ChainSpec::parse("lzma").is_err());
+        assert!(ChainSpec::parse("sz3+zstd").is_err());
+        // 'raw' composed with byte stages is ambiguous, not silently
+        // dropped.
+        assert!(ChainSpec::parse("sz3+raw+lz").is_err());
+        assert!(ChainSpec::parse("sz3+lz+raw").is_err());
+        // Labels round-trip through the parser.
+        let spec = ChainSpec::parse("szx+fpc4+lz").unwrap();
+        assert_eq!(ChainSpec::parse(&spec.label()).unwrap(), spec);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for spec in [
+            ChainSpec::preset(CompressorId::Qoz),
+            ChainSpec::parse("sz2+shuffle8+lz").unwrap(),
+            ChainSpec::parse("szx+raw").unwrap(),
+        ] {
+            let mut buf = Vec::new();
+            spec.encode_into(&mut buf);
+            let mut r = crate::util::ByteReader::new(&buf);
+            assert_eq!(ChainSpec::decode(&mut r).unwrap(), spec);
+            assert_eq!(r.remaining(), 0);
+        }
+        // Truncations and junk are rejected.
+        let mut buf = Vec::new();
+        ChainSpec::parse("sz3+shuffle4+lz").unwrap().encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            let mut r = crate::util::ByteReader::new(&buf[..cut]);
+            assert!(ChainSpec::decode(&mut r).is_err(), "cut {cut}");
+        }
+        let mut r = crate::util::ByteReader::new(&[0u8, 0]);
+        assert!(ChainSpec::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn custom_chains_roundtrip_within_bound() {
+        let data = field();
+        for s in [
+            "sz3+shuffle4+lz",
+            "sz3+raw",
+            "szx+lz",
+            "szx+fpc4",
+            "zfp+lz",
+            "sz2+fpzip4",
+            "qoz+shuffle4+lz",
+        ] {
+            let chain = ChainSpec::parse(s).unwrap().build().unwrap();
+            let stream = chain
+                .compress_f32(&data, ErrorBound::Relative(1e-3))
+                .unwrap();
+            let back = chain.decompress_f32(&stream).unwrap();
+            assert!(
+                max_rel_error(&data, &back) <= 1e-3 * 1.0000001,
+                "{s}: bound broken"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_mismatch_is_typed() {
+        let data = field();
+        let sz3 = ChainSpec::preset(CompressorId::Sz3).build().unwrap();
+        let custom = ChainSpec::parse("sz3+shuffle4+lz").unwrap().build().unwrap();
+        let stream = sz3.compress_f32(&data, ErrorBound::Relative(1e-2)).unwrap();
+        match custom.decompress_f32(&stream) {
+            Err(CodecError::ChainMismatch { expected, got }) => {
+                assert_eq!(expected, "sz3+shuffle4+lz");
+                assert_eq!(got, "SZ3");
+            }
+            other => panic!("expected ChainMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_override_changes_construction_not_spec() {
+        let mut reg = CodecRegistry::builtin();
+        reg.register_array(CompressorId::Sz3, || {
+            Box::new(crate::codecs::sz3::Sz3::linear_only())
+        });
+        let spec = ChainSpec::preset(CompressorId::Sz3);
+        let linear = reg.build(&spec).unwrap();
+        assert_eq!(linear.spec(), &spec);
+        // Streams from the override decode through the default build:
+        // the stage parameterization is self-describing.
+        let data = field();
+        let stream = linear
+            .compress_f32(&data, ErrorBound::Relative(1e-3))
+            .unwrap();
+        let back = spec.build().unwrap().decompress_f32(&stream).unwrap();
+        assert!(max_rel_error(&data, &back) <= 1e-3 * 1.0000001);
+    }
+
+    #[test]
+    fn lz_backend_helps_szx_raw_blocks() {
+        // The scenario the chain architecture exists for: when SZx's
+        // dynamic range forces verbatim blocks, composing an LZ backend
+        // (impossible with the monolith) recovers the redundancy.
+        let mut v = vec![0.0f32; 64 * 64];
+        v[0] = 1e30;
+        let data = NdArray::from_vec(Shape::d2(64, 64), v);
+        let bound = ErrorBound::Absolute(1e-25);
+        let plain = ChainSpec::preset(CompressorId::Szx)
+            .build()
+            .unwrap()
+            .compress_f32(&data, bound)
+            .unwrap();
+        let chained = ChainSpec::parse("szx+lz")
+            .unwrap()
+            .build()
+            .unwrap()
+            .compress_f32(&data, bound)
+            .unwrap();
+        assert!(
+            chained.len() * 4 < plain.len(),
+            "szx+lz {} vs szx {}",
+            chained.len(),
+            plain.len()
+        );
+    }
+}

@@ -2,8 +2,6 @@
 //! iteration, outlier transport, and the Huffman + LZ backend framing.
 
 use crate::error::{CodecError, Result};
-use crate::header::{read_stream, Header};
-use crate::traits::CompressorId;
 use crate::util::{put_varint, ByteReader};
 use crate::{huffman, lz};
 use eblcio_data::{ArrayView, Element, Shape};
@@ -17,23 +15,11 @@ pub fn validate_input<T: Element>(data: ArrayView<'_, T>) -> Result<()> {
     }
 }
 
-/// Parses a stream and checks codec id and dtype before handing the
-/// payload to the codec-specific decoder.
-pub fn open_payload<T: Element>(
-    stream: &[u8],
-    expect: CompressorId,
-) -> Result<(Header, &[u8])> {
-    let (h, payload) = read_stream(stream)?;
-    if h.codec != expect {
-        return Err(CodecError::UnknownCodec(h.codec as u8));
-    }
-    h.expect_dtype::<T>()?;
-    Ok((h, payload))
-}
-
 /// The standard SZ-family payload: codec-specific side info, raw outlier
-/// samples, and Huffman-coded quantization codes — the whole thing passed
-/// through the LZ backend (the paper pipeline's "Zstd" stage).
+/// samples, and Huffman-coded quantization codes. The SZ-family array
+/// stages emit this *inner* serialization; the chain's LZ byte stage
+/// (the paper pipeline's "Zstd" stage) supplies the backend pass that
+/// used to be fused in.
 pub struct SzPayload {
     /// Codec-specific side information (block modes, coefficients…).
     pub extra: Vec<u8>,
@@ -44,21 +30,21 @@ pub struct SzPayload {
 }
 
 impl SzPayload {
-    /// Serializes and LZ-compresses the payload.
-    pub fn encode(&self) -> Vec<u8> {
+    /// Serializes the payload (no backend pass) — what an SZ-family
+    /// array stage emits.
+    pub fn encode_inner(&self) -> Vec<u8> {
         let mut inner = Vec::with_capacity(self.codes.len() / 2 + self.outliers.len() + 64);
         put_varint(&mut inner, self.extra.len() as u64);
         inner.extend_from_slice(&self.extra);
         put_varint(&mut inner, self.outliers.len() as u64);
         inner.extend_from_slice(&self.outliers);
         inner.extend_from_slice(&huffman::encode_block(&self.codes));
-        lz::compress(&inner)
+        inner
     }
 
-    /// Inverse of [`Self::encode`].
-    pub fn decode(bytes: &[u8]) -> Result<Self> {
-        let inner = lz::decompress(bytes)?;
-        let mut r = ByteReader::new(&inner);
+    /// Inverse of [`Self::encode_inner`].
+    pub fn decode_inner(inner: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(inner);
         let extra_len = r.varint("sz extra length")? as usize;
         let extra = r.take(extra_len, "sz extra")?.to_vec();
         let outlier_len = r.varint("sz outlier length")? as usize;
@@ -72,6 +58,17 @@ impl SzPayload {
             outliers,
             codes,
         })
+    }
+
+    /// Serializes and LZ-compresses the payload (the fused historical
+    /// framing; equals the preset chains' `inner → lz` composition).
+    pub fn encode(&self) -> Vec<u8> {
+        lz::compress(&self.encode_inner())
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        Self::decode_inner(&lz::decompress(bytes)?)
     }
 }
 

@@ -1,4 +1,6 @@
-//! The five EBLC pipelines the paper characterizes.
+//! The five EBLC pipelines the paper characterizes, as chain array
+//! stages (the shared predict/quantize/transform front ends that
+//! [`crate::chain`] presets recompose into the historical codecs).
 
 pub mod common;
 pub mod qoz;
@@ -7,41 +9,96 @@ pub mod sz3;
 pub mod szx;
 pub mod zfp;
 
-/// Implements the [`crate::traits::Compressor`] trait by delegating to a
-/// codec's generic `compress_impl`/`decompress_impl` inherent methods.
-macro_rules! impl_compressor_via_impls {
+/// Implements [`crate::stage::ArrayStage`] by delegating to a codec's
+/// generic `encode_impl`/`decode_impl` inherent methods, and
+/// [`crate::traits::Compressor`] by wrapping the stage in its preset
+/// chain ([`crate::chain::CodecChain::around`]) — so `Sz3::default()`
+/// still compresses/decompresses exactly like the pre-chain monolith,
+/// with the stage parameterization (block dims, cubic flag, …) of the
+/// receiver.
+macro_rules! impl_stage_codec {
     ($ty:ty, $id:expr) => {
-        impl $crate::traits::Compressor for $ty {
+        impl $crate::stage::ArrayStage for $ty {
             fn id(&self) -> $crate::traits::CompressorId {
                 $id
+            }
+            fn encode_f32(
+                &self,
+                data: eblcio_data::ArrayView<'_, f32>,
+                abs: f64,
+            ) -> $crate::error::Result<(Vec<u8>, f64)> {
+                self.encode_impl(data, abs)
+            }
+            fn encode_f64(
+                &self,
+                data: eblcio_data::ArrayView<'_, f64>,
+                abs: f64,
+            ) -> $crate::error::Result<(Vec<u8>, f64)> {
+                self.encode_impl(data, abs)
+            }
+            fn decode_f32(
+                &self,
+                bytes: &[u8],
+                shape: eblcio_data::Shape,
+                abs: f64,
+            ) -> $crate::error::Result<eblcio_data::NdArray<f32>> {
+                self.decode_impl(bytes, shape, abs)
+            }
+            fn decode_f64(
+                &self,
+                bytes: &[u8],
+                shape: eblcio_data::Shape,
+                abs: f64,
+            ) -> $crate::error::Result<eblcio_data::NdArray<f64>> {
+                self.decode_impl(bytes, shape, abs)
+            }
+        }
+
+        impl $crate::traits::Compressor for $ty {
+            fn spec(&self) -> $crate::chain::ChainSpec {
+                $crate::chain::ChainSpec::preset($id)
             }
             fn compress_f32_view(
                 &self,
                 data: eblcio_data::ArrayView<'_, f32>,
                 bound: $crate::traits::ErrorBound,
             ) -> $crate::error::Result<Vec<u8>> {
-                self.compress_impl(data, bound)
+                $crate::traits::Compressor::compress_f32_view(
+                    &$crate::chain::CodecChain::around(Box::new(self.clone())),
+                    data,
+                    bound,
+                )
             }
             fn compress_f64_view(
                 &self,
                 data: eblcio_data::ArrayView<'_, f64>,
                 bound: $crate::traits::ErrorBound,
             ) -> $crate::error::Result<Vec<u8>> {
-                self.compress_impl(data, bound)
+                $crate::traits::Compressor::compress_f64_view(
+                    &$crate::chain::CodecChain::around(Box::new(self.clone())),
+                    data,
+                    bound,
+                )
             }
             fn decompress_f32(
                 &self,
                 stream: &[u8],
             ) -> $crate::error::Result<eblcio_data::NdArray<f32>> {
-                self.decompress_impl(stream)
+                $crate::traits::Compressor::decompress_f32(
+                    &$crate::chain::CodecChain::around(Box::new(self.clone())),
+                    stream,
+                )
             }
             fn decompress_f64(
                 &self,
                 stream: &[u8],
             ) -> $crate::error::Result<eblcio_data::NdArray<f64>> {
-                self.decompress_impl(stream)
+                $crate::traits::Compressor::decompress_f64(
+                    &$crate::chain::CodecChain::around(Box::new(self.clone())),
+                    stream,
+                )
             }
         }
     };
 }
-pub(crate) use impl_compressor_via_impls;
+pub(crate) use impl_stage_codec;

@@ -8,13 +8,12 @@
 //! PSNR that sits above the other compressors at the same nominal ε,
 //! bought with somewhat lower compression ratios and extra work.
 
-use super::common::{open_payload, validate_input, SzPayload};
-use super::impl_compressor_via_impls;
+use super::common::SzPayload;
+use super::impl_stage_codec;
 use super::sz3::{interp_decode, interp_encode};
 use crate::error::{CodecError, Result};
-use crate::header::{write_stream, Header};
-use crate::traits::{CompressorId, ErrorBound};
-use eblcio_data::{metrics, ArrayView, Element, NdArray};
+use crate::traits::CompressorId;
+use eblcio_data::{metrics, ArrayView, Element, NdArray, Shape};
 
 /// Per-level bound tightening factor (QoZ's `alpha`).
 const DEFAULT_ALPHA: f64 = 1.5;
@@ -67,20 +66,22 @@ impl Qoz {
         }, true)
     }
 
-    /// Compresses with level-adaptive bounds (and optional PSNR search).
-    pub fn compress_impl<T: Element>(
+    /// Array-stage encode: level-adaptive bounds (and optional PSNR
+    /// search) at an already resolved absolute bound. Returns the inner
+    /// SZ payload and the bound finally applied — the PSNR search may
+    /// loosen it, and the header must record the achieved value.
+    pub fn encode_impl<T: Element>(
         &self,
         data: ArrayView<'_, T>,
-        bound: ErrorBound,
-    ) -> Result<Vec<u8>> {
-        validate_input(data)?;
+        abs: f64,
+    ) -> Result<(Vec<u8>, f64)> {
         if !(self.alpha >= 1.0 && self.beta >= 1.0) {
             return Err(CodecError::InvalidBound {
                 reason: "QoZ alpha and beta must be >= 1",
             });
         }
         let range = data.value_range();
-        let mut abs = bound.to_absolute(range)?;
+        let mut abs = abs;
 
         if let Some(target) = self.target_psnr {
             // Quality-target mode: geometric search for the loosest abs
@@ -119,20 +120,18 @@ impl Qoz {
             outliers,
             codes,
         }
-        .encode();
-        let header = Header {
-            codec: CompressorId::Qoz,
-            dtype: Header::dtype_of::<T>(),
-            shape: data.shape(),
-            abs_bound: abs,
-        };
-        Ok(write_stream(&header, &payload))
+        .encode_inner();
+        Ok((payload, abs))
     }
 
-    /// Decompresses a QoZ stream.
-    pub fn decompress_impl<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
-        let (h, payload) = open_payload::<T>(stream, CompressorId::Qoz)?;
-        let p = SzPayload::decode(payload)?;
+    /// Array-stage decode: mirror of [`Self::encode_impl`].
+    pub fn decode_impl<T: Element>(
+        &self,
+        bytes: &[u8],
+        shape: Shape,
+        abs: f64,
+    ) -> Result<NdArray<T>> {
+        let p = SzPayload::decode_inner(bytes)?;
         if p.extra.len() != 16 {
             return Err(CodecError::Corrupt { context: "qoz parameters" });
         }
@@ -141,21 +140,20 @@ impl Qoz {
         if !(alpha.is_finite() && alpha >= 1.0 && beta.is_finite() && beta >= 1.0) {
             return Err(CodecError::Corrupt { context: "qoz parameters" });
         }
-        let abs = h.abs_bound;
-        interp_decode(h.shape, &p.codes, &p.outliers, abs / beta, |l| {
+        interp_decode(shape, &p.codes, &p.outliers, abs / beta, |l| {
             Self::level_bound(alpha, beta, abs, l)
         }, true)
     }
 }
 
-impl_compressor_via_impls!(Qoz, CompressorId::Qoz);
+impl_stage_codec!(Qoz, CompressorId::Qoz);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::codecs::sz3::Sz3;
-    use crate::traits::Compressor;
-    use eblcio_data::{max_rel_error, psnr, Shape};
+    use crate::traits::{Compressor, ErrorBound};
+    use eblcio_data::{max_rel_error, psnr};
 
     fn field(n: usize) -> NdArray<f32> {
         NdArray::from_fn(Shape::d3(n, n, n), |i| {

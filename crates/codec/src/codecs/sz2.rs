@@ -9,16 +9,14 @@
 //! and passed through the LZ backend — the SZ2 pipeline of §II-B.
 
 use super::common::{
-    for_each_block, for_each_in_block, open_payload, sz_block_dims, validate_input,
-    OutlierReader, SzPayload,
+    for_each_block, for_each_in_block, sz_block_dims, OutlierReader, SzPayload,
 };
-use super::impl_compressor_via_impls;
+use super::impl_stage_codec;
 use crate::error::{CodecError, Result};
-use crate::header::{write_stream, Header};
 use crate::predict::{fit_affine, lorenzo, AffineCoef};
 use crate::quantizer::{LinearQuantizer, Quantized};
-use crate::traits::{CompressorId, ErrorBound};
-use eblcio_data::{ArrayView, Element, NdArray};
+use crate::traits::CompressorId;
+use eblcio_data::{ArrayView, Element, NdArray, Shape};
 
 /// Quantization code radius (SZ default: 2^15 bins each side).
 const RADIUS: u32 = 32768;
@@ -31,16 +29,16 @@ pub struct Sz2 {
 }
 
 impl Sz2 {
-    /// Compresses with the hybrid block predictor.
-    pub fn compress_impl<T: Element>(
+    /// Array-stage encode: hybrid block prediction at an already
+    /// resolved absolute bound, emitting the inner SZ payload (the
+    /// chain's LZ byte stage supplies the backend pass).
+    pub fn encode_impl<T: Element>(
         &self,
         data: ArrayView<'_, T>,
-        bound: ErrorBound,
-    ) -> Result<Vec<u8>> {
-        validate_input(data)?;
+        abs: f64,
+    ) -> Result<(Vec<u8>, f64)> {
         let shape = data.shape();
         let rank = shape.rank();
-        let abs = bound.to_absolute(data.value_range())?;
         let quant = LinearQuantizer::new(abs, RADIUS);
         let block_dims = self.block_dims.unwrap_or_else(|| sz_block_dims(rank));
 
@@ -131,25 +129,22 @@ impl Sz2 {
             outliers,
             codes,
         }
-        .encode();
-        let header = Header {
-            codec: CompressorId::Sz2,
-            dtype: Header::dtype_of::<T>(),
-            shape,
-            abs_bound: abs,
-        };
-        Ok(write_stream(&header, &payload))
+        .encode_inner();
+        Ok((payload, abs))
     }
 
-    /// Decompresses an SZ2 stream.
-    pub fn decompress_impl<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
-        let (h, payload) = open_payload::<T>(stream, CompressorId::Sz2)?;
-        let shape = h.shape;
+    /// Array-stage decode: mirror of [`Self::encode_impl`].
+    pub fn decode_impl<T: Element>(
+        &self,
+        bytes: &[u8],
+        shape: Shape,
+        abs: f64,
+    ) -> Result<NdArray<T>> {
         let rank = shape.rank();
-        let quant = LinearQuantizer::new(h.abs_bound.max(f64::MIN_POSITIVE), RADIUS);
+        let quant = LinearQuantizer::new(abs.max(f64::MIN_POSITIVE), RADIUS);
         let block_dims = self.block_dims.unwrap_or_else(|| sz_block_dims(rank));
 
-        let p = SzPayload::decode(payload)?;
+        let p = SzPayload::decode_inner(bytes)?;
         let mut outliers = OutlierReader::new(&p.outliers);
 
         // Unpack modes.
@@ -242,13 +237,13 @@ impl Sz2 {
     }
 }
 
-impl_compressor_via_impls!(Sz2, CompressorId::Sz2);
+impl_stage_codec!(Sz2, CompressorId::Sz2);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::Compressor;
-    use eblcio_data::{max_rel_error, psnr, Shape};
+    use crate::traits::{Compressor, ErrorBound};
+    use eblcio_data::{max_rel_error, psnr};
 
     fn smooth_2d(n: usize, m: usize) -> NdArray<f32> {
         NdArray::from_fn(Shape::d2(n, m), |i| {

@@ -9,13 +9,12 @@
 //! regression coefficients, which is where its compression-ratio
 //! advantage at loose bounds comes from.
 
-use super::common::{open_payload, validate_input, OutlierReader, SzPayload};
-use super::impl_compressor_via_impls;
+use super::common::{OutlierReader, SzPayload};
+use super::impl_stage_codec;
 use crate::error::{CodecError, Result};
-use crate::header::{write_stream, Header};
 use crate::interp::{anchor_offsets, walk, Interp};
 use crate::quantizer::{LinearQuantizer, Quantized};
-use crate::traits::{CompressorId, ErrorBound};
+use crate::traits::CompressorId;
 use eblcio_data::{ArrayView, Element, NdArray, Shape};
 
 /// Quantization code radius (same default as SZ2).
@@ -217,50 +216,46 @@ pub(crate) fn interp_decode<T: Element>(
 }
 
 impl Sz3 {
-    /// Compresses with multi-level interpolation prediction.
-    pub fn compress_impl<T: Element>(
+    /// Array-stage encode: multi-level interpolation prediction at an
+    /// already resolved absolute bound, emitting the inner SZ payload.
+    pub fn encode_impl<T: Element>(
         &self,
         data: ArrayView<'_, T>,
-        bound: ErrorBound,
-    ) -> Result<Vec<u8>> {
-        validate_input(data)?;
-        let abs = bound.to_absolute(data.value_range())?;
+        abs: f64,
+    ) -> Result<(Vec<u8>, f64)> {
         let (codes, outliers) = interp_encode(data, abs, |_| abs, self.cubic);
         let payload = SzPayload {
             extra: vec![u8::from(self.cubic)],
             outliers,
             codes,
         }
-        .encode();
-        let header = Header {
-            codec: CompressorId::Sz3,
-            dtype: Header::dtype_of::<T>(),
-            shape: data.shape(),
-            abs_bound: abs,
-        };
-        Ok(write_stream(&header, &payload))
+        .encode_inner();
+        Ok((payload, abs))
     }
 
-    /// Decompresses an SZ3 stream.
-    pub fn decompress_impl<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
-        let (h, payload) = open_payload::<T>(stream, CompressorId::Sz3)?;
-        let p = SzPayload::decode(payload)?;
+    /// Array-stage decode: mirror of [`Self::encode_impl`].
+    pub fn decode_impl<T: Element>(
+        &self,
+        bytes: &[u8],
+        shape: Shape,
+        abs: f64,
+    ) -> Result<NdArray<T>> {
+        let p = SzPayload::decode_inner(bytes)?;
         if p.extra.len() != 1 || p.extra[0] > 1 {
             return Err(CodecError::Corrupt { context: "sz3 parameters" });
         }
         let cubic = p.extra[0] == 1;
-        let abs = h.abs_bound;
-        interp_decode(h.shape, &p.codes, &p.outliers, abs, |_| abs, cubic)
+        interp_decode(shape, &p.codes, &p.outliers, abs, |_| abs, cubic)
     }
 }
 
-impl_compressor_via_impls!(Sz3, CompressorId::Sz3);
+impl_stage_codec!(Sz3, CompressorId::Sz3);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::Compressor;
-    use eblcio_data::{max_rel_error, psnr, Shape};
+    use crate::traits::{Compressor, ErrorBound};
+    use eblcio_data::{max_rel_error, psnr};
 
     fn smooth_3d(n: usize) -> NdArray<f32> {
         NdArray::from_fn(Shape::d3(n, n, n), |i| {

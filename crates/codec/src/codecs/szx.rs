@@ -7,14 +7,12 @@
 //! coding. This is why SZx is the energy-efficiency winner across the
 //! paper's Figures 7/10/11 while posting the lowest ratios in Table III.
 
-use super::common::{open_payload, validate_input};
-use super::impl_compressor_via_impls;
+use super::impl_stage_codec;
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::{CodecError, Result};
-use crate::header::{write_stream, Header};
-use crate::traits::{CompressorId, ErrorBound};
+use crate::traits::CompressorId;
 use crate::util::{put_varint, ByteReader};
-use eblcio_data::{ArrayView, Element, NdArray};
+use eblcio_data::{ArrayView, Element, NdArray, Shape};
 
 /// Samples per block (SZx default).
 const BLOCK: usize = 128;
@@ -29,14 +27,13 @@ const MODE_RAW: u8 = 2;
 pub struct Szx;
 
 impl Szx {
-    /// Compresses with the block constant/fixed-point scheme.
-    pub fn compress_impl<T: Element>(
+    /// Array-stage encode: the block constant/fixed-point scheme at an
+    /// already resolved absolute bound (raw coded bytes, no backend).
+    pub fn encode_impl<T: Element>(
         &self,
         data: ArrayView<'_, T>,
-        bound: ErrorBound,
-    ) -> Result<Vec<u8>> {
-        validate_input(data)?;
-        let abs = bound.to_absolute(data.value_range())?;
+        abs: f64,
+    ) -> Result<(Vec<u8>, f64)> {
         let step = 2.0 * abs;
 
         let samples = data.as_slice();
@@ -107,20 +104,18 @@ impl Szx {
             }
         }
 
-        let header = Header {
-            codec: CompressorId::Szx,
-            dtype: Header::dtype_of::<T>(),
-            shape: data.shape(),
-            abs_bound: abs,
-        };
-        Ok(write_stream(&header, &out))
+        Ok((out, abs))
     }
 
-    /// Decompresses an SZx stream.
-    pub fn decompress_impl<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
-        let (h, payload) = open_payload::<T>(stream, CompressorId::Szx)?;
-        let n = h.shape.len();
-        let step = 2.0 * h.abs_bound;
+    /// Array-stage decode: mirror of [`Self::encode_impl`].
+    pub fn decode_impl<T: Element>(
+        &self,
+        payload: &[u8],
+        shape: Shape,
+        abs: f64,
+    ) -> Result<NdArray<T>> {
+        let n = shape.len();
+        let step = 2.0 * abs;
         let mut r = ByteReader::new(payload);
         let n_blocks = r.varint("szx block count")? as usize;
         if n_blocks != n.div_ceil(BLOCK) {
@@ -162,17 +157,17 @@ impl Szx {
                 _ => return Err(CodecError::Corrupt { context: "szx block mode" }),
             }
         }
-        Ok(NdArray::from_vec(h.shape, out))
+        Ok(NdArray::from_vec(shape, out))
     }
 }
 
-impl_compressor_via_impls!(Szx, CompressorId::Szx);
+impl_stage_codec!(Szx, CompressorId::Szx);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::Compressor;
-    use eblcio_data::{max_rel_error, Shape};
+    use crate::traits::{Compressor, ErrorBound};
+    use eblcio_data::max_rel_error;
 
     fn wavy(n: usize) -> NdArray<f32> {
         NdArray::from_fn(Shape::d1(n), |i| ((i[0] as f32) * 0.01).sin() * 50.0)

@@ -10,12 +10,11 @@
 //! on the decoder's own integer path, escalating planes (or falling back
 //! to verbatim storage) so the EBLC guarantee is strict.
 
-use super::common::{for_each_block, for_each_in_block, open_payload, validate_input};
-use super::impl_compressor_via_impls;
+use super::common::{for_each_block, for_each_in_block};
+use super::impl_stage_codec;
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::{CodecError, Result};
-use crate::header::{write_stream, Header};
-use crate::traits::{CompressorId, ErrorBound};
+use crate::traits::CompressorId;
 use crate::transform::{
     decode_planes, encode_planes, fwd_transform, int_to_nega, inv_transform, nega_to_int,
     sequency_order, BLOCK_EDGE, FIXED_PREC,
@@ -59,16 +58,16 @@ impl Zfp {
         }
     }
 
-    /// Compresses in the configured mode.
-    pub fn compress_impl<T: Element>(
+    /// Array-stage encode in the configured mode, at an already
+    /// resolved absolute bound. Fixed-precision streams return the
+    /// *achieved* maximum error for the header instead of the bound.
+    pub fn encode_impl<T: Element>(
         &self,
         data: ArrayView<'_, T>,
-        bound: ErrorBound,
-    ) -> Result<Vec<u8>> {
-        validate_input(data)?;
+        abs: f64,
+    ) -> Result<(Vec<u8>, f64)> {
         let shape = data.shape();
         let rank = shape.rank();
-        let abs = bound.to_absolute(data.value_range())?;
         let perm = sequency_order(rank);
         let n_block = BLOCK_EDGE.pow(rank as u32);
         let samples = data.as_slice();
@@ -207,14 +206,9 @@ impl Zfp {
             }
         });
 
-        let header = Header {
-            codec: CompressorId::Zfp,
-            dtype: Header::dtype_of::<T>(),
-            shape,
-            // Fixed-precision streams record the error actually achieved.
-            abs_bound: if fixed_planes.is_some() { achieved_err } else { abs },
-        };
-        Ok(write_stream(&header, &bw.finish()))
+        // Fixed-precision streams record the error actually achieved.
+        let recorded = if fixed_planes.is_some() { achieved_err } else { abs };
+        Ok((bw.finish(), recorded))
     }
 
     /// Simulates the decoder for one block and checks the bound.
@@ -276,10 +270,15 @@ impl Zfp {
         ints.iter().map(|&q| q as f64 * inv_scale).collect()
     }
 
-    /// Decompresses a ZFP stream.
-    pub fn decompress_impl<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
-        let (h, payload) = open_payload::<T>(stream, CompressorId::Zfp)?;
-        let shape = h.shape;
+    /// Array-stage decode: mirror of [`Self::encode_impl`]. The block
+    /// stream is self-describing (per-block exponents and plane counts),
+    /// so the recorded bound is not needed to reconstruct.
+    pub fn decode_impl<T: Element>(
+        &self,
+        payload: &[u8],
+        shape: eblcio_data::Shape,
+        _abs: f64,
+    ) -> Result<NdArray<T>> {
         let rank = shape.rank();
         let perm = sequency_order(rank);
         let n_block = BLOCK_EDGE.pow(rank as u32);
@@ -365,12 +364,12 @@ impl Zfp {
     }
 }
 
-impl_compressor_via_impls!(Zfp, CompressorId::Zfp);
+impl_stage_codec!(Zfp, CompressorId::Zfp);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::Compressor;
+    use crate::traits::{Compressor, ErrorBound};
     use eblcio_data::{max_rel_error, Shape};
 
     fn smooth(n: usize) -> NdArray<f32> {

@@ -14,6 +14,20 @@ pub enum CodecError {
     UnsupportedVersion(u8),
     /// The codec id byte does not name a known compressor.
     UnknownCodec(u8),
+    /// A chain description (or a chunk→chain assignment built on one)
+    /// is invalid as an *argument* — nothing was parsed from a stream.
+    InvalidChain {
+        /// Explanation of the rejection.
+        reason: &'static str,
+    },
+    /// The stream was produced by a different codec chain than the one
+    /// asked to decode it.
+    ChainMismatch {
+        /// Chain label of the decoder.
+        expected: String,
+        /// Chain label recorded in the stream header.
+        got: String,
+    },
     /// The stream's element type does not match the requested type.
     DtypeMismatch {
         /// Dtype recorded in the stream header.
@@ -46,6 +60,10 @@ impl std::fmt::Display for CodecError {
             CodecError::BadMagic => write!(f, "not an EBLC stream (bad magic)"),
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported stream version {v}"),
             CodecError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            CodecError::InvalidChain { reason } => write!(f, "invalid codec chain: {reason}"),
+            CodecError::ChainMismatch { expected, got } => {
+                write!(f, "stream was written by chain {got} but {expected} was asked to decode it")
+            }
             CodecError::DtypeMismatch { expected, got } => {
                 write!(f, "stream holds {expected} but {got} was requested")
             }

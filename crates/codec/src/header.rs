@@ -1,35 +1,46 @@
 //! The self-describing `EBLC` stream container.
 //!
-//! Every compressor in this crate emits the same outer framing so that
-//! streams can be identified, routed to the right decoder, and checked
-//! for corruption:
+//! Every chain (and thus every compressor) emits the same outer framing
+//! so that streams can be identified, routed to the right decoder, and
+//! checked for corruption. Version 2 carries the full codec-chain spec:
 //!
 //! ```text
-//! "EBLC" | version u8 | codec u8 | dtype u8 | rank u8
+//! "EBLC" | version=2 | chain spec | dtype u8 | rank u8
 //! dims (rank × varint) | abs_bound f64 | payload crc32 u32
 //! payload_len varint | payload…
 //! ```
+//!
+//! Version 1 streams (a single codec id byte where the chain spec now
+//! sits) remain readable forever: the codec byte maps onto the preset
+//! chain for that compressor, which reproduces the monolithic pipeline
+//! byte-for-byte. The `tests/golden_v1.rs` fixtures pin this.
 
+use crate::chain::ChainSpec;
 use crate::error::{CodecError, Result};
+use crate::framing;
 use crate::traits::CompressorId;
 use crate::util::{crc32, put_varint, ByteReader};
 use eblcio_data::{Element, Shape};
 
 /// Container magic bytes.
 pub const MAGIC: &[u8; 4] = b"EBLC";
-/// Current container version.
-pub const VERSION: u8 = 1;
+/// Current container version (carries a chain spec).
+pub const VERSION: u8 = 2;
+/// Legacy container version (single codec id byte).
+pub const VERSION_V1: u8 = 1;
 
 /// Parsed stream header.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Header {
-    /// Which compressor produced the payload.
-    pub codec: CompressorId,
+    /// The codec chain that produced the payload (v1 streams surface
+    /// their codec byte as the matching preset chain).
+    pub chain: ChainSpec,
     /// Element type tag (0 = f32, 1 = f64).
     pub dtype: u8,
     /// Original array shape.
     pub shape: Shape,
-    /// Absolute error bound the encoder enforced.
+    /// Absolute error bound the encoder enforced (or, for achieved-error
+    /// modes like ZFP fixed precision, measured).
     pub abs_bound: f64,
 }
 
@@ -54,61 +65,43 @@ impl Header {
             })
         }
     }
+
+    /// The paper codec this stream came from, when its chain is one of
+    /// the five presets.
+    pub fn codec_id(&self) -> Option<CompressorId> {
+        self.chain.preset_id()
+    }
 }
 
-/// Serializes a header + payload into a finished stream.
+/// Serializes a header + payload into a finished (v2) stream.
 pub fn write_stream(header: &Header, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 64);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
-    out.push(header.codec as u8);
+    header.chain.encode_into(&mut out);
     out.push(header.dtype);
-    out.push(header.shape.rank() as u8);
-    for &d in header.shape.dims() {
-        put_varint(&mut out, d as u64);
-    }
-    out.extend_from_slice(&header.abs_bound.to_bits().to_le_bytes());
+    framing::put_shape(&mut out, header.shape);
+    framing::put_abs_bound(&mut out, header.abs_bound);
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     put_varint(&mut out, payload.len() as u64);
     out.extend_from_slice(payload);
     out
 }
 
-/// Parses a stream, verifying magic, version, and payload checksum.
-///
-/// Returns the header and the payload slice.
+/// Parses a v1 or v2 stream, verifying magic, version, and payload
+/// checksum. Returns the header and the payload slice.
 pub fn read_stream(stream: &[u8]) -> Result<(Header, &[u8])> {
     let mut r = ByteReader::new(stream);
-    let magic = r.take(4, "magic")?;
-    if magic != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
+    framing::expect_magic(&mut r, MAGIC)?;
     let version = r.u8("version")?;
-    if version != VERSION {
-        return Err(CodecError::UnsupportedVersion(version));
-    }
-    let codec = CompressorId::from_u8(r.u8("codec id")?)?;
-    let dtype = r.u8("dtype")?;
-    if dtype > 1 {
-        return Err(CodecError::Corrupt { context: "dtype tag" });
-    }
-    let rank = r.u8("rank")? as usize;
-    if rank == 0 || rank > 4 {
-        return Err(CodecError::Corrupt { context: "rank" });
-    }
-    let mut dims = [0usize; 4];
-    for d in dims.iter_mut().take(rank) {
-        let v = r.varint("dimension")?;
-        if v == 0 || v > 1 << 40 {
-            return Err(CodecError::Corrupt { context: "dimension" });
-        }
-        *d = v as usize;
-    }
-    let shape = Shape::new(&dims[..rank]);
-    let abs_bound = r.f64("abs bound")?;
-    if !(abs_bound.is_finite() && abs_bound >= 0.0) {
-        return Err(CodecError::Corrupt { context: "abs bound" });
-    }
+    let chain = match version {
+        VERSION_V1 => ChainSpec::preset(CompressorId::from_u8(r.u8("codec id")?)?),
+        VERSION => ChainSpec::decode(&mut r)?,
+        other => return Err(CodecError::UnsupportedVersion(other)),
+    };
+    let dtype = framing::read_dtype(&mut r)?;
+    let shape = framing::read_shape(&mut r)?;
+    let abs_bound = framing::read_abs_bound(&mut r, false)?;
     let crc_expect = r.u32("payload crc")?;
     let payload_len = r.varint("payload length")? as usize;
     let payload = r.take(payload_len, "payload")?;
@@ -117,7 +110,7 @@ pub fn read_stream(stream: &[u8]) -> Result<(Header, &[u8])> {
     }
     Ok((
         Header {
-            codec,
+            chain,
             dtype,
             shape,
             abs_bound,
@@ -132,11 +125,27 @@ mod tests {
 
     fn sample_header() -> Header {
         Header {
-            codec: CompressorId::Sz3,
+            chain: ChainSpec::preset(CompressorId::Sz3),
             dtype: 0,
             shape: Shape::d3(26, 1800, 3600),
             abs_bound: 1e-3,
         }
+    }
+
+    /// Hand-writes the v1 framing for the same header (what the seed
+    /// encoder emitted).
+    fn v1_stream_of(header: &Header, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION_V1);
+        out.push(header.chain.array as u8);
+        out.push(header.dtype);
+        framing::put_shape(&mut out, header.shape);
+        framing::put_abs_bound(&mut out, header.abs_bound);
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        put_varint(&mut out, payload.len() as u64);
+        out.extend_from_slice(payload);
+        out
     }
 
     #[test]
@@ -146,6 +155,41 @@ mod tests {
         let (h, p) = read_stream(&stream).unwrap();
         assert_eq!(h, sample_header());
         assert_eq!(p, payload.as_slice());
+    }
+
+    #[test]
+    fn roundtrip_custom_chain() {
+        let header = Header {
+            chain: ChainSpec::parse("sz2+shuffle8+lz").unwrap(),
+            dtype: 1,
+            shape: Shape::d2(33, 17),
+            abs_bound: 0.5,
+        };
+        let stream = write_stream(&header, b"xyz");
+        let (h, p) = read_stream(&stream).unwrap();
+        assert_eq!(h, header);
+        assert_eq!(h.codec_id(), None);
+        assert_eq!(p, b"xyz");
+    }
+
+    #[test]
+    fn v1_streams_parse_to_preset_chains() {
+        let h = sample_header();
+        let stream = v1_stream_of(&h, b"legacy payload");
+        let (back, p) = read_stream(&stream).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.codec_id(), Some(CompressorId::Sz3));
+        assert_eq!(p, b"legacy payload");
+    }
+
+    #[test]
+    fn v1_unknown_codec_byte_rejected() {
+        let mut stream = v1_stream_of(&sample_header(), b"x");
+        stream[5] = 77;
+        assert!(matches!(
+            read_stream(&stream).unwrap_err(),
+            CodecError::UnknownCodec(77)
+        ));
     }
 
     #[test]

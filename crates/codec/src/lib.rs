@@ -14,7 +14,13 @@
 //! * [`interp`] — multi-level spline interpolation predictors (SZ3/QoZ),
 //! * [`transform`] — the ZFP block decorrelating transform + embedded
 //!   bitplane coder,
-//! * [`codecs`] — the five EBLC pipelines behind one [`Compressor`] trait,
+//! * [`codecs`] — the five EBLC pipelines as chain array stages,
+//! * [`stage`] / [`chain`] — the composable codec-chain architecture:
+//!   array stages + byte stages, serializable [`ChainSpec`]s, and the
+//!   [`CodecRegistry`] that builds them (the five paper codecs are the
+//!   preset chains, behind one [`Compressor`] trait),
+//! * [`framing`] — shared container framing (shape/dtype/bound fields,
+//!   CRC trailers) used by `EBLC`, `EBLP`, and the store's `EBCS`,
 //! * [`lossless`] — zstd/blosc/fpzip/FPC-style lossless baselines,
 //! * [`parallel`] — the "OpenMP mode": thread-chunked compression used
 //!   for the paper's strong-scaling study (Fig. 10).
@@ -23,9 +29,11 @@
 //! bound, enforced by construction and verified by property tests.
 
 pub mod bitstream;
+pub mod chain;
 pub mod codecs;
 pub mod error;
 pub mod estimate;
+pub mod framing;
 pub mod header;
 pub mod huffman;
 pub mod interp;
@@ -34,15 +42,18 @@ pub mod lz;
 pub mod parallel;
 pub mod predict;
 pub mod quantizer;
+pub mod stage;
 pub mod traits;
 pub mod transform;
 pub mod util;
 
+pub use chain::{ChainSpec, CodecChain, CodecRegistry};
 pub use codecs::{qoz::Qoz, sz2::Sz2, sz3::Sz3, szx::Szx, zfp::Zfp};
 pub use error::{CodecError, Result};
 pub use parallel::{
     compress_parallel, decompress_parallel, parallel_stream_info, ParallelStreamInfo,
 };
+pub use stage::{ArrayStage, ByteStage, ByteStageSpec};
 pub use traits::{
     compress, compress_dataset, compress_view, decompress, decompress_any, Compressor,
     CompressorId, ErrorBound,

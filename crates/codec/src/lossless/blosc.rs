@@ -26,7 +26,7 @@ impl BloscLike {
 
 /// Byte-transposes `data` viewed as elements of `esize` bytes; a ragged
 /// tail (len not divisible by `esize`) is carried through unshuffled.
-fn shuffle(data: &[u8], esize: usize) -> Vec<u8> {
+pub fn shuffle(data: &[u8], esize: usize) -> Vec<u8> {
     let n_elem = data.len() / esize;
     let body = n_elem * esize;
     let mut out = Vec::with_capacity(data.len());
@@ -40,7 +40,7 @@ fn shuffle(data: &[u8], esize: usize) -> Vec<u8> {
 }
 
 /// Inverse of [`shuffle`].
-fn unshuffle(data: &[u8], esize: usize) -> Vec<u8> {
+pub fn unshuffle(data: &[u8], esize: usize) -> Vec<u8> {
     let n_elem = data.len() / esize;
     let body = n_elem * esize;
     let mut out = vec![0u8; data.len()];

@@ -18,7 +18,7 @@ mod blosc;
 mod fpc;
 mod fpzip_like;
 
-pub use blosc::BloscLike;
+pub use blosc::{shuffle, unshuffle, BloscLike};
 pub use fpc::Fpc;
 pub use fpzip_like::FpzipLike;
 

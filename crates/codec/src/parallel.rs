@@ -11,8 +11,10 @@
 //! before splitting, so parallel output obeys the same ε contract as
 //! serial output.
 
+use crate::chain::ChainSpec;
 use crate::error::{CodecError, Result};
-use crate::traits::{compress_view, decompress, Compressor, CompressorId, ErrorBound};
+use crate::framing;
+use crate::traits::{compress_view, decompress, Compressor, ErrorBound};
 use crate::util::{put_varint, ByteReader};
 use eblcio_data::{Element, NdArray, Shape};
 use parking_lot::Mutex;
@@ -22,6 +24,11 @@ use std::sync::{Arc, OnceLock};
 
 /// Magic for the parallel multi-chunk container.
 const PAR_MAGIC: &[u8; 4] = b"EBLP";
+/// Container version byte (carries a chain spec). The legacy layout
+/// had no version field — its first post-magic byte was the codec id,
+/// so any value in `1..=5` is parsed as that legacy layout and every
+/// version value is chosen outside that range.
+const PAR_VERSION: u8 = 0x10;
 
 /// Reuses one rayon pool per thread count across calls — pool spin-up
 /// would otherwise dominate small-problem strong-scaling measurements.
@@ -95,13 +102,11 @@ pub fn compress_parallel<T: Element>(
 
     let mut out = Vec::new();
     out.extend_from_slice(PAR_MAGIC);
-    out.push(codec.id() as u8);
+    out.push(PAR_VERSION);
+    codec.spec().encode_into(&mut out);
     out.push(crate::header::Header::dtype_of::<T>());
-    out.push(shape.rank() as u8);
-    for &d in shape.dims() {
-        put_varint(&mut out, d as u64);
-    }
-    out.extend_from_slice(&abs.to_bits().to_le_bytes());
+    framing::put_shape(&mut out, shape);
+    framing::put_abs_bound(&mut out, abs);
     put_varint(&mut out, chunks.len() as u64);
     for c in chunks {
         let c = c?;
@@ -116,10 +121,10 @@ pub fn compress_parallel<T: Element>(
 /// Surfaces the fields the container records — in particular the
 /// absolute error bound every slab was encoded with, which callers can
 /// check against their request without decompressing anything.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParallelStreamInfo {
-    /// Codec that produced every chunk.
-    pub codec: CompressorId,
+    /// Codec chain that produced every chunk.
+    pub chain: ChainSpec,
     /// Element type tag (0 = f32, 1 = f64).
     pub dtype: u8,
     /// Shape of the full (concatenated) array.
@@ -134,32 +139,18 @@ pub struct ParallelStreamInfo {
 /// stream info and the per-chunk payload slices.
 fn parse_parallel_header(stream: &[u8]) -> Result<(ParallelStreamInfo, Vec<&[u8]>)> {
     let mut r = ByteReader::new(stream);
-    if r.take(4, "parallel magic")? != PAR_MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let codec = CompressorId::from_u8(r.u8("parallel codec")?)?;
-    let dtype = r.u8("parallel dtype")?;
-    if dtype > 1 {
-        return Err(CodecError::Corrupt { context: "parallel dtype" });
-    }
-    let rank = r.u8("parallel rank")? as usize;
-    if rank == 0 || rank > 4 {
-        return Err(CodecError::Corrupt { context: "parallel rank" });
-    }
-    let mut dims = [0usize; 4];
-    for d in dims.iter_mut().take(rank) {
-        *d = r.varint("parallel dimension")? as usize;
-        if *d == 0 {
-            return Err(CodecError::Corrupt { context: "parallel dimension" });
-        }
-    }
-    let shape = Shape::new(&dims[..rank]);
+    framing::expect_magic(&mut r, PAR_MAGIC)?;
+    let chain = match r.u8("parallel version")? {
+        PAR_VERSION => ChainSpec::decode(&mut r)?,
+        // Legacy (version-less) layout: this byte was the codec id.
+        legacy @ 1..=5 => ChainSpec::preset(crate::traits::CompressorId::from_u8(legacy)?),
+        other => return Err(CodecError::UnsupportedVersion(other)),
+    };
+    let dtype = framing::read_dtype(&mut r)?;
+    let shape = framing::read_shape(&mut r)?;
     // The bound every slab honoured. A NaN / non-positive / infinite
     // value cannot have been written by the encoder.
-    let abs_bound = r.f64("parallel abs bound")?;
-    if !(abs_bound.is_finite() && abs_bound > 0.0) {
-        return Err(CodecError::Corrupt { context: "parallel abs bound" });
-    }
+    let abs_bound = framing::read_abs_bound(&mut r, true)?;
     let n_chunks = r.varint("parallel chunk count")? as usize;
     if n_chunks == 0 || n_chunks > shape.dim(0) {
         return Err(CodecError::Corrupt { context: "parallel chunk count" });
@@ -174,7 +165,7 @@ fn parse_parallel_header(stream: &[u8]) -> Result<(ParallelStreamInfo, Vec<&[u8]
     }
     Ok((
         ParallelStreamInfo {
-            codec,
+            chain,
             dtype,
             shape,
             abs_bound,
@@ -197,8 +188,11 @@ pub fn decompress_parallel<T: Element>(
 ) -> Result<NdArray<T>> {
     assert!(threads >= 1, "thread count must be >= 1");
     let (info, chunk_slices) = parse_parallel_header(stream)?;
-    if info.codec != codec.id() {
-        return Err(CodecError::UnknownCodec(info.codec as u8));
+    if info.chain != codec.spec() {
+        return Err(CodecError::ChainMismatch {
+            expected: codec.spec().label(),
+            got: info.chain.label(),
+        });
     }
     if info.dtype != crate::header::Header::dtype_of::<T>() {
         return Err(CodecError::DtypeMismatch {
@@ -305,7 +299,7 @@ mod tests {
         let stream =
             compress_parallel(&Sz3::default(), &data, ErrorBound::Relative(1e-3), 4).unwrap();
         let info = parallel_stream_info(&stream).unwrap();
-        assert_eq!(info.codec, CompressorId::Sz3);
+        assert_eq!(info.chain, ChainSpec::preset(crate::traits::CompressorId::Sz3));
         assert_eq!(info.dtype, 0);
         assert_eq!(info.shape, data.shape());
         assert_eq!(info.n_chunks, 4);
@@ -320,21 +314,50 @@ mod tests {
         let data = field();
         let stream =
             compress_parallel(&Sz3::default(), &data, ErrorBound::Relative(1e-3), 2).unwrap();
-        // Header layout: magic(4) + codec(1) + dtype(1) + rank(1) +
-        // one varint byte per dimension (all dims < 128 here) + abs(8).
-        let abs_at = 7 + data.shape().rank();
+        // Header layout: magic(4) + version(1) + chain spec (array u8 +
+        // count u8 + one (id, param) pair for the SZ3 preset's LZ stage
+        // = 4) + dtype(1) + rank(1) + one varint byte per dimension
+        // (all dims < 128 here) + abs(8).
+        let abs_at = 11 + data.shape().rank();
         for bad in [f64::NAN, -1.0, 0.0, f64::INFINITY] {
             let mut s = stream.clone();
             s[abs_at..abs_at + 8].copy_from_slice(&bad.to_bits().to_le_bytes());
             assert_eq!(
                 decompress_parallel::<f32>(&Sz3::default(), &s, 2),
-                Err(CodecError::Corrupt { context: "parallel abs bound" }),
+                Err(CodecError::Corrupt { context: "abs bound" }),
                 "bad bound {bad}"
             );
             assert!(parallel_stream_info(&s).is_err());
         }
         // Unmodified stream still parses.
         assert!(decompress_parallel::<f32>(&Sz3::default(), &stream, 2).is_ok());
+    }
+
+    #[test]
+    fn legacy_versionless_streams_still_decode() {
+        // The pre-chain layout: magic | codec u8 | dtype u8 | rank u8 |
+        // dims | abs | count | chunks — identical to the current layout
+        // with the version + spec bytes replaced by the codec id. A
+        // current stream rewritten that way must parse as the preset.
+        let data = field();
+        let codec = Szx;
+        let stream = compress_parallel(&codec, &data, ErrorBound::Relative(1e-2), 3).unwrap();
+        let mut legacy = Vec::new();
+        legacy.extend_from_slice(&stream[..4]);
+        legacy.push(crate::traits::CompressorId::Szx as u8);
+        // Skip version(1) + spec(2: Szx preset has no byte stages).
+        legacy.extend_from_slice(&stream[7..]);
+        let info = parallel_stream_info(&legacy).unwrap();
+        assert_eq!(info.chain, ChainSpec::preset(crate::traits::CompressorId::Szx));
+        let back = decompress_parallel::<f32>(&codec, &legacy, 3).unwrap();
+        assert!(max_rel_error(&data, &back) <= 1e-2 * 1.0000001);
+        // An unknown version byte is a typed error, not a misparse.
+        let mut bad = stream.clone();
+        bad[4] = 0x42;
+        assert_eq!(
+            parallel_stream_info(&bad),
+            Err(CodecError::UnsupportedVersion(0x42))
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! `e`, the residual is mapped to an integer code
 //! `q = round((v − p) / (2e))`; reconstruction `p + 2e·q` then differs
 //! from `v` by at most `e`. Codes are folded into a bounded unsigned
-//! alphabet centred on [`LinearQuantizer::radius`]; residuals outside the
+//! alphabet centred on the quantizer's radius; residuals outside the
 //! representable range become *outliers* stored losslessly, exactly like
 //! SZ's "unpredictable data" path.
 

@@ -1,0 +1,355 @@
+//! Codec stages: the composable pieces [`CodecChain`](crate::chain::CodecChain)s
+//! are built from.
+//!
+//! A chain has exactly one **array stage** — the lossy front end that
+//! turns samples into a byte payload under an absolute error bound
+//! (prediction + quantization + entropy coding, or a block transform) —
+//! followed by any number of **byte stages**: lossless byte→byte
+//! transforms (the LZ backend, the Blosc byte shuffle, FPC/fpzip-style
+//! float coders) applied in order on encode and unwound in reverse on
+//! decode.
+//!
+//! The five paper codecs implement [`ArrayStage`] directly (their
+//! identity doubles as [`CompressorId`]); byte stages are described by
+//! the serializable [`ByteStageSpec`] so a chain can be recorded in a
+//! stream header or a store manifest and rebuilt on the far side.
+
+use crate::error::{CodecError, Result};
+use crate::lossless::{Fpc, FpzipLike, LosslessCodec};
+use crate::lz;
+use crate::traits::CompressorId;
+use eblcio_data::{ArrayView, Element, NdArray, Shape};
+use serde::{Deserialize, Serialize};
+
+/// The lossy array→bytes front end of a chain.
+///
+/// `encode_*` receives the absolute error bound already resolved against
+/// the global value range and returns the payload bytes together with
+/// the bound to *record* in the stream header — usually the input bound,
+/// but quality-targeting modes (QoZ PSNR search, ZFP fixed precision)
+/// record the bound they actually achieved. `decode_*` receives the
+/// recorded bound and the original shape back from the header.
+pub trait ArrayStage: Send + Sync {
+    /// Wire identity of this stage (doubles as the paper codec id).
+    fn id(&self) -> CompressorId;
+
+    /// Encodes a single-precision view; returns `(payload, recorded_abs)`.
+    fn encode_f32(&self, data: ArrayView<'_, f32>, abs: f64) -> Result<(Vec<u8>, f64)>;
+    /// Encodes a double-precision view; returns `(payload, recorded_abs)`.
+    fn encode_f64(&self, data: ArrayView<'_, f64>, abs: f64) -> Result<(Vec<u8>, f64)>;
+    /// Decodes a single-precision payload.
+    fn decode_f32(&self, bytes: &[u8], shape: Shape, abs: f64) -> Result<NdArray<f32>>;
+    /// Decodes a double-precision payload.
+    fn decode_f64(&self, bytes: &[u8], shape: Shape, abs: f64) -> Result<NdArray<f64>>;
+}
+
+/// Generic [`ArrayStage`] encode, dispatching on the element type via
+/// the sealed [`Element`] identity casts.
+pub fn encode_array<T: Element>(
+    stage: &dyn ArrayStage,
+    data: ArrayView<'_, T>,
+    abs: f64,
+) -> Result<(Vec<u8>, f64)> {
+    if let Some(s) = T::slice_as_f32(data.as_slice()) {
+        stage.encode_f32(ArrayView::new(data.shape(), s), abs)
+    } else if let Some(s) = T::slice_as_f64(data.as_slice()) {
+        stage.encode_f64(ArrayView::new(data.shape(), s), abs)
+    } else {
+        unreachable!("Element is sealed to f32/f64")
+    }
+}
+
+/// Generic [`ArrayStage`] decode, dispatching on the element type.
+pub fn decode_array<T: Element>(
+    stage: &dyn ArrayStage,
+    bytes: &[u8],
+    shape: Shape,
+    abs: f64,
+) -> Result<NdArray<T>> {
+    match T::BYTES {
+        4 => {
+            let arr = stage.decode_f32(bytes, shape, abs)?;
+            let shape = arr.shape();
+            let data = T::vec_from_f32(arr.into_vec())
+                .unwrap_or_else(|_| unreachable!("T::BYTES == 4 implies T == f32"));
+            Ok(NdArray::from_vec(shape, data))
+        }
+        8 => {
+            let arr = stage.decode_f64(bytes, shape, abs)?;
+            let shape = arr.shape();
+            let data = T::vec_from_f64(arr.into_vec())
+                .unwrap_or_else(|_| unreachable!("T::BYTES == 8 implies T == f64"));
+            Ok(NdArray::from_vec(shape, data))
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// A lossless byte→byte chain stage.
+pub trait ByteStage: Send + Sync {
+    /// The serializable description this stage was built from.
+    fn spec(&self) -> ByteStageSpec;
+    /// Applies the transform (encode direction). Must be exactly
+    /// invertible by [`Self::inverse`].
+    fn forward(&self, data: &[u8]) -> Vec<u8>;
+    /// Undoes [`Self::forward`] (decode direction).
+    fn inverse(&self, data: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// Serializable description of one byte stage (its wire id + parameter).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ByteStageSpec {
+    /// LZ77 + Huffman backend — the SZ-family "Zstd stage".
+    Lz,
+    /// Blosc-style byte shuffle: transposes the bytes of fixed-width
+    /// elements so slowly-varying high bytes become adjacent.
+    Shuffle {
+        /// Element width in bytes (4 for f32 payload-like data, 8 for f64).
+        element_size: u8,
+    },
+    /// FPC: FCM/DFCM hash-predicted leading-zero-byte coding.
+    Fpc {
+        /// Element width in bytes.
+        element_size: u8,
+    },
+    /// fpzip-style Lorenzo-predicted residual coding.
+    Fpzip {
+        /// Element width in bytes.
+        element_size: u8,
+    },
+}
+
+/// Wire ids for [`ByteStageSpec`] (`0` is reserved so a truncated spec
+/// never aliases a valid stage).
+const BYTE_LZ: u8 = 1;
+const BYTE_SHUFFLE: u8 = 2;
+const BYTE_FPC: u8 = 3;
+const BYTE_FPZIP: u8 = 4;
+
+impl ByteStageSpec {
+    /// Wire id byte.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            ByteStageSpec::Lz => BYTE_LZ,
+            ByteStageSpec::Shuffle { .. } => BYTE_SHUFFLE,
+            ByteStageSpec::Fpc { .. } => BYTE_FPC,
+            ByteStageSpec::Fpzip { .. } => BYTE_FPZIP,
+        }
+    }
+
+    /// Wire parameter byte (element size; 0 when the stage has none).
+    pub fn wire_param(self) -> u8 {
+        match self {
+            ByteStageSpec::Lz => 0,
+            ByteStageSpec::Shuffle { element_size }
+            | ByteStageSpec::Fpc { element_size }
+            | ByteStageSpec::Fpzip { element_size } => element_size,
+        }
+    }
+
+    /// Rebuilds a spec from its wire id + parameter.
+    pub fn from_wire(id: u8, param: u8) -> Result<Self> {
+        let esize_ok = matches!(param, 1 | 2 | 4 | 8);
+        match id {
+            BYTE_LZ if param == 0 => Ok(ByteStageSpec::Lz),
+            BYTE_SHUFFLE if esize_ok => Ok(ByteStageSpec::Shuffle { element_size: param }),
+            BYTE_FPC if esize_ok => Ok(ByteStageSpec::Fpc { element_size: param }),
+            BYTE_FPZIP if esize_ok => Ok(ByteStageSpec::Fpzip { element_size: param }),
+            _ => Err(CodecError::Corrupt { context: "byte stage spec" }),
+        }
+    }
+
+    /// Compact human label (`lz`, `shuffle4`, `fpc8`, …) — the chain
+    /// grammar the CLI parses.
+    pub fn label(self) -> String {
+        match self {
+            ByteStageSpec::Lz => "lz".into(),
+            ByteStageSpec::Shuffle { element_size } => format!("shuffle{element_size}"),
+            ByteStageSpec::Fpc { element_size } => format!("fpc{element_size}"),
+            ByteStageSpec::Fpzip { element_size } => format!("fpzip{element_size}"),
+        }
+    }
+
+    /// Parses a [`Self::label`]-format segment.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        let (name, digits): (&str, &str) = match s.find(|c: char| c.is_ascii_digit()) {
+            Some(i) => (&s[..i], &s[i..]),
+            None => (s, ""),
+        };
+        let esize = || -> std::result::Result<u8, String> {
+            let v: u8 = digits
+                .parse()
+                .map_err(|_| format!("byte stage '{s}': bad element size"))?;
+            if matches!(v, 1 | 2 | 4 | 8) {
+                Ok(v)
+            } else {
+                Err(format!("byte stage '{s}': element size must be 1/2/4/8"))
+            }
+        };
+        match name {
+            "lz" if digits.is_empty() => Ok(ByteStageSpec::Lz),
+            "shuffle" => Ok(ByteStageSpec::Shuffle { element_size: esize()? }),
+            "fpc" => Ok(ByteStageSpec::Fpc { element_size: esize()? }),
+            "fpzip" => Ok(ByteStageSpec::Fpzip { element_size: esize()? }),
+            _ => Err(format!("unknown byte stage '{s}'")),
+        }
+    }
+}
+
+/// The LZ backend as a chain stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LzStage;
+
+impl ByteStage for LzStage {
+    fn spec(&self) -> ByteStageSpec {
+        ByteStageSpec::Lz
+    }
+    fn forward(&self, data: &[u8]) -> Vec<u8> {
+        lz::compress(data)
+    }
+    fn inverse(&self, data: &[u8]) -> Result<Vec<u8>> {
+        lz::decompress(data)
+    }
+}
+
+/// The Blosc byte shuffle as a chain stage (permutation only — pair it
+/// with [`LzStage`] to reproduce the C-Blosc2 pipeline).
+#[derive(Clone, Copy, Debug)]
+pub struct ShuffleStage {
+    element_size: usize,
+}
+
+impl ShuffleStage {
+    /// Shuffle for elements of `element_size` bytes.
+    ///
+    /// # Panics
+    /// Panics unless `element_size` is 1, 2, 4, or 8 — the only widths
+    /// the wire spec ([`ByteStageSpec::Shuffle`]) can record, so any
+    /// other stage would compress streams it cannot describe.
+    pub fn new(element_size: usize) -> Self {
+        assert!(
+            matches!(element_size, 1 | 2 | 4 | 8),
+            "shuffle element size must be 1, 2, 4, or 8 (got {element_size})"
+        );
+        Self { element_size }
+    }
+}
+
+impl ByteStage for ShuffleStage {
+    fn spec(&self) -> ByteStageSpec {
+        ByteStageSpec::Shuffle {
+            element_size: self.element_size as u8,
+        }
+    }
+    fn forward(&self, data: &[u8]) -> Vec<u8> {
+        crate::lossless::shuffle(data, self.element_size)
+    }
+    fn inverse(&self, data: &[u8]) -> Result<Vec<u8>> {
+        Ok(crate::lossless::unshuffle(data, self.element_size))
+    }
+}
+
+/// Adapts a [`LosslessCodec`] backend into a byte stage.
+struct LosslessStage<C: LosslessCodec> {
+    spec: ByteStageSpec,
+    codec: C,
+}
+
+impl<C: LosslessCodec> ByteStage for LosslessStage<C> {
+    fn spec(&self) -> ByteStageSpec {
+        self.spec
+    }
+    fn forward(&self, data: &[u8]) -> Vec<u8> {
+        self.codec.compress(data)
+    }
+    fn inverse(&self, data: &[u8]) -> Result<Vec<u8>> {
+        self.codec.decompress(data)
+    }
+}
+
+/// Builds the byte stage a spec describes.
+pub fn build_byte_stage(spec: ByteStageSpec) -> Box<dyn ByteStage> {
+    match spec {
+        ByteStageSpec::Lz => Box::new(LzStage),
+        ByteStageSpec::Shuffle { element_size } => {
+            Box::new(ShuffleStage::new(usize::from(element_size)))
+        }
+        ByteStageSpec::Fpc { element_size } => Box::new(LosslessStage {
+            spec,
+            codec: Fpc::new(usize::from(element_size)),
+        }),
+        ByteStageSpec::Fpzip { element_size } => Box::new(LosslessStage {
+            spec,
+            codec: FpzipLike::new(usize::from(element_size)),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let specs = [
+            ByteStageSpec::Lz,
+            ByteStageSpec::Shuffle { element_size: 4 },
+            ByteStageSpec::Fpc { element_size: 8 },
+            ByteStageSpec::Fpzip { element_size: 4 },
+        ];
+        for s in specs {
+            assert_eq!(ByteStageSpec::from_wire(s.wire_id(), s.wire_param()).unwrap(), s);
+        }
+        assert!(ByteStageSpec::from_wire(0, 0).is_err());
+        assert!(ByteStageSpec::from_wire(99, 4).is_err());
+        assert!(ByteStageSpec::from_wire(BYTE_SHUFFLE, 3).is_err());
+        assert!(ByteStageSpec::from_wire(BYTE_LZ, 4).is_err());
+    }
+
+    #[test]
+    fn label_parse_roundtrip() {
+        for s in [
+            ByteStageSpec::Lz,
+            ByteStageSpec::Shuffle { element_size: 8 },
+            ByteStageSpec::Fpc { element_size: 4 },
+            ByteStageSpec::Fpzip { element_size: 8 },
+        ] {
+            assert_eq!(ByteStageSpec::parse(&s.label()).unwrap(), s);
+        }
+        assert!(ByteStageSpec::parse("lz4").is_err());
+        assert!(ByteStageSpec::parse("shuffle").is_err());
+        assert!(ByteStageSpec::parse("shuffle7").is_err());
+        assert!(ByteStageSpec::parse("zstd").is_err());
+    }
+
+    #[test]
+    fn every_stage_is_invertible() {
+        let data: Vec<u8> = (0..4096u32)
+            .flat_map(|i| ((i as f32 * 0.01).sin() * 50.0).to_le_bytes())
+            .collect();
+        for spec in [
+            ByteStageSpec::Lz,
+            ByteStageSpec::Shuffle { element_size: 4 },
+            ByteStageSpec::Shuffle { element_size: 8 },
+            ByteStageSpec::Fpc { element_size: 4 },
+            ByteStageSpec::Fpzip { element_size: 4 },
+        ] {
+            let stage = build_byte_stage(spec);
+            let fwd = stage.forward(&data);
+            assert_eq!(stage.inverse(&fwd).unwrap(), data, "{}", spec.label());
+            // Ragged / empty inputs must also survive.
+            for cut in [0usize, 1, 3, 7] {
+                let fwd = stage.forward(&data[..cut]);
+                assert_eq!(stage.inverse(&fwd).unwrap(), &data[..cut], "{}", spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn lz_stage_matches_backend_bytes() {
+        // The preset chains rely on LzStage producing exactly the bytes
+        // the monolithic SZ pipelines used to emit.
+        let data = b"the payload the payload the payload".to_vec();
+        assert_eq!(LzStage.forward(&data), lz::compress(&data));
+    }
+}

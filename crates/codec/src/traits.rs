@@ -1,13 +1,17 @@
-//! The [`Compressor`] abstraction: one trait in front of the five EBLC
-//! pipelines, mirroring how the paper drives SZ2/SZ3/ZFP/QoZ/SZx through
-//! LibPressio's uniform API.
+//! The [`Compressor`] abstraction: one trait in front of every codec
+//! chain, mirroring how the paper drives SZ2/SZ3/ZFP/QoZ/SZx through
+//! LibPressio's uniform API. Since the chain refactor a compressor's
+//! identity is its serializable [`ChainSpec`] — the five paper codecs
+//! are the preset chains, and [`CompressorId`] names their array stages.
 
+use crate::chain::ChainSpec;
 use crate::error::{CodecError, Result};
 use crate::header;
 use eblcio_data::{ArrayView, Dataset, Element, NdArray};
 use serde::{Deserialize, Serialize};
 
-/// Identifies one of the five EBLCs characterized by the paper.
+/// Identifies one of the five EBLCs characterized by the paper — and,
+/// since the chain refactor, the array stage at the front of a chain.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum CompressorId {
@@ -56,15 +60,13 @@ impl CompressorId {
         }
     }
 
-    /// Instantiates the codec with default parameters.
+    /// Instantiates this codec's preset chain through the global
+    /// [`CodecRegistry`](crate::chain::CodecRegistry) — the data-driven
+    /// replacement for the old hardcoded constructor match.
     pub fn instance(self) -> Box<dyn Compressor> {
-        match self {
-            CompressorId::Sz2 => Box::new(crate::codecs::sz2::Sz2::default()),
-            CompressorId::Sz3 => Box::new(crate::codecs::sz3::Sz3::default()),
-            CompressorId::Zfp => Box::new(crate::codecs::zfp::Zfp::default()),
-            CompressorId::Qoz => Box::new(crate::codecs::qoz::Qoz::default()),
-            CompressorId::Szx => Box::new(crate::codecs::szx::Szx),
-        }
+        ChainSpec::preset(self)
+            .build_boxed()
+            .expect("builtin preset chains always build")
     }
 }
 
@@ -116,12 +118,15 @@ impl ErrorBound {
 /// compression (parallel slabs, store chunks) never copies its input;
 /// the `&NdArray` methods are thin delegating conveniences.
 pub trait Compressor: Send + Sync {
-    /// Which of the five compressors this is.
-    fn id(&self) -> CompressorId;
+    /// The serializable chain identity of this compressor — what stream
+    /// headers and store manifests record so the far side can rebuild
+    /// the decoder.
+    fn spec(&self) -> ChainSpec;
 
-    /// Display name (paper legend).
-    fn name(&self) -> &'static str {
-        self.id().name()
+    /// Display name: the paper legend for presets, the chain grammar
+    /// otherwise.
+    fn name(&self) -> String {
+        self.spec().label()
     }
 
     /// Compresses a borrowed single-precision view (zero-copy entry).
@@ -206,11 +211,11 @@ pub fn compress_dataset(
     }
 }
 
-/// Decompresses any EBLC stream into a [`Dataset`], dispatching on the
-/// header's codec id and dtype.
+/// Decompresses any `EBLC` stream (v1 or v2) into a [`Dataset`],
+/// rebuilding the decoder chain from the header's spec.
 pub fn decompress_any(stream: &[u8]) -> Result<Dataset> {
     let (h, _) = header::read_stream(stream)?;
-    let codec = h.codec.instance();
+    let codec = h.chain.build()?;
     if h.dtype == 0 {
         Ok(Dataset::F32(codec.decompress_f32(stream)?))
     } else {
@@ -235,6 +240,15 @@ mod tests {
     fn names_match_paper_legends() {
         let names: Vec<&str> = CompressorId::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names, ["SZ2", "SZ3", "ZFP", "QoZ", "SZx"]);
+    }
+
+    #[test]
+    fn instances_carry_preset_specs() {
+        for id in CompressorId::ALL {
+            let c = id.instance();
+            assert_eq!(c.spec(), ChainSpec::preset(id));
+            assert_eq!(c.name(), id.name());
+        }
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //! takeaway, built on §III).
 //!
 //! Given a data set, an I/O tool, a PFS, a platform, and a quality floor,
-//! the advisor sweeps compressors × error bounds, evaluates Eqs. 3–5 for
-//! each cell, and recommends the best beneficial configuration (maximum
-//! energy saving by default).
+//! the advisor sweeps codec chains × error bounds, evaluates Eqs. 3–5
+//! for each cell, and recommends the best beneficial configuration
+//! (maximum energy saving by default). Since the chain refactor the
+//! sweep space is open: the paper's five presets by default, any
+//! [`ChainSpec`] (custom lossless backends, stacked filters) on demand.
 
 use crate::campaign::CampaignRunner;
 use crate::conditions::{BenefitInputs, Decision};
-use eblcio_codec::{CodecError, CompressorId, ErrorBound};
+use eblcio_codec::{ChainSpec, CodecError, ErrorBound};
 use eblcio_data::Dataset;
 use eblcio_energy::CpuGeneration;
 use eblcio_pfs::{IoToolKind, PfsSim};
@@ -17,8 +19,8 @@ use serde::Serialize;
 /// One evaluated configuration.
 #[derive(Clone, Debug, Serialize)]
 pub struct Recommendation {
-    /// Compressor.
-    pub codec: CompressorId,
+    /// Codec chain.
+    pub chain: ChainSpec,
     /// Value-range relative bound ε.
     pub epsilon: f64,
     /// Achieved compression ratio.
@@ -41,8 +43,8 @@ impl Recommendation {
 /// Advisor configuration.
 #[derive(Clone, Debug)]
 pub struct Advisor {
-    /// Compressors to consider.
-    pub codecs: Vec<CompressorId>,
+    /// Codec chains to consider.
+    pub chains: Vec<ChainSpec>,
     /// Relative bounds to sweep (paper: 1e-5…1e-1).
     pub epsilons: Vec<f64>,
     /// Application quality floor (Eq. 5's PSNR_min).
@@ -54,10 +56,10 @@ pub struct Advisor {
 }
 
 impl Advisor {
-    /// The paper's sweep: all five codecs × ε ∈ {1e-1 … 1e-5}.
+    /// The paper's sweep: all five preset chains × ε ∈ {1e-1 … 1e-5}.
     pub fn paper_sweep(psnr_min_db: f64) -> Self {
         Self {
-            codecs: CompressorId::ALL.to_vec(),
+            chains: ChainSpec::presets(),
             epsilons: vec![1e-1, 1e-2, 1e-3, 1e-4, 1e-5],
             psnr_min_db,
             writers: 1,
@@ -89,8 +91,8 @@ impl Advisor {
         );
 
         let mut out = Vec::new();
-        for &codec_id in &self.codecs {
-            let codec = codec_id.instance();
+        for chain in &self.chains {
+            let codec = chain.build_boxed()?;
             for &eps in &self.epsilons {
                 let cell = self.runner.measure_cell(
                     data,
@@ -118,7 +120,7 @@ impl Advisor {
                     psnr_min_db: self.psnr_min_db,
                 };
                 out.push(Recommendation {
-                    codec: codec_id,
+                    chain: chain.clone(),
                     epsilon: eps,
                     cr: cell.cr(),
                     psnr_db: cell.quality.psnr_db,
@@ -149,12 +151,16 @@ impl Advisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eblcio_codec::CompressorId;
     use eblcio_data::generators::Scale;
     use eblcio_data::{DatasetKind, DatasetSpec};
 
     fn advisor() -> Advisor {
         Advisor {
-            codecs: vec![CompressorId::Szx, CompressorId::Sz3],
+            chains: vec![
+                ChainSpec::preset(CompressorId::Szx),
+                ChainSpec::preset(CompressorId::Sz3),
+            ],
             epsilons: vec![1e-2, 1e-3],
             psnr_min_db: 40.0,
             writers: 1,

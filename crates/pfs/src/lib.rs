@@ -12,11 +12,11 @@
 //! * [`sim`] — the bandwidth/latency/contention model that turns an I/O
 //!   request into seconds and joules (the 256→512-writer contention knee
 //!   of Fig. 12 lives here),
-//! * [`format`] — byte-accurate `hdf5lite`/`netcdflite` serializers with
-//!   the per-tool efficiency profiles that reproduce the paper's
-//!   HDF5 < NetCDF energy ordering (§VI-A),
-//! * [`tool`] — the [`tool::IoTool`] trait the benefit framework (§III's
-//!   `I = {I₁ … I_q}`) programs against.
+//! * [`format`](mod@format) — byte-accurate `hdf5lite`/`netcdflite`
+//!   serializers with the per-tool efficiency profiles that reproduce
+//!   the paper's HDF5 < NetCDF energy ordering (§VI-A),
+//! * [`tool`] — the [`tool::IoToolKind`] selector the benefit framework
+//!   (§III's `I = {I₁ … I_q}`) programs against.
 
 pub mod format;
 pub mod ost;

@@ -1,12 +1,20 @@
 //! The self-describing chunked-store container format.
 //!
+//! Version 2 carries a chain table so one store can mix codecs across
+//! chunks:
+//!
 //! ```text
-//! "EBCS" | version u8 | codec u8 | dtype u8 | rank u8
-//! dims (rank × varint) | chunk dims (rank × varint)
-//! abs_bound f64 | n_chunks varint
-//! index: n_chunks × (offset varint, length varint)
+//! "EBCS" | version=2 | dtype u8 | rank u8
+//! dims (rank × varint) | chunk dims (rank × varint) | abs_bound f64
+//! n_chains varint | chain specs…
+//! n_chunks varint
+//! index: n_chunks × (chain varint, offset varint, length varint)
 //! manifest crc32 u32 | chunk payloads…
 //! ```
+//!
+//! Version 1 manifests (a single codec id byte before the dtype, no
+//! chain table or per-chunk chain column) remain readable: the codec
+//! byte maps onto a one-entry chain table of its preset.
 //!
 //! Offsets are relative to the payload start and must be contiguous in
 //! write order; the CRC covers every manifest byte before it, so a
@@ -15,19 +23,27 @@
 //! header and payload checksum.
 
 use crate::grid::ChunkGrid;
-use eblcio_codec::util::{crc32, put_varint, ByteReader};
-use eblcio_codec::{CodecError, CompressorId, Result};
+use eblcio_codec::framing;
+use eblcio_codec::util::{put_varint, ByteReader};
+use eblcio_codec::{ChainSpec, CodecError, CompressorId, Result};
 use eblcio_data::shape::MAX_RANK;
 use eblcio_data::Shape;
 
 /// Container magic bytes.
 pub const MAGIC: &[u8; 4] = b"EBCS";
-/// Current container version.
-pub const VERSION: u8 = 1;
+/// Current container version (carries a chain table).
+pub const VERSION: u8 = 2;
+/// Legacy container version (single codec id byte).
+pub const VERSION_V1: u8 = 1;
+
+/// Cap on distinct chains per store (sanity bound for corrupt headers).
+pub const MAX_CHAINS: usize = 64;
 
 /// Location of one compressed chunk inside the payload section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChunkEntry {
+    /// Index into the manifest's chain table.
+    pub chain: u32,
     /// Byte offset from the payload start.
     pub offset: u64,
     /// Compressed length in bytes.
@@ -37,17 +53,19 @@ pub struct ChunkEntry {
 /// Parsed store manifest.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Manifest {
-    /// Codec that produced every chunk.
-    pub codec: CompressorId,
     /// Element type tag (0 = f32, 1 = f64).
     pub dtype: u8,
     /// Full array shape.
     pub shape: Shape,
     /// Interior chunk shape (edge chunks are clipped).
     pub chunk_shape: Shape,
-    /// Absolute error bound resolved against the global value range.
+    /// Absolute error bound resolved against the global value range
+    /// (every chain honours it).
     pub abs_bound: f64,
-    /// Per-chunk offset/length index in raster order of the chunk grid.
+    /// The codec chains chunks reference by index.
+    pub chains: Vec<ChainSpec>,
+    /// Per-chunk chain/offset/length index in raster order of the
+    /// chunk grid.
     pub chunks: Vec<ChunkEntry>,
 }
 
@@ -62,71 +80,79 @@ impl Manifest {
         self.chunks.iter().map(|c| c.len).sum()
     }
 
+    /// The single paper codec behind this store, when every chunk uses
+    /// one preset chain (`None` for mixed or custom-chain stores).
+    pub fn codec_id(&self) -> Option<CompressorId> {
+        match self.chains.as_slice() {
+            [only] => only.preset_id(),
+            _ => None,
+        }
+    }
+
     /// Serializes the manifest (everything before the payload bytes).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + self.chunks.len() * 6);
+        let mut out = Vec::with_capacity(48 + self.chains.len() * 6 + self.chunks.len() * 7);
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
-        out.push(self.codec as u8);
         out.push(self.dtype);
-        out.push(self.shape.rank() as u8);
-        for &d in self.shape.dims() {
-            put_varint(&mut out, d as u64);
-        }
+        framing::put_shape(&mut out, self.shape);
         for &d in self.chunk_shape.dims() {
             put_varint(&mut out, d as u64);
         }
-        out.extend_from_slice(&self.abs_bound.to_bits().to_le_bytes());
+        framing::put_abs_bound(&mut out, self.abs_bound);
+        put_varint(&mut out, self.chains.len() as u64);
+        for c in &self.chains {
+            c.encode_into(&mut out);
+        }
         put_varint(&mut out, self.chunks.len() as u64);
         for c in &self.chunks {
+            put_varint(&mut out, u64::from(c.chain));
             put_varint(&mut out, c.offset);
             put_varint(&mut out, c.len);
         }
-        let crc = crc32(&out);
-        out.extend_from_slice(&crc.to_le_bytes());
+        framing::put_crc_trailer(&mut out);
         out
     }
 
-    /// Parses and validates a manifest from the head of `stream`,
-    /// returning it together with the payload start offset.
+    /// Parses and validates a (v1 or v2) manifest from the head of
+    /// `stream`, returning it together with the payload start offset.
     pub fn decode(stream: &[u8]) -> Result<(Self, usize)> {
         let mut r = ByteReader::new(stream);
-        if r.take(4, "store magic")? != MAGIC {
-            return Err(CodecError::BadMagic);
-        }
+        framing::expect_magic(&mut r, MAGIC)?;
         let version = r.u8("store version")?;
-        if version != VERSION {
-            return Err(CodecError::UnsupportedVersion(version));
-        }
-        let codec = CompressorId::from_u8(r.u8("store codec")?)?;
-        let dtype = r.u8("store dtype")?;
-        if dtype > 1 {
-            return Err(CodecError::Corrupt { context: "store dtype" });
-        }
-        let rank = r.u8("store rank")? as usize;
-        if rank == 0 || rank > MAX_RANK {
-            return Err(CodecError::Corrupt { context: "store rank" });
-        }
-        let mut dims = [0usize; MAX_RANK];
-        for d in dims.iter_mut().take(rank) {
-            *d = r.varint("store dimension")? as usize;
-            if *d == 0 {
-                return Err(CodecError::Corrupt { context: "store dimension" });
-            }
-        }
-        let shape = Shape::new(&dims[..rank]);
+        // v1 carried the codec byte here; v2 moved codec identity into
+        // the chain table below.
+        let v1_codec = match version {
+            VERSION_V1 => Some(CompressorId::from_u8(r.u8("store codec")?)?),
+            VERSION => None,
+            other => return Err(CodecError::UnsupportedVersion(other)),
+        };
+        let dtype = framing::read_dtype(&mut r)?;
+        let shape = framing::read_shape(&mut r)?;
+        let rank = shape.rank();
         let mut cdims = [0usize; MAX_RANK];
-        for (d, &dim) in cdims.iter_mut().zip(&dims).take(rank) {
+        for (d, &dim) in cdims.iter_mut().zip(shape.dims()).take(rank) {
             *d = r.varint("store chunk dimension")? as usize;
             if *d == 0 || *d > dim {
                 return Err(CodecError::Corrupt { context: "store chunk dimension" });
             }
         }
         let chunk_shape = Shape::new(&cdims[..rank]);
-        let abs_bound = r.f64("store abs bound")?;
-        if !(abs_bound.is_finite() && abs_bound > 0.0) {
-            return Err(CodecError::Corrupt { context: "store abs bound" });
-        }
+        let abs_bound = framing::read_abs_bound(&mut r, true)?;
+        let chains = match v1_codec {
+            Some(id) => vec![ChainSpec::preset(id)],
+            None => {
+                let n_chains = r.varint("store chain count")? as usize;
+                if n_chains == 0 || n_chains > MAX_CHAINS {
+                    return Err(CodecError::Corrupt { context: "store chain count" });
+                }
+                let mut chains = Vec::with_capacity(n_chains);
+                for _ in 0..n_chains {
+                    chains.push(ChainSpec::decode(&mut r)?);
+                }
+                chains
+            }
+        };
         let n_chunks = r.varint("store chunk count")? as usize;
         // Every chunk needs at least two index bytes ahead of us plus
         // one payload byte, so a count beyond the remaining stream
@@ -138,7 +164,7 @@ impl Manifest {
             return Err(CodecError::Corrupt { context: "store chunk count" });
         }
         let expected = (0..rank).fold(1u128, |acc, d| {
-            acc.saturating_mul(dims[d].div_ceil(cdims[d]) as u128)
+            acc.saturating_mul(shape.dim(d).div_ceil(cdims[d]) as u128)
         });
         if n_chunks as u128 != expected {
             return Err(CodecError::Corrupt { context: "store chunk count" });
@@ -146,6 +172,16 @@ impl Manifest {
         let mut chunks = Vec::with_capacity(n_chunks);
         let mut next = 0u64;
         for _ in 0..n_chunks {
+            let chain = match v1_codec {
+                Some(_) => 0,
+                None => {
+                    let c = r.varint("store chunk chain")?;
+                    if c >= chains.len() as u64 {
+                        return Err(CodecError::Corrupt { context: "store chunk chain" });
+                    }
+                    c as u32
+                }
+            };
             let offset = r.varint("store chunk offset")?;
             let len = r.varint("store chunk length")?;
             if offset != next || len == 0 {
@@ -154,24 +190,20 @@ impl Manifest {
             next = offset
                 .checked_add(len)
                 .ok_or(CodecError::Corrupt { context: "store chunk index" })?;
-            chunks.push(ChunkEntry { offset, len });
+            chunks.push(ChunkEntry { chain, offset, len });
         }
-        let manifest_len = r.position();
-        let crc_stored = r.u32("store manifest crc")?;
-        if crc_stored != crc32(&stream[..manifest_len]) {
-            return Err(CodecError::ChecksumMismatch);
-        }
+        framing::check_crc_trailer(&mut r, stream)?;
         let payload_start = r.position();
         if stream.len() - payload_start != next as usize {
             return Err(CodecError::TruncatedStream { context: "store payload" });
         }
         Ok((
             Self {
-                codec,
                 dtype,
                 shape,
                 chunk_shape,
                 abs_bound,
+                chains,
                 chunks,
             },
             payload_start,
@@ -185,18 +217,21 @@ mod tests {
 
     fn sample() -> Manifest {
         Manifest {
-            codec: CompressorId::Sz3,
             dtype: 0,
             shape: Shape::d2(10, 7),
             chunk_shape: Shape::d2(4, 4),
             abs_bound: 1e-3,
+            chains: vec![
+                ChainSpec::preset(CompressorId::Sz3),
+                ChainSpec::parse("szx+lz").unwrap(),
+            ],
             chunks: vec![
-                ChunkEntry { offset: 0, len: 9 },
-                ChunkEntry { offset: 9, len: 4 },
-                ChunkEntry { offset: 13, len: 11 },
-                ChunkEntry { offset: 24, len: 2 },
-                ChunkEntry { offset: 26, len: 7 },
-                ChunkEntry { offset: 33, len: 5 },
+                ChunkEntry { chain: 0, offset: 0, len: 9 },
+                ChunkEntry { chain: 1, offset: 9, len: 4 },
+                ChunkEntry { chain: 0, offset: 13, len: 11 },
+                ChunkEntry { chain: 1, offset: 24, len: 2 },
+                ChunkEntry { chain: 0, offset: 26, len: 7 },
+                ChunkEntry { chain: 1, offset: 33, len: 5 },
             ],
         }
     }
@@ -207,6 +242,28 @@ mod tests {
         s
     }
 
+    /// Hand-writes the v1 framing the seed store emitted.
+    fn v1_stream(codec: CompressorId, m: &Manifest) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION_V1);
+        out.push(codec as u8);
+        out.push(m.dtype);
+        framing::put_shape(&mut out, m.shape);
+        for &d in m.chunk_shape.dims() {
+            put_varint(&mut out, d as u64);
+        }
+        framing::put_abs_bound(&mut out, m.abs_bound);
+        put_varint(&mut out, m.chunks.len() as u64);
+        for c in &m.chunks {
+            put_varint(&mut out, c.offset);
+            put_varint(&mut out, c.len);
+        }
+        framing::put_crc_trailer(&mut out);
+        out.extend(std::iter::repeat_n(0xCD, m.payload_len() as usize));
+        out
+    }
+
     #[test]
     fn roundtrip() {
         let m = sample();
@@ -214,6 +271,32 @@ mod tests {
         let (back, payload_start) = Manifest::decode(&s).unwrap();
         assert_eq!(back, m);
         assert_eq!(s.len() - payload_start, m.payload_len() as usize);
+        assert_eq!(back.codec_id(), None);
+    }
+
+    #[test]
+    fn v1_manifests_still_parse() {
+        let mut m = sample();
+        for c in &mut m.chunks {
+            c.chain = 0;
+        }
+        let s = v1_stream(CompressorId::Qoz, &m);
+        let (back, payload_start) = Manifest::decode(&s).unwrap();
+        assert_eq!(back.chains, vec![ChainSpec::preset(CompressorId::Qoz)]);
+        assert_eq!(back.codec_id(), Some(CompressorId::Qoz));
+        assert_eq!(back.chunks, m.chunks);
+        assert_eq!(s.len() - payload_start, m.payload_len() as usize);
+    }
+
+    #[test]
+    fn single_preset_chain_reports_codec_id() {
+        let mut m = sample();
+        m.chains = vec![ChainSpec::preset(CompressorId::Szx)];
+        for c in &mut m.chunks {
+            c.chain = 0;
+        }
+        let (back, _) = Manifest::decode(&stream_of(&m)).unwrap();
+        assert_eq!(back.codec_id(), Some(CompressorId::Szx));
     }
 
     #[test]
@@ -235,6 +318,13 @@ mod tests {
             bad[i] ^= 0x10;
             assert!(Manifest::decode(&bad).is_err(), "byte {i}");
         }
+    }
+
+    #[test]
+    fn out_of_range_chain_index_rejected() {
+        let mut m = sample();
+        m.chunks[2].chain = 7;
+        assert!(Manifest::decode(&stream_of(&m)).is_err());
     }
 
     #[test]
@@ -268,19 +358,26 @@ mod tests {
         let mut s = Vec::new();
         s.extend_from_slice(MAGIC);
         s.push(VERSION);
-        s.push(CompressorId::Szx as u8);
         s.push(0); // dtype f32
         s.push(1); // rank 1
         put_varint(&mut s, 1u64 << 40); // dim
         put_varint(&mut s, 1); // chunk dim -> 2^40 chunks
         s.extend_from_slice(&1e-3f64.to_bits().to_le_bytes());
+        put_varint(&mut s, 1); // one chain
+        ChainSpec::preset(CompressorId::Szx).encode_into(&mut s);
         put_varint(&mut s, 1u64 << 40); // claimed chunk count
-        let crc = crc32(&s);
-        s.extend_from_slice(&crc.to_le_bytes());
+        framing::put_crc_trailer(&mut s);
         assert!(matches!(
             Manifest::decode(&s),
             Err(CodecError::Corrupt { context: "store chunk count" })
         ));
+    }
+
+    #[test]
+    fn oversized_chain_table_rejected() {
+        let mut m = sample();
+        m.chains = vec![ChainSpec::preset(CompressorId::Szx); MAX_CHAINS + 1];
+        assert!(Manifest::decode(&stream_of(&m)).is_err());
     }
 
     #[test]

@@ -1,12 +1,16 @@
-//! [`ChunkedStore`]: write a field as independently compressed chunks,
-//! read back all of it, one chunk, or any axis-aligned region.
+//! [`ChunkedStore`]: write a field as independently compressed chunks —
+//! with one codec chain, an explicit chain per chunk, or adaptive
+//! per-chunk selection — and read back all of it, one chunk, or any
+//! axis-aligned region.
 
 use crate::grid::{copy_region, gather, ChunkGrid, Region};
-use crate::manifest::{ChunkEntry, Manifest};
+use crate::manifest::{ChunkEntry, Manifest, MAX_CHAINS};
+use eblcio_codec::estimate::estimate_cr;
 use eblcio_codec::header::Header;
 use eblcio_codec::parallel::pool_for;
 use eblcio_codec::{
-    compress_view, decompress, CodecError, Compressor, CompressorId, ErrorBound, Result,
+    compress, compress_view, decompress, ChainSpec, CodecError, Compressor, CompressorId,
+    ErrorBound, Result,
 };
 use eblcio_data::shape::MAX_RANK;
 use eblcio_data::{Element, NdArray, QualityReport, Shape};
@@ -25,15 +29,25 @@ pub struct RegionReadStats {
     pub compressed_bytes_read: u64,
 }
 
+/// Rows sampled per chunk when the adaptive writer prices a candidate
+/// chain (zPerf-style CR estimation, not a full compression).
+const ADAPTIVE_SAMPLE_SLABS: usize = 3;
+const ADAPTIVE_SAMPLE_ROWS: usize = 2;
+
 /// A zero-copy reader over a chunked compressed array stream, plus the
-/// associated `write` entry point that produces such streams.
+/// associated write entry points that produce such streams.
 ///
 /// The container splits an array into a regular chunk grid, compresses
-/// every chunk independently with one codec at one error bound (ε
-/// resolved once against the *global* value range, so per-chunk
-/// streams honour the same contract as whole-array compression), and
-/// prefixes a manifest indexing every chunk. See [`crate::manifest`]
-/// for the byte layout.
+/// every chunk independently at one error bound (ε resolved once
+/// against the *global* value range, so per-chunk streams honour the
+/// same contract as whole-array compression), and prefixes a manifest
+/// indexing every chunk. Since the chain refactor the manifest carries
+/// a chain table and a per-chunk chain column, so one store can hold
+/// mixed codecs: [`ChunkedStore::write`] uses one chain everywhere,
+/// [`ChunkedStore::write_mixed`] takes an explicit chunk→chain
+/// assignment, and [`ChunkedStore::write_adaptive`] picks the best
+/// candidate per chunk from sampled CR estimates. See
+/// [`crate::manifest`] for the byte layout.
 #[derive(Clone, Debug)]
 pub struct ChunkedStore<'a> {
     manifest: Manifest,
@@ -42,8 +56,53 @@ pub struct ChunkedStore<'a> {
     payload: &'a [u8],
 }
 
+/// Assembles the finished stream from per-chunk streams + chain picks.
+fn assemble<T: Element>(
+    chains: Vec<ChainSpec>,
+    picks: &[usize],
+    streams: Vec<Vec<u8>>,
+    shape: Shape,
+    chunk_shape: Shape,
+    abs: f64,
+) -> Vec<u8> {
+    // Keep only the chains that chunks actually reference, in first-use
+    // order, so adaptive candidates that never win don't bloat the
+    // manifest.
+    let mut remap = vec![u32::MAX; chains.len()];
+    let mut used: Vec<ChainSpec> = Vec::new();
+    let mut chunks = Vec::with_capacity(streams.len());
+    let mut offset = 0u64;
+    for (i, s) in streams.iter().enumerate() {
+        let pick = picks[i];
+        if remap[pick] == u32::MAX {
+            remap[pick] = used.len() as u32;
+            used.push(chains[pick].clone());
+        }
+        chunks.push(ChunkEntry {
+            chain: remap[pick],
+            offset,
+            len: s.len() as u64,
+        });
+        offset += s.len() as u64;
+    }
+    let manifest = Manifest {
+        dtype: Header::dtype_of::<T>(),
+        shape,
+        chunk_shape,
+        abs_bound: abs,
+        chains: used,
+        chunks,
+    };
+    let mut out = manifest.encode();
+    out.reserve(offset as usize);
+    for s in &streams {
+        out.extend_from_slice(s);
+    }
+    out
+}
+
 impl<'a> ChunkedStore<'a> {
-    /// Compresses `data` into a chunked stream.
+    /// Compresses `data` into a chunked stream with one codec chain.
     ///
     /// Chunks are compressed in parallel on the shared rayon pool for
     /// `threads` workers. Chunks that are contiguous dimension-0 slabs
@@ -81,34 +140,149 @@ impl<'a> ChunkedStore<'a> {
                 })
                 .collect()
         });
-
-        // Index first (offsets/lengths are known once the compressions
-        // finish), then append each chunk stream straight into the
-        // output — no intermediate payload buffer, one copy total.
         let streams: Vec<Vec<u8>> = streams.into_iter().collect::<Result<_>>()?;
-        let mut chunks = Vec::with_capacity(streams.len());
-        let mut offset = 0u64;
-        for s in &streams {
-            chunks.push(ChunkEntry {
-                offset,
-                len: s.len() as u64,
+        let picks = vec![0usize; streams.len()];
+        Ok(assemble::<T>(
+            vec![codec.spec()],
+            &picks,
+            streams,
+            data.shape(),
+            grid.chunk_shape(),
+            abs,
+        ))
+    }
+
+    /// Compresses `data` with an explicit chain per chunk: chunk `i`
+    /// (raster order of the chunk grid) uses `chains[picks[i]]`.
+    pub fn write_mixed<T: Element>(
+        chains: &[ChainSpec],
+        picks: &[usize],
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        chunk_shape: Shape,
+        threads: usize,
+    ) -> Result<Vec<u8>> {
+        assert!(threads >= 1, "thread count must be >= 1");
+        let grid = ChunkGrid::new(data.shape(), chunk_shape);
+        if chains.is_empty() || chains.len() > MAX_CHAINS {
+            return Err(CodecError::InvalidChain {
+                reason: "a store needs between 1 and MAX_CHAINS chains",
             });
-            offset += s.len() as u64;
         }
-        let manifest = Manifest {
-            codec: codec.id(),
-            dtype: Header::dtype_of::<T>(),
-            shape: data.shape(),
-            chunk_shape: grid.chunk_shape(),
-            abs_bound: abs,
-            chunks,
-        };
-        let mut out = manifest.encode();
-        out.reserve(offset as usize);
-        for s in &streams {
-            out.extend_from_slice(s);
+        if picks.len() != grid.n_chunks() {
+            return Err(CodecError::InvalidChain {
+                reason: "picks must assign exactly one chain per grid chunk",
+            });
         }
-        Ok(out)
+        if picks.iter().any(|&p| p >= chains.len()) {
+            return Err(CodecError::InvalidChain {
+                reason: "pick index beyond the chain list",
+            });
+        }
+        let instances: Vec<Box<dyn Compressor>> = chains
+            .iter()
+            .map(|s| s.build_boxed())
+            .collect::<Result<_>>()?;
+        let abs = bound.to_absolute(data.value_range())?;
+        let bound = ErrorBound::Absolute(abs);
+
+        let ids: Vec<usize> = (0..grid.n_chunks()).collect();
+        let pool = pool_for(threads)?;
+        let streams: Vec<Result<Vec<u8>>> = pool.install(|| {
+            ids.par_iter()
+                .map(|&i| {
+                    let codec = instances[picks[i]].as_ref();
+                    let region = grid.chunk_region(i);
+                    if grid.chunk_is_slab(i) {
+                        let view = data.slab(region.origin()[0], region.extent()[0]);
+                        compress_view(codec, view, bound)
+                    } else {
+                        let owned = gather(data, &region);
+                        compress_view(codec, owned.view(), bound)
+                    }
+                })
+                .collect()
+        });
+        let streams: Vec<Vec<u8>> = streams.into_iter().collect::<Result<_>>()?;
+        Ok(assemble::<T>(
+            chains.to_vec(),
+            picks,
+            streams,
+            data.shape(),
+            grid.chunk_shape(),
+            abs,
+        ))
+    }
+
+    /// Adaptive mode: for every chunk, prices each candidate chain with
+    /// a sampled CR estimate (a fraction of a full compression) and
+    /// compresses the chunk with the winner. One store, mixed codecs,
+    /// chosen by the data.
+    ///
+    /// Returns the stream; open it to see the per-chunk selection
+    /// ([`ChunkedStore::chunk_chain`]).
+    pub fn write_adaptive<T: Element>(
+        candidates: &[ChainSpec],
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        chunk_shape: Shape,
+        threads: usize,
+    ) -> Result<Vec<u8>> {
+        assert!(threads >= 1, "thread count must be >= 1");
+        let grid = ChunkGrid::new(data.shape(), chunk_shape);
+        if candidates.is_empty() || candidates.len() > MAX_CHAINS {
+            return Err(CodecError::InvalidChain {
+                reason: "adaptive selection needs between 1 and MAX_CHAINS candidates",
+            });
+        }
+        let instances: Vec<Box<dyn Compressor>> = candidates
+            .iter()
+            .map(|s| s.build_boxed())
+            .collect::<Result<_>>()?;
+        let abs = bound.to_absolute(data.value_range())?;
+        let bound = ErrorBound::Absolute(abs);
+
+        let ids: Vec<usize> = (0..grid.n_chunks()).collect();
+        let pool = pool_for(threads)?;
+        let results: Vec<Result<(usize, Vec<u8>)>> = pool.install(|| {
+            ids.par_iter()
+                .map(|&i| {
+                    let owned = gather(data, &grid.chunk_region(i));
+                    let mut best = 0usize;
+                    let mut best_cr = f64::NEG_INFINITY;
+                    for (c, inst) in instances.iter().enumerate() {
+                        let est = estimate_cr(
+                            inst.as_ref(),
+                            &owned,
+                            bound,
+                            ADAPTIVE_SAMPLE_SLABS,
+                            ADAPTIVE_SAMPLE_ROWS,
+                        )?;
+                        if est.cr > best_cr {
+                            best_cr = est.cr;
+                            best = c;
+                        }
+                    }
+                    let stream = compress(instances[best].as_ref(), &owned, bound)?;
+                    Ok((best, stream))
+                })
+                .collect()
+        });
+        let mut picks = Vec::with_capacity(results.len());
+        let mut streams = Vec::with_capacity(results.len());
+        for r in results {
+            let (pick, stream) = r?;
+            picks.push(pick);
+            streams.push(stream);
+        }
+        Ok(assemble::<T>(
+            candidates.to_vec(),
+            &picks,
+            streams,
+            data.shape(),
+            grid.chunk_shape(),
+            abs,
+        ))
     }
 
     /// Opens a stream, parsing and validating the manifest without
@@ -124,9 +298,23 @@ impl<'a> ChunkedStore<'a> {
         })
     }
 
-    /// The codec every chunk was compressed with.
-    pub fn codec_id(&self) -> CompressorId {
-        self.manifest.codec
+    /// The single paper codec behind this store, when every chunk uses
+    /// one preset chain (`None` for mixed or custom-chain stores).
+    pub fn codec_id(&self) -> Option<CompressorId> {
+        self.manifest.codec_id()
+    }
+
+    /// The manifest's chain table.
+    pub fn chains(&self) -> &[ChainSpec] {
+        &self.manifest.chains
+    }
+
+    /// The chain chunk `i` was compressed with.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_chunks()`.
+    pub fn chunk_chain(&self, i: usize) -> &ChainSpec {
+        &self.manifest.chains[self.manifest.chunks[i].chain as usize]
     }
 
     /// Element type tag (0 = f32, 1 = f64).
@@ -190,10 +378,15 @@ impl<'a> ChunkedStore<'a> {
         }
     }
 
+    /// Builds one decoder per chain-table entry (shared across chunks).
+    fn decoders(&self) -> Result<Vec<Box<dyn Compressor>>> {
+        self.manifest.chains.iter().map(|s| s.build_boxed()).collect()
+    }
+
     /// Decompresses chunk `i` alone.
     pub fn read_chunk<T: Element>(&self, i: usize) -> Result<NdArray<T>> {
         self.check_dtype::<T>()?;
-        let codec = self.manifest.codec.instance();
+        let codec = self.chunk_chain(i).build_boxed()?;
         self.decode_chunk(codec.as_ref(), i)
     }
 
@@ -210,12 +403,15 @@ impl<'a> ChunkedStore<'a> {
     pub fn read_full<T: Element>(&self, threads: usize) -> Result<NdArray<T>> {
         assert!(threads >= 1, "thread count must be >= 1");
         self.check_dtype::<T>()?;
-        let codec = self.manifest.codec.instance();
+        let decoders = self.decoders()?;
         let ids: Vec<usize> = (0..self.n_chunks()).collect();
         let pool = pool_for(threads)?;
         let parts: Vec<Result<NdArray<T>>> = pool.install(|| {
             ids.par_iter()
-                .map(|&i| self.decode_chunk(codec.as_ref(), i))
+                .map(|&i| {
+                    let codec = decoders[self.manifest.chunks[i].chain as usize].as_ref();
+                    self.decode_chunk(codec, i)
+                })
                 .collect()
         });
         let mut out = NdArray::<T>::zeros(self.manifest.shape);
@@ -246,12 +442,13 @@ impl<'a> ChunkedStore<'a> {
         region: &Region,
     ) -> Result<(NdArray<T>, RegionReadStats)> {
         self.check_dtype::<T>()?;
-        let codec = self.manifest.codec.instance();
+        let decoders = self.decoders()?;
         let hits = self.grid.chunks_intersecting(region);
         let mut out = NdArray::<T>::zeros(region.shape());
         let mut bytes = 0u64;
         for &i in &hits {
-            let part = self.decode_chunk::<T>(codec.as_ref(), i)?;
+            let codec = decoders[self.manifest.chunks[i].chain as usize].as_ref();
+            let part = self.decode_chunk::<T>(codec, i)?;
             bytes += self.manifest.chunks[i].len;
             let chunk_region = self.grid.chunk_region(i);
             let inter = chunk_region
@@ -298,10 +495,11 @@ impl<'a> ChunkedStore<'a> {
         if original.shape() != self.manifest.shape {
             return Err(CodecError::Corrupt { context: "store quality shape" });
         }
-        let codec = self.manifest.codec.instance();
+        let decoders = self.decoders()?;
         let mut out = Vec::with_capacity(self.n_chunks());
         for i in 0..self.n_chunks() {
-            let recon = self.decode_chunk::<T>(codec.as_ref(), i)?;
+            let codec = decoders[self.manifest.chunks[i].chain as usize].as_ref();
+            let recon = self.decode_chunk::<T>(codec, i)?;
             let orig = gather(original, &self.grid.chunk_region(i));
             out.push(QualityReport::evaluate(
                 &orig,

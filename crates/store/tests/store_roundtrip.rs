@@ -2,7 +2,7 @@
 //! codec and precision, edge chunks, partial reads, corruption
 //! rejection, and the ε contract.
 
-use eblcio_codec::{header, CompressorId, ErrorBound};
+use eblcio_codec::{header, ChainSpec, CompressorId, ErrorBound};
 use eblcio_data::{max_rel_error, Element, NdArray, Shape};
 use eblcio_store::{ChunkedStore, Region};
 use proptest::prelude::*;
@@ -35,7 +35,7 @@ fn full_roundtrip_all_codecs_f32() {
         )
         .unwrap();
         let store = ChunkedStore::open(&stream).unwrap();
-        assert_eq!(store.codec_id(), id);
+        assert_eq!(store.codec_id(), Some(id));
         assert_eq!(store.shape(), data.shape());
         let back = store.read_full::<f32>(4).unwrap();
         assert_eq!(back.shape(), data.shape());
@@ -250,6 +250,168 @@ fn per_chunk_quality_reports() {
     // The summed compressed bytes are consistent with the ratios.
     let total: u64 = store.chunk_lens().iter().sum();
     assert!(total < data.nbytes() as u64);
+}
+
+#[test]
+fn mixed_codec_store_roundtrips_within_epsilon() {
+    // The acceptance scenario: one store, several distinct chains
+    // across chunks (presets and a custom chain), full and region reads
+    // within the requested ε.
+    let data = field::<f32>(Shape::d3(24, 16, 16));
+    let chains = vec![
+        ChainSpec::preset(CompressorId::Sz3),
+        ChainSpec::preset(CompressorId::Szx),
+        ChainSpec::parse("sz2+shuffle4+lz").unwrap(),
+    ];
+    let grid_chunks = 3 * 2 * 2; // 8³ chunks over 24×16×16
+    let picks: Vec<usize> = (0..grid_chunks).map(|i| i % chains.len()).collect();
+    let stream = ChunkedStore::write_mixed(
+        &chains,
+        &picks,
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d3(8, 8, 8),
+        4,
+    )
+    .unwrap();
+
+    let store = ChunkedStore::open(&stream).unwrap();
+    assert_eq!(store.n_chunks(), grid_chunks);
+    assert_eq!(store.chains().len(), 3);
+    assert_eq!(store.codec_id(), None);
+    let distinct: std::collections::HashSet<String> =
+        (0..store.n_chunks()).map(|i| store.chunk_chain(i).label()).collect();
+    assert!(distinct.len() >= 2, "store must actually mix codecs");
+    for (i, &p) in picks.iter().enumerate() {
+        assert_eq!(store.chunk_chain(i), &chains[p], "chunk {i}");
+    }
+
+    // Full read honours the global-range ε.
+    let back = store.read_full::<f32>(4).unwrap();
+    assert!(max_rel_error(&data, &back) <= EPS * SLACK);
+
+    // Region reads crossing chain boundaries honour it too.
+    let region = Region::new(&[4, 4, 4], &[8, 8, 8]);
+    let (got, stats) = store.read_region_with_stats::<f32>(&region).unwrap();
+    assert!(stats.chunks_decoded < store.n_chunks());
+    let range = data.value_range();
+    for off in 0..got.len() {
+        let local = got.shape().unoffset(off);
+        let global = [
+            local[0] + region.origin()[0],
+            local[1] + region.origin()[1],
+            local[2] + region.origin()[2],
+        ];
+        let err = (data.get(&global) - got.as_slice()[off]).abs() as f64;
+        assert!(err <= EPS * SLACK * range);
+    }
+
+    // Per-chunk quality reports work across mixed chains.
+    let reports = store.chunk_quality(&data).unwrap();
+    assert_eq!(reports.len(), store.n_chunks());
+    for r in &reports {
+        assert!(r.max_abs_error <= EPS * SLACK * range);
+    }
+}
+
+#[test]
+fn adaptive_write_picks_by_estimated_cr_and_roundtrips() {
+    // Two-regime field: smooth rows then hard-to-predict rows. The
+    // adaptive writer prices SZ3 vs SZx per chunk; whatever it picks,
+    // the result must be a valid (possibly mixed) store within ε.
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let data = NdArray::<f32>::from_fn(Shape::d2(32, 64), |i| {
+        if i[0] < 16 {
+            (i[1] as f32 * 0.1).sin() * 50.0 + i[0] as f32
+        } else {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1000) as f32
+        }
+    });
+    let candidates = vec![
+        ChainSpec::preset(CompressorId::Sz3),
+        ChainSpec::preset(CompressorId::Szx),
+    ];
+    let stream = ChunkedStore::write_adaptive(
+        &candidates,
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 64),
+        2,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    assert_eq!(store.n_chunks(), 4);
+    // Every selected chain is one of the candidates.
+    for i in 0..store.n_chunks() {
+        assert!(candidates.contains(store.chunk_chain(i)), "chunk {i}");
+    }
+    let back = store.read_full::<f32>(2).unwrap();
+    assert!(max_rel_error(&data, &back) <= EPS * SLACK);
+
+    // The smooth half should be priced in SZ3's favour (big CR gap on
+    // interpolable data).
+    assert_eq!(store.chunk_chain(0), &ChainSpec::preset(CompressorId::Sz3));
+}
+
+#[test]
+fn mixed_write_rejects_bad_picks() {
+    let data = field::<f32>(Shape::d2(16, 16));
+    let chains = vec![ChainSpec::preset(CompressorId::Szx)];
+    // Wrong pick count.
+    assert!(ChunkedStore::write_mixed(
+        &chains,
+        &[0],
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        1,
+    )
+    .is_err());
+    // Pick out of range.
+    assert!(ChunkedStore::write_mixed(
+        &chains,
+        &[0, 0, 0, 1],
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        1,
+    )
+    .is_err());
+    // No chains at all.
+    assert!(ChunkedStore::write_adaptive(
+        &[],
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        1,
+    )
+    .is_err());
+}
+
+#[test]
+fn unused_candidates_are_dropped_from_the_manifest() {
+    let data = field::<f32>(Shape::d2(16, 16));
+    let chains = vec![
+        ChainSpec::preset(CompressorId::Sz3),
+        ChainSpec::preset(CompressorId::Szx),
+        ChainSpec::preset(CompressorId::Zfp),
+    ];
+    // Only ever pick chain 2.
+    let stream = ChunkedStore::write_mixed(
+        &chains,
+        &[2, 2, 2, 2],
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        1,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    assert_eq!(store.chains(), &[ChainSpec::preset(CompressorId::Zfp)]);
+    assert_eq!(store.codec_id(), Some(CompressorId::Zfp));
 }
 
 proptest! {

@@ -26,7 +26,7 @@ fn main() {
     // The site: a busy Lustre slice — each job sees ~10 MB/s.
     let pfs = PfsSim::new(1, 0.01);
     let advisor = Advisor {
-        codecs: CompressorId::ALL.to_vec(),
+        chains: ChainSpec::presets(),
         epsilons: vec![1e-2, 1e-3, 1e-4],
         psnr_min_db: 60.0, // climate post-processing floor
         writers: 1,
@@ -43,7 +43,7 @@ fn main() {
         let v = c.inputs.evaluate();
         println!(
             "{:<6} {:>8.0e} {:>9.1} {:>9.1} {:>7} {:>7} {:>7}  {:?}",
-            c.codec.name(),
+            c.chain.label(),
             c.epsilon,
             c.cr,
             c.psnr_db,
@@ -58,7 +58,7 @@ fn main() {
         Some(best) => println!(
             "\n=> Compress with {} at eps {:.0e}: saves {:.2} J per snapshot \
              ({:.1}x CR, {:.1} dB).",
-            best.codec.name(),
+            best.chain.label(),
             best.epsilon,
             best.energy_saving(),
             best.cr,

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! eblcio compress   --codec sz3 --eps 1e-3 --dtype f32 --dims 512x512x512 in.raw out.eblc
+//! eblcio compress   --chain sz3+shuffle4+lz --eps 1e-3 --dims 64x64 in.raw out.eblc
 //! eblcio decompress in.eblc out.raw
-//! eblcio inspect    in.eblc
-//! eblcio demo       [dataset]          # synthesize, compress with all codecs, report
+//! eblcio inspect    in.eblc             # EBLC streams and EBCS store files
+//! eblcio demo       [dataset]           # synthesize, compress with all codecs, report
 //! ```
 //!
 //! Raw files are flat little-endian sample arrays (the layout SDRBench
-//! distributes); compressed files are self-describing `EBLC` streams.
+//! distributes); compressed files are self-describing `EBLC` streams or
+//! `EBCS` chunked stores. `--chain` accepts the stage grammar
+//! `array[+byte…]` (`sz3`, `sz3+raw`, `szx+fpc4`, `sz2+shuffle4+lz`).
 
 use eblcio::prelude::*;
 use std::process::ExitCode;
@@ -22,11 +25,13 @@ fn main() -> ExitCode {
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  eblcio compress --codec <sz2|sz3|zfp|qoz|szx> --eps <rel> \
-                 --dtype <f32|f64> --dims <AxBxC> <in.raw> <out.eblc>\n  \
+                "usage:\n  eblcio compress --codec <sz2|sz3|zfp|qoz|szx> | --chain <spec> \
+                 --eps <rel> --dtype <f32|f64> --dims <AxBxC> <in.raw> <out.eblc>\n  \
                  eblcio decompress <in.eblc> <out.raw>\n  \
-                 eblcio inspect <in.eblc>\n  \
-                 eblcio demo [cesm|hacc|nyx|s3d]"
+                 eblcio inspect <in.eblc|in.ebcs>\n  \
+                 eblcio demo [cesm|hacc|nyx|s3d]\n\n\
+                 chain spec grammar: array[+byte...], e.g. sz3, sz3+raw, \
+                 szx+fpc4, sz2+shuffle4+lz"
             );
             return ExitCode::from(2);
         }
@@ -66,13 +71,15 @@ fn positional(args: &[String]) -> Vec<&str> {
     out
 }
 
-fn parse_codec(s: &str) -> Result<CompressorId, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "sz2" => Ok(CompressorId::Sz2),
-        "sz3" => Ok(CompressorId::Sz3),
-        "zfp" => Ok(CompressorId::Zfp),
-        "qoz" => Ok(CompressorId::Qoz),
-        "szx" => Ok(CompressorId::Szx),
+/// Resolves `--chain` (stage grammar) or `--codec` (preset name) to a
+/// chain spec; `--chain` wins when both are given.
+fn parse_chain(args: &[String]) -> Result<ChainSpec, String> {
+    if let Some(spec) = flag(args, "--chain") {
+        return ChainSpec::parse(spec);
+    }
+    let codec = flag(args, "--codec").ok_or("missing --codec or --chain")?;
+    match codec.to_ascii_lowercase().as_str() {
+        s @ ("sz2" | "sz3" | "zfp" | "qoz" | "szx") => ChainSpec::parse(s),
         other => Err(format!("unknown codec '{other}'")),
     }
 }
@@ -87,7 +94,7 @@ fn parse_dims(s: &str) -> Result<Shape, String> {
 }
 
 fn cmd_compress(args: &[String]) -> CliResult {
-    let codec_id = parse_codec(flag(args, "--codec").ok_or("missing --codec")?)?;
+    let spec = parse_chain(args)?;
     let eps: f64 = flag(args, "--eps")
         .ok_or("missing --eps")?
         .parse()
@@ -100,7 +107,7 @@ fn cmd_compress(args: &[String]) -> CliResult {
     };
 
     let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let codec = codec_id.instance();
+    let codec = spec.build_boxed().map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let stream = match dtype {
         "f32" => {
@@ -122,9 +129,10 @@ fn cmd_compress(args: &[String]) -> CliResult {
     let dt = t0.elapsed().as_secs_f64();
     std::fs::write(output, &stream).map_err(|e| format!("{output}: {e}"))?;
     println!(
-        "{input} ({} B) -> {output} ({} B): CR {:.2}x, {:.1} MB/s, eps {eps:e}",
+        "{input} ({} B) -> {output} ({} B): chain {}, CR {:.2}x, {:.1} MB/s, eps {eps:e}",
         bytes.len(),
         stream.len(),
+        spec.label(),
         bytes.len() as f64 / stream.len() as f64,
         bytes.len() as f64 / 1e6 / dt
     );
@@ -155,19 +163,59 @@ fn cmd_decompress(args: &[String]) -> CliResult {
 fn cmd_inspect(args: &[String]) -> CliResult {
     let pos = positional(args);
     let [input] = pos.as_slice() else {
-        return Err("expected <in.eblc>".into());
+        return Err("expected <in.eblc|in.ebcs>".into());
     };
     let stream = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    match stream.get(..4) {
+        Some(m) if m == eblcio::store::manifest::MAGIC => inspect_store(input, &stream),
+        _ => inspect_stream(input, &stream),
+    }
+}
+
+fn inspect_stream(input: &str, stream: &[u8]) -> CliResult {
     let (h, payload) =
-        eblcio::codec::header::read_stream(&stream).map_err(|e| e.to_string())?;
+        eblcio::codec::header::read_stream(stream).map_err(|e| e.to_string())?;
     println!("file:      {input}");
-    println!("codec:     {}", h.codec.name());
+    println!("container: EBLC v{}", stream[4]);
+    println!("chain:     {}", h.chain.label());
     println!("dtype:     {}", if h.dtype == 0 { "f32" } else { "f64" });
     println!("shape:     {}", h.shape);
     println!("abs bound: {:e}", h.abs_bound);
     println!("payload:   {} B (stream {} B)", payload.len(), stream.len());
     let raw = h.shape.len() * if h.dtype == 0 { 4 } else { 8 };
     println!("ratio:     {:.2}x vs raw", raw as f64 / stream.len() as f64);
+    Ok(())
+}
+
+fn inspect_store(input: &str, stream: &[u8]) -> CliResult {
+    let store = ChunkedStore::open(stream).map_err(|e| e.to_string())?;
+    println!("file:       {input}");
+    println!("container:  EBCS v{} (chunked store)", stream[4]);
+    println!("dtype:      {}", if store.dtype() == 0 { "f32" } else { "f64" });
+    println!("shape:      {}", store.shape());
+    println!(
+        "grid:       {} chunks of {} (counts {:?})",
+        store.n_chunks(),
+        store.chunk_shape(),
+        store.grid().counts()
+    );
+    println!("abs bound:  {:e}", store.abs_bound());
+    let chain_list: Vec<String> = store.chains().iter().map(|c| c.label()).collect();
+    println!("chains:     {}", chain_list.join(", "));
+    println!("manifest:   {} B", store.manifest_len());
+    let raw = store.shape().len() * if store.dtype() == 0 { 4 } else { 8 };
+    println!("ratio:      {:.2}x vs raw", raw as f64 / stream.len() as f64);
+    println!("\n{:>6} {:<18} {:>10}  chain", "chunk", "origin", "bytes");
+    for i in 0..store.n_chunks() {
+        let region = store.grid().chunk_region(i);
+        println!(
+            "{:>6} {:<18} {:>10}  {}",
+            i,
+            format!("{:?}", region.origin()),
+            store.chunk_payload(i).len(),
+            store.chunk_chain(i).label()
+        );
+    }
     Ok(())
 }
 

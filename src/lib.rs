@@ -8,7 +8,9 @@
 //! empirical study rests on:
 //!
 //! * [`codec`] — the five error-bounded lossy compressors (SZ2, SZ3,
-//!   ZFP, QoZ, SZx) plus the Figure 1 lossless baselines,
+//!   ZFP, QoZ, SZx) as composable codec chains (array stage + byte
+//!   stages, serializable [`ChainSpec`](codec::ChainSpec)s, a registry)
+//!   plus the Figure 1 lossless baselines,
 //! * [`data`] — SDRBench-analog data sets and quality metrics,
 //! * [`energy`] — RAPL-style energy measurement and CPU power models,
 //! * [`pfs`] — a Lustre-like parallel file system simulator with
@@ -17,7 +19,8 @@
 //! * [`core`] — the §III benefit framework (Eqs. 3–5), campaign runner,
 //!   and the "to compress or not" advisor,
 //! * [`store`] — the chunked compressed array container (zarr-style
-//!   chunk grid + manifest) with partial region reads.
+//!   chunk grid + manifest) with partial region reads and per-chunk
+//!   codec chains (mixed and adaptive stores).
 //!
 //! ## Quickstart
 //!
@@ -27,7 +30,8 @@
 //! // A small NYX-like cosmology field.
 //! let data = DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate();
 //!
-//! // Compress with SZ3 at a 1e-3 value-range relative bound.
+//! // Compress with SZ3 at a 1e-3 value-range relative bound. The five
+//! // paper codecs are preset codec chains behind the Compressor trait.
 //! let codec = CompressorId::Sz3.instance();
 //! let stream = compress_dataset(codec.as_ref(), &data, ErrorBound::Relative(1e-3)).unwrap();
 //!
@@ -35,6 +39,14 @@
 //! let back = codec.decompress_f32(&stream).unwrap();
 //! assert!(max_rel_error(data.as_f32(), &back) <= 1e-3);
 //! assert!(data.nbytes() / stream.len() > 10);
+//!
+//! // Chains compose: swap SZ3's LZ backend for a Blosc-style
+//! // shuffle+LZ pipeline with the `array[+byte…]` grammar. Streams are
+//! // self-describing, so the generic decoder routes by header alone.
+//! let chain = ChainSpec::parse("sz3+shuffle4+lz").unwrap().build().unwrap();
+//! let stream = compress_dataset(&chain, &data, ErrorBound::Relative(1e-3)).unwrap();
+//! let back = decompress_any(&stream).unwrap();
+//! assert!(max_rel_error(data.as_f32(), back.as_f32()) <= 1e-3);
 //! ```
 
 pub use eblcio_cluster as cluster;
@@ -49,7 +61,8 @@ pub use eblcio_store as store;
 pub mod prelude {
     pub use eblcio_codec::{
         compress, compress_dataset, compress_parallel, compress_view, decompress, decompress_any,
-        decompress_parallel, parallel_stream_info, Compressor, CompressorId, ErrorBound,
+        decompress_parallel, parallel_stream_info, ByteStageSpec, ChainSpec, CodecChain,
+        CodecRegistry, Compressor, CompressorId, ErrorBound,
     };
     pub use eblcio_data::{
         compression_ratio, max_rel_error, psnr, ArrayView, Dataset, DatasetKind, DatasetSpec,

@@ -122,6 +122,96 @@ fn bad_usage_reports_errors() {
 }
 
 #[test]
+fn compress_with_chain_spec_roundtrips() {
+    let input = tmp("chain_in.raw");
+    let compressed = tmp("chain_out.eblc");
+    let output = tmp("chain_out.raw");
+    let raw = write_ramp_f32(&input, 4096);
+
+    let st = Command::new(bin())
+        .args([
+            "compress",
+            "--chain",
+            "sz3+shuffle4+lz",
+            "--eps",
+            "1e-3",
+            "--dims",
+            "64x64",
+        ])
+        .arg(&input)
+        .arg(&compressed)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    assert!(
+        String::from_utf8_lossy(&st.stdout).contains("sz3+shuffle4+lz"),
+        "stdout should echo the chain"
+    );
+
+    // inspect prints the chain grammar for non-preset chains.
+    let st = Command::new(bin()).arg("inspect").arg(&compressed).output().unwrap();
+    assert!(st.status.success());
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("sz3+shuffle4+lz") && stdout.contains("EBLC v2"), "{stdout}");
+
+    // decompress routes through the registry without being told the chain.
+    let st = Command::new(bin())
+        .arg("decompress")
+        .arg(&compressed)
+        .arg(&output)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    assert_eq!(std::fs::read(&output).unwrap().len(), raw.len());
+
+    // Unknown chains are rejected with a parse error.
+    let st = Command::new(bin())
+        .args([
+            "compress", "--chain", "sz3+zstd", "--eps", "1e-3", "--dims", "64x64",
+        ])
+        .arg(&input)
+        .arg(tmp("never3.eblc"))
+        .output()
+        .unwrap();
+    assert!(!st.status.success());
+    assert!(String::from_utf8_lossy(&st.stderr).contains("unknown byte stage"));
+}
+
+#[test]
+fn inspect_understands_store_files() {
+    use eblcio::prelude::*;
+
+    // Write a mixed-codec store with the library, inspect it with the CLI.
+    let data = NdArray::<f32>::from_fn(Shape::d2(32, 32), |i| {
+        (i[0] as f32 * 0.3).sin() * 20.0 + i[1] as f32
+    });
+    let chains = vec![
+        ChainSpec::parse("sz3").unwrap(),
+        ChainSpec::parse("szx").unwrap(),
+    ];
+    let stream = eblcio::store::ChunkedStore::write_mixed(
+        &chains,
+        &[0, 1, 0, 1],
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(16, 16),
+        1,
+    )
+    .unwrap();
+    let path = tmp("mixed.ebcs");
+    std::fs::write(&path, &stream).unwrap();
+
+    let st = Command::new(bin()).arg("inspect").arg(&path).output().unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("EBCS"), "{stdout}");
+    assert!(stdout.contains("4 chunks"), "{stdout}");
+    assert!(stdout.contains("SZ3") && stdout.contains("SZx"), "{stdout}");
+    // Per-chunk rows show each chunk's chain.
+    assert!(stdout.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_digit())).count() >= 4, "{stdout}");
+}
+
+#[test]
 fn demo_runs_for_all_datasets() {
     for ds in ["cesm", "hacc", "nyx", "s3d"] {
         let st = Command::new(bin()).args(["demo", ds]).output().unwrap();

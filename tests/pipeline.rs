@@ -120,7 +120,10 @@ fn multinode_run_is_deterministic_in_bytes() {
 fn advisor_decision_matches_conditions_everywhere() {
     let data = DatasetSpec::new(DatasetKind::Isabel, Scale::Tiny).generate();
     let advisor = Advisor {
-        codecs: vec![CompressorId::Szx, CompressorId::Zfp],
+        chains: vec![
+            ChainSpec::preset(CompressorId::Szx),
+            ChainSpec::preset(CompressorId::Zfp),
+        ],
         epsilons: vec![1e-2, 1e-4],
         psnr_min_db: 45.0,
         writers: 4,
