@@ -1,0 +1,254 @@
+//! Read-serving throughput study for the `eblcio_serve` subsystem:
+//! what the decoded-chunk cache, single-flight decode, and parallel
+//! region assembly buy on a repeated-region workload.
+//!
+//! Three phases over one sharded NYX-like store:
+//!
+//! * **cold** — a fresh reader sweeps disjoint slabs once each: every
+//!   chunk decodes exactly once, the floor any reader pays,
+//! * **uncached vs warm** — the same repeated overlapping-region
+//!   workload through a reader whose cache cannot hold anything versus
+//!   one with a real budget; the warm/uncached ratio is the headline
+//!   (expected well above 5× — a warm read is a memcpy, an uncached
+//!   one is a decompression),
+//! * **concurrent clients** — 1/2/4/8 client threads replay the
+//!   uncached and warm workloads through one shared reader; served MB/s
+//!   should grow with clients until the decode (uncached) or memory
+//!   (warm) bandwidth of the machine saturates. On a single-core
+//!   container the aggregate necessarily stays flat — flat-not-falling
+//!   is the signal there, since it means the concurrency machinery adds
+//!   no serialization of its own.
+//!
+//! Knobs (environment): `EBLCIO_SCALE` = tiny|small|paper (array size),
+//! `EBLCIO_READ_REPEAT` (passes per region, default 8),
+//! `EBLCIO_CACHE_MB` (warm cache budget, default 256),
+//! `EBLCIO_READ_CODEC` = sz2|sz3|zfp|qoz|szx (default sz3 — the
+//! representative SZ-family decode cost; szx decodes so fast the warm
+//! path is bounded by memcpy instead of the cache).
+
+use eblcio_bench::{scale_from_env, TextTable};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::{Dataset, DatasetKind, DatasetSpec, Shape};
+use eblcio_serve::{ArrayReader, CacheConfig, ReaderConfig};
+use eblcio_store::{ChunkedStore, Region};
+use std::time::Instant;
+
+const EPS: f64 = 1e-3;
+const THREADS: usize = 8;
+const CHUNKS_PER_SHARD: usize = 8;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Overlapping interior boxes stepping along dimension 0 — each region
+/// shares chunks with its neighbours, the shape of an analysis sweep.
+fn workload(shape: Shape) -> Vec<Region> {
+    let d0 = shape.dim(0);
+    let step = (d0 / 8).max(1);
+    let len = (d0 / 3).max(1);
+    let rest: Vec<usize> = (1..shape.rank()).map(|d| shape.dim(d)).collect();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start + len <= d0 {
+        let mut origin = vec![start];
+        origin.extend(std::iter::repeat_n(0, rest.len()));
+        let mut extent = vec![len];
+        extent.extend(rest.iter().copied());
+        out.push(Region::new(&origin, &extent));
+        start += step;
+    }
+    out
+}
+
+/// Replays `repeat` passes of the workload through `reader` across
+/// `clients` threads, returning (seconds, bytes served).
+fn replay(
+    reader: &ArrayReader<'_, f32>,
+    regions: &[Region],
+    repeat: usize,
+    clients: usize,
+) -> (f64, u64) {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || {
+                for pass in 0..repeat {
+                    for i in 0..regions.len() {
+                        // Stagger clients so they collide on hot chunks
+                        // mid-flight rather than in lockstep.
+                        let r = &regions[(i + c + pass) % regions.len()];
+                        reader.read_region(r).expect("serve");
+                    }
+                }
+            });
+        }
+    });
+    let bytes: u64 = regions.iter().map(|r| r.len() as u64 * 4).sum::<u64>()
+        * repeat as u64
+        * clients as u64;
+    (t0.elapsed().as_secs_f64(), bytes)
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let repeat = env_usize("EBLCIO_READ_REPEAT", 8);
+    let cache_mb = env_usize("EBLCIO_CACHE_MB", 256);
+
+    let data = DatasetSpec::new(DatasetKind::Nyx, scale).generate();
+    let arr = match &data {
+        Dataset::F32(a) => a,
+        Dataset::F64(_) => unreachable!("NYX is single precision"),
+    };
+    let shape = arr.shape();
+    let chunk_shape = Shape::new(
+        &shape
+            .dims()
+            .iter()
+            .map(|&d| d.div_ceil(4).max(1))
+            .collect::<Vec<_>>(),
+    );
+    let codec_name = std::env::var("EBLCIO_READ_CODEC").unwrap_or_else(|_| "sz3".into());
+    let codec = CompressorId::ALL
+        .iter()
+        .find(|id| id.name().eq_ignore_ascii_case(&codec_name))
+        .unwrap_or_else(|| panic!("unknown EBLCIO_READ_CODEC '{codec_name}'"))
+        .instance();
+    let stream = ChunkedStore::write_sharded(
+        codec.as_ref(),
+        arr,
+        ErrorBound::Relative(EPS),
+        chunk_shape,
+        CHUNKS_PER_SHARD,
+        THREADS,
+    )
+    .expect("write_sharded");
+    let store = ChunkedStore::open(&stream).expect("open");
+    println!(
+        "store: NYX {shape}, {} chunks in {} shards, {} B compressed, repeat {repeat}\n",
+        store.n_chunks(),
+        store.sharding().map_or(0, |t| t.n_shards()),
+        stream.len(),
+    );
+    let regions = workload(shape);
+
+    let mut table = TextTable::new(&[
+        "phase", "clients", "s", "MB/s", "hits", "decodes", "hit_rate",
+    ]);
+
+    // Cold sweep: disjoint slabs, fresh reader, one pass.
+    let cold_reader = ArrayReader::<f32>::open(
+        &stream,
+        ReaderConfig {
+            cache: CacheConfig::with_capacity_mib(cache_mb),
+            threads: THREADS,
+            ..Default::default()
+        },
+    )
+    .expect("reader");
+    let cold_regions: Vec<Region> = (0..store.n_chunks())
+        .step_by((store.n_chunks() / 8).max(1))
+        .map(|i| store.grid().chunk_region(i))
+        .collect();
+    let t0 = Instant::now();
+    for r in &cold_regions {
+        cold_reader.read_region(r).expect("cold read");
+    }
+    let cold_s = t0.elapsed().as_secs_f64();
+    let cold_bytes: u64 = cold_regions.iter().map(|r| r.len() as u64 * 4).sum();
+    let cs = cold_reader.stats();
+    table.row(vec![
+        "cold".into(),
+        "1".into(),
+        format!("{cold_s:.4}"),
+        format!("{:.1}", cold_bytes as f64 / 1e6 / cold_s),
+        cs.cache_hits.to_string(),
+        cs.decodes.to_string(),
+        format!("{:.2}", cs.hit_rate()),
+    ]);
+
+    // Uncached: a zero-budget cache decodes every chunk of every pass.
+    // Per-request decode parallelism is pinned to 1 so the client count
+    // is the concurrency axis — these rows are the decode-bound scaling
+    // story (fresh reader per row; single-flight still lets colliding
+    // clients share in-flight decodes). The warm speedup below is
+    // measured against the *best* uncached row, so request-level
+    // parallelism isn't being handicapped into the comparison.
+    let mut best_uncached_mbps = 0.0f64;
+    for clients in [1usize, 2, 4, 8] {
+        let uncached = ArrayReader::<f32>::open(
+            &stream,
+            ReaderConfig {
+                cache: CacheConfig { capacity_bytes: 0, ways: 1 },
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .expect("reader");
+        let (s, bytes) = replay(&uncached, &regions, repeat, clients);
+        best_uncached_mbps = best_uncached_mbps.max(bytes as f64 / 1e6 / s);
+        let us = uncached.stats();
+        table.row(vec![
+            "uncached".into(),
+            clients.to_string(),
+            format!("{s:.4}"),
+            format!("{:.1}", bytes as f64 / 1e6 / s),
+            us.cache_hits.to_string(),
+            us.decodes.to_string(),
+            format!("{:.2}", us.hit_rate()),
+        ]);
+    }
+
+    // Warm + concurrency scaling through one shared reader.
+    let warm = ArrayReader::<f32>::open(
+        &stream,
+        ReaderConfig {
+            cache: CacheConfig::with_capacity_mib(cache_mb),
+            threads: THREADS,
+            ..Default::default()
+        },
+    )
+    .expect("reader");
+    // Warming pass, unmeasured.
+    let _ = replay(&warm, &regions, 1, 1);
+    let mut warm_mbps = f64::NAN;
+    for clients in [1usize, 2, 4, 8] {
+        let before = warm.stats();
+        let (s, bytes) = replay(&warm, &regions, repeat, clients);
+        if clients == 1 {
+            warm_mbps = bytes as f64 / 1e6 / s;
+        }
+        let after = warm.stats();
+        table.row(vec![
+            "warm".into(),
+            clients.to_string(),
+            format!("{s:.4}"),
+            format!("{:.1}", bytes as f64 / 1e6 / s),
+            (after.cache_hits - before.cache_hits).to_string(),
+            (after.decodes - before.decodes).to_string(),
+            format!("{:.2}", after.hit_rate()),
+        ]);
+    }
+
+    table.print(&format!(
+        "read_throughput: cold vs uncached vs warm (sharded EBCS, {codec_name})"
+    ));
+    if let Ok(path) = table.write_csv("read_throughput") {
+        println!("\ncsv: {}", path.display());
+    }
+    println!(
+        "\nwarm speedup over best uncached row: {:.1}x (acceptance floor: 5x)",
+        warm_mbps / best_uncached_mbps
+    );
+    let ws = warm.stats();
+    println!(
+        "warm reader totals: {} requests, {:.1}% hit rate, {} decodes, {} evictions",
+        ws.requests,
+        ws.hit_rate() * 100.0,
+        ws.decodes,
+        ws.evictions
+    );
+}

@@ -1,0 +1,252 @@
+//! A sharded, capacity-bounded LRU cache of *decoded* chunks.
+//!
+//! Serving repeated, overlapping region reads from a compressed store
+//! spends nearly all its time decompressing the same chunks again and
+//! again — the compressed bytes are already in memory (or the page
+//! cache), so the decode is the hot path worth caching. This cache
+//! holds decoded chunks behind `Arc`s so concurrent readers share one
+//! copy, bounds its footprint in *bytes* (decoded chunks dwarf their
+//! compressed payloads at high compression ratios), and splits the key
+//! space across independently locked ways so readers hammering
+//! different chunks don't serialize on one lock.
+
+use eblcio_data::{Element, NdArray};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration for a [`DecodedChunkCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total decoded-byte budget across all ways.
+    pub capacity_bytes: usize,
+    /// Number of independently locked ways the key space is sharded
+    /// over (rounded up to at least 1).
+    pub ways: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 256 << 20,
+            ways: 8,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A cache bounded to `mib` mebibytes with the default way count.
+    pub fn with_capacity_mib(mib: usize) -> Self {
+        Self {
+            capacity_bytes: mib << 20,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing cache behaviour since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a decoded chunk.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Chunks evicted to make room.
+    pub evictions: u64,
+    /// Decoded bytes currently resident.
+    pub resident_bytes: u64,
+    /// Chunks currently resident.
+    pub resident_chunks: u64,
+}
+
+struct Entry<T: Element> {
+    chunk: Arc<NdArray<T>>,
+    /// Last-touch tick; the smallest tick in a way is its LRU victim.
+    tick: u64,
+}
+
+struct Way<T: Element> {
+    map: HashMap<usize, Entry<T>>,
+    bytes: usize,
+}
+
+/// The cache proper. Keys are chunk indices in raster order of the
+/// store's grid.
+pub struct DecodedChunkCache<T: Element> {
+    ways: Vec<Mutex<Way<T>>>,
+    capacity_per_way: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<T: Element> DecodedChunkCache<T> {
+    /// Creates an empty cache with the given bounds.
+    pub fn new(config: CacheConfig) -> Self {
+        let ways = config.ways.max(1);
+        Self {
+            ways: (0..ways)
+                .map(|_| {
+                    Mutex::new(Way {
+                        map: HashMap::new(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_way: config.capacity_bytes / ways,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn way(&self, key: usize) -> &Mutex<Way<T>> {
+        &self.ways[key % self.ways.len()]
+    }
+
+    /// Looks `key` up without touching the hit/miss counters or the
+    /// LRU position — for speculative probes (prefetch filtering, the
+    /// single-flight re-check) that shouldn't skew serving statistics.
+    pub fn peek(&self, key: usize) -> Option<Arc<NdArray<T>>> {
+        self.way(key).lock().map.get(&key).map(|e| e.chunk.clone())
+    }
+
+    /// Looks `key` up, refreshing its LRU position on a hit.
+    pub fn get(&self, key: usize) -> Option<Arc<NdArray<T>>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut way = self.way(key).lock();
+        match way.map.get_mut(&key) {
+            Some(e) => {
+                e.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.chunk.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a decoded chunk, evicting least-recently-used entries of
+    /// the same way until it fits. A chunk larger than a whole way's
+    /// budget is not cached at all — the bound is a bound.
+    pub fn insert(&self, key: usize, chunk: Arc<NdArray<T>>) {
+        let bytes = chunk.nbytes();
+        if bytes > self.capacity_per_way {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut way = self.way(key).lock();
+        if let Some(old) = way.map.remove(&key) {
+            way.bytes -= old.chunk.nbytes();
+        }
+        while way.bytes + bytes > self.capacity_per_way {
+            // O(way population) victim scan; ways are small and the
+            // scan only runs when the cache is full.
+            let victim = way
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(&k, _)| k)
+                .expect("non-empty way while over budget");
+            let evicted = way.map.remove(&victim).expect("victim present");
+            way.bytes -= evicted.chunk.nbytes();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        way.bytes += bytes;
+        way.map.insert(key, Entry { chunk, tick });
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut resident_bytes = 0u64;
+        let mut resident_chunks = 0u64;
+        for way in &self.ways {
+            let g = way.lock();
+            resident_bytes += g.bytes as u64;
+            resident_chunks += g.map.len() as u64;
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes,
+            resident_chunks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblcio_data::Shape;
+
+    fn chunk(fill: f32, n: usize) -> Arc<NdArray<f32>> {
+        Arc::new(NdArray::from_fn(Shape::d1(n), |_| fill))
+    }
+
+    #[test]
+    fn hit_miss_and_resident_accounting() {
+        let c = DecodedChunkCache::<f32>::new(CacheConfig {
+            capacity_bytes: 4096,
+            ways: 2,
+        });
+        assert!(c.get(0).is_none());
+        c.insert(0, chunk(1.0, 16));
+        assert_eq!(c.get(0).unwrap().as_slice()[0], 1.0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.resident_bytes, 64);
+        assert_eq!(s.resident_chunks, 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        // One way of 256 bytes = four 16-sample f32 chunks.
+        let c = DecodedChunkCache::<f32>::new(CacheConfig {
+            capacity_bytes: 256,
+            ways: 1,
+        });
+        for k in 0..4 {
+            c.insert(k, chunk(k as f32, 16));
+        }
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(c.get(0).is_some());
+        c.insert(4, chunk(4.0, 16));
+        assert!(c.get(1).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(0).is_some());
+        assert!(c.get(4).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.resident_bytes <= 256);
+    }
+
+    #[test]
+    fn oversized_chunk_is_not_cached() {
+        let c = DecodedChunkCache::<f32>::new(CacheConfig {
+            capacity_bytes: 64,
+            ways: 1,
+        });
+        c.insert(0, chunk(0.0, 1024));
+        assert!(c.get(0).is_none());
+        assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let c = DecodedChunkCache::<f32>::new(CacheConfig {
+            capacity_bytes: 1024,
+            ways: 1,
+        });
+        c.insert(0, chunk(1.0, 16));
+        c.insert(0, chunk(2.0, 32));
+        let s = c.stats();
+        assert_eq!(s.resident_chunks, 1);
+        assert_eq!(s.resident_bytes, 128);
+        assert_eq!(c.get(0).unwrap().len(), 32);
+    }
+}

@@ -1,0 +1,66 @@
+//! # eblcio-serve
+//!
+//! The concurrent read-serving subsystem: everything between a stored
+//! `EBCS` stream and many clients hammering it with repeated,
+//! overlapping region reads.
+//!
+//! The write side of this workspace answers the paper's question — what
+//! compressing costs at HPC scale. This crate is the read side the
+//! ROADMAP's north star demands: once a field is chunked (and, at large
+//! chunk counts, sharded — see [`eblcio_store::shard`]), serving it "as
+//! fast as the hardware allows" is a caching and concurrency problem,
+//! not a codec problem:
+//!
+//! * [`ArrayReader`] — one shared handle per store; any number of
+//!   threads call [`ArrayReader::read_region`] /
+//!   [`ArrayReader::read_chunk`] on it concurrently,
+//! * [`DecodedChunkCache`] — sharded, byte-bounded LRU over *decoded*
+//!   chunks, so hot chunks pay decompression once, not per request,
+//! * **single-flight decode** — concurrent misses on one chunk decode
+//!   it exactly once; every waiter shares the same `Arc`'d result,
+//! * **parallel region assembly** — each request fans its chunk fetches
+//!   out on the shared rayon pool,
+//! * [`PrefetchPolicy`] — sequential scans warm the chunks just past
+//!   each request,
+//! * [`ReaderStats`] — hits, misses, decode counts/bytes, and wall time
+//!   for capacity planning.
+//!
+//! ```
+//! use eblcio_codec::{CompressorId, ErrorBound};
+//! use eblcio_data::{NdArray, Shape};
+//! use eblcio_serve::{ArrayReader, PrefetchPolicy, ReaderConfig};
+//! use eblcio_store::{ChunkedStore, Region};
+//!
+//! let data = NdArray::<f32>::from_fn(Shape::d2(64, 64), |i| {
+//!     (i[0] as f32 * 0.07).sin() * (i[1] as f32 * 0.05).cos()
+//! });
+//! let codec = CompressorId::Szx.instance();
+//! let stream = ChunkedStore::write_sharded(
+//!     codec.as_ref(), &data, ErrorBound::Relative(1e-3), Shape::d2(16, 16), 4, 2,
+//! ).unwrap();
+//!
+//! let reader = ArrayReader::<f32>::open(
+//!     &stream,
+//!     ReaderConfig { prefetch: PrefetchPolicy::Sequential { depth: 2 }, ..Default::default() },
+//! ).unwrap();
+//!
+//! // Clients share the reader; overlapping reads share decoded chunks.
+//! std::thread::scope(|s| {
+//!     for t in 0..4 {
+//!         let reader = &reader;
+//!         s.spawn(move || {
+//!             let region = Region::new(&[t * 8, 0], &[16, 64]);
+//!             reader.read_region(&region).unwrap();
+//!         });
+//!     }
+//! });
+//! let stats = reader.stats();
+//! // Single-flight + caching: nobody decoded the same chunk twice.
+//! assert!(stats.decodes <= reader.store().n_chunks() as u64);
+//! ```
+
+pub mod cache;
+pub mod reader;
+
+pub use cache::{CacheConfig, CacheStats, DecodedChunkCache};
+pub use reader::{ArrayReader, PrefetchPolicy, ReaderConfig, ReaderStats, RequestStats};

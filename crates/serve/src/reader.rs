@@ -1,0 +1,429 @@
+//! [`ArrayReader`]: a shared, concurrent handle serving region and
+//! chunk reads from one chunked store.
+//!
+//! The reader is the piece that turns a passive container into a
+//! service. Many client threads hold `&ArrayReader` and issue
+//! overlapping [`ArrayReader::read_region`] calls; each call decodes
+//! only the chunks its region intersects, in parallel on the shared
+//! rayon pool, through three layers:
+//!
+//! 1. the **decoded-chunk cache** ([`crate::cache`]) — repeated and
+//!    overlapping reads of hot chunks skip decompression entirely,
+//! 2. **single-flight decode** — when several requests miss on the same
+//!    chunk at once, exactly one thread decodes it while the rest wait
+//!    for that result (decode work is deduplicated, not just the cached
+//!    bytes),
+//! 3. a **sequential prefetcher** — scan-shaped workloads warm the
+//!    chunks just past each request inside the same parallel batch.
+
+use crate::cache::{CacheConfig, CacheStats, DecodedChunkCache};
+use eblcio_codec::header::Header;
+use eblcio_codec::parallel::pool_for;
+use eblcio_codec::{CodecError, Compressor, Result};
+use eblcio_data::{Element, NdArray};
+use eblcio_store::{scatter_chunk, ChunkedStore, Region};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What the reader does with chunks just past the ones a request needs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrefetchPolicy {
+    /// Decode exactly what each request touches.
+    #[default]
+    None,
+    /// Also decode up to `depth` raster-order chunks after the last
+    /// chunk each request touches — the right shape for sequential
+    /// scans, where request *n + 1* starts where *n* ended.
+    Sequential {
+        /// Chunks to warm past each request.
+        depth: usize,
+    },
+}
+
+/// Construction-time knobs for an [`ArrayReader`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReaderConfig {
+    /// Decoded-chunk cache bounds.
+    pub cache: CacheConfig,
+    /// Worker threads for parallel decode (0 = machine parallelism).
+    pub threads: usize,
+    /// Prefetch behaviour.
+    pub prefetch: PrefetchPolicy,
+}
+
+/// Cumulative counters for one reader (all clients combined).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReaderStats {
+    /// `read_region`/`read_chunk` calls served.
+    pub requests: u64,
+    /// Chunk lookups those requests performed (excluding prefetch).
+    pub chunks_requested: u64,
+    /// Lookups satisfied by the decoded-chunk cache.
+    pub cache_hits: u64,
+    /// Lookups that missed the cache.
+    pub cache_misses: u64,
+    /// Chunks actually decompressed. With single-flight this can be
+    /// well below `cache_misses` under concurrency: followers of an
+    /// in-flight decode count a miss but never decode.
+    pub decodes: u64,
+    /// Raw bytes produced by those decodes.
+    pub decoded_bytes: u64,
+    /// Chunk warm-ups issued by the prefetcher (a warm-up that finds
+    /// the chunk already cached is still counted).
+    pub prefetched: u64,
+    /// Cache evictions.
+    pub evictions: u64,
+    /// Wall-clock seconds spent inside request calls (summed across
+    /// concurrent clients, so this can exceed elapsed time).
+    pub wall_seconds: f64,
+}
+
+impl ReaderStats {
+    /// Fraction of chunk lookups served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Work accounting for a single region request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Chunks the region intersected.
+    pub chunks_touched: usize,
+    /// How many of those were already decoded when the request's cache
+    /// probe ran.
+    pub chunks_from_cache: usize,
+    /// Chunks the prefetcher warmed alongside this request.
+    pub chunks_prefetched: usize,
+}
+
+/// One in-flight decode: the leader publishes its result here and every
+/// follower blocks on the condvar until it lands.
+struct Flight<T: Element> {
+    result: Mutex<Option<Result<Arc<NdArray<T>>>>>,
+    done: Condvar,
+}
+
+/// A fetched chunk tagged with its output slot (`None` = speculative
+/// prefetch with no slot to fill).
+type TaggedFetch<T> = (Option<usize>, Result<Arc<NdArray<T>>>);
+
+/// A concurrent read-serving handle over a [`ChunkedStore`].
+///
+/// The reader borrows the store stream (`'a`), so the typical setup
+/// maps or reads the file once and shares one reader across every
+/// client thread:
+///
+/// ```
+/// use eblcio_codec::{CompressorId, ErrorBound};
+/// use eblcio_data::{NdArray, Shape};
+/// use eblcio_serve::{ArrayReader, ReaderConfig};
+/// use eblcio_store::{ChunkedStore, Region};
+///
+/// let data = NdArray::<f32>::from_fn(Shape::d2(64, 64), |i| {
+///     (i[0] as f32 * 0.1).sin() + (i[1] as f32 * 0.1).cos()
+/// });
+/// let codec = CompressorId::Sz3.instance();
+/// let stream = ChunkedStore::write_sharded(
+///     codec.as_ref(), &data, ErrorBound::Relative(1e-3), Shape::d2(16, 16), 4, 2,
+/// ).unwrap();
+///
+/// let reader = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+/// let region = Region::new(&[8, 8], &[16, 16]);
+/// let first = reader.read_region(&region).unwrap();
+/// let again = reader.read_region(&region).unwrap();
+/// assert_eq!(first.as_slice(), again.as_slice());
+/// // The second pass came out of the decoded-chunk cache.
+/// assert!(reader.stats().cache_hits >= 4);
+/// ```
+pub struct ArrayReader<'a, T: Element> {
+    store: ChunkedStore<'a>,
+    /// One decoder per chain-table entry, shared by every request.
+    decoders: Vec<Box<dyn Compressor>>,
+    cache: DecodedChunkCache<T>,
+    inflight: Mutex<HashMap<usize, Arc<Flight<T>>>>,
+    pool: Arc<rayon::ThreadPool>,
+    prefetch: PrefetchPolicy,
+    requests: AtomicU64,
+    chunks_requested: AtomicU64,
+    decodes: AtomicU64,
+    decoded_bytes: AtomicU64,
+    prefetched: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl<'a, T: Element> ArrayReader<'a, T> {
+    /// Opens a store stream and builds a reader over it. Fails up front
+    /// on a corrupt manifest, a dtype mismatch, or an unbuildable
+    /// chain, so serving never discovers those mid-request.
+    pub fn open(stream: &'a [u8], config: ReaderConfig) -> Result<Self> {
+        Self::over(ChunkedStore::open(stream)?, config)
+    }
+
+    /// Builds a reader over an already opened store.
+    pub fn over(store: ChunkedStore<'a>, config: ReaderConfig) -> Result<Self> {
+        if store.dtype() != Header::dtype_of::<T>() {
+            return Err(CodecError::DtypeMismatch {
+                expected: if store.dtype() == 0 { "f32" } else { "f64" },
+                got: T::NAME,
+            });
+        }
+        let decoders = store.decoders()?;
+        let threads = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        };
+        Ok(Self {
+            decoders,
+            cache: DecodedChunkCache::new(config.cache),
+            inflight: Mutex::new(HashMap::new()),
+            pool: pool_for(threads)?,
+            prefetch: config.prefetch,
+            requests: AtomicU64::new(0),
+            chunks_requested: AtomicU64::new(0),
+            decodes: AtomicU64::new(0),
+            decoded_bytes: AtomicU64::new(0),
+            prefetched: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+            store,
+        })
+    }
+
+    /// The store this reader serves.
+    pub fn store(&self) -> &ChunkedStore<'a> {
+        &self.store
+    }
+
+    /// Cumulative reader counters (cache counters folded in).
+    pub fn stats(&self) -> ReaderStats {
+        let c: CacheStats = self.cache.stats();
+        ReaderStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            chunks_requested: self.chunks_requested.load(Ordering::Relaxed),
+            cache_hits: c.hits,
+            cache_misses: c.misses,
+            decodes: self.decodes.load(Ordering::Relaxed),
+            decoded_bytes: self.decoded_bytes.load(Ordering::Relaxed),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
+            evictions: c.evictions,
+            wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// Current cache occupancy/counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Decodes chunk `i` through the cache with single-flight
+    /// de-duplication. The returned chunk is shared — clones of one
+    /// `Arc` — across every concurrent caller.
+    fn fetch_chunk(&self, i: usize) -> Result<Arc<NdArray<T>>> {
+        if let Some(hit) = self.cache.get(i) {
+            return Ok(hit);
+        }
+        self.fetch_chunk_after_miss(i)
+    }
+
+    /// The miss path: single-flight decode for a chunk the caller has
+    /// already (and recently) failed to find in the cache. Split out so
+    /// the region engine can probe the whole request cheaply first and
+    /// spin up the parallel pool only when something actually needs
+    /// decoding.
+    fn fetch_chunk_after_miss(&self, i: usize) -> Result<Arc<NdArray<T>>> {
+        let (flight, leader) = {
+            let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match map.get(&i) {
+                Some(f) => (f.clone(), false),
+                None => {
+                    // Re-check under the map lock: a leader that just
+                    // finished removed its flight *after* populating
+                    // the cache, so a miss followed by an empty map can
+                    // still mean "already decoded".
+                    if let Some(hit) = self.cache.peek(i) {
+                        return Ok(hit);
+                    }
+                    let f = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    map.insert(i, f.clone());
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let res = self.decode_now(i);
+            if let Ok(chunk) = &res {
+                self.cache.insert(i, chunk.clone());
+            }
+            *flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(res.clone());
+            flight.done.notify_all();
+            self.inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&i);
+            res
+        } else {
+            let mut slot = flight.result.lock().unwrap_or_else(|e| e.into_inner());
+            while slot.is_none() {
+                slot = flight
+                    .done
+                    .wait(slot)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            slot.as_ref().expect("flight result published").clone()
+        }
+    }
+
+    /// The actual decompression, charged to this reader's counters.
+    fn decode_now(&self, i: usize) -> Result<Arc<NdArray<T>>> {
+        let codec = self.decoders[self.store.chunk_chain_index(i)].as_ref();
+        let arr = self.store.decode_chunk::<T>(codec, i)?;
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+        self.decoded_bytes
+            .fetch_add(arr.nbytes() as u64, Ordering::Relaxed);
+        Ok(Arc::new(arr))
+    }
+
+    /// Raster-order chunk ids the prefetch policy adds after `last`.
+    fn prefetch_ids(&self, last: usize) -> Vec<usize> {
+        match self.prefetch {
+            PrefetchPolicy::None => Vec::new(),
+            PrefetchPolicy::Sequential { depth } => ((last + 1)
+                ..(last + 1 + depth).min(self.store.n_chunks()))
+                .collect(),
+        }
+    }
+
+    /// Serves chunk `i` through the cache. Out-of-range indices are a
+    /// typed error.
+    pub fn read_chunk(&self, i: usize) -> Result<Arc<NdArray<T>>> {
+        let t0 = Instant::now();
+        if i >= self.store.n_chunks() {
+            return Err(CodecError::Corrupt { context: "store chunk reference" });
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.chunks_requested.fetch_add(1, Ordering::Relaxed);
+        let res = self.fetch_chunk(i);
+        self.wall_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        res
+    }
+
+    /// Serves an axis-aligned region read.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside the array shape.
+    pub fn read_region(&self, region: &Region) -> Result<NdArray<T>> {
+        self.read_region_with_stats(region).map(|(a, _)| a)
+    }
+
+    /// Serves a region read and reports how much work it took.
+    ///
+    /// Intersecting chunks (plus any prefetch extension) are fetched in
+    /// parallel on the shared pool; each fetch resolves through the
+    /// cache and single-flight layers, so concurrent overlapping
+    /// requests cooperate instead of duplicating decode work.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside the array shape.
+    pub fn read_region_with_stats(&self, region: &Region) -> Result<(NdArray<T>, RequestStats)> {
+        let t0 = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let wanted = self.store.grid().chunks_intersecting(region);
+        self.chunks_requested
+            .fetch_add(wanted.len() as u64, Ordering::Relaxed);
+        // `chunks_intersecting` returns ascending raster order, so the
+        // last entry is the scan frontier the prefetcher extends.
+        let ahead = self.prefetch_ids(*wanted.last().expect("regions are non-empty"));
+        self.prefetched.fetch_add(ahead.len() as u64, Ordering::Relaxed);
+
+        // Probe the cache first: hits are two hash lookups, and a fully
+        // warm request never touches the parallel pool at all. Only the
+        // chunks that actually need decoding fan out.
+        let mut parts: Vec<Option<Arc<NdArray<T>>>> =
+            wanted.iter().map(|&i| self.cache.get(i)).collect();
+        let from_cache = parts.iter().filter(|p| p.is_some()).count();
+        // Each entry pairs a chunk id with the output slot it fills
+        // (`None` for speculative prefetches), so placement below is
+        // O(1) per fetched chunk.
+        let to_fetch: Vec<(usize, Option<usize>)> = wanted
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, &i)| parts[slot].is_none().then_some((i, Some(slot))))
+            .chain(
+                ahead
+                    .iter()
+                    .filter(|&&i| self.cache.peek(i).is_none())
+                    .map(|&i| (i, None)),
+            )
+            .collect();
+        if !to_fetch.is_empty() {
+            let fetched: Vec<TaggedFetch<T>> = self.pool.install(|| {
+                to_fetch
+                    .par_iter()
+                    .map(|&(i, slot)| (slot, self.fetch_chunk_after_miss(i)))
+                    .collect()
+            });
+            // A `None` slot is a speculative prefetch: its failure must
+            // not fail the request that merely happened to trigger it —
+            // a real read of that chunk will surface the error.
+            for (slot, part) in fetched {
+                if let Some(slot) = slot {
+                    parts[slot] = Some(part?);
+                }
+            }
+        }
+
+        let mut out = NdArray::<T>::zeros(region.shape());
+        for (&i, part) in wanted.iter().zip(&parts) {
+            let part = part.as_ref().expect("every wanted chunk resolved");
+            scatter_chunk(part, &self.store.grid().chunk_region(i), region, &mut out);
+        }
+        self.wall_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok((
+            out,
+            RequestStats {
+                chunks_touched: wanted.len(),
+                chunks_from_cache: from_cache,
+                chunks_prefetched: ahead.len(),
+            },
+        ))
+    }
+
+    /// Warms the cache with every chunk `region` intersects without
+    /// assembling anything — an explicit prefetch clients can issue
+    /// ahead of a predictable access pattern. Decode errors are
+    /// deferred to the read that actually needs the chunk.
+    pub fn prefetch_region(&self, region: &Region) {
+        let ids: Vec<usize> = self
+            .store
+            .grid()
+            .chunks_intersecting(region)
+            .into_iter()
+            .inspect(|_| {
+                self.prefetched.fetch_add(1, Ordering::Relaxed);
+            })
+            .filter(|&i| self.cache.peek(i).is_none())
+            .collect();
+        if ids.is_empty() {
+            return;
+        }
+        let _: Vec<bool> = self.pool.install(|| {
+            ids.par_iter()
+                .map(|&i| self.fetch_chunk_after_miss(i).is_ok())
+                .collect()
+        });
+    }
+}

@@ -1,0 +1,220 @@
+//! Integration tests for the serving layer: correctness of cached and
+//! concurrent reads against the uncached store, single-flight decode
+//! accounting, eviction behaviour under a tight budget, and the
+//! prefetcher.
+
+use eblcio_codec::{CodecError, CompressorId, ErrorBound};
+use eblcio_data::{Element, NdArray, Shape};
+use eblcio_serve::{ArrayReader, CacheConfig, PrefetchPolicy, ReaderConfig};
+use eblcio_store::{ChunkedStore, Region};
+
+fn field<T: Element>(shape: Shape) -> NdArray<T> {
+    NdArray::from_fn(shape, |i| {
+        let v = (i[0] as f64 * 0.23).sin() * 40.0
+            + (i.get(1).copied().unwrap_or(0) as f64 * 0.31).cos() * 15.0
+            + i.get(2).copied().unwrap_or(0) as f64 * 0.5;
+        T::from_f64(v)
+    })
+}
+
+fn sharded_stream(shape: Shape, chunk: Shape) -> Vec<u8> {
+    let data = field::<f32>(shape);
+    let codec = CompressorId::Sz3.instance();
+    ChunkedStore::write_sharded(codec.as_ref(), &data, ErrorBound::Relative(1e-3), chunk, 4, 4)
+        .unwrap()
+}
+
+#[test]
+fn reads_match_uncached_store_and_repeats_hit_cache() {
+    let stream = sharded_stream(Shape::d2(48, 40), Shape::d2(16, 16));
+    let store = ChunkedStore::open(&stream).unwrap();
+    let reader = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+
+    let regions = [
+        Region::new(&[0, 0], &[48, 40]),
+        Region::new(&[5, 7], &[20, 21]),
+        Region::new(&[30, 0], &[18, 40]),
+    ];
+    for region in &regions {
+        let served = reader.read_region(region).unwrap();
+        let direct = store.read_region::<f32>(region).unwrap();
+        assert_eq!(served.as_slice(), direct.as_slice());
+    }
+    let decodes_after_first_pass = reader.stats().decodes;
+    // Same regions again: everything is cached, nothing decodes.
+    for region in &regions {
+        let (served, req) = reader.read_region_with_stats(region).unwrap();
+        let direct = store.read_region::<f32>(region).unwrap();
+        assert_eq!(served.as_slice(), direct.as_slice());
+        assert_eq!(req.chunks_from_cache, req.chunks_touched);
+    }
+    assert_eq!(reader.stats().decodes, decodes_after_first_pass);
+}
+
+/// The satellite stress test: many threads issue overlapping region
+/// reads through one reader. Every result must match the uncached
+/// store, and single-flight must keep the total decode count at or
+/// below the chunk count (the cache is big enough that nothing evicts,
+/// so any duplicate decode would be a de-duplication failure).
+#[test]
+fn concurrent_overlapping_readers_share_decodes() {
+    let stream = sharded_stream(Shape::d3(24, 24, 16), Shape::d3(8, 8, 8));
+    let store = ChunkedStore::open(&stream).unwrap();
+    let reader = ArrayReader::<f32>::open(
+        &stream,
+        ReaderConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let n_chunks = store.n_chunks();
+
+    const THREADS: usize = 16;
+    const ROUNDS: usize = 8;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let reader = &reader;
+            let store = &store;
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    // Deterministic but varied overlapping boxes.
+                    let o0 = (t * 3 + r) % 16;
+                    let o1 = (t * 5 + r * 2) % 16;
+                    let o2 = (t + r) % 8;
+                    let region = Region::new(
+                        &[o0, o1, o2],
+                        &[(24 - o0).min(9), (24 - o1).min(11), (16 - o2).min(6)],
+                    );
+                    let served = reader.read_region(&region).unwrap();
+                    let direct = store.read_region::<f32>(&region).unwrap();
+                    assert_eq!(served.as_slice(), direct.as_slice());
+                }
+            });
+        }
+    });
+
+    let stats = reader.stats();
+    assert!(
+        stats.decodes <= n_chunks as u64,
+        "single-flight failed: {} decodes for {} chunks",
+        stats.decodes,
+        n_chunks
+    );
+    assert_eq!(
+        stats.requests as usize,
+        THREADS * ROUNDS,
+        "every request accounted"
+    );
+    assert!(stats.cache_hits > 0, "overlap must produce hits");
+}
+
+#[test]
+fn tight_cache_still_serves_correct_bytes() {
+    let shape = Shape::d2(64, 64);
+    let stream = sharded_stream(shape, Shape::d2(16, 16));
+    let store = ChunkedStore::open(&stream).unwrap();
+    // Budget: two 16×16 f32 chunks (2 KiB), one way — constant churn.
+    let reader = ArrayReader::<f32>::open(
+        &stream,
+        ReaderConfig {
+            cache: CacheConfig {
+                capacity_bytes: 2 * 16 * 16 * 4,
+                ways: 1,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    for pass in 0..3 {
+        let region = Region::new(&[0, 0], &[64, 64]);
+        let served = reader.read_region(&region).unwrap();
+        let direct = store.read_region::<f32>(&region).unwrap();
+        assert_eq!(served.as_slice(), direct.as_slice(), "pass {pass}");
+    }
+    let stats = reader.stats();
+    assert!(stats.evictions > 0, "a 2-chunk budget over 16 chunks must evict");
+    assert!(
+        reader.cache_stats().resident_bytes <= 2 * 16 * 16 * 4,
+        "cache exceeded its byte budget"
+    );
+    // Churn forces re-decodes; correctness held anyway (asserted above).
+    assert!(stats.decodes > store.n_chunks() as u64);
+}
+
+#[test]
+fn sequential_prefetch_warms_the_next_chunks() {
+    let stream = sharded_stream(Shape::d1(128), Shape::d1(16));
+    let reader = ArrayReader::<f32>::open(
+        &stream,
+        ReaderConfig {
+            prefetch: PrefetchPolicy::Sequential { depth: 2 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Read chunk 0's range; chunks 1 and 2 get warmed alongside.
+    let (_, req) = reader
+        .read_region_with_stats(&Region::new(&[0], &[16]))
+        .unwrap();
+    assert_eq!(req.chunks_touched, 1);
+    assert_eq!(req.chunks_prefetched, 2);
+    let decodes = reader.stats().decodes;
+    assert_eq!(decodes, 3, "request + two prefetched chunks");
+    // The sequential continuation is already decoded.
+    let (_, req) = reader
+        .read_region_with_stats(&Region::new(&[16], &[16]))
+        .unwrap();
+    assert_eq!(req.chunks_from_cache, 1);
+    assert_eq!(reader.stats().decodes, decodes + 1, "only the new frontier decodes");
+}
+
+#[test]
+fn explicit_prefetch_region_fills_the_cache() {
+    let stream = sharded_stream(Shape::d2(32, 32), Shape::d2(16, 16));
+    let reader = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+    reader.prefetch_region(&Region::new(&[0, 0], &[32, 32]));
+    assert_eq!(reader.cache_stats().resident_chunks, 4);
+    let (_, req) = reader
+        .read_region_with_stats(&Region::new(&[0, 0], &[32, 32]))
+        .unwrap();
+    assert_eq!(req.chunks_from_cache, req.chunks_touched);
+}
+
+#[test]
+fn dtype_mismatch_and_bad_chunk_are_typed_errors() {
+    let stream = sharded_stream(Shape::d2(32, 32), Shape::d2(16, 16));
+    assert!(matches!(
+        ArrayReader::<f64>::open(&stream, ReaderConfig::default()),
+        Err(CodecError::DtypeMismatch { .. })
+    ));
+    let reader = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+    assert!(reader.read_chunk(4).is_err());
+    assert!(reader.read_chunk(0).is_ok());
+}
+
+#[test]
+fn reader_works_on_v2_unsharded_and_mixed_stores() {
+    let data = field::<f32>(Shape::d2(40, 40));
+    let chains = [
+        eblcio_codec::ChainSpec::parse("sz3+lz").unwrap(),
+        eblcio_codec::ChainSpec::parse("szx").unwrap(),
+    ];
+    let picks: Vec<usize> = (0..25).map(|i| i % 2).collect();
+    let stream = ChunkedStore::write_mixed(
+        &chains,
+        &picks,
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(8, 8),
+        2,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    let reader = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+    let region = Region::new(&[4, 4], &[30, 30]);
+    let served = reader.read_region(&region).unwrap();
+    let direct = store.read_region::<f32>(&region).unwrap();
+    assert_eq!(served.as_slice(), direct.as_slice());
+}

@@ -252,8 +252,11 @@ impl ChunkGrid {
 
 /// Copies the axis-aligned box `extent` from `src` (starting at
 /// `src_origin`) into `dst` (starting at `dst_origin`). The innermost
-/// dimension is copied as contiguous runs.
-pub(crate) fn copy_region<T: Element>(
+/// dimension is copied as contiguous runs. Public because every layer
+/// that assembles regions from decoded chunks — the store's read paths
+/// and `eblcio_serve`'s parallel region engine — scatters through this
+/// one routine.
+pub fn copy_region<T: Element>(
     src: &[T],
     src_shape: Shape,
     src_origin: &[usize],
@@ -289,8 +292,40 @@ pub(crate) fn copy_region<T: Element>(
     }
 }
 
+/// Scatters the slice of a decoded chunk that overlaps `region` into
+/// `out` (shaped as `region`): the one definition of the
+/// chunk-to-region offset arithmetic, shared by every region assembler
+/// (the store's read paths and `eblcio_serve`'s region engine). A
+/// chunk that does not intersect the region is a no-op.
+pub fn scatter_chunk<T: Element>(
+    part: &NdArray<T>,
+    chunk_region: &Region,
+    region: &Region,
+    out: &mut NdArray<T>,
+) {
+    let Some(inter) = chunk_region.intersect(region) else {
+        return;
+    };
+    let rank = inter.rank();
+    let mut src_origin = [0usize; MAX_RANK];
+    let mut dst_origin = [0usize; MAX_RANK];
+    for d in 0..rank {
+        src_origin[d] = inter.origin()[d] - chunk_region.origin()[d];
+        dst_origin[d] = inter.origin()[d] - region.origin()[d];
+    }
+    copy_region(
+        part.as_slice(),
+        part.shape(),
+        &src_origin[..rank],
+        out.as_mut_slice(),
+        region.shape(),
+        &dst_origin[..rank],
+        inter.extent(),
+    );
+}
+
 /// Extracts `region` of `src` into a new owned array.
-pub(crate) fn gather<T: Element>(src: &NdArray<T>, region: &Region) -> NdArray<T> {
+pub fn gather<T: Element>(src: &NdArray<T>, region: &Region) -> NdArray<T> {
     let shape = region.shape();
     let mut out = NdArray::zeros(shape);
     copy_region(

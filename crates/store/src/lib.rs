@@ -45,9 +45,11 @@
 pub mod grid;
 pub mod manifest;
 pub mod pfs_io;
+pub mod shard;
 pub mod store;
 
-pub use grid::{ChunkGrid, Region};
-pub use manifest::{ChunkEntry, Manifest};
+pub use grid::{copy_region, gather, scatter_chunk, ChunkGrid, Region};
+pub use manifest::{ChunkEntry, ChunkSlot, Manifest, ShardTable};
 pub use pfs_io::{read_region_io, write_store};
+pub use shard::{build_shard, ShardIndex, SlotEntry};
 pub use store::{ChunkedStore, RegionReadStats};

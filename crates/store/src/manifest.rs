@@ -12,6 +12,30 @@
 //! manifest crc32 u32 | chunk payloads…
 //! ```
 //!
+//! Version 3 is the *sharded* layout: instead of one contiguous payload
+//! region indexed chunk-by-chunk, the payload is a sequence of `EBSH`
+//! shard objects (see [`crate::shard`]), each packing many chunks
+//! behind its own inner offset/length/CRC index. The manifest then maps
+//! every chunk onto a (shard, slot) pair:
+//!
+//! ```text
+//! "EBCS" | version=3 | dtype u8 | rank u8
+//! dims (rank × varint) | chunk dims (rank × varint) | abs_bound f64
+//! n_chains varint | chain specs…
+//! n_shards varint | shard byte lengths (n_shards × varint)
+//! n_chunks varint
+//! index: n_chunks × (chain varint, shard varint, slot varint)
+//! manifest crc32 u32 | shard objects…
+//! ```
+//!
+//! The two-level index is what keeps million-chunk stores servable: the
+//! manifest stays proportional to the *shard* count for placement
+//! purposes while chunk-level addressing moves into the shards
+//! themselves, exactly the trade zarrs' `sharding_indexed` codec makes.
+//! [`Manifest::decode`] resolves the indirection eagerly (shard inner
+//! indices are a few bytes per chunk), so every read path sees plain
+//! offset/length [`ChunkEntry`]s regardless of version.
+//!
 //! Version 1 manifests (a single codec id byte before the dtype, no
 //! chain table or per-chunk chain column) remain readable: the codec
 //! byte maps onto a one-entry chain table of its preset.
@@ -23,6 +47,7 @@
 //! header and payload checksum.
 
 use crate::grid::ChunkGrid;
+use crate::shard::ShardIndex;
 use eblcio_codec::framing;
 use eblcio_codec::util::{put_varint, ByteReader};
 use eblcio_codec::{ChainSpec, CodecError, CompressorId, Result};
@@ -31,10 +56,12 @@ use eblcio_data::Shape;
 
 /// Container magic bytes.
 pub const MAGIC: &[u8; 4] = b"EBCS";
-/// Current container version (carries a chain table).
+/// Current unsharded container version (carries a chain table).
 pub const VERSION: u8 = 2;
 /// Legacy container version (single codec id byte).
 pub const VERSION_V1: u8 = 1;
+/// Sharded container version (chain table + shard table).
+pub const VERSION_V3: u8 = 3;
 
 /// Cap on distinct chains per store (sanity bound for corrupt headers).
 pub const MAX_CHAINS: usize = 64;
@@ -48,6 +75,40 @@ pub struct ChunkEntry {
     pub offset: u64,
     /// Compressed length in bytes.
     pub len: u64,
+}
+
+/// A chunk's position in the two-level sharded index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkSlot {
+    /// Which shard object holds the chunk.
+    pub shard: u32,
+    /// Which slot of that shard's inner index.
+    pub slot: u32,
+}
+
+/// Shard-table half of a v3 manifest: how the payload region is carved
+/// into `EBSH` objects and how chunks map onto their slots.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ShardTable {
+    /// Encoded byte length of each shard object, in payload order.
+    pub shard_lens: Vec<u64>,
+    /// Per-chunk (shard, slot) assignment in raster order.
+    pub chunk_slots: Vec<ChunkSlot>,
+    /// Inner-index bytes at the head of each shard (metadata overhead a
+    /// partial reader pays per touched shard). Resolved at decode, not
+    /// encoded.
+    pub index_lens: Vec<u64>,
+    /// Per-chunk payload CRC32 lifted out of the shards' inner indices
+    /// at decode time, so readers can verify a chunk's bytes without
+    /// re-walking the shard. Resolved at decode, not encoded.
+    pub chunk_crcs: Vec<u32>,
+}
+
+impl ShardTable {
+    /// Number of shard objects.
+    pub fn n_shards(&self) -> usize {
+        self.shard_lens.len()
+    }
 }
 
 /// Parsed store manifest.
@@ -65,8 +126,12 @@ pub struct Manifest {
     /// The codec chains chunks reference by index.
     pub chains: Vec<ChainSpec>,
     /// Per-chunk chain/offset/length index in raster order of the
-    /// chunk grid.
+    /// chunk grid. For sharded (v3) manifests these entries are
+    /// *resolved* through the shards' inner indices at decode time, so
+    /// read paths never care about the indirection.
     pub chunks: Vec<ChunkEntry>,
+    /// The shard table, when this is a v3 sharded store.
+    pub sharding: Option<ShardTable>,
 }
 
 impl Manifest {
@@ -75,9 +140,16 @@ impl Manifest {
         ChunkGrid::new(self.shape, self.chunk_shape)
     }
 
-    /// Total payload bytes across all chunks.
+    /// Total bytes of the payload region after the manifest: the shard
+    /// objects (chunk bytes *plus* their inner indices) when sharded,
+    /// the bare chunk payloads otherwise. In both cases this equals
+    /// `stream.len() - payload_start` for a stream this manifest
+    /// describes.
     pub fn payload_len(&self) -> u64 {
-        self.chunks.iter().map(|c| c.len).sum()
+        match &self.sharding {
+            Some(t) => t.shard_lens.iter().sum(),
+            None => self.chunks.iter().map(|c| c.len).sum(),
+        }
     }
 
     /// The single paper codec behind this store, when every chunk uses
@@ -90,10 +162,16 @@ impl Manifest {
     }
 
     /// Serializes the manifest (everything before the payload bytes).
+    /// Emits the v3 wire layout when a shard table is present, v2
+    /// otherwise.
+    ///
+    /// # Panics
+    /// Panics if a shard table is present but its `chunk_slots` does
+    /// not assign exactly one slot per entry of `chunks`.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(48 + self.chains.len() * 6 + self.chunks.len() * 7);
         out.extend_from_slice(MAGIC);
-        out.push(VERSION);
+        out.push(if self.sharding.is_some() { VERSION_V3 } else { VERSION });
         out.push(self.dtype);
         framing::put_shape(&mut out, self.shape);
         for &d in self.chunk_shape.dims() {
@@ -104,11 +182,35 @@ impl Manifest {
         for c in &self.chains {
             c.encode_into(&mut out);
         }
-        put_varint(&mut out, self.chunks.len() as u64);
-        for c in &self.chunks {
-            put_varint(&mut out, u64::from(c.chain));
-            put_varint(&mut out, c.offset);
-            put_varint(&mut out, c.len);
+        match &self.sharding {
+            Some(table) => {
+                // Zipping below would otherwise silently truncate a
+                // malformed manifest into a corrupt stream; surface the
+                // writer bug at the source.
+                assert_eq!(
+                    table.chunk_slots.len(),
+                    self.chunks.len(),
+                    "sharded manifest must assign exactly one slot per chunk"
+                );
+                put_varint(&mut out, table.shard_lens.len() as u64);
+                for &len in &table.shard_lens {
+                    put_varint(&mut out, len);
+                }
+                put_varint(&mut out, self.chunks.len() as u64);
+                for (c, s) in self.chunks.iter().zip(&table.chunk_slots) {
+                    put_varint(&mut out, u64::from(c.chain));
+                    put_varint(&mut out, u64::from(s.shard));
+                    put_varint(&mut out, u64::from(s.slot));
+                }
+            }
+            None => {
+                put_varint(&mut out, self.chunks.len() as u64);
+                for c in &self.chunks {
+                    put_varint(&mut out, u64::from(c.chain));
+                    put_varint(&mut out, c.offset);
+                    put_varint(&mut out, c.len);
+                }
+            }
         }
         framing::put_crc_trailer(&mut out);
         out
@@ -124,7 +226,7 @@ impl Manifest {
         // the chain table below.
         let v1_codec = match version {
             VERSION_V1 => Some(CompressorId::from_u8(r.u8("store codec")?)?),
-            VERSION => None,
+            VERSION | VERSION_V3 => None,
             other => return Err(CodecError::UnsupportedVersion(other)),
         };
         let dtype = framing::read_dtype(&mut r)?;
@@ -153,6 +255,25 @@ impl Manifest {
                 chains
             }
         };
+        // v3 interposes the shard table between the chain table and the
+        // chunk index.
+        let shard_lens: Option<Vec<u64>> = if version == VERSION_V3 {
+            let n_shards = r.varint("store shard count")? as usize;
+            if n_shards == 0 || n_shards > r.remaining() {
+                return Err(CodecError::Corrupt { context: "store shard count" });
+            }
+            let mut lens = Vec::with_capacity(n_shards);
+            for _ in 0..n_shards {
+                let len = r.varint("store shard length")?;
+                if len == 0 {
+                    return Err(CodecError::Corrupt { context: "store shard length" });
+                }
+                lens.push(len);
+            }
+            Some(lens)
+        } else {
+            None
+        };
         let n_chunks = r.varint("store chunk count")? as usize;
         // Every chunk needs at least two index bytes ahead of us plus
         // one payload byte, so a count beyond the remaining stream
@@ -170,6 +291,7 @@ impl Manifest {
             return Err(CodecError::Corrupt { context: "store chunk count" });
         }
         let mut chunks = Vec::with_capacity(n_chunks);
+        let mut chunk_slots = Vec::new();
         let mut next = 0u64;
         for _ in 0..n_chunks {
             let chain = match v1_codec {
@@ -182,21 +304,51 @@ impl Manifest {
                     c as u32
                 }
             };
-            let offset = r.varint("store chunk offset")?;
-            let len = r.varint("store chunk length")?;
-            if offset != next || len == 0 {
-                return Err(CodecError::Corrupt { context: "store chunk index" });
+            match &shard_lens {
+                Some(lens) => {
+                    let shard = r.varint("store chunk shard")?;
+                    let slot = r.varint("store chunk slot")?;
+                    if shard >= lens.len() as u64 || slot > u64::from(u32::MAX) {
+                        return Err(CodecError::Corrupt { context: "store chunk shard" });
+                    }
+                    chunk_slots.push(ChunkSlot {
+                        shard: shard as u32,
+                        slot: slot as u32,
+                    });
+                    // Offset/length are resolved below, once the shard
+                    // inner indices have been parsed and verified.
+                    chunks.push(ChunkEntry { chain, offset: 0, len: 0 });
+                }
+                None => {
+                    let offset = r.varint("store chunk offset")?;
+                    let len = r.varint("store chunk length")?;
+                    if offset != next || len == 0 {
+                        return Err(CodecError::Corrupt { context: "store chunk index" });
+                    }
+                    next = offset
+                        .checked_add(len)
+                        .ok_or(CodecError::Corrupt { context: "store chunk index" })?;
+                    chunks.push(ChunkEntry { chain, offset, len });
+                }
             }
-            next = offset
-                .checked_add(len)
-                .ok_or(CodecError::Corrupt { context: "store chunk index" })?;
-            chunks.push(ChunkEntry { chain, offset, len });
         }
         framing::check_crc_trailer(&mut r, stream)?;
         let payload_start = r.position();
-        if stream.len() - payload_start != next as usize {
-            return Err(CodecError::TruncatedStream { context: "store payload" });
-        }
+        let payload = &stream[payload_start..];
+        let sharding = match shard_lens {
+            None => {
+                if payload.len() != next as usize {
+                    return Err(CodecError::TruncatedStream { context: "store payload" });
+                }
+                None
+            }
+            Some(lens) => Some(Self::resolve_shards(
+                payload,
+                lens,
+                chunk_slots,
+                &mut chunks,
+            )?),
+        };
         Ok((
             Self {
                 dtype,
@@ -205,9 +357,76 @@ impl Manifest {
                 abs_bound,
                 chains,
                 chunks,
+                sharding,
             },
             payload_start,
         ))
+    }
+
+    /// Walks the shard objects of a v3 payload, parsing every inner
+    /// index, and resolves each chunk's (shard, slot) reference into an
+    /// absolute payload-relative [`ChunkEntry`]. Every slot must be
+    /// referenced by exactly one chunk — a manifest that double-books
+    /// or strands a slot was not produced by any writer.
+    fn resolve_shards(
+        payload: &[u8],
+        shard_lens: Vec<u64>,
+        chunk_slots: Vec<ChunkSlot>,
+        chunks: &mut [ChunkEntry],
+    ) -> Result<ShardTable> {
+        // Checked accumulation: the lengths are untrusted header
+        // fields, and a crafted pair summing past u64 must produce
+        // `Err`, not wrap around into a passing length check.
+        let mut total = 0u64;
+        for &len in &shard_lens {
+            total = total
+                .checked_add(len)
+                .ok_or(CodecError::Corrupt { context: "store shard length" })?;
+        }
+        if payload.len() as u64 != total {
+            return Err(CodecError::TruncatedStream { context: "store payload" });
+        }
+        let mut indices = Vec::with_capacity(shard_lens.len());
+        let mut index_lens = Vec::with_capacity(shard_lens.len());
+        let mut offset = 0usize;
+        let mut total_slots = 0usize;
+        for &len in &shard_lens {
+            let idx = ShardIndex::parse(&payload[offset..offset + len as usize])?;
+            index_lens.push(idx.index_len as u64);
+            total_slots += idx.slots.len();
+            indices.push((offset as u64, idx));
+            offset += len as usize;
+        }
+        if total_slots != chunks.len() {
+            return Err(CodecError::Corrupt { context: "store shard slot count" });
+        }
+        let mut seen: Vec<bool> = vec![false; total_slots];
+        let mut slot_base = vec![0usize; indices.len()];
+        for s in 1..indices.len() {
+            slot_base[s] = slot_base[s - 1] + indices[s - 1].1.slots.len();
+        }
+        let mut chunk_crcs = Vec::with_capacity(chunks.len());
+        for (entry, cs) in chunks.iter_mut().zip(&chunk_slots) {
+            let (shard_off, idx) = &indices[cs.shard as usize];
+            let slot = idx
+                .slots
+                .get(cs.slot as usize)
+                .ok_or(CodecError::Corrupt { context: "store chunk slot" })?;
+            let flat = slot_base[cs.shard as usize] + cs.slot as usize;
+            if seen[flat] {
+                return Err(CodecError::Corrupt { context: "store chunk slot" });
+            }
+            seen[flat] = true;
+            entry.offset = shard_off + idx.index_len as u64 + slot.offset;
+            entry.len = slot.len;
+            chunk_crcs.push(slot.crc);
+        }
+        Ok(ShardTable {
+            shard_lens,
+            chunk_slots,
+            index_lens,
+            chunk_crcs,
+        })
     }
 }
 
@@ -233,7 +452,35 @@ mod tests {
                 ChunkEntry { chain: 0, offset: 26, len: 7 },
                 ChunkEntry { chain: 1, offset: 33, len: 5 },
             ],
+            sharding: None,
         }
+    }
+
+    /// Builds a sharded manifest + stream over the same grid as
+    /// [`sample`]: six distinct chunk payloads packed four-and-two into
+    /// two `EBSH` shards.
+    fn sharded_sample() -> (Manifest, Vec<u8>) {
+        let payloads: Vec<Vec<u8>> = (0..6u8)
+            .map(|i| (0..=i).map(|j| i * 16 + j).collect())
+            .collect();
+        let shard_a = crate::shard::build_shard(&payloads[..4]);
+        let shard_b = crate::shard::build_shard(&payloads[4..]);
+        let mut m = sample();
+        m.sharding = Some(ShardTable {
+            shard_lens: vec![shard_a.len() as u64, shard_b.len() as u64],
+            chunk_slots: (0..6)
+                .map(|i| ChunkSlot {
+                    shard: (i / 4) as u32,
+                    slot: (i % 4) as u32,
+                })
+                .collect(),
+            index_lens: Vec::new(),
+            chunk_crcs: Vec::new(),
+        });
+        let mut stream = m.encode();
+        stream.extend_from_slice(&shard_a);
+        stream.extend_from_slice(&shard_b);
+        (m, stream)
     }
 
     fn stream_of(m: &Manifest) -> Vec<u8> {
@@ -285,7 +532,107 @@ mod tests {
         assert_eq!(back.chains, vec![ChainSpec::preset(CompressorId::Qoz)]);
         assert_eq!(back.codec_id(), Some(CompressorId::Qoz));
         assert_eq!(back.chunks, m.chunks);
+        assert_eq!(back.sharding, None);
         assert_eq!(s.len() - payload_start, m.payload_len() as usize);
+    }
+
+    #[test]
+    fn v3_roundtrip_resolves_slots() {
+        let (m, s) = sharded_sample();
+        let (back, payload_start) = Manifest::decode(&s).unwrap();
+        // The v2 invariant holds for v3 too: payload_len() is the full
+        // payload region, inner shard indices included.
+        assert_eq!(s.len() - payload_start, back.payload_len() as usize);
+        assert_eq!(m.payload_len(), back.payload_len());
+        let table = back.sharding.as_ref().unwrap();
+        let want = m.sharding.as_ref().unwrap();
+        assert_eq!(table.shard_lens, want.shard_lens);
+        assert_eq!(table.chunk_slots, want.chunk_slots);
+        assert_eq!(table.index_lens.len(), 2);
+        assert_eq!(table.chunk_crcs.len(), 6);
+        // Resolved entries point at the exact slot payload bytes.
+        let payload = &s[payload_start..];
+        for (i, e) in back.chunks.iter().enumerate() {
+            let bytes = &payload[e.offset as usize..(e.offset + e.len) as usize];
+            let want: Vec<u8> = (0..=i as u8).map(|j| i as u8 * 16 + j).collect();
+            assert_eq!(bytes, want.as_slice(), "chunk {i}");
+            assert_eq!(e.chain, m.chunks[i].chain);
+        }
+    }
+
+    #[test]
+    fn v3_truncation_rejected_everywhere() {
+        let (_, s) = sharded_sample();
+        for cut in 0..s.len() {
+            assert!(Manifest::decode(&s[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn v3_duplicate_slot_reference_rejected() {
+        let (mut m, _) = sharded_sample();
+        m.sharding.as_mut().unwrap().chunk_slots[1] = ChunkSlot { shard: 0, slot: 0 };
+        let mut s = m.encode();
+        let (orig, orig_stream) = sharded_sample();
+        let payload_start = orig_stream.len() - orig.sharding.unwrap().shard_lens.iter().sum::<u64>() as usize;
+        s.extend_from_slice(&orig_stream[payload_start..]);
+        assert!(matches!(
+            Manifest::decode(&s),
+            Err(CodecError::Corrupt { context: "store chunk slot" })
+        ));
+    }
+
+    #[test]
+    fn v3_out_of_range_slot_rejected() {
+        let (mut m, _) = sharded_sample();
+        m.sharding.as_mut().unwrap().chunk_slots[5] = ChunkSlot { shard: 1, slot: 9 };
+        let mut s = m.encode();
+        let (orig, orig_stream) = sharded_sample();
+        let payload_start = orig_stream.len() - orig.sharding.unwrap().shard_lens.iter().sum::<u64>() as usize;
+        s.extend_from_slice(&orig_stream[payload_start..]);
+        assert!(Manifest::decode(&s).is_err());
+    }
+
+    #[test]
+    fn v3_overflowing_shard_lengths_return_err_not_panic() {
+        // Two shard lengths engineered so their u64 sum wraps to
+        // exactly the payload length: an unchecked sum would pass the
+        // length check and slice with a absurd range. Must be `Err`.
+        let (m, s) = sharded_sample();
+        let payload_len = m.sharding.as_ref().unwrap().shard_lens.iter().sum::<u64>();
+        let payload_start = s.len() - payload_len as usize;
+        let mut bad = m.clone();
+        bad.sharding.as_mut().unwrap().shard_lens =
+            vec![u64::MAX, payload_len.wrapping_sub(u64::MAX)];
+        let mut stream = bad.encode();
+        stream.extend_from_slice(&s[payload_start..]);
+        assert!(matches!(
+            Manifest::decode(&stream),
+            Err(CodecError::Corrupt { context: "store shard length" })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "one slot per chunk")]
+    fn encode_rejects_mismatched_slot_assignment() {
+        let (mut m, _) = sharded_sample();
+        m.sharding.as_mut().unwrap().chunk_slots.pop();
+        let _ = m.encode();
+    }
+
+    #[test]
+    fn v3_shard_len_mismatch_rejected() {
+        let (m, s) = sharded_sample();
+        // Claim one fewer byte for the first shard: its inner index no
+        // longer tiles the claimed object, and everything downstream
+        // shifts.
+        let mut bad = m.clone();
+        bad.sharding.as_mut().unwrap().shard_lens[0] -= 1;
+        let payload_start = s.len()
+            - m.sharding.as_ref().unwrap().shard_lens.iter().sum::<u64>() as usize;
+        let mut stream = bad.encode();
+        stream.extend_from_slice(&s[payload_start..]);
+        assert!(Manifest::decode(&stream).is_err());
     }
 
     #[test]

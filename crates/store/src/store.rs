@@ -3,11 +3,13 @@
 //! per-chunk selection — and read back all of it, one chunk, or any
 //! axis-aligned region.
 
-use crate::grid::{copy_region, gather, ChunkGrid, Region};
-use crate::manifest::{ChunkEntry, Manifest, MAX_CHAINS};
+use crate::grid::{copy_region, gather, scatter_chunk, ChunkGrid, Region};
+use crate::manifest::{ChunkEntry, ChunkSlot, Manifest, ShardTable, MAX_CHAINS};
+use crate::shard::{build_shard, MAX_SLOTS};
 use eblcio_codec::estimate::estimate_cr;
 use eblcio_codec::header::Header;
 use eblcio_codec::parallel::pool_for;
+use eblcio_codec::util::crc32;
 use eblcio_codec::{
     compress, compress_view, decompress, ChainSpec, CodecError, Compressor, CompressorId,
     ErrorBound, Result,
@@ -92,10 +94,55 @@ fn assemble<T: Element>(
         abs_bound: abs,
         chains: used,
         chunks,
+        sharding: None,
     };
     let mut out = manifest.encode();
     out.reserve(offset as usize);
     for s in &streams {
+        out.extend_from_slice(s);
+    }
+    out
+}
+
+/// Assembles a *sharded* (v3) stream: consecutive raster-order chunks
+/// are packed `chunks_per_shard` at a time into `EBSH` objects, and the
+/// manifest maps each chunk to its (shard, slot).
+fn assemble_sharded<T: Element>(
+    chain: ChainSpec,
+    streams: Vec<Vec<u8>>,
+    shape: Shape,
+    chunk_shape: Shape,
+    abs: f64,
+    chunks_per_shard: usize,
+) -> Vec<u8> {
+    let shards: Vec<Vec<u8>> = streams.chunks(chunks_per_shard).map(build_shard).collect();
+    let chunks: Vec<ChunkEntry> = streams
+        .iter()
+        .map(|_| ChunkEntry { chain: 0, offset: 0, len: 0 })
+        .collect();
+    let chunk_slots: Vec<ChunkSlot> = (0..streams.len())
+        .map(|i| ChunkSlot {
+            shard: (i / chunks_per_shard) as u32,
+            slot: (i % chunks_per_shard) as u32,
+        })
+        .collect();
+    let manifest = Manifest {
+        dtype: Header::dtype_of::<T>(),
+        shape,
+        chunk_shape,
+        abs_bound: abs,
+        chains: vec![chain],
+        chunks,
+        sharding: Some(ShardTable {
+            shard_lens: shards.iter().map(|s| s.len() as u64).collect(),
+            chunk_slots,
+            index_lens: Vec::new(),
+            chunk_crcs: Vec::new(),
+        }),
+    };
+    let mut out = manifest.encode();
+    out.reserve(shards.iter().map(Vec::len).sum());
+    for s in &shards {
         out.extend_from_slice(s);
     }
     out
@@ -149,6 +196,61 @@ impl<'a> ChunkedStore<'a> {
             data.shape(),
             grid.chunk_shape(),
             abs,
+        ))
+    }
+
+    /// Compresses `data` into a *sharded* (v3) stream: chunks are
+    /// compressed exactly as [`ChunkedStore::write`] does, then packed
+    /// `chunks_per_shard` at a time (raster order) into `EBSH` shard
+    /// objects, each with an inner offset/length/CRC index.
+    ///
+    /// Sharding is the layout for chunk counts that would otherwise
+    /// drown a parallel file system in objects: placement and manifest
+    /// cost scale with the shard count while partial reads still
+    /// address individual chunks through the inner indices. All read
+    /// paths work identically on sharded and unsharded stores.
+    pub fn write_sharded<T: Element>(
+        codec: &dyn Compressor,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        chunk_shape: Shape,
+        chunks_per_shard: usize,
+        threads: usize,
+    ) -> Result<Vec<u8>> {
+        assert!(threads >= 1, "thread count must be >= 1");
+        if chunks_per_shard == 0 || chunks_per_shard > MAX_SLOTS {
+            return Err(CodecError::InvalidChain {
+                reason: "chunks_per_shard must be between 1 and MAX_SLOTS",
+            });
+        }
+        let grid = ChunkGrid::new(data.shape(), chunk_shape);
+        let abs = bound.to_absolute(data.value_range())?;
+        let bound = ErrorBound::Absolute(abs);
+
+        let ids: Vec<usize> = (0..grid.n_chunks()).collect();
+        let pool = pool_for(threads)?;
+        let streams: Vec<Result<Vec<u8>>> = pool.install(|| {
+            ids.par_iter()
+                .map(|&i| {
+                    let region = grid.chunk_region(i);
+                    if grid.chunk_is_slab(i) {
+                        let view = data.slab(region.origin()[0], region.extent()[0]);
+                        compress_view(codec, view, bound)
+                    } else {
+                        let owned = gather(data, &region);
+                        compress_view(codec, owned.view(), bound)
+                    }
+                })
+                .collect()
+        });
+        let streams: Vec<Vec<u8>> = streams.into_iter().collect::<Result<_>>()?;
+        Ok(assemble_sharded::<T>(
+            codec.spec(),
+            streams,
+            data.shape(),
+            grid.chunk_shape(),
+            abs,
+            chunks_per_shard,
         ))
     }
 
@@ -353,18 +455,54 @@ impl<'a> ChunkedStore<'a> {
         self.manifest.chunks.iter().map(|c| c.len).collect()
     }
 
+    /// The shard table, when this is a sharded (v3) store.
+    pub fn sharding(&self) -> Option<&ShardTable> {
+        self.manifest.sharding.as_ref()
+    }
+
+    /// True when the payload is packed into `EBSH` shard objects.
+    pub fn is_sharded(&self) -> bool {
+        self.manifest.sharding.is_some()
+    }
+
+    /// Byte sizes of the objects a striped writer places across storage
+    /// targets: the shard objects of a sharded store, the bare chunk
+    /// payloads otherwise.
+    pub fn object_lens(&self) -> Vec<u64> {
+        match &self.manifest.sharding {
+            Some(t) => t.shard_lens.clone(),
+            None => self.chunk_lens(),
+        }
+    }
+
     /// Manifest bytes preceding the payload (metadata cost of a write).
     pub fn manifest_len(&self) -> usize {
         self.manifest_len
     }
 
-    /// Borrows the compressed payload of chunk `i`.
-    ///
-    /// # Panics
-    /// Panics if `i >= n_chunks()`.
-    pub fn chunk_payload(&self, i: usize) -> &'a [u8] {
-        let e = self.manifest.chunks[i];
-        &self.payload[e.offset as usize..(e.offset + e.len) as usize]
+    /// Borrows the compressed payload of chunk `i`, validating the
+    /// index range instead of slicing blind — a manifest field beyond
+    /// the mapped bytes surfaces as a typed error, never a panic. For
+    /// sharded stores the slot's recorded payload CRC is verified too,
+    /// catching torn shard bytes before the (far more expensive) chunk
+    /// decode starts.
+    pub fn chunk_payload(&self, i: usize) -> Result<&'a [u8]> {
+        let e = self
+            .manifest
+            .chunks
+            .get(i)
+            .ok_or(CodecError::Corrupt { context: "store chunk reference" })?;
+        let bytes = e
+            .offset
+            .checked_add(e.len)
+            .and_then(|end| self.payload.get(e.offset as usize..end as usize))
+            .ok_or(CodecError::TruncatedStream { context: "store chunk payload" })?;
+        if let Some(t) = &self.manifest.sharding {
+            if crc32(bytes) != t.chunk_crcs[i] {
+                return Err(CodecError::ChecksumMismatch);
+            }
+        }
+        Ok(bytes)
     }
 
     fn check_dtype<T: Element>(&self) -> Result<()> {
@@ -378,20 +516,44 @@ impl<'a> ChunkedStore<'a> {
         }
     }
 
-    /// Builds one decoder per chain-table entry (shared across chunks).
-    fn decoders(&self) -> Result<Vec<Box<dyn Compressor>>> {
+    /// Builds one decoder per chain-table entry (shared across chunks);
+    /// index with [`ChunkedStore::chunk_chain_index`].
+    pub fn decoders(&self) -> Result<Vec<Box<dyn Compressor>>> {
         self.manifest.chains.iter().map(|s| s.build_boxed()).collect()
     }
 
-    /// Decompresses chunk `i` alone.
+    /// Index into the chain table ([`ChunkedStore::chains`] /
+    /// [`ChunkedStore::decoders`]) for chunk `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_chunks()`.
+    pub fn chunk_chain_index(&self, i: usize) -> usize {
+        self.manifest.chunks[i].chain as usize
+    }
+
+    /// Decompresses chunk `i` alone. An out-of-range index is a typed
+    /// error, not a panic — serving layers pass client-supplied chunk
+    /// ids straight through.
     pub fn read_chunk<T: Element>(&self, i: usize) -> Result<NdArray<T>> {
         self.check_dtype::<T>()?;
+        if i >= self.n_chunks() {
+            return Err(CodecError::Corrupt { context: "store chunk reference" });
+        }
         let codec = self.chunk_chain(i).build_boxed()?;
         self.decode_chunk(codec.as_ref(), i)
     }
 
-    fn decode_chunk<T: Element>(&self, codec: &dyn Compressor, i: usize) -> Result<NdArray<T>> {
-        let arr = decompress::<T>(codec, self.chunk_payload(i))?;
+    /// Decodes one chunk with an already-built decoder (see
+    /// [`ChunkedStore::decoders`]), so callers that decode many chunks —
+    /// the read paths here and `eblcio_serve`'s cache-miss path — share
+    /// one definition of "decode and shape-check a chunk" without
+    /// rebuilding a decoder per chunk.
+    pub fn decode_chunk<T: Element>(
+        &self,
+        codec: &dyn Compressor,
+        i: usize,
+    ) -> Result<NdArray<T>> {
+        let arr = decompress::<T>(codec, self.chunk_payload(i)?)?;
         if arr.shape() != self.grid.chunk_region(i).shape() {
             return Err(CodecError::Corrupt { context: "store chunk shape" });
         }
@@ -435,6 +597,13 @@ impl<'a> ChunkedStore<'a> {
     /// Decompresses exactly the chunks intersecting `region` and
     /// assembles the requested box, reporting how much work that took.
     ///
+    /// Intersecting chunks decode in parallel (like
+    /// [`ChunkedStore::read_full`]) across the width installed on the
+    /// shared rayon pool — callers wanting a specific width wrap the
+    /// call in `pool_for(threads)?.install(..)`; outside any pool the
+    /// machine's parallelism applies. The scatter into the output box
+    /// stays serial: it is memcpy-bound and a fraction of decode cost.
+    ///
     /// # Panics
     /// Panics if the region does not fit inside the array shape.
     pub fn read_region_with_stats<T: Element>(
@@ -444,32 +613,19 @@ impl<'a> ChunkedStore<'a> {
         self.check_dtype::<T>()?;
         let decoders = self.decoders()?;
         let hits = self.grid.chunks_intersecting(region);
+        let parts: Vec<Result<NdArray<T>>> = hits
+            .par_iter()
+            .map(|&i| {
+                let codec = decoders[self.manifest.chunks[i].chain as usize].as_ref();
+                self.decode_chunk::<T>(codec, i)
+            })
+            .collect();
         let mut out = NdArray::<T>::zeros(region.shape());
         let mut bytes = 0u64;
-        for &i in &hits {
-            let codec = decoders[self.manifest.chunks[i].chain as usize].as_ref();
-            let part = self.decode_chunk::<T>(codec, i)?;
+        for (&i, part) in hits.iter().zip(parts) {
+            let part = part?;
             bytes += self.manifest.chunks[i].len;
-            let chunk_region = self.grid.chunk_region(i);
-            let inter = chunk_region
-                .intersect(region)
-                .expect("intersecting chunk must overlap the region");
-            let rank = inter.rank();
-            let mut src_origin = [0usize; MAX_RANK];
-            let mut dst_origin = [0usize; MAX_RANK];
-            for d in 0..rank {
-                src_origin[d] = inter.origin()[d] - chunk_region.origin()[d];
-                dst_origin[d] = inter.origin()[d] - region.origin()[d];
-            }
-            copy_region(
-                part.as_slice(),
-                part.shape(),
-                &src_origin[..rank],
-                out.as_mut_slice(),
-                region.shape(),
-                &dst_origin[..rank],
-                inter.extent(),
-            );
+            scatter_chunk(&part, &self.grid.chunk_region(i), region, &mut out);
         }
         Ok((
             out,

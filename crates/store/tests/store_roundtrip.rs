@@ -414,6 +414,152 @@ fn unused_candidates_are_dropped_from_the_manifest() {
     assert_eq!(store.codec_id(), Some(CompressorId::Zfp));
 }
 
+#[test]
+fn sharded_store_roundtrips_bit_identically_with_unsharded() {
+    let data = field::<f32>(Shape::d3(20, 12, 12));
+    let codec = CompressorId::Sz3.instance();
+    let plain = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d3(8, 8, 8),
+        4,
+    )
+    .unwrap();
+    let sharded = ChunkedStore::write_sharded(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d3(8, 8, 8),
+        4,
+        4,
+    )
+    .unwrap();
+
+    let a = ChunkedStore::open(&plain).unwrap();
+    let b = ChunkedStore::open(&sharded).unwrap();
+    assert!(!a.is_sharded());
+    assert!(b.is_sharded());
+    assert_eq!(a.n_chunks(), b.n_chunks());
+    assert_eq!(b.sharding().unwrap().n_shards(), a.n_chunks().div_ceil(4));
+    // Chunk payloads are byte-identical: sharding only changes packing.
+    for i in 0..a.n_chunks() {
+        assert_eq!(
+            a.chunk_payload(i).unwrap(),
+            b.chunk_payload(i).unwrap(),
+            "chunk {i}"
+        );
+    }
+    // Every read path decodes the same bits.
+    let fa = a.read_full::<f32>(2).unwrap();
+    let fb = b.read_full::<f32>(2).unwrap();
+    assert_eq!(fa.as_slice(), fb.as_slice());
+    let region = Region::new(&[3, 2, 5], &[10, 9, 6]);
+    let ra = a.read_region::<f32>(&region).unwrap();
+    let rb = b.read_region::<f32>(&region).unwrap();
+    assert_eq!(ra.as_slice(), rb.as_slice());
+}
+
+#[test]
+fn sharded_store_region_stats_match_unsharded() {
+    let data = field::<f32>(Shape::d2(32, 32));
+    let codec = CompressorId::Szx.instance();
+    let sharded = ChunkedStore::write_sharded(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        3,
+        2,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&sharded).unwrap();
+    let (_, stats) = store
+        .read_region_with_stats::<f32>(&Region::new(&[0, 0], &[8, 8]))
+        .unwrap();
+    assert_eq!(stats.chunks_decoded, 1);
+    assert_eq!(stats.chunks_total, 16);
+}
+
+#[test]
+fn sharded_corruption_caught_by_slot_crc() {
+    let data = field::<f32>(Shape::d2(16, 16));
+    let codec = CompressorId::Szx.instance();
+    let mut stream = ChunkedStore::write_sharded(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        2,
+        1,
+    )
+    .unwrap();
+    // Flip a bit in the very last payload byte (inside the last shard).
+    let n = stream.len();
+    stream[n - 1] ^= 0x20;
+    let store = ChunkedStore::open(&stream).unwrap();
+    let last = store.n_chunks() - 1;
+    assert!(matches!(
+        store.chunk_payload(last),
+        Err(eblcio_codec::CodecError::ChecksumMismatch)
+    ));
+    assert!(store.read_chunk::<f32>(last).is_err());
+    // Chunks in intact shards still read fine.
+    assert!(store.read_chunk::<f32>(0).is_ok());
+}
+
+#[test]
+fn out_of_range_chunk_index_is_typed_error() {
+    let data = field::<f32>(Shape::d2(16, 16));
+    let codec = CompressorId::Szx.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d2(8, 8),
+        1,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    assert!(store.chunk_payload(store.n_chunks()).is_err());
+    assert!(store.read_chunk::<f32>(usize::MAX).is_err());
+}
+
+/// The parallel region read must produce bit-identical output to a
+/// serial chunk-by-chunk assembly of the same region.
+#[test]
+fn parallel_region_read_matches_serial_assembly() {
+    let data = field::<f64>(Shape::d3(24, 18, 10));
+    let codec = CompressorId::Sz2.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(EPS),
+        Shape::d3(7, 5, 4),
+        4,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    let region = Region::new(&[2, 3, 1], &[20, 11, 8]);
+    let (par, stats) = store.read_region_with_stats::<f64>(&region).unwrap();
+
+    // Serial reference: decode each intersecting chunk alone and
+    // scatter it one at a time.
+    let mut serial = NdArray::<f64>::zeros(region.shape());
+    let mut decoded = 0;
+    for i in 0..store.n_chunks() {
+        let chunk_region = store.grid().chunk_region(i);
+        if chunk_region.intersect(&region).is_none() {
+            continue;
+        }
+        decoded += 1;
+        let part = store.read_chunk::<f64>(i).unwrap();
+        eblcio_store::scatter_chunk(&part, &chunk_region, &region, &mut serial);
+    }
+    assert_eq!(stats.chunks_decoded, decoded);
+    assert_eq!(par.as_slice(), serial.as_slice());
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -453,7 +599,7 @@ proptest! {
         // One ε, resolved once, everywhere.
         prop_assert_eq!(store.abs_bound(), serial_header.abs_bound);
         for i in 0..store.n_chunks() {
-            let (h, _) = header::read_stream(store.chunk_payload(i)).unwrap();
+            let (h, _) = header::read_stream(store.chunk_payload(i).unwrap()).unwrap();
             prop_assert_eq!(h.abs_bound, store.abs_bound(), "chunk {}", i);
         }
         // And the contract holds end to end.

@@ -3,15 +3,21 @@
 //! ```text
 //! eblcio compress   --codec sz3 --eps 1e-3 --dtype f32 --dims 512x512x512 in.raw out.eblc
 //! eblcio compress   --chain sz3+shuffle4+lz --eps 1e-3 --dims 64x64 in.raw out.eblc
+//! eblcio compress   --codec szx --eps 1e-3 --dims 64x64 --chunk 16x16 --shard 4 in.raw out.ebcs
 //! eblcio decompress in.eblc out.raw
-//! eblcio inspect    in.eblc             # EBLC streams and EBCS store files
+//! eblcio inspect    [--json] in.eblc    # EBLC/EBLP streams and EBCS store files
+//! eblcio query      out.ebcs --origin 0x0 --extent 16x16 --repeat 8 --clients 4
 //! eblcio demo       [dataset]           # synthesize, compress with all codecs, report
 //! ```
 //!
 //! Raw files are flat little-endian sample arrays (the layout SDRBench
 //! distributes); compressed files are self-describing `EBLC` streams or
-//! `EBCS` chunked stores. `--chain` accepts the stage grammar
-//! `array[+byte…]` (`sz3`, `sz3+raw`, `szx+fpc4`, `sz2+shuffle4+lz`).
+//! `EBCS` chunked stores (`--chunk` switches compress to store output,
+//! `--shard` additionally packs chunks into `EBSH` shard objects).
+//! `--chain` accepts the stage grammar `array[+byte…]` (`sz3`,
+//! `sz3+raw`, `szx+fpc4`, `sz2+shuffle4+lz`). `query` serves repeated
+//! region reads through an `ArrayReader` and reports throughput plus
+//! cache behaviour.
 
 use eblcio::prelude::*;
 use std::process::ExitCode;
@@ -22,13 +28,18 @@ fn main() -> ExitCode {
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  eblcio compress --codec <sz2|sz3|zfp|qoz|szx> | --chain <spec> \
-                 --eps <rel> --dtype <f32|f64> --dims <AxBxC> <in.raw> <out.eblc>\n  \
+                 --eps <rel> --dtype <f32|f64> --dims <AxBxC> \
+                 [--chunk <AxBxC> [--shard <chunks>]] <in.raw> <out.eblc|out.ebcs>\n  \
                  eblcio decompress <in.eblc> <out.raw>\n  \
-                 eblcio inspect <in.eblc|in.ebcs>\n  \
+                 eblcio inspect [--json] <in.eblc|in.ebcs>\n  \
+                 eblcio query <in.ebcs> --origin <AxBxC> --extent <AxBxC> \
+                 [--repeat <n>] [--clients <n>] [--threads <n>] [--cache-mb <n>] \
+                 [--prefetch <chunks>]\n  \
                  eblcio demo [cesm|hacc|nyx|s3d]\n\n\
                  chain spec grammar: array[+byte...], e.g. sz3, sz3+raw, \
                  szx+fpc4, sz2+shuffle4+lz"
@@ -93,6 +104,39 @@ fn parse_dims(s: &str) -> Result<Shape, String> {
     Ok(Shape::new(&dims))
 }
 
+/// Parses `AxBxC` coordinates that may legitimately be zero (origins).
+fn parse_coords(s: &str, what: &str) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = s.split('x').map(str::parse).collect();
+    let dims = dims.map_err(|e| format!("bad {what} '{s}': {e}"))?;
+    if dims.is_empty() || dims.len() > 4 {
+        return Err(format!("{what} must have 1-4 components, got '{s}'"));
+    }
+    Ok(dims)
+}
+
+/// Compresses one typed array to a monolithic stream, a chunked store,
+/// or a sharded store depending on the flags.
+fn build_stream<T: eblcio::data::Element>(
+    spec: &ChainSpec,
+    arr: &NdArray<T>,
+    eps: f64,
+    chunk: Option<Shape>,
+    shard: Option<usize>,
+) -> Result<Vec<u8>, String> {
+    let codec = spec.build_boxed().map_err(|e| e.to_string())?;
+    let bound = ErrorBound::Relative(eps);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match (chunk, shard) {
+        (None, _) => compress(codec.as_ref(), arr, bound).map_err(|e| e.to_string()),
+        (Some(c), None) => ChunkedStore::write(codec.as_ref(), arr, bound, c, threads)
+            .map_err(|e| e.to_string()),
+        (Some(c), Some(s)) => {
+            ChunkedStore::write_sharded(codec.as_ref(), arr, bound, c, s, threads)
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
 fn cmd_compress(args: &[String]) -> CliResult {
     let spec = parse_chain(args)?;
     let eps: f64 = flag(args, "--eps")
@@ -101,35 +145,42 @@ fn cmd_compress(args: &[String]) -> CliResult {
         .map_err(|e| format!("bad --eps: {e}"))?;
     let dtype = flag(args, "--dtype").unwrap_or("f32");
     let shape = parse_dims(flag(args, "--dims").ok_or("missing --dims")?)?;
+    let chunk = flag(args, "--chunk").map(parse_dims).transpose()?;
+    let shard: Option<usize> = flag(args, "--shard")
+        .map(|s| s.parse().map_err(|e| format!("bad --shard: {e}")))
+        .transpose()?;
+    if shard.is_some() && chunk.is_none() {
+        return Err("--shard requires --chunk (sharding packs store chunks)".into());
+    }
     let pos = positional(args);
     let [input, output] = pos.as_slice() else {
         return Err("expected <in.raw> <out.eblc>".into());
     };
 
     let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let codec = spec.build_boxed().map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let stream = match dtype {
         "f32" => {
             let arr = NdArray::<f32>::from_le_bytes(shape, &bytes)
-                .ok_or_else(|| format!("{input}: size does not match {shape} f32", ))?;
-            codec
-                .compress_f32(&arr, ErrorBound::Relative(eps))
-                .map_err(|e| e.to_string())?
+                .ok_or_else(|| format!("{input}: size does not match {shape} f32"))?;
+            build_stream(&spec, &arr, eps, chunk, shard)?
         }
         "f64" => {
             let arr = NdArray::<f64>::from_le_bytes(shape, &bytes)
                 .ok_or_else(|| format!("{input}: size does not match {shape} f64"))?;
-            codec
-                .compress_f64(&arr, ErrorBound::Relative(eps))
-                .map_err(|e| e.to_string())?
+            build_stream(&spec, &arr, eps, chunk, shard)?
         }
         other => return Err(format!("--dtype must be f32 or f64, got '{other}'")),
     };
     let dt = t0.elapsed().as_secs_f64();
     std::fs::write(output, &stream).map_err(|e| format!("{output}: {e}"))?;
+    let layout = match (chunk, shard) {
+        (None, _) => "stream".to_string(),
+        (Some(c), None) => format!("store, {c} chunks"),
+        (Some(c), Some(s)) => format!("store, {c} chunks, {s}/shard"),
+    };
     println!(
-        "{input} ({} B) -> {output} ({} B): chain {}, CR {:.2}x, {:.1} MB/s, eps {eps:e}",
+        "{input} ({} B) -> {output} ({} B): chain {}, {layout}, CR {:.2}x, {:.1} MB/s, eps {eps:e}",
         bytes.len(),
         stream.len(),
         spec.label(),
@@ -161,11 +212,21 @@ fn cmd_decompress(args: &[String]) -> CliResult {
 }
 
 fn cmd_inspect(args: &[String]) -> CliResult {
-    let pos = positional(args);
+    // `--json` is a bare flag; strip it before positional parsing
+    // (which assumes every `--flag` carries a value).
+    let json = args.iter().any(|a| a == "--json");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
+    let pos = positional(&args);
     let [input] = pos.as_slice() else {
         return Err("expected <in.eblc|in.ebcs>".into());
     };
     let stream = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    if json {
+        let doc = eblcio::inspect::inspect_json(&stream)?;
+        let text = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
+        println!("{text}");
+        return Ok(());
+    }
     match stream.get(..4) {
         Some(m) if m == eblcio::store::manifest::MAGIC => inspect_store(input, &stream),
         _ => inspect_stream(input, &stream),
@@ -203,19 +264,151 @@ fn inspect_store(input: &str, stream: &[u8]) -> CliResult {
     let chain_list: Vec<String> = store.chains().iter().map(|c| c.label()).collect();
     println!("chains:     {}", chain_list.join(", "));
     println!("manifest:   {} B", store.manifest_len());
+    if let Some(table) = store.sharding() {
+        println!(
+            "sharding:   {} EBSH shards ({} B index total)",
+            table.n_shards(),
+            table.index_lens.iter().sum::<u64>()
+        );
+    }
     let raw = store.shape().len() * if store.dtype() == 0 { 4 } else { 8 };
     println!("ratio:      {:.2}x vs raw", raw as f64 / stream.len() as f64);
-    println!("\n{:>6} {:<18} {:>10}  chain", "chunk", "origin", "bytes");
-    for i in 0..store.n_chunks() {
+    println!("\n{:>6} {:<18} {:>10} {:>11}  chain", "chunk", "origin", "bytes", "shard:slot");
+    // Sizes come from the manifest index — inspection must not read
+    // (or CRC-verify) payload bytes just to list metadata.
+    for (i, len) in store.chunk_lens().into_iter().enumerate() {
         let region = store.grid().chunk_region(i);
+        let placement = match store.sharding() {
+            Some(t) => format!("{}:{}", t.chunk_slots[i].shard, t.chunk_slots[i].slot),
+            None => "-".to_string(),
+        };
         println!(
-            "{:>6} {:<18} {:>10}  {}",
+            "{:>6} {:<18} {:>10} {:>11}  {}",
             i,
             format!("{:?}", region.origin()),
-            store.chunk_payload(i).len(),
+            len,
+            placement,
             store.chunk_chain(i).label()
         );
     }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <in.ebcs>".into());
+    };
+    let origin = parse_coords(flag(args, "--origin").ok_or("missing --origin")?, "--origin")?;
+    let extent = parse_coords(flag(args, "--extent").ok_or("missing --extent")?, "--extent")?;
+    if extent.contains(&0) {
+        return Err("--extent components must be positive".into());
+    }
+    if origin.len() != extent.len() {
+        return Err("--origin and --extent must have the same rank".into());
+    }
+    let parse_opt = |name: &str, default: usize| -> Result<usize, String> {
+        flag(args, name)
+            .map(|s| s.parse().map_err(|e| format!("bad {name}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let repeat = parse_opt("--repeat", 4)?.max(1);
+    let clients = parse_opt("--clients", 1)?.max(1);
+    let threads = parse_opt("--threads", 0)?;
+    let cache_mb = parse_opt("--cache-mb", 256)?;
+    let prefetch = parse_opt("--prefetch", 0)?;
+
+    let stream = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let store = ChunkedStore::open(&stream).map_err(|e| e.to_string())?;
+    let region = Region::new(&origin, &extent);
+    if !region.fits_in(store.shape()) {
+        return Err(format!(
+            "region {origin:?}+{extent:?} does not fit in store shape {}",
+            store.shape()
+        ));
+    }
+    let config = ReaderConfig {
+        cache: CacheConfig::with_capacity_mib(cache_mb),
+        threads,
+        prefetch: if prefetch == 0 {
+            PrefetchPolicy::None
+        } else {
+            PrefetchPolicy::Sequential { depth: prefetch }
+        },
+    };
+    println!(
+        "query: {input}, shape {}, {} chunks{}, region {origin:?}+{extent:?}",
+        store.shape(),
+        store.n_chunks(),
+        match store.sharding() {
+            Some(t) => format!(" in {} shards", t.n_shards()),
+            None => String::new(),
+        },
+    );
+    match store.dtype() {
+        0 => run_query::<f32>(&stream, &region, repeat, clients, config),
+        _ => run_query::<f64>(&stream, &region, repeat, clients, config),
+    }
+}
+
+/// Issues `repeat` passes of the region read, each pass fanned out
+/// across `clients` concurrent client threads sharing one reader, and
+/// reports per-pass wall time plus the reader's cache counters.
+fn run_query<T: eblcio::data::Element>(
+    stream: &[u8],
+    region: &Region,
+    repeat: usize,
+    clients: usize,
+    config: ReaderConfig,
+) -> CliResult {
+    let reader = ArrayReader::<T>::open(stream, config).map_err(|e| e.to_string())?;
+    let region_bytes = region.len() * std::mem::size_of::<T>();
+    println!(
+        "{:>5} {:>10} {:>12} {:>8} {:>8} {:>8}",
+        "pass", "ms", "MB/s", "hits", "misses", "decodes"
+    );
+    for pass in 0..repeat {
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| -> CliResult {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let reader = &reader;
+                    s.spawn(move || reader.read_region(region))
+                })
+                .collect();
+            for h in handles {
+                h.join()
+                    .map_err(|_| "client thread panicked".to_string())?
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        })?;
+        let dt = t0.elapsed().as_secs_f64();
+        let stats = reader.stats();
+        println!(
+            "{:>5} {:>10.2} {:>12.1} {:>8} {:>8} {:>8}",
+            pass,
+            dt * 1e3,
+            (region_bytes * clients) as f64 / 1e6 / dt,
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.decodes
+        );
+    }
+    let stats = reader.stats();
+    println!(
+        "\nserved {} requests ({} chunk lookups): {:.1}% hit rate, {} decodes \
+         ({:.2} MB decoded), {} prefetched, {} evictions, {:.1} ms busy",
+        stats.requests,
+        stats.chunks_requested,
+        stats.hit_rate() * 100.0,
+        stats.decodes,
+        stats.decoded_bytes as f64 / 1e6,
+        stats.prefetched,
+        stats.evictions,
+        stats.wall_seconds * 1e3,
+    );
     Ok(())
 }
 

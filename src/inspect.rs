@@ -1,0 +1,224 @@
+//! Machine-readable inspection of every container the workspace
+//! writes: `EBLC` streams, `EBLP` parallel containers, and `EBCS`
+//! chunked stores (unsharded and sharded).
+//!
+//! [`inspect_json`] builds a [`serde::Value`] document that
+//! `serde_json` renders to text — the backing for `eblcio inspect
+//! --json`, and usable directly by tooling that wants structured
+//! answers instead of scraping the human tables.
+
+use eblcio_codec::header;
+use eblcio_codec::parallel_stream_info;
+use eblcio_store::ChunkedStore;
+use serde::Value;
+
+/// Magic of the `EBLP` parallel container (private to the codec crate's
+/// parser; matched here only to route inspection).
+const PAR_MAGIC: &[u8; 4] = b"EBLP";
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn usize_seq(v: &[usize]) -> Value {
+    Value::Seq(v.iter().map(|&d| Value::U64(d as u64)).collect())
+}
+
+fn dtype_name(tag: u8) -> Value {
+    Value::Str(if tag == 0 { "f32" } else { "f64" }.to_string())
+}
+
+/// Inspects any workspace container, returning a JSON-ready document.
+///
+/// Every document carries `container` (`"EBLC"`, `"EBLP"`, or
+/// `"EBCS"`), `version`, `dtype`, `shape`, `abs_bound`, and
+/// `stream_bytes`; store documents add the grid, chain table, per-chunk
+/// rows, and — when sharded — the shard table.
+pub fn inspect_json(stream: &[u8]) -> Result<Value, String> {
+    match stream.get(..4) {
+        Some(m) if m == eblcio_store::manifest::MAGIC => store_json(stream),
+        Some(m) if m == PAR_MAGIC => parallel_json(stream),
+        _ => stream_json(stream),
+    }
+}
+
+fn stream_json(stream: &[u8]) -> Result<Value, String> {
+    let (h, payload) = header::read_stream(stream).map_err(|e| e.to_string())?;
+    let raw = h.shape.len() * if h.dtype == 0 { 4 } else { 8 };
+    Ok(map(vec![
+        ("container", Value::Str("EBLC".into())),
+        ("version", Value::U64(u64::from(stream[4]))),
+        ("chain", Value::Str(h.chain.label())),
+        ("dtype", dtype_name(h.dtype)),
+        ("shape", usize_seq(h.shape.dims())),
+        ("abs_bound", Value::F64(h.abs_bound)),
+        ("payload_bytes", Value::U64(payload.len() as u64)),
+        ("stream_bytes", Value::U64(stream.len() as u64)),
+        ("ratio_vs_raw", Value::F64(raw as f64 / stream.len() as f64)),
+    ]))
+}
+
+fn parallel_json(stream: &[u8]) -> Result<Value, String> {
+    let info = parallel_stream_info(stream).map_err(|e| e.to_string())?;
+    Ok(map(vec![
+        ("container", Value::Str("EBLP".into())),
+        ("chain", Value::Str(info.chain.label())),
+        ("dtype", dtype_name(info.dtype)),
+        ("shape", usize_seq(info.shape.dims())),
+        ("abs_bound", Value::F64(info.abs_bound)),
+        ("n_chunks", Value::U64(info.n_chunks as u64)),
+        ("stream_bytes", Value::U64(stream.len() as u64)),
+    ]))
+}
+
+fn store_json(stream: &[u8]) -> Result<Value, String> {
+    let store = ChunkedStore::open(stream).map_err(|e| e.to_string())?;
+    let raw = store.shape().len() * if store.dtype() == 0 { 4 } else { 8 };
+    let chains = Value::Seq(
+        store
+            .chains()
+            .iter()
+            .map(|c| Value::Str(c.label()))
+            .collect(),
+    );
+    // Sizes come from the resolved manifest index — inspection is a
+    // metadata listing and must not read (or CRC) any payload bytes.
+    let chunk_lens = store.chunk_lens();
+    let chunks: Vec<Value> = (0..store.n_chunks())
+        .map(|i| {
+            let region = store.grid().chunk_region(i);
+            let mut row = vec![
+                ("index", Value::U64(i as u64)),
+                ("origin", usize_seq(region.origin())),
+                ("extent", usize_seq(region.extent())),
+                ("bytes", Value::U64(chunk_lens[i])),
+                ("chain", Value::Str(store.chunk_chain(i).label())),
+            ];
+            if let Some(table) = store.sharding() {
+                let slot = table.chunk_slots[i];
+                row.push(("shard", Value::U64(u64::from(slot.shard))));
+                row.push(("slot", Value::U64(u64::from(slot.slot))));
+            }
+            map(row)
+        })
+        .collect();
+    let mut doc = vec![
+        ("container", Value::Str("EBCS".into())),
+        ("version", Value::U64(u64::from(stream[4]))),
+        ("dtype", dtype_name(store.dtype())),
+        ("shape", usize_seq(store.shape().dims())),
+        ("chunk_shape", usize_seq(store.chunk_shape().dims())),
+        ("grid", usize_seq(store.grid().counts())),
+        ("n_chunks", Value::U64(store.n_chunks() as u64)),
+        ("abs_bound", Value::F64(store.abs_bound())),
+        ("chains", chains),
+        ("manifest_bytes", Value::U64(store.manifest_len() as u64)),
+        ("stream_bytes", Value::U64(stream.len() as u64)),
+        ("ratio_vs_raw", Value::F64(raw as f64 / stream.len() as f64)),
+    ];
+    if let Some(table) = store.sharding() {
+        doc.push((
+            "sharding",
+            map(vec![
+                ("n_shards", Value::U64(table.n_shards() as u64)),
+                (
+                    "shard_bytes",
+                    Value::Seq(table.shard_lens.iter().map(|&l| Value::U64(l)).collect()),
+                ),
+                (
+                    "index_bytes",
+                    Value::Seq(table.index_lens.iter().map(|&l| Value::U64(l)).collect()),
+                ),
+            ]),
+        ));
+    }
+    doc.push(("chunks", Value::Seq(chunks)));
+    Ok(map(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eblcio_codec::{compress, compress_parallel, CompressorId, ErrorBound};
+    use eblcio_data::{NdArray, Shape};
+
+    fn data() -> NdArray<f32> {
+        NdArray::from_fn(Shape::d2(32, 32), |i| {
+            (i[0] as f32 * 0.2).sin() + i[1] as f32 * 0.01
+        })
+    }
+
+    /// Serialize → parse → compare: the JSON text must parse back into
+    /// the identical value tree for every container kind.
+    fn roundtrips(doc: &Value) {
+        let text = serde_json::to_string(doc).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(&back, doc);
+    }
+
+    #[test]
+    fn eblc_stream_document() {
+        let codec = CompressorId::Sz3.instance();
+        let stream = compress(codec.as_ref(), &data(), ErrorBound::Relative(1e-3)).unwrap();
+        let doc = inspect_json(&stream).unwrap();
+        assert_eq!(doc.get("container").unwrap().as_str(), Some("EBLC"));
+        // Preset chains label as their paper codec name.
+        assert_eq!(doc.get("chain").unwrap().as_str(), Some("SZ3"));
+        assert_eq!(doc.get("shape").unwrap().as_seq().unwrap().len(), 2);
+        roundtrips(&doc);
+    }
+
+    #[test]
+    fn eblp_parallel_document() {
+        let codec = CompressorId::Szx.instance();
+        let stream =
+            compress_parallel(codec.as_ref(), &data(), ErrorBound::Relative(1e-3), 4).unwrap();
+        let doc = inspect_json(&stream).unwrap();
+        assert_eq!(doc.get("container").unwrap().as_str(), Some("EBLP"));
+        assert_eq!(doc.get("n_chunks").unwrap().as_f64(), Some(4.0));
+        roundtrips(&doc);
+    }
+
+    #[test]
+    fn ebcs_store_documents_plain_and_sharded() {
+        use eblcio_store::ChunkedStore;
+        let codec = CompressorId::Szx.instance();
+        let plain = ChunkedStore::write(
+            codec.as_ref(),
+            &data(),
+            ErrorBound::Relative(1e-3),
+            Shape::d2(16, 16),
+            2,
+        )
+        .unwrap();
+        let doc = inspect_json(&plain).unwrap();
+        assert_eq!(doc.get("container").unwrap().as_str(), Some("EBCS"));
+        assert_eq!(doc.get("version").unwrap().as_f64(), Some(2.0));
+        assert!(doc.get("sharding").is_none());
+        assert_eq!(doc.get("chunks").unwrap().as_seq().unwrap().len(), 4);
+        roundtrips(&doc);
+
+        let sharded = ChunkedStore::write_sharded(
+            codec.as_ref(),
+            &data(),
+            ErrorBound::Relative(1e-3),
+            Shape::d2(16, 16),
+            2,
+            2,
+        )
+        .unwrap();
+        let doc = inspect_json(&sharded).unwrap();
+        assert_eq!(doc.get("version").unwrap().as_f64(), Some(3.0));
+        let sharding = doc.get("sharding").unwrap();
+        assert_eq!(sharding.get("n_shards").unwrap().as_f64(), Some(2.0));
+        let first = &doc.get("chunks").unwrap().as_seq().unwrap()[0];
+        assert_eq!(first.get("shard").unwrap().as_f64(), Some(0.0));
+        roundtrips(&doc);
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(inspect_json(b"not a container at all").is_err());
+        assert!(inspect_json(&[]).is_err());
+    }
+}

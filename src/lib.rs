@@ -19,8 +19,13 @@
 //! * [`core`] — the §III benefit framework (Eqs. 3–5), campaign runner,
 //!   and the "to compress or not" advisor,
 //! * [`store`] — the chunked compressed array container (zarr-style
-//!   chunk grid + manifest) with partial region reads and per-chunk
-//!   codec chains (mixed and adaptive stores).
+//!   chunk grid + manifest) with partial region reads, per-chunk codec
+//!   chains (mixed and adaptive stores), and `EBSH` shard packing for
+//!   large chunk counts,
+//! * [`serve`] — the concurrent read-serving subsystem: shared
+//!   [`ArrayReader`](serve::ArrayReader) handles with a decoded-chunk
+//!   LRU cache, single-flight decode, parallel region assembly, and
+//!   prefetch.
 //!
 //! ## Quickstart
 //!
@@ -55,7 +60,10 @@ pub use eblcio_core as core;
 pub use eblcio_data as data;
 pub use eblcio_energy as energy;
 pub use eblcio_pfs as pfs;
+pub use eblcio_serve as serve;
 pub use eblcio_store as store;
+
+pub mod inspect;
 
 /// Commonly used items, importable with `use eblcio::prelude::*;`.
 pub mod prelude {
@@ -69,5 +77,6 @@ pub mod prelude {
         NdArray, QualityReport, Shape,
     };
     pub use eblcio_data::generators::Scale;
+    pub use eblcio_serve::{ArrayReader, CacheConfig, PrefetchPolicy, ReaderConfig, ReaderStats};
     pub use eblcio_store::{ChunkedStore, Region};
 }

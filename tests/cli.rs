@@ -222,3 +222,108 @@ fn demo_runs_for_all_datasets() {
         }
     }
 }
+
+#[test]
+fn compress_to_sharded_store_query_and_json_inspect() {
+    let input = tmp("store_in.raw");
+    let store_path = tmp("store_out.ebcs");
+    write_ramp_f32(&input, 4096);
+
+    // Compress straight to a sharded EBCS store.
+    let st = Command::new(bin())
+        .args([
+            "compress", "--codec", "szx", "--eps", "1e-3", "--dtype", "f32", "--dims", "64x64",
+            "--chunk", "16x16", "--shard", "4",
+        ])
+        .arg(&input)
+        .arg(&store_path)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("4/shard"), "{stdout}");
+
+    // Human inspect shows the shard table.
+    let st = Command::new(bin()).arg("inspect").arg(&store_path).output().unwrap();
+    assert!(st.status.success());
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("EBCS v3"), "{stdout}");
+    assert!(stdout.contains("EBSH shards"), "{stdout}");
+
+    // JSON inspect parses and carries the sharding section.
+    let st = Command::new(bin())
+        .args(["inspect", "--json"])
+        .arg(&store_path)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let text = String::from_utf8_lossy(&st.stdout);
+    let doc: serde::Value = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(doc.get("container").unwrap().as_str(), Some("EBCS"));
+    assert_eq!(doc.get("version").unwrap().as_f64(), Some(3.0));
+    assert_eq!(
+        doc.get("sharding").unwrap().get("n_shards").unwrap().as_f64(),
+        Some(4.0)
+    );
+    assert_eq!(doc.get("chunks").unwrap().as_seq().unwrap().len(), 16);
+
+    // Serve repeated overlapping region reads through `query`.
+    let st = Command::new(bin())
+        .arg("query")
+        .arg(&store_path)
+        .args([
+            "--origin", "8x8", "--extent", "32x32", "--repeat", "3", "--clients", "2",
+            "--cache-mb", "64", "--prefetch", "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("hit rate"), "{stdout}");
+    assert!(stdout.contains("decodes"), "{stdout}");
+
+    // A region outside the array is a clean error.
+    let st = Command::new(bin())
+        .arg("query")
+        .arg(&store_path)
+        .args(["--origin", "60x60", "--extent", "32x32"])
+        .output()
+        .unwrap();
+    assert!(!st.status.success());
+    assert!(String::from_utf8_lossy(&st.stderr).contains("does not fit"));
+}
+
+#[test]
+fn json_inspect_covers_streams_too() {
+    let input = tmp("json_in.raw");
+    let compressed = tmp("json_out.eblc");
+    write_ramp_f32(&input, 4096);
+    let st = Command::new(bin())
+        .args([
+            "compress", "--codec", "sz3", "--eps", "1e-3", "--dtype", "f32", "--dims", "64x64",
+        ])
+        .arg(&input)
+        .arg(&compressed)
+        .output()
+        .unwrap();
+    assert!(st.status.success());
+    let st = Command::new(bin())
+        .args(["inspect", "--json"])
+        .arg(&compressed)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let text = String::from_utf8_lossy(&st.stdout);
+    let doc: serde::Value = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(doc.get("container").unwrap().as_str(), Some("EBLC"));
+    assert_eq!(doc.get("chain").unwrap().as_str(), Some("SZ3"));
+    let dims: Vec<f64> = doc
+        .get("shape")
+        .unwrap()
+        .as_seq()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect();
+    assert_eq!(dims, vec![64.0, 64.0]);
+}

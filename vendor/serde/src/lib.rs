@@ -59,6 +59,19 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The string, when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up, when this value is a map.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
 }
 
 /// Serialization/deserialization error.
@@ -97,6 +110,21 @@ pub fn __field<T: Deserialize>(m: &[(String, Value)], key: &str) -> Result<T, Er
     match m.iter().find(|(k, _)| k == key) {
         Some((_, v)) => T::deserialize(v),
         None => Err(Error::msg(format!("missing field `{key}`"))),
+    }
+}
+
+// `Value` itself round-trips through serialization unchanged, so
+// callers can build dynamic documents (machine-readable CLI output)
+// and parse arbitrary JSON without a schema.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
     }
 }
 
