@@ -67,7 +67,7 @@ fn workload(shape: Shape) -> Vec<Region> {
 /// Replays `repeat` passes of the workload through `reader` across
 /// `clients` threads, returning (seconds, bytes served).
 fn replay(
-    reader: &ArrayReader<'_, f32>,
+    reader: &ArrayReader<f32>,
     regions: &[Region],
     repeat: usize,
     clients: usize,

@@ -1,0 +1,188 @@
+//! Update-path study for mutable stores: what copy-on-write chunk
+//! updates cost versus rewriting the whole store, as the updated
+//! fraction of the array grows.
+//!
+//! For each update fraction (one chunk, a slab, half the array, all of
+//! it) the bench measures:
+//!
+//! * **full rewrite** — recompress the entire modified array with
+//!   `ChunkedStore::write` (what an immutable store forces),
+//! * **CoW update** — `MutableStore::update_region`: only intersecting
+//!   chunks re-compress; untouched objects are shared with the parent
+//!   generation,
+//! * the **modeled PFS cost** of each (`write_store` for the rewrite,
+//!   `update_io` for the publish: new objects + unlinks + manifest),
+//! * the **dead bytes** the update strands and what `compact()`
+//!   reclaims at the end.
+//!
+//! Shape check: update wall time and I/O energy scale with the touched
+//! fraction, not the array size — the speedup over full rewrite
+//! approaches `1/fraction` for small updates and ~1× when everything
+//! changes (plus the append/manifest overhead).
+//!
+//! Knobs (environment): `EBLCIO_SCALE` = tiny|small|paper.
+
+use eblcio_bench::{eng, scale_from_env, TextTable};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::{Dataset, DatasetKind, DatasetSpec, NdArray, Shape};
+use eblcio_energy::CpuGeneration;
+use eblcio_pfs::PfsSim;
+use eblcio_store::{copy_region, gather, update_io, write_store, ChunkedStore, MutableStore, Region};
+use std::time::Instant;
+
+const EPS: f64 = 1e-3;
+const THREADS: usize = 8;
+/// HDF5-lite data-path efficiency (the store writes HDF5-style).
+const EFFICIENCY: f64 = 0.92;
+
+fn main() {
+    let scale = scale_from_env();
+    let profile = CpuGeneration::SapphireRapids9480.profile();
+    let pfs = PfsSim::testbed();
+
+    let data = DatasetSpec::new(DatasetKind::Nyx, scale).generate();
+    let arr = match &data {
+        Dataset::F32(a) => a,
+        Dataset::F64(_) => unreachable!("NYX is single precision"),
+    };
+    let shape = arr.shape();
+    let chunk_shape = Shape::new(
+        &shape
+            .dims()
+            .iter()
+            .map(|&d| d.div_ceil(4).max(1))
+            .collect::<Vec<_>>(),
+    );
+    let codec = CompressorId::Szx.instance();
+
+    let mut store = MutableStore::create(
+        codec.as_ref(),
+        arr,
+        ErrorBound::Relative(EPS),
+        chunk_shape,
+        THREADS,
+    )
+    .unwrap();
+    let n_chunks = store.current().unwrap().n_chunks();
+    println!(
+        "update_throughput: shape {shape}, {n_chunks} chunks of {chunk_shape}, \
+         codec {}, eps {EPS:e}\n",
+        codec.name()
+    );
+
+    // Update fractions: one chunk, one dim-0 slab, half, everything.
+    let d0 = shape.dim(0);
+    let rest: Vec<usize> = (1..shape.rank()).map(|d| shape.dim(d)).collect();
+    let slab = |rows: usize| {
+        let mut extent = vec![rows];
+        extent.extend(rest.iter().copied());
+        Region::new(&vec![0; shape.rank()], &extent)
+    };
+    let regions: Vec<(&str, Region)> = vec![
+        (
+            "one-chunk",
+            Region::new(&vec![0; shape.rank()], chunk_shape.dims()),
+        ),
+        ("one-slab", slab(chunk_shape.dim(0))),
+        ("half", slab((d0 / 2).max(1))),
+        ("full", Region::full(shape)),
+    ];
+
+    let mut table = TextTable::new(&[
+        "update", "chunks", "rewrite_s", "update_s", "speedup", "append_B", "dead_B",
+        "rewrite_J", "update_J", "io_speedup",
+    ]);
+
+    for (label, region) in &regions {
+        // The modified values: the region's data, perturbed.
+        let patch = NdArray::<f32>::from_vec(
+            region.shape(),
+            gather(arr, region)
+                .as_slice()
+                .iter()
+                .map(|&v| v * 1.01 + 0.5)
+                .collect(),
+        );
+
+        // Full rewrite: apply the patch to a copy and recompress all.
+        let mut modified = arr.clone();
+        copy_region(
+            patch.as_slice(),
+            patch.shape(),
+            &vec![0; shape.rank()],
+            modified.as_mut_slice(),
+            shape,
+            region.origin(),
+            region.extent(),
+        );
+        let t0 = Instant::now();
+        let rewritten = ChunkedStore::write(
+            codec.as_ref(),
+            &modified,
+            ErrorBound::Relative(EPS),
+            chunk_shape,
+            THREADS,
+        )
+        .unwrap();
+        let rewrite_s = t0.elapsed().as_secs_f64();
+        let rewritten_store = ChunkedStore::open(&rewritten).unwrap();
+        let rewrite_j = write_store(&pfs, &rewritten_store, EFFICIENCY, 1, &profile)
+            .storage_energy
+            .value();
+
+        // CoW update on a scratch clone of the mutable store.
+        let mut scratch = store.clone();
+        let t0 = Instant::now();
+        let stats = scratch.update_region(region, &patch, THREADS).unwrap();
+        let update_s = t0.elapsed().as_secs_f64();
+        let update_j = update_io(&pfs, &scratch.current().unwrap(), EFFICIENCY, 1, &profile)
+            .storage_energy
+            .value();
+
+        table.row(vec![
+            label.to_string(),
+            format!("{}/{}", stats.chunks_written, stats.chunks_total),
+            format!("{rewrite_s:.4}"),
+            format!("{update_s:.4}"),
+            format!("{:.2}x", rewrite_s / update_s.max(1e-9)),
+            eng(stats.object_bytes as f64 + stats.manifest_bytes as f64),
+            eng(stats.replaced_bytes as f64),
+            eng(rewrite_j),
+            eng(update_j),
+            format!("{:.2}x", rewrite_j / update_j.max(1e-12)),
+        ]);
+    }
+    table.print("CoW update vs full rewrite");
+    table.write_csv("update_throughput").ok();
+
+    // Churn + compact: repeated single-chunk updates strand dead bytes;
+    // compaction reclaims them.
+    let one_chunk = regions[0].1;
+    let patch = NdArray::<f32>::from_fn(one_chunk.shape(), |_| 1.0);
+    for _ in 0..8 {
+        store.update_region(&one_chunk, &patch, THREADS).unwrap();
+    }
+    let before = store.as_bytes().len();
+    let reclaimable = store.reclaimable_bytes().unwrap();
+    let stats = store.compact().unwrap();
+    println!(
+        "\nchurn: 8 single-chunk updates grew the file to {} ({} reclaimable); \
+         compact -> {} ({} reclaimed, generation {})",
+        eng(before as f64),
+        eng(reclaimable as f64),
+        eng(stats.after_bytes as f64),
+        eng(stats.reclaimed_bytes as f64),
+        stats.generation,
+    );
+
+    // Sanity gates for CI smoke runs.
+    assert!(
+        stats.reclaimed_bytes > 0,
+        "churn must strand reclaimable bytes"
+    );
+    let verify = store.current().unwrap().read_region::<f32>(&one_chunk).unwrap();
+    assert!(
+        verify.as_slice().iter().all(|&v| (v - 1.0).abs() < 1.0),
+        "post-compact read must reflect the updates"
+    );
+}

@@ -9,12 +9,26 @@
 //! compressed payloads at high compression ratios), and splits the key
 //! space across independently locked ways so readers hammering
 //! different chunks don't serialize on one lock.
+//!
+//! Since stores became mutable, a chunk index alone no longer names
+//! content: generation N+1 may have rewritten chunk *i*. Entries are
+//! therefore keyed by [`ChunkKey`] — the chunk index *plus* the
+//! chunk's content fingerprint (the writing generation folded with the
+//! object's payload CRC, see `ChunkedStore::chunk_fingerprint`). A
+//! reader that refreshes to a newer generation looks chunks up under
+//! the new fingerprints, so a stale hit after refresh is impossible by
+//! construction: the old entries' keys can never be asked for again.
 
 use eblcio_data::{Element, NdArray};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Cache key: `(chunk index, content fingerprint)`. Within one store
+/// lineage the pair uniquely identifies the chunk's bytes; static
+/// (immutable) stores use fingerprint 0 everywhere.
+pub type ChunkKey = (usize, u64);
 
 /// Configuration for a [`DecodedChunkCache`].
 #[derive(Clone, Copy, Debug)]
@@ -67,12 +81,12 @@ struct Entry<T: Element> {
 }
 
 struct Way<T: Element> {
-    map: HashMap<usize, Entry<T>>,
+    map: HashMap<ChunkKey, Entry<T>>,
     bytes: usize,
 }
 
-/// The cache proper. Keys are chunk indices in raster order of the
-/// store's grid.
+/// The cache proper. Keys pair a chunk index (raster order of the
+/// store's grid) with the chunk's content fingerprint.
 pub struct DecodedChunkCache<T: Element> {
     ways: Vec<Mutex<Way<T>>>,
     capacity_per_way: usize,
@@ -103,19 +117,19 @@ impl<T: Element> DecodedChunkCache<T> {
         }
     }
 
-    fn way(&self, key: usize) -> &Mutex<Way<T>> {
-        &self.ways[key % self.ways.len()]
+    fn way(&self, key: ChunkKey) -> &Mutex<Way<T>> {
+        &self.ways[key.0 % self.ways.len()]
     }
 
     /// Looks `key` up without touching the hit/miss counters or the
     /// LRU position — for speculative probes (prefetch filtering, the
     /// single-flight re-check) that shouldn't skew serving statistics.
-    pub fn peek(&self, key: usize) -> Option<Arc<NdArray<T>>> {
+    pub fn peek(&self, key: ChunkKey) -> Option<Arc<NdArray<T>>> {
         self.way(key).lock().map.get(&key).map(|e| e.chunk.clone())
     }
 
     /// Looks `key` up, refreshing its LRU position on a hit.
-    pub fn get(&self, key: usize) -> Option<Arc<NdArray<T>>> {
+    pub fn get(&self, key: ChunkKey) -> Option<Arc<NdArray<T>>> {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut way = self.way(key).lock();
         match way.map.get_mut(&key) {
@@ -131,10 +145,25 @@ impl<T: Element> DecodedChunkCache<T> {
         }
     }
 
+    /// Drops `key` if resident (a refresh invalidating a superseded
+    /// chunk), returning whether anything was removed. Not counted as
+    /// an eviction — the entry wasn't displaced for space, it became
+    /// unreachable.
+    pub fn remove(&self, key: ChunkKey) -> bool {
+        let mut way = self.way(key).lock();
+        match way.map.remove(&key) {
+            Some(e) => {
+                way.bytes -= e.chunk.nbytes();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Inserts a decoded chunk, evicting least-recently-used entries of
     /// the same way until it fits. A chunk larger than a whole way's
     /// budget is not cached at all — the bound is a bound.
-    pub fn insert(&self, key: usize, chunk: Arc<NdArray<T>>) {
+    pub fn insert(&self, key: ChunkKey, chunk: Arc<NdArray<T>>) {
         let bytes = chunk.nbytes();
         if bytes > self.capacity_per_way {
             return;
@@ -195,9 +224,9 @@ mod tests {
             capacity_bytes: 4096,
             ways: 2,
         });
-        assert!(c.get(0).is_none());
-        c.insert(0, chunk(1.0, 16));
-        assert_eq!(c.get(0).unwrap().as_slice()[0], 1.0);
+        assert!(c.get((0, 1)).is_none());
+        c.insert((0, 1), chunk(1.0, 16));
+        assert_eq!(c.get((0, 1)).unwrap().as_slice()[0], 1.0);
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert_eq!(s.resident_bytes, 64);
@@ -212,14 +241,14 @@ mod tests {
             ways: 1,
         });
         for k in 0..4 {
-            c.insert(k, chunk(k as f32, 16));
+            c.insert((k, 1), chunk(k as f32, 16));
         }
         // Touch 0 so 1 becomes the LRU victim.
-        assert!(c.get(0).is_some());
-        c.insert(4, chunk(4.0, 16));
-        assert!(c.get(1).is_none(), "LRU entry should have been evicted");
-        assert!(c.get(0).is_some());
-        assert!(c.get(4).is_some());
+        assert!(c.get((0, 1)).is_some());
+        c.insert((4, 1), chunk(4.0, 16));
+        assert!(c.get((1, 1)).is_none(), "LRU entry should have been evicted");
+        assert!(c.get((0, 1)).is_some());
+        assert!(c.get((4, 1)).is_some());
         let s = c.stats();
         assert_eq!(s.evictions, 1);
         assert!(s.resident_bytes <= 256);
@@ -231,8 +260,8 @@ mod tests {
             capacity_bytes: 64,
             ways: 1,
         });
-        c.insert(0, chunk(0.0, 1024));
-        assert!(c.get(0).is_none());
+        c.insert((0, 1), chunk(0.0, 1024));
+        assert!(c.get((0, 1)).is_none());
         assert_eq!(c.stats().resident_bytes, 0);
     }
 
@@ -242,11 +271,43 @@ mod tests {
             capacity_bytes: 1024,
             ways: 1,
         });
-        c.insert(0, chunk(1.0, 16));
-        c.insert(0, chunk(2.0, 32));
+        c.insert((0, 1), chunk(1.0, 16));
+        c.insert((0, 1), chunk(2.0, 32));
         let s = c.stats();
         assert_eq!(s.resident_chunks, 1);
         assert_eq!(s.resident_bytes, 128);
-        assert_eq!(c.get(0).unwrap().len(), 32);
+        assert_eq!(c.get((0, 1)).unwrap().len(), 32);
+    }
+
+    /// Regression (mutable stores): the same chunk index under a newer
+    /// fingerprint is a *different* key — a lookup for generation 2's
+    /// content can never return generation 1's bytes.
+    #[test]
+    fn fingerprint_isolates_generations() {
+        let c = DecodedChunkCache::<f32>::new(CacheConfig {
+            capacity_bytes: 4096,
+            ways: 2,
+        });
+        c.insert((3, 1), chunk(1.0, 16));
+        assert!(c.get((3, 2)).is_none(), "new generation must miss");
+        c.insert((3, 2), chunk(2.0, 16));
+        assert_eq!(c.get((3, 2)).unwrap().as_slice()[0], 2.0);
+        // Both coexist until the old one is removed or evicted.
+        assert_eq!(c.stats().resident_chunks, 2);
+    }
+
+    #[test]
+    fn remove_reclaims_bytes_without_counting_eviction() {
+        let c = DecodedChunkCache::<f32>::new(CacheConfig {
+            capacity_bytes: 4096,
+            ways: 1,
+        });
+        c.insert((0, 1), chunk(1.0, 16));
+        assert!(c.remove((0, 1)));
+        assert!(!c.remove((0, 1)), "second remove is a no-op");
+        let s = c.stats();
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.resident_chunks, 0);
+        assert_eq!(s.evictions, 0);
     }
 }

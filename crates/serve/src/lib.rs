@@ -23,7 +23,13 @@
 //! * [`PrefetchPolicy`] — sequential scans warm the chunks just past
 //!   each request,
 //! * [`ReaderStats`] — hits, misses, decode counts/bytes, and wall time
-//!   for capacity planning.
+//!   for capacity planning,
+//! * **write-through refresh** — a reader on a mutable store
+//!   ([`eblcio_store::MutableStore`]) pins one generation per request
+//!   and [`ArrayReader::refresh`]es to newer generations on demand,
+//!   invalidating only the cached chunks whose content changed (cache
+//!   keys carry a content fingerprint, so stale hits are impossible
+//!   and untouched chunks stay warm).
 //!
 //! ```
 //! use eblcio_codec::{CompressorId, ErrorBound};
@@ -62,5 +68,7 @@
 pub mod cache;
 pub mod reader;
 
-pub use cache::{CacheConfig, CacheStats, DecodedChunkCache};
-pub use reader::{ArrayReader, PrefetchPolicy, ReaderConfig, ReaderStats, RequestStats};
+pub use cache::{CacheConfig, CacheStats, ChunkKey, DecodedChunkCache};
+pub use reader::{
+    ArrayReader, PrefetchPolicy, ReaderConfig, ReaderStats, RefreshStats, RequestStats,
+};

@@ -1,5 +1,6 @@
 //! [`ArrayReader`]: a shared, concurrent handle serving region and
-//! chunk reads from one chunked store.
+//! chunk reads from one chunked store — including live stores that
+//! publish new generations while the reader is serving.
 //!
 //! The reader is the piece that turns a passive container into a
 //! service. Many client threads hold `&ArrayReader` and issue
@@ -15,13 +16,23 @@
 //!    bytes),
 //! 3. a **sequential prefetcher** — scan-shaped workloads warm the
 //!    chunks just past each request inside the same parallel batch.
+//!
+//! For mutable stores ([`eblcio_store::mutable`]) the reader adds a
+//! fourth mechanism: **write-through refresh**. Every request pins one
+//! generation snapshot for its whole lifetime (requests can never
+//! observe half of generation N and half of N+1), and
+//! [`ArrayReader::refresh`] atomically swaps the snapshot to a newer
+//! generation, invalidating exactly the cached chunks whose content
+//! changed — untouched chunks stay warm because cache keys carry the
+//! chunk's content fingerprint, not just its index.
 
-use crate::cache::{CacheConfig, CacheStats, DecodedChunkCache};
+use crate::cache::{CacheConfig, CacheStats, ChunkKey, DecodedChunkCache};
 use eblcio_codec::header::Header;
 use eblcio_codec::parallel::pool_for;
 use eblcio_codec::{CodecError, Compressor, Result};
 use eblcio_data::{Element, NdArray};
-use eblcio_store::{scatter_chunk, ChunkedStore, Region};
+use eblcio_store::{scatter_chunk, ChunkedStore, MutableStore, Region};
+use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -76,6 +87,12 @@ pub struct ReaderStats {
     pub prefetched: u64,
     /// Cache evictions.
     pub evictions: u64,
+    /// [`ArrayReader::refresh`] calls that swapped in a newer
+    /// generation.
+    pub refreshes: u64,
+    /// Cached chunks invalidated by refreshes (only chunks whose
+    /// content actually changed are evicted).
+    pub invalidations: u64,
     /// Wall-clock seconds spent inside request calls (summed across
     /// concurrent clients, so this can exceed elapsed time).
     pub wall_seconds: f64,
@@ -105,6 +122,20 @@ pub struct RequestStats {
     pub chunks_prefetched: usize,
 }
 
+/// Outcome of an [`ArrayReader::refresh`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Generation served before the refresh.
+    pub from_generation: u64,
+    /// Generation served after it.
+    pub to_generation: u64,
+    /// Chunks whose content fingerprint changed between the two.
+    pub chunks_changed: usize,
+    /// Changed chunks that were resident in the cache and got evicted
+    /// (≤ `chunks_changed`; the rest were simply not cached).
+    pub invalidated: usize,
+}
+
 /// One in-flight decode: the leader publishes its result here and every
 /// follower blocks on the condvar until it lands.
 struct Flight<T: Element> {
@@ -116,11 +147,37 @@ struct Flight<T: Element> {
 /// prefetch with no slot to fill).
 type TaggedFetch<T> = (Option<usize>, Result<Arc<NdArray<T>>>);
 
+/// Everything a request needs from one consistent generation: the
+/// store snapshot, one decoder per chain, and the per-chunk cache keys.
+/// Requests clone the `Arc` once at entry, so a concurrent refresh can
+/// never hand half a request a newer generation.
+struct ReadState {
+    store: Arc<ChunkedStore>,
+    /// One decoder per chain-table entry, shared by every request.
+    decoders: Vec<Box<dyn Compressor>>,
+    /// `(index, fingerprint)` cache key per chunk.
+    keys: Vec<ChunkKey>,
+}
+
+impl ReadState {
+    fn build(store: ChunkedStore) -> Result<Self> {
+        let decoders = store.decoders()?;
+        let keys = (0..store.n_chunks())
+            .map(|i| (i, store.chunk_fingerprint(i)))
+            .collect();
+        Ok(Self {
+            store: Arc::new(store),
+            decoders,
+            keys,
+        })
+    }
+}
+
 /// A concurrent read-serving handle over a [`ChunkedStore`].
 ///
-/// The reader borrows the store stream (`'a`), so the typical setup
-/// maps or reads the file once and shares one reader across every
-/// client thread:
+/// The reader owns a snapshot of the store (the bytes are shared
+/// behind an `Arc`), so the typical setup reads or maps the file once
+/// and shares one reader across every client thread:
 ///
 /// ```
 /// use eblcio_codec::{CompressorId, ErrorBound};
@@ -144,12 +201,39 @@ type TaggedFetch<T> = (Option<usize>, Result<Arc<NdArray<T>>>);
 /// // The second pass came out of the decoded-chunk cache.
 /// assert!(reader.stats().cache_hits >= 4);
 /// ```
-pub struct ArrayReader<'a, T: Element> {
-    store: ChunkedStore<'a>,
-    /// One decoder per chain-table entry, shared by every request.
-    decoders: Vec<Box<dyn Compressor>>,
+///
+/// Serving a mutable store adds [`ArrayReader::refresh`]: the reader
+/// keeps serving its pinned generation until told to move forward, and
+/// moving forward evicts exactly the chunks the new generation
+/// rewrote:
+///
+/// ```
+/// use eblcio_codec::{CompressorId, ErrorBound};
+/// use eblcio_data::{NdArray, Shape};
+/// use eblcio_serve::{ArrayReader, ReaderConfig};
+/// use eblcio_store::{MutableStore, Region};
+///
+/// let data = NdArray::<f32>::from_fn(Shape::d2(32, 32), |i| i[0] as f32);
+/// let codec = CompressorId::Szx.instance();
+/// let mut store = MutableStore::create(
+///     codec.as_ref(), &data, ErrorBound::Relative(1e-3), Shape::d2(16, 16), 2,
+/// ).unwrap();
+/// let reader = ArrayReader::<f32>::serve(&store, ReaderConfig::default()).unwrap();
+/// reader.read_region(&Region::new(&[0, 0], &[32, 32])).unwrap(); // warm all 4 chunks
+///
+/// let patch = NdArray::<f32>::from_fn(Shape::d2(16, 16), |_| -1.0);
+/// store.update_region(&Region::new(&[0, 0], &[16, 16]), &patch, 2).unwrap();
+/// let r = reader.refresh_from(&store).unwrap();
+/// assert_eq!((r.from_generation, r.to_generation), (1, 2));
+/// assert_eq!(r.chunks_changed, 1);   // three chunks stayed warm
+/// assert_eq!(r.invalidated, 1);
+/// let v = reader.read_region(&Region::new(&[0, 0], &[1, 1])).unwrap();
+/// assert!((v.as_slice()[0] + 1.0).abs() <= 0.1);
+/// ```
+pub struct ArrayReader<T: Element> {
+    state: RwLock<Arc<ReadState>>,
     cache: DecodedChunkCache<T>,
-    inflight: Mutex<HashMap<usize, Arc<Flight<T>>>>,
+    inflight: Mutex<HashMap<ChunkKey, Arc<Flight<T>>>>,
     pool: Arc<rayon::ThreadPool>,
     prefetch: PrefetchPolicy,
     requests: AtomicU64,
@@ -157,33 +241,41 @@ pub struct ArrayReader<'a, T: Element> {
     decodes: AtomicU64,
     decoded_bytes: AtomicU64,
     prefetched: AtomicU64,
+    refreshes: AtomicU64,
+    invalidations: AtomicU64,
     wall_nanos: AtomicU64,
 }
 
-impl<'a, T: Element> ArrayReader<'a, T> {
+impl<T: Element> ArrayReader<T> {
     /// Opens a store stream and builds a reader over it. Fails up front
     /// on a corrupt manifest, a dtype mismatch, or an unbuildable
     /// chain, so serving never discovers those mid-request.
-    pub fn open(stream: &'a [u8], config: ReaderConfig) -> Result<Self> {
+    pub fn open(stream: &[u8], config: ReaderConfig) -> Result<Self> {
         Self::over(ChunkedStore::open(stream)?, config)
     }
 
+    /// Builds a reader serving the *current* generation of a mutable
+    /// store. Later generations are picked up by
+    /// [`ArrayReader::refresh_from`].
+    pub fn serve(store: &MutableStore, config: ReaderConfig) -> Result<Self> {
+        Self::over(store.current()?, config)
+    }
+
     /// Builds a reader over an already opened store.
-    pub fn over(store: ChunkedStore<'a>, config: ReaderConfig) -> Result<Self> {
+    pub fn over(store: ChunkedStore, config: ReaderConfig) -> Result<Self> {
         if store.dtype() != Header::dtype_of::<T>() {
             return Err(CodecError::DtypeMismatch {
                 expected: if store.dtype() == 0 { "f32" } else { "f64" },
                 got: T::NAME,
             });
         }
-        let decoders = store.decoders()?;
         let threads = if config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             config.threads
         };
         Ok(Self {
-            decoders,
+            state: RwLock::new(Arc::new(ReadState::build(store)?)),
             cache: DecodedChunkCache::new(config.cache),
             inflight: Mutex::new(HashMap::new()),
             pool: pool_for(threads)?,
@@ -193,14 +285,95 @@ impl<'a, T: Element> ArrayReader<'a, T> {
             decodes: AtomicU64::new(0),
             decoded_bytes: AtomicU64::new(0),
             prefetched: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
             wall_nanos: AtomicU64::new(0),
-            store,
         })
     }
 
-    /// The store this reader serves.
-    pub fn store(&self) -> &ChunkedStore<'a> {
-        &self.store
+    /// The store snapshot this reader currently serves (shared, cheap
+    /// to clone; pinned until the next [`ArrayReader::refresh`]).
+    pub fn store(&self) -> Arc<ChunkedStore> {
+        self.state.read().store.clone()
+    }
+
+    /// The generation currently served (0 for static stores).
+    pub fn generation(&self) -> u64 {
+        self.state.read().store.generation()
+    }
+
+    /// Atomically swaps the served snapshot for `store` — a newer (or
+    /// any other) generation of the *same* array — and invalidates
+    /// exactly the cached chunks whose content fingerprint changed.
+    /// Chunks the new generation shares with the old keep their cache
+    /// entries and their in-flight decodes.
+    ///
+    /// Requests already running keep their pinned snapshot to
+    /// completion, so no request ever sees a mix of generations; new
+    /// requests see the new one. The store must be a mutable-store
+    /// generation (static stores have no fingerprints to diff against,
+    /// so refreshing onto one could alias cached content) and must
+    /// match in dtype, shape, and chunk shape (mutable stores never
+    /// change geometry within a lineage).
+    ///
+    /// Invalidation is exact for reachability — superseded keys can
+    /// never be looked up again — and best-effort for space: a request
+    /// concurrently decoding on the old snapshot may re-insert a
+    /// superseded entry after the sweep, where it stays unreachable
+    /// until LRU pressure displaces it.
+    pub fn refresh(&self, store: ChunkedStore) -> Result<RefreshStats> {
+        if store.dtype() != Header::dtype_of::<T>() {
+            return Err(CodecError::DtypeMismatch {
+                expected: if store.dtype() == 0 { "f32" } else { "f64" },
+                got: T::NAME,
+            });
+        }
+        if store.generation() == 0 {
+            return Err(CodecError::Corrupt { context: "refresh target is not generational" });
+        }
+        let next = Arc::new(ReadState::build(store)?);
+        // The old-state read, the swap, and the key sweep all happen
+        // under the write lock, so concurrent refresh calls serialize:
+        // every returned RefreshStats describes a transition that
+        // actually took place, in order. (Request paths only hold the
+        // read lock for an Arc clone, so they are barely delayed; no
+        // path takes a cache lock before the state lock, so ordering
+        // is deadlock-free.)
+        let stats = {
+            let mut guard = self.state.write();
+            let old = guard.clone();
+            if next.store.shape() != old.store.shape()
+                || next.store.chunk_shape() != old.store.chunk_shape()
+            {
+                return Err(CodecError::Corrupt { context: "refresh store geometry" });
+            }
+            *guard = next.clone();
+            let mut chunks_changed = 0usize;
+            let mut invalidated = 0usize;
+            for (old_key, new_key) in old.keys.iter().zip(&next.keys) {
+                if old_key != new_key {
+                    chunks_changed += 1;
+                    if self.cache.remove(*old_key) {
+                        invalidated += 1;
+                    }
+                }
+            }
+            RefreshStats {
+                from_generation: old.store.generation(),
+                to_generation: next.store.generation(),
+                chunks_changed,
+                invalidated,
+            }
+        };
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.invalidations
+            .fetch_add(stats.invalidated as u64, Ordering::Relaxed);
+        Ok(stats)
+    }
+
+    /// [`ArrayReader::refresh`] to the current generation of `store`.
+    pub fn refresh_from(&self, store: &MutableStore) -> Result<RefreshStats> {
+        self.refresh(store.current()?)
     }
 
     /// Cumulative reader counters (cache counters folded in).
@@ -215,6 +388,8 @@ impl<'a, T: Element> ArrayReader<'a, T> {
             decoded_bytes: self.decoded_bytes.load(Ordering::Relaxed),
             prefetched: self.prefetched.load(Ordering::Relaxed),
             evictions: c.evictions,
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
         }
     }
@@ -227,51 +402,53 @@ impl<'a, T: Element> ArrayReader<'a, T> {
     /// Decodes chunk `i` through the cache with single-flight
     /// de-duplication. The returned chunk is shared — clones of one
     /// `Arc` — across every concurrent caller.
-    fn fetch_chunk(&self, i: usize) -> Result<Arc<NdArray<T>>> {
-        if let Some(hit) = self.cache.get(i) {
+    fn fetch_chunk(&self, state: &ReadState, i: usize) -> Result<Arc<NdArray<T>>> {
+        if let Some(hit) = self.cache.get(state.keys[i]) {
             return Ok(hit);
         }
-        self.fetch_chunk_after_miss(i)
+        self.fetch_chunk_after_miss(state, i)
     }
 
     /// The miss path: single-flight decode for a chunk the caller has
     /// already (and recently) failed to find in the cache. Split out so
     /// the region engine can probe the whole request cheaply first and
     /// spin up the parallel pool only when something actually needs
-    /// decoding.
-    fn fetch_chunk_after_miss(&self, i: usize) -> Result<Arc<NdArray<T>>> {
+    /// decoding. Keyed by `(index, fingerprint)`, so decodes of the
+    /// same index for different generations never collide.
+    fn fetch_chunk_after_miss(&self, state: &ReadState, i: usize) -> Result<Arc<NdArray<T>>> {
+        let key = state.keys[i];
         let (flight, leader) = {
             let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
-            match map.get(&i) {
+            match map.get(&key) {
                 Some(f) => (f.clone(), false),
                 None => {
                     // Re-check under the map lock: a leader that just
                     // finished removed its flight *after* populating
                     // the cache, so a miss followed by an empty map can
                     // still mean "already decoded".
-                    if let Some(hit) = self.cache.peek(i) {
+                    if let Some(hit) = self.cache.peek(key) {
                         return Ok(hit);
                     }
                     let f = Arc::new(Flight {
                         result: Mutex::new(None),
                         done: Condvar::new(),
                     });
-                    map.insert(i, f.clone());
+                    map.insert(key, f.clone());
                     (f, true)
                 }
             }
         };
         if leader {
-            let res = self.decode_now(i);
+            let res = self.decode_now(state, i);
             if let Ok(chunk) = &res {
-                self.cache.insert(i, chunk.clone());
+                self.cache.insert(key, chunk.clone());
             }
             *flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(res.clone());
             flight.done.notify_all();
             self.inflight
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .remove(&i);
+                .remove(&key);
             res
         } else {
             let mut slot = flight.result.lock().unwrap_or_else(|e| e.into_inner());
@@ -286,9 +463,9 @@ impl<'a, T: Element> ArrayReader<'a, T> {
     }
 
     /// The actual decompression, charged to this reader's counters.
-    fn decode_now(&self, i: usize) -> Result<Arc<NdArray<T>>> {
-        let codec = self.decoders[self.store.chunk_chain_index(i)].as_ref();
-        let arr = self.store.decode_chunk::<T>(codec, i)?;
+    fn decode_now(&self, state: &ReadState, i: usize) -> Result<Arc<NdArray<T>>> {
+        let codec = state.decoders[state.store.chunk_chain_index(i)].as_ref();
+        let arr = state.store.decode_chunk::<T>(codec, i)?;
         self.decodes.fetch_add(1, Ordering::Relaxed);
         self.decoded_bytes
             .fetch_add(arr.nbytes() as u64, Ordering::Relaxed);
@@ -296,11 +473,11 @@ impl<'a, T: Element> ArrayReader<'a, T> {
     }
 
     /// Raster-order chunk ids the prefetch policy adds after `last`.
-    fn prefetch_ids(&self, last: usize) -> Vec<usize> {
+    fn prefetch_ids(&self, state: &ReadState, last: usize) -> Vec<usize> {
         match self.prefetch {
             PrefetchPolicy::None => Vec::new(),
             PrefetchPolicy::Sequential { depth } => ((last + 1)
-                ..(last + 1 + depth).min(self.store.n_chunks()))
+                ..(last + 1 + depth).min(state.store.n_chunks()))
                 .collect(),
         }
     }
@@ -309,12 +486,13 @@ impl<'a, T: Element> ArrayReader<'a, T> {
     /// typed error.
     pub fn read_chunk(&self, i: usize) -> Result<Arc<NdArray<T>>> {
         let t0 = Instant::now();
-        if i >= self.store.n_chunks() {
+        let state = self.state.read().clone();
+        if i >= state.store.n_chunks() {
             return Err(CodecError::Corrupt { context: "store chunk reference" });
         }
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.chunks_requested.fetch_add(1, Ordering::Relaxed);
-        let res = self.fetch_chunk(i);
+        let res = self.fetch_chunk(&state, i);
         self.wall_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         res
@@ -333,26 +511,30 @@ impl<'a, T: Element> ArrayReader<'a, T> {
     /// Intersecting chunks (plus any prefetch extension) are fetched in
     /// parallel on the shared pool; each fetch resolves through the
     /// cache and single-flight layers, so concurrent overlapping
-    /// requests cooperate instead of duplicating decode work.
+    /// requests cooperate instead of duplicating decode work. The whole
+    /// request runs against one generation snapshot pinned on entry.
     ///
     /// # Panics
     /// Panics if the region does not fit inside the array shape.
     pub fn read_region_with_stats(&self, region: &Region) -> Result<(NdArray<T>, RequestStats)> {
         let t0 = Instant::now();
+        let state = self.state.read().clone();
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let wanted = self.store.grid().chunks_intersecting(region);
+        let wanted = state.store.grid().chunks_intersecting(region);
         self.chunks_requested
             .fetch_add(wanted.len() as u64, Ordering::Relaxed);
         // `chunks_intersecting` returns ascending raster order, so the
         // last entry is the scan frontier the prefetcher extends.
-        let ahead = self.prefetch_ids(*wanted.last().expect("regions are non-empty"));
+        let ahead = self.prefetch_ids(&state, *wanted.last().expect("regions are non-empty"));
         self.prefetched.fetch_add(ahead.len() as u64, Ordering::Relaxed);
 
         // Probe the cache first: hits are two hash lookups, and a fully
         // warm request never touches the parallel pool at all. Only the
         // chunks that actually need decoding fan out.
-        let mut parts: Vec<Option<Arc<NdArray<T>>>> =
-            wanted.iter().map(|&i| self.cache.get(i)).collect();
+        let mut parts: Vec<Option<Arc<NdArray<T>>>> = wanted
+            .iter()
+            .map(|&i| self.cache.get(state.keys[i]))
+            .collect();
         let from_cache = parts.iter().filter(|p| p.is_some()).count();
         // Each entry pairs a chunk id with the output slot it fills
         // (`None` for speculative prefetches), so placement below is
@@ -364,7 +546,7 @@ impl<'a, T: Element> ArrayReader<'a, T> {
             .chain(
                 ahead
                     .iter()
-                    .filter(|&&i| self.cache.peek(i).is_none())
+                    .filter(|&&i| self.cache.peek(state.keys[i]).is_none())
                     .map(|&i| (i, None)),
             )
             .collect();
@@ -372,7 +554,7 @@ impl<'a, T: Element> ArrayReader<'a, T> {
             let fetched: Vec<TaggedFetch<T>> = self.pool.install(|| {
                 to_fetch
                     .par_iter()
-                    .map(|&(i, slot)| (slot, self.fetch_chunk_after_miss(i)))
+                    .map(|&(i, slot)| (slot, self.fetch_chunk_after_miss(&state, i)))
                     .collect()
             });
             // A `None` slot is a speculative prefetch: its failure must
@@ -388,7 +570,7 @@ impl<'a, T: Element> ArrayReader<'a, T> {
         let mut out = NdArray::<T>::zeros(region.shape());
         for (&i, part) in wanted.iter().zip(&parts) {
             let part = part.as_ref().expect("every wanted chunk resolved");
-            scatter_chunk(part, &self.store.grid().chunk_region(i), region, &mut out);
+            scatter_chunk(part, &state.store.grid().chunk_region(i), region, &mut out);
         }
         self.wall_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -407,7 +589,8 @@ impl<'a, T: Element> ArrayReader<'a, T> {
     /// ahead of a predictable access pattern. Decode errors are
     /// deferred to the read that actually needs the chunk.
     pub fn prefetch_region(&self, region: &Region) {
-        let ids: Vec<usize> = self
+        let state = self.state.read().clone();
+        let ids: Vec<usize> = state
             .store
             .grid()
             .chunks_intersecting(region)
@@ -415,14 +598,14 @@ impl<'a, T: Element> ArrayReader<'a, T> {
             .inspect(|_| {
                 self.prefetched.fetch_add(1, Ordering::Relaxed);
             })
-            .filter(|&i| self.cache.peek(i).is_none())
+            .filter(|&i| self.cache.peek(state.keys[i]).is_none())
             .collect();
         if ids.is_empty() {
             return;
         }
         let _: Vec<bool> = self.pool.install(|| {
             ids.par_iter()
-                .map(|&i| self.fetch_chunk_after_miss(i).is_ok())
+                .map(|&i| self.fetch_chunk_after_miss(&state, i).is_ok())
                 .collect()
         });
     }

@@ -17,7 +17,13 @@
 //!   ([`pfs_io::write_store`] stripes them round-robin across OSTs), so
 //!   only the touched chunks pay I/O energy on read-back,
 //! * **per-chunk accounting** — [`ChunkedStore::chunk_quality`] reports
-//!   one [`QualityReport`](eblcio_data::QualityReport) per chunk.
+//!   one [`QualityReport`](eblcio_data::QualityReport) per chunk,
+//! * **mutability** — [`MutableStore`] wraps a store in an `EBMS` file
+//!   with copy-on-write chunk updates published as crash-consistent
+//!   manifest generations: readers opened on generation N are
+//!   bit-stable while N+1 is written, [`MutableStore::open_at`]
+//!   time-travels, and [`MutableStore::compact`] reclaims dead bytes
+//!   (see [`mutable`]).
 //!
 //! ```
 //! use eblcio_codec::{CompressorId, ErrorBound};
@@ -44,12 +50,16 @@
 
 pub mod grid;
 pub mod manifest;
+pub mod mutable;
 pub mod pfs_io;
 pub mod shard;
 pub mod store;
 
 pub use grid::{copy_region, gather, scatter_chunk, ChunkGrid, Region};
-pub use manifest::{ChunkEntry, ChunkSlot, Manifest, ShardTable};
-pub use pfs_io::{read_region_io, write_store};
+pub use manifest::{ChunkEntry, ChunkSlot, GenerationMeta, Manifest, ShardTable};
+pub use mutable::{
+    CompactStats, GenerationSummary, MutableStore, PublishOps, StoreWriter, UpdateStats,
+};
+pub use pfs_io::{read_region_io, update_io, write_store};
 pub use shard::{build_shard, ShardIndex, SlotEntry};
 pub use store::{ChunkedStore, RegionReadStats};

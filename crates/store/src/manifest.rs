@@ -36,15 +36,43 @@
 //! indices are a few bytes per chunk), so every read path sees plain
 //! offset/length [`ChunkEntry`]s regardless of version.
 //!
+//! Version 4 is the *generational* manifest used inside mutable `EBMS`
+//! store files (see [`crate::mutable`]): chunk offsets are absolute
+//! file offsets into an append-only object log (no contiguity
+//! requirement — a chunk object may be shared with the parent
+//! generation, copy-on-write), and the manifest carries the generation
+//! chain plus per-chunk provenance:
+//!
+//! ```text
+//! "EBCS" | version=4 | dtype u8 | rank u8
+//! dims (rank × varint) | chunk dims (rank × varint) | abs_bound f64
+//! generation varint | parent varint | parent_offset varint | parent_len varint
+//! n_chains varint | chain specs…
+//! n_chunks varint
+//! index: n_chunks × (chain varint, offset varint, length varint,
+//!                    born_gen varint, payload crc32 u32)
+//! manifest crc32 u32
+//! ```
+//!
+//! A v4 manifest is self-contained (no payload follows it — it ends at
+//! its CRC trailer) and is only meaningful inside the mutable-store
+//! file whose object log its offsets point into. `born_gen` records
+//! the generation that wrote each chunk object; within one store
+//! lineage a generation writes any chunk at most once, so
+//! `(chunk index, born_gen)` uniquely identifies a chunk's *content* —
+//! the fingerprint serving caches key on. The per-chunk CRC catches a
+//! manifest pointing at torn or stale object bytes before the decode
+//! starts.
+//!
 //! Version 1 manifests (a single codec id byte before the dtype, no
 //! chain table or per-chunk chain column) remain readable: the codec
 //! byte maps onto a one-entry chain table of its preset.
 //!
-//! Offsets are relative to the payload start and must be contiguous in
-//! write order; the CRC covers every manifest byte before it, so a
-//! flipped bit in the index is caught before any chunk is decoded. Each
-//! chunk payload is itself a complete `EBLC` stream with its own
-//! header and payload checksum.
+//! For v1–v3, offsets are relative to the payload start and must be
+//! contiguous in write order; the CRC covers every manifest byte before
+//! it, so a flipped bit in the index is caught before any chunk is
+//! decoded. Each chunk payload is itself a complete `EBLC` stream with
+//! its own header and payload checksum.
 
 use crate::grid::ChunkGrid;
 use crate::shard::ShardIndex;
@@ -62,6 +90,9 @@ pub const VERSION: u8 = 2;
 pub const VERSION_V1: u8 = 1;
 /// Sharded container version (chain table + shard table).
 pub const VERSION_V3: u8 = 3;
+/// Generational container version (mutable `EBMS` stores; absolute
+/// offsets, generation chain, per-chunk provenance).
+pub const VERSION_V4: u8 = 4;
 
 /// Cap on distinct chains per store (sanity bound for corrupt headers).
 pub const MAX_CHAINS: usize = 64;
@@ -111,6 +142,30 @@ impl ShardTable {
     }
 }
 
+/// Generation half of a v4 manifest: where this snapshot sits in the
+/// mutable store's history and which generation wrote each chunk.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct GenerationMeta {
+    /// This snapshot's generation id (monotonically increasing, ≥ 1).
+    pub generation: u64,
+    /// Parent generation id (0 = no parent: the first generation, or a
+    /// compaction that severed history).
+    pub parent: u64,
+    /// Absolute file offset of the parent's manifest (0 when no parent).
+    pub parent_offset: u64,
+    /// Byte length of the parent's manifest (0 when no parent).
+    pub parent_len: u64,
+    /// Per-chunk: the generation that wrote this chunk's object. A
+    /// chunk untouched since the store was created carries 1; an
+    /// updated chunk carries the generation of the update that last
+    /// rewrote it. Folded with the payload CRC it forms the content
+    /// fingerprint serving caches key on
+    /// (`ChunkedStore::chunk_fingerprint`).
+    pub born_gens: Vec<u64>,
+    /// Per-chunk CRC32 of the object bytes, verified before decode.
+    pub chunk_crcs: Vec<u32>,
+}
+
 /// Parsed store manifest.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Manifest {
@@ -132,6 +187,9 @@ pub struct Manifest {
     pub chunks: Vec<ChunkEntry>,
     /// The shard table, when this is a v3 sharded store.
     pub sharding: Option<ShardTable>,
+    /// Generation metadata, when this is a v4 manifest inside a
+    /// mutable store. Mutually exclusive with `sharding`.
+    pub generation: Option<GenerationMeta>,
 }
 
 impl Manifest {
@@ -161,26 +219,71 @@ impl Manifest {
         }
     }
 
-    /// Serializes the manifest (everything before the payload bytes).
-    /// Emits the v3 wire layout when a shard table is present, v2
-    /// otherwise.
+    /// The recorded CRC32 of chunk `i`'s payload bytes, when this
+    /// manifest carries one (v3 lifts them out of the shard indices, v4
+    /// records them in the chunk index; v1/v2 have none and rely on the
+    /// `EBLC` payload checksum alone).
+    pub fn chunk_crc(&self, i: usize) -> Option<u32> {
+        match (&self.sharding, &self.generation) {
+            (Some(t), _) => t.chunk_crcs.get(i).copied(),
+            (_, Some(g)) => g.chunk_crcs.get(i).copied(),
+            _ => None,
+        }
+    }
+
+    /// Serializes the manifest (for v1–v3, everything before the
+    /// payload bytes; a v4 manifest is the complete encoding). Emits
+    /// the v4 wire layout when generation metadata is present, v3 when
+    /// a shard table is present, v2 otherwise.
     ///
     /// # Panics
     /// Panics if a shard table is present but its `chunk_slots` does
-    /// not assign exactly one slot per entry of `chunks`.
+    /// not assign exactly one slot per entry of `chunks`, if generation
+    /// metadata is present whose per-chunk columns do not cover every
+    /// chunk, or if both a shard table and generation metadata are set.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(48 + self.chains.len() * 6 + self.chunks.len() * 7);
+        assert!(
+            self.sharding.is_none() || self.generation.is_none(),
+            "a manifest is sharded (v3) or generational (v4), never both"
+        );
+        let mut out = Vec::with_capacity(64 + self.chains.len() * 6 + self.chunks.len() * 12);
         out.extend_from_slice(MAGIC);
-        out.push(if self.sharding.is_some() { VERSION_V3 } else { VERSION });
+        out.push(match (&self.sharding, &self.generation) {
+            (Some(_), _) => VERSION_V3,
+            (_, Some(_)) => VERSION_V4,
+            _ => VERSION,
+        });
         out.push(self.dtype);
         framing::put_shape(&mut out, self.shape);
         for &d in self.chunk_shape.dims() {
             put_varint(&mut out, d as u64);
         }
         framing::put_abs_bound(&mut out, self.abs_bound);
+        if let Some(g) = &self.generation {
+            assert!(
+                g.born_gens.len() == self.chunks.len() && g.chunk_crcs.len() == self.chunks.len(),
+                "generational manifest must carry born_gen and crc for every chunk"
+            );
+            put_varint(&mut out, g.generation);
+            put_varint(&mut out, g.parent);
+            put_varint(&mut out, g.parent_offset);
+            put_varint(&mut out, g.parent_len);
+        }
         put_varint(&mut out, self.chains.len() as u64);
         for c in &self.chains {
             c.encode_into(&mut out);
+        }
+        if let Some(g) = &self.generation {
+            put_varint(&mut out, self.chunks.len() as u64);
+            for (i, c) in self.chunks.iter().enumerate() {
+                put_varint(&mut out, u64::from(c.chain));
+                put_varint(&mut out, c.offset);
+                put_varint(&mut out, c.len);
+                put_varint(&mut out, g.born_gens[i]);
+                out.extend_from_slice(&g.chunk_crcs[i].to_le_bytes());
+            }
+            framing::put_crc_trailer(&mut out);
+            return out;
         }
         match &self.sharding {
             Some(table) => {
@@ -216,8 +319,11 @@ impl Manifest {
         out
     }
 
-    /// Parses and validates a (v1 or v2) manifest from the head of
-    /// `stream`, returning it together with the payload start offset.
+    /// Parses and validates a manifest from the head of `stream`,
+    /// returning it together with the payload start offset. For v1–v3
+    /// the rest of `stream` must be exactly the payload region; a v4
+    /// manifest must be exactly `stream` (its chunk offsets point into
+    /// the surrounding mutable-store file, not past its own trailer).
     pub fn decode(stream: &[u8]) -> Result<(Self, usize)> {
         let mut r = ByteReader::new(stream);
         framing::expect_magic(&mut r, MAGIC)?;
@@ -226,7 +332,7 @@ impl Manifest {
         // the chain table below.
         let v1_codec = match version {
             VERSION_V1 => Some(CompressorId::from_u8(r.u8("store codec")?)?),
-            VERSION | VERSION_V3 => None,
+            VERSION | VERSION_V3 | VERSION_V4 => None,
             other => return Err(CodecError::UnsupportedVersion(other)),
         };
         let dtype = framing::read_dtype(&mut r)?;
@@ -241,6 +347,28 @@ impl Manifest {
         }
         let chunk_shape = Shape::new(&cdims[..rank]);
         let abs_bound = framing::read_abs_bound(&mut r, true)?;
+        let mut generation = if version == VERSION_V4 {
+            let g = r.varint("store generation")?;
+            let parent = r.varint("store parent generation")?;
+            let parent_offset = r.varint("store parent offset")?;
+            let parent_len = r.varint("store parent length")?;
+            // The chain must strictly decrease toward a rootless first
+            // generation; a parent pointer on generation 1 (or a
+            // self/forward link) was not written by any publisher.
+            if g == 0 || parent >= g || (parent == 0) != (parent_len == 0) {
+                return Err(CodecError::Corrupt { context: "store generation" });
+            }
+            Some(GenerationMeta {
+                generation: g,
+                parent,
+                parent_offset,
+                parent_len,
+                born_gens: Vec::new(),
+                chunk_crcs: Vec::new(),
+            })
+        } else {
+            None
+        };
         let chains = match v1_codec {
             Some(id) => vec![ChainSpec::preset(id)],
             None => {
@@ -304,8 +432,8 @@ impl Manifest {
                     c as u32
                 }
             };
-            match &shard_lens {
-                Some(lens) => {
+            match (&shard_lens, &mut generation) {
+                (Some(lens), _) => {
                     let shard = r.varint("store chunk shard")?;
                     let slot = r.varint("store chunk slot")?;
                     if shard >= lens.len() as u64 || slot > u64::from(u32::MAX) {
@@ -319,7 +447,29 @@ impl Manifest {
                     // inner indices have been parsed and verified.
                     chunks.push(ChunkEntry { chain, offset: 0, len: 0 });
                 }
-                None => {
+                (None, Some(g)) => {
+                    // v4: absolute offsets into the mutable store's
+                    // object log — arbitrary order (copy-on-write
+                    // shares parent objects), but every range must be
+                    // finite and every chunk born no later than this
+                    // manifest's generation.
+                    let offset = r.varint("store chunk offset")?;
+                    let len = r.varint("store chunk length")?;
+                    let born = r.varint("store chunk born generation")?;
+                    let crc = r.u32("store chunk crc")?;
+                    if len == 0 || offset.checked_add(len).is_none() {
+                        return Err(CodecError::Corrupt { context: "store chunk index" });
+                    }
+                    if born == 0 || born > g.generation {
+                        return Err(CodecError::Corrupt {
+                            context: "store chunk born generation",
+                        });
+                    }
+                    g.born_gens.push(born);
+                    g.chunk_crcs.push(crc);
+                    chunks.push(ChunkEntry { chain, offset, len });
+                }
+                (None, None) => {
                     let offset = r.varint("store chunk offset")?;
                     let len = r.varint("store chunk length")?;
                     if offset != next || len == 0 {
@@ -335,14 +485,22 @@ impl Manifest {
         framing::check_crc_trailer(&mut r, stream)?;
         let payload_start = r.position();
         let payload = &stream[payload_start..];
-        let sharding = match shard_lens {
-            None => {
+        let sharding = match (shard_lens, &generation) {
+            (None, Some(_)) => {
+                // A v4 manifest is self-contained: nothing may trail
+                // its CRC (its chunk bytes live elsewhere in the file).
+                if !payload.is_empty() {
+                    return Err(CodecError::Corrupt { context: "store manifest length" });
+                }
+                None
+            }
+            (None, None) => {
                 if payload.len() != next as usize {
                     return Err(CodecError::TruncatedStream { context: "store payload" });
                 }
                 None
             }
-            Some(lens) => Some(Self::resolve_shards(
+            (Some(lens), _) => Some(Self::resolve_shards(
                 payload,
                 lens,
                 chunk_slots,
@@ -358,6 +516,7 @@ impl Manifest {
                 chains,
                 chunks,
                 sharding,
+                generation,
             },
             payload_start,
         ))
@@ -453,7 +612,32 @@ mod tests {
                 ChunkEntry { chain: 1, offset: 33, len: 5 },
             ],
             sharding: None,
+            generation: None,
         }
+    }
+
+    /// A v4 generational manifest over the same grid as [`sample`]:
+    /// absolute offsets with a gap (dead bytes from a replaced object),
+    /// two chunks rewritten by generation 3.
+    fn generational_sample() -> Manifest {
+        let mut m = sample();
+        m.chunks = vec![
+            ChunkEntry { chain: 0, offset: 61, len: 9 },
+            ChunkEntry { chain: 1, offset: 70, len: 4 },
+            ChunkEntry { chain: 0, offset: 200, len: 11 },
+            ChunkEntry { chain: 1, offset: 90, len: 2 },
+            ChunkEntry { chain: 0, offset: 150, len: 7 },
+            ChunkEntry { chain: 1, offset: 99, len: 5 },
+        ];
+        m.generation = Some(GenerationMeta {
+            generation: 3,
+            parent: 2,
+            parent_offset: 120,
+            parent_len: 40,
+            born_gens: vec![1, 1, 3, 1, 3, 1],
+            chunk_crcs: vec![0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF],
+        });
+        m
     }
 
     /// Builds a sharded manifest + stream over the same grid as
@@ -733,5 +917,94 @@ mod tests {
         let mut m = sample();
         m.chunk_shape = Shape::d2(11, 4);
         assert!(Manifest::decode(&stream_of(&m)).is_err());
+    }
+
+    #[test]
+    fn v4_roundtrip_is_self_contained() {
+        let m = generational_sample();
+        let s = m.encode();
+        let (back, payload_start) = Manifest::decode(&s).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(payload_start, s.len(), "v4 carries no trailing payload");
+        assert_eq!(back.chunk_crc(2), Some(0xCC));
+    }
+
+    #[test]
+    fn v4_trailing_bytes_rejected() {
+        let mut s = generational_sample().encode();
+        s.push(0);
+        assert!(matches!(
+            Manifest::decode(&s),
+            Err(CodecError::Corrupt { context: "store manifest length" })
+        ));
+    }
+
+    #[test]
+    fn v4_truncation_rejected_everywhere() {
+        let s = generational_sample().encode();
+        for cut in 0..s.len() {
+            assert!(Manifest::decode(&s[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn v4_flipped_bit_caught_everywhere() {
+        let s = generational_sample().encode();
+        for i in 5..s.len() {
+            let mut bad = s.clone();
+            bad[i] ^= 0x08;
+            assert!(Manifest::decode(&bad).is_err(), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn v4_generation_chain_invariants_enforced() {
+        // Parent not younger than self.
+        let mut m = generational_sample();
+        m.generation.as_mut().unwrap().parent = 3;
+        assert!(Manifest::decode(&m.encode()).is_err());
+        // Generation zero is not a generation.
+        let mut m = generational_sample();
+        {
+            let g = m.generation.as_mut().unwrap();
+            g.generation = 0;
+            g.parent = 0;
+            g.parent_offset = 0;
+            g.parent_len = 0;
+        }
+        assert!(Manifest::decode(&m.encode()).is_err());
+        // A rootless manifest cannot claim parent manifest bytes.
+        let mut m = generational_sample();
+        {
+            let g = m.generation.as_mut().unwrap();
+            g.parent = 0;
+            g.parent_offset = 9;
+            g.parent_len = 9;
+        }
+        assert!(Manifest::decode(&m.encode()).is_err());
+    }
+
+    #[test]
+    fn v4_chunk_born_after_manifest_rejected() {
+        let mut m = generational_sample();
+        m.generation.as_mut().unwrap().born_gens[0] = 4;
+        assert!(matches!(
+            Manifest::decode(&m.encode()),
+            Err(CodecError::Corrupt { context: "store chunk born generation" })
+        ));
+        let mut m = generational_sample();
+        m.generation.as_mut().unwrap().born_gens[5] = 0;
+        assert!(Manifest::decode(&m.encode()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "never both")]
+    fn sharded_generational_combination_rejected() {
+        let (mut m, _) = sharded_sample();
+        m.generation = Some(GenerationMeta {
+            generation: 1,
+            ..Default::default()
+        });
+        let _ = m.encode();
     }
 }

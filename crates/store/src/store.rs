@@ -6,6 +6,7 @@
 use crate::grid::{copy_region, gather, scatter_chunk, ChunkGrid, Region};
 use crate::manifest::{ChunkEntry, ChunkSlot, Manifest, ShardTable, MAX_CHAINS};
 use crate::shard::{build_shard, MAX_SLOTS};
+use std::sync::Arc;
 use eblcio_codec::estimate::estimate_cr;
 use eblcio_codec::header::Header;
 use eblcio_codec::parallel::pool_for;
@@ -36,7 +37,7 @@ pub struct RegionReadStats {
 const ADAPTIVE_SAMPLE_SLABS: usize = 3;
 const ADAPTIVE_SAMPLE_ROWS: usize = 2;
 
-/// A zero-copy reader over a chunked compressed array stream, plus the
+/// A reader over a chunked compressed array stream, plus the
 /// associated write entry points that produce such streams.
 ///
 /// The container splits an array into a regular chunk grid, compresses
@@ -50,12 +51,24 @@ const ADAPTIVE_SAMPLE_ROWS: usize = 2;
 /// assignment, and [`ChunkedStore::write_adaptive`] picks the best
 /// candidate per chunk from sampled CR estimates. See
 /// [`crate::manifest`] for the byte layout.
+///
+/// The store *shares* its underlying bytes behind an `Arc`, so clones
+/// and every decoded view are snapshot-isolated: once opened, a store's
+/// bytes can never change under it, even while a
+/// [`MutableStore`](crate::mutable::MutableStore) publishes newer
+/// generations of the same array. [`ChunkedStore::open`] copies the
+/// borrowed stream once; [`ChunkedStore::open_arc`] adopts an existing
+/// allocation without copying.
 #[derive(Clone, Debug)]
-pub struct ChunkedStore<'a> {
+pub struct ChunkedStore {
     manifest: Manifest,
     grid: ChunkGrid,
     manifest_len: usize,
-    payload: &'a [u8],
+    bytes: Arc<[u8]>,
+    /// Byte offset inside `bytes` that chunk offsets are relative to:
+    /// the manifest's end for v1–v3 streams, 0 for v4 generations
+    /// (whose offsets are absolute file offsets).
+    payload_start: usize,
 }
 
 /// Assembles the finished stream from per-chunk streams + chain picks.
@@ -95,6 +108,7 @@ fn assemble<T: Element>(
         chains: used,
         chunks,
         sharding: None,
+        generation: None,
     };
     let mut out = manifest.encode();
     out.reserve(offset as usize);
@@ -139,6 +153,7 @@ fn assemble_sharded<T: Element>(
             index_lens: Vec::new(),
             chunk_crcs: Vec::new(),
         }),
+        generation: None,
     };
     let mut out = manifest.encode();
     out.reserve(shards.iter().map(Vec::len).sum());
@@ -148,7 +163,7 @@ fn assemble_sharded<T: Element>(
     out
 }
 
-impl<'a> ChunkedStore<'a> {
+impl ChunkedStore {
     /// Compresses `data` into a chunked stream with one codec chain.
     ///
     /// Chunks are compressed in parallel on the shared rayon pool for
@@ -388,15 +403,115 @@ impl<'a> ChunkedStore<'a> {
     }
 
     /// Opens a stream, parsing and validating the manifest without
-    /// touching any chunk payload.
-    pub fn open(stream: &'a [u8]) -> Result<Self> {
-        let (manifest, payload_start) = Manifest::decode(stream)?;
+    /// touching any chunk payload. The stream bytes are copied once
+    /// into a shared allocation; use [`ChunkedStore::open_arc`] to
+    /// adopt an existing `Arc` without copying.
+    pub fn open(stream: &[u8]) -> Result<Self> {
+        Self::open_arc(Arc::from(stream))
+    }
+
+    /// Opens a stream held in a shared allocation without copying.
+    ///
+    /// Rejects v4 generational manifests: their chunk offsets point
+    /// into a surrounding mutable-store file, so they are only
+    /// openable through [`MutableStore`](crate::mutable::MutableStore)
+    /// (or [`ChunkedStore::open_generation`] with that file).
+    pub fn open_arc(bytes: Arc<[u8]>) -> Result<Self> {
+        let (manifest, payload_start) = Manifest::decode(&bytes)?;
+        if manifest.generation.is_some() {
+            return Err(CodecError::Corrupt {
+                context: "generational manifest outside a mutable store",
+            });
+        }
         let grid = manifest.grid();
         Ok(Self {
             grid,
             manifest_len: payload_start,
-            payload: &stream[payload_start..],
+            payload_start,
+            bytes,
             manifest,
+        })
+    }
+
+    /// Opens one generation of a mutable store: parses the v4 manifest
+    /// at `manifest_offset..manifest_offset + manifest_len` of `file`
+    /// and validates that every chunk object it references lies inside
+    /// the object log *before* the manifest (publishes append objects,
+    /// then their manifest, then flip the root — a manifest can only
+    /// ever see bytes older than itself).
+    ///
+    /// `log_start` is where the object log begins (the superblock
+    /// length for `EBMS` files); no chunk may reach below it.
+    pub fn open_generation(
+        file: Arc<[u8]>,
+        log_start: usize,
+        manifest_offset: usize,
+        manifest_len: usize,
+    ) -> Result<Self> {
+        let end = manifest_offset
+            .checked_add(manifest_len)
+            .filter(|&e| e <= file.len() && manifest_offset >= log_start)
+            .ok_or(CodecError::Corrupt { context: "store manifest reference" })?;
+        let (manifest, consumed) = Manifest::decode(&file[manifest_offset..end])?;
+        if manifest.generation.is_none() || consumed != manifest_len {
+            return Err(CodecError::Corrupt { context: "store manifest reference" });
+        }
+        for c in &manifest.chunks {
+            let lo = c.offset as usize;
+            let hi = c.offset.checked_add(c.len).map(|e| e as usize);
+            if lo < log_start || hi.is_none_or(|hi| hi > manifest_offset) {
+                return Err(CodecError::Corrupt { context: "store chunk reference" });
+            }
+        }
+        let grid = manifest.grid();
+        Ok(Self {
+            grid,
+            manifest_len,
+            payload_start: 0,
+            bytes: file,
+            manifest,
+        })
+    }
+
+    /// The underlying shared bytes (the whole stream, or the whole
+    /// mutable-store file for a v4 generation).
+    pub fn bytes(&self) -> &Arc<[u8]> {
+        &self.bytes
+    }
+
+    /// This snapshot's generation id: 0 for static (v1–v3) streams,
+    /// ≥ 1 for generations of a mutable store.
+    pub fn generation(&self) -> u64 {
+        self.manifest.generation.as_ref().map_or(0, |g| g.generation)
+    }
+
+    /// The generation that wrote chunk `i`'s object (0 for static
+    /// stores). Chunks untouched since the store was created carry 1.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_chunks()`.
+    pub fn chunk_born_gen(&self, i: usize) -> u64 {
+        assert!(i < self.n_chunks(), "chunk {i} out of {}", self.n_chunks());
+        self.manifest.generation.as_ref().map_or(0, |g| g.born_gens[i])
+    }
+
+    /// Content fingerprint of chunk `i`: the writing generation folded
+    /// with the object's payload CRC (0 for static stores, where
+    /// content never changes). Within one store lineage,
+    /// `(i, fingerprint)` uniquely identifies the chunk's bytes —
+    /// within a generation a chunk is written at most once — and the
+    /// CRC half makes an accidental match across *unrelated* stores of
+    /// the same geometry vanishingly unlikely. Serving caches key on
+    /// this pair, which is what makes a stale hit after a refresh
+    /// impossible. Compaction copies objects byte-identically, so
+    /// fingerprints (and warm caches) survive it.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_chunks()`.
+    pub fn chunk_fingerprint(&self, i: usize) -> u64 {
+        assert!(i < self.n_chunks(), "chunk {i} out of {}", self.n_chunks());
+        self.manifest.generation.as_ref().map_or(0, |g| {
+            (g.born_gens[i] << 32) | u64::from(g.chunk_crcs[i])
         })
     }
 
@@ -409,6 +524,12 @@ impl<'a> ChunkedStore<'a> {
     /// The manifest's chain table.
     pub fn chains(&self) -> &[ChainSpec] {
         &self.manifest.chains
+    }
+
+    /// The parsed manifest (what a writer clones to derive the next
+    /// generation of a mutable store).
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
     }
 
     /// The chain chunk `i` was compressed with.
@@ -482,23 +603,24 @@ impl<'a> ChunkedStore<'a> {
 
     /// Borrows the compressed payload of chunk `i`, validating the
     /// index range instead of slicing blind — a manifest field beyond
-    /// the mapped bytes surfaces as a typed error, never a panic. For
-    /// sharded stores the slot's recorded payload CRC is verified too,
-    /// catching torn shard bytes before the (far more expensive) chunk
-    /// decode starts.
-    pub fn chunk_payload(&self, i: usize) -> Result<&'a [u8]> {
+    /// the mapped bytes surfaces as a typed error, never a panic. When
+    /// the manifest records a payload CRC (sharded v3 slots, v4
+    /// generational chunks) it is verified too, catching torn object
+    /// bytes before the (far more expensive) chunk decode starts.
+    pub fn chunk_payload(&self, i: usize) -> Result<&[u8]> {
         let e = self
             .manifest
             .chunks
             .get(i)
             .ok_or(CodecError::Corrupt { context: "store chunk reference" })?;
+        let payload = &self.bytes[self.payload_start..];
         let bytes = e
             .offset
             .checked_add(e.len)
-            .and_then(|end| self.payload.get(e.offset as usize..end as usize))
+            .and_then(|end| payload.get(e.offset as usize..end as usize))
             .ok_or(CodecError::TruncatedStream { context: "store chunk payload" })?;
-        if let Some(t) = &self.manifest.sharding {
-            if crc32(bytes) != t.chunk_crcs[i] {
+        if let Some(want) = self.manifest.chunk_crc(i) {
+            if crc32(bytes) != want {
                 return Err(CodecError::ChecksumMismatch);
             }
         }

@@ -1,0 +1,326 @@
+//! Fault injection on the mutable-store publish protocol.
+//!
+//! A publish is two ordered writes: append (objects + manifest) at the
+//! old end of file, then a [`SLOT_LEN`]-byte root-slot overwrite. These
+//! tests cut and corrupt that sequence at every byte boundary and
+//! assert the crash-consistency contract: **a previously published
+//! generation is never torn** — the store reopens at the last durable
+//! root and reads back bit-identical data, no matter where the publish
+//! died. They also cover corrupt generation *chains* (a parent pointer
+//! that lies) and dangling parents, extending the corrupt-manifest
+//! coverage in `store_roundtrip.rs` to the generational layer.
+
+use eblcio_codec::util::crc32;
+use eblcio_codec::{CodecError, CompressorId, ErrorBound};
+use eblcio_data::{NdArray, Shape};
+use eblcio_store::mutable::{MUTABLE_MAGIC, SLOT_LEN, SUPERBLOCK_LEN};
+use eblcio_store::{GenerationMeta, Manifest, MutableStore, PublishOps, Region};
+
+fn field(shape: Shape) -> NdArray<f32> {
+    NdArray::from_fn(shape, |i| {
+        (i[0] as f32 * 0.23).sin() * 40.0 + (i[1] as f32 * 0.31).cos() * 15.0
+    })
+}
+
+/// A 6-chunk generation-1 store plus prepared (unapplied) publish ops
+/// for a one-chunk update.
+fn store_with_pending_publish() -> (MutableStore, PublishOps) {
+    let data = field(Shape::d2(20, 12));
+    let codec = CompressorId::Szx.instance();
+    let store = MutableStore::create(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(8, 8),
+        2,
+    )
+    .unwrap();
+    let patch = NdArray::<f32>::from_fn(Shape::d2(8, 8), |_| 3.25);
+    let mut w = store.writer().unwrap();
+    w.stage_region(&Region::new(&[0, 0], &[8, 8]), &patch, 1)
+        .unwrap();
+    let ops = w.prepare().unwrap();
+    (store, ops)
+}
+
+/// The file image left behind when a publish dies after `k` bytes:
+/// the append lands byte by byte first, then the slot overwrite.
+fn crashed_at(base: &[u8], ops: &PublishOps, k: usize) -> Vec<u8> {
+    let mut file = base.to_vec();
+    let appended = k.min(ops.append.len());
+    file.extend_from_slice(&ops.append[..appended]);
+    let slot_written = k - appended;
+    file[ops.slot_offset..ops.slot_offset + slot_written]
+        .copy_from_slice(&ops.slot[..slot_written]);
+    file
+}
+
+#[test]
+fn publish_torn_at_every_byte_boundary_preserves_previous_generation() {
+    let (store, ops) = store_with_pending_publish();
+    let base = store.as_bytes().to_vec();
+    let want = store.current().unwrap().read_full::<f32>(1).unwrap();
+    let total = ops.append.len() + ops.slot.len();
+    assert_eq!(ops.slot.len(), SLOT_LEN);
+
+    for k in 0..total {
+        let crashed = crashed_at(&base, &ops, k);
+        let reopened = MutableStore::open(crashed)
+            .unwrap_or_else(|e| panic!("crash at byte {k}/{total} bricked the store: {e}"));
+        // Until the very last slot byte, the previous root wins; a
+        // torn slot can at worst still decode as its own old content.
+        assert_eq!(reopened.generation(), 1, "crash at byte {k}");
+        let full = reopened.current().unwrap().read_full::<f32>(1).unwrap();
+        assert_eq!(full.as_slice(), want.as_slice(), "crash at byte {k}");
+    }
+
+    // The complete publish lands generation 2.
+    let complete = crashed_at(&base, &ops, total);
+    let reopened = MutableStore::open(complete).unwrap();
+    assert_eq!(reopened.generation(), 2);
+    // …and generation 1 is still reachable and bit-identical.
+    let old = reopened.open_at(1).unwrap().read_full::<f32>(1).unwrap();
+    assert_eq!(old.as_slice(), want.as_slice());
+}
+
+#[test]
+fn corrupting_any_staged_byte_never_corrupts_previous_generation() {
+    let (mut store, ops) = store_with_pending_publish();
+    let want = store.current().unwrap().read_full::<f32>(1).unwrap();
+    let base_len = ops.base_len;
+    let slot_range = ops.slot_offset..ops.slot_offset + SLOT_LEN;
+    store.apply(ops).unwrap();
+    let published = store.as_bytes().to_vec();
+    let want2 = store.current().unwrap().read_full::<f32>(1).unwrap();
+
+    // Flip one bit in every byte the publish wrote: the whole appended
+    // region plus the flipped root slot.
+    let mut targets: Vec<usize> = (base_len..published.len()).collect();
+    targets.extend(slot_range);
+    for i in targets {
+        let mut bad = published.clone();
+        bad[i] ^= 0x10;
+        let reopened = MutableStore::open(bad)
+            .unwrap_or_else(|e| panic!("flip at byte {i} bricked the store: {e}"));
+        match reopened.generation() {
+            // Corrupt new manifest or root slot: fell back to gen 1,
+            // which must read bit-identical.
+            1 => {
+                let full = reopened.current().unwrap().read_full::<f32>(1).unwrap();
+                assert_eq!(full.as_slice(), want.as_slice(), "flip at byte {i}");
+            }
+            // Corrupt new *object*: gen 2 opens, the damaged chunk is
+            // caught by its CRC (never silently wrong), and gen 1 is
+            // untouched.
+            2 => {
+                let cur = reopened.current().unwrap();
+                match cur.read_full::<f32>(1) {
+                    Ok(full) => assert_eq!(
+                        full.as_slice(),
+                        want2.as_slice(),
+                        "flip at byte {i} silently changed data"
+                    ),
+                    Err(e) => assert!(
+                        matches!(
+                            e,
+                            CodecError::ChecksumMismatch
+                                | CodecError::Corrupt { .. }
+                                | CodecError::TruncatedStream { .. }
+                        ),
+                        "flip at byte {i}: unexpected error {e:?}"
+                    ),
+                }
+                let old = reopened.open_at(1).unwrap().read_full::<f32>(1).unwrap();
+                assert_eq!(old.as_slice(), want.as_slice(), "flip at byte {i}");
+            }
+            g => panic!("flip at byte {i} invented generation {g}"),
+        }
+    }
+}
+
+#[test]
+fn double_publish_keeps_exactly_two_roots_live() {
+    // Slots alternate: after two more publishes the gen-1 root is gone,
+    // but gen 1 stays reachable through the manifest parent chain.
+    let data = field(Shape::d2(16, 16));
+    let codec = CompressorId::Szx.instance();
+    let mut store = MutableStore::create(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(8, 8),
+        1,
+    )
+    .unwrap();
+    let patch = NdArray::<f32>::from_fn(Shape::d2(4, 4), |_| 1.0);
+    for gen in 2..=5u64 {
+        store
+            .update_region(&Region::new(&[0, 0], &[4, 4]), &patch, 1)
+            .unwrap();
+        assert_eq!(store.generation(), gen);
+        // Every prior generation is still reachable via parent links.
+        for g in 1..=gen {
+            assert_eq!(store.open_at(g).unwrap().generation(), g);
+        }
+    }
+}
+
+/// Hand-writes a root slot in the documented wire format (the store
+/// crate keeps its encoder private; the format is the contract).
+fn encode_slot(generation: u64, offset: u64, len: u64) -> [u8; SLOT_LEN] {
+    let mut out = [0u8; SLOT_LEN];
+    out[..8].copy_from_slice(&generation.to_le_bytes());
+    out[8..16].copy_from_slice(&offset.to_le_bytes());
+    out[16..24].copy_from_slice(&len.to_le_bytes());
+    let crc = crc32(&out[..24]);
+    out[24..].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Builds a three-generation store and returns it with its history
+/// summaries (newest first).
+fn three_generations() -> MutableStore {
+    let data = field(Shape::d2(20, 12));
+    let codec = CompressorId::Szx.instance();
+    let mut store = MutableStore::create(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(8, 8),
+        1,
+    )
+    .unwrap();
+    let patch = NdArray::<f32>::from_fn(Shape::d2(4, 4), |_| -2.0);
+    store
+        .update_region(&Region::new(&[0, 0], &[4, 4]), &patch, 1)
+        .unwrap();
+    store
+        .update_region(&Region::new(&[8, 0], &[4, 4]), &patch, 1)
+        .unwrap();
+    store
+}
+
+/// Republishes `store`'s current manifest with tampered generation
+/// links and a fresh root, returning the tampered file image.
+fn republish_with_parent(
+    store: &MutableStore,
+    parent: u64,
+    parent_offset: u64,
+    parent_len: u64,
+) -> Vec<u8> {
+    let cur = store.current().unwrap();
+    let mut manifest = cur.manifest().clone();
+    {
+        let meta = manifest.generation.as_mut().unwrap();
+        meta.generation += 1;
+        meta.parent = parent;
+        meta.parent_offset = parent_offset;
+        meta.parent_len = parent_len;
+    }
+    let mut file = store.as_bytes().to_vec();
+    let manifest_offset = file.len() as u64;
+    let encoded = manifest.encode();
+    file.extend_from_slice(&encoded);
+    // Overwrite slot 0 (whichever it held, the new generation is
+    // higher and wins root selection).
+    let slot = encode_slot(
+        manifest.generation.as_ref().unwrap().generation,
+        manifest_offset,
+        encoded.len() as u64,
+    );
+    file[5..5 + SLOT_LEN].copy_from_slice(&slot);
+    file
+}
+
+#[test]
+fn corrupt_generation_chain_is_typed_error_not_wrong_data() {
+    let store = three_generations();
+    let h = store.history().unwrap();
+    assert_eq!(h.len(), 3);
+    // Lie about the parent: claim generation 3 but point at gen 1's
+    // manifest. The current generation must still serve; walking the
+    // chain must fail loudly.
+    let gen1 = &h[2];
+    let bad = republish_with_parent(&store, 3, gen1.manifest_offset, gen1.manifest_len);
+    let reopened = MutableStore::open(bad).unwrap();
+    assert_eq!(reopened.generation(), 4);
+    assert!(reopened.current().unwrap().read_full::<f32>(1).is_ok());
+    assert!(matches!(
+        reopened.history(),
+        Err(CodecError::Corrupt { context: "store generation chain" })
+    ));
+    assert!(matches!(
+        reopened.open_at(3),
+        Err(CodecError::Corrupt { context: "store generation chain" })
+    ));
+}
+
+#[test]
+fn dangling_parent_is_typed_error_not_wrong_data() {
+    let store = three_generations();
+    // Parent pointer beyond the file.
+    let bad = republish_with_parent(&store, 3, 1 << 40, 64);
+    let reopened = MutableStore::open(bad).unwrap();
+    assert_eq!(reopened.generation(), 4);
+    assert!(reopened.current().unwrap().read_full::<f32>(1).is_ok());
+    assert!(reopened.history().is_err());
+    assert!(reopened.open_at(3).is_err());
+
+    // Parent pointer into the middle of an object (garbage manifest).
+    let bad = republish_with_parent(&store, 3, SUPERBLOCK_LEN as u64 + 3, 64);
+    let reopened = MutableStore::open(bad).unwrap();
+    assert!(reopened.history().is_err());
+    assert!(reopened.open_at(3).is_err());
+}
+
+#[test]
+fn both_roots_corrupt_is_a_typed_open_error() {
+    let store = three_generations();
+    let mut bad = store.as_bytes().to_vec();
+    for b in &mut bad[5..SUPERBLOCK_LEN] {
+        *b ^= 0xFF;
+    }
+    assert!(matches!(
+        MutableStore::open(bad),
+        Err(CodecError::Corrupt { context: "mutable store root" })
+    ));
+}
+
+#[test]
+fn truncated_superblock_and_magic_are_typed_errors() {
+    let store = three_generations();
+    for cut in 0..SUPERBLOCK_LEN {
+        assert!(
+            MutableStore::open(store.as_bytes()[..cut].to_vec()).is_err(),
+            "cut {cut}"
+        );
+    }
+    assert_eq!(&store.as_bytes()[..4], MUTABLE_MAGIC);
+}
+
+#[test]
+fn v4_manifest_is_rejected_outside_a_mutable_store() {
+    // A bare v4 manifest handed to ChunkedStore::open must not be
+    // treated as a self-contained stream.
+    let m = Manifest {
+        dtype: 0,
+        shape: Shape::d2(4, 4),
+        chunk_shape: Shape::d2(4, 4),
+        abs_bound: 1e-3,
+        chains: vec![eblcio_codec::ChainSpec::parse("szx").unwrap()],
+        chunks: vec![eblcio_store::ChunkEntry { chain: 0, offset: 61, len: 9 }],
+        sharding: None,
+        generation: Some(GenerationMeta {
+            generation: 1,
+            parent: 0,
+            parent_offset: 0,
+            parent_len: 0,
+            born_gens: vec![1],
+            chunk_crcs: vec![0],
+        }),
+    };
+    assert!(matches!(
+        eblcio_store::ChunkedStore::open(&m.encode()),
+        Err(CodecError::Corrupt { .. })
+    ));
+}

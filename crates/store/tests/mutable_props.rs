@@ -1,0 +1,185 @@
+//! Property-based tests for the mutable-store write path: arbitrary
+//! interleavings of `update_region` and `compact` against a shadow
+//! in-memory model.
+//!
+//! The shadow model tracks, per generation, the exact decoded array
+//! captured right after that generation was published. The properties:
+//!
+//! * **generation stability** — re-opening any still-reachable
+//!   generation after any number of later writes/compactions returns
+//!   bit-identical data to its capture,
+//! * **ε contract under updates** — every sample stays within
+//!   `budget · ε` of the last full-precision value written for it,
+//!   where the budget is 1 for freshly written samples and grows by 1
+//!   each time an update re-compresses a chunk the sample merely rides
+//!   along in (lossy copy-on-write's write amplification, documented in
+//!   `eblcio_store::mutable`),
+//! * **read coherence** — region reads of the current generation are
+//!   bit-identical to slices of its capture,
+//! * **durability** — serializing the file bytes and reopening them
+//!   reproduces the current generation bit-identically.
+
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::{NdArray, Shape};
+use eblcio_store::{gather, MutableStore, Region};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so ops are reproducible from their seed.
+fn xorshift(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    *x
+}
+
+fn base_field(shape: Shape) -> NdArray<f32> {
+    NdArray::from_fn(shape, |i| {
+        (i[0] as f32 * 0.23).sin() * 40.0 + (i[1] as f32 * 0.31).cos() * 15.0
+    })
+}
+
+/// A region derived from a seed that always fits inside `shape`.
+fn seeded_region(shape: Shape, seed: &mut u64) -> Region {
+    let d0 = shape.dim(0);
+    let d1 = shape.dim(1);
+    let o0 = (xorshift(seed) as usize) % d0;
+    let o1 = (xorshift(seed) as usize) % d1;
+    let e0 = 1 + (xorshift(seed) as usize) % (d0 - o0);
+    let e1 = 1 + (xorshift(seed) as usize) % (d1 - o1);
+    Region::new(&[o0, o1], &[e0, e1])
+}
+
+/// One generation's capture: id plus the decoded full array.
+struct Capture {
+    generation: u64,
+    full: Vec<f32>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The workhorse: a random op sequence against the shadow model.
+    /// `op_seeds` drives both the op choice (update vs compact) and the
+    /// update geometry/values.
+    #[test]
+    fn random_op_sequences_keep_every_generation_bit_stable(
+        dims in (10usize..36, 8usize..28),
+        chunk in (3usize..9, 3usize..9),
+        op_seeds in proptest::collection::vec(any::<u64>(), 1..7),
+        codec_pick in 0usize..2,
+    ) {
+        let shape = Shape::d2(dims.0, dims.1);
+        let data = base_field(shape);
+        let codec = [CompressorId::Szx, CompressorId::Sz3][codec_pick].instance();
+        let mut store = MutableStore::create(
+            codec.as_ref(),
+            &data,
+            ErrorBound::Relative(1e-3),
+            Shape::d2(chunk.0, chunk.1),
+            2,
+        )
+        .unwrap();
+        let current = store.current().unwrap();
+        let abs = current.abs_bound();
+        let grid = *current.grid();
+        let n = shape.len();
+
+        // Shadow model.
+        let mut intended: Vec<f64> = data.as_slice().iter().map(|&v| v as f64).collect();
+        let mut budget: Vec<u32> = vec![1; n];
+        let mut captures: Vec<Capture> = vec![Capture {
+            generation: 1,
+            full: current.read_full::<f32>(1).unwrap().into_vec(),
+        }];
+
+        for &op_seed in &op_seeds {
+            let mut seed = op_seed | 1;
+            if xorshift(&mut seed).is_multiple_of(4) {
+                // Compact: content must be untouched, history severed.
+                let latest = captures.last().unwrap().full.clone();
+                let stats = store.compact().unwrap();
+                let cur = store.current().unwrap();
+                prop_assert_eq!(cur.generation(), stats.generation);
+                let full = cur.read_full::<f32>(1).unwrap().into_vec();
+                prop_assert_eq!(&full, &latest, "compaction changed bits");
+                captures = vec![Capture { generation: stats.generation, full }];
+            } else {
+                // Update a seeded region with seeded values in the
+                // original value range.
+                let region = seeded_region(shape, &mut seed);
+                let patch = NdArray::<f32>::from_fn(region.shape(), |_| {
+                    ((xorshift(&mut seed) % 1000) as f32 / 1000.0 - 0.5) * 80.0
+                });
+                // Shadow: freshly written samples reset to budget 1;
+                // carried samples of touched chunks pay one more ε.
+                for &ci in &grid.chunks_intersecting(&region) {
+                    let cr = grid.chunk_region(ci);
+                    for a in cr.origin()[0]..cr.origin()[0] + cr.extent()[0] {
+                        for b in cr.origin()[1]..cr.origin()[1] + cr.extent()[1] {
+                            let off = a * shape.dim(1) + b;
+                            let inside = a >= region.origin()[0]
+                                && a < region.origin()[0] + region.extent()[0]
+                                && b >= region.origin()[1]
+                                && b < region.origin()[1] + region.extent()[1];
+                            if inside {
+                                let local = (a - region.origin()[0]) * region.extent()[1]
+                                    + (b - region.origin()[1]);
+                                intended[off] = patch.as_slice()[local] as f64;
+                                budget[off] = 1;
+                            } else {
+                                budget[off] += 1;
+                            }
+                        }
+                    }
+                }
+                let stats = store.update_region(&region, &patch, 2).unwrap();
+                prop_assert_eq!(
+                    stats.chunks_written,
+                    grid.chunks_intersecting(&region).len()
+                );
+                let cur = store.current().unwrap();
+                prop_assert_eq!(cur.generation(), stats.generation);
+                captures.push(Capture {
+                    generation: stats.generation,
+                    full: cur.read_full::<f32>(1).unwrap().into_vec(),
+                });
+            }
+
+            // ε contract vs the shadow model after every op.
+            let cur = store.current().unwrap();
+            let full = cur.read_full::<f32>(1).unwrap();
+            for (off, &got) in full.as_slice().iter().enumerate() {
+                let bound = abs * f64::from(budget[off]) * 1.0000001 + f64::EPSILON;
+                prop_assert!(
+                    (f64::from(got) - intended[off]).abs() <= bound,
+                    "sample {off}: got {got}, intended {}, budget {}",
+                    intended[off],
+                    budget[off]
+                );
+            }
+
+            // Read coherence: a seeded region read of the current
+            // generation is bit-identical to the capture's slice.
+            let mut rseed = op_seed ^ 0x9E37_79B9_7F4A_7C15;
+            let probe = seeded_region(shape, &mut rseed);
+            let got = cur.read_region::<f32>(&probe).unwrap();
+            let capture_arr =
+                NdArray::from_vec(shape, captures.last().unwrap().full.clone());
+            let want = gather(&capture_arr, &probe);
+            prop_assert_eq!(got.as_slice(), want.as_slice());
+        }
+
+        // Every still-reachable generation re-opens bit-identically.
+        for c in &captures {
+            let snap = store.open_at(c.generation).unwrap();
+            let full = snap.read_full::<f32>(1).unwrap();
+            prop_assert_eq!(full.as_slice(), &c.full[..], "generation {}", c.generation);
+        }
+
+        // Durability: the file image round-trips through open().
+        let reopened = MutableStore::open(store.as_bytes().to_vec()).unwrap();
+        prop_assert_eq!(reopened.generation(), store.generation());
+        let full = reopened.current().unwrap().read_full::<f32>(1).unwrap();
+        prop_assert_eq!(full.as_slice(), &captures.last().unwrap().full[..]);
+    }
+}

@@ -4,20 +4,27 @@
 //! eblcio compress   --codec sz3 --eps 1e-3 --dtype f32 --dims 512x512x512 in.raw out.eblc
 //! eblcio compress   --chain sz3+shuffle4+lz --eps 1e-3 --dims 64x64 in.raw out.eblc
 //! eblcio compress   --codec szx --eps 1e-3 --dims 64x64 --chunk 16x16 --shard 4 in.raw out.ebcs
+//! eblcio compress   --codec szx --eps 1e-3 --dims 64x64 --chunk 16x16 --mutable in.raw out.ebms
 //! eblcio decompress in.eblc out.raw
-//! eblcio inspect    [--json] in.eblc    # EBLC/EBLP streams and EBCS store files
+//! eblcio inspect    [--json] in.eblc    # EBLC/EBLP streams, EBCS stores, EBMS mutable files
 //! eblcio query      out.ebcs --origin 0x0 --extent 16x16 --repeat 8 --clients 4
+//! eblcio update     out.ebms --origin 0x0 --extent 16x16 region.raw
+//! eblcio compact    out.ebms
 //! eblcio demo       [dataset]           # synthesize, compress with all codecs, report
 //! ```
 //!
 //! Raw files are flat little-endian sample arrays (the layout SDRBench
 //! distributes); compressed files are self-describing `EBLC` streams or
 //! `EBCS` chunked stores (`--chunk` switches compress to store output,
-//! `--shard` additionally packs chunks into `EBSH` shard objects).
-//! `--chain` accepts the stage grammar `array[+byte…]` (`sz3`,
+//! `--shard` additionally packs chunks into `EBSH` shard objects,
+//! `--mutable` wraps the store as generation 1 of an `EBMS` mutable
+//! file). `--chain` accepts the stage grammar `array[+byte…]` (`sz3`,
 //! `sz3+raw`, `szx+fpc4`, `sz2+shuffle4+lz`). `query` serves repeated
 //! region reads through an `ArrayReader` and reports throughput plus
-//! cache behaviour.
+//! cache behaviour; it serves the current generation of `EBMS` files.
+//! `update` writes a region through re-compression (copy-on-write: a
+//! new generation is published, old generations stay readable) and
+//! `compact` reclaims the dead bytes updates strand.
 
 use eblcio::prelude::*;
 use std::process::ExitCode;
@@ -29,17 +36,22 @@ fn main() -> ExitCode {
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("update") => cmd_update(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  eblcio compress --codec <sz2|sz3|zfp|qoz|szx> | --chain <spec> \
                  --eps <rel> --dtype <f32|f64> --dims <AxBxC> \
-                 [--chunk <AxBxC> [--shard <chunks>]] <in.raw> <out.eblc|out.ebcs>\n  \
+                 [--chunk <AxBxC> [--shard <chunks> | --mutable]] <in.raw> <out.eblc|out.ebcs|out.ebms>\n  \
                  eblcio decompress <in.eblc> <out.raw>\n  \
-                 eblcio inspect [--json] <in.eblc|in.ebcs>\n  \
-                 eblcio query <in.ebcs> --origin <AxBxC> --extent <AxBxC> \
+                 eblcio inspect [--json] <in.eblc|in.ebcs|in.ebms>\n  \
+                 eblcio query <in.ebcs|in.ebms> --origin <AxBxC> --extent <AxBxC> \
                  [--repeat <n>] [--clients <n>] [--threads <n>] [--cache-mb <n>] \
                  [--prefetch <chunks>]\n  \
+                 eblcio update <store.ebms> --origin <AxBxC> --extent <AxBxC> \
+                 <region.raw> [--out <path>]\n  \
+                 eblcio compact <store.ebms> [--out <path>]\n  \
                  eblcio demo [cesm|hacc|nyx|s3d]\n\n\
                  chain spec grammar: array[+byte...], e.g. sz3, sz3+raw, \
                  szx+fpc4, sz2+shuffle4+lz"
@@ -138,6 +150,11 @@ fn build_stream<T: eblcio::data::Element>(
 }
 
 fn cmd_compress(args: &[String]) -> CliResult {
+    // `--mutable` is a bare flag; strip it before positional parsing
+    // (which assumes every `--flag` carries a value).
+    let mutable = args.iter().any(|a| a == "--mutable");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--mutable").cloned().collect();
+    let args = args.as_slice();
     let spec = parse_chain(args)?;
     let eps: f64 = flag(args, "--eps")
         .ok_or("missing --eps")?
@@ -151,6 +168,12 @@ fn cmd_compress(args: &[String]) -> CliResult {
         .transpose()?;
     if shard.is_some() && chunk.is_none() {
         return Err("--shard requires --chunk (sharding packs store chunks)".into());
+    }
+    if mutable && chunk.is_none() {
+        return Err("--mutable requires --chunk (mutable stores are chunked)".into());
+    }
+    if mutable && shard.is_some() {
+        return Err("--mutable stores address chunks individually; drop --shard".into());
     }
     let pos = positional(args);
     let [input, output] = pos.as_slice() else {
@@ -172,9 +195,18 @@ fn cmd_compress(args: &[String]) -> CliResult {
         }
         other => return Err(format!("--dtype must be f32 or f64, got '{other}'")),
     };
+    let stream = if mutable {
+        MutableStore::import(&stream)
+            .map_err(|e| e.to_string())?
+            .as_bytes()
+            .to_vec()
+    } else {
+        stream
+    };
     let dt = t0.elapsed().as_secs_f64();
     std::fs::write(output, &stream).map_err(|e| format!("{output}: {e}"))?;
     let layout = match (chunk, shard) {
+        _ if mutable => format!("mutable store, {} chunks, generation 1", chunk.unwrap()),
         (None, _) => "stream".to_string(),
         (Some(c), None) => format!("store, {c} chunks"),
         (Some(c), Some(s)) => format!("store, {c} chunks, {s}/shard"),
@@ -229,6 +261,7 @@ fn cmd_inspect(args: &[String]) -> CliResult {
     }
     match stream.get(..4) {
         Some(m) if m == eblcio::store::manifest::MAGIC => inspect_store(input, &stream),
+        Some(m) if m == eblcio::store::mutable::MUTABLE_MAGIC => inspect_mutable(input, &stream),
         _ => inspect_stream(input, &stream),
     }
 }
@@ -248,10 +281,37 @@ fn inspect_stream(input: &str, stream: &[u8]) -> CliResult {
     Ok(())
 }
 
+/// Prints an `EBMS` mutable store file: generation history first, then
+/// the current generation rendered like any store.
+fn inspect_mutable(input: &str, stream: &[u8]) -> CliResult {
+    let store =
+        MutableStore::open_arc(std::sync::Arc::from(stream)).map_err(|e| e.to_string())?;
+    println!("file:       {input}");
+    println!("container:  EBMS v{} (mutable store)", stream[4]);
+    println!("file bytes: {}", stream.len());
+    println!(
+        "reclaimable: {} B (compact to reclaim)",
+        store.reclaimable_bytes().map_err(|e| e.to_string())?
+    );
+    println!("\n{:>10} {:>8} {:>10} {:>14} {:>12}", "generation", "parent", "manifest_B", "chunks_written", "live_bytes");
+    for g in store.history().map_err(|e| e.to_string())? {
+        println!(
+            "{:>10} {:>8} {:>10} {:>14} {:>12}",
+            g.generation, g.parent, g.manifest_len, g.chunks_written, g.live_bytes
+        );
+    }
+    println!("\ncurrent generation:");
+    print_store(&store.current().map_err(|e| e.to_string())?, stream.len())
+}
+
 fn inspect_store(input: &str, stream: &[u8]) -> CliResult {
     let store = ChunkedStore::open(stream).map_err(|e| e.to_string())?;
     println!("file:       {input}");
     println!("container:  EBCS v{} (chunked store)", stream[4]);
+    print_store(&store, stream.len())
+}
+
+fn print_store(store: &ChunkedStore, stream_len: usize) -> CliResult {
     println!("dtype:      {}", if store.dtype() == 0 { "f32" } else { "f64" });
     println!("shape:      {}", store.shape());
     println!(
@@ -271,16 +331,26 @@ fn inspect_store(input: &str, stream: &[u8]) -> CliResult {
             table.index_lens.iter().sum::<u64>()
         );
     }
+    if store.generation() > 0 {
+        println!("generation: {}", store.generation());
+    }
     let raw = store.shape().len() * if store.dtype() == 0 { 4 } else { 8 };
-    println!("ratio:      {:.2}x vs raw", raw as f64 / stream.len() as f64);
-    println!("\n{:>6} {:<18} {:>10} {:>11}  chain", "chunk", "origin", "bytes", "shard:slot");
+    println!("ratio:      {:.2}x vs raw", raw as f64 / stream_len as f64);
+    println!(
+        "\n{:>6} {:<18} {:>10} {:>11}  chain",
+        "chunk",
+        "origin",
+        "bytes",
+        if store.generation() > 0 { "born_gen" } else { "shard:slot" }
+    );
     // Sizes come from the manifest index — inspection must not read
     // (or CRC-verify) payload bytes just to list metadata.
     for (i, len) in store.chunk_lens().into_iter().enumerate() {
         let region = store.grid().chunk_region(i);
-        let placement = match store.sharding() {
-            Some(t) => format!("{}:{}", t.chunk_slots[i].shard, t.chunk_slots[i].slot),
-            None => "-".to_string(),
+        let placement = match (store.sharding(), store.generation()) {
+            (Some(t), _) => format!("{}:{}", t.chunk_slots[i].shard, t.chunk_slots[i].slot),
+            (None, g) if g > 0 => store.chunk_born_gen(i).to_string(),
+            _ => "-".to_string(),
         };
         println!(
             "{:>6} {:<18} {:>10} {:>11}  {}",
@@ -320,7 +390,15 @@ fn cmd_query(args: &[String]) -> CliResult {
     let prefetch = parse_opt("--prefetch", 0)?;
 
     let stream = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let store = ChunkedStore::open(&stream).map_err(|e| e.to_string())?;
+    // `query` serves static EBCS streams and the current generation of
+    // EBMS mutable files identically.
+    let store = if stream.get(..4) == Some(&eblcio::store::mutable::MUTABLE_MAGIC[..]) {
+        MutableStore::open(stream)
+            .and_then(|m| m.current())
+            .map_err(|e| e.to_string())?
+    } else {
+        ChunkedStore::open(&stream).map_err(|e| e.to_string())?
+    };
     let region = Region::new(&origin, &extent);
     if !region.fits_in(store.shape()) {
         return Err(format!(
@@ -338,17 +416,22 @@ fn cmd_query(args: &[String]) -> CliResult {
         },
     };
     println!(
-        "query: {input}, shape {}, {} chunks{}, region {origin:?}+{extent:?}",
+        "query: {input}, shape {}, {} chunks{}{}, region {origin:?}+{extent:?}",
         store.shape(),
         store.n_chunks(),
         match store.sharding() {
             Some(t) => format!(" in {} shards", t.n_shards()),
             None => String::new(),
         },
+        if store.generation() > 0 {
+            format!(", generation {}", store.generation())
+        } else {
+            String::new()
+        },
     );
     match store.dtype() {
-        0 => run_query::<f32>(&stream, &region, repeat, clients, config),
-        _ => run_query::<f64>(&stream, &region, repeat, clients, config),
+        0 => run_query::<f32>(store, &region, repeat, clients, config),
+        _ => run_query::<f64>(store, &region, repeat, clients, config),
     }
 }
 
@@ -356,13 +439,13 @@ fn cmd_query(args: &[String]) -> CliResult {
 /// across `clients` concurrent client threads sharing one reader, and
 /// reports per-pass wall time plus the reader's cache counters.
 fn run_query<T: eblcio::data::Element>(
-    stream: &[u8],
+    store: ChunkedStore,
     region: &Region,
     repeat: usize,
     clients: usize,
     config: ReaderConfig,
 ) -> CliResult {
-    let reader = ArrayReader::<T>::open(stream, config).map_err(|e| e.to_string())?;
+    let reader = ArrayReader::<T>::over(store, config).map_err(|e| e.to_string())?;
     let region_bytes = region.len() * std::mem::size_of::<T>();
     println!(
         "{:>5} {:>10} {:>12} {:>8} {:>8} {:>8}",
@@ -408,6 +491,101 @@ fn run_query<T: eblcio::data::Element>(
         stats.prefetched,
         stats.evictions,
         stats.wall_seconds * 1e3,
+    );
+    Ok(())
+}
+
+/// Replaces `path` atomically: write a sibling temp file, then rename
+/// it over the target. A crash or full disk mid-write must never
+/// destroy an existing store file — that would defeat the store's own
+/// crash-consistent publish protocol at the filesystem layer.
+fn write_replace(path: &str, bytes: &[u8]) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, bytes).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `update <store.ebms> --origin <AxB> --extent <AxB> <region.raw>`:
+/// writes a raw little-endian region through re-compression and
+/// publishes it as a new generation (copy-on-write — old generations
+/// stay readable until `compact`). A plain `EBCS` input is imported
+/// into a mutable store first.
+fn cmd_update(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [input, data_path] = pos.as_slice() else {
+        return Err("expected <store.ebms> <region.raw>".into());
+    };
+    let origin = parse_coords(flag(args, "--origin").ok_or("missing --origin")?, "--origin")?;
+    let extent = parse_coords(flag(args, "--extent").ok_or("missing --extent")?, "--extent")?;
+    if extent.contains(&0) {
+        return Err("--extent components must be positive".into());
+    }
+    if origin.len() != extent.len() {
+        return Err("--origin and --extent must have the same rank".into());
+    }
+    let out = flag(args, "--out").unwrap_or(input);
+
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut store = if bytes.get(..4) == Some(&eblcio::store::manifest::MAGIC[..]) {
+        println!("{input}: EBCS stream — importing as mutable store generation 1");
+        MutableStore::import(&bytes).map_err(|e| e.to_string())?
+    } else {
+        MutableStore::open(bytes).map_err(|e| e.to_string())?
+    };
+    let current = store.current().map_err(|e| e.to_string())?;
+    let region = Region::new(&origin, &extent);
+    if !region.fits_in(current.shape()) {
+        return Err(format!(
+            "region {origin:?}+{extent:?} does not fit in store shape {}",
+            current.shape()
+        ));
+    }
+    let raw = std::fs::read(data_path).map_err(|e| format!("{data_path}: {e}"))?;
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let stats = match current.dtype() {
+        0 => {
+            let arr = NdArray::<f32>::from_le_bytes(region.shape(), &raw)
+                .ok_or_else(|| format!("{data_path}: size does not match {} f32", region.shape()))?;
+            store.update_region(&region, &arr, threads)
+        }
+        _ => {
+            let arr = NdArray::<f64>::from_le_bytes(region.shape(), &raw)
+                .ok_or_else(|| format!("{data_path}: size does not match {} f64", region.shape()))?;
+            store.update_region(&region, &arr, threads)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    write_replace(out, store.as_bytes())?;
+    println!(
+        "{out}: published generation {} — {}/{} chunks rewritten, {} B objects + {} B manifest \
+         appended, {} B now dead (file {} B)",
+        stats.generation,
+        stats.chunks_written,
+        stats.chunks_total,
+        stats.object_bytes,
+        stats.manifest_bytes,
+        stats.replaced_bytes,
+        stats.file_bytes,
+    );
+    Ok(())
+}
+
+/// `compact <store.ebms>`: rewrites the file down to the current
+/// generation's live set, reclaiming dead bytes (and severing
+/// time-travel history).
+fn cmd_compact(args: &[String]) -> CliResult {
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <store.ebms>".into());
+    };
+    let out = flag(args, "--out").unwrap_or(input);
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let mut store = MutableStore::open(bytes).map_err(|e| e.to_string())?;
+    let stats = store.compact().map_err(|e| e.to_string())?;
+    write_replace(out, store.as_bytes())?;
+    println!(
+        "{out}: compacted to generation {} — {} B -> {} B ({} B reclaimed)",
+        stats.generation, stats.before_bytes, stats.after_bytes, stats.reclaimed_bytes,
     );
     Ok(())
 }

@@ -1,6 +1,8 @@
 //! Machine-readable inspection of every container the workspace
-//! writes: `EBLC` streams, `EBLP` parallel containers, and `EBCS`
-//! chunked stores (unsharded and sharded).
+//! writes: `EBLC` streams, `EBLP` parallel containers, `EBCS`
+//! chunked stores (unsharded and sharded), and `EBMS` mutable store
+//! files (generation history plus the current generation's store
+//! document).
 //!
 //! [`inspect_json`] builds a [`serde::Value`] document that
 //! `serde_json` renders to text — the backing for `eblcio inspect
@@ -30,13 +32,16 @@ fn dtype_name(tag: u8) -> Value {
 
 /// Inspects any workspace container, returning a JSON-ready document.
 ///
-/// Every document carries `container` (`"EBLC"`, `"EBLP"`, or
-/// `"EBCS"`), `version`, `dtype`, `shape`, `abs_bound`, and
+/// Every document carries `container` (`"EBLC"`, `"EBLP"`, `"EBCS"`,
+/// or `"EBMS"`), `version`, `dtype`, `shape`, `abs_bound`, and
 /// `stream_bytes`; store documents add the grid, chain table, per-chunk
-/// rows, and — when sharded — the shard table.
+/// rows, and — when sharded — the shard table. Mutable store files
+/// report the generation history, reclaimable bytes, and the current
+/// generation's full store document under `current`.
 pub fn inspect_json(stream: &[u8]) -> Result<Value, String> {
     match stream.get(..4) {
         Some(m) if m == eblcio_store::manifest::MAGIC => store_json(stream),
+        Some(m) if m == eblcio_store::mutable::MUTABLE_MAGIC => mutable_json(stream),
         Some(m) if m == PAR_MAGIC => parallel_json(stream),
         _ => stream_json(stream),
     }
@@ -73,6 +78,47 @@ fn parallel_json(stream: &[u8]) -> Result<Value, String> {
 
 fn store_json(stream: &[u8]) -> Result<Value, String> {
     let store = ChunkedStore::open(stream).map_err(|e| e.to_string())?;
+    Ok(store_doc(&store, stream[4], stream.len() as u64))
+}
+
+/// The generation history + current-generation document of an `EBMS`
+/// mutable store file.
+fn mutable_json(stream: &[u8]) -> Result<Value, String> {
+    // open_arc: one copy of the file image, not two.
+    let store = eblcio_store::MutableStore::open_arc(std::sync::Arc::from(stream))
+        .map_err(|e| e.to_string())?;
+    let history = store.history().map_err(|e| e.to_string())?;
+    let generations: Vec<Value> = history
+        .iter()
+        .map(|g| {
+            map(vec![
+                ("generation", Value::U64(g.generation)),
+                ("parent", Value::U64(g.parent)),
+                ("manifest_bytes", Value::U64(g.manifest_len)),
+                ("chunks_written", Value::U64(g.chunks_written as u64)),
+                ("live_bytes", Value::U64(g.live_bytes)),
+            ])
+        })
+        .collect();
+    let current = store.current().map_err(|e| e.to_string())?;
+    Ok(map(vec![
+        ("container", Value::Str("EBMS".into())),
+        ("version", Value::U64(u64::from(stream[4]))),
+        ("generation", Value::U64(store.generation())),
+        ("file_bytes", Value::U64(stream.len() as u64)),
+        (
+            "reclaimable_bytes",
+            Value::U64(store.reclaimable_bytes().map_err(|e| e.to_string())?),
+        ),
+        ("generations", Value::Seq(generations)),
+        (
+            "current",
+            store_doc(&current, eblcio_store::manifest::VERSION_V4, stream.len() as u64),
+        ),
+    ]))
+}
+
+fn store_doc(store: &ChunkedStore, version: u8, stream_bytes: u64) -> Value {
     let raw = store.shape().len() * if store.dtype() == 0 { 4 } else { 8 };
     let chains = Value::Seq(
         store
@@ -99,12 +145,15 @@ fn store_json(stream: &[u8]) -> Result<Value, String> {
                 row.push(("shard", Value::U64(u64::from(slot.shard))));
                 row.push(("slot", Value::U64(u64::from(slot.slot))));
             }
+            if store.generation() > 0 {
+                row.push(("born_gen", Value::U64(store.chunk_born_gen(i))));
+            }
             map(row)
         })
         .collect();
     let mut doc = vec![
         ("container", Value::Str("EBCS".into())),
-        ("version", Value::U64(u64::from(stream[4]))),
+        ("version", Value::U64(u64::from(version))),
         ("dtype", dtype_name(store.dtype())),
         ("shape", usize_seq(store.shape().dims())),
         ("chunk_shape", usize_seq(store.chunk_shape().dims())),
@@ -113,9 +162,12 @@ fn store_json(stream: &[u8]) -> Result<Value, String> {
         ("abs_bound", Value::F64(store.abs_bound())),
         ("chains", chains),
         ("manifest_bytes", Value::U64(store.manifest_len() as u64)),
-        ("stream_bytes", Value::U64(stream.len() as u64)),
-        ("ratio_vs_raw", Value::F64(raw as f64 / stream.len() as f64)),
+        ("stream_bytes", Value::U64(stream_bytes)),
+        ("ratio_vs_raw", Value::F64(raw as f64 / stream_bytes as f64)),
     ];
+    if store.generation() > 0 {
+        doc.push(("generation", Value::U64(store.generation())));
+    }
     if let Some(table) = store.sharding() {
         doc.push((
             "sharding",
@@ -133,7 +185,7 @@ fn store_json(stream: &[u8]) -> Result<Value, String> {
         ));
     }
     doc.push(("chunks", Value::Seq(chunks)));
-    Ok(map(doc))
+    map(doc)
 }
 
 #[cfg(test)]
@@ -213,6 +265,39 @@ mod tests {
         assert_eq!(sharding.get("n_shards").unwrap().as_f64(), Some(2.0));
         let first = &doc.get("chunks").unwrap().as_seq().unwrap()[0];
         assert_eq!(first.get("shard").unwrap().as_f64(), Some(0.0));
+        roundtrips(&doc);
+    }
+
+    #[test]
+    fn ebms_mutable_store_document() {
+        use eblcio_store::{MutableStore, Region};
+        let codec = CompressorId::Szx.instance();
+        let mut store = MutableStore::create(
+            codec.as_ref(),
+            &data(),
+            ErrorBound::Relative(1e-3),
+            Shape::d2(16, 16),
+            2,
+        )
+        .unwrap();
+        let patch = NdArray::<f32>::from_fn(Shape::d2(8, 8), |_| 0.5);
+        store
+            .update_region(&Region::new(&[0, 0], &[8, 8]), &patch, 2)
+            .unwrap();
+
+        let doc = inspect_json(store.as_bytes()).unwrap();
+        assert_eq!(doc.get("container").unwrap().as_str(), Some("EBMS"));
+        assert_eq!(doc.get("generation").unwrap().as_f64(), Some(2.0));
+        assert!(doc.get("reclaimable_bytes").unwrap().as_f64().unwrap() > 0.0);
+        let gens = doc.get("generations").unwrap().as_seq().unwrap();
+        assert_eq!(gens.len(), 2);
+        assert_eq!(gens[0].get("generation").unwrap().as_f64(), Some(2.0));
+        assert_eq!(gens[0].get("chunks_written").unwrap().as_f64(), Some(1.0));
+        let current = doc.get("current").unwrap();
+        assert_eq!(current.get("container").unwrap().as_str(), Some("EBCS"));
+        assert_eq!(current.get("version").unwrap().as_f64(), Some(4.0));
+        let first = &current.get("chunks").unwrap().as_seq().unwrap()[0];
+        assert_eq!(first.get("born_gen").unwrap().as_f64(), Some(2.0));
         roundtrips(&doc);
     }
 

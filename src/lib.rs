@@ -20,12 +20,16 @@
 //!   and the "to compress or not" advisor,
 //! * [`store`] — the chunked compressed array container (zarr-style
 //!   chunk grid + manifest) with partial region reads, per-chunk codec
-//!   chains (mixed and adaptive stores), and `EBSH` shard packing for
-//!   large chunk counts,
+//!   chains (mixed and adaptive stores), `EBSH` shard packing for
+//!   large chunk counts, and *mutable* stores
+//!   ([`MutableStore`](store::MutableStore)): copy-on-write chunk
+//!   updates published as crash-consistent manifest generations, with
+//!   time travel and compaction,
 //! * [`serve`] — the concurrent read-serving subsystem: shared
 //!   [`ArrayReader`](serve::ArrayReader) handles with a decoded-chunk
-//!   LRU cache, single-flight decode, parallel region assembly, and
-//!   prefetch.
+//!   LRU cache, single-flight decode, parallel region assembly,
+//!   prefetch, and generation-aware `refresh()` with per-chunk cache
+//!   invalidation.
 //!
 //! ## Quickstart
 //!
@@ -77,6 +81,8 @@ pub mod prelude {
         NdArray, QualityReport, Shape,
     };
     pub use eblcio_data::generators::Scale;
-    pub use eblcio_serve::{ArrayReader, CacheConfig, PrefetchPolicy, ReaderConfig, ReaderStats};
-    pub use eblcio_store::{ChunkedStore, Region};
+    pub use eblcio_serve::{
+        ArrayReader, CacheConfig, PrefetchPolicy, ReaderConfig, ReaderStats, RefreshStats,
+    };
+    pub use eblcio_store::{ChunkedStore, MutableStore, Region, StoreWriter};
 }

@@ -327,3 +327,123 @@ fn json_inspect_covers_streams_too() {
         .collect();
     assert_eq!(dims, vec![64.0, 64.0]);
 }
+
+/// The full mutable-store lifecycle through the CLI:
+/// compress --mutable → update → query (served from the new
+/// generation) → compact → inspect --json.
+#[test]
+fn mutable_store_update_query_compact_lifecycle() {
+    let input = tmp("mut_in.raw");
+    let store_path = tmp("mut_store.ebms");
+    let patch_path = tmp("mut_patch.raw");
+    write_ramp_f32(&input, 4096);
+
+    // Compress straight to a mutable EBMS file.
+    let st = Command::new(bin())
+        .args([
+            "compress", "--codec", "szx", "--eps", "1e-3", "--dtype", "f32", "--dims", "64x64",
+            "--chunk", "16x16", "--mutable",
+        ])
+        .arg(&input)
+        .arg(&store_path)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("mutable store"), "{stdout}");
+    assert!(stdout.contains("generation 1"), "{stdout}");
+
+    // Update one chunk's region with constant 5.0 samples.
+    let patch: Vec<u8> = (0..16 * 16).flat_map(|_| 5.0f32.to_le_bytes()).collect();
+    std::fs::write(&patch_path, &patch).unwrap();
+    let st = Command::new(bin())
+        .arg("update")
+        .arg(&store_path)
+        .args(["--origin", "0x0", "--extent", "16x16"])
+        .arg(&patch_path)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("published generation 2"), "{stdout}");
+    assert!(stdout.contains("1/16 chunks rewritten"), "{stdout}");
+
+    // Query serves the current (updated) generation.
+    let st = Command::new(bin())
+        .arg("query")
+        .arg(&store_path)
+        .args(["--origin", "0x0", "--extent", "32x32", "--repeat", "2", "--clients", "2"])
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("generation 2"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
+
+    // Human inspect shows history; compact reclaims the dead chunk.
+    let st = Command::new(bin()).arg("inspect").arg(&store_path).output().unwrap();
+    assert!(st.status.success());
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("EBMS"), "{stdout}");
+    assert!(stdout.contains("reclaimable"), "{stdout}");
+
+    let st = Command::new(bin()).arg("compact").arg(&store_path).output().unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("compacted to generation 3"), "{stdout}");
+    assert!(stdout.contains("reclaimed"), "{stdout}");
+
+    // JSON inspect of the compacted file: single generation, no
+    // reclaimable bytes, current doc is v4.
+    let st = Command::new(bin())
+        .args(["inspect", "--json"])
+        .arg(&store_path)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let text = String::from_utf8_lossy(&st.stdout);
+    let doc: serde::Value = serde_json::from_str(text.trim()).unwrap();
+    assert_eq!(doc.get("container").unwrap().as_str(), Some("EBMS"));
+    assert_eq!(doc.get("generation").unwrap().as_f64(), Some(3.0));
+    assert_eq!(doc.get("reclaimable_bytes").unwrap().as_f64(), Some(0.0));
+    assert_eq!(doc.get("generations").unwrap().as_seq().unwrap().len(), 1);
+    let current = doc.get("current").unwrap();
+    assert_eq!(current.get("version").unwrap().as_f64(), Some(4.0));
+
+    // Updating a plain EBCS store auto-imports it as mutable.
+    let plain = tmp("mut_plain.ebcs");
+    let st = Command::new(bin())
+        .args([
+            "compress", "--codec", "szx", "--eps", "1e-3", "--dtype", "f32", "--dims", "64x64",
+            "--chunk", "16x16",
+        ])
+        .arg(&input)
+        .arg(&plain)
+        .output()
+        .unwrap();
+    assert!(st.status.success());
+    let st = Command::new(bin())
+        .arg("update")
+        .arg(&plain)
+        .args(["--origin", "16x16", "--extent", "16x16"])
+        .arg(&patch_path)
+        .output()
+        .unwrap();
+    assert!(st.status.success(), "{}", String::from_utf8_lossy(&st.stderr));
+    let stdout = String::from_utf8_lossy(&st.stdout);
+    assert!(stdout.contains("importing"), "{stdout}");
+    assert!(stdout.contains("published generation 2"), "{stdout}");
+
+    // --mutable without --chunk, and --mutable with --shard, are
+    // argument errors.
+    let st = Command::new(bin())
+        .args([
+            "compress", "--codec", "szx", "--eps", "1e-3", "--dims", "64x64", "--mutable",
+        ])
+        .arg(&input)
+        .arg(&store_path)
+        .output()
+        .unwrap();
+    assert!(!st.status.success());
+    assert!(String::from_utf8_lossy(&st.stderr).contains("--mutable requires --chunk"));
+}
