@@ -24,14 +24,48 @@
 //! `EBLCIO_CACHE_MB` (warm cache budget, default 256),
 //! `EBLCIO_READ_CODEC` = sz2|sz3|zfp|qoz|szx (default sz3 — the
 //! representative SZ-family decode cost; szx decodes so fast the warm
-//! path is bounded by memcpy instead of the cache).
+//! path is bounded by memcpy instead of the cache),
+//! `EBLCIO_READ_BACKEND` = memory|object (place the store on a
+//! `Storage` backend and open readers through it; `object` additionally
+//! prints the simulated object-store bill — one GET per reader open,
+//! since readers serve from their snapshot).
 
 use eblcio_bench::{scale_from_env, TextTable};
 use eblcio_codec::{CompressorId, ErrorBound};
 use eblcio_data::{Dataset, DatasetKind, DatasetSpec, Shape};
 use eblcio_serve::{ArrayReader, CacheConfig, ReaderConfig};
+use eblcio_store::storage::{
+    MemoryStorage, ObjectCostModel, SimulatedObjectStorage, Storage,
+};
 use eblcio_store::{ChunkedStore, Region};
+use std::sync::Arc;
 use std::time::Instant;
+
+const STORE_KEY: &str = "nyx.ebcs";
+
+/// The optional storage backend readers open through.
+struct ReadBackend {
+    storage: Arc<dyn Storage>,
+    sim: Option<Arc<SimulatedObjectStorage>>,
+    name: String,
+}
+
+fn backend_from_env(stream: &[u8]) -> Option<ReadBackend> {
+    let name = std::env::var("EBLCIO_READ_BACKEND").ok()?;
+    let (storage, sim): (Arc<dyn Storage>, _) = match name.as_str() {
+        "memory" | "mem" => (Arc::new(MemoryStorage::new()), None),
+        "object" => {
+            let sim = Arc::new(SimulatedObjectStorage::in_memory(ObjectCostModel::default()));
+            (sim.clone() as Arc<dyn Storage>, Some(sim))
+        }
+        other => panic!("unknown EBLCIO_READ_BACKEND '{other}' (expected memory|object)"),
+    };
+    storage.set(STORE_KEY, stream).expect("seed backend");
+    if let Some(sim) = &sim {
+        sim.reset_stats(); // the seeding PUT is setup, not workload
+    }
+    Some(ReadBackend { storage, sim, name })
+}
 
 const EPS: f64 = 1e-3;
 const THREADS: usize = 8;
@@ -127,11 +161,24 @@ fn main() {
     )
     .expect("write_sharded");
     let store = ChunkedStore::open(&stream).expect("open");
+    let backend = backend_from_env(&stream);
+    let open_reader = |config: ReaderConfig| -> ArrayReader<f32> {
+        match &backend {
+            Some(b) => {
+                ArrayReader::<f32>::open_from(&*b.storage, STORE_KEY, config).expect("reader")
+            }
+            None => ArrayReader::<f32>::open(&stream, config).expect("reader"),
+        }
+    };
     println!(
-        "store: NYX {shape}, {} chunks in {} shards, {} B compressed, repeat {repeat}\n",
+        "store: NYX {shape}, {} chunks in {} shards, {} B compressed, repeat {repeat}{}\n",
         store.n_chunks(),
         store.sharding().map_or(0, |t| t.n_shards()),
         stream.len(),
+        match &backend {
+            Some(b) => format!(", backend {}", b.name),
+            None => String::new(),
+        },
     );
     let regions = workload(shape);
 
@@ -140,15 +187,11 @@ fn main() {
     ]);
 
     // Cold sweep: disjoint slabs, fresh reader, one pass.
-    let cold_reader = ArrayReader::<f32>::open(
-        &stream,
-        ReaderConfig {
-            cache: CacheConfig::with_capacity_mib(cache_mb),
-            threads: THREADS,
-            ..Default::default()
-        },
-    )
-    .expect("reader");
+    let cold_reader = open_reader(ReaderConfig {
+        cache: CacheConfig::with_capacity_mib(cache_mb),
+        threads: THREADS,
+        ..Default::default()
+    });
     let cold_regions: Vec<Region> = (0..store.n_chunks())
         .step_by((store.n_chunks() / 8).max(1))
         .map(|i| store.grid().chunk_region(i))
@@ -179,15 +222,11 @@ fn main() {
     // parallelism isn't being handicapped into the comparison.
     let mut best_uncached_mbps = 0.0f64;
     for clients in [1usize, 2, 4, 8] {
-        let uncached = ArrayReader::<f32>::open(
-            &stream,
-            ReaderConfig {
-                cache: CacheConfig { capacity_bytes: 0, ways: 1 },
-                threads: 1,
-                ..Default::default()
-            },
-        )
-        .expect("reader");
+        let uncached = open_reader(ReaderConfig {
+            cache: CacheConfig { capacity_bytes: 0, ways: 1 },
+            threads: 1,
+            ..Default::default()
+        });
         let (s, bytes) = replay(&uncached, &regions, repeat, clients);
         best_uncached_mbps = best_uncached_mbps.max(bytes as f64 / 1e6 / s);
         let us = uncached.stats();
@@ -203,15 +242,11 @@ fn main() {
     }
 
     // Warm + concurrency scaling through one shared reader.
-    let warm = ArrayReader::<f32>::open(
-        &stream,
-        ReaderConfig {
-            cache: CacheConfig::with_capacity_mib(cache_mb),
-            threads: THREADS,
-            ..Default::default()
-        },
-    )
-    .expect("reader");
+    let warm = open_reader(ReaderConfig {
+        cache: CacheConfig::with_capacity_mib(cache_mb),
+        threads: THREADS,
+        ..Default::default()
+    });
     // Warming pass, unmeasured.
     let _ = replay(&warm, &regions, 1, 1);
     let mut warm_mbps = f64::NAN;
@@ -251,4 +286,15 @@ fn main() {
         ws.decodes,
         ws.evictions
     );
+    if let Some(sim) = backend.as_ref().and_then(|b| b.sim.as_ref()) {
+        let s = sim.stats();
+        println!(
+            "object store bill: {} GET ({:.2} MB down), {:.1} ms simulated, ${:.6} \
+             — readers snapshot on open, so GETs stay flat no matter the workload",
+            s.get_requests,
+            s.bytes_downloaded as f64 / 1e6,
+            s.simulated_seconds * 1e3,
+            s.cost_usd,
+        );
+    }
 }

@@ -49,6 +49,23 @@ pub enum CodecError {
     },
     /// The input contains NaN/Inf samples, which EBLC bounds cannot cover.
     NonFiniteInput,
+    /// A storage backend has no object under the requested key.
+    NoSuchKey {
+        /// The key that resolved to nothing.
+        key: String,
+    },
+    /// A byte-range request reaches outside the stored object.
+    StorageRange {
+        /// Which access failed validation.
+        context: &'static str,
+    },
+    /// A storage backend operation failed (I/O error, injected fault…).
+    StorageIo {
+        /// The operation that failed (`get`, `append`, …).
+        op: &'static str,
+        /// Backend-specific description of the failure.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -71,6 +88,13 @@ impl std::fmt::Display for CodecError {
             CodecError::Corrupt { context } => write!(f, "corrupt stream: invalid {context}"),
             CodecError::InvalidBound { reason } => write!(f, "invalid error bound: {reason}"),
             CodecError::NonFiniteInput => write!(f, "input contains NaN or infinite samples"),
+            CodecError::NoSuchKey { key } => write!(f, "no object stored under key '{key}'"),
+            CodecError::StorageRange { context } => {
+                write!(f, "byte range outside the stored object: {context}")
+            }
+            CodecError::StorageIo { op, detail } => {
+                write!(f, "storage backend {op} failed: {detail}")
+            }
         }
     }
 }

@@ -31,7 +31,8 @@ use eblcio_codec::header::Header;
 use eblcio_codec::parallel::pool_for;
 use eblcio_codec::{CodecError, Compressor, Result};
 use eblcio_data::{Element, NdArray};
-use eblcio_store::{scatter_chunk, ChunkedStore, MutableStore, Region};
+use eblcio_store::mutable::MUTABLE_MAGIC;
+use eblcio_store::{scatter_chunk, ChunkedStore, MutableStore, Region, Storage};
 use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -259,6 +260,23 @@ impl<T: Element> ArrayReader<T> {
     /// [`ArrayReader::refresh_from`].
     pub fn serve(store: &MutableStore, config: ReaderConfig) -> Result<Self> {
         Self::over(store.current()?, config)
+    }
+
+    /// Opens the object stored under `key` on a [`Storage`] backend and
+    /// builds a reader over it. Sniffs the container: an `EBMS` mutable
+    /// store serves its current generation (exactly as
+    /// [`ArrayReader::serve`] would), anything else must be an
+    /// immutable `EBCS` stream. One whole-object GET either way — the
+    /// reader then decodes from its private snapshot, so a slow or
+    /// expensive backend is touched exactly once per open/refresh.
+    pub fn open_from(storage: &dyn Storage, key: &str, config: ReaderConfig) -> Result<Self> {
+        let bytes = storage.get(key)?;
+        let store = if bytes.starts_with(MUTABLE_MAGIC) {
+            MutableStore::open_arc(bytes)?.current()?
+        } else {
+            ChunkedStore::open_arc(bytes)?
+        };
+        Self::over(store, config)
     }
 
     /// Builds a reader over an already opened store.

@@ -1,0 +1,184 @@
+//! Cross-backend bit-equality: the bytes a reader serves must not
+//! depend on where the store lives. The same store object is placed on
+//! a filesystem, a memory, and a simulated-object backend; readers
+//! opened through each must return identical bytes for every probed
+//! region AND identical decode counts — a backend is a transport, never
+//! an observable part of read semantics.
+
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::{NdArray, Shape};
+use eblcio_serve::{ArrayReader, ReaderConfig};
+use eblcio_store::storage::{
+    FilesystemStorage, MemoryStorage, ObjectCostModel, SimulatedObjectStorage, Storage,
+};
+use eblcio_store::{ChunkedStore, MutableStore, Region};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const KEY: &str = "arrays/field.bin";
+
+type Backends = Vec<(&'static str, Arc<dyn Storage>)>;
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "eblcio-serve-backends-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn field(shape: Shape) -> NdArray<f32> {
+    NdArray::from_fn(shape, |i| {
+        (i[0] as f32 * 0.23).sin() * 40.0 + (i[1] as f32 * 0.31).cos() * 15.0
+    })
+}
+
+/// All three backends seeded with the same object. The temp dir guard
+/// rides along so the filesystem root outlives the readers.
+fn backends_with(object: &[u8]) -> (Backends, TempDir) {
+    let dir = TempDir::new();
+    let fs = Arc::new(FilesystemStorage::create(&dir.0).unwrap());
+    let mem = Arc::new(MemoryStorage::new());
+    let obj = Arc::new(SimulatedObjectStorage::in_memory(ObjectCostModel::default()));
+    let backends: Backends = vec![("fs", fs), ("memory", mem), ("object-sim", obj)];
+    for (_, b) in &backends {
+        b.set(KEY, object).unwrap();
+    }
+    (backends, dir)
+}
+
+/// Regions covering the interesting shapes: chunk-aligned, straddling,
+/// single-sample, full-array, and edge-clipped.
+fn probe_regions() -> Vec<Region> {
+    vec![
+        Region::new(&[0, 0], &[16, 16]),
+        Region::new(&[8, 8], &[16, 16]),
+        Region::new(&[13, 7], &[1, 1]),
+        Region::new(&[0, 0], &[48, 40]),
+        Region::new(&[40, 32], &[8, 8]),
+        Region::new(&[3, 30], &[20, 10]),
+    ]
+}
+
+#[test]
+fn immutable_store_reads_identical_across_backends() {
+    let data = field(Shape::d2(48, 40));
+    let codec = CompressorId::Szx.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(16, 16),
+        2,
+    )
+    .unwrap();
+    let (backends, _dir) = backends_with(&stream);
+
+    let mut per_backend = Vec::new();
+    for (name, b) in &backends {
+        let reader = ArrayReader::<f32>::open_from(&**b, KEY, ReaderConfig::default()).unwrap();
+        let mut reads = Vec::new();
+        for region in probe_regions() {
+            reads.push(reader.read_region(&region).unwrap());
+        }
+        let stats = reader.stats();
+        per_backend.push((*name, reads, stats));
+    }
+
+    let (ref_name, ref_reads, ref_stats) = &per_backend[0];
+    for (name, reads, stats) in &per_backend[1..] {
+        for (i, (a, b)) in ref_reads.iter().zip(reads).enumerate() {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "region {i}: {ref_name} and {name} served different bytes"
+            );
+        }
+        // Identical request sequence on identical bytes must cost the
+        // same work, bit for bit and decode for decode.
+        assert_eq!(
+            (stats.requests, stats.chunks_requested, stats.decodes, stats.decoded_bytes),
+            (
+                ref_stats.requests,
+                ref_stats.chunks_requested,
+                ref_stats.decodes,
+                ref_stats.decoded_bytes
+            ),
+            "{ref_name} and {name} diverged in decode accounting"
+        );
+    }
+}
+
+#[test]
+fn mutable_store_generations_identical_across_backends() {
+    // Build a two-generation mutable store, place the *same file image*
+    // on every backend, and require bit-identical serving of the
+    // current generation.
+    let codec = CompressorId::Szx.instance();
+    let mut store = MutableStore::create(
+        codec.as_ref(),
+        &field(Shape::d2(48, 40)),
+        ErrorBound::Relative(1e-3),
+        Shape::d2(16, 16),
+        2,
+    )
+    .unwrap();
+    let patch = NdArray::<f32>::from_fn(Shape::d2(16, 16), |_| 42.0);
+    store
+        .update_region(&Region::new(&[16, 16], &[16, 16]), &patch, 2)
+        .unwrap();
+    let (backends, _dir) = backends_with(store.as_bytes());
+
+    let direct = store
+        .current()
+        .unwrap()
+        .read_full::<f32>(1)
+        .unwrap();
+    for (name, b) in &backends {
+        let reader = ArrayReader::<f32>::open_from(&**b, KEY, ReaderConfig::default()).unwrap();
+        assert_eq!(reader.generation(), 2, "{name}");
+        let full = reader.read_region(&Region::new(&[0, 0], &[48, 40])).unwrap();
+        assert_eq!(full.as_slice(), direct.as_slice(), "{name} served different bytes");
+    }
+}
+
+#[test]
+fn object_backend_bills_exactly_one_get_per_open() {
+    // The reader architecture fetches the object once and serves from
+    // its snapshot — an expensive backend must see exactly one GET no
+    // matter how many regions are then read.
+    let data = field(Shape::d2(48, 40));
+    let codec = CompressorId::Szx.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(16, 16),
+        2,
+    )
+    .unwrap();
+    let obj = SimulatedObjectStorage::in_memory(ObjectCostModel::default());
+    obj.set(KEY, &stream).unwrap();
+    obj.reset_stats();
+
+    let reader = ArrayReader::<f32>::open_from(&obj, KEY, ReaderConfig::default()).unwrap();
+    for region in probe_regions() {
+        reader.read_region(&region).unwrap();
+    }
+    let stats = obj.stats();
+    assert_eq!(stats.get_requests, 1, "{stats:?}");
+    assert_eq!(stats.bytes_downloaded, stream.len() as u64, "{stats:?}");
+}

@@ -53,6 +53,7 @@ pub mod manifest;
 pub mod mutable;
 pub mod pfs_io;
 pub mod shard;
+pub mod storage;
 pub mod store;
 
 pub use grid::{copy_region, gather, scatter_chunk, ChunkGrid, Region};
@@ -62,4 +63,8 @@ pub use mutable::{
 };
 pub use pfs_io::{read_region_io, update_io, write_store};
 pub use shard::{build_shard, ShardIndex, SlotEntry};
+pub use storage::{
+    named_backend, ByteRange, FaultPlan, FaultyStorage, FilesystemStorage, MemoryStorage,
+    ObjectCostModel, ObjectStoreStats, SimulatedObjectStorage, Storage,
+};
 pub use store::{ChunkedStore, RegionReadStats};

@@ -56,6 +56,7 @@
 
 use crate::grid::{copy_region, Region};
 use crate::manifest::{GenerationMeta, Manifest};
+use crate::storage::Storage;
 use crate::store::ChunkedStore;
 use eblcio_codec::header::Header;
 use eblcio_codec::parallel::pool_for;
@@ -293,6 +294,15 @@ pub struct MutableStore {
     bytes: Arc<[u8]>,
     root: RootSlot,
     active_slot: usize,
+    /// Where publishes are written through to, if anywhere.
+    backing: Option<Backing>,
+}
+
+/// A [`Storage`] object holding the persistent copy of the file image.
+#[derive(Clone, Debug)]
+struct Backing {
+    storage: Arc<dyn Storage>,
+    key: String,
 }
 
 impl MutableStore {
@@ -373,10 +383,53 @@ impl MutableStore {
                     bytes,
                     root: slot,
                     active_slot: which,
+                    backing: None,
                 });
             }
         }
         Err(CodecError::Corrupt { context: "mutable store root" })
+    }
+
+    /// Opens the mutable store stored under `key` on `storage` and
+    /// keeps the handle: every later publish ([`MutableStore::apply`])
+    /// is written through to the backend with the crash-safe ordering
+    /// (objects and manifest appended first, root slot flipped last),
+    /// and [`MutableStore::compact`] atomically replaces the object.
+    pub fn open_on(storage: Arc<dyn Storage>, key: &str) -> Result<Self> {
+        let mut store = Self::open_arc(storage.get(key)?)?;
+        store.backing = Some(Backing { storage, key: key.to_string() });
+        Ok(store)
+    }
+
+    /// [`MutableStore::create`], persisted to `storage` under `key`.
+    pub fn create_on<T: Element>(
+        storage: Arc<dyn Storage>,
+        key: &str,
+        codec: &dyn Compressor,
+        data: &NdArray<T>,
+        bound: ErrorBound,
+        chunk_shape: Shape,
+        threads: usize,
+    ) -> Result<Self> {
+        Self::create(codec, data, bound, chunk_shape, threads)?.persist_on(storage, key)
+    }
+
+    /// [`MutableStore::import`], persisted to `storage` under `key`.
+    pub fn import_on(storage: Arc<dyn Storage>, key: &str, stream: &[u8]) -> Result<Self> {
+        Self::import(stream)?.persist_on(storage, key)
+    }
+
+    /// Writes the current file image to `storage` under `key` and
+    /// attaches the backend, so later publishes write through.
+    pub fn persist_on(mut self, storage: Arc<dyn Storage>, key: &str) -> Result<Self> {
+        storage.set(key, &self.bytes)?;
+        self.backing = Some(Backing { storage, key: key.to_string() });
+        Ok(self)
+    }
+
+    /// The storage key publishes write through to, if any.
+    pub fn backing_key(&self) -> Option<&str> {
+        self.backing.as_ref().map(|b| b.key.as_str())
     }
 
     /// The complete file image.
@@ -540,7 +593,25 @@ impl MutableStore {
         }
         let chunks_total = next.current()?.n_chunks();
         let file_bytes = next.bytes.len() as u64;
+        // Write through to the backend with the crash-safe ordering:
+        // objects+manifest appended first, root slot flipped last. On
+        // any backend error the in-memory store is left unchanged; the
+        // backend object may be torn, but nothing it holds under the
+        // surviving root changed, so reopening recovers the previous
+        // generation (the fault-injection suite cuts this at every
+        // byte to prove it).
+        if let Some(backing) = &self.backing {
+            if backing.storage.size(&backing.key)? != ops.base_len as u64 {
+                return Err(CodecError::Corrupt { context: "stale store publish" });
+            }
+            backing.storage.append(&backing.key, &ops.append)?;
+            backing
+                .storage
+                .write_at(&backing.key, ops.slot_offset as u64, &ops.slot)?;
+        }
+        let backing = self.backing.take();
         *self = next;
+        self.backing = backing;
         Ok(UpdateStats {
             generation: ops.generation,
             chunks_written: ops.chunks_written,
@@ -594,7 +665,14 @@ impl MutableStore {
             .collect::<Result<_>>()?;
         let next = assemble_file(manifest, &payloads)?;
         let after_bytes = next.bytes.len() as u64;
+        // A compaction is a whole-file rewrite, so the write-through is
+        // one atomic `set` rather than the append+flip publish path.
+        if let Some(backing) = &self.backing {
+            backing.storage.set(&backing.key, &next.bytes)?;
+        }
+        let backing = self.backing.take();
         *self = next;
+        self.backing = backing;
         Ok(CompactStats {
             generation,
             before_bytes,

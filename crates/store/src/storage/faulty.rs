@@ -1,0 +1,296 @@
+//! [`FaultyStorage`]: deterministic fault injection for any backend.
+//!
+//! The mutable store's crash-consistency argument (PR 5) was proved by
+//! slicing a publish byte-for-byte against a raw buffer. With I/O now
+//! routed through [`Storage`], the same argument must hold against the
+//! *backend* interface: a write that dies after `k` bytes — on any
+//! backend — must leave the previous generation openable. This wrapper
+//! makes that failure reproducible: it forwards every operation to an
+//! inner backend until a configured budget runs out, then applies the
+//! surviving prefix (a torn write) and returns a typed error.
+
+use super::{ByteRange, Storage};
+use eblcio_codec::{CodecError, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// What to inject, and when. The default plan injects nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Total bytes writes may persist before failing. A `set`, `append`
+    /// or `write_at` that would exceed the remainder persists only the
+    /// prefix that fits (a torn write) and returns an error; once the
+    /// budget is exhausted every write fails without persisting.
+    pub write_byte_budget: Option<u64>,
+    /// Total operations (reads and writes alike) allowed before every
+    /// call fails outright.
+    pub op_budget: Option<u64>,
+    /// Fail all reads (`get`, `get_range`, `size`, `exists`, `list`).
+    pub fail_reads: bool,
+    /// Truncate `get`/`get_range` results to at most this many bytes
+    /// (a short read); `None` disables truncation.
+    pub short_read_limit: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Injects nothing — the passthrough plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Writes persist at most `bytes` further bytes, then fail.
+    pub fn torn_after_bytes(bytes: u64) -> Self {
+        Self { write_byte_budget: Some(bytes), ..Self::default() }
+    }
+
+    /// All operations fail after `ops` more calls.
+    pub fn dies_after_ops(ops: u64) -> Self {
+        Self { op_budget: Some(ops), ..Self::default() }
+    }
+
+    /// All reads fail immediately.
+    pub fn failing_reads() -> Self {
+        Self { fail_reads: true, ..Self::default() }
+    }
+
+    /// Reads return at most `limit` bytes.
+    pub fn short_reads(limit: u64) -> Self {
+        Self { short_read_limit: Some(limit), ..Self::default() }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    plan: FaultPlan,
+    ops_done: u64,
+    write_bytes_done: u64,
+}
+
+/// The error every injected fault surfaces as.
+fn injected(op: &'static str) -> CodecError {
+    CodecError::StorageIo { op, detail: "injected fault".to_string() }
+}
+
+/// A decorator that forwards to an inner backend while injecting
+/// failures according to a [`FaultPlan`]. The plan can be swapped at
+/// any time with [`FaultyStorage::set_plan`]; with the default plan the
+/// wrapper is a pure passthrough (and is run through the conformance
+/// suite as such).
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: Arc<dyn Storage>,
+    state: Mutex<FaultState>,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with no faults armed.
+    pub fn new(inner: Arc<dyn Storage>) -> Self {
+        Self { inner, state: Mutex::new(FaultState::default()) }
+    }
+
+    /// Arms `plan` and resets the operation and byte counters.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        *self.state.lock() = FaultState { plan, ..FaultState::default() }
+    }
+
+    /// Operations attempted since the plan was last armed.
+    pub fn ops_done(&self) -> u64 {
+        self.state.lock().ops_done
+    }
+
+    /// The backend being wrapped — read through this to observe what
+    /// actually persisted, bypassing read faults.
+    pub fn inner(&self) -> &Arc<dyn Storage> {
+        &self.inner
+    }
+
+    /// Charges one operation; `Err` when the op budget is exhausted.
+    fn charge_op(&self, op: &'static str) -> Result<()> {
+        let mut s = self.state.lock();
+        s.ops_done += 1;
+        match s.plan.op_budget {
+            Some(budget) if s.ops_done > budget => Err(injected(op)),
+            _ => Ok(()),
+        }
+    }
+
+    /// Charges a read; `Err` when reads are failing.
+    fn charge_read(&self, op: &'static str) -> Result<()> {
+        self.charge_op(op)?;
+        if self.state.lock().plan.fail_reads {
+            Err(injected(op))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charges a write of `len` bytes, returning how many of them may
+    /// persist. `Ok(len)` means the write goes through whole; `Err`
+    /// carries the number of prefix bytes to tear in.
+    fn charge_write(&self, op: &'static str, len: u64) -> std::result::Result<u64, (u64, CodecError)> {
+        if let Err(e) = self.charge_op(op) {
+            return Err((0, e));
+        }
+        let mut s = self.state.lock();
+        match s.plan.write_byte_budget {
+            Some(budget) => {
+                let remaining = budget.saturating_sub(s.write_bytes_done);
+                if len <= remaining {
+                    s.write_bytes_done += len;
+                    Ok(len)
+                } else {
+                    s.write_bytes_done = budget;
+                    Err((remaining, injected(op)))
+                }
+            }
+            None => Ok(len),
+        }
+    }
+
+    /// Applies the short-read limit to a buffer.
+    fn shorten(&self, mut bytes: Vec<u8>) -> Vec<u8> {
+        if let Some(limit) = self.state.lock().plan.short_read_limit {
+            bytes.truncate(limit as usize);
+        }
+        bytes
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn kind(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn get(&self, key: &str) -> Result<Arc<[u8]>> {
+        self.charge_read("get")?;
+        let obj = self.inner.get(key)?;
+        let limited = self.state.lock().plan.short_read_limit;
+        match limited {
+            Some(limit) if (limit as usize) < obj.len() => {
+                Ok(Arc::from(&obj[..limit as usize]))
+            }
+            _ => Ok(obj),
+        }
+    }
+
+    fn get_range(&self, key: &str, range: ByteRange) -> Result<Vec<u8>> {
+        self.charge_read("get_range")?;
+        Ok(self.shorten(self.inner.get_range(key, range)?))
+    }
+
+    fn set(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        match self.charge_write("set", bytes.len() as u64) {
+            Ok(_) => self.inner.set(key, bytes),
+            Err((torn, e)) => {
+                // A torn whole-object replace: only the prefix lands.
+                self.inner.set(key, &bytes[..torn as usize]).ok();
+                Err(e)
+            }
+        }
+    }
+
+    fn append(&self, key: &str, bytes: &[u8]) -> Result<u64> {
+        match self.charge_write("append", bytes.len() as u64) {
+            Ok(_) => self.inner.append(key, bytes),
+            Err((torn, e)) => {
+                if torn > 0 {
+                    self.inner.append(key, &bytes[..torn as usize]).ok();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn write_at(&self, key: &str, offset: u64, bytes: &[u8]) -> Result<()> {
+        match self.charge_write("write_at", bytes.len() as u64) {
+            Ok(_) => self.inner.write_at(key, offset, bytes),
+            Err((torn, e)) => {
+                if torn > 0 {
+                    self.inner.write_at(key, offset, &bytes[..torn as usize]).ok();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        self.charge_read("exists")?;
+        self.inner.exists(key)
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        self.charge_read("size")?;
+        self.inner.size(key)
+    }
+
+    fn erase(&self, key: &str) -> Result<()> {
+        self.charge_op("erase")?;
+        self.inner.erase(key)
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        self.charge_read("list")?;
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::MemoryStorage;
+    use super::*;
+
+    fn wrapped() -> FaultyStorage {
+        FaultyStorage::new(Arc::new(MemoryStorage::new()))
+    }
+
+    #[test]
+    fn passthrough_without_plan() {
+        let s = wrapped();
+        s.set("a", b"hello").unwrap();
+        assert_eq!(&*s.get("a").unwrap(), b"hello");
+        assert_eq!(s.ops_done(), 2);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix() {
+        let s = wrapped();
+        s.set("a", b"0123456789").unwrap();
+        s.set_plan(FaultPlan::torn_after_bytes(4));
+        let err = s.append("a", b"abcdef").unwrap_err();
+        assert!(matches!(err, CodecError::StorageIo { .. }));
+        // Only 4 of the 6 appended bytes landed.
+        assert_eq!(&*s.inner().get("a").unwrap(), b"0123456789abcd");
+        // Budget exhausted: further writes tear at zero bytes.
+        assert!(s.append("a", b"x").is_err());
+        assert_eq!(&*s.inner().get("a").unwrap(), b"0123456789abcd");
+    }
+
+    #[test]
+    fn op_budget_kills_everything() {
+        let s = wrapped();
+        s.set("a", b"x").unwrap();
+        s.set_plan(FaultPlan::dies_after_ops(2));
+        assert!(s.get("a").is_ok());
+        assert!(s.size("a").is_ok());
+        assert!(s.get("a").is_err());
+        assert!(s.set("b", b"y").is_err());
+    }
+
+    #[test]
+    fn read_faults_and_short_reads() {
+        let s = wrapped();
+        s.set("a", b"0123456789").unwrap();
+        s.set_plan(FaultPlan::failing_reads());
+        assert!(s.get("a").is_err());
+        assert!(s.list().is_err());
+        // Writes still work under a read-only fault.
+        assert!(s.set("b", b"ok").is_ok());
+
+        s.set_plan(FaultPlan::short_reads(3));
+        assert_eq!(&*s.get("a").unwrap(), b"012");
+        assert_eq!(s.get_range("a", ByteRange::Full).unwrap(), b"012");
+        // size() is not shortened — it reports the true length, which
+        // is exactly what lets callers detect the short read.
+        assert_eq!(s.size("a").unwrap(), 10);
+    }
+}

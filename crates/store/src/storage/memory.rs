@@ -1,0 +1,97 @@
+//! [`MemoryStorage`]: the in-process reference backend.
+
+use super::{validate_key, ByteRange, Storage};
+use eblcio_codec::{CodecError, Result};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Objects in a mutex-guarded map. Every object is an `Arc<[u8]>`, so
+/// `get` is a reference-count bump and a `set` replacing an object a
+/// reader still holds never invalidates the reader's bytes — the same
+/// snapshot-isolation property the mutable store builds on.
+#[derive(Debug, Default)]
+pub struct MemoryStorage {
+    objects: Mutex<BTreeMap<String, Arc<[u8]>>>,
+}
+
+impl MemoryStorage {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes across all stored objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.lock().values().map(|o| o.len() as u64).sum()
+    }
+
+    fn object(&self, key: &str) -> Result<Arc<[u8]>> {
+        validate_key(key)?;
+        self.objects
+            .lock()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| CodecError::NoSuchKey { key: key.to_string() })
+    }
+}
+
+impl Storage for MemoryStorage {
+    fn kind(&self) -> &'static str {
+        "memory"
+    }
+
+    fn get(&self, key: &str) -> Result<Arc<[u8]>> {
+        self.object(key)
+    }
+
+    fn get_range(&self, key: &str, range: ByteRange) -> Result<Vec<u8>> {
+        let obj = self.object(key)?;
+        let r = range.resolve(obj.len() as u64)?;
+        Ok(obj[r].to_vec())
+    }
+
+    fn set(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        validate_key(key)?;
+        self.objects.lock().insert(key.to_string(), Arc::from(bytes));
+        Ok(())
+    }
+
+    fn append(&self, key: &str, bytes: &[u8]) -> Result<u64> {
+        validate_key(key)?;
+        let mut map = self.objects.lock();
+        let mut obj: Vec<u8> = map.get(key).map(|o| o.to_vec()).unwrap_or_default();
+        obj.extend_from_slice(bytes);
+        let len = obj.len() as u64;
+        map.insert(key.to_string(), Arc::from(obj));
+        Ok(len)
+    }
+
+    fn write_at(&self, key: &str, offset: u64, bytes: &[u8]) -> Result<()> {
+        validate_key(key)?;
+        let mut map = self.objects.lock();
+        let obj = map
+            .get(key)
+            .ok_or_else(|| CodecError::NoSuchKey { key: key.to_string() })?;
+        let r = ByteRange::Bounded { offset, len: bytes.len() as u64 }
+            .resolve(obj.len() as u64)?;
+        let mut patched = obj.to_vec();
+        patched[r].copy_from_slice(bytes);
+        map.insert(key.to_string(), Arc::from(patched));
+        Ok(())
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        Ok(self.object(key)?.len() as u64)
+    }
+
+    fn erase(&self, key: &str) -> Result<()> {
+        validate_key(key)?;
+        self.objects.lock().remove(key);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.objects.lock().keys().cloned().collect())
+    }
+}

@@ -6,6 +6,7 @@
 use crate::grid::{copy_region, gather, scatter_chunk, ChunkGrid, Region};
 use crate::manifest::{ChunkEntry, ChunkSlot, Manifest, ShardTable, MAX_CHAINS};
 use crate::shard::{build_shard, MAX_SLOTS};
+use crate::storage::Storage;
 use std::sync::Arc;
 use eblcio_codec::estimate::estimate_cr;
 use eblcio_codec::header::Header;
@@ -408,6 +409,13 @@ impl ChunkedStore {
     /// adopt an existing `Arc` without copying.
     pub fn open(stream: &[u8]) -> Result<Self> {
         Self::open_arc(Arc::from(stream))
+    }
+
+    /// Opens the `EBCS` stream stored under `key` on a [`Storage`]
+    /// backend. The whole object is fetched once (one GET on an object
+    /// store); the shared allocation is adopted without further copies.
+    pub fn open_from(storage: &dyn Storage, key: &str) -> Result<Self> {
+        Self::open_arc(storage.get(key)?)
     }
 
     /// Opens a stream held in a shared allocation without copying.

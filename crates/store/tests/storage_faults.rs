@@ -1,0 +1,223 @@
+//! The PR 5 publish fault-injection argument, re-run through the
+//! [`Storage`] interface: instead of slicing a raw buffer, every write
+//! of a publish is cut by [`FaultyStorage`]'s byte budget — on a real
+//! backend — and the store must always reopen at the previous
+//! generation. This closes the gap `mutable_faults.rs` leaves: that
+//! suite proves the *file format* tolerates torn bytes; this one proves
+//! the *write-through path* (`MutableStore::apply` on a backing
+//! backend) produces exactly the torn states the format tolerates.
+
+use eblcio_codec::{CodecError, CompressorId, ErrorBound};
+use eblcio_data::{NdArray, Shape};
+use eblcio_store::mutable::SLOT_LEN;
+use eblcio_store::storage::{
+    ByteRange, FaultPlan, FaultyStorage, MemoryStorage, Storage,
+};
+use eblcio_store::{MutableStore, PublishOps, Region};
+use std::sync::Arc;
+
+const KEY: &str = "store.ebms";
+
+fn field(shape: Shape) -> NdArray<f32> {
+    NdArray::from_fn(shape, |i| {
+        (i[0] as f32 * 0.23).sin() * 40.0 + (i[1] as f32 * 0.31).cos() * 15.0
+    })
+}
+
+/// A generation-1 store image plus prepared (unapplied) publish ops
+/// for a one-chunk update.
+fn base_image_with_pending_publish() -> (Vec<u8>, PublishOps) {
+    let data = field(Shape::d2(20, 12));
+    let codec = CompressorId::Szx.instance();
+    let store = MutableStore::create(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(8, 8),
+        2,
+    )
+    .unwrap();
+    let patch = NdArray::<f32>::from_fn(Shape::d2(8, 8), |_| 3.25);
+    let mut w = store.writer().unwrap();
+    w.stage_region(&Region::new(&[0, 0], &[8, 8]), &patch, 1)
+        .unwrap();
+    let ops = w.prepare().unwrap();
+    (store.as_bytes().to_vec(), ops)
+}
+
+/// A fresh memory backend seeded with `image`, wrapped in an (unarmed)
+/// fault injector.
+fn seeded_faulty(image: &[u8]) -> (Arc<MemoryStorage>, Arc<FaultyStorage>) {
+    let inner = Arc::new(MemoryStorage::new());
+    inner.set(KEY, image).unwrap();
+    let faulty = Arc::new(FaultyStorage::new(inner.clone()));
+    (inner, faulty)
+}
+
+#[test]
+fn publish_torn_at_every_write_byte_preserves_previous_generation() {
+    let (base, ops) = base_image_with_pending_publish();
+    let want = MutableStore::open(base.clone())
+        .unwrap()
+        .current()
+        .unwrap()
+        .read_full::<f32>(1)
+        .unwrap();
+    let total = ops.append.len() + SLOT_LEN;
+
+    for k in 0..total {
+        let (inner, faulty) = seeded_faulty(&base);
+        let mut store =
+            MutableStore::open_on(faulty.clone() as Arc<dyn Storage>, KEY).unwrap();
+        faulty.set_plan(FaultPlan::torn_after_bytes(k as u64));
+
+        let err = store.apply(ops.clone()).unwrap_err();
+        assert!(
+            matches!(err, CodecError::StorageIo { .. }),
+            "budget {k}: {err:?}"
+        );
+        // The in-memory handle must not have advanced either.
+        assert_eq!(store.generation(), 1, "budget {k}");
+
+        // What actually persisted (read past the injector) must reopen
+        // at generation 1, bit-identical — no matter where the write
+        // died.
+        let persisted = inner.get(KEY).unwrap();
+        let reopened = MutableStore::open_arc(persisted)
+            .unwrap_or_else(|e| panic!("budget {k}/{total} bricked the store: {e}"));
+        assert_eq!(reopened.generation(), 1, "budget {k}");
+        let full = reopened.current().unwrap().read_full::<f32>(1).unwrap();
+        assert_eq!(full.as_slice(), want.as_slice(), "budget {k}");
+    }
+
+    // With the budget covering every byte, the publish lands.
+    let (inner, faulty) = seeded_faulty(&base);
+    let mut store = MutableStore::open_on(faulty.clone() as Arc<dyn Storage>, KEY).unwrap();
+    faulty.set_plan(FaultPlan::torn_after_bytes(total as u64));
+    store.apply(ops).unwrap();
+    assert_eq!(store.generation(), 2);
+    let reopened = MutableStore::open_arc(inner.get(KEY).unwrap()).unwrap();
+    assert_eq!(reopened.generation(), 2);
+    // …and generation 1 is still reachable and bit-identical.
+    let old = reopened.open_at(1).unwrap().read_full::<f32>(1).unwrap();
+    assert_eq!(old.as_slice(), want.as_slice());
+}
+
+#[test]
+fn publish_dying_at_every_op_preserves_previous_generation() {
+    let (base, ops) = base_image_with_pending_publish();
+    // The write-through is three backend calls: size (stale guard),
+    // append, write_at. Kill each in turn.
+    for allowed in 0..3u64 {
+        let (inner, faulty) = seeded_faulty(&base);
+        let mut store =
+            MutableStore::open_on(faulty.clone() as Arc<dyn Storage>, KEY).unwrap();
+        faulty.set_plan(FaultPlan::dies_after_ops(allowed));
+        assert!(store.apply(ops.clone()).is_err(), "ops budget {allowed}");
+        assert_eq!(store.generation(), 1);
+        let reopened = MutableStore::open_arc(inner.get(KEY).unwrap()).unwrap();
+        assert_eq!(reopened.generation(), 1, "ops budget {allowed}");
+    }
+}
+
+#[test]
+fn interrupted_publish_recovers_and_republishes_through_same_backend() {
+    // After a torn publish, a fresh handle on the same (healed) backend
+    // must be able to retry the update and land generation 2.
+    let (base, _) = base_image_with_pending_publish();
+    let (inner, faulty) = seeded_faulty(&base);
+    let mut store = MutableStore::open_on(faulty.clone() as Arc<dyn Storage>, KEY).unwrap();
+
+    let patch = NdArray::<f32>::from_fn(Shape::d2(8, 8), |_| 3.25);
+    let mut w = store.writer().unwrap();
+    w.stage_region(&Region::new(&[0, 0], &[8, 8]), &patch, 1)
+        .unwrap();
+    let ops = w.prepare().unwrap();
+    faulty.set_plan(FaultPlan::torn_after_bytes(ops.append.len() as u64 / 2));
+    assert!(store.apply(ops).is_err());
+
+    // "Reboot": heal the injector, reopen from the torn object.
+    faulty.set_plan(FaultPlan::none());
+    let mut store = MutableStore::open_on(faulty as Arc<dyn Storage>, KEY).unwrap();
+    assert_eq!(store.generation(), 1);
+    let stats = store
+        .update_region(&Region::new(&[0, 0], &[8, 8]), &patch, 1)
+        .unwrap();
+    assert_eq!(stats.generation, 2);
+    // The retried publish is durable.
+    let reopened = MutableStore::open_arc(inner.get(KEY).unwrap()).unwrap();
+    assert_eq!(reopened.generation(), 2);
+}
+
+#[test]
+fn stale_backend_object_fails_publish_with_typed_error() {
+    // If someone else replaced the backend object since this handle
+    // opened it, the size guard must refuse the publish outright
+    // rather than appending at a wrong offset.
+    let (base, ops) = base_image_with_pending_publish();
+    let (inner, faulty) = seeded_faulty(&base);
+    let mut store = MutableStore::open_on(faulty as Arc<dyn Storage>, KEY).unwrap();
+    inner.append(KEY, b"concurrent writer got here first").unwrap();
+    assert!(matches!(
+        store.apply(ops),
+        Err(CodecError::Corrupt { context: "stale store publish" })
+    ));
+    assert_eq!(store.generation(), 1);
+}
+
+#[test]
+fn read_faults_surface_as_typed_errors_on_open() {
+    let (base, _) = base_image_with_pending_publish();
+    let (_inner, faulty) = seeded_faulty(&base);
+    faulty.set_plan(FaultPlan::failing_reads());
+    assert!(matches!(
+        MutableStore::open_on(faulty.clone() as Arc<dyn Storage>, KEY),
+        Err(CodecError::StorageIo { .. })
+    ));
+    faulty.set_plan(FaultPlan::none());
+    assert!(MutableStore::open_on(faulty as Arc<dyn Storage>, KEY).is_ok());
+}
+
+#[test]
+fn short_reads_fail_validation_not_silently() {
+    // A backend returning fewer bytes than the object holds must be
+    // caught by open's structural validation, never served as data.
+    let (base, _) = base_image_with_pending_publish();
+    let (_inner, faulty) = seeded_faulty(&base);
+    for limit in [0u64, 4, 61, 200, base.len() as u64 - 1] {
+        faulty.set_plan(FaultPlan::short_reads(limit));
+        assert!(
+            MutableStore::open_on(faulty.clone() as Arc<dyn Storage>, KEY).is_err(),
+            "short read at {limit} bytes was accepted"
+        );
+    }
+    // Sanity: the short-read plan also truncates raw range reads.
+    faulty.set_plan(FaultPlan::short_reads(8));
+    assert_eq!(
+        faulty.get_range(KEY, ByteRange::Full).unwrap().len(),
+        8
+    );
+}
+
+#[test]
+fn compact_through_faulty_backend_is_atomic() {
+    // compact() writes through as one atomic set; a torn set leaves a
+    // garbage object (memory backend applies the prefix), but the
+    // in-memory handle must stay on the un-compacted image and a
+    // successful retry must fully replace the object.
+    let (base, ops) = base_image_with_pending_publish();
+    let (inner, faulty) = seeded_faulty(&base);
+    let mut store = MutableStore::open_on(faulty.clone() as Arc<dyn Storage>, KEY).unwrap();
+    store.apply(ops).unwrap();
+    assert_eq!(store.generation(), 2);
+
+    faulty.set_plan(FaultPlan::torn_after_bytes(10));
+    assert!(store.compact().is_err());
+    assert_eq!(store.generation(), 2, "failed compact moved the handle");
+
+    faulty.set_plan(FaultPlan::none());
+    let stats = store.compact().unwrap();
+    assert_eq!(stats.generation, 3);
+    let reopened = MutableStore::open_arc(inner.get(KEY).unwrap()).unwrap();
+    assert_eq!(reopened.generation(), 3);
+}

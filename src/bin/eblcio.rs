@@ -25,6 +25,16 @@
 //! `update` writes a region through re-compression (copy-on-write: a
 //! new generation is published, old generations stay readable) and
 //! `compact` reclaims the dead bytes updates strand.
+//!
+//! `compress`, `inspect`, `query`, and `update` additionally accept
+//! `--backend <fs|memory|object|object-fs>`: store objects are then
+//! read and written through the named `Storage` backend (file name as
+//! the object key, file directory as the backend root). The `object*`
+//! backends simulate an object store — requests, transferred bytes,
+//! simulated latency, and a dollar bill are reported after the command.
+//! In-place `update` through a backend publishes via the backing write
+//! path (append + root flip), the same protocol the fault-injection
+//! suites cut byte-by-byte.
 
 use eblcio::prelude::*;
 use std::process::ExitCode;
@@ -53,6 +63,9 @@ fn main() -> ExitCode {
                  <region.raw> [--out <path>]\n  \
                  eblcio compact <store.ebms> [--out <path>]\n  \
                  eblcio demo [cesm|hacc|nyx|s3d]\n\n\
+                 compress/inspect/query/update accept --backend \
+                 <fs|memory|object|object-fs> to route store I/O through a \
+                 storage backend (object backends print a simulated bill)\n\
                  chain spec grammar: array[+byte...], e.g. sz3, sz3+raw, \
                  szx+fpc4, sz2+shuffle4+lz"
             );
@@ -69,6 +82,130 @@ fn main() -> ExitCode {
 }
 
 type CliResult = Result<(), String>;
+
+/// A `--backend` selection: the [`Storage`] the command reads and
+/// writes store objects through. The object key is the file name; the
+/// backend root is the file's directory. Volatile backends (`memory`,
+/// `object`) are seeded from the on-disk file before reads and flushed
+/// back after writes, so every command stays functional on them — the
+/// point is exercising (and, for simulated object stores, *billing*)
+/// the backend I/O path, not losing data.
+struct CliBackend {
+    storage: std::sync::Arc<dyn Storage>,
+    /// Typed handle for the cost report when the backend simulates an
+    /// object store.
+    sim: Option<std::sync::Arc<SimulatedObjectStorage>>,
+    /// Whether the backend's objects die with the process.
+    volatile: bool,
+    key: String,
+    path: String,
+}
+
+/// Splits a CLI file path into (backend root directory, object key).
+fn backend_root_key(path: &str) -> Result<(std::path::PathBuf, String), String> {
+    let p = std::path::Path::new(path);
+    let key = p
+        .file_name()
+        .ok_or_else(|| format!("{path}: not a file path"))?
+        .to_string_lossy()
+        .into_owned();
+    let root = match p.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    Ok((root, key))
+}
+
+/// Resolves `--backend <fs|memory|object|object-fs>` for the store at
+/// `path`; `None` when the flag is absent (commands then use plain
+/// `std::fs`, exactly as before the storage layer existed).
+fn cli_backend(args: &[String], path: &str) -> Result<Option<CliBackend>, String> {
+    let Some(name) = flag(args, "--backend") else {
+        return Ok(None);
+    };
+    use std::sync::Arc;
+    let (root, key) = backend_root_key(path)?;
+    let err = |e: CodecError| e.to_string();
+    let (storage, sim, volatile): (
+        Arc<dyn Storage>,
+        Option<Arc<SimulatedObjectStorage>>,
+        bool,
+    ) = match name {
+        "fs" => (Arc::new(FilesystemStorage::create(&root).map_err(err)?), None, false),
+        "memory" | "mem" => (Arc::new(MemoryStorage::new()), None, true),
+        "object" => {
+            let sim = Arc::new(SimulatedObjectStorage::in_memory(ObjectCostModel::default()));
+            (sim.clone(), Some(sim), true)
+        }
+        "object-fs" => {
+            let sim = Arc::new(SimulatedObjectStorage::over(
+                Arc::new(FilesystemStorage::create(&root).map_err(err)?),
+                ObjectCostModel::default(),
+            ));
+            (sim.clone(), Some(sim), false)
+        }
+        other => {
+            return Err(format!(
+                "unknown --backend '{other}' (expected fs|memory|object|object-fs)"
+            ))
+        }
+    };
+    Ok(Some(CliBackend { storage, sim, volatile, key, path: path.to_string() }))
+}
+
+impl CliBackend {
+    /// Makes the object readable: volatile backends are seeded from the
+    /// on-disk file (below the simulator, so seeding is never billed).
+    fn seed(&self) -> Result<(), String> {
+        if !self.volatile {
+            return Ok(());
+        }
+        let bytes = std::fs::read(&self.path).map_err(|e| format!("{}: {e}", self.path))?;
+        let target = match &self.sim {
+            Some(sim) => sim.inner().clone(),
+            None => self.storage.clone(),
+        };
+        target.set(&self.key, &bytes).map_err(|e| e.to_string())
+    }
+
+    /// Reads the whole object through the backend (one billed GET on a
+    /// simulated object store).
+    fn read(&self) -> Result<std::sync::Arc<[u8]>, String> {
+        self.seed()?;
+        self.storage.get(&self.key).map_err(|e| e.to_string())
+    }
+
+    /// Writes an object under `path`'s file name through the backend;
+    /// volatile backends additionally flush to the real file so the
+    /// output survives the process.
+    fn write(&self, path: &str, bytes: &[u8]) -> Result<(), String> {
+        let (_, key) = backend_root_key(path)?;
+        self.storage.set(&key, bytes).map_err(|e| e.to_string())?;
+        if self.volatile {
+            write_replace(path, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Prints the simulated object-store bill, when there is one.
+    fn finish(&self) {
+        if let Some(sim) = &self.sim {
+            let s = sim.stats();
+            println!(
+                "\nobject store: {} GET, {} PUT, {} DELETE, {} LIST — \
+                 {:.2} MB down, {:.2} MB up, {:.1} ms simulated, ${:.6}",
+                s.get_requests,
+                s.put_requests,
+                s.delete_requests,
+                s.list_requests,
+                s.bytes_downloaded as f64 / 1e6,
+                s.bytes_uploaded as f64 / 1e6,
+                s.simulated_seconds * 1e3,
+                s.cost_usd,
+            );
+        }
+    }
+}
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -204,7 +341,13 @@ fn cmd_compress(args: &[String]) -> CliResult {
         stream
     };
     let dt = t0.elapsed().as_secs_f64();
-    std::fs::write(output, &stream).map_err(|e| format!("{output}: {e}"))?;
+    match cli_backend(args, output)? {
+        Some(backend) => {
+            backend.write(output, &stream)?;
+            backend.finish();
+        }
+        None => std::fs::write(output, &stream).map_err(|e| format!("{output}: {e}"))?,
+    }
     let layout = match (chunk, shard) {
         _ if mutable => format!("mutable store, {} chunks, generation 1", chunk.unwrap()),
         (None, _) => "stream".to_string(),
@@ -252,18 +395,29 @@ fn cmd_inspect(args: &[String]) -> CliResult {
     let [input] = pos.as_slice() else {
         return Err("expected <in.eblc|in.ebcs>".into());
     };
-    let stream = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    if json {
+    let backend = cli_backend(&args, input)?;
+    let stream: Vec<u8> = match &backend {
+        Some(b) => b.read()?.to_vec(),
+        None => std::fs::read(input).map_err(|e| format!("{input}: {e}"))?,
+    };
+    let result = if json {
         let doc = eblcio::inspect::inspect_json(&stream)?;
         let text = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
         println!("{text}");
-        return Ok(());
+        Ok(())
+    } else {
+        match stream.get(..4) {
+            Some(m) if m == eblcio::store::manifest::MAGIC => inspect_store(input, &stream),
+            Some(m) if m == eblcio::store::mutable::MUTABLE_MAGIC => {
+                inspect_mutable(input, &stream)
+            }
+            _ => inspect_stream(input, &stream),
+        }
+    };
+    if let Some(b) = &backend {
+        b.finish();
     }
-    match stream.get(..4) {
-        Some(m) if m == eblcio::store::manifest::MAGIC => inspect_store(input, &stream),
-        Some(m) if m == eblcio::store::mutable::MUTABLE_MAGIC => inspect_mutable(input, &stream),
-        _ => inspect_stream(input, &stream),
-    }
+    result
 }
 
 fn inspect_stream(input: &str, stream: &[u8]) -> CliResult {
@@ -389,15 +543,21 @@ fn cmd_query(args: &[String]) -> CliResult {
     let cache_mb = parse_opt("--cache-mb", 256)?;
     let prefetch = parse_opt("--prefetch", 0)?;
 
-    let stream = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let backend = cli_backend(args, input)?;
+    let stream: std::sync::Arc<[u8]> = match &backend {
+        Some(b) => b.read()?,
+        None => std::fs::read(input)
+            .map_err(|e| format!("{input}: {e}"))?
+            .into(),
+    };
     // `query` serves static EBCS streams and the current generation of
     // EBMS mutable files identically.
     let store = if stream.get(..4) == Some(&eblcio::store::mutable::MUTABLE_MAGIC[..]) {
-        MutableStore::open(stream)
+        MutableStore::open_arc(stream)
             .and_then(|m| m.current())
             .map_err(|e| e.to_string())?
     } else {
-        ChunkedStore::open(&stream).map_err(|e| e.to_string())?
+        ChunkedStore::open_arc(stream).map_err(|e| e.to_string())?
     };
     let region = Region::new(&origin, &extent);
     if !region.fits_in(store.shape()) {
@@ -429,10 +589,14 @@ fn cmd_query(args: &[String]) -> CliResult {
             String::new()
         },
     );
-    match store.dtype() {
+    let result = match store.dtype() {
         0 => run_query::<f32>(store, &region, repeat, clients, config),
         _ => run_query::<f64>(store, &region, repeat, clients, config),
+    };
+    if let Some(b) = &backend {
+        b.finish();
     }
+    result
 }
 
 /// Issues `repeat` passes of the region read, each pass fanned out
@@ -525,12 +689,52 @@ fn cmd_update(args: &[String]) -> CliResult {
     }
     let out = flag(args, "--out").unwrap_or(input);
 
-    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-    let mut store = if bytes.get(..4) == Some(&eblcio::store::manifest::MAGIC[..]) {
-        println!("{input}: EBCS stream — importing as mutable store generation 1");
-        MutableStore::import(&bytes).map_err(|e| e.to_string())?
-    } else {
-        MutableStore::open(bytes).map_err(|e| e.to_string())?
+    let backend = cli_backend(args, input)?;
+    if backend.is_some() && out != *input && backend_root_key(out)?.0 != backend_root_key(input)?.0
+    {
+        return Err("--backend with --out requires the output in the store's directory".into());
+    }
+    let mut store = match &backend {
+        Some(b) => {
+            // In-place updates attach the backend as backing storage,
+            // so the publish itself goes through the crash-safe
+            // append + root-flip write path (billed as read-modify-
+            // write on simulated object stores). `--out` elsewhere
+            // updates a detached copy and writes the result once.
+            let in_place = out == *input;
+            b.seed()?;
+            // Sniff the container via a ranged GET; the full object is
+            // fetched exactly once, by whichever open follows.
+            let head = b
+                .storage
+                .get_range(&b.key, ByteRange::Bounded { offset: 0, len: 4 })
+                .map_err(|e| format!("{input}: {e}"))?;
+            if head == eblcio::store::manifest::MAGIC[..] {
+                println!("{input}: EBCS stream — importing as mutable store generation 1");
+                let bytes = b.storage.get(&b.key).map_err(|e| e.to_string())?;
+                if in_place {
+                    MutableStore::import_on(b.storage.clone(), &b.key, &bytes)
+                } else {
+                    MutableStore::import(&bytes)
+                }
+            } else if in_place {
+                MutableStore::open_on(b.storage.clone(), &b.key)
+            } else {
+                b.storage
+                    .get(&b.key)
+                    .and_then(MutableStore::open_arc)
+            }
+            .map_err(|e| e.to_string())?
+        }
+        None => {
+            let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            if bytes.get(..4) == Some(&eblcio::store::manifest::MAGIC[..]) {
+                println!("{input}: EBCS stream — importing as mutable store generation 1");
+                MutableStore::import(&bytes).map_err(|e| e.to_string())?
+            } else {
+                MutableStore::open(bytes).map_err(|e| e.to_string())?
+            }
+        }
     };
     let current = store.current().map_err(|e| e.to_string())?;
     let region = Region::new(&origin, &extent);
@@ -555,7 +759,21 @@ fn cmd_update(args: &[String]) -> CliResult {
         }
     }
     .map_err(|e| e.to_string())?;
-    write_replace(out, store.as_bytes())?;
+    match &backend {
+        Some(b) => {
+            if out != *input {
+                // Detached output: one whole-object write.
+                b.write(out, store.as_bytes())?;
+            } else if b.volatile {
+                // The backing already holds the publish; make it
+                // durable on disk too.
+                write_replace(out, store.as_bytes())?;
+            }
+            // In-place on a persistent backend: the publish was
+            // written through chunk-for-chunk already.
+        }
+        None => write_replace(out, store.as_bytes())?,
+    }
     println!(
         "{out}: published generation {} — {}/{} chunks rewritten, {} B objects + {} B manifest \
          appended, {} B now dead (file {} B)",
@@ -567,6 +785,9 @@ fn cmd_update(args: &[String]) -> CliResult {
         stats.replaced_bytes,
         stats.file_bytes,
     );
+    if let Some(b) = &backend {
+        b.finish();
+    }
     Ok(())
 }
 

@@ -24,7 +24,9 @@
 //!   large chunk counts, and *mutable* stores
 //!   ([`MutableStore`](store::MutableStore)): copy-on-write chunk
 //!   updates published as crash-consistent manifest generations, with
-//!   time travel and compaction,
+//!   time travel and compaction — all routed through pluggable
+//!   [`Storage`](store::Storage) backends (filesystem, memory, and a
+//!   simulated object store with a request/byte cost model),
 //! * [`serve`] — the concurrent read-serving subsystem: shared
 //!   [`ArrayReader`](serve::ArrayReader) handles with a decoded-chunk
 //!   LRU cache, single-flight decode, parallel region assembly,
@@ -84,5 +86,10 @@ pub mod prelude {
     pub use eblcio_serve::{
         ArrayReader, CacheConfig, PrefetchPolicy, ReaderConfig, ReaderStats, RefreshStats,
     };
-    pub use eblcio_store::{ChunkedStore, MutableStore, Region, StoreWriter};
+    pub use eblcio_codec::CodecError;
+    pub use eblcio_store::{
+        named_backend, ByteRange, ChunkedStore, FaultPlan, FaultyStorage, FilesystemStorage,
+        MemoryStorage, MutableStore, ObjectCostModel, ObjectStoreStats, Region,
+        SimulatedObjectStorage, Storage, StoreWriter,
+    };
 }
