@@ -1,0 +1,231 @@
+//! The ratchet: `analyze-baseline.txt` grandfathers violations that
+//! predate the analyzer. New findings (not in the baseline) fail the
+//! check; fixed findings (in the baseline but no longer reported) also
+//! fail until the stale entries are removed with `--update-baseline` —
+//! so the recorded count can only go down.
+
+use crate::diagnostics::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Parsed baseline: key → grandfathered occurrence count.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    entries: BTreeMap<String, u32>,
+    /// Total count recorded in the header (0 for an empty/missing file).
+    pub recorded_total: u32,
+}
+
+/// Outcome of checking current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDelta {
+    /// Findings not covered by the baseline — these fail the check.
+    pub new: Vec<Diagnostic>,
+    /// Baseline keys with fewer current findings than recorded — the
+    /// violation was fixed and the entry must be dropped.
+    pub stale: Vec<String>,
+    /// Findings absorbed by the baseline.
+    pub grandfathered: usize,
+}
+
+impl Baseline {
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Parses baseline text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut b = Self::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                // Header line `# total: N` records the ratchet count.
+                if let Some(n) = rest.trim().strip_prefix("total:") {
+                    b.recorded_total = n
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("baseline line {}: bad total", i + 1))?;
+                }
+                continue;
+            }
+            let (count, key) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("baseline line {}: expected `count<TAB>key`", i + 1))?;
+            let count: u32 = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+            if count == 0 {
+                return Err(format!("baseline line {}: zero count", i + 1));
+            }
+            *b.entries.entry(key.to_string()).or_insert(0) += count;
+        }
+        Ok(b)
+    }
+
+    /// Serializes a baseline covering exactly `diags`.
+    pub fn render(diags: &[Diagnostic]) -> String {
+        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        for d in diags {
+            *counts.entry(d.baseline_key()).or_insert(0) += 1;
+        }
+        let total: u32 = counts.values().sum();
+        let mut out = String::new();
+        out.push_str(&format!("# total: {total}\n"));
+        out.push_str(
+            "# Grandfathered architecture-lint findings. This file is a ratchet:\n\
+             # new violations are NOT added here (fix them instead), and entries\n\
+             # for fixed violations must be removed — regenerate with\n\
+             #   cargo run -p eblcio-analyze -- check --update-baseline\n\
+             # Format: count<TAB>rule<TAB>file<TAB>normalized source line.\n",
+        );
+        for (key, n) in &counts {
+            out.push_str(&format!("{n}\t{key}\n"));
+        }
+        out
+    }
+
+    /// Number of distinct grandfathered entries (keys).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of grandfathered occurrence counts.
+    pub fn total(&self) -> u32 {
+        self.entries.values().sum()
+    }
+
+    /// Splits current findings into new vs grandfathered, and reports
+    /// stale baseline entries.
+    pub fn delta(&self, diags: &[Diagnostic]) -> BaselineDelta {
+        let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+        let mut out = BaselineDelta::default();
+        for d in diags {
+            let key = d.baseline_key();
+            let used = seen.entry(key.clone()).or_insert(0);
+            *used += 1;
+            if *used <= self.entries.get(&key).copied().unwrap_or(0) {
+                out.grandfathered += 1;
+            } else {
+                out.new.push(d.clone());
+            }
+        }
+        for (key, &count) in &self.entries {
+            if seen.get(key).copied().unwrap_or(0) < count {
+                out.stale.push(key.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line: u32, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let diags = vec![
+            diag("panic-freedom", "a.rs", 3, "x.unwrap();"),
+            diag("panic-freedom", "a.rs", 9, "x.unwrap();"),
+            diag("lock-discipline", "b.rs", 1, "use std::sync::Mutex;"),
+        ];
+        let text = Baseline::render(&diags);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.len(), 2); // two identical lines in a.rs share a key
+        assert_eq!(b.recorded_total, 3);
+        let d = b.delta(&diags);
+        assert!(d.new.is_empty());
+        assert!(d.stale.is_empty());
+        assert_eq!(d.grandfathered, 3);
+    }
+
+    #[test]
+    fn new_finding_not_absorbed() {
+        let old = vec![diag("panic-freedom", "a.rs", 3, "x.unwrap();")];
+        let b = Baseline::parse(&Baseline::render(&old)).unwrap();
+        let now = vec![
+            diag("panic-freedom", "a.rs", 3, "x.unwrap();"),
+            diag("panic-freedom", "a.rs", 20, "y.expect(\"no\");"),
+        ];
+        let d = b.delta(&now);
+        assert_eq!(d.new.len(), 1);
+        assert!(d.new[0].snippet.contains("expect"));
+        assert!(d.stale.is_empty());
+    }
+
+    #[test]
+    fn fixed_finding_reports_stale_entry() {
+        let old = vec![
+            diag("panic-freedom", "a.rs", 3, "x.unwrap();"),
+            diag("panic-freedom", "b.rs", 4, "y.unwrap();"),
+        ];
+        let b = Baseline::parse(&Baseline::render(&old)).unwrap();
+        let now = vec![diag("panic-freedom", "a.rs", 3, "x.unwrap();")];
+        let d = b.delta(&now);
+        assert!(d.new.is_empty());
+        assert_eq!(d.stale.len(), 1);
+        assert!(d.stale[0].contains("b.rs"));
+    }
+
+    #[test]
+    fn line_moves_do_not_invalidate() {
+        let old = vec![diag("panic-freedom", "a.rs", 3, "x.unwrap();")];
+        let b = Baseline::parse(&Baseline::render(&old)).unwrap();
+        let now = vec![diag("panic-freedom", "a.rs", 300, "x.unwrap();")];
+        let d = b.delta(&now);
+        assert!(d.new.is_empty() && d.stale.is_empty());
+    }
+
+    #[test]
+    fn duplicate_lines_are_counted_not_collapsed() {
+        let old = vec![
+            diag("panic-freedom", "a.rs", 3, "x.unwrap();"),
+            diag("panic-freedom", "a.rs", 9, "x.unwrap();"),
+        ];
+        let b = Baseline::parse(&Baseline::render(&old)).unwrap();
+        // A third identical line is NEW, not silently absorbed.
+        let now = vec![
+            diag("panic-freedom", "a.rs", 3, "x.unwrap();"),
+            diag("panic-freedom", "a.rs", 9, "x.unwrap();"),
+            diag("panic-freedom", "a.rs", 12, "x.unwrap();"),
+        ];
+        let d = b.delta(&now);
+        assert_eq!(d.new.len(), 1);
+        // And fixing one of the two makes the baseline stale.
+        let fewer = vec![diag("panic-freedom", "a.rs", 3, "x.unwrap();")];
+        let d = b.delta(&fewer);
+        assert_eq!(d.stale.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/analyze-baseline.txt")).unwrap();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! `analyze.toml`: scan roots and the per-rule allowlist.
+//!
+//! The analyzer is dependency-free, so this module carries a small
+//! TOML-subset reader covering exactly what the config uses: `[table]`
+//! headers, `[[array-of-table]]` headers, `key = "string"`, and
+//! `key = ["array", "of", "strings"]` (single- or multi-line), plus
+//! `#` comments. Anything outside that subset is a hard error — a
+//! misread allowlist must never silently widen the rules.
+
+use std::path::Path;
+
+/// One allowlist entry: a rule is waived under a path prefix, with a
+/// justification that `--explain` prints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllowEntry {
+    /// Rule id the entry applies to (`storage-boundary`, …).
+    pub rule: String,
+    /// Workspace-relative path prefix (`crates/store/src/storage/`).
+    pub path: String,
+    /// Why this code is exempt — required, surfaced in `--explain`.
+    pub reason: String,
+}
+
+/// Parsed `analyze.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Directories (workspace-relative) whose `.rs` files are scanned.
+    pub include: Vec<String>,
+    /// Path prefixes excluded from the scan entirely.
+    pub exclude: Vec<String>,
+    /// Per-rule path exemptions.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Reads and parses the config file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+    }
+
+    /// Parses config text (exposed for tests).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut pending_allow: Option<AllowEntry> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let errctx = |m: String| format!("analyze.toml line {}: {m}", idx + 1);
+            if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                flush_allow(&mut cfg, &mut pending_allow)?;
+                if header.trim() != "allow" {
+                    return Err(errctx(format!("unknown table array [[{header}]]")));
+                }
+                section = "allow".into();
+                pending_allow = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    reason: String::new(),
+                });
+            } else if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                flush_allow(&mut cfg, &mut pending_allow)?;
+                section = header.trim().to_string();
+                if section != "scan" {
+                    return Err(errctx(format!("unknown section [{section}]")));
+                }
+            } else {
+                let (key, value) = line
+                    .split_once('=')
+                    .ok_or_else(|| errctx("expected `key = value`".into()))?;
+                let key = key.trim();
+                let mut value = value.trim().to_string();
+                // Multi-line arrays: keep consuming lines until the
+                // closing bracket.
+                while value.starts_with('[') && !value.ends_with(']') {
+                    let (_, next) = lines
+                        .next()
+                        .ok_or_else(|| errctx("unterminated array".into()))?;
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+                match (section.as_str(), key) {
+                    ("scan", "include") => cfg.include = parse_string_array(&value).map_err(errctx)?,
+                    ("scan", "exclude") => cfg.exclude = parse_string_array(&value).map_err(errctx)?,
+                    ("allow", "rule") => {
+                        allow_field(&mut pending_allow, |a| &mut a.rule, &value).map_err(errctx)?
+                    }
+                    ("allow", "path") => {
+                        allow_field(&mut pending_allow, |a| &mut a.path, &value).map_err(errctx)?
+                    }
+                    ("allow", "reason") => {
+                        allow_field(&mut pending_allow, |a| &mut a.reason, &value).map_err(errctx)?
+                    }
+                    _ => return Err(errctx(format!("unknown key `{key}` in [{section}]"))),
+                }
+            }
+        }
+        flush_allow(&mut cfg, &mut pending_allow)?;
+        if cfg.include.is_empty() {
+            return Err("analyze.toml: [scan] include must list at least one directory".into());
+        }
+        Ok(cfg)
+    }
+
+    /// Allowlist entries whose rule and path prefix cover this file.
+    pub fn allows_for<'a>(&'a self, rule: &str, rel_path: &str) -> Option<&'a AllowEntry> {
+        self.allow
+            .iter()
+            .find(|a| a.rule == rule && rel_path.starts_with(&a.path))
+    }
+
+    /// True when the path is excluded from scanning altogether.
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|e| rel_path.starts_with(e.as_str()))
+    }
+}
+
+fn allow_field(
+    pending: &mut Option<AllowEntry>,
+    field: impl Fn(&mut AllowEntry) -> &mut String,
+    value: &str,
+) -> Result<(), String> {
+    let entry = pending
+        .as_mut()
+        .ok_or_else(|| "allow keys outside [[allow]]".to_string())?;
+    *field(entry) = parse_string(value)?;
+    Ok(())
+}
+
+fn flush_allow(cfg: &mut Config, pending: &mut Option<AllowEntry>) -> Result<(), String> {
+    if let Some(a) = pending.take() {
+        if a.rule.is_empty() || a.path.is_empty() {
+            return Err("analyze.toml: [[allow]] entry needs `rule` and `path`".into());
+        }
+        if a.reason.is_empty() {
+            return Err(format!(
+                "analyze.toml: [[allow]] for {} at {} has no `reason` — every exemption \
+                 must say why",
+                a.rule, a.path
+            ));
+        }
+        cfg.allow.push(a);
+    }
+    Ok(())
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    let v = v.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("expected a \"quoted string\", got `{v}`"))
+}
+
+fn parse_string_array(v: &str) -> Result<Vec<String>, String> {
+    let inner = v
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [\"a\", \"b\"], got `{v}`"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# top comment
+[scan]
+include = ["src", "crates"]
+exclude = [
+    "crates/analyze/tests/fixtures",  # fixtures are deliberately bad
+]
+
+[[allow]]
+rule = "storage-boundary"
+path = "crates/store/src/storage/"
+reason = "the backends are the boundary"
+
+[[allow]]
+rule = "panic-freedom"
+path = "crates/bench/"
+reason = "operator-facing tools"
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.include, ["src", "crates"]);
+        assert_eq!(cfg.exclude, ["crates/analyze/tests/fixtures"]);
+        assert_eq!(cfg.allow.len(), 2);
+        assert_eq!(cfg.allow[0].rule, "storage-boundary");
+        assert!(cfg.allow[1].reason.contains("operator"));
+    }
+
+    #[test]
+    fn allow_lookup_is_prefix_based() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert!(cfg
+            .allows_for("storage-boundary", "crates/store/src/storage/filesystem.rs")
+            .is_some());
+        assert!(cfg.allows_for("storage-boundary", "crates/store/src/store.rs").is_none());
+        assert!(cfg.allows_for("panic-freedom", "crates/store/src/storage/filesystem.rs").is_none());
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let bad = "[scan]\ninclude=[\"src\"]\n[[allow]]\nrule=\"x\"\npath=\"y\"\n";
+        let err = Config::parse(bad).unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors() {
+        let bad = "[scan]\ninclude=[\"src\"]\nallowlist=[\"x\"]\n";
+        assert!(Config::parse(bad).is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse(
+            "[scan]\ninclude=[\"src\"]\n[[allow]]\nrule=\"r\"\npath=\"p\"\nreason=\"see issue #7\"\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.allow[0].reason, "see issue #7");
+    }
+}

@@ -1,0 +1,125 @@
+//! Diagnostics: what a rule reports, and how reports serialize for
+//! humans (`file:line:col`), machines (`--json`), and the baseline
+//! (line-content keys that survive unrelated edits).
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`panic-freedom`, `storage-boundary`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation of this specific finding.
+    pub message: String,
+    /// The source line, trimmed.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col: [rule] message` followed by the snippet.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.col, self.rule, self.message, self.snippet
+        )
+    }
+
+    /// Baseline key: rule, file, and *normalized line content* — not
+    /// the line number, so baselined findings survive edits elsewhere
+    /// in the file. Two identical offending lines in one file share a
+    /// key; the baseline stores a count per key.
+    pub fn baseline_key(&self) -> String {
+        let mut squashed = String::with_capacity(self.snippet.len());
+        let mut last_space = false;
+        for c in self.snippet.chars() {
+            if c.is_whitespace() {
+                if !last_space {
+                    squashed.push(' ');
+                }
+                last_space = true;
+            } else {
+                squashed.push(c);
+                last_space = false;
+            }
+        }
+        format!("{}\t{}\t{}", self.rule, self.file, squashed.trim())
+    }
+
+    /// One JSON object (hand-emitted; the analyzer has no deps).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"snippet\":{}}}",
+            json_str(self.rule),
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.snippet),
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "panic-freedom",
+            file: "crates/x/src/lib.rs".into(),
+            line: 10,
+            col: 7,
+            message: "`.unwrap()` in library code".into(),
+            snippet: "let v =   data.unwrap();".into(),
+        }
+    }
+
+    #[test]
+    fn render_has_location_and_rule() {
+        let r = diag().render();
+        assert!(r.starts_with("crates/x/src/lib.rs:10:7: [panic-freedom]"));
+        assert!(r.contains("unwrap"));
+    }
+
+    #[test]
+    fn baseline_key_ignores_line_numbers_and_inner_whitespace() {
+        let mut a = diag();
+        let mut b = diag();
+        b.line = 99;
+        b.col = 1;
+        b.snippet = "let v = data.unwrap();".into();
+        a.snippet = "let v =    data.unwrap();".into();
+        assert_eq!(a.baseline_key(), b.baseline_key());
+    }
+
+    #[test]
+    fn json_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let j = diag().to_json();
+        assert!(j.contains("\"line\":10"));
+        assert!(j.contains("\"rule\":\"panic-freedom\""));
+    }
+}

@@ -1,0 +1,425 @@
+//! The analysis driver: walk the workspace, lex each file, mark test
+//! code, run the rules, then apply waivers, the allowlist, and the
+//! baseline.
+
+use crate::baseline::{Baseline, BaselineDelta};
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{all_rules, FileCtx, Rule};
+use std::path::{Path, PathBuf};
+
+/// Everything one `check` run produced.
+pub struct Report {
+    /// Findings that survived allowlist + waivers, i.e. real
+    /// violations (pre-baseline).
+    pub findings: Vec<Diagnostic>,
+    /// Findings absorbed by an `analyze.toml` allowlist entry.
+    pub allowlisted: usize,
+    /// Findings absorbed by inline `// eblcio-allow` waivers.
+    pub waived: usize,
+    /// Files scanned.
+    pub files: usize,
+    /// How the findings relate to the baseline.
+    pub delta: BaselineDelta,
+    /// The loaded baseline's recorded total (ratchet value).
+    pub baseline_total: u32,
+}
+
+/// Directory names whose contents are never analyzed: integration
+/// tests, benches, examples, and fixture corpora are not library code.
+const SKIP_DIR_NAMES: [&str; 5] = ["tests", "benches", "examples", "fixtures", "target"];
+
+/// Runs the full analysis rooted at `root` with `config`.
+pub fn run(root: &Path, config: &Config, baseline: &Baseline) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for inc in &config.include {
+        collect_rs_files(&root.join(inc), root, config, &mut files)?;
+    }
+    files.sort();
+    let rules = all_rules();
+    let mut findings = Vec::new();
+    let mut allowlisted = 0usize;
+    let mut waived = 0usize;
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let (mut file_findings, file_allowed, file_waived) =
+            analyze_source(rel, &text, &rules, config);
+        allowlisted += file_allowed;
+        waived += file_waived;
+        findings.append(&mut file_findings);
+    }
+    let delta = baseline.delta(&findings);
+    Ok(Report {
+        findings,
+        allowlisted,
+        waived,
+        files: files.len(),
+        delta,
+        baseline_total: baseline.total(),
+    })
+}
+
+/// Analyzes one file's source text (exposed for fixture tests).
+/// Returns (surviving findings, allowlisted count, waived count).
+pub fn analyze_source(
+    rel_path: &str,
+    text: &str,
+    rules: &[Box<dyn Rule>],
+    config: &Config,
+) -> (Vec<Diagnostic>, usize, usize) {
+    let all_toks = lex(text);
+    let toks: Vec<Tok> = all_toks.iter().filter(|t| !t.is_trivia()).cloned().collect();
+    let in_test = mark_test_items(&toks);
+    let lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let ctx = FileCtx {
+        rel_path,
+        toks: &toks,
+        in_test: &in_test,
+        lines: &lines,
+        is_crate_root: is_library_root(rel_path),
+    };
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for rule in rules {
+        raw.extend(rule.check(&ctx));
+    }
+    // Allowlist: whole-file-prefix exemptions from analyze.toml.
+    let mut allowed = 0usize;
+    raw.retain(|d| {
+        let hit = config.allows_for(d.rule, rel_path).is_some();
+        allowed += hit as usize;
+        !hit
+    });
+    // Waivers: `// eblcio-allow(rule): reason` on the finding's line or
+    // the line above.
+    let waivers = collect_waivers(&all_toks);
+    let mut used = vec![false; waivers.len()];
+    let mut waived = 0usize;
+    raw.retain(|d| {
+        let hit = waivers.iter().enumerate().find(|(_, w)| {
+            w.rules.iter().any(|r| r == d.rule) && (w.line == d.line || w.line + 1 == d.line)
+        });
+        if let Some((i, _)) = hit {
+            used[i] = true;
+            waived += 1;
+            false
+        } else {
+            true
+        }
+    });
+    // Waiver hygiene: malformed or unused waivers are findings
+    // themselves — a stale waiver is a hole in the wall.
+    for (i, w) in waivers.iter().enumerate() {
+        let mut bad = |message: String| {
+            raw.push(Diagnostic {
+                rule: "waiver-hygiene",
+                file: rel_path.to_string(),
+                line: w.line,
+                col: 1,
+                message,
+                snippet: lines.get(w.line as usize - 1).map(|l| l.trim().to_string()).unwrap_or_default(),
+            });
+        };
+        if w.reason.is_empty() {
+            bad("waiver has no reason — write `// eblcio-allow(rule): why`".to_string());
+        } else if let Some(unknown) = w.rules.iter().find(|r| !known_rule(rules, r)) {
+            bad(format!("waiver names unknown rule `{unknown}`"));
+        } else if !used[i] {
+            bad("waiver matches no finding on this or the next line — remove it".to_string());
+        }
+    }
+    raw.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    (raw, allowed, waived)
+}
+
+fn known_rule(rules: &[Box<dyn Rule>], id: &str) -> bool {
+    rules.iter().any(|r| r.id() == id)
+}
+
+/// A parsed `// eblcio-allow(rule[, rule…]): reason` comment.
+struct Waiver {
+    line: u32,
+    rules: Vec<String>,
+    reason: String,
+}
+
+fn collect_waivers(toks: &[Tok]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        // A waiver must START the comment (`// eblcio-allow(…): …`);
+        // prose that merely mentions the syntax is not a waiver.
+        let body = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("eblcio-allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Waiver { line: t.line, rules: Vec::new(), reason: String::new() });
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let reason = rest[close + 1..]
+            .trim_start_matches([':', ' '])
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        out.push(Waiver { line: t.line, rules, reason });
+    }
+    out
+}
+
+/// Marks tokens inside `#[cfg(test)]`- or `#[test]`-gated items. The
+/// scan finds the attribute, skips any further attributes, then marks
+/// through the item's body (`{ … }`) or declaration-terminating `;`.
+fn mark_test_items(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(after_attr) = match_test_attribute(toks, i) {
+            let mut j = after_attr;
+            // Skip stacked attributes (`#[cfg(test)] #[allow(…)] mod …`).
+            while toks.get(j).is_some_and(|t| t.is_punct('#')) {
+                j = skip_attribute(toks, j);
+            }
+            // Mark to the end of the item.
+            let mut depth = 0usize;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    if depth == 0 {
+                        // Enclosing scope closed before the item did —
+                        // malformed source; stop marking here.
+                        break;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            for m in &mut mask[i..=j.min(toks.len() - 1)] {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// At a `#`: is this `#[cfg(test)]`, `#[cfg(all/any(… test …))]`, or
+/// `#[test]`? Returns the index after the closing `]`.
+fn match_test_attribute(toks: &[Tok], i: usize) -> Option<usize> {
+    if !(toks.get(i)?.is_punct('#') && toks.get(i + 1)?.is_punct('[')) {
+        return None;
+    }
+    let end = attribute_end(toks, i)?;
+    let body = &toks[i + 2..end - 1];
+    let is_test = match body.first() {
+        Some(t) if t.is_ident("test") && body.len() == 1 => true,
+        Some(t) if t.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    };
+    is_test.then_some(end)
+}
+
+/// Index one past an attribute's closing `]` (cursor on `#`).
+fn attribute_end(toks: &[Tok], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if !toks.get(j)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+fn skip_attribute(toks: &[Tok], i: usize) -> usize {
+    attribute_end(toks, i).unwrap_or(i + 1)
+}
+
+/// `…/src/lib.rs` under `crates/`, or the facade root `src/lib.rs`,
+/// must carry `#![forbid(unsafe_code)]`.
+fn is_library_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs" || (rel_path.starts_with("crates/") && rel_path.ends_with("/src/lib.rs"))
+}
+
+fn collect_rs_files(
+    dir: &Path,
+    root: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> Result<(), String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        // A configured include dir may not exist in a partial checkout.
+        Err(_) => return Ok(()),
+    };
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for e in entries {
+        paths.push(e.map_err(|e| format!("walking {}: {e}", dir.display()))?.path());
+    }
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let rel = p
+            .strip_prefix(root)
+            .map_err(|_| format!("path {} escapes root", p.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if config.is_excluded(&rel) {
+            continue;
+        }
+        if p.is_dir() {
+            if SKIP_DIR_NAMES.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&p, root, config, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let cfg = Config {
+            include: vec!["src".into()],
+            exclude: vec![],
+            allow: vec![],
+        };
+        analyze_source("crates/x/src/a.rs", src, &all_rules(), &cfg).0
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = r#"
+pub fn live() { data.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { data.unwrap(); panic!("fine in tests"); }
+}
+"#;
+        let diags = check(src);
+        let pf: Vec<_> = diags.iter().filter(|d| d.rule == "panic-freedom").collect();
+        assert_eq!(pf.len(), 1, "{diags:?}");
+        assert_eq!(pf[0].line, 2);
+    }
+
+    #[test]
+    fn test_attribute_function_is_exempt() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn live() { y.unwrap(); }\n";
+        let diags = check(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_is_flagged_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x(); } }\n}\n";
+        let diags = check(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "unsafe-freedom");
+    }
+
+    #[test]
+    fn waiver_absorbs_and_unused_waiver_reports() {
+        let with = "// eblcio-allow(panic-freedom): startup-only invariant\nfn f() { x.unwrap(); }\n";
+        assert!(check(with).is_empty());
+        let unused = "// eblcio-allow(panic-freedom): nothing here\nfn f() { x + 1; }\n";
+        let diags = check(unused);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "waiver-hygiene");
+    }
+
+    #[test]
+    fn prose_mentioning_waiver_syntax_is_not_a_waiver() {
+        // Doc comments describing the mechanism must not register as
+        // (unused) waivers.
+        let src = "/// Waivers look like `// eblcio-allow(rule): reason`.\nfn f() {}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_reports() {
+        let src = "fn f() { x.unwrap(); } // eblcio-allow(panic-freedom)\n";
+        let diags = check(src);
+        assert!(diags.iter().any(|d| d.rule == "waiver-hygiene" && d.message.contains("reason")));
+    }
+
+    #[test]
+    fn allowlist_absorbs_by_path_prefix() {
+        let cfg = Config {
+            include: vec!["src".into()],
+            exclude: vec![],
+            allow: vec![crate::config::AllowEntry {
+                rule: "panic-freedom".into(),
+                path: "crates/x/".into(),
+                reason: "demo".into(),
+            }],
+        };
+        let (diags, allowed, _) =
+            analyze_source("crates/x/src/a.rs", "fn f() { x.unwrap(); }", &all_rules(), &cfg);
+        assert!(diags.is_empty());
+        assert_eq!(allowed, 1);
+    }
+
+    #[test]
+    fn library_root_requires_forbid_attribute() {
+        let cfg = Config { include: vec!["src".into()], exclude: vec![], allow: vec![] };
+        let (diags, _, _) =
+            analyze_source("crates/x/src/lib.rs", "pub fn f() {}\n", &all_rules(), &cfg);
+        assert!(diags.iter().any(|d| d.rule == "unsafe-freedom" && d.message.contains("forbid")));
+        let (diags, _, _) = analyze_source(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n",
+            &all_rules(),
+            &cfg,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        // Non-root files don't need it.
+        let (diags, _, _) =
+            analyze_source("crates/x/src/util.rs", "pub fn f() {}\n", &all_rules(), &cfg);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_rules() {
+        let src = r##"
+fn f() {
+    let a = "call .unwrap() and panic! now";
+    let b = r#"std::fs::File::open("x")"#;
+    // x.unwrap() in a comment
+    /* std::sync::Mutex in a block comment */
+}
+"##;
+        assert!(check(src).is_empty());
+    }
+}

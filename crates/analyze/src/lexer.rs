@@ -1,0 +1,469 @@
+//! A lightweight Rust lexer: just enough token structure for the
+//! architecture-lint rules to match on, with none of the fragility of
+//! regexes over raw source.
+//!
+//! The hard part of scanning Rust for patterns like `.unwrap()` or
+//! `std::sync::Mutex` is not finding the text — it is *not* finding it
+//! inside a string literal, a doc comment, or a `#[cfg(test)]` module.
+//! This lexer therefore handles the token classes where naive scanners
+//! go wrong:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */` — Rust block comments nest);
+//! * string literals with escapes, byte strings, and **raw strings**
+//!   (`r"…"`, `r#"…"#`, any hash depth — a `"` inside a raw string does
+//!   not end it);
+//! * the `'a` lifetime vs `'x'` char-literal ambiguity (`'a'` is a
+//!   char, `'a` is a lifetime, `'\n'` is a char, `b'x'` is a byte);
+//! * raw identifiers (`r#match`) vs raw strings (`r#"…"#`).
+//!
+//! Comments are kept as trivia tokens (the waiver syntax
+//! `// eblcio-allow(rule): reason` lives in them); rules match over the
+//! non-trivia stream.
+
+/// What class of lexeme a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `std`, `pub`, `unsafe`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// A string literal of any flavour: `"…"`, `r#"…"#`, `b"…"`.
+    StrLit,
+    /// A numeric literal (integers, floats, any radix or suffix).
+    Number,
+    /// One punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// `// …` to end of line (including doc comments).
+    LineComment,
+    /// `/* … */`, nesting respected (including doc comments).
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The raw text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for comment trivia (excluded from rule matching).
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is this single punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xc0 != 0x80 {
+            // Count characters, not bytes: UTF-8 continuation bytes do
+            // not advance the column.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes Rust source. Never fails: unterminated literals produce a
+/// token reaching the end of input (the rules still see honest
+/// positions for everything before the defect).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut c = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let (line, col, start) = (c.line, c.col, c.pos);
+        let tok = |kind: TokKind, c: &Cursor<'_>| Tok {
+            kind,
+            text: String::from_utf8_lossy(&c.src[start..c.pos]).into_owned(),
+            line,
+            col,
+        };
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while c.peek().is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                out.push(tok(TokKind::LineComment, &c));
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.push(tok(TokKind::BlockComment, &c));
+            }
+            b'"' => {
+                lex_string(&mut c);
+                out.push(tok(TokKind::StrLit, &c));
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&c) => {
+                lex_raw_or_byte_string(&mut c);
+                out.push(tok(TokKind::StrLit, &c));
+            }
+            b'b' if c.peek_at(1) == Some(b'\'') => {
+                c.bump(); // b
+                lex_char(&mut c);
+                out.push(tok(TokKind::CharLit, &c));
+            }
+            b'\'' => {
+                if is_lifetime(&c) {
+                    c.bump(); // '
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                    out.push(tok(TokKind::Lifetime, &c));
+                } else {
+                    lex_char(&mut c);
+                    out.push(tok(TokKind::CharLit, &c));
+                }
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut c);
+                out.push(tok(TokKind::Number, &c));
+            }
+            _ if is_ident_start(b) => {
+                // Raw identifier `r#ident` (already excluded raw strings).
+                if b == b'r' && c.peek_at(1) == Some(b'#') && c.peek_at(2).is_some_and(is_ident_start)
+                {
+                    c.bump();
+                    c.bump();
+                }
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.push(tok(TokKind::Ident, &c));
+            }
+            _ => {
+                c.bump();
+                out.push(tok(TokKind::Punct, &c));
+            }
+        }
+    }
+    out
+}
+
+/// At a `r` or `b`: does a raw string (`r"`, `r#"`) or byte string
+/// (`b"`, `br"`, `br#"`) start here — as opposed to an identifier?
+fn starts_raw_or_byte_string(c: &Cursor<'_>) -> bool {
+    let rest = &c.src[c.pos..];
+    let after_prefix = match rest {
+        [b'b', b'r', ..] => &rest[2..],
+        [b'r' | b'b', ..] => &rest[1..],
+        _ => return false,
+    };
+    let is_raw = rest[0] == b'r' || rest.get(1) == Some(&b'r');
+    if is_raw {
+        // Any number of hashes, then a quote.
+        let hashes = after_prefix.iter().take_while(|&&b| b == b'#').count();
+        after_prefix.get(hashes) == Some(&b'"')
+    } else {
+        // Plain byte string b"…".
+        after_prefix.first() == Some(&b'"')
+    }
+}
+
+/// Consumes a `"…"` string with `\`-escapes. The opening quote is at
+/// the cursor.
+fn lex_string(c: &mut Cursor<'_>) {
+    c.bump(); // "
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+}
+
+/// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` (cursor at `r`/`b`).
+fn lex_raw_or_byte_string(c: &mut Cursor<'_>) {
+    let mut raw = false;
+    while let Some(b) = c.peek() {
+        if b == b'r' {
+            raw = true;
+        }
+        if b == b'"' || b == b'#' {
+            break;
+        }
+        c.bump(); // r / b prefix chars
+    }
+    if !raw {
+        lex_string(c);
+        return;
+    }
+    let mut hashes = 0usize;
+    while c.peek() == Some(b'#') {
+        hashes += 1;
+        c.bump();
+    }
+    c.bump(); // opening "
+    // Scan for `"` followed by `hashes` hash marks.
+    while let Some(b) = c.bump() {
+        if b == b'"' {
+            let mut seen = 0usize;
+            while seen < hashes && c.peek() == Some(b'#') {
+                c.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Disambiguates `'…`: lifetime (`'a`, `'static`) vs char (`'a'`,
+/// `'\n'`). Cursor sits on the quote.
+fn is_lifetime(c: &Cursor<'_>) -> bool {
+    match c.peek_at(1) {
+        // `'\…` is always a char escape.
+        Some(b'\\') => false,
+        Some(b) if is_ident_start(b) => {
+            // `'a'` → char; `'a` / `'abc` → lifetime. Scan the ident
+            // run: a closing quote right after exactly one character
+            // makes it a char literal.
+            let mut i = 2;
+            while c.peek_at(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            !(i == 2 && c.peek_at(2) == Some(b'\''))
+        }
+        // `'1'`, `' '`, `'('` … all chars.
+        _ => false,
+    }
+}
+
+/// Consumes a char/byte literal body; cursor on the opening quote.
+fn lex_char(c: &mut Cursor<'_>) {
+    c.bump(); // '
+    if c.peek() == Some(b'\\') {
+        c.bump();
+        c.bump();
+    } else {
+        c.bump();
+    }
+    // Unicode escapes (`'\u{1F600}'`) leave several chars before the
+    // closing quote; consume up to it defensively.
+    while c.peek().is_some_and(|b| b != b'\'' && b != b'\n') {
+        c.bump();
+    }
+    c.bump(); // closing '
+}
+
+/// Consumes a numeric literal, loosely: radix prefixes, underscores,
+/// float dots, exponents, and type suffixes all roll into one token.
+/// Rules never inspect numbers, so looseness is safe — what matters is
+/// not misclassifying what follows.
+fn lex_number(c: &mut Cursor<'_>) {
+    c.bump();
+    while let Some(b) = c.peek() {
+        if b.is_ascii_alphanumeric() || b == b'_' {
+            c.bump();
+        } else if b == b'.' && c.peek_at(1).is_some_and(|n| n.is_ascii_digit()) {
+            // `1.5` continues the number; `1.max(2)` does not.
+            c.bump();
+        } else if (b == b'+' || b == b'-')
+            && matches!(c.src.get(c.pos.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+        {
+            // Exponent sign: `1e-3`.
+            c.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("foo.unwrap()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "foo".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "unwrap".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "call .unwrap() now";"#);
+        assert!(toks.iter().all(|(_, t)| !t.starts_with("unwrap")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::StrLit).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = "r\"a\" r#\"b \" still\"# r##\"c \"# still\"## x";
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::StrLit).collect();
+        assert_eq!(strs.len(), 3, "{toks:?}");
+        assert!(toks.last().unwrap().1 == "x");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r##"b"bytes" br#"raw"# b'x'"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::StrLit).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count(), 1);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::CharLit).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(lifetimes[0].1, "'a");
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let toks = kinds("&'static str");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Ident).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::BlockComment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn comments_carry_text_for_waivers() {
+        let toks = lex("x // eblcio-allow(panic-freedom): startup only\ny");
+        let c = toks.iter().find(|t| t.kind == TokKind::LineComment).unwrap();
+        assert!(c.text.contains("eblcio-allow(panic-freedom)"));
+        assert_eq!(c.line, 1);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("r#match r#fn normal");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "r#match".into()),
+                (TokKind::Ident, "r#fn".into()),
+                (TokKind::Ident, "normal".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_method_calls() {
+        let toks = kinds("1e-3 1.5f64 0xff 1.max(2)");
+        let nums: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Number).collect();
+        assert_eq!(nums.len(), 5, "{toks:?}"); // 1e-3, 1.5f64, 0xff, 1, 2
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_hang() {
+        let toks = kinds("let x = \"never closed");
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::StrLit));
+    }
+}

@@ -1,0 +1,34 @@
+//! `eblcio-analyze`: the workspace architecture linter.
+//!
+//! PRs 4–6 built invariants that ordinary tests cannot enforce — the
+//! `Arc<dyn Storage>` boundary, panic-free serve paths, poison-free
+//! locking. This crate machine-checks them on every commit:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `storage-boundary` | `std::fs`/`File::open` only in the storage backends and allowlisted binaries |
+//! | `panic-freedom`    | no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!` in non-test library code |
+//! | `lock-discipline`  | no poisoning `std::sync::Mutex`/`RwLock`/`Condvar`; `parking_lot` only |
+//! | `unsafe-freedom`   | zero `unsafe`, and `#![forbid(unsafe_code)]` on every library root |
+//! | `error-hygiene`    | no `Box<dyn Error>` in `pub fn` signatures; typed errors only |
+//!
+//! The pass is built from scratch on a lightweight Rust [`lexer`] (so
+//! string literals, doc comments, raw strings, and `'a`-vs-`'x'` never
+//! confuse it), a per-rule visitor [`rules`] layer, an `analyze.toml`
+//! allowlist ([`config`]), inline `// eblcio-allow(rule): reason`
+//! waivers, and a ratcheting [`baseline`] that grandfathers pre-existing
+//! violations while refusing new ones.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod config;
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use config::Config;
+pub use diagnostics::Diagnostic;
+pub use engine::{run, Report};

@@ -1,0 +1,219 @@
+//! CLI for the workspace architecture linter.
+//!
+//! ```text
+//! cargo run -p eblcio-analyze -- check                # CI gate
+//! cargo run -p eblcio-analyze -- check --json         # machine output
+//! cargo run -p eblcio-analyze -- check --update-baseline
+//! cargo run -p eblcio-analyze -- explain              # why each rule exists
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations (new findings or a stale
+//! baseline), 2 usage/config errors.
+
+#![forbid(unsafe_code)]
+
+use eblcio_analyze::baseline::Baseline;
+use eblcio_analyze::config::Config;
+use eblcio_analyze::diagnostics::json_str;
+use eblcio_analyze::engine;
+use eblcio_analyze::rules::all_rules;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const CONFIG_FILE: &str = "analyze.toml";
+const BASELINE_FILE: &str = "analyze-baseline.txt";
+
+struct Args {
+    command: String,
+    json: bool,
+    explain: bool,
+    update_baseline: bool,
+    root: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        json: false,
+        explain: false,
+        update_baseline: false,
+        root: PathBuf::from("."),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--explain" => args.explain = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "check" | "explain" if args.command.is_empty() => args.command = a,
+            other => return Err(format!("unknown argument `{other}` (try `check` or `explain`)")),
+        }
+    }
+    if args.command.is_empty() {
+        return Err("usage: eblcio-analyze <check|explain> [--json] [--explain] \
+                    [--update-baseline] [--root DIR]"
+            .into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("eblcio-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("eblcio-analyze: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let config = Config::load(&args.root.join(CONFIG_FILE))?;
+    if args.command == "explain" || args.explain {
+        print_explain(&config);
+        if args.command == "explain" {
+            return Ok(true);
+        }
+    }
+    let baseline_path = args.root.join(BASELINE_FILE);
+    let baseline = Baseline::load(&baseline_path)?;
+    let report = engine::run(&args.root, &config, &baseline)?;
+
+    if args.update_baseline {
+        let rendered = Baseline::render(&report.findings);
+        let new_total = report.findings.len() as u32;
+        std::fs::write(&baseline_path, &rendered)
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "baseline updated: {} -> {} grandfathered finding(s) in {}",
+            baseline.total(),
+            new_total,
+            BASELINE_FILE
+        );
+        if new_total > baseline.total() && !baseline.is_empty() {
+            println!(
+                "warning: the baseline GREW by {} — new violations should be fixed, not \
+                 grandfathered (CI enforces the recorded ceiling)",
+                new_total - baseline.total()
+            );
+        }
+        return Ok(true);
+    }
+
+    if args.json {
+        print_json(&report);
+    } else {
+        print_human(&report);
+    }
+    Ok(report.delta.new.is_empty() && report.delta.stale.is_empty())
+}
+
+fn print_human(report: &engine::Report) {
+    for d in &report.delta.new {
+        println!("{}", d.render());
+    }
+    if !report.delta.stale.is_empty() {
+        println!(
+            "\nstale baseline: {} entr{} for violations that no longer exist — the ratchet \
+             only turns one way; run `cargo run -p eblcio-analyze -- check --update-baseline`:",
+            report.delta.stale.len(),
+            if report.delta.stale.len() == 1 { "y" } else { "ies" }
+        );
+        for key in &report.delta.stale {
+            println!("    {}", key.replace('\t', "  "));
+        }
+    }
+    println!(
+        "\n{} file(s) scanned: {} violation(s) ({} new, {} grandfathered), \
+         {} allowlisted, {} waived, baseline total {}",
+        report.files,
+        report.findings.len(),
+        report.delta.new.len(),
+        report.delta.grandfathered,
+        report.allowlisted,
+        report.waived,
+        report.baseline_total,
+    );
+    if report.delta.new.is_empty() && report.delta.stale.is_empty() {
+        println!("architecture check: PASS");
+    } else {
+        println!("architecture check: FAIL");
+    }
+}
+
+fn print_json(report: &engine::Report) {
+    let findings: Vec<String> = report.delta.new.iter().map(|d| d.to_json()).collect();
+    let stale: Vec<String> = report.delta.stale.iter().map(|k| json_str(k)).collect();
+    println!(
+        "{{\"files\":{},\"violations\":{},\"new\":[{}],\"grandfathered\":{},\
+         \"allowlisted\":{},\"waived\":{},\"baseline_total\":{},\"stale_baseline\":[{}],\
+         \"pass\":{}}}",
+        report.files,
+        report.findings.len(),
+        findings.join(","),
+        report.delta.grandfathered,
+        report.allowlisted,
+        report.waived,
+        report.baseline_total,
+        stale.join(","),
+        report.delta.new.is_empty() && report.delta.stale.is_empty(),
+    );
+}
+
+fn print_explain(config: &Config) {
+    println!("eblcio-analyze: workspace architecture rules\n");
+    for rule in all_rules() {
+        println!("[{}]", rule.id());
+        for line in wrap(rule.explain(), 76) {
+            println!("  {line}");
+        }
+        let allows: Vec<_> = config.allow.iter().filter(|a| a.rule == rule.id()).collect();
+        if !allows.is_empty() {
+            println!("  allowlisted paths:");
+            for a in allows {
+                println!("    {} — {}", a.path, a.reason);
+            }
+        }
+        println!();
+    }
+    println!("[waiver-hygiene]");
+    println!(
+        "  Inline waivers are `// eblcio-allow(rule): reason` on the offending line or\n  \
+         the line above. A waiver with no reason, naming an unknown rule, or matching\n  \
+         no finding is itself a violation."
+    );
+}
+
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut cur = String::new();
+    for word in text.split_whitespace() {
+        if !cur.is_empty() && cur.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut cur));
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        cur.push_str(word);
+    }
+    if !cur.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}

@@ -1,0 +1,159 @@
+//! Fixture-driven self-tests for the architecture linter.
+//!
+//! Each `tests/fixtures/*.rs` file is a known-bad (or deliberately
+//! tricky known-clean) source annotated with compiletest-style
+//! `//~ rule-id` markers on the lines where a finding is expected. The
+//! harness lexes and analyzes the fixture exactly as `check` would and
+//! compares the (line, rule) multiset against the markers — so a rule
+//! that over- or under-reports fails with a readable diff.
+
+use eblcio_analyze::baseline::Baseline;
+use eblcio_analyze::config::Config;
+use eblcio_analyze::engine::analyze_source;
+use eblcio_analyze::rules::all_rules;
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Extracts `//~ rule-id` markers: (1-based line, rule id).
+fn expected_markers(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("//~ ") {
+            let tail = &rest[pos + 4..];
+            let rule: String = tail.split_whitespace().next().unwrap_or("").to_string();
+            assert!(!rule.is_empty(), "bare //~ marker on line {}", i + 1);
+            out.push((i as u32 + 1, rule));
+            rest = tail;
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Runs the analyzer over fixture text under a neutral library path
+/// (no allowlist, not a crate root) and returns (line, rule) pairs.
+fn findings(src: &str) -> Vec<(u32, String)> {
+    let cfg = Config { include: vec!["src".into()], exclude: vec![], allow: vec![] };
+    let (diags, _, _) = analyze_source("crates/fixture/src/code.rs", src, &all_rules(), &cfg);
+    let mut out: Vec<(u32, String)> =
+        diags.iter().map(|d| (d.line, d.rule.to_string())).collect();
+    out.sort();
+    out
+}
+
+fn assert_fixture_matches(name: &str) {
+    let src = fixture(name);
+    let expected = expected_markers(&src);
+    let actual = findings(&src);
+    assert_eq!(
+        actual, expected,
+        "\nfixture {name}: analyzer findings (left) != //~ markers (right)"
+    );
+}
+
+#[test]
+fn storage_boundary_fixture() {
+    assert_fixture_matches("storage_boundary_bad.rs");
+}
+
+#[test]
+fn panic_freedom_fixture() {
+    assert_fixture_matches("panic_freedom_bad.rs");
+}
+
+#[test]
+fn lock_discipline_fixture() {
+    assert_fixture_matches("lock_discipline_bad.rs");
+}
+
+#[test]
+fn unsafe_freedom_fixture() {
+    assert_fixture_matches("unsafe_bad.rs");
+}
+
+#[test]
+fn error_hygiene_fixture() {
+    assert_fixture_matches("error_hygiene_bad.rs");
+}
+
+#[test]
+fn lexer_edge_cases_produce_no_findings() {
+    assert_fixture_matches("lexer_edge_cases.rs");
+    assert!(expected_markers(&fixture("lexer_edge_cases.rs")).is_empty());
+}
+
+#[test]
+fn waiver_fixture() {
+    assert_fixture_matches("waivers.rs");
+}
+
+#[test]
+fn fixture_findings_roundtrip_through_baseline() {
+    // Rendering a fixture's findings into baseline text and parsing it
+    // back must grandfather exactly those findings — and stay stable
+    // when every line number shifts (the ratchet keys on content).
+    let src = fixture("panic_freedom_bad.rs");
+    let cfg = Config { include: vec!["src".into()], exclude: vec![], allow: vec![] };
+    let (diags, _, _) = analyze_source("crates/fixture/src/code.rs", &src, &all_rules(), &cfg);
+    assert!(!diags.is_empty());
+    let baseline = Baseline::parse(&Baseline::render(&diags)).unwrap();
+    let delta = baseline.delta(&diags);
+    assert!(delta.new.is_empty(), "{:?}", delta.new);
+    assert!(delta.stale.is_empty(), "{:?}", delta.stale);
+    assert_eq!(delta.grandfathered, diags.len());
+
+    let shifted = format!("// leading comment shifts every line\n\n{src}");
+    let (shifted_diags, _, _) =
+        analyze_source("crates/fixture/src/code.rs", &shifted, &all_rules(), &cfg);
+    let delta = baseline.delta(&shifted_diags);
+    assert!(delta.new.is_empty() && delta.stale.is_empty());
+}
+
+#[test]
+fn crate_roots_must_forbid_unsafe() {
+    let cfg = Config { include: vec!["src".into()], exclude: vec![], allow: vec![] };
+    let clean = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    let (diags, _, _) = analyze_source("crates/x/src/lib.rs", clean, &all_rules(), &cfg);
+    assert!(diags.is_empty(), "{diags:?}");
+    let (diags, _, _) = analyze_source("crates/x/src/lib.rs", "pub fn f() {}\n", &all_rules(), &cfg);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "unsafe-freedom");
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn workspace_analyze_toml_parses_with_reasons() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = Config::load(&root.join("analyze.toml")).unwrap();
+    assert!(!cfg.allow.is_empty());
+    for entry in &cfg.allow {
+        assert!(!entry.reason.is_empty(), "allowlist entry for {} lacks a reason", entry.path);
+    }
+}
+
+#[test]
+fn workspace_passes_architecture_check() {
+    // The real gate, runnable as a plain test: the live tree must have
+    // no violations beyond the checked-in baseline, and no stale
+    // baseline entries. This is what CI runs via `eblcio-analyze check`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = Config::load(&root.join("analyze.toml")).unwrap();
+    let baseline = Baseline::load(&root.join("analyze-baseline.txt")).unwrap();
+    let report = eblcio_analyze::run(&root, &config, &baseline).unwrap();
+    let rendered: Vec<String> = report.delta.new.iter().map(|d| d.render()).collect();
+    assert!(
+        rendered.is_empty(),
+        "new architecture violations:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.delta.stale.is_empty(),
+        "stale baseline entries (regenerate with --update-baseline): {:?}",
+        report.delta.stale
+    );
+}

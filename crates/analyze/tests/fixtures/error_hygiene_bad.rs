@@ -1,0 +1,25 @@
+// Fixture: erased error types in public signatures.
+
+pub fn load(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> { //~ error-hygiene
+    let _ = path;
+    Ok(Vec::new())
+}
+
+pub(crate) fn send() -> Result<(), Box<dyn Error + Send + Sync>> { //~ error-hygiene
+    Ok(())
+}
+
+pub fn typed() -> Result<(), CodecError> {
+    // Typed errors are the point.
+    Ok(())
+}
+
+fn private() -> Result<(), Box<dyn std::error::Error>> {
+    // Private functions may erase internally (still discouraged).
+    Ok(())
+}
+
+pub fn boxed_data(items: Box<dyn Iterator<Item = u32>>) -> usize {
+    // Box<dyn …> of a non-Error trait is fine.
+    items.count()
+}

@@ -1,0 +1,24 @@
+// Fixture: everything below LOOKS like a violation but is inert —
+// inside strings, raw strings, byte strings, comments, or is a
+// lifetime rather than a char literal. Expected findings: none.
+
+pub fn tricky<'a>(s: &'a str) -> &'a str {
+    let _c: char = 'x';
+    let _esc: char = '\'';
+    let _newline: char = '\n';
+    let _s = "call .unwrap() and panic! now; also std::fs::File::open";
+    let _raw = r#"std::sync::Mutex::new(0).lock().expect("poisoned")"#;
+    let _deep = r##"nested raw with "# inside, plus .unwrap()"##;
+    let _bytes = b"std::sync::Condvar and unsafe { }";
+    let _braw = br#"File::create("x").unwrap()"#;
+    // line comment: x.unwrap() and panic!("…")
+    /* block comment: std::sync::RwLock
+       /* nested block: unsafe { todo!() } */
+       still inside the outer comment: File::open */
+    s
+}
+
+/// Doc comment naming `std::fs` and `.expect(…)` and `Box<dyn Error>`.
+pub fn documented<'b>(r: &'b [u8]) -> &'b [u8] {
+    r
+}

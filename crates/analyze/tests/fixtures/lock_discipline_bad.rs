@@ -1,0 +1,15 @@
+// Fixture: poisoning std::sync primitives.
+
+use std::sync::Mutex; //~ lock-discipline
+
+use std::sync::{Arc, Condvar}; //~ lock-discipline
+
+use std::sync::atomic::AtomicU64;
+
+pub fn guarded(m: &std::sync::RwLock<u32>) -> u32; //~ lock-discipline
+
+pub fn fine(n: &AtomicU64, a: Arc<u32>) -> u64 {
+    // parking_lot types and std::sync::Arc/atomics are allowed.
+    let _ = a;
+    n.load(std::sync::atomic::Ordering::Relaxed)
+}

@@ -1,0 +1,42 @@
+// Fixture: aborts in non-test library code.
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap() //~ panic-freedom
+}
+
+pub fn demand(x: Option<u32>) -> u32 {
+    x.expect("present") //~ panic-freedom
+}
+
+pub fn boom() {
+    panic!("boom"); //~ panic-freedom
+}
+
+pub fn dispatch(n: u32) -> u32 {
+    match n {
+        0 => todo!(), //~ panic-freedom
+        1 => unimplemented!(), //~ panic-freedom
+        _ => unreachable!(), //~ panic-freedom
+    }
+}
+
+pub fn legal(n: u32) {
+    // assert! documents an invariant; it is not flagged.
+    assert!(n < 100);
+    debug_assert!(n != 13);
+}
+
+pub fn unwrap_shape(dims: &[usize]) -> usize {
+    // A local function *named* like the method is fine: the rule
+    // requires a `.` receiver.
+    dims.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        Some(1).unwrap();
+        panic!("test code may abort");
+    }
+}

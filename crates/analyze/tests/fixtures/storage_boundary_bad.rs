@@ -1,0 +1,23 @@
+// Fixture: filesystem touches outside the storage backends. Tilde
+// markers name the expected finding per line; the fixture_suite
+// harness compares them against the analyzer's output.
+
+use std::fs; //~ storage-boundary
+
+pub fn read_config(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path) //~ storage-boundary
+}
+
+pub fn open_raw(path: &str) -> std::io::Result<fs::File> {
+    fs::File::open(path) //~ storage-boundary
+}
+
+pub fn touch(path: &str) {
+    let _ = fs::File::create(path); //~ storage-boundary
+}
+
+pub fn no_findings_here(bytes: &[u8]) -> usize {
+    // A comment naming std::fs::File::open is not a violation.
+    let _ = "neither is the string std::fs::remove_file";
+    bytes.len()
+}

@@ -1,0 +1,13 @@
+// Fixture: `unsafe` is flagged everywhere — even in test code.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) } //~ unsafe-freedom
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn not_exempt() {
+        let _x: u32 = unsafe { std::mem::zeroed() }; //~ unsafe-freedom
+    }
+}

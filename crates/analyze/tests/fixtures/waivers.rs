@@ -1,0 +1,18 @@
+// Fixture: inline waivers — the line-above form, the same-line form,
+// an unused waiver, and a waiver naming an unknown rule. The last two
+// are themselves findings (waiver-hygiene).
+
+pub fn startup(x: Option<u32>) -> u32 {
+    // eblcio-allow(panic-freedom): startup-only invariant; the process has no clients yet
+    x.unwrap()
+}
+
+pub fn same_line(y: Option<u32>) -> u32 {
+    y.unwrap() // eblcio-allow(panic-freedom): same-line waiver form
+}
+
+// eblcio-allow(lock-discipline): nothing on the next line to waive //~ waiver-hygiene
+pub fn clean() {}
+
+// eblcio-allow(no-such-rule): misspelled rule ids must be caught //~ waiver-hygiene
+pub fn also_clean() {}

@@ -12,6 +12,8 @@
 //! * `EBLCIO_SCALE` = `tiny` | `small` (default) | `paper` — data size,
 //! * `EBLCIO_RUNS`  = `quick` (default) | `paper` — repetition protocol.
 
+#![forbid(unsafe_code)]
+
 use eblcio_core::CampaignRunner;
 use eblcio_data::generators::Scale;
 use std::path::PathBuf;

@@ -12,6 +12,8 @@
 //! Fig. 12 shape: compression energy dominates the compressed-write
 //! path, while the uncompressed baseline blows up at high core counts.
 
+#![forbid(unsafe_code)]
+
 pub mod imbalance;
 pub mod report;
 pub mod topology;
@@ -46,7 +48,9 @@ pub fn run_compress_and_write(
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(spec.local_parallelism())
         .build()
-        .expect("thread pool");
+        .map_err(|_| eblcio_codec::CodecError::Internal {
+            context: "cluster thread pool construction",
+        })?;
     let start = Instant::now();
     let streams: Vec<Result<Vec<u8>, eblcio_codec::CodecError>> = pool.install(|| {
         (0..total_ranks)
@@ -62,7 +66,9 @@ pub fn run_compress_and_write(
             first = Some(s);
         }
     }
-    let stream = first.expect("at least one rank");
+    let Some(stream) = first else {
+        return Err(eblcio_codec::CodecError::Internal { context: "cluster spec with zero ranks" });
+    };
 
     // The wall time above used `local_parallelism` worker threads for
     // `total_ranks` rank-compressions; on the real cluster each rank has

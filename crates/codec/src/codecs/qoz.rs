@@ -135,8 +135,10 @@ impl Qoz {
         if p.extra.len() != 16 {
             return Err(CodecError::Corrupt { context: "qoz parameters" });
         }
-        let alpha = f64::from_bits(u64::from_le_bytes(p.extra[0..8].try_into().unwrap()));
-        let beta = f64::from_bits(u64::from_le_bytes(p.extra[8..16].try_into().unwrap()));
+        // The length check above guarantees 16 bytes, so indexing is safe.
+        let le8 = |b: &[u8]| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        let alpha = f64::from_bits(le8(&p.extra[0..8]));
+        let beta = f64::from_bits(le8(&p.extra[8..16]));
         if !(alpha.is_finite() && alpha >= 1.0 && beta.is_finite() && beta >= 1.0) {
             return Err(CodecError::Corrupt { context: "qoz parameters" });
         }

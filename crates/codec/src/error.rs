@@ -66,6 +66,14 @@ pub enum CodecError {
         /// Backend-specific description of the failure.
         detail: String,
     },
+    /// An internal invariant did not hold — a bug in this workspace,
+    /// not bad input data. Surfaced as a typed error instead of a
+    /// panic so one broken request cannot take down a serve daemon
+    /// (the panic-freedom architecture rule).
+    Internal {
+        /// The invariant that failed.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -94,6 +102,9 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::StorageIo { op, detail } => {
                 write!(f, "storage backend {op} failed: {detail}")
+            }
+            CodecError::Internal { context } => {
+                write!(f, "internal invariant failed ({context}) — this is a bug")
             }
         }
     }

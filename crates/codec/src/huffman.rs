@@ -70,6 +70,7 @@ pub fn encode_block(symbols: &[u32]) -> Vec<u8> {
     // Payload.
     let mut bits = BitWriter::with_capacity(symbols.len() / 2);
     for &s in symbols {
+        // eblcio-allow(panic-freedom): canon is built from the census of these exact symbols two lines up; encode_block stays infallible for the hot encode path
         let &(code, len) = canon.get(&s).expect("symbol in census");
         bits.put_bits(code, u32::from(len));
     }
@@ -136,8 +137,9 @@ pub fn decode_block(buf: &[u8]) -> Result<(Vec<u32>, usize)> {
 fn code_lengths(freq: &HashMap<u32, u64>) -> Vec<(u32, u8)> {
     // Single-symbol alphabets get a 1-bit code.
     if freq.len() == 1 {
-        let (&s, _) = freq.iter().next().unwrap();
-        return vec![(s, 1)];
+        if let Some((&s, _)) = freq.iter().next() {
+            return vec![(s, 1)];
+        }
     }
     let mut scale = 0u32;
     loop {
@@ -186,9 +188,11 @@ fn try_code_lengths(freq: &HashMap<u32, u64>, scale: u32) -> Vec<(u32, u8)> {
         })
         .collect();
     let mut next_id = u32::MAX;
-    while heap.len() > 1 {
-        let a = heap.pop().unwrap();
-        let b = heap.pop().unwrap();
+    while let Some(a) = heap.pop() {
+        let Some(b) = heap.pop() else {
+            heap.push(a); // single node left: it is the root
+            break;
+        };
         next_id -= 1;
         heap.push(Node {
             weight: a.weight + b.weight,
@@ -196,7 +200,8 @@ fn try_code_lengths(freq: &HashMap<u32, u64>, scale: u32) -> Vec<(u32, u8)> {
             kind: NodeKind::Internal(Box::new(a), Box::new(b)),
         });
     }
-    let root = heap.pop().unwrap();
+    // Empty census (empty input) builds no tree and gets no codes.
+    let Some(root) = heap.pop() else { return Vec::new() };
     let mut out = Vec::with_capacity(freq.len());
     // Iterative DFS to avoid recursion depth limits on skewed trees.
     let mut stack = vec![(root, 0u8)];

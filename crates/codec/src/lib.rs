@@ -28,6 +28,8 @@
 //! Every codec guarantees the paper's Eq. 1 value-range relative error
 //! bound, enforced by construction and verified by property tests.
 
+#![forbid(unsafe_code)]
+
 pub mod bitstream;
 pub mod chain;
 pub mod codecs;

@@ -55,7 +55,8 @@ pub fn encode_array<T: Element>(
     } else if let Some(s) = T::slice_as_f64(data.as_slice()) {
         stage.encode_f64(ArrayView::new(data.shape(), s), abs)
     } else {
-        unreachable!("Element is sealed to f32/f64")
+        // Element is sealed to f32/f64; a third impl is a workspace bug.
+        Err(CodecError::Internal { context: "sealed Element dispatch in encode_array" })
     }
 }
 
@@ -66,22 +67,22 @@ pub fn decode_array<T: Element>(
     shape: Shape,
     abs: f64,
 ) -> Result<NdArray<T>> {
-    match T::BYTES {
-        4 => {
-            let arr = stage.decode_f32(bytes, shape, abs)?;
-            let shape = arr.shape();
-            let data = T::vec_from_f32(arr.into_vec())
-                .unwrap_or_else(|_| unreachable!("T::BYTES == 4 implies T == f32"));
-            Ok(NdArray::from_vec(shape, data))
-        }
-        8 => {
-            let arr = stage.decode_f64(bytes, shape, abs)?;
-            let shape = arr.shape();
-            let data = T::vec_from_f64(arr.into_vec())
-                .unwrap_or_else(|_| unreachable!("T::BYTES == 8 implies T == f64"));
-            Ok(NdArray::from_vec(shape, data))
-        }
-        _ => unreachable!(),
+    // Element is sealed to f32 (4 bytes) and f64 (8 bytes); any other
+    // combination is a workspace bug surfaced as a typed error.
+    if T::BYTES == 4 {
+        let arr = stage.decode_f32(bytes, shape, abs)?;
+        let shape = arr.shape();
+        let Ok(data) = T::vec_from_f32(arr.into_vec()) else {
+            return Err(CodecError::Internal { context: "sealed Element dispatch (f32 decode)" });
+        };
+        Ok(NdArray::from_vec(shape, data))
+    } else {
+        let arr = stage.decode_f64(bytes, shape, abs)?;
+        let shape = arr.shape();
+        let Ok(data) = T::vec_from_f64(arr.into_vec()) else {
+            return Err(CodecError::Internal { context: "sealed Element dispatch (f64 decode)" });
+        };
+        Ok(NdArray::from_vec(shape, data))
     }
 }
 

@@ -42,17 +42,20 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a little-endian u16.
     pub fn u16(&mut self, context: &'static str) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2, context)?.try_into().unwrap()))
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self, context: &'static str) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().unwrap()))
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a little-endian u64.
     pub fn u64(&mut self, context: &'static str) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8, context)?.try_into().unwrap()))
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     /// Reads a little-endian f64.

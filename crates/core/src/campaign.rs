@@ -74,31 +74,52 @@ impl CampaignRunner {
         // One pilot run for the stream + quality numbers.
         let stream = run_compress(data, codec, bound, threads_exec)?;
         let recon = run_decompress(codec, &stream, threads_exec)?;
-        let quality = quality_of(data, &recon, stream.len());
+        let quality = quality_of(data, &recon, stream.len())?;
 
-        // Repeated timed runs (§IV-C stopping rule) for compression...
+        // Repeated timed runs (§IV-C stopping rule) for compression.
+        // The pilot run above already succeeded with these exact
+        // arguments, so a failing repeat is an invariant break; the
+        // closure cannot return `Result`, so the first error is parked
+        // and surfaced after the loop.
+        let mut repeat_err: Option<CodecError> = None;
         let mut compress_wall = eblcio_data::RunningStats::new();
         let c_stats = repeat_until_ci(self.min_runs, self.max_runs, self.ci_tol, || {
             let t0 = Instant::now();
-            let s = run_compress(data, codec, bound, threads_exec).expect("pilot run succeeded");
-            std::hint::black_box(&s);
+            match run_compress(data, codec, bound, threads_exec) {
+                Ok(s) => std::hint::black_box(&s.len()),
+                Err(e) => {
+                    repeat_err.get_or_insert(e);
+                    &0
+                }
+            };
             let dt = t0.elapsed().as_secs_f64();
             compress_wall.push(dt);
             let m = energy_for_wall(&profile, activity, Seconds(dt));
             m.total().value()
         });
+        if let Some(e) = repeat_err.take() {
+            return Err(e);
+        }
 
         // ...and decompression.
         let mut decompress_wall = eblcio_data::RunningStats::new();
         let d_stats = repeat_until_ci(self.min_runs, self.max_runs, self.ci_tol, || {
             let t0 = Instant::now();
-            let r = run_decompress(codec, &stream, threads_exec).expect("pilot run succeeded");
-            std::hint::black_box(&r);
+            match run_decompress(codec, &stream, threads_exec) {
+                Ok(r) => std::hint::black_box(&r.len()),
+                Err(e) => {
+                    repeat_err.get_or_insert(e);
+                    &0
+                }
+            };
             let dt = t0.elapsed().as_secs_f64();
             decompress_wall.push(dt);
             let m = energy_for_wall(&profile, activity, Seconds(dt));
             m.total().value()
         });
+        if let Some(e) = repeat_err {
+            return Err(e);
+        }
 
         Ok(MeasuredCell {
             codec: codec.name().to_string(),
@@ -185,11 +206,17 @@ fn run_decompress(
     }
 }
 
-fn quality_of(original: &Dataset, recon: &Dataset, compressed: usize) -> QualityReport {
+fn quality_of(
+    original: &Dataset,
+    recon: &Dataset,
+    compressed: usize,
+) -> Result<QualityReport, CodecError> {
     match (original, recon) {
-        (Dataset::F32(a), Dataset::F32(b)) => QualityReport::evaluate(a, b, compressed),
-        (Dataset::F64(a), Dataset::F64(b)) => QualityReport::evaluate(a, b, compressed),
-        _ => panic!("precision mismatch between original and reconstruction"),
+        (Dataset::F32(a), Dataset::F32(b)) => Ok(QualityReport::evaluate(a, b, compressed)),
+        (Dataset::F64(a), Dataset::F64(b)) => Ok(QualityReport::evaluate(a, b, compressed)),
+        // decompress mirrors the input precision; a mismatch is a
+        // workspace bug surfaced as a typed error.
+        _ => Err(CodecError::Internal { context: "reconstruction precision mismatch" }),
     }
 }
 

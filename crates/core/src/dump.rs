@@ -1,0 +1,48 @@
+//! The one sanctioned filesystem dump point for experiment results.
+//!
+//! Array data always moves through `Arc<dyn Storage>` (the
+//! storage-boundary architecture rule), but measurement campaigns also
+//! emit small human-facing artifacts — CSV tables and JSON summaries
+//! for `bench_results/` — that are not array data and do not belong in
+//! a store. Those writes are centralized here so `eblcio-analyze` can
+//! allowlist exactly one file instead of scattering `std::fs` calls
+//! across the core crate.
+//!
+//! Keep this module boring: create a directory, create a file, return
+//! the handle. Anything smarter (formats, schemas, layout) lives with
+//! the caller.
+
+use std::fs::File;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Creates `dir` (and parents) and opens `dir/<name>` for writing,
+/// truncating any previous dump. Returns the full path and the open
+/// file handle.
+pub fn create(dir: &Path, name: &str) -> io::Result<(PathBuf, File)> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let file = File::create(&path)?;
+    Ok((path, file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn create_makes_parents_and_truncates() {
+        let dir = std::env::temp_dir().join("eblcio_dump_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (path, mut f) = create(&dir.join("nested"), "out.csv").unwrap();
+        writeln!(f, "first,longer,line").unwrap();
+        drop(f);
+        let (path2, mut f) = create(&dir.join("nested"), "out.csv").unwrap();
+        assert_eq!(path, path2);
+        writeln!(f, "x").unwrap();
+        drop(f);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -64,9 +64,7 @@ pub fn write_cells_csv(
     id: &str,
     cells: &[(String, MeasuredCell)],
 ) -> std::io::Result<std::path::PathBuf> {
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("{id}.csv"));
-    let mut f = std::fs::File::create(&path)?;
+    let (path, mut f) = crate::dump::create(dir, &format!("{id}.csv"))?;
     writeln!(
         f,
         "context,codec,cpu,threads,bound,compressed_bytes,cr,psnr_db,max_rel_err,\

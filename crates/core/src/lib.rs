@@ -14,10 +14,13 @@
 //! * [`experiment`] — declarative experiment configurations shared by
 //!   the bench binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod campaign;
 pub mod carbon;
 pub mod conditions;
+pub mod dump;
 pub mod experiment;
 pub mod workflow;
 

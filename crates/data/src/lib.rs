@@ -16,6 +16,8 @@
 //! * [`stats`] — mean / 95 % confidence-interval machinery used by the
 //!   measurement campaigns (§IV-C: "25 runs or until 95 % CI").
 
+#![forbid(unsafe_code)]
+
 pub mod array;
 pub mod element;
 pub mod generators;

@@ -21,6 +21,8 @@
 //! throughput and power scaling; see `DESIGN.md` for the substitution
 //! argument.
 
+#![forbid(unsafe_code)]
+
 pub mod dvfs;
 pub mod measure;
 pub mod meter;

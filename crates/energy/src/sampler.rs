@@ -56,10 +56,10 @@ impl PowerTrace {
 
     /// Mean power over the trace span (0 with < 2 samples).
     pub fn mean_power(&self) -> Watts {
-        if self.samples.len() < 2 {
+        let (Some(first), Some(last)) = (self.samples.first(), self.samples.last()) else {
             return Watts::ZERO;
-        }
-        let span = self.samples.last().unwrap().0 - self.samples[0].0;
+        };
+        let span = last.0 - first.0;
         if span.value() <= 0.0 {
             Watts::ZERO
         } else {

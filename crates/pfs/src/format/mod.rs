@@ -106,11 +106,13 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn u32(&mut self, c: &'static str) -> Result<u32, FormatError> {
-        Ok(u32::from_le_bytes(self.take(4, c)?.try_into().unwrap()))
+        let b = self.take(4, c)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     pub(crate) fn u64(&mut self, c: &'static str) -> Result<u64, FormatError> {
-        Ok(u64::from_le_bytes(self.take(8, c)?.try_into().unwrap()))
+        let b = self.take(8, c)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 
     pub(crate) fn string(&mut self, c: &'static str) -> Result<String, FormatError> {

@@ -18,6 +18,8 @@
 //! * [`tool`] — the [`tool::IoToolKind`] selector the benefit framework
 //!   (§III's `I = {I₁ … I_q}`) programs against.
 
+#![forbid(unsafe_code)]
+
 pub mod format;
 pub mod ost;
 pub mod sim;

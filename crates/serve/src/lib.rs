@@ -65,6 +65,8 @@
 //! assert!(stats.decodes <= reader.store().n_chunks() as u64);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod reader;
 

@@ -33,11 +33,11 @@ use eblcio_codec::{CodecError, Compressor, Result};
 use eblcio_data::{Element, NdArray};
 use eblcio_store::mutable::MUTABLE_MAGIC;
 use eblcio_store::{scatter_chunk, ChunkedStore, MutableStore, Region, Storage};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What the reader does with chunks just past the ones a request needs.
@@ -436,7 +436,7 @@ impl<T: Element> ArrayReader<T> {
     fn fetch_chunk_after_miss(&self, state: &ReadState, i: usize) -> Result<Arc<NdArray<T>>> {
         let key = state.keys[i];
         let (flight, leader) = {
-            let mut map = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            let mut map = self.inflight.lock();
             match map.get(&key) {
                 Some(f) => (f.clone(), false),
                 None => {
@@ -461,22 +461,18 @@ impl<T: Element> ArrayReader<T> {
             if let Ok(chunk) = &res {
                 self.cache.insert(key, chunk.clone());
             }
-            *flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(res.clone());
+            *flight.result.lock() = Some(res.clone());
             flight.done.notify_all();
-            self.inflight
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .remove(&key);
+            self.inflight.lock().remove(&key);
             res
         } else {
-            let mut slot = flight.result.lock().unwrap_or_else(|e| e.into_inner());
-            while slot.is_none() {
-                slot = flight
-                    .done
-                    .wait(slot)
-                    .unwrap_or_else(|e| e.into_inner());
+            let mut slot = flight.result.lock();
+            loop {
+                if let Some(res) = slot.as_ref() {
+                    return res.clone();
+                }
+                flight.done.wait(&mut slot);
             }
-            slot.as_ref().expect("flight result published").clone()
         }
     }
 
@@ -543,7 +539,12 @@ impl<T: Element> ArrayReader<T> {
             .fetch_add(wanted.len() as u64, Ordering::Relaxed);
         // `chunks_intersecting` returns ascending raster order, so the
         // last entry is the scan frontier the prefetcher extends.
-        let ahead = self.prefetch_ids(&state, *wanted.last().expect("regions are non-empty"));
+        // Regions have positive extents, so `wanted` is never empty for
+        // a valid request; a violation is a typed error, not a panic.
+        let Some(&frontier) = wanted.last() else {
+            return Err(CodecError::Internal { context: "region intersects no chunks" });
+        };
+        let ahead = self.prefetch_ids(&state, frontier);
         self.prefetched.fetch_add(ahead.len() as u64, Ordering::Relaxed);
 
         // Probe the cache first: hits are two hash lookups, and a fully
@@ -587,7 +588,11 @@ impl<T: Element> ArrayReader<T> {
 
         let mut out = NdArray::<T>::zeros(region.shape());
         for (&i, part) in wanted.iter().zip(&parts) {
-            let part = part.as_ref().expect("every wanted chunk resolved");
+            // Every slot was filled above (cache probe or fetch loop);
+            // surface a broken invariant as an error, not a panic.
+            let Some(part) = part.as_ref() else {
+                return Err(CodecError::Internal { context: "unresolved chunk in assembly" });
+            };
             scatter_chunk(part, &state.store.grid().chunk_region(i), region, &mut out);
         }
         self.wall_nanos

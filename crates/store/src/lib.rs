@@ -48,6 +48,8 @@
 //! assert_eq!(stats.chunks_decoded, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod manifest;
 pub mod mutable;

@@ -106,14 +106,17 @@ impl RootSlot {
         if bytes.len() != SLOT_LEN {
             return None;
         }
-        let crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        // The length check above guarantees SLOT_LEN bytes, so indexing
+        // is safe and the conversions need no fallible try_into.
+        let le8 = |b: &[u8]| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        let crc = u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]);
         if crc32(&bytes[..24]) != crc {
             return None;
         }
         let slot = Self {
-            generation: u64::from_le_bytes(bytes[..8].try_into().unwrap()),
-            manifest_offset: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
-            manifest_len: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+            generation: le8(&bytes[..8]),
+            manifest_offset: le8(&bytes[8..16]),
+            manifest_len: le8(&bytes[16..24]),
         };
         (slot.generation > 0).then_some(slot)
     }
@@ -136,23 +139,19 @@ fn assemble_file(mut manifest: Manifest, payloads: &[&[u8]]) -> Result<MutableSt
     file.extend_from_slice(MUTABLE_MAGIC);
     file.push(MUTABLE_VERSION);
     file.resize(SUPERBLOCK_LEN, 0);
+    let generation;
     {
-        let meta = manifest
-            .generation
-            .as_mut()
-            .expect("assemble_file needs generation metadata");
+        let Some(meta) = manifest.generation.as_mut() else {
+            return Err(CodecError::Internal { context: "assemble_file without generation metadata" });
+        };
         meta.chunk_crcs = payloads.iter().map(|p| crc32(p)).collect();
+        generation = meta.generation;
     }
     for (entry, payload) in manifest.chunks.iter_mut().zip(payloads) {
         entry.offset = file.len() as u64;
         entry.len = payload.len() as u64;
         file.extend_from_slice(payload);
     }
-    let generation = manifest
-        .generation
-        .as_ref()
-        .expect("generation metadata present")
-        .generation;
     let manifest_offset = file.len() as u64;
     let encoded = manifest.encode();
     file.extend_from_slice(&encoded);
@@ -474,7 +473,7 @@ impl MutableStore {
                 .manifest()
                 .generation
                 .clone()
-                .expect("mutable generations carry metadata");
+                .ok_or(CodecError::Corrupt { context: "store generation metadata" })?;
             if meta.generation == generation {
                 return Ok(store);
             }
@@ -512,7 +511,7 @@ impl MutableStore {
                 .manifest()
                 .generation
                 .clone()
-                .expect("mutable generations carry metadata");
+                .ok_or(CodecError::Corrupt { context: "store generation metadata" })?;
             out.push(GenerationSummary {
                 generation: meta.generation,
                 parent: meta.parent,
@@ -651,7 +650,9 @@ impl MutableStore {
         let mut manifest = cur.manifest().clone();
         let generation = cur.generation() + 1;
         {
-            let meta = manifest.generation.as_mut().expect("current is generational");
+            let Some(meta) = manifest.generation.as_mut() else {
+                return Err(CodecError::Corrupt { context: "store generation metadata" });
+            };
             meta.generation = generation;
             meta.parent = 0;
             meta.parent_offset = 0;
@@ -758,9 +759,11 @@ impl StoreWriter<'_> {
                         }
                         None => store.decode_chunk::<T>(codec, i)?,
                     };
-                    let inter = chunk_region
-                        .intersect(region)
-                        .expect("intersecting chunks intersect");
+                    // `hits` came from chunks_intersecting(region), so
+                    // the intersection exists; a miss is a workspace bug.
+                    let Some(inter) = chunk_region.intersect(region) else {
+                        return Err(CodecError::Internal { context: "intersecting chunk does not intersect" });
+                    };
                     let rank = inter.rank();
                     let mut src_origin = [0usize; MAX_RANK];
                     let mut dst_origin = [0usize; MAX_RANK];
@@ -823,7 +826,9 @@ impl StoreWriter<'_> {
         let mut append = Vec::new();
         let mut replaced_bytes = 0u64;
         {
-            let meta = manifest.generation.as_mut().expect("base is generational");
+            let Some(meta) = manifest.generation.as_mut() else {
+                return Err(CodecError::Corrupt { context: "store generation metadata" });
+            };
             meta.parent = parent.generation;
             meta.parent_offset = parent.manifest_offset;
             meta.parent_len = parent.manifest_len;

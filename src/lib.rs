@@ -60,6 +60,8 @@
 //! assert!(max_rel_error(data.as_f32(), back.as_f32()) <= 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use eblcio_cluster as cluster;
 pub use eblcio_codec as codec;
 pub use eblcio_core as core;

@@ -1,11 +1,30 @@
-//! Vendored `parking_lot` facade: the poison-free `Mutex`/`RwLock` API
-//! over `std::sync` primitives (a poisoned std lock yields its inner
-//! data, matching parking_lot's poison-free semantics).
+//! Vendored `parking_lot` facade: the poison-free `Mutex`/`RwLock`/
+//! `Condvar` API over `std::sync` primitives (a poisoned std lock
+//! yields its inner data, matching parking_lot's poison-free
+//! semantics).
 
+use std::ops::{Deref, DerefMut};
 use std::sync;
 
-/// Guard for [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Guard for [`Mutex::lock`]. Wraps the std guard so [`Condvar::wait`]
+/// can take `&mut` (parking_lot's signature) while std's `wait`
+/// consumes the guard; outside a wait the inner guard is always
+/// present.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside Condvar::wait")
+    }
+}
 
 /// A mutex whose `lock` never returns a poison error.
 #[derive(Debug, Default)]
@@ -26,7 +45,36 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, ignoring poisoning.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+    }
+}
+
+/// A condition variable usable with [`Mutex`]: `wait` takes the guard
+/// by `&mut` and never reports poisoning, matching parking_lot.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically releases the guarded lock and blocks until notified;
+    /// the lock is re-acquired (poison-free) before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
