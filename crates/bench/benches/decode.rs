@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the decode hot path: the fast
+//! decoders against their frozen reference arms (SZ2/SZ3/QoZ), and
+//! partial-region decode against whole-array decode (SZx/ZFP). The
+//! `decode_bandwidth` binary is the gated report; these give the same
+//! comparisons statistical error bars.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eblcio_codec::{
+    compress, decompress, decompress_region, CodecChain, CompressorId, ErrorBound, Qoz, Sz2, Sz3,
+};
+use eblcio_data::generators::Scale;
+use eblcio_data::{Dataset, DatasetKind, DatasetSpec, NdArray};
+use std::hint::black_box;
+
+const EPS: f64 = 1e-3;
+
+fn nyx_f32() -> NdArray<f32> {
+    match DatasetSpec::new(DatasetKind::Nyx, Scale::Tiny).generate() {
+        Dataset::F32(a) => a,
+        Dataset::F64(_) => unreachable!("NYX is single precision"),
+    }
+}
+
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    let arr = nyx_f32();
+    let mut g = c.benchmark_group("decode_fast_vs_reference");
+    g.throughput(Throughput::Bytes(arr.nbytes() as u64));
+    g.sample_size(10);
+    let arms: [(CompressorId, CodecChain); 3] = [
+        (
+            CompressorId::Sz2,
+            CodecChain::around(Box::new(Sz2::reference_decoder())),
+        ),
+        (
+            CompressorId::Sz3,
+            CodecChain::around(Box::new(Sz3::reference_decoder())),
+        ),
+        (
+            CompressorId::Qoz,
+            CodecChain::around(Box::new(Qoz::reference_decoder())),
+        ),
+    ];
+    for (id, reference) in arms {
+        let codec = id.instance();
+        let stream = compress(codec.as_ref(), &arr, ErrorBound::Relative(EPS)).unwrap();
+        g.bench_function(BenchmarkId::new(id.name(), "fast"), |b| {
+            b.iter(|| {
+                let a: NdArray<f32> = decompress(codec.as_ref(), black_box(&stream)).unwrap();
+                black_box(a)
+            })
+        });
+        g.bench_function(BenchmarkId::new(id.name(), "reference"), |b| {
+            b.iter(|| {
+                let a: NdArray<f32> = decompress(&reference, black_box(&stream)).unwrap();
+                black_box(a)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partial_region(c: &mut Criterion) {
+    let arr = nyx_f32();
+    // A 1/8 slab of the leading dimension, matching decode_bandwidth.
+    let origin: Vec<usize> = arr
+        .shape()
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(d, &n)| if d == 0 { n / 4 } else { 0 })
+        .collect();
+    let extent: Vec<usize> = arr
+        .shape()
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(d, &n)| if d == 0 { (n / 8).max(1) } else { n })
+        .collect();
+    let mut g = c.benchmark_group("decode_partial_region");
+    g.sample_size(10);
+    for id in [CompressorId::Szx, CompressorId::Zfp] {
+        let codec = id.instance();
+        let stream = compress(codec.as_ref(), &arr, ErrorBound::Relative(EPS)).unwrap();
+        g.bench_function(BenchmarkId::new(id.name(), "full"), |b| {
+            b.iter(|| {
+                let a: NdArray<f32> = decompress(codec.as_ref(), black_box(&stream)).unwrap();
+                black_box(a)
+            })
+        });
+        g.bench_function(BenchmarkId::new(id.name(), "eighth"), |b| {
+            b.iter(|| {
+                let a = decompress_region::<f32>(
+                    codec.as_ref(),
+                    black_box(&stream),
+                    &origin,
+                    &extent,
+                )
+                .unwrap()
+                .expect("partial support");
+                black_box(a)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fast_vs_reference, bench_partial_region);
+criterion_main!(benches);

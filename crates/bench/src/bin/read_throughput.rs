@@ -183,7 +183,7 @@ fn main() {
     let regions = workload(shape);
 
     let mut table = TextTable::new(&[
-        "phase", "clients", "s", "MB/s", "hits", "decodes", "hit_rate",
+        "phase", "clients", "s", "MB/s", "hits", "decodes", "hit_rate", "decode_s", "decoded_MB",
     ]);
 
     // Cold sweep: disjoint slabs, fresh reader, one pass.
@@ -211,6 +211,8 @@ fn main() {
         cs.cache_hits.to_string(),
         cs.decodes.to_string(),
         format!("{:.2}", cs.hit_rate()),
+        format!("{:.4}", cs.decode_seconds),
+        format!("{:.1}", cs.decoded_bytes as f64 / 1e6),
     ]);
 
     // Uncached: a zero-budget cache decodes every chunk of every pass.
@@ -238,6 +240,8 @@ fn main() {
             us.cache_hits.to_string(),
             us.decodes.to_string(),
             format!("{:.2}", us.hit_rate()),
+            format!("{:.4}", us.decode_seconds),
+            format!("{:.1}", us.decoded_bytes as f64 / 1e6),
         ]);
     }
 
@@ -265,6 +269,11 @@ fn main() {
             (after.cache_hits - before.cache_hits).to_string(),
             (after.decodes - before.decodes).to_string(),
             format!("{:.2}", after.hit_rate()),
+            format!("{:.4}", after.decode_seconds - before.decode_seconds),
+            format!(
+                "{:.1}",
+                (after.decoded_bytes - before.decoded_bytes) as f64 / 1e6
+            ),
         ]);
     }
 

@@ -107,17 +107,54 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `n` bits MSB-first (`n ≤ 64`).
+    ///
+    /// Word-based: the value is assembled from at most `⌈n/8⌉ + 1` byte
+    /// loads instead of `n` single-bit reads, which is what lets the
+    /// SZx bit-unpack and ZFP plane loops run at memory speed. Bit-exact
+    /// with the per-bit formulation (same MSB-first order, same upfront
+    /// truncation check against the padded byte length).
     #[inline]
     pub fn get_bits(&mut self, n: u32, context: &'static str) -> Result<u64> {
         debug_assert!(n <= 64);
         if self.remaining_bits() < u64::from(n) {
             return Err(CodecError::TruncatedStream { context });
         }
-        let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | u64::from(self.get_bit(context)?);
+        if n == 0 {
+            return Ok(0);
+        }
+        let mut byte = (self.pos / 8) as usize;
+        let bit_in_byte = (self.pos % 8) as u32;
+        self.pos += u64::from(n);
+        // Unread low bits of the first (possibly partial) byte.
+        let avail = 8 - bit_in_byte;
+        let head = u64::from(self.bytes[byte]) & ((1u64 << avail) - 1);
+        if n <= avail {
+            return Ok(head >> (avail - n));
+        }
+        let mut v = head;
+        let mut need = n - avail;
+        byte += 1;
+        while need >= 8 {
+            v = (v << 8) | u64::from(self.bytes[byte]);
+            byte += 1;
+            need -= 8;
+        }
+        if need > 0 {
+            v = (v << need) | (u64::from(self.bytes[byte]) >> (8 - need));
         }
         Ok(v)
+    }
+
+    /// Advances the cursor by `n` bits without materializing them —
+    /// the partial-chunk decoders use this to step over blocks whose
+    /// samples fall outside the requested region.
+    #[inline]
+    pub fn skip_bits(&mut self, n: u64, context: &'static str) -> Result<()> {
+        if self.remaining_bits() < n {
+            return Err(CodecError::TruncatedStream { context });
+        }
+        self.pos += n;
+        Ok(())
     }
 
     /// Reads a unary-coded value (count of one-bits before the zero).
@@ -199,6 +236,49 @@ mod tests {
         // only reads beyond 16 bits fail.
         assert!(r.get_bits(16, "t").is_ok());
         assert!(r.get_bit("t").is_err());
+    }
+
+    #[test]
+    fn word_get_bits_matches_per_bit_reads() {
+        // Pseudo-random payload; every (offset, width) pair must agree
+        // with the single-bit formulation, including the readable zero
+        // padding of the final byte.
+        let bytes: Vec<u8> = (0..13u64)
+            .map(|i| (i.wrapping_mul(0x9e37_79b9).rotate_left(11) & 0xff) as u8)
+            .collect();
+        for start in 0..24u64 {
+            for n in 0..=64u32 {
+                let mut fast = BitReader::new(&bytes);
+                fast.pos = start;
+                let mut slow = BitReader::new(&bytes);
+                slow.pos = start;
+                let got = fast.get_bits(n, "t");
+                let want = if slow.remaining_bits() < u64::from(n) {
+                    Err(CodecError::TruncatedStream { context: "t" })
+                } else {
+                    let mut v = 0u64;
+                    for _ in 0..n {
+                        v = (v << 1) | u64::from(slow.get_bit("t").unwrap());
+                    }
+                    Ok(v)
+                };
+                assert_eq!(got, want, "start {start} n {n}");
+                if want.is_ok() {
+                    assert_eq!(fast.bit_position(), start + u64::from(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_bits_advances_and_bounds_checks() {
+        let bytes = [0xabu8, 0xcd];
+        let mut r = BitReader::new(&bytes);
+        r.skip_bits(5, "t").unwrap();
+        assert_eq!(r.get_bits(3, "t").unwrap(), 0b011);
+        assert_eq!(r.get_bits(8, "t").unwrap(), 0xcd);
+        assert!(r.skip_bits(1, "t").is_err());
+        assert!(r.skip_bits(0, "t").is_ok());
     }
 
     #[test]

@@ -34,12 +34,12 @@
 use crate::error::{CodecError, Result};
 use crate::header::{read_stream, write_stream, Header};
 use crate::stage::{
-    build_byte_stage, decode_array, encode_array, ArrayStage, ByteStage, ByteStageSpec,
+    build_byte_stage, decode_array, decode_array_region, encode_array, ArrayStage, ByteStage,
+    ByteStageSpec,
 };
 use crate::traits::{Compressor, CompressorId, ErrorBound};
 use eblcio_data::{ArrayView, Element, NdArray};
 use serde::{Deserialize, Serialize};
-use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -249,7 +249,16 @@ impl CodecChain {
         Ok(write_stream(&header, &payload))
     }
 
-    fn decompress_generic<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
+    /// Parses the stream envelope (chain + dtype checks) and hands the
+    /// unwound array-stage payload to `f`. Byte stages are inverted
+    /// through the thread's reusable scratch buffer, which is taken
+    /// *out* of the arena (not held borrowed) because the array stage
+    /// inside `f` wants the arena too.
+    fn with_decoded_payload<T: Element, R>(
+        &self,
+        stream: &[u8],
+        f: impl FnOnce(&[u8], &Header) -> Result<R>,
+    ) -> Result<R> {
         let (h, payload) = read_stream(stream)?;
         if h.chain != self.spec {
             return Err(CodecError::ChainMismatch {
@@ -258,11 +267,51 @@ impl CodecChain {
             });
         }
         h.expect_dtype::<T>()?;
-        let mut bytes: Cow<'_, [u8]> = Cow::Borrowed(payload);
-        for s in self.bytes.iter().rev() {
-            bytes = Cow::Owned(s.inverse(&bytes)?);
+        if self.bytes.is_empty() {
+            return f(payload, &h);
         }
-        decode_array(self.array.as_ref(), &bytes, h.shape, h.abs_bound)
+        let mut cur = crate::scratch::take_bytes();
+        let mut next = Vec::new();
+        let mut first = true;
+        for s in self.bytes.iter().rev() {
+            let step = if first {
+                s.inverse_into(payload, &mut cur)
+            } else {
+                let r = s.inverse_into(&cur, &mut next);
+                if r.is_ok() {
+                    std::mem::swap(&mut cur, &mut next);
+                }
+                r
+            };
+            first = false;
+            if let Err(e) = step {
+                crate::scratch::put_bytes(cur);
+                return Err(e);
+            }
+        }
+        let out = f(&cur, &h);
+        crate::scratch::put_bytes(cur);
+        out
+    }
+
+    fn decompress_generic<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
+        self.with_decoded_payload::<T, _>(stream, |bytes, h| {
+            decode_array(self.array.as_ref(), bytes, h.shape, h.abs_bound)
+        })
+    }
+
+    fn decompress_region_generic<T: Element>(
+        &self,
+        stream: &[u8],
+        origin: &[usize],
+        extent: &[usize],
+    ) -> Result<Option<NdArray<T>>> {
+        if !self.array.supports_partial_decode() {
+            return Ok(None);
+        }
+        self.with_decoded_payload::<T, _>(stream, |bytes, h| {
+            decode_array_region(self.array.as_ref(), bytes, h.shape, h.abs_bound, origin, extent)
+        })
     }
 }
 
@@ -287,6 +336,22 @@ impl Compressor for CodecChain {
     }
     fn decompress_f64(&self, stream: &[u8]) -> Result<NdArray<f64>> {
         self.decompress_generic(stream)
+    }
+    fn decompress_f32_region(
+        &self,
+        stream: &[u8],
+        origin: &[usize],
+        extent: &[usize],
+    ) -> Result<Option<NdArray<f32>>> {
+        self.decompress_region_generic(stream, origin, extent)
+    }
+    fn decompress_f64_region(
+        &self,
+        stream: &[u8],
+        origin: &[usize],
+        extent: &[usize],
+    ) -> Result<Option<NdArray<f64>>> {
+        self.decompress_region_generic(stream, origin, extent)
     }
 }
 
@@ -490,6 +555,36 @@ mod tests {
             .unwrap();
         let back = spec.build().unwrap().decompress_f32(&stream).unwrap();
         assert!(max_rel_error(&data, &back) <= 1e-3 * 1.0000001);
+    }
+
+    #[test]
+    fn partial_decode_through_byte_stages_and_fallback() {
+        let data = field();
+        // SZx behind an LZ stage: the byte stage is fully inverted, then
+        // the array stage decodes only the requested region.
+        let chain = ChainSpec::parse("szx+lz").unwrap().build().unwrap();
+        let stream = chain.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        let full = chain.decompress_f32(&stream).unwrap();
+        let part = chain
+            .decompress_f32_region(&stream, &[10, 5], &[7, 11])
+            .unwrap()
+            .expect("szx+lz supports partial decode");
+        for i in 0..7 {
+            for j in 0..11 {
+                assert_eq!(
+                    part.as_slice()[i * 11 + j].to_bits(),
+                    full.as_slice()[(10 + i) * 30 + 5 + j].to_bits()
+                );
+            }
+        }
+        // Interpolation codecs have no partial path: callers get None
+        // and fall back to the whole-chunk decode.
+        let sz3 = ChainSpec::preset(CompressorId::Sz3).build().unwrap();
+        let stream = sz3.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        assert!(sz3
+            .decompress_f32_region(&stream, &[10, 5], &[7, 11])
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -44,12 +44,48 @@ impl SzPayload {
 
     /// Inverse of [`Self::encode_inner`].
     pub fn decode_inner(inner: &[u8]) -> Result<Self> {
+        let mut codes = Vec::new();
+        let mut lut = huffman::HuffLookup::default();
+        let (extra, outliers) = Self::decode_inner_into(inner, &mut codes, &mut lut)?;
+        Ok(Self {
+            extra: extra.to_vec(),
+            outliers: outliers.to_vec(),
+            codes,
+        })
+    }
+
+    /// Zero-copy decode: `extra` and `outliers` come back as slices of
+    /// `inner`, and the Huffman codes land in the caller's buffer
+    /// (cleared first) — the arena-backed hot path of the SZ-family
+    /// decoders. Bit- and error-identical to [`Self::decode_inner`].
+    pub fn decode_inner_into<'a>(
+        inner: &'a [u8],
+        codes: &mut Vec<u32>,
+        lut: &mut huffman::HuffLookup,
+    ) -> Result<(&'a [u8], &'a [u8])> {
+        let mut r = ByteReader::new(inner);
+        let extra_len = r.varint("sz extra length")? as usize;
+        let extra = r.take(extra_len, "sz extra")?;
+        let outlier_len = r.varint("sz outlier length")? as usize;
+        let outliers = r.take(outlier_len, "sz outliers")?;
+        let used = huffman::decode_block_into(&inner[r.position()..], codes, lut)?;
+        if r.position() + used != inner.len() {
+            return Err(CodecError::Corrupt { context: "sz payload trailer" });
+        }
+        Ok((extra, outliers))
+    }
+
+    /// Frozen pre-optimization decode (per-symbol Huffman walk, fresh
+    /// allocations throughout). Wire-compatible with
+    /// [`Self::decode_inner`]; kept as the reference arm of the decode
+    /// bandwidth gate and the fast-path equivalence tests.
+    pub fn decode_inner_reference(inner: &[u8]) -> Result<Self> {
         let mut r = ByteReader::new(inner);
         let extra_len = r.varint("sz extra length")? as usize;
         let extra = r.take(extra_len, "sz extra")?.to_vec();
         let outlier_len = r.varint("sz outlier length")? as usize;
         let outliers = r.take(outlier_len, "sz outliers")?.to_vec();
-        let (codes, used) = huffman::decode_block(&inner[r.position()..])?;
+        let (codes, used) = huffman::decode_block_reference(&inner[r.position()..])?;
         if r.position() + used != inner.len() {
             return Err(CodecError::Corrupt { context: "sz payload trailer" });
         }

@@ -18,7 +18,40 @@ pub mod zfp;
 /// receiver.
 macro_rules! impl_stage_codec {
     ($ty:ty, $id:expr) => {
+        impl_stage_codec!(@imp $ty, $id, {});
+    };
+    // With the `region` token the stage additionally wires its inherent
+    // `decode_region_impl` into the partial-decode trait methods.
+    ($ty:ty, $id:expr, region) => {
+        impl_stage_codec!(@imp $ty, $id, {
+            fn supports_partial_decode(&self) -> bool {
+                true
+            }
+            fn decode_f32_region(
+                &self,
+                bytes: &[u8],
+                shape: eblcio_data::Shape,
+                abs: f64,
+                origin: &[usize],
+                extent: &[usize],
+            ) -> $crate::error::Result<Option<eblcio_data::NdArray<f32>>> {
+                self.decode_region_impl(bytes, shape, abs, origin, extent)
+            }
+            fn decode_f64_region(
+                &self,
+                bytes: &[u8],
+                shape: eblcio_data::Shape,
+                abs: f64,
+                origin: &[usize],
+                extent: &[usize],
+            ) -> $crate::error::Result<Option<eblcio_data::NdArray<f64>>> {
+                self.decode_region_impl(bytes, shape, abs, origin, extent)
+            }
+        });
+    };
+    (@imp $ty:ty, $id:expr, {$($region_fns:item)*}) => {
         impl $crate::stage::ArrayStage for $ty {
+            $($region_fns)*
             fn id(&self) -> $crate::traits::CompressorId {
                 $id
             }
@@ -96,6 +129,32 @@ macro_rules! impl_stage_codec {
                 $crate::traits::Compressor::decompress_f64(
                     &$crate::chain::CodecChain::around(Box::new(self.clone())),
                     stream,
+                )
+            }
+            fn decompress_f32_region(
+                &self,
+                stream: &[u8],
+                origin: &[usize],
+                extent: &[usize],
+            ) -> $crate::error::Result<Option<eblcio_data::NdArray<f32>>> {
+                $crate::traits::Compressor::decompress_f32_region(
+                    &$crate::chain::CodecChain::around(Box::new(self.clone())),
+                    stream,
+                    origin,
+                    extent,
+                )
+            }
+            fn decompress_f64_region(
+                &self,
+                stream: &[u8],
+                origin: &[usize],
+                extent: &[usize],
+            ) -> $crate::error::Result<Option<eblcio_data::NdArray<f64>>> {
+                $crate::traits::Compressor::decompress_f64_region(
+                    &$crate::chain::CodecChain::around(Box::new(self.clone())),
+                    stream,
+                    origin,
+                    extent,
                 )
             }
         }

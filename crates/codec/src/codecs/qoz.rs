@@ -10,8 +10,9 @@
 
 use super::common::SzPayload;
 use super::impl_stage_codec;
-use super::sz3::{interp_decode, interp_encode};
+use super::sz3::{interp_decode, interp_decode_reference, interp_decode_with, interp_encode};
 use crate::error::{CodecError, Result};
+use crate::scratch::{with_scratch, DecodeScratch};
 use crate::traits::CompressorId;
 use eblcio_data::{metrics, ArrayView, Element, NdArray, Shape};
 
@@ -30,6 +31,9 @@ pub struct Qoz {
     /// Optional PSNR target: the encoder searches for the loosest bound
     /// meeting it (adds analysis passes — visible as extra energy).
     pub target_psnr: Option<f64>,
+    /// Decode through the frozen pre-optimization path (per-symbol
+    /// Huffman, fresh allocations). Wire-identical; only speed differs.
+    reference: bool,
 }
 
 impl Default for Qoz {
@@ -38,6 +42,7 @@ impl Default for Qoz {
             alpha: DEFAULT_ALPHA,
             beta: DEFAULT_BETA,
             target_psnr: None,
+            reference: false,
         }
     }
 }
@@ -49,6 +54,12 @@ impl Qoz {
             target_psnr: Some(psnr_db),
             ..Self::default()
         }
+    }
+
+    /// A decoder pinned to the frozen reference path — the baseline arm
+    /// of the decode-bandwidth gate and the fast-path equivalence tests.
+    pub fn reference_decoder() -> Self {
+        Self { reference: true, ..Self::default() }
     }
 
     /// The absolute bound applied at interpolation level `level` when the
@@ -124,27 +135,45 @@ impl Qoz {
         Ok((payload, abs))
     }
 
-    /// Array-stage decode: mirror of [`Self::encode_impl`].
+    /// Validates and unpacks the 16-byte `(alpha, beta)` side info.
+    fn parse_extra(extra: &[u8]) -> Result<(f64, f64)> {
+        if extra.len() != 16 {
+            return Err(CodecError::Corrupt { context: "qoz parameters" });
+        }
+        // The length check above guarantees 16 bytes, so indexing is safe.
+        let le8 = |b: &[u8]| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        let alpha = f64::from_bits(le8(&extra[0..8]));
+        let beta = f64::from_bits(le8(&extra[8..16]));
+        if !(alpha.is_finite() && alpha >= 1.0 && beta.is_finite() && beta >= 1.0) {
+            return Err(CodecError::Corrupt { context: "qoz parameters" });
+        }
+        Ok((alpha, beta))
+    }
+
+    /// Array-stage decode: mirror of [`Self::encode_impl`]. The default
+    /// path borrows the thread's [`DecodeScratch`];
+    /// [`Qoz::reference_decoder`] takes the frozen slow path.
     pub fn decode_impl<T: Element>(
         &self,
         bytes: &[u8],
         shape: Shape,
         abs: f64,
     ) -> Result<NdArray<T>> {
-        let p = SzPayload::decode_inner(bytes)?;
-        if p.extra.len() != 16 {
-            return Err(CodecError::Corrupt { context: "qoz parameters" });
+        if self.reference {
+            let p = SzPayload::decode_inner_reference(bytes)?;
+            let (alpha, beta) = Self::parse_extra(&p.extra)?;
+            return interp_decode_reference(shape, &p.codes, &p.outliers, abs / beta, |l| {
+                Self::level_bound(alpha, beta, abs, l)
+            }, true);
         }
-        // The length check above guarantees 16 bytes, so indexing is safe.
-        let le8 = |b: &[u8]| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
-        let alpha = f64::from_bits(le8(&p.extra[0..8]));
-        let beta = f64::from_bits(le8(&p.extra[8..16]));
-        if !(alpha.is_finite() && alpha >= 1.0 && beta.is_finite() && beta >= 1.0) {
-            return Err(CodecError::Corrupt { context: "qoz parameters" });
-        }
-        interp_decode(shape, &p.codes, &p.outliers, abs / beta, |l| {
-            Self::level_bound(alpha, beta, abs, l)
-        }, true)
+        with_scratch(|s| {
+            let DecodeScratch { codes, recon, huff, .. } = s;
+            let (extra, outliers) = SzPayload::decode_inner_into(bytes, codes, huff)?;
+            let (alpha, beta) = Self::parse_extra(extra)?;
+            interp_decode_with(shape, codes, outliers, abs / beta, |l| {
+                Self::level_bound(alpha, beta, abs, l)
+            }, true, recon)
+        })
     }
 }
 
@@ -220,7 +249,7 @@ mod tests {
         let c = Qoz {
             alpha: 0.5,
             beta: 4.0,
-            target_psnr: None,
+            ..Qoz::default()
         };
         assert!(c.compress_f32(&data, ErrorBound::Relative(1e-3)).is_err());
     }

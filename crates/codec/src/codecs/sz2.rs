@@ -13,8 +13,9 @@ use super::common::{
 };
 use super::impl_stage_codec;
 use crate::error::{CodecError, Result};
-use crate::predict::{fit_affine, lorenzo, AffineCoef};
+use crate::predict::{fit_affine, lorenzo, AffineCoef, LorenzoStencil};
 use crate::quantizer::{LinearQuantizer, Quantized};
+use crate::scratch::{with_scratch, DecodeScratch};
 use crate::traits::CompressorId;
 use eblcio_data::{ArrayView, Element, NdArray, Shape};
 
@@ -26,9 +27,17 @@ const RADIUS: u32 = 32768;
 pub struct Sz2 {
     /// Per-rank block edge override; `None` uses SZ2's defaults.
     pub block_dims: Option<[usize; 4]>,
+    /// Decode through the reference path (per-symbol Huffman, fresh
+    /// allocations). Wire-identical; only speed differs.
+    reference: bool,
 }
 
 impl Sz2 {
+    /// A decoder pinned to the reference path — the baseline arm of the
+    /// decode-bandwidth bench and the fast-path equivalence tests.
+    pub fn reference_decoder() -> Self {
+        Self { reference: true, ..Self::default() }
+    }
     /// Array-stage encode: hybrid block prediction at an already
     /// resolved absolute bound, emitting the inner SZ payload (the
     /// chain's LZ byte stage supplies the backend pass).
@@ -133,22 +142,51 @@ impl Sz2 {
         Ok((payload, abs))
     }
 
-    /// Array-stage decode: mirror of [`Self::encode_impl`].
+    /// Array-stage decode: mirror of [`Self::encode_impl`]. The default
+    /// path borrows the thread's [`DecodeScratch`] and predicts interior
+    /// samples through the precomputed [`LorenzoStencil`];
+    /// [`Sz2::reference_decoder`] decodes with the per-symbol Huffman
+    /// walk and the generic predictor. Both produce identical bits.
     pub fn decode_impl<T: Element>(
         &self,
         bytes: &[u8],
         shape: Shape,
         abs: f64,
     ) -> Result<NdArray<T>> {
+        if self.reference {
+            let p = SzPayload::decode_inner_reference(bytes)?;
+            let mut recon = Vec::new();
+            return self.decode_blocks(&p.codes, &p.outliers, &p.extra, shape, abs, false, &mut recon);
+        }
+        with_scratch(|s| {
+            let DecodeScratch { codes, recon, huff, .. } = s;
+            let (extra, outliers) = SzPayload::decode_inner_into(bytes, codes, huff)?;
+            self.decode_blocks(codes, outliers, extra, shape, abs, true, recon)
+        })
+    }
+
+    /// Shared block-decode body. `fast` routes interior predictions
+    /// through the stencil (bit-identical either way — pinned by the
+    /// `stencil_matches_lorenzo_at_interior_points` test).
+    #[allow(clippy::too_many_arguments)]
+    fn decode_blocks<T: Element>(
+        &self,
+        codes: &[u32],
+        outlier_bytes: &[u8],
+        extra: &[u8],
+        shape: Shape,
+        abs: f64,
+        fast: bool,
+        recon_buf: &mut Vec<f64>,
+    ) -> Result<NdArray<T>> {
         let rank = shape.rank();
         let quant = LinearQuantizer::new(abs.max(f64::MIN_POSITIVE), RADIUS);
         let block_dims = self.block_dims.unwrap_or_else(|| sz_block_dims(rank));
 
-        let p = SzPayload::decode_inner(bytes)?;
-        let mut outliers = OutlierReader::new(&p.outliers);
+        let mut outliers = OutlierReader::new(outlier_bytes);
 
         // Unpack modes.
-        let mut er = crate::util::ByteReader::new(&p.extra);
+        let mut er = crate::util::ByteReader::new(extra);
         let n_blocks = er.varint("sz2 block count")? as usize;
         let mode_bytes = er.take(n_blocks.div_ceil(8), "sz2 block modes")?;
         let mut modes = Vec::with_capacity(n_blocks);
@@ -158,13 +196,16 @@ impl Sz2 {
                 modes.push(br.get_bit("sz2 mode bit")?);
             }
         }
-        let coef_bytes = &p.extra[er.position()..];
+        let coef_bytes = &extra[er.position()..];
 
         let n = shape.len();
-        if p.codes.len() != n {
+        if codes.len() != n {
             return Err(CodecError::Corrupt { context: "sz2 code count" });
         }
-        let mut recon = vec![0.0f64; n];
+        let stencil = LorenzoStencil::new(shape);
+        recon_buf.clear();
+        recon_buf.resize(n, 0.0);
+        let recon = recon_buf;
         let mut out: Vec<T> = vec![T::default(); n];
         let mut code_i = 0usize;
         let mut block_i = 0usize;
@@ -196,6 +237,9 @@ impl Sz2 {
                 AffineCoef { c0: 0.0, c: [0.0; 4] }
             };
 
+            // Blocks not touching any zero-coordinate face are entirely
+            // interior: every Lorenzo prediction can use the stencil.
+            let all_interior = fast && base.iter().all(|&b| b > 0);
             for_each_in_block(shape, base, dims, |idx, off| {
                 if failure.is_some() {
                     return;
@@ -206,10 +250,12 @@ impl Sz2 {
                         local[d] = idx[d] - base[d];
                     }
                     coef.eval(&local[..rank])
+                } else if all_interior || (fast && idx.iter().all(|&c| c > 0)) {
+                    stencil.eval_interior(recon, off)
                 } else {
-                    lorenzo(&recon, shape, idx)
+                    lorenzo(recon, shape, idx)
                 };
-                let code = p.codes[code_i];
+                let code = codes[code_i];
                 code_i += 1;
                 let v = if code == 0 {
                     match outliers.take::<T>() {

@@ -12,8 +12,9 @@
 use super::common::{OutlierReader, SzPayload};
 use super::impl_stage_codec;
 use crate::error::{CodecError, Result};
-use crate::interp::{anchor_offsets, walk, Interp};
+use crate::interp::{anchor_offsets, max_level, walk, walk_reference, Interp};
 use crate::quantizer::{LinearQuantizer, Quantized};
+use crate::scratch::{with_scratch, DecodeScratch};
 use crate::traits::CompressorId;
 use eblcio_data::{ArrayView, Element, NdArray, Shape};
 
@@ -27,18 +28,27 @@ pub struct Sz3 {
     /// "dynamic spline"); `false` degrades every stencil to linear —
     /// the `ablation_predictors` bench quantifies what cubic buys.
     pub cubic: bool,
+    /// Decode through the frozen pre-optimization path (per-symbol
+    /// Huffman, fresh allocations). Wire-identical; only speed differs.
+    reference: bool,
 }
 
 impl Default for Sz3 {
     fn default() -> Self {
-        Self { cubic: true }
+        Self { cubic: true, reference: false }
     }
 }
 
 impl Sz3 {
     /// Linear-interpolation-only variant (ablation).
     pub fn linear_only() -> Self {
-        Self { cubic: false }
+        Self { cubic: false, ..Self::default() }
+    }
+
+    /// A decoder pinned to the frozen reference path — the baseline arm
+    /// of the decode-bandwidth gate and the fast-path equivalence tests.
+    pub fn reference_decoder() -> Self {
+        Self { reference: true, ..Self::default() }
     }
 }
 
@@ -141,6 +151,231 @@ pub(crate) fn interp_decode<T: Element>(
     level_abs: impl Fn(u32) -> f64,
     cubic: bool,
 ) -> Result<NdArray<T>> {
+    with_scratch(|s| {
+        interp_decode_with(shape, codes, outlier_bytes, anchor_abs, level_abs, cubic, &mut s.recon)
+    })
+}
+
+/// Reconstructs one sample from its code and prediction, writing it to
+/// both the reconstruction plane and the output. The shared body of
+/// every fused decode loop below.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn emit<T: Element>(
+    codes: &[u32],
+    code_i: &mut usize,
+    outliers: &mut OutlierReader<'_>,
+    quant: &LinearQuantizer,
+    pred: f64,
+    off: usize,
+    recon: &mut [f64],
+    out: &mut [T],
+) -> Result<()> {
+    let code = codes[*code_i];
+    *code_i += 1;
+    let t = if code == 0 {
+        outliers.take::<T>()?
+    } else {
+        T::from_f64(quant.reconstruct(code, pred))
+    };
+    recon[off] = t.to_f64();
+    out[off] = t;
+    Ok(())
+}
+
+/// [`interp_decode`] with a caller-owned reconstruction buffer, so the
+/// arena-backed decode path reuses the f64 plane across chunks.
+///
+/// The walk is *fused* into the decoder: the task sequence is exactly
+/// [`walk`]'s (pinned against [`walk_reference`] by the oracle test),
+/// but the stencil kind is resolved once per run instead of once per
+/// sample, so each inner loop is a fixed-stencil pass over one flat
+/// stride — no `Task` construction, no enum dispatch, no callback.
+/// Bit-identical to [`interp_decode_reference`]: each sample performs
+/// `Interp::eval`'s arithmetic in the same order (`* 0.0625` is an
+/// exact power-of-two scale, the same correctly-rounded result as
+/// `/ 16.0`), and codes/outliers are consumed in the same sequence.
+pub(crate) fn interp_decode_with<T: Element>(
+    shape: Shape,
+    codes: &[u32],
+    outlier_bytes: &[u8],
+    anchor_abs: f64,
+    level_abs: impl Fn(u32) -> f64,
+    cubic: bool,
+    recon_buf: &mut Vec<f64>,
+) -> Result<NdArray<T>> {
+    let n = shape.len();
+    if codes.len() != n {
+        return Err(CodecError::Corrupt { context: "sz3 code count" });
+    }
+    let rank = shape.rank();
+    let strides = shape.strides();
+    let mut outliers = OutlierReader::new(outlier_bytes);
+    recon_buf.clear();
+    recon_buf.resize(n, 0.0);
+    let recon = recon_buf.as_mut_slice();
+    let mut out = vec![T::default(); n];
+    let mut code_i = 0usize;
+
+    let anchor_quant = LinearQuantizer::new(anchor_abs.max(f64::MIN_POSITIVE), RADIUS);
+    let mut prev = 0.0f64;
+    for off in anchor_offsets(shape) {
+        emit(codes, &mut code_i, &mut outliers, &anchor_quant, prev, off, recon, &mut out)?;
+        prev = recon[off];
+    }
+
+    for level in (1..=max_level(shape)).rev() {
+        let s = 1usize << level;
+        let h = s / 2;
+        let quant = LinearQuantizer::new(level_abs(level).max(f64::MIN_POSITIVE), RADIUS);
+        for axis in 0..rank {
+            let dim_a = shape.dim(axis);
+            if h >= dim_a {
+                continue;
+            }
+            // Lattice counts and per-dim flat steps, exactly as in
+            // `walk`.
+            let mut counts = [1usize; 4];
+            for (d, count) in counts.iter_mut().enumerate().take(rank) {
+                *count = if d == axis {
+                    (dim_a - h).div_ceil(s)
+                } else if d < axis {
+                    shape.dim(d).div_ceil(h)
+                } else {
+                    shape.dim(d).div_ceil(s)
+                };
+            }
+            let mut steps = [0usize; 4];
+            for (d, sp) in steps.iter_mut().enumerate().take(rank) {
+                *sp = if d < axis { h } else { s } * strides[d];
+            }
+            let axis_stride = strides[axis];
+            let d1 = h * axis_stride;
+            let d3 = 3 * h * axis_stride;
+            let inner_n = counts[rank - 1];
+            let inner_step = steps[rank - 1];
+            let outer_total: usize = counts[..rank - 1].iter().product();
+            let mut idx = [0usize; 4];
+            let mut off0 = h * axis_stride;
+            for _ in 0..outer_total {
+                if axis == rank - 1 {
+                    // The run varies the target-axis coordinate
+                    // t = h + k·s: a linear-or-copy head sample, a cubic
+                    // interior, then a linear and a copy tail (every
+                    // predicate is monotone in k, so the segments are
+                    // contiguous).
+                    let mut o = off0;
+                    let pred = if s < dim_a {
+                        0.5 * (recon[o - d1] + recon[o + d1])
+                    } else {
+                        recon[o - d1]
+                    };
+                    emit(codes, &mut code_i, &mut outliers, &quant, pred, o, recon, &mut out)?;
+                    o += inner_step;
+                    let mut k = 1usize;
+                    // Cubic needs t ≥ 3h (k ≥ 1) and t + 3h < dim_a
+                    // (k·s ≤ dim_a − 4h − 1); without cubic stencils the
+                    // interior degrades to linear and merges with the
+                    // linear tail below.
+                    let kc_hi = if cubic && dim_a > 4 * h {
+                        ((dim_a - 4 * h - 1) / s).min(inner_n - 1)
+                    } else {
+                        0
+                    };
+                    while k <= kc_hi {
+                        let pred = (-recon[o - d3] + 9.0 * recon[o - d1] + 9.0 * recon[o + d1]
+                            - recon[o + d3])
+                            * 0.0625;
+                        emit(codes, &mut code_i, &mut outliers, &quant, pred, o, recon, &mut out)?;
+                        o += inner_step;
+                        k += 1;
+                    }
+                    // Linear while t + h < dim_a (k·s ≤ dim_a − 2h − 1).
+                    let kl_hi = if dim_a > 2 * h {
+                        ((dim_a - 2 * h - 1) / s).min(inner_n - 1)
+                    } else {
+                        0
+                    };
+                    while k <= kl_hi {
+                        let pred = 0.5 * (recon[o - d1] + recon[o + d1]);
+                        emit(codes, &mut code_i, &mut outliers, &quant, pred, o, recon, &mut out)?;
+                        o += inner_step;
+                        k += 1;
+                    }
+                    while k < inner_n {
+                        let pred = recon[o - d1];
+                        emit(codes, &mut code_i, &mut outliers, &quant, pred, o, recon, &mut out)?;
+                        o += inner_step;
+                        k += 1;
+                    }
+                } else {
+                    // The target-axis coordinate is fixed for the whole
+                    // run, so the stencil kind is too.
+                    let t = h + idx[axis] * s;
+                    let mut o = off0;
+                    if cubic && t >= 3 * h && t + 3 * h < dim_a {
+                        for _ in 0..inner_n {
+                            let pred = (-recon[o - d3] + 9.0 * recon[o - d1]
+                                + 9.0 * recon[o + d1]
+                                - recon[o + d3])
+                                * 0.0625;
+                            emit(
+                                codes, &mut code_i, &mut outliers, &quant, pred, o, recon,
+                                &mut out,
+                            )?;
+                            o += inner_step;
+                        }
+                    } else if t + h < dim_a {
+                        for _ in 0..inner_n {
+                            let pred = 0.5 * (recon[o - d1] + recon[o + d1]);
+                            emit(
+                                codes, &mut code_i, &mut outliers, &quant, pred, o, recon,
+                                &mut out,
+                            )?;
+                            o += inner_step;
+                        }
+                    } else {
+                        for _ in 0..inner_n {
+                            let pred = recon[o - d1];
+                            emit(
+                                codes, &mut code_i, &mut outliers, &quant, pred, o, recon,
+                                &mut out,
+                            )?;
+                            o += inner_step;
+                        }
+                    }
+                }
+                // Outer odometer over dims 0..rank−1 — the innermost
+                // digit already ran its full count inside the run.
+                for d in (0..rank - 1).rev() {
+                    idx[d] += 1;
+                    if idx[d] < counts[d] {
+                        off0 += steps[d];
+                        break;
+                    }
+                    idx[d] = 0;
+                    off0 -= steps[d] * (counts[d] - 1);
+                }
+            }
+        }
+    }
+    Ok(NdArray::from_vec(shape, out))
+}
+
+/// Frozen pre-optimization mirror of [`interp_encode`] — fresh
+/// allocations, no arena, and the pre-optimization
+/// [`walk_reference`] schedule that recomputes each target offset as a
+/// coordinate dot product. The baseline arm of the decode-bandwidth
+/// gate; kept verbatim so "reference" keeps meaning the shipped PR-7
+/// decoder.
+pub(crate) fn interp_decode_reference<T: Element>(
+    shape: Shape,
+    codes: &[u32],
+    outlier_bytes: &[u8],
+    anchor_abs: f64,
+    level_abs: impl Fn(u32) -> f64,
+    cubic: bool,
+) -> Result<NdArray<T>> {
     let n = shape.len();
     if codes.len() != n {
         return Err(CodecError::Corrupt { context: "sz3 code count" });
@@ -188,7 +423,7 @@ pub(crate) fn interp_decode<T: Element>(
     let mut cur_level = u32::MAX;
     let mut quant = anchor_quant;
     let mut failure: Option<CodecError> = None;
-    walk(shape, |task| {
+    walk_reference(shape, |task| {
         if failure.is_some() {
             return;
         }
@@ -233,19 +468,33 @@ impl Sz3 {
         Ok((payload, abs))
     }
 
-    /// Array-stage decode: mirror of [`Self::encode_impl`].
+    /// Array-stage decode: mirror of [`Self::encode_impl`]. The default
+    /// path borrows the thread's [`DecodeScratch`] (codes, Huffman
+    /// tables, reconstruction plane) and allocates only the output
+    /// array; [`Sz3::reference_decoder`] takes the frozen slow path.
     pub fn decode_impl<T: Element>(
         &self,
         bytes: &[u8],
         shape: Shape,
         abs: f64,
     ) -> Result<NdArray<T>> {
-        let p = SzPayload::decode_inner(bytes)?;
-        if p.extra.len() != 1 || p.extra[0] > 1 {
-            return Err(CodecError::Corrupt { context: "sz3 parameters" });
+        if self.reference {
+            let p = SzPayload::decode_inner_reference(bytes)?;
+            if p.extra.len() != 1 || p.extra[0] > 1 {
+                return Err(CodecError::Corrupt { context: "sz3 parameters" });
+            }
+            let cubic = p.extra[0] == 1;
+            return interp_decode_reference(shape, &p.codes, &p.outliers, abs, |_| abs, cubic);
         }
-        let cubic = p.extra[0] == 1;
-        interp_decode(shape, &p.codes, &p.outliers, abs, |_| abs, cubic)
+        with_scratch(|s| {
+            let DecodeScratch { codes, recon, huff, .. } = s;
+            let (extra, outliers) = SzPayload::decode_inner_into(bytes, codes, huff)?;
+            if extra.len() != 1 || extra[0] > 1 {
+                return Err(CodecError::Corrupt { context: "sz3 parameters" });
+            }
+            let cubic = extra[0] == 1;
+            interp_decode_with(shape, codes, outliers, abs, |_| abs, cubic, recon)
+        })
     }
 }
 

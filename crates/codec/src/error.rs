@@ -42,6 +42,12 @@ pub enum CodecError {
         /// Which structure failed validation.
         context: &'static str,
     },
+    /// A sub-region decode request reaches outside the array bounds or
+    /// does not match its rank.
+    BadRegion {
+        /// Which constraint the region violated.
+        context: &'static str,
+    },
     /// The requested error bound cannot be honoured.
     InvalidBound {
         /// Explanation of the rejection.
@@ -94,6 +100,9 @@ impl std::fmt::Display for CodecError {
             }
             CodecError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
             CodecError::Corrupt { context } => write!(f, "corrupt stream: invalid {context}"),
+            CodecError::BadRegion { context } => {
+                write!(f, "invalid decode region: {context}")
+            }
             CodecError::InvalidBound { reason } => write!(f, "invalid error bound: {reason}"),
             CodecError::NonFiniteInput => write!(f, "input contains NaN or infinite samples"),
             CodecError::NoSuchKey { key } => write!(f, "no object stored under key '{key}'"),

@@ -83,8 +83,18 @@ pub fn encode_block(symbols: &[u32]) -> Vec<u8> {
 /// Decodes a block produced by [`encode_block`].
 ///
 /// Returns the symbols and the number of bytes consumed from `buf`.
+/// This is the table-driven fast path; [`decode_block_reference`] keeps
+/// the original bit-at-a-time walk as the equivalence oracle.
 pub fn decode_block(buf: &[u8]) -> Result<(Vec<u32>, usize)> {
-    let mut r = ByteReader::new(buf);
+    let mut out = Vec::new();
+    let mut lut = HuffLookup::default();
+    let used = decode_block_into(buf, &mut out, &mut lut)?;
+    Ok((out, used))
+}
+
+/// Parses the table header shared by both decode paths. Returns `None`
+/// (after validating the two trailing zero varints) for an empty block.
+fn parse_table(r: &mut ByteReader<'_>) -> Result<Option<Vec<(u32, u8)>>> {
     let n_table = r.varint("huffman table size")? as usize;
     if n_table == 0 {
         let n_values = r.varint("huffman value count")?;
@@ -92,7 +102,7 @@ pub fn decode_block(buf: &[u8]) -> Result<(Vec<u32>, usize)> {
         if n_values != 0 || n_bits != 0 {
             return Err(CodecError::Corrupt { context: "empty huffman block" });
         }
-        return Ok((Vec::new(), r.position()));
+        return Ok(None);
     }
     if n_table > 1 << 28 {
         return Err(CodecError::Corrupt { context: "huffman table size" });
@@ -117,7 +127,42 @@ pub fn decode_block(buf: &[u8]) -> Result<(Vec<u32>, usize)> {
         }
         table.push((sym, len));
     }
+    Ok(Some(table))
+}
 
+/// Decodes a block into a caller-owned buffer (cleared first), reusing
+/// the caller's [`HuffLookup`] tables so steady-state chunk serving
+/// builds no fresh decoder allocations per block. Returns the bytes
+/// consumed from `buf`.
+pub fn decode_block_into(buf: &[u8], out: &mut Vec<u32>, lut: &mut HuffLookup) -> Result<usize> {
+    out.clear();
+    let mut r = ByteReader::new(buf);
+    let Some(table) = parse_table(&mut r)? else {
+        return Ok(r.position());
+    };
+    lut.prepare(&table)?;
+    let n_values = r.varint("huffman value count")? as usize;
+    let n_bits = r.varint("huffman bit length")?;
+    let n_bytes = n_bits.div_ceil(8) as usize;
+    let payload = r.take(n_bytes, "huffman payload")?;
+    let consumed = r.position();
+
+    let mut bits = BatchBits::new(payload);
+    out.reserve(n_values);
+    for _ in 0..n_values {
+        out.push(lut.decode_one(&mut bits)?);
+    }
+    Ok(consumed)
+}
+
+/// The original bit-at-a-time canonical decode, kept verbatim as the
+/// oracle the fast path is proptested against (and as the baseline leg
+/// of the decode-bandwidth benchmark).
+pub fn decode_block_reference(buf: &[u8]) -> Result<(Vec<u32>, usize)> {
+    let mut r = ByteReader::new(buf);
+    let Some(table) = parse_table(&mut r)? else {
+        return Ok((Vec::new(), r.position()));
+    };
     let decoder = Decoder::new(&table)?;
     let n_values = r.varint("huffman value count")? as usize;
     let n_bits = r.varint("huffman bit length")?;
@@ -278,6 +323,174 @@ impl Decoder {
     }
 }
 
+/// Width of the primary lookup window: every code no longer than this
+/// decodes with a single table index instead of a per-length scan.
+/// Quantization-code tables cluster around the zero bin, so in practice
+/// nearly all symbols resolve through the primary table.
+const PRIMARY_BITS: u32 = 12;
+
+/// Reusable state of the table-driven canonical decoder: the per-length
+/// range tables of the tree decoder plus a `PRIMARY_BITS`-wide
+/// direct-lookup window. Held in
+/// [`DecodeScratch`](crate::scratch::DecodeScratch) so repeated block
+/// decodes on one thread reuse the allocations.
+#[derive(Default)]
+pub struct HuffLookup {
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+    /// For each length 1..=MAX: (first code, first index, count).
+    per_len: Vec<(u64, usize, usize)>,
+    /// Decoded symbol per primary window (valid where `len != 0`).
+    sym: Vec<u32>,
+    /// Matched code length per primary window; 0 = longer than the
+    /// window, resolved by the per-length scan.
+    len: Vec<u8>,
+    /// Actual window width: `min(PRIMARY_BITS, longest code)`.
+    bits: u32,
+    /// Sort scratch.
+    sorted: Vec<(u32, u8)>,
+}
+
+impl HuffLookup {
+    /// Rebuilds the tables for one block's code table. Performs the same
+    /// canonical assignment and Kraft validation as [`Decoder::new`].
+    fn prepare(&mut self, table: &[(u32, u8)]) -> Result<()> {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(table);
+        self.sorted.sort_unstable_by_key(|&(s, l)| (l, s));
+        self.symbols.clear();
+        self.symbols.extend(self.sorted.iter().map(|&(s, _)| s));
+        self.per_len.clear();
+        self.per_len.resize(MAX_CODE_LEN as usize + 1, (0u64, 0usize, 0usize));
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        let mut max_len = 0u8;
+        for (i, &(_, len)) in self.sorted.iter().enumerate() {
+            if len != prev_len {
+                code <<= len - prev_len;
+                self.per_len[len as usize] = (code, i, 0);
+                prev_len = len;
+            }
+            self.per_len[len as usize].2 += 1;
+            code += 1;
+            max_len = len; // sorted ascending, so the last length is the max
+            // Kraft violation ⇒ corrupt table.
+            if len < 64 && code > (1u64 << len) {
+                return Err(CodecError::Corrupt { context: "huffman kraft inequality" });
+            }
+        }
+
+        // Primary window: fill shorter codes first and never overwrite,
+        // matching the sequential smallest-length-first walk even for
+        // adversarial tables.
+        self.bits = u32::from(max_len).min(PRIMARY_BITS);
+        let size = 1usize << self.bits;
+        self.len.clear();
+        self.len.resize(size, 0);
+        self.sym.clear();
+        self.sym.resize(size, 0);
+        for len in 1..=self.bits {
+            let (first, fidx, count) = self.per_len[len as usize];
+            for k in 0..count {
+                let code = first + k as u64;
+                let lo = (code << (self.bits - len)) as usize;
+                let hi = ((code + 1) << (self.bits - len)) as usize;
+                let symv = self.symbols[fidx + k];
+                for e in lo..hi.min(size) {
+                    if self.len[e] == 0 {
+                        self.len[e] = len as u8;
+                        self.sym[e] = symv;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes one symbol, bit-equivalent to [`Decoder::decode_one`]
+    /// including its error behaviour (`TruncatedStream` when the payload
+    /// runs dry mid-code, `Corrupt` after 32 unmatched bits).
+    #[inline]
+    fn decode_one(&self, bits: &mut BatchBits<'_>) -> Result<u32> {
+        bits.refill();
+        let w = bits.bitbuf;
+        let idx = (w >> (64 - self.bits)) as usize;
+        let len = u32::from(self.len[idx]);
+        if len != 0 {
+            if len > bits.bitcount {
+                return Err(CodecError::TruncatedStream { context: "huffman payload" });
+            }
+            bits.consume(len);
+            return Ok(self.sym[idx]);
+        }
+        // Long-code fallback: continue the per-length scan past the
+        // primary window.
+        for l in (self.bits + 1)..=u32::from(MAX_CODE_LEN) {
+            let code = w >> (64 - l);
+            let (first, fidx, count) = self.per_len[l as usize];
+            if count > 0 && code >= first && code < first + count as u64 {
+                if l > bits.bitcount {
+                    return Err(CodecError::TruncatedStream { context: "huffman payload" });
+                }
+                bits.consume(l);
+                return Ok(self.symbols[fidx + (code - first) as usize]);
+            }
+        }
+        if bits.bitcount < u32::from(MAX_CODE_LEN) {
+            Err(CodecError::TruncatedStream { context: "huffman payload" })
+        } else {
+            Err(CodecError::Corrupt { context: "huffman code" })
+        }
+    }
+}
+
+/// MSB-aligned 64-bit bit buffer over the payload slice: one refill
+/// serves several short codes, replacing per-bit bounds checks with one
+/// word load per ~4 symbols. Bits beyond the slice peek as zeros and
+/// are never consumed (`bitcount` tracks real bits only).
+struct BatchBits<'a> {
+    bytes: &'a [u8],
+    byte_pos: usize,
+    /// Upcoming bits, MSB first; bits below `64 - bitcount` are zero.
+    bitbuf: u64,
+    /// Valid (real) bits currently in `bitbuf`.
+    bitcount: u32,
+}
+
+impl<'a> BatchBits<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, byte_pos: 0, bitbuf: 0, bitcount: 0 }
+    }
+
+    /// Tops the buffer up to ≥ 56 valid bits (or to end of payload).
+    #[inline]
+    fn refill(&mut self) {
+        if self.bitcount < 56 && self.byte_pos + 8 <= self.bytes.len() {
+            if let Ok(arr) = <[u8; 8]>::try_from(&self.bytes[self.byte_pos..self.byte_pos + 8]) {
+                let loaded = (64 - self.bitcount) / 8; // whole bytes that fit
+                let keep = 64 - self.bitcount - 8 * loaded; // low bits to discard
+                self.bitbuf |= (u64::from_be_bytes(arr) >> self.bitcount) & (u64::MAX << keep);
+                self.byte_pos += loaded as usize;
+                self.bitcount += 8 * loaded;
+                return;
+            }
+        }
+        while self.bitcount <= 56 && self.byte_pos < self.bytes.len() {
+            self.bitbuf |= u64::from(self.bytes[self.byte_pos]) << (56 - self.bitcount);
+            self.byte_pos += 1;
+            self.bitcount += 8;
+        }
+    }
+
+    /// Drops the top `n` valid bits (`n ≤ bitcount`).
+    #[inline]
+    fn consume(&mut self, n: u32) {
+        debug_assert!(n <= self.bitcount);
+        self.bitbuf <<= n;
+        self.bitcount -= n;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +605,68 @@ mod tests {
     fn deterministic_encoding() {
         let s: Vec<u32> = (0..1000u32).map(|i| i % 17).collect();
         assert_eq!(encode_block(&s), encode_block(&s));
+    }
+
+    /// The fast path and the reference walk must agree on every byte of
+    /// every block — including every truncation point, where the error
+    /// *variant* must match too.
+    #[test]
+    fn fast_path_matches_reference_at_every_cut() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![42],
+            vec![7; 400],
+            (0..600u32).map(|i| i % 3).collect(),
+            (0..4096u64)
+                .map(|i| ((i.wrapping_mul(2654435761) >> 18) & 0x3fff) as u32)
+                .collect(),
+            vec![u32::MAX, 0, u32::MAX - 1, 5, u32::MAX],
+        ];
+        for s in &cases {
+            let enc = encode_block(s);
+            for cut in 0..=enc.len() {
+                let fast = decode_block(&enc[..cut]);
+                let reference = decode_block_reference(&enc[..cut]);
+                assert_eq!(fast, reference, "cut {cut} of {} bytes", enc.len());
+            }
+            let (dec, used) = decode_block(&enc).unwrap();
+            assert_eq!((dec.as_slice(), used), (s.as_slice(), enc.len()));
+        }
+    }
+
+    /// Deep tables exercise the long-code fallback past the primary
+    /// window: a Fibonacci-weighted census forces one length per symbol.
+    #[test]
+    fn long_codes_take_the_fallback_scan() {
+        let mut s = Vec::new();
+        let mut f = (1u64, 1u64);
+        for sym in 0..24u32 {
+            for _ in 0..f.0.min(100_000) {
+                s.push(sym);
+            }
+            f = (f.1, f.0 + f.1);
+        }
+        let enc = encode_block(&s);
+        let (fast, _) = decode_block(&enc).unwrap();
+        let (reference, _) = decode_block_reference(&enc).unwrap();
+        assert_eq!(fast, reference);
+        assert_eq!(fast, s);
+    }
+
+    #[test]
+    fn decode_block_into_reuses_buffers() {
+        let a = encode_block(&[1, 2, 3, 2, 1]);
+        let b = encode_block(&(0..200u32).map(|i| i % 9).collect::<Vec<_>>());
+        let mut out = Vec::new();
+        let mut lut = HuffLookup::default();
+        let used = decode_block_into(&a, &mut out, &mut lut).unwrap();
+        assert_eq!((out.as_slice(), used), (&[1, 2, 3, 2, 1][..], a.len()));
+        let used = decode_block_into(&b, &mut out, &mut lut).unwrap();
+        assert_eq!(out, (0..200u32).map(|i| i % 9).collect::<Vec<_>>());
+        assert_eq!(used, b.len());
+        // Empty block clears the buffer rather than appending.
+        let e = encode_block(&[]);
+        decode_block_into(&e, &mut out, &mut lut).unwrap();
+        assert!(out.is_empty());
     }
 }

@@ -112,26 +112,20 @@ pub fn walk(shape: Shape, mut visit: impl FnMut(Task)) {
                     *count = shape.dim(d).div_ceil(s);
                 }
             }
+            // Flat-offset delta of one odometer tick per dim: the walk
+            // advances `off` by pure integer adds instead of recomputing
+            // a coordinate dot product for every task — the decode inner
+            // loop is then add/compare only, which keeps it pipelined.
+            let mut steps = [0usize; 4];
+            for (d, sp) in steps.iter_mut().enumerate().take(rank) {
+                *sp = if d < axis { h } else { s } * strides[d];
+            }
             let total: usize = counts[..rank].iter().product();
             let axis_stride = strides[axis];
             let mut idx = [0usize; 4];
+            let mut off = h * axis_stride;
+            let mut t = h;
             for _ in 0..total {
-                // Base offset of the target.
-                let mut t_coord_axis = 0usize;
-                let mut off = 0usize;
-                for d in 0..rank {
-                    let coord = if d == axis {
-                        let c = h + idx[d] * s;
-                        t_coord_axis = c;
-                        c
-                    } else if d < axis {
-                        idx[d] * h
-                    } else {
-                        idx[d] * s
-                    };
-                    off += coord * strides[d];
-                }
-                let t = t_coord_axis;
                 let pred = if t >= 3 * h && t + 3 * h < dim_a {
                     Interp::Cubic([
                         off - 3 * h * axis_stride,
@@ -149,7 +143,86 @@ pub fn walk(shape: Shape, mut visit: impl FnMut(Task)) {
                     pred,
                     level,
                 });
-                // Odometer increment.
+                // Incremental odometer: adjust `off` (and the target-axis
+                // coordinate `t`) as digits tick and wrap.
+                for d in (0..rank).rev() {
+                    idx[d] += 1;
+                    if idx[d] < counts[d] {
+                        off += steps[d];
+                        if d == axis {
+                            t += s;
+                        }
+                        break;
+                    }
+                    idx[d] = 0;
+                    off -= steps[d] * (counts[d] - 1);
+                    if d == axis {
+                        t = h;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The frozen pre-optimization walk: recomputes every target offset as a
+/// coordinate dot product instead of ticking it incrementally. This is
+/// the walk the shipped decoder used before the hot-path pass, kept
+/// verbatim as the baseline arm of the decode-bandwidth gate (via
+/// `interp_decode_reference`) and as the oracle for [`walk`] — the two
+/// must emit identical task sequences.
+pub(crate) fn walk_reference(shape: Shape, mut visit: impl FnMut(Task)) {
+    let rank = shape.rank();
+    let strides = shape.strides();
+    for level in (1..=max_level(shape)).rev() {
+        let s = 1usize << level;
+        let h = s / 2;
+        for axis in 0..rank {
+            let dim_a = shape.dim(axis);
+            if h >= dim_a {
+                continue;
+            }
+            let mut counts = [1usize; 4];
+            for (d, count) in counts.iter_mut().enumerate().take(rank) {
+                if d == axis {
+                    *count = (dim_a - h).div_ceil(s);
+                } else if d < axis {
+                    *count = shape.dim(d).div_ceil(h);
+                } else {
+                    *count = shape.dim(d).div_ceil(s);
+                }
+            }
+            let total: usize = counts[..rank].iter().product();
+            let axis_stride = strides[axis];
+            let mut idx = [0usize; 4];
+            for _ in 0..total {
+                let mut t = 0usize;
+                let mut off = 0usize;
+                for d in 0..rank {
+                    let coord = if d == axis {
+                        let c = h + idx[d] * s;
+                        t = c;
+                        c
+                    } else if d < axis {
+                        idx[d] * h
+                    } else {
+                        idx[d] * s
+                    };
+                    off += coord * strides[d];
+                }
+                let pred = if t >= 3 * h && t + 3 * h < dim_a {
+                    Interp::Cubic([
+                        off - 3 * h * axis_stride,
+                        off - h * axis_stride,
+                        off + h * axis_stride,
+                        off + 3 * h * axis_stride,
+                    ])
+                } else if t + h < dim_a {
+                    Interp::Linear([off - h * axis_stride, off + h * axis_stride])
+                } else {
+                    Interp::Copy(off - h * axis_stride)
+                };
+                visit(Task { target: off, pred, level });
                 for d in (0..rank).rev() {
                     idx[d] += 1;
                     if idx[d] < counts[d] {
@@ -254,6 +327,28 @@ mod tests {
         let recon = [f(0.0), 0.0, f(2.0), 0.0, f(4.0), 0.0, f(6.0)];
         let cubic = Interp::Cubic([0, 2, 4, 6]);
         assert!((cubic.eval(&recon) - f(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_walk_matches_naive_recomputation() {
+        for shape in [
+            Shape::d1(1),
+            Shape::d1(2),
+            Shape::d1(7),
+            Shape::d1(129),
+            Shape::d2(5, 9),
+            Shape::d2(1, 17),
+            Shape::d2(16, 16),
+            Shape::d3(3, 5, 7),
+            Shape::d3(8, 8, 8),
+            Shape::d4(3, 4, 5, 2),
+        ] {
+            let mut want: Vec<(usize, Interp, u32)> = Vec::new();
+            walk_reference(shape, |t| want.push((t.target, t.pred, t.level)));
+            let mut got: Vec<(usize, Interp, u32)> = Vec::new();
+            walk(shape, |t| got.push((t.target, t.pred, t.level)));
+            assert_eq!(got, want, "walk diverged on {shape}");
+        }
     }
 
     #[test]

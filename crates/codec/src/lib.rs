@@ -44,6 +44,7 @@ pub mod lz;
 pub mod parallel;
 pub mod predict;
 pub mod quantizer;
+pub mod scratch;
 pub mod stage;
 pub mod traits;
 pub mod transform;
@@ -55,8 +56,9 @@ pub use error::{CodecError, Result};
 pub use parallel::{
     compress_parallel, decompress_parallel, parallel_stream_info, ParallelStreamInfo,
 };
+pub use scratch::{with_scratch, DecodeScratch};
 pub use stage::{ArrayStage, ByteStage, ByteStageSpec};
 pub use traits::{
-    compress, compress_dataset, compress_view, decompress, decompress_any, Compressor,
-    CompressorId, ErrorBound,
+    compress, compress_dataset, compress_view, decompress, decompress_any, decompress_region,
+    Compressor, CompressorId, ErrorBound,
 };

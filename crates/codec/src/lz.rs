@@ -118,12 +118,21 @@ fn emit_token(out: &mut Vec<u8>, literals: &[u8], offset: usize, match_len: usiz
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_into(buf, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer (cleared first), so the
+/// chain decode loop can reuse one allocation across chunks.
+pub fn decompress_into(buf: &[u8], out: &mut Vec<u8>) -> Result<()> {
     let mut r = ByteReader::new(buf);
     let raw_len = r.varint("lz raw length")? as usize;
     if raw_len > 1 << 40 {
         return Err(CodecError::Corrupt { context: "lz raw length" });
     }
-    let mut out = Vec::with_capacity(raw_len);
+    out.clear();
+    out.reserve(raw_len);
     while out.len() < raw_len {
         let tok = r.u8("lz token")?;
         let lit_nib = u64::from(tok >> 4);
@@ -170,7 +179,7 @@ pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
     if out.len() != raw_len {
         return Err(CodecError::Corrupt { context: "lz output length" });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

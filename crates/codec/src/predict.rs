@@ -42,6 +42,53 @@ pub fn lorenzo(recon: &[f64], shape: Shape, idx: &[usize]) -> f64 {
     pred
 }
 
+/// Precomputed interior Lorenzo stencil: per non-empty axis subset, the
+/// signed weight and flat back-offset, in the same mask order as
+/// [`lorenzo`]. At interior points (every coordinate > 0) no neighbour
+/// test is needed, so evaluation is a short flat dot product the
+/// compiler can keep in registers — the SZ2 decode hot loop.
+#[derive(Clone, Copy, Debug)]
+pub struct LorenzoStencil {
+    /// `(sign, flat offset subtracted from the target)` per subset.
+    terms: [(f64, usize); 15],
+    n_terms: usize,
+}
+
+impl LorenzoStencil {
+    /// Builds the stencil for a shape (rank ≤ 4 ⇒ ≤ 15 terms).
+    pub fn new(shape: Shape) -> Self {
+        let rank = shape.rank();
+        let strides = shape.strides();
+        let mut terms = [(0.0, 0usize); 15];
+        let mut n_terms = 0;
+        for mask in 1u32..(1 << rank) {
+            let delta: usize = strides[..rank]
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| mask >> d & 1 == 1)
+                .map(|(_, &s)| s)
+                .sum();
+            let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+            terms[n_terms] = (sign, delta);
+            n_terms += 1;
+        }
+        Self { terms, n_terms }
+    }
+
+    /// Evaluates at flat offset `base`, which must be an interior point
+    /// (all coordinates ≥ 1). Bit-identical to [`lorenzo`] there: the
+    /// terms are accumulated in the same subset order with the same
+    /// signs.
+    #[inline]
+    pub fn eval_interior(&self, recon: &[f64], base: usize) -> f64 {
+        let mut pred = 0.0;
+        for &(sign, delta) in &self.terms[..self.n_terms] {
+            pred += sign * recon[base - delta];
+        }
+        pred
+    }
+}
+
 /// Least-squares fit of an affine function `v ≈ c₀ + Σ cᵢ·xᵢ` over a
 /// dense block of raw samples (SZ2's regression predictor).
 ///
@@ -231,6 +278,31 @@ mod tests {
         let c = fit_affine(&vals, &dims);
         assert_eq!(c.c[0], 0.0);
         assert!((c.c[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stencil_matches_lorenzo_at_interior_points() {
+        for shape in [
+            Shape::d1(6),
+            Shape::d2(5, 7),
+            Shape::d3(4, 5, 3),
+            Shape::d4(3, 3, 4, 3),
+        ] {
+            let rank = shape.rank();
+            let mut recon = vec![0.0; shape.len()];
+            for (off, r) in recon.iter_mut().enumerate() {
+                *r = (off as f64 * 0.7311).sin() * 13.0;
+            }
+            let stencil = LorenzoStencil::new(shape);
+            for off in 0..shape.len() {
+                let idx = shape.unoffset(off);
+                if idx[..rank].iter().all(|&c| c > 0) {
+                    let want = lorenzo(&recon, shape, &idx[..rank]);
+                    let got = stencil.eval_interior(&recon, off);
+                    assert_eq!(got.to_bits(), want.to_bits(), "shape {shape} off {off}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! representable range become *outliers* stored losslessly, exactly like
 //! SZ's "unpredictable data" path.
 
+use eblcio_data::Element;
+
 /// Code emitted for one sample: a bin index or an outlier marker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Quantized {
@@ -103,9 +105,49 @@ impl LinearQuantizer {
     }
 }
 
+/// Appends `base + codes[i]·step` for every code to `out`, rounded into
+/// `T` — the affine dequantization shared by fixed-point block decoders
+/// (SZx packed blocks). The loop is structured as a fixed-width chunked
+/// pass over flat slices so the compiler can vectorize it; it is
+/// bit-identical to the scalar per-sample loop it replaces (each lane
+/// performs the same `base + f64(q)·step` in the same order).
+pub fn dequant_affine_into<T: Element>(codes: &[u32], base: f64, step: f64, out: &mut Vec<T>) {
+    let start = out.len();
+    out.resize(start + codes.len(), T::from_f64(0.0));
+    let dst = &mut out[start..];
+    let mut code_chunks = codes.chunks_exact(8);
+    let mut dst_chunks = dst.chunks_exact_mut(8);
+    for (d, c) in dst_chunks.by_ref().zip(code_chunks.by_ref()) {
+        for (dd, &q) in d.iter_mut().zip(c) {
+            *dd = T::from_f64(base + f64::from(q) * step);
+        }
+    }
+    for (dd, &q) in dst_chunks.into_remainder().iter_mut().zip(code_chunks.remainder()) {
+        *dd = T::from_f64(base + f64::from(q) * step);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dequant_kernel_matches_scalar_loop() {
+        let codes: Vec<u32> = (0..1003).map(|i| (i * 2654435761u64 as usize % 4096) as u32).collect();
+        let (base, step) = (-3.75f64, 0.004882813);
+        let mut fast: Vec<f32> = Vec::new();
+        dequant_affine_into(&codes, base, step, &mut fast);
+        let slow: Vec<f32> = codes.iter().map(|&q| (base + f64::from(q) * step) as f32).collect();
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.to_bits(), s.to_bits());
+        }
+        // Appends after existing content rather than clobbering it.
+        let mut tail: Vec<f64> = vec![1.0, 2.0];
+        dequant_affine_into(&codes[..5], base, step, &mut tail);
+        assert_eq!(tail.len(), 7);
+        assert_eq!(tail[0], 1.0);
+    }
 
     #[test]
     fn zero_residual_gets_zero_code() {

@@ -1,0 +1,109 @@
+//! Thread-local decode scratch: the buffer arena behind the zero-alloc
+//! serving claim.
+//!
+//! Uncached region reads decode the same chunk geometry over and over,
+//! and before this arena existed every decode paid fresh `Vec`
+//! allocations for the Huffman code buffer, the interpolation
+//! reconstruction plane, and the byte-stage output. [`DecodeScratch`]
+//! keeps those buffers alive per thread so a steady-state decode loop
+//! (the store's rayon workers, the serve layer's miss assembly) reuses
+//! capacity instead of round-tripping the allocator.
+//!
+//! Access goes through [`with_scratch`], which hands out the calling
+//! thread's arena. Re-entrant use (an outer borrow still live when an
+//! inner decode wants the arena, e.g. QoZ's PSNR search decoding trial
+//! streams inside an encode) falls back to a fresh arena rather than
+//! panicking, so correctness never depends on borrow discipline —
+//! only steady-state speed does.
+
+use crate::huffman::HuffLookup;
+use std::cell::RefCell;
+
+/// Reusable decode-side buffers. All fields are ordinary growable
+/// containers: a decode `clear()`s and refills them, so capacity
+/// persists across calls while contents never leak between streams.
+#[derive(Default)]
+pub struct DecodeScratch {
+    /// Huffman-decoded quantization codes (SZ-family payloads).
+    pub codes: Vec<u32>,
+    /// f64 reconstruction plane for the SZ3/QoZ interpolation decoders.
+    pub recon: Vec<f64>,
+    /// Byte-stage inverse output (the chain's LZ decompression target).
+    pub bytes: Vec<u8>,
+    /// Canonical Huffman lookup tables, rebuilt per block but reusing
+    /// their backing storage.
+    pub huff: HuffLookup,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::default());
+}
+
+/// Runs `f` with the calling thread's [`DecodeScratch`]. Nested calls
+/// get a fresh (empty, allocation-backed) arena instead of a borrow
+/// panic, so the fast path may be entered from any context.
+pub fn with_scratch<R>(f: impl FnOnce(&mut DecodeScratch) -> R) -> R {
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut s) => f(&mut s),
+        Err(_) => f(&mut DecodeScratch::default()),
+    })
+}
+
+/// Takes the thread's byte-stage buffer out of the arena (empty but
+/// with retained capacity). Pair with [`put_bytes`]; used by the chain
+/// decode loop, which must not hold the arena borrowed across the
+/// array-stage decode (the array stage wants the arena too).
+pub fn take_bytes() -> Vec<u8> {
+    with_scratch(|s| {
+        let mut b = std::mem::take(&mut s.bytes);
+        b.clear();
+        b
+    })
+}
+
+/// Returns a buffer taken with [`take_bytes`] so its capacity survives
+/// for the next decode on this thread. Keeps the larger of the resident
+/// and returned buffers.
+pub fn put_bytes(buf: Vec<u8>) {
+    with_scratch(|s| {
+        if buf.capacity() > s.bytes.capacity() {
+            s.bytes = buf;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_capacity_persists_across_calls() {
+        with_scratch(|s| {
+            s.codes.clear();
+            s.codes.extend(0..1000u32);
+        });
+        let cap = with_scratch(|s| s.codes.capacity());
+        assert!(cap >= 1000);
+    }
+
+    #[test]
+    fn reentrant_use_gets_a_fresh_arena() {
+        with_scratch(|outer| {
+            outer.codes.push(7);
+            with_scratch(|inner| {
+                assert!(inner.codes.is_empty(), "nested arena must be fresh");
+                inner.codes.push(8);
+            });
+            assert_eq!(outer.codes, [7]);
+        });
+    }
+
+    #[test]
+    fn take_put_roundtrips_capacity() {
+        put_bytes(Vec::with_capacity(4096));
+        let b = take_bytes();
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 4096);
+        put_bytes(b);
+    }
+}

@@ -41,6 +41,63 @@ pub trait ArrayStage: Send + Sync {
     fn decode_f32(&self, bytes: &[u8], shape: Shape, abs: f64) -> Result<NdArray<f32>>;
     /// Decodes a double-precision payload.
     fn decode_f64(&self, bytes: &[u8], shape: Shape, abs: f64) -> Result<NdArray<f64>>;
+
+    /// Whether this stage implements the `decode_*_region` partial
+    /// paths. Callers use this as a cheap gate to skip work (byte-stage
+    /// unwinding) that would only feed an `Ok(None)` fallback.
+    fn supports_partial_decode(&self) -> bool {
+        false
+    }
+
+    /// Partially decodes the axis-aligned sub-region `origin..origin+extent`
+    /// of a single-precision payload, returning an `extent`-shaped array.
+    ///
+    /// `Ok(None)` means this stage has no partial-decode path (the
+    /// default) and the caller must fall back to [`Self::decode_f32`].
+    /// Implementations must be bit-identical to slicing the whole-array
+    /// decode; the region is pre-validated against `shape` by
+    /// [`decode_array_region`].
+    fn decode_f32_region(
+        &self,
+        bytes: &[u8],
+        shape: Shape,
+        abs: f64,
+        origin: &[usize],
+        extent: &[usize],
+    ) -> Result<Option<NdArray<f32>>> {
+        let _ = (bytes, shape, abs, origin, extent);
+        Ok(None)
+    }
+    /// Double-precision counterpart of [`Self::decode_f32_region`].
+    fn decode_f64_region(
+        &self,
+        bytes: &[u8],
+        shape: Shape,
+        abs: f64,
+        origin: &[usize],
+        extent: &[usize],
+    ) -> Result<Option<NdArray<f64>>> {
+        let _ = (bytes, shape, abs, origin, extent);
+        Ok(None)
+    }
+}
+
+/// Validates a sub-region request against the array shape: matching
+/// rank, non-empty extents, and `origin + extent` within every dim.
+pub fn validate_region(shape: Shape, origin: &[usize], extent: &[usize]) -> Result<()> {
+    let rank = shape.rank();
+    if origin.len() != rank || extent.len() != rank {
+        return Err(CodecError::BadRegion { context: "rank mismatch" });
+    }
+    for d in 0..rank {
+        if extent[d] == 0 {
+            return Err(CodecError::BadRegion { context: "empty extent" });
+        }
+        if origin[d] + extent[d] > shape.dim(d) {
+            return Err(CodecError::BadRegion { context: "outside the array" });
+        }
+    }
+    Ok(())
 }
 
 /// Generic [`ArrayStage`] encode, dispatching on the element type via
@@ -86,6 +143,39 @@ pub fn decode_array<T: Element>(
     }
 }
 
+/// Generic [`ArrayStage`] partial decode, dispatching on the element
+/// type. Validates the region, then asks the stage; `Ok(None)` means
+/// "no partial path, fall back to [`decode_array`]".
+pub fn decode_array_region<T: Element>(
+    stage: &dyn ArrayStage,
+    bytes: &[u8],
+    shape: Shape,
+    abs: f64,
+    origin: &[usize],
+    extent: &[usize],
+) -> Result<Option<NdArray<T>>> {
+    validate_region(shape, origin, extent)?;
+    if T::BYTES == 4 {
+        let Some(arr) = stage.decode_f32_region(bytes, shape, abs, origin, extent)? else {
+            return Ok(None);
+        };
+        let shape = arr.shape();
+        let Ok(data) = T::vec_from_f32(arr.into_vec()) else {
+            return Err(CodecError::Internal { context: "sealed Element dispatch (f32 region)" });
+        };
+        Ok(Some(NdArray::from_vec(shape, data)))
+    } else {
+        let Some(arr) = stage.decode_f64_region(bytes, shape, abs, origin, extent)? else {
+            return Ok(None);
+        };
+        let shape = arr.shape();
+        let Ok(data) = T::vec_from_f64(arr.into_vec()) else {
+            return Err(CodecError::Internal { context: "sealed Element dispatch (f64 region)" });
+        };
+        Ok(Some(NdArray::from_vec(shape, data)))
+    }
+}
+
 /// A lossless byte→byte chain stage.
 pub trait ByteStage: Send + Sync {
     /// The serializable description this stage was built from.
@@ -95,6 +185,14 @@ pub trait ByteStage: Send + Sync {
     fn forward(&self, data: &[u8]) -> Vec<u8>;
     /// Undoes [`Self::forward`] (decode direction).
     fn inverse(&self, data: &[u8]) -> Result<Vec<u8>>;
+    /// [`Self::inverse`] into a caller-owned buffer, so the chain decode
+    /// loop can reuse one arena allocation across chunks. The default
+    /// replaces `out` wholesale; stages with a natural streaming inverse
+    /// (the LZ backend) override it to decompress in place.
+    fn inverse_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+        *out = self.inverse(data)?;
+        Ok(())
+    }
 }
 
 /// Serializable description of one byte stage (its wire id + parameter).
@@ -210,6 +308,9 @@ impl ByteStage for LzStage {
     }
     fn inverse(&self, data: &[u8]) -> Result<Vec<u8>> {
         lz::decompress(data)
+    }
+    fn inverse_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<()> {
+        lz::decompress_into(data, out)
     }
 }
 

@@ -146,6 +146,31 @@ pub trait Compressor: Send + Sync {
     fn decompress_f32(&self, stream: &[u8]) -> Result<NdArray<f32>>;
     /// Decompresses a double-precision stream.
     fn decompress_f64(&self, stream: &[u8]) -> Result<NdArray<f64>>;
+    /// Partially decompresses the sub-region `origin..origin+extent` of a
+    /// single-precision stream, when the chain's array stage supports
+    /// partial decode (SZx flat blocks, ZFP fixed blocks). `Ok(None)`
+    /// means "no partial path" — callers fall back to
+    /// [`Self::decompress_f32`]. Results are bit-identical to slicing
+    /// the full decode.
+    fn decompress_f32_region(
+        &self,
+        stream: &[u8],
+        origin: &[usize],
+        extent: &[usize],
+    ) -> Result<Option<NdArray<f32>>> {
+        let _ = (stream, origin, extent);
+        Ok(None)
+    }
+    /// Double-precision counterpart of [`Self::decompress_f32_region`].
+    fn decompress_f64_region(
+        &self,
+        stream: &[u8],
+        origin: &[usize],
+        extent: &[usize],
+    ) -> Result<Option<NdArray<f64>>> {
+        let _ = (stream, origin, extent);
+        Ok(None)
+    }
 }
 
 /// Generic compression entry point: dispatches on the element type.
@@ -198,6 +223,36 @@ pub fn decompress<T: Element>(c: &dyn Compressor, stream: &[u8]) -> Result<NdArr
             return Err(CodecError::Internal { context: "sealed Element dispatch (f64 decompress)" });
         };
         Ok(NdArray::from_vec(shape, data))
+    }
+}
+
+/// Generic partial decompression entry point: dispatches on the element
+/// type. `Ok(None)` means the chain has no partial-decode path and the
+/// caller should [`decompress`] the whole stream instead.
+pub fn decompress_region<T: Element>(
+    c: &dyn Compressor,
+    stream: &[u8],
+    origin: &[usize],
+    extent: &[usize],
+) -> Result<Option<NdArray<T>>> {
+    if T::BYTES == 4 {
+        let Some(arr) = c.decompress_f32_region(stream, origin, extent)? else {
+            return Ok(None);
+        };
+        let shape = arr.shape();
+        let Ok(data) = T::vec_from_f32(arr.into_vec()) else {
+            return Err(CodecError::Internal { context: "sealed Element dispatch (f32 region)" });
+        };
+        Ok(Some(NdArray::from_vec(shape, data)))
+    } else {
+        let Some(arr) = c.decompress_f64_region(stream, origin, extent)? else {
+            return Ok(None);
+        };
+        let shape = arr.shape();
+        let Ok(data) = T::vec_from_f64(arr.into_vec()) else {
+            return Err(CodecError::Internal { context: "sealed Element dispatch (f64 region)" });
+        };
+        Ok(Some(NdArray::from_vec(shape, data)))
     }
 }
 

@@ -77,12 +77,19 @@ pub struct ReaderStats {
     pub cache_hits: u64,
     /// Lookups that missed the cache.
     pub cache_misses: u64,
-    /// Chunks actually decompressed. With single-flight this can be
-    /// well below `cache_misses` under concurrency: followers of an
+    /// Chunks actually decompressed whole. With single-flight this can
+    /// be well below `cache_misses` under concurrency: followers of an
     /// in-flight decode count a miss but never decode.
     pub decodes: u64,
-    /// Raw bytes produced by those decodes.
+    /// Cache misses served by a sub-chunk (partial) decode instead of
+    /// a whole-chunk decode: the request's intersection was a small
+    /// fraction of the chunk and the chunk's chain supports it.
+    pub partial_decodes: u64,
+    /// Raw bytes produced by whole and partial decodes together.
     pub decoded_bytes: u64,
+    /// Wall-clock seconds spent inside decompression alone (whole and
+    /// partial decodes; summed across threads, like `wall_seconds`).
+    pub decode_seconds: f64,
     /// Chunk warm-ups issued by the prefetcher (a warm-up that finds
     /// the chunk already cached is still counted).
     pub prefetched: u64,
@@ -121,6 +128,10 @@ pub struct RequestStats {
     pub chunks_from_cache: usize,
     /// Chunks the prefetcher warmed alongside this request.
     pub chunks_prefetched: usize,
+    /// Cache-missing chunks this request served by decoding only its
+    /// intersection with the chunk (never cached — see
+    /// [`ArrayReader::read_region_with_stats`]).
+    pub partial_decodes: usize,
 }
 
 /// Outcome of an [`ArrayReader::refresh`].
@@ -144,9 +155,24 @@ struct Flight<T: Element> {
     done: Condvar,
 }
 
-/// A fetched chunk tagged with its output slot (`None` = speculative
+/// What a region request got for one chunk: the whole (shared,
+/// cacheable) chunk, or just the request's intersection with it plus
+/// the array region that piece covers.
+enum Fetched<T: Element> {
+    Whole(Arc<NdArray<T>>),
+    Partial(NdArray<T>, Region),
+}
+
+/// A fetched piece tagged with its output slot (`None` = speculative
 /// prefetch with no slot to fill).
-type TaggedFetch<T> = (Option<usize>, Result<Arc<NdArray<T>>>);
+type TaggedFetch<T> = (Option<usize>, Result<Fetched<T>>);
+
+std::thread_local! {
+    /// Reused intersecting-chunk id buffer for the warm read path
+    /// ([`ArrayReader::read_region_into`]), so a fully cached request
+    /// performs zero heap allocation.
+    static WANTED: std::cell::RefCell<Vec<usize>> = const { std::cell::RefCell::new(Vec::new()) };
+}
 
 /// Everything a request needs from one consistent generation: the
 /// store snapshot, one decoder per chain, and the per-chunk cache keys.
@@ -240,7 +266,9 @@ pub struct ArrayReader<T: Element> {
     requests: AtomicU64,
     chunks_requested: AtomicU64,
     decodes: AtomicU64,
+    partial_decodes: AtomicU64,
     decoded_bytes: AtomicU64,
+    decode_nanos: AtomicU64,
     prefetched: AtomicU64,
     refreshes: AtomicU64,
     invalidations: AtomicU64,
@@ -301,7 +329,9 @@ impl<T: Element> ArrayReader<T> {
             requests: AtomicU64::new(0),
             chunks_requested: AtomicU64::new(0),
             decodes: AtomicU64::new(0),
+            partial_decodes: AtomicU64::new(0),
             decoded_bytes: AtomicU64::new(0),
+            decode_nanos: AtomicU64::new(0),
             prefetched: AtomicU64::new(0),
             refreshes: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
@@ -403,7 +433,9 @@ impl<T: Element> ArrayReader<T> {
             cache_hits: c.hits,
             cache_misses: c.misses,
             decodes: self.decodes.load(Ordering::Relaxed),
+            partial_decodes: self.partial_decodes.load(Ordering::Relaxed),
             decoded_bytes: self.decoded_bytes.load(Ordering::Relaxed),
+            decode_seconds: self.decode_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
             prefetched: self.prefetched.load(Ordering::Relaxed),
             evictions: c.evictions,
             refreshes: self.refreshes.load(Ordering::Relaxed),
@@ -479,11 +511,44 @@ impl<T: Element> ArrayReader<T> {
     /// The actual decompression, charged to this reader's counters.
     fn decode_now(&self, state: &ReadState, i: usize) -> Result<Arc<NdArray<T>>> {
         let codec = state.decoders[state.store.chunk_chain_index(i)].as_ref();
+        let t0 = Instant::now();
         let arr = state.store.decode_chunk::<T>(codec, i)?;
+        self.decode_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.decodes.fetch_add(1, Ordering::Relaxed);
         self.decoded_bytes
             .fetch_add(arr.nbytes() as u64, Ordering::Relaxed);
         Ok(Arc::new(arr))
+    }
+
+    /// Fetches what a region request needs of chunk `i`. With a
+    /// `region`, a sub-chunk decode is attempted first (the store
+    /// decides eligibility: small intersection + chain support); the
+    /// result is private to the request — not cached and not
+    /// single-flighted, since it is keyed by region, not chunk, and
+    /// costs a fraction of a whole decode. Everything else (including
+    /// prefetches, which exist to warm the cache) goes through the
+    /// cached single-flight whole-chunk path.
+    fn fetch_part(&self, state: &ReadState, i: usize, region: Option<&Region>) -> Result<Fetched<T>> {
+        if let Some(region) = region {
+            // A leader may have cached the whole chunk since this
+            // request's probe; sharing it beats decoding again.
+            if self.cache.peek(state.keys[i]).is_none() {
+                let codec = state.decoders[state.store.chunk_chain_index(i)].as_ref();
+                let t0 = Instant::now();
+                if let Some((part, covered)) =
+                    state.store.decode_chunk_region::<T>(codec, i, region)?
+                {
+                    self.decode_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.partial_decodes.fetch_add(1, Ordering::Relaxed);
+                    self.decoded_bytes
+                        .fetch_add(part.nbytes() as u64, Ordering::Relaxed);
+                    return Ok(Fetched::Partial(part, covered));
+                }
+            }
+        }
+        self.fetch_chunk_after_miss(state, i).map(Fetched::Whole)
     }
 
     /// Raster-order chunk ids the prefetch policy adds after `last`.
@@ -550,9 +615,9 @@ impl<T: Element> ArrayReader<T> {
         // Probe the cache first: hits are two hash lookups, and a fully
         // warm request never touches the parallel pool at all. Only the
         // chunks that actually need decoding fan out.
-        let mut parts: Vec<Option<Arc<NdArray<T>>>> = wanted
+        let mut parts: Vec<Option<Fetched<T>>> = wanted
             .iter()
-            .map(|&i| self.cache.get(state.keys[i]))
+            .map(|&i| self.cache.get(state.keys[i]).map(Fetched::Whole))
             .collect();
         let from_cache = parts.iter().filter(|p| p.is_some()).count();
         // Each entry pairs a chunk id with the output slot it fills
@@ -573,7 +638,11 @@ impl<T: Element> ArrayReader<T> {
             let fetched: Vec<TaggedFetch<T>> = self.pool.install(|| {
                 to_fetch
                     .par_iter()
-                    .map(|&(i, slot)| (slot, self.fetch_chunk_after_miss(&state, i)))
+                    .map(|&(i, slot)| {
+                        // Only slotted fetches may decode partially: a
+                        // prefetch's entire point is a cached chunk.
+                        (slot, self.fetch_part(&state, i, slot.map(|_| region)))
+                    })
                     .collect()
             });
             // A `None` slot is a speculative prefetch: its failure must
@@ -587,13 +656,22 @@ impl<T: Element> ArrayReader<T> {
         }
 
         let mut out = NdArray::<T>::zeros(region.shape());
+        let mut partial = 0usize;
         for (&i, part) in wanted.iter().zip(&parts) {
             // Every slot was filled above (cache probe or fetch loop);
             // surface a broken invariant as an error, not a panic.
-            let Some(part) = part.as_ref() else {
-                return Err(CodecError::Internal { context: "unresolved chunk in assembly" });
-            };
-            scatter_chunk(part, &state.store.grid().chunk_region(i), region, &mut out);
+            match part.as_ref() {
+                Some(Fetched::Whole(p)) => {
+                    scatter_chunk(p, &state.store.grid().chunk_region(i), region, &mut out);
+                }
+                Some(Fetched::Partial(p, covered)) => {
+                    partial += 1;
+                    scatter_chunk(p, covered, region, &mut out);
+                }
+                None => {
+                    return Err(CodecError::Internal { context: "unresolved chunk in assembly" })
+                }
+            }
         }
         self.wall_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -603,8 +681,60 @@ impl<T: Element> ArrayReader<T> {
                 chunks_touched: wanted.len(),
                 chunks_from_cache: from_cache,
                 chunks_prefetched: ahead.len(),
+                partial_decodes: partial,
             },
         ))
+    }
+
+    /// Serves a region read into a caller-provided buffer shaped like
+    /// the region — the zero-allocation warm path. When every
+    /// intersecting chunk is already cached (the steady state of a hot
+    /// serving loop) the call performs **no heap allocation at all**:
+    /// the chunk-id scratch is a reused thread-local, cache hits hand
+    /// back shared `Arc`s, and assembly is pure `memcpy` into `out`.
+    /// Any cache miss falls back to the allocating engine
+    /// ([`ArrayReader::read_region_with_stats`]) and copies the result
+    /// over; probed hits before the miss are counted twice in the
+    /// cache-hit statistics in that case.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside the array shape.
+    pub fn read_region_into(&self, region: &Region, out: &mut NdArray<T>) -> Result<RequestStats> {
+        if out.shape() != region.shape() {
+            return Err(CodecError::Corrupt { context: "read_region_into buffer shape" });
+        }
+        let t0 = Instant::now();
+        let state = self.state.read().clone();
+        let warm = WANTED.with(|w| {
+            let mut wanted = w.borrow_mut();
+            state
+                .store
+                .grid()
+                .chunks_intersecting_into(region, &mut wanted);
+            for &i in wanted.iter() {
+                let part = self.cache.get(state.keys[i])?;
+                scatter_chunk(&part, &state.store.grid().chunk_region(i), region, out);
+            }
+            Some(wanted.len())
+        });
+        match warm {
+            Some(n) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.chunks_requested.fetch_add(n as u64, Ordering::Relaxed);
+                self.wall_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Ok(RequestStats {
+                    chunks_touched: n,
+                    chunks_from_cache: n,
+                    ..RequestStats::default()
+                })
+            }
+            None => {
+                let (arr, stats) = self.read_region_with_stats(region)?;
+                out.as_mut_slice().copy_from_slice(arr.as_slice());
+                Ok(stats)
+            }
+        }
     }
 
     /// Warms the cache with every chunk `region` intersects without

@@ -51,6 +51,57 @@ fn reads_match_uncached_store_and_repeats_hit_cache() {
     assert_eq!(reader.stats().decodes, decodes_after_first_pass);
 }
 
+/// A small cold region over a partial-decode-capable chain (SZx) is
+/// served by sub-chunk decodes: nothing whole is decoded or cached,
+/// the request reports `partial_decodes`, and the bytes match the
+/// whole-chunk path bit for bit. A cached chunk wins over the partial
+/// path on repeat reads.
+#[test]
+fn small_cold_region_uses_partial_decode() {
+    let data = field::<f32>(Shape::d2(64, 64));
+    let codec = CompressorId::Szx.instance();
+    let stream = ChunkedStore::write(
+        codec.as_ref(),
+        &data,
+        ErrorBound::Relative(1e-3),
+        Shape::d2(32, 32),
+        2,
+    )
+    .unwrap();
+    let store = ChunkedStore::open(&stream).unwrap();
+    let reader = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+
+    // 6×6 = 36 samples of a 1024-sample chunk: well under 1/8.
+    let region = Region::new(&[3, 5], &[6, 6]);
+    let (served, req) = reader.read_region_with_stats(&region).unwrap();
+    assert_eq!(req.chunks_touched, 1);
+    assert_eq!(req.partial_decodes, 1);
+    assert_eq!(req.chunks_from_cache, 0);
+    let direct = store.read_region::<f32>(&region).unwrap();
+    assert_eq!(served.as_slice(), direct.as_slice());
+    let s = reader.stats();
+    assert_eq!(s.partial_decodes, 1);
+    assert_eq!(s.decodes, 0, "partial path must not decode whole chunks");
+    assert_eq!(s.decoded_bytes, 36 * 4);
+    assert!(s.decode_seconds > 0.0);
+
+    // Partial results are not cached: the same cold read repeats the
+    // partial decode...
+    let (_, req) = reader.read_region_with_stats(&region).unwrap();
+    assert_eq!(req.partial_decodes, 1);
+    // ...until something caches the whole chunk, which then wins.
+    reader.prefetch_region(&region);
+    let (served, req) = reader.read_region_with_stats(&region).unwrap();
+    assert_eq!(req.partial_decodes, 0);
+    assert_eq!(req.chunks_from_cache, 1);
+    assert_eq!(served.as_slice(), direct.as_slice());
+
+    // A near-chunk-sized region is not partial-eligible.
+    let big = Region::new(&[32, 0], &[32, 32]);
+    let (_, req) = reader.read_region_with_stats(&big).unwrap();
+    assert_eq!(req.partial_decodes, 0);
+}
+
 /// The satellite stress test: many threads issue overlapping region
 /// reads through one reader. Every result must match the uncached
 /// store, and single-flight must keep the total decode count at or

@@ -218,18 +218,31 @@ impl ChunkGrid {
     /// # Panics
     /// Panics if the region does not fit inside the array shape.
     pub fn chunks_intersecting(&self, region: &Region) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.chunks_intersecting_into(region, &mut out);
+        out
+    }
+
+    /// [`ChunkGrid::chunks_intersecting`] into a caller-owned buffer —
+    /// `out` is cleared, then filled. Reusing one buffer across
+    /// requests keeps a hot serving loop free of per-request heap
+    /// allocation (see `eblcio_serve`'s warm read path).
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside the array shape.
+    pub fn chunks_intersecting_into(&self, region: &Region, out: &mut Vec<usize>) {
         assert!(
             region.fits_in(self.array),
             "region out of array bounds {}",
             self.array
         );
+        out.clear();
         let mut lo = [0usize; MAX_RANK];
         let mut hi = [0usize; MAX_RANK];
         for d in 0..self.rank {
             lo[d] = region.origin()[d] / self.chunk.dim(d);
             hi[d] = (region.origin()[d] + region.extent()[d] - 1) / self.chunk.dim(d);
         }
-        let mut out = Vec::new();
         let mut coords = lo;
         loop {
             out.push(self.chunk_index(&coords[..self.rank]));
@@ -237,7 +250,7 @@ impl ChunkGrid {
             let mut d = self.rank;
             loop {
                 if d == 0 {
-                    return out;
+                    return;
                 }
                 d -= 1;
                 coords[d] += 1;

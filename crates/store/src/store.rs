@@ -13,8 +13,8 @@ use eblcio_codec::header::Header;
 use eblcio_codec::parallel::pool_for;
 use eblcio_codec::util::crc32;
 use eblcio_codec::{
-    compress, compress_view, decompress, ChainSpec, CodecError, Compressor, CompressorId,
-    ErrorBound, Result,
+    compress, compress_view, decompress, decompress_region, ChainSpec, CodecError, Compressor,
+    CompressorId, ErrorBound, Result,
 };
 use eblcio_data::shape::MAX_RANK;
 use eblcio_data::{Element, NdArray, QualityReport, Shape};
@@ -31,12 +31,26 @@ pub struct RegionReadStats {
     pub chunks_total: usize,
     /// Compressed bytes touched (the intersecting chunks' payloads).
     pub compressed_bytes_read: u64,
+    /// Intersecting chunks satisfied by a partial (sub-chunk) decode
+    /// instead of a whole-chunk decode.
+    pub partial_decodes: usize,
+    /// Samples actually reconstructed by the decoders — the sum of
+    /// decoded chunk (or sub-region) lengths, so a partial read shows
+    /// measurably fewer samples than whole-chunk assembly would.
+    pub samples_decoded: u64,
 }
 
 /// Rows sampled per chunk when the adaptive writer prices a candidate
 /// chain (zPerf-style CR estimation, not a full compression).
 const ADAPTIVE_SAMPLE_SLABS: usize = 3;
 const ADAPTIVE_SAMPLE_ROWS: usize = 2;
+
+/// A region read attempts a sub-chunk decode only when the
+/// chunk∩region intersection is at most `1/PARTIAL_DECODE_DENOM` of
+/// the chunk's samples: partial decode still pays block-granular
+/// stream parsing, so near-whole-chunk requests decode the whole
+/// chunk (one pass, no gather overhead) instead.
+const PARTIAL_DECODE_DENOM: usize = 8;
 
 /// A reader over a chunked compressed array stream, plus the
 /// associated write entry points that produce such streams.
@@ -690,6 +704,64 @@ impl ChunkedStore {
         Ok(arr)
     }
 
+    /// Attempts a sub-chunk decode of what `region` needs from chunk
+    /// `i`: `Some((part, covered))` — the decoded chunk∩`region`
+    /// intersection and the array region it covers — when that
+    /// intersection is at most `1/8` of the chunk and the chunk's
+    /// chain supports partial decode (SZx, ZFP), `None` otherwise
+    /// (including when the chunk misses the region entirely). Callers
+    /// fall back to [`ChunkedStore::decode_chunk`] on `None`; the
+    /// store's own region reads and `eblcio_serve`'s miss path both
+    /// route through here so the eligibility rule has one definition.
+    pub fn decode_chunk_region<T: Element>(
+        &self,
+        codec: &dyn Compressor,
+        i: usize,
+        region: &Region,
+    ) -> Result<Option<(NdArray<T>, Region)>> {
+        let chunk_region = self.grid.chunk_region(i);
+        let Some(inter) = chunk_region.intersect(region) else {
+            return Ok(None);
+        };
+        if inter.len() * PARTIAL_DECODE_DENOM > chunk_region.len() {
+            return Ok(None);
+        }
+        let rank = inter.rank();
+        let mut origin = [0usize; MAX_RANK];
+        for (d, o) in origin.iter_mut().enumerate().take(rank) {
+            *o = inter.origin()[d] - chunk_region.origin()[d];
+        }
+        let Some(part) = decompress_region::<T>(
+            codec,
+            self.chunk_payload(i)?,
+            &origin[..rank],
+            inter.extent(),
+        )?
+        else {
+            return Ok(None);
+        };
+        if part.shape() != inter.shape() {
+            return Err(CodecError::Corrupt { context: "store chunk region shape" });
+        }
+        Ok(Some((part, inter)))
+    }
+
+    /// Decodes the part of chunk `i` that a region read needs: a
+    /// sub-chunk decode when [`ChunkedStore::decode_chunk_region`]
+    /// applies, otherwise the whole chunk. Returns the decoded part,
+    /// the array region it covers, and whether the decode was partial.
+    fn decode_chunk_for_region<T: Element>(
+        &self,
+        codec: &dyn Compressor,
+        i: usize,
+        region: &Region,
+    ) -> Result<(NdArray<T>, Region, bool)> {
+        if let Some((part, covered)) = self.decode_chunk_region(codec, i, region)? {
+            return Ok((part, covered, true));
+        }
+        Ok((self.decode_chunk(codec, i)?, self.grid.chunk_region(i), false))
+    }
+
     /// Decompresses the whole array, decoding chunks in parallel on the
     /// shared rayon pool for `threads` workers.
     pub fn read_full<T: Element>(&self, threads: usize) -> Result<NdArray<T>> {
@@ -726,6 +798,11 @@ impl ChunkedStore {
 
     /// Decompresses exactly the chunks intersecting `region` and
     /// assembles the requested box, reporting how much work that took.
+    /// When a chunk's chain supports partial decode (SZx, ZFP) and the
+    /// intersection is a small fraction of the chunk, only that
+    /// sub-region is reconstructed — see
+    /// [`RegionReadStats::partial_decodes`] and
+    /// [`RegionReadStats::samples_decoded`].
     ///
     /// Intersecting chunks decode in parallel (like
     /// [`ChunkedStore::read_full`]) across the width installed on the
@@ -743,28 +820,27 @@ impl ChunkedStore {
         self.check_dtype::<T>()?;
         let decoders = self.decoders()?;
         let hits = self.grid.chunks_intersecting(region);
-        let parts: Vec<Result<NdArray<T>>> = hits
+        let parts: Vec<Result<(NdArray<T>, Region, bool)>> = hits
             .par_iter()
             .map(|&i| {
                 let codec = decoders[self.manifest.chunks[i].chain as usize].as_ref();
-                self.decode_chunk::<T>(codec, i)
+                self.decode_chunk_for_region::<T>(codec, i, region)
             })
             .collect();
         let mut out = NdArray::<T>::zeros(region.shape());
-        let mut bytes = 0u64;
+        let mut stats = RegionReadStats {
+            chunks_decoded: hits.len(),
+            chunks_total: self.n_chunks(),
+            ..RegionReadStats::default()
+        };
         for (&i, part) in hits.iter().zip(parts) {
-            let part = part?;
-            bytes += self.manifest.chunks[i].len;
-            scatter_chunk(&part, &self.grid.chunk_region(i), region, &mut out);
+            let (part, part_region, partial) = part?;
+            stats.compressed_bytes_read += self.manifest.chunks[i].len;
+            stats.partial_decodes += usize::from(partial);
+            stats.samples_decoded += part.len() as u64;
+            scatter_chunk(&part, &part_region, region, &mut out);
         }
-        Ok((
-            out,
-            RegionReadStats {
-                chunks_decoded: hits.len(),
-                chunks_total: self.n_chunks(),
-                compressed_bytes_read: bytes,
-            },
-        ))
+        Ok((out, stats))
     }
 
     /// Decompresses an axis-aligned region, touching only the chunks

@@ -147,6 +147,54 @@ fn region_read_decodes_only_intersecting_chunks() {
     }
 }
 
+/// A small region over chains with partial-decode support (SZx, ZFP)
+/// reconstructs only the intersections — measurably fewer samples than
+/// whole-chunk assembly — and stays bit-identical to it. A chain
+/// without support (SZ3) takes the whole-chunk path and reports zero
+/// partial decodes.
+#[test]
+fn small_region_uses_partial_decode_and_matches_whole_chunk_path() {
+    let data = field::<f64>(Shape::d2(64, 64));
+    // 2×2 grid of 32×32 chunks; the region straddles two chunks with
+    // intersections of 70 and 30 samples — both ≤ 1/8 of 1024.
+    let region = Region::new(&[20, 25], &[10, 10]);
+    for (id, expect_partial) in [
+        (CompressorId::Szx, true),
+        (CompressorId::Zfp, true),
+        (CompressorId::Sz3, false),
+    ] {
+        let codec = id.instance();
+        let stream = ChunkedStore::write(
+            codec.as_ref(),
+            &data,
+            ErrorBound::Relative(EPS),
+            Shape::d2(32, 32),
+            2,
+        )
+        .unwrap();
+        let store = ChunkedStore::open(&stream).unwrap();
+        let (got, stats) = store.read_region_with_stats::<f64>(&region).unwrap();
+        assert_eq!(stats.chunks_decoded, 2, "{}", id.name());
+        assert_eq!(stats.partial_decodes > 0, expect_partial, "{}", id.name());
+        let expect_samples = if expect_partial { 100 } else { 2048 };
+        assert_eq!(stats.samples_decoded, expect_samples, "{}", id.name());
+
+        // Bit-identical to serial whole-chunk assembly.
+        let mut whole = NdArray::<f64>::zeros(region.shape());
+        for i in 0..store.n_chunks() {
+            let chunk_region = store.grid().chunk_region(i);
+            if chunk_region.intersect(&region).is_none() {
+                continue;
+            }
+            let part = store.read_chunk::<f64>(i).unwrap();
+            eblcio_store::scatter_chunk(&part, &chunk_region, &region, &mut whole);
+        }
+        for (a, b) in got.as_slice().iter().zip(whole.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{}", id.name());
+        }
+    }
+}
+
 #[test]
 fn non_divisible_edge_chunks() {
     // 13 is prime: every chunk boundary is clipped somewhere.
