@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the telemetry primitives and their
+//! cost on the serving hot path. The `obs_overhead` binary is the
+//! gated report; these give the same comparison statistical error bars
+//! and price the individual primitives (counter add, histogram record,
+//! span open/close with the recorder on and off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_data::{Dataset, DatasetKind, DatasetSpec, NdArray, Shape};
+use eblcio_obs::{Counter, Histogram, Stopwatch};
+use eblcio_serve::{ArrayReader, CacheConfig, ReaderConfig};
+use eblcio_store::{ChunkedStore, Region};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_primitives");
+    let counter = Counter::new();
+    g.bench_function("counter_add", |b| {
+        b.iter(|| counter.add(black_box(1)))
+    });
+    let hist = Histogram::new();
+    g.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            hist.record(black_box(v));
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 33;
+        })
+    });
+    g.bench_function("stopwatch_elapsed", |b| {
+        b.iter(|| {
+            let sw = Stopwatch::start();
+            black_box(sw.elapsed_ns())
+        })
+    });
+    let name = eblcio_obs::intern("bench.span");
+    eblcio_obs::flight_recorder();
+    for (label, enabled) in [("disabled", false), ("enabled", true)] {
+        eblcio_obs::set_enabled(enabled);
+        g.bench_function(BenchmarkId::new("span", label), |b| {
+            b.iter(|| {
+                let s = eblcio_obs::span_id(black_box(name));
+                black_box(&s);
+            })
+        });
+    }
+    eblcio_obs::set_enabled(false);
+    g.finish();
+}
+
+fn bench_warm_read(c: &mut Criterion) {
+    let data = DatasetSpec::new(DatasetKind::Nyx, eblcio_data::generators::Scale::Tiny).generate();
+    let arr = match &data {
+        Dataset::F32(a) => a,
+        Dataset::F64(_) => unreachable!("NYX is single precision"),
+    };
+    let chunk_shape = Shape::new(
+        &arr.shape()
+            .dims()
+            .iter()
+            .map(|&d| d.div_ceil(4).max(1))
+            .collect::<Vec<_>>(),
+    );
+    let codec = CompressorId::Sz3.instance();
+    let stream =
+        ChunkedStore::write(codec.as_ref(), arr, ErrorBound::Relative(1e-3), chunk_shape, 4)
+            .unwrap();
+    let reader = ArrayReader::<f32>::open(
+        &stream,
+        ReaderConfig {
+            cache: CacheConfig::with_capacity_mib(256),
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let store = reader.store();
+    let region: Region = store.grid().chunk_region(0);
+    let mut out = NdArray::<f32>::zeros(region.shape());
+    reader.read_region_into(&region, &mut out).unwrap();
+    eblcio_obs::flight_recorder();
+
+    let mut g = c.benchmark_group("obs_warm_read_region_into");
+    g.sample_size(20);
+    for (label, enabled) in [("telemetry_off", false), ("telemetry_on", true)] {
+        eblcio_obs::set_enabled(enabled);
+        g.bench_function(label, |b| {
+            b.iter(|| reader.read_region_into(black_box(&region), &mut out).unwrap())
+        });
+    }
+    eblcio_obs::set_enabled(false);
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_warm_read);
+criterion_main!(benches);

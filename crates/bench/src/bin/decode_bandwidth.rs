@@ -15,7 +15,9 @@
 //! cheaper than full decode on SZx and ZFP) and compare against the
 //! checked-in baseline (`EBLCIO_DECODE_BASELINE`, default
 //! `bench_results/decode_bandwidth.json`): a speedup collapsing below
-//! 60% of the baseline's fails the gate.
+//! 60% of the baseline's fails the gate. `EBLCIO_METRICS=1` appends
+//! the per-stage codec histograms (`eblcio_codec_<stage>_*` in the
+//! process registry) accumulated over the run.
 
 use eblcio_bench::{results_dir, scale_from_env, TextTable};
 use eblcio_codec::{
@@ -262,6 +264,11 @@ fn main() {
     )
     .expect("write json");
     println!("json: {}", json_path.display());
+
+    if eblcio_obs::enabled() {
+        println!("\n-- per-stage codec metrics --");
+        print!("{}", eblcio_obs::report(eblcio_obs::global()));
+    }
 
     if gate {
         if failures.is_empty() {

@@ -29,10 +29,16 @@
 //! `Storage` backend and open readers through it; `object` additionally
 //! prints the simulated object-store bill — one GET per reader open,
 //! since readers serve from their snapshot).
+//!
+//! Every row reports the p50/p99 of that phase's per-request latency
+//! histogram (`eblcio_serve_request_ns`, snapshot deltas isolate the
+//! phase). `EBLCIO_METRICS=1` additionally prints the warm reader's
+//! full percentile report and the process-wide registry at the end.
 
 use eblcio_bench::{scale_from_env, TextTable};
 use eblcio_codec::{CompressorId, ErrorBound};
 use eblcio_data::{Dataset, DatasetKind, DatasetSpec, Shape};
+use eblcio_obs::HistogramSnapshot;
 use eblcio_serve::{ArrayReader, CacheConfig, ReaderConfig};
 use eblcio_store::storage::{
     MemoryStorage, ObjectCostModel, SimulatedObjectStorage, Storage,
@@ -127,6 +133,23 @@ fn replay(
     (t0.elapsed().as_secs_f64(), bytes)
 }
 
+/// The reader's per-request latency histogram snapshot
+/// (`eblcio_serve_request_ns` in its private registry).
+fn request_snapshot(reader: &ArrayReader<f32>) -> HistogramSnapshot {
+    reader
+        .metrics()
+        .histogram("eblcio_serve_request_ns")
+        .snapshot()
+}
+
+/// p50/p99 of a per-request latency snapshot, in milliseconds.
+fn pcts_ms(h: &HistogramSnapshot) -> (String, String) {
+    (
+        format!("{:.3}", h.value_at_quantile(0.5) as f64 / 1e6),
+        format!("{:.3}", h.value_at_quantile(0.99) as f64 / 1e6),
+    )
+}
+
 fn main() {
     let scale = scale_from_env();
     let repeat = env_usize("EBLCIO_READ_REPEAT", 8);
@@ -184,6 +207,7 @@ fn main() {
 
     let mut table = TextTable::new(&[
         "phase", "clients", "s", "MB/s", "hits", "decodes", "hit_rate", "decode_s", "decoded_MB",
+        "p50_ms", "p99_ms",
     ]);
 
     // Cold sweep: disjoint slabs, fresh reader, one pass.
@@ -203,6 +227,7 @@ fn main() {
     let cold_s = t0.elapsed().as_secs_f64();
     let cold_bytes: u64 = cold_regions.iter().map(|r| r.len() as u64 * 4).sum();
     let cs = cold_reader.stats();
+    let (p50, p99) = pcts_ms(&request_snapshot(&cold_reader));
     table.row(vec![
         "cold".into(),
         "1".into(),
@@ -213,6 +238,8 @@ fn main() {
         format!("{:.2}", cs.hit_rate()),
         format!("{:.4}", cs.decode_seconds),
         format!("{:.1}", cs.decoded_bytes as f64 / 1e6),
+        p50,
+        p99,
     ]);
 
     // Uncached: a zero-budget cache decodes every chunk of every pass.
@@ -232,6 +259,7 @@ fn main() {
         let (s, bytes) = replay(&uncached, &regions, repeat, clients);
         best_uncached_mbps = best_uncached_mbps.max(bytes as f64 / 1e6 / s);
         let us = uncached.stats();
+        let (p50, p99) = pcts_ms(&request_snapshot(&uncached));
         table.row(vec![
             "uncached".into(),
             clients.to_string(),
@@ -242,6 +270,8 @@ fn main() {
             format!("{:.2}", us.hit_rate()),
             format!("{:.4}", us.decode_seconds),
             format!("{:.1}", us.decoded_bytes as f64 / 1e6),
+            p50,
+            p99,
         ]);
     }
 
@@ -256,11 +286,13 @@ fn main() {
     let mut warm_mbps = f64::NAN;
     for clients in [1usize, 2, 4, 8] {
         let before = warm.stats();
+        let before_hist = request_snapshot(&warm);
         let (s, bytes) = replay(&warm, &regions, repeat, clients);
         if clients == 1 {
             warm_mbps = bytes as f64 / 1e6 / s;
         }
         let after = warm.stats();
+        let (p50, p99) = pcts_ms(&request_snapshot(&warm).delta_from(&before_hist));
         table.row(vec![
             "warm".into(),
             clients.to_string(),
@@ -274,6 +306,8 @@ fn main() {
                 "{:.1}",
                 (after.decoded_bytes - before.decoded_bytes) as f64 / 1e6
             ),
+            p50,
+            p99,
         ]);
     }
 
@@ -305,5 +339,11 @@ fn main() {
             s.simulated_seconds * 1e3,
             s.cost_usd,
         );
+    }
+    if eblcio_obs::enabled() {
+        println!("\n-- warm reader metrics --");
+        print!("{}", eblcio_obs::report(warm.metrics()));
+        println!("\n-- process metrics --");
+        print!("{}", eblcio_obs::report(eblcio_obs::global()));
     }
 }

@@ -39,9 +39,10 @@ use crate::stage::{
 };
 use crate::traits::{Compressor, CompressorId, ErrorBound};
 use eblcio_data::{ArrayView, Element, NdArray};
+use eblcio_obs::{Histogram, Stopwatch};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Upper bound on byte stages per chain (wire format sanity cap).
 pub const MAX_BYTE_STAGES: usize = 8;
@@ -186,12 +187,56 @@ impl std::fmt::Display for ChainSpec {
     }
 }
 
+/// Per-stage telemetry handles, resolved from the process-global
+/// [`eblcio_obs`] registry once at chain construction so the
+/// per-chunk cost is a stopwatch read and a relaxed histogram add.
+/// Names follow `eblcio_codec_<stage>_{encode,decode}_{ns,bytes}`,
+/// where `<stage>` is the stage's grammar label (`sz3`, `lz`,
+/// `shuffle4`, …) — so one store mixing chains still separates its
+/// stage costs.
+struct StageMetrics {
+    encode_ns: Arc<Histogram>,
+    decode_ns: Arc<Histogram>,
+    /// Stage *output* sizes on encode (post-transform payload bytes).
+    encode_bytes: Arc<Histogram>,
+    /// Stage *output* sizes on decode (recovered payload/array bytes).
+    decode_bytes: Arc<Histogram>,
+}
+
+impl StageMetrics {
+    fn for_stage(label: &str) -> Self {
+        let g = eblcio_obs::global();
+        Self {
+            encode_ns: g.histogram(&format!("eblcio_codec_{label}_encode_ns")),
+            decode_ns: g.histogram(&format!("eblcio_codec_{label}_decode_ns")),
+            encode_bytes: g.histogram(&format!("eblcio_codec_{label}_encode_bytes")),
+            decode_bytes: g.histogram(&format!("eblcio_codec_{label}_decode_bytes")),
+        }
+    }
+}
+
+struct ChainMetrics {
+    array: StageMetrics,
+    /// Parallel to [`CodecChain::bytes`], encode order.
+    bytes: Vec<StageMetrics>,
+}
+
+impl ChainMetrics {
+    fn for_spec(spec: &ChainSpec) -> Self {
+        Self {
+            array: StageMetrics::for_stage(&spec.array.name().to_ascii_lowercase()),
+            bytes: spec.bytes.iter().map(|b| StageMetrics::for_stage(&b.label())).collect(),
+        }
+    }
+}
+
 /// A built chain: one array stage plus its byte stages, usable anywhere
 /// a [`Compressor`] is.
 pub struct CodecChain {
     spec: ChainSpec,
     array: Box<dyn ArrayStage>,
     bytes: Vec<Box<dyn ByteStage>>,
+    metrics: ChainMetrics,
 }
 
 impl CodecChain {
@@ -209,7 +254,8 @@ impl CodecChain {
             array: array.id(),
             bytes: bytes.iter().map(|b| b.spec()).collect(),
         };
-        Self { spec, array, bytes }
+        let metrics = ChainMetrics::for_spec(&spec);
+        Self { spec, array, bytes, metrics }
     }
 
     /// Wraps an array stage in its preset byte stages — how the five
@@ -236,9 +282,15 @@ impl CodecChain {
     ) -> Result<Vec<u8>> {
         crate::codecs::common::validate_input(data)?;
         let abs = bound.to_absolute(data.value_range())?;
+        let sw = Stopwatch::start();
         let (mut payload, abs_recorded) = encode_array(self.array.as_ref(), data, abs)?;
-        for s in &self.bytes {
+        self.metrics.array.encode_ns.record(sw.elapsed_ns());
+        self.metrics.array.encode_bytes.record(payload.len() as u64);
+        for (s, m) in self.bytes.iter().zip(&self.metrics.bytes) {
+            let sw = Stopwatch::start();
             payload = s.forward(&payload);
+            m.encode_ns.record(sw.elapsed_ns());
+            m.encode_bytes.record(payload.len() as u64);
         }
         let header = Header {
             chain: self.spec.clone(),
@@ -273,7 +325,8 @@ impl CodecChain {
         let mut cur = crate::scratch::take_bytes();
         let mut next = Vec::new();
         let mut first = true;
-        for s in self.bytes.iter().rev() {
+        for (s, m) in self.bytes.iter().zip(&self.metrics.bytes).rev() {
+            let sw = Stopwatch::start();
             let step = if first {
                 s.inverse_into(payload, &mut cur)
             } else {
@@ -283,11 +336,13 @@ impl CodecChain {
                 }
                 r
             };
+            m.decode_ns.record(sw.elapsed_ns());
             first = false;
             if let Err(e) = step {
                 crate::scratch::put_bytes(cur);
                 return Err(e);
             }
+            m.decode_bytes.record(cur.len() as u64);
         }
         let out = f(&cur, &h);
         crate::scratch::put_bytes(cur);
@@ -296,7 +351,13 @@ impl CodecChain {
 
     fn decompress_generic<T: Element>(&self, stream: &[u8]) -> Result<NdArray<T>> {
         self.with_decoded_payload::<T, _>(stream, |bytes, h| {
-            decode_array(self.array.as_ref(), bytes, h.shape, h.abs_bound)
+            let sw = Stopwatch::start();
+            let out = decode_array(self.array.as_ref(), bytes, h.shape, h.abs_bound);
+            self.metrics.array.decode_ns.record(sw.elapsed_ns());
+            if let Ok(arr) = &out {
+                self.metrics.array.decode_bytes.record(arr.nbytes() as u64);
+            }
+            out
         })
     }
 
@@ -310,7 +371,14 @@ impl CodecChain {
             return Ok(None);
         }
         self.with_decoded_payload::<T, _>(stream, |bytes, h| {
-            decode_array_region(self.array.as_ref(), bytes, h.shape, h.abs_bound, origin, extent)
+            let sw = Stopwatch::start();
+            let out =
+                decode_array_region(self.array.as_ref(), bytes, h.shape, h.abs_bound, origin, extent);
+            self.metrics.array.decode_ns.record(sw.elapsed_ns());
+            if let Ok(Some(arr)) = &out {
+                self.metrics.array.decode_bytes.record(arr.nbytes() as u64);
+            }
+            out
         })
     }
 }
@@ -585,6 +653,32 @@ mod tests {
             .decompress_f32_region(&stream, &[10, 5], &[7, 11])
             .unwrap()
             .is_none());
+    }
+
+    /// Every stage of a chain reports encode *and* decode time into
+    /// the global registry under its grammar label — one roundtrip
+    /// through `sz3+shuffle4+lz` must tick all three stages' clocks.
+    #[test]
+    fn stage_metrics_reach_the_global_registry() {
+        let data = field();
+        let chain = ChainSpec::parse("sz3+shuffle4+lz").unwrap().build().unwrap();
+        let g = eblcio_obs::global();
+        let before: Vec<u64> = ["sz3", "shuffle4", "lz"]
+            .iter()
+            .map(|s| g.histogram(&format!("eblcio_codec_{s}_decode_ns")).count())
+            .collect();
+        let stream = chain.compress_f32(&data, ErrorBound::Relative(1e-3)).unwrap();
+        chain.decompress_f32(&stream).unwrap();
+        for (i, s) in ["sz3", "shuffle4", "lz"].iter().enumerate() {
+            assert!(
+                g.histogram(&format!("eblcio_codec_{s}_encode_ns")).count() >= 1,
+                "{s} encode untimed"
+            );
+            assert!(
+                g.histogram(&format!("eblcio_codec_{s}_decode_ns")).count() > before[i],
+                "{s} decode untimed"
+            );
+        }
     }
 
     #[test]

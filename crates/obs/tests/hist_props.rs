@@ -1,0 +1,157 @@
+//! Property tests for the log-linear histogram: percentiles against a
+//! sorted-vec oracle within the bucket error bound, merge
+//! associativity (including a genuinely multi-threaded merge), and
+//! saturation at the top bucket.
+
+use eblcio_obs::{bucket_hi, bucket_index, bucket_lo, Histogram, BUCKETS, SUBBUCKETS};
+use proptest::prelude::*;
+
+/// Nearest-rank order statistic — the ground truth a histogram
+/// approximates.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported quantile lands in the same bucket as the true
+    /// order statistic, and is never above the recorded maximum —
+    /// i.e. the error is bounded by the bucket's relative width
+    /// (exact below `SUBBUCKETS`, ≤ 1/SUBBUCKETS above).
+    #[test]
+    fn quantiles_match_sorted_vec_oracle(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..400),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut values = values;
+        values.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.min(), values[0]);
+        prop_assert_eq!(snap.max(), *values.last().unwrap());
+        for &q in &qs {
+            let truth = oracle_quantile(&values, q);
+            let got = snap.value_at_quantile(q);
+            prop_assert_eq!(
+                bucket_index(got),
+                bucket_index(truth),
+                "q={} got={} truth={}", q, got, truth
+            );
+            prop_assert!(got <= snap.max());
+            prop_assert!(got >= bucket_lo(bucket_index(truth)));
+        }
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c) == one histogram fed everything —
+    /// merging is bucket addition, so grouping cannot matter.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1 << 48, 0..120),
+        b in proptest::collection::vec(0u64..1 << 48, 0..120),
+        c in proptest::collection::vec(0u64..1 << 48, 0..120),
+    ) {
+        let fill = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // ((a ∪ b) ∪ c)
+        let left = fill(&a);
+        left.merge_from(&fill(&b));
+        left.merge_from(&fill(&c));
+        // (a ∪ (b ∪ c))
+        let bc = fill(&b);
+        bc.merge_from(&fill(&c));
+        let right = fill(&a);
+        right.merge_from(&bc);
+        // one histogram fed everything
+        let flat = fill(&a);
+        for &v in b.iter().chain(&c) {
+            flat.record(v);
+        }
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        prop_assert_eq!(left.snapshot(), flat.snapshot());
+    }
+
+    /// Shard-per-thread recording merged afterwards equals one shared
+    /// histogram hammered by all threads — the "mergeable across
+    /// threads" contract.
+    #[test]
+    fn threaded_shards_merge_to_the_same_distribution(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u64..1 << 40, 1..60),
+            2..5
+        ),
+    ) {
+        let shared = std::sync::Arc::new(Histogram::new());
+        let shards: Vec<Histogram> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|vals| {
+                    let shared = shared.clone();
+                    s.spawn(move || {
+                        let shard = Histogram::new();
+                        for &v in vals {
+                            shard.record(v);
+                            shared.record(v);
+                        }
+                        shard
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let merged = Histogram::new();
+        for shard in &shards {
+            merged.merge_from(shard);
+        }
+        prop_assert_eq!(merged.snapshot(), shared.snapshot());
+    }
+
+    /// The top of the value range saturates into the last buckets
+    /// instead of overflowing: every huge value maps to a valid index
+    /// whose bounds still bracket it, and u64::MAX lands in the final
+    /// bucket.
+    #[test]
+    fn top_bucket_saturates(huge in (u64::MAX / 2)..u64::MAX) {
+        let idx = bucket_index(huge);
+        prop_assert!(idx < BUCKETS);
+        prop_assert!(bucket_lo(idx) <= huge && huge <= bucket_hi(idx));
+        let h = Histogram::new();
+        h.record(huge);
+        h.record(u64::MAX);
+        prop_assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        prop_assert_eq!(bucket_hi(BUCKETS - 1), u64::MAX);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.max(), u64::MAX);
+        prop_assert_eq!(snap.value_at_quantile(1.0), u64::MAX);
+        prop_assert_eq!(snap.count, 2);
+    }
+}
+
+/// Exactness below the linear/log boundary deserves a deterministic
+/// pin alongside the probabilistic oracle.
+#[test]
+fn linear_prefix_is_exact() {
+    let h = Histogram::new();
+    for v in 0..SUBBUCKETS as u64 {
+        for _ in 0..3 {
+            h.record(v);
+        }
+    }
+    let snap = h.snapshot();
+    for v in 0..SUBBUCKETS as u64 {
+        assert_eq!(bucket_lo(bucket_index(v)), v);
+        assert_eq!(bucket_hi(bucket_index(v)), v);
+    }
+    assert_eq!(snap.value_at_quantile(0.5), (SUBBUCKETS as u64 - 1) / 2);
+}

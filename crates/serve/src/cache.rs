@@ -20,6 +20,7 @@
 //! construction: the old entries' keys can never be asked for again.
 
 use eblcio_data::{Element, NdArray};
+use eblcio_obs::Counter;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -91,9 +92,12 @@ pub struct DecodedChunkCache<T: Element> {
     ways: Vec<Mutex<Way<T>>>,
     capacity_per_way: usize,
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    // The counters are obs handles (one relaxed add, same cost as a
+    // bare atomic) so the owning reader can register them into its
+    // metrics registry without mirroring.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
 }
 
 impl<T: Element> DecodedChunkCache<T> {
@@ -111,10 +115,16 @@ impl<T: Element> DecodedChunkCache<T> {
                 .collect(),
             capacity_per_way: config.capacity_bytes / ways,
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
         }
+    }
+
+    /// The hit/miss/eviction counter handles, for registration in the
+    /// owner's [`eblcio_obs::MetricsRegistry`].
+    pub(crate) fn counter_handles(&self) -> (Arc<Counter>, Arc<Counter>, Arc<Counter>) {
+        (self.hits.clone(), self.misses.clone(), self.evictions.clone())
     }
 
     fn way(&self, key: ChunkKey) -> &Mutex<Way<T>> {
@@ -135,11 +145,11 @@ impl<T: Element> DecodedChunkCache<T> {
         match way.map.get_mut(&key) {
             Some(e) => {
                 e.tick = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(e.chunk.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -182,7 +192,7 @@ impl<T: Element> DecodedChunkCache<T> {
             let victim = way.map.iter().min_by_key(|(_, e)| e.tick).map(|(&k, _)| k);
             let Some(evicted) = victim.and_then(|k| way.map.remove(&k)) else { break };
             way.bytes -= evicted.chunk.nbytes();
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
         }
         way.bytes += bytes;
         way.map.insert(key, Entry { chunk, tick });
@@ -198,9 +208,9 @@ impl<T: Element> DecodedChunkCache<T> {
             resident_chunks += g.map.len() as u64;
         }
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
             resident_bytes,
             resident_chunks,
         }

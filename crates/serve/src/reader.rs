@@ -31,14 +31,13 @@ use eblcio_codec::header::Header;
 use eblcio_codec::parallel::pool_for;
 use eblcio_codec::{CodecError, Compressor, Result};
 use eblcio_data::{Element, NdArray};
+use eblcio_obs::{self as obs, Counter, Histogram, MetricsRegistry, NameId, Stopwatch};
 use eblcio_store::mutable::MUTABLE_MAGIC;
 use eblcio_store::{scatter_chunk, ChunkedStore, MutableStore, Region, Storage};
 use parking_lot::{Condvar, Mutex, RwLock};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// What the reader does with chunks just past the ones a request needs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -101,6 +100,10 @@ pub struct ReaderStats {
     /// Cached chunks invalidated by refreshes (only chunks whose
     /// content actually changed are evicted).
     pub invalidations: u64,
+    /// Single-flight follower waits: lookups that found another
+    /// request already decoding the same chunk and blocked for its
+    /// result instead of decoding again.
+    pub flight_waits: u64,
     /// Wall-clock seconds spent inside request calls (summed across
     /// concurrent clients, so this can exceed elapsed time).
     pub wall_seconds: f64,
@@ -114,6 +117,17 @@ impl ReaderStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of decode operations that were sub-chunk (partial)
+    /// decodes rather than whole-chunk decodes.
+    pub fn partial_decode_rate(&self) -> f64 {
+        let total = self.decodes + self.partial_decodes;
+        if total == 0 {
+            0.0
+        } else {
+            self.partial_decodes as f64 / total as f64
         }
     }
 }
@@ -172,6 +186,63 @@ std::thread_local! {
     /// ([`ArrayReader::read_region_into`]), so a fully cached request
     /// performs zero heap allocation.
     static WANTED: std::cell::RefCell<Vec<usize>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Per-reader telemetry: one private [`MetricsRegistry`] plus handles
+/// resolved once at construction, so every hot-path event is a single
+/// relaxed atomic op. Latencies and sizes go into log-linear
+/// histograms — [`ReaderStats`] is a thin view over these (counts and
+/// sums), and `query --metrics` / `read_throughput` read the p50/p99
+/// straight from the same handles. Span names are pre-interned so the
+/// warm path never touches the intern table.
+struct ReaderMetrics {
+    registry: Arc<MetricsRegistry>,
+    chunks_requested: Arc<Counter>,
+    prefetched: Arc<Counter>,
+    refreshes: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    /// Per-request wall latency (count = requests, sum = wall nanos).
+    request_ns: Arc<Histogram>,
+    /// Whole-chunk decode latency (count = decodes).
+    decode_ns: Arc<Histogram>,
+    /// Sub-chunk decode latency (count = partial decodes).
+    partial_decode_ns: Arc<Histogram>,
+    /// Bytes produced per decode, whole and partial (sum = total).
+    decoded_bytes: Arc<Histogram>,
+    /// Single-flight follower wait latency (count = waits).
+    flight_wait_ns: Arc<Histogram>,
+    span_read_region: NameId,
+    span_read_chunk: NameId,
+    span_decode: NameId,
+    span_flight_wait: NameId,
+    span_refresh: NameId,
+}
+
+impl ReaderMetrics {
+    fn new(cache_counters: (Arc<Counter>, Arc<Counter>, Arc<Counter>)) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let (hits, misses, evictions) = cache_counters;
+        registry.register_counter("eblcio_serve_cache_hits_total", hits);
+        registry.register_counter("eblcio_serve_cache_misses_total", misses);
+        registry.register_counter("eblcio_serve_cache_evictions_total", evictions);
+        Self {
+            chunks_requested: registry.counter("eblcio_serve_chunks_requested_total"),
+            prefetched: registry.counter("eblcio_serve_prefetched_total"),
+            refreshes: registry.counter("eblcio_serve_refreshes_total"),
+            invalidations: registry.counter("eblcio_serve_invalidations_total"),
+            request_ns: registry.histogram("eblcio_serve_request_ns"),
+            decode_ns: registry.histogram("eblcio_serve_decode_ns"),
+            partial_decode_ns: registry.histogram("eblcio_serve_partial_decode_ns"),
+            decoded_bytes: registry.histogram("eblcio_serve_decoded_bytes"),
+            flight_wait_ns: registry.histogram("eblcio_serve_flight_wait_ns"),
+            span_read_region: obs::intern("serve.read_region"),
+            span_read_chunk: obs::intern("serve.read_chunk"),
+            span_decode: obs::intern("serve.decode"),
+            span_flight_wait: obs::intern("serve.flight_wait"),
+            span_refresh: obs::intern("serve.refresh"),
+            registry,
+        }
+    }
 }
 
 /// Everything a request needs from one consistent generation: the
@@ -263,16 +334,7 @@ pub struct ArrayReader<T: Element> {
     inflight: Mutex<HashMap<ChunkKey, Arc<Flight<T>>>>,
     pool: Arc<rayon::ThreadPool>,
     prefetch: PrefetchPolicy,
-    requests: AtomicU64,
-    chunks_requested: AtomicU64,
-    decodes: AtomicU64,
-    partial_decodes: AtomicU64,
-    decoded_bytes: AtomicU64,
-    decode_nanos: AtomicU64,
-    prefetched: AtomicU64,
-    refreshes: AtomicU64,
-    invalidations: AtomicU64,
-    wall_nanos: AtomicU64,
+    metrics: ReaderMetrics,
 }
 
 impl<T: Element> ArrayReader<T> {
@@ -320,23 +382,25 @@ impl<T: Element> ArrayReader<T> {
         } else {
             config.threads
         };
+        let cache = DecodedChunkCache::new(config.cache);
+        let metrics = ReaderMetrics::new(cache.counter_handles());
         Ok(Self {
             state: RwLock::new(Arc::new(ReadState::build(store)?)),
-            cache: DecodedChunkCache::new(config.cache),
+            cache,
             inflight: Mutex::new(HashMap::new()),
             pool: pool_for(threads)?,
             prefetch: config.prefetch,
-            requests: AtomicU64::new(0),
-            chunks_requested: AtomicU64::new(0),
-            decodes: AtomicU64::new(0),
-            partial_decodes: AtomicU64::new(0),
-            decoded_bytes: AtomicU64::new(0),
-            decode_nanos: AtomicU64::new(0),
-            prefetched: AtomicU64::new(0),
-            refreshes: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            wall_nanos: AtomicU64::new(0),
+            metrics,
         })
+    }
+
+    /// This reader's private metrics registry: the per-request and
+    /// per-decode latency histograms plus the cache/prefetch/refresh
+    /// counters, ready for [`eblcio_obs::prometheus`] exposition or
+    /// [`eblcio_obs::report`]. [`ArrayReader::stats`] is a totals view
+    /// over the same handles.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
     }
 
     /// The store snapshot this reader currently serves (shared, cheap
@@ -379,6 +443,7 @@ impl<T: Element> ArrayReader<T> {
         if store.generation() == 0 {
             return Err(CodecError::Corrupt { context: "refresh target is not generational" });
         }
+        let _span = obs::span_id(self.metrics.span_refresh);
         let next = Arc::new(ReadState::build(store)?);
         // The old-state read, the swap, and the key sweep all happen
         // under the write lock, so concurrent refresh calls serialize:
@@ -413,9 +478,8 @@ impl<T: Element> ArrayReader<T> {
                 invalidated,
             }
         };
-        self.refreshes.fetch_add(1, Ordering::Relaxed);
-        self.invalidations
-            .fetch_add(stats.invalidated as u64, Ordering::Relaxed);
+        self.metrics.refreshes.inc();
+        self.metrics.invalidations.add(stats.invalidated as u64);
         Ok(stats)
     }
 
@@ -424,23 +488,39 @@ impl<T: Element> ArrayReader<T> {
         self.refresh(store.current()?)
     }
 
-    /// Cumulative reader counters (cache counters folded in).
+    /// Cumulative reader counters (cache counters folded in) — a
+    /// totals view over [`ArrayReader::metrics`].
+    ///
+    /// Snapshot discipline: every source is read exactly once, in a
+    /// fixed order — cache counters, then one atomic-coherent snapshot
+    /// per histogram (each histogram's count is loaded first and its
+    /// writers bump it last, so count/sum pairs always describe whole
+    /// records), then the plain counters. Related fields drawn from
+    /// one histogram (`requests`/`wall_seconds`,
+    /// `decodes`/`decode_seconds`) therefore can never interleave with
+    /// a concurrent reset or recorder into a half-updated pair.
     pub fn stats(&self) -> ReaderStats {
         let c: CacheStats = self.cache.stats();
+        let req = self.metrics.request_ns.snapshot();
+        let dec = self.metrics.decode_ns.snapshot();
+        let part = self.metrics.partial_decode_ns.snapshot();
+        let bytes = self.metrics.decoded_bytes.snapshot();
+        let waits = self.metrics.flight_wait_ns.snapshot();
         ReaderStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            chunks_requested: self.chunks_requested.load(Ordering::Relaxed),
+            requests: req.count,
+            chunks_requested: self.metrics.chunks_requested.get(),
             cache_hits: c.hits,
             cache_misses: c.misses,
-            decodes: self.decodes.load(Ordering::Relaxed),
-            partial_decodes: self.partial_decodes.load(Ordering::Relaxed),
-            decoded_bytes: self.decoded_bytes.load(Ordering::Relaxed),
-            decode_seconds: self.decode_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
-            prefetched: self.prefetched.load(Ordering::Relaxed),
+            decodes: dec.count,
+            partial_decodes: part.count,
+            decoded_bytes: bytes.sum,
+            decode_seconds: (dec.sum + part.sum) as f64 * 1e-9,
+            prefetched: self.metrics.prefetched.get(),
             evictions: c.evictions,
-            refreshes: self.refreshes.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            refreshes: self.metrics.refreshes.get(),
+            invalidations: self.metrics.invalidations.get(),
+            flight_waits: waits.count,
+            wall_seconds: req.sum as f64 * 1e-9,
         }
     }
 
@@ -452,11 +532,11 @@ impl<T: Element> ArrayReader<T> {
     /// Decodes chunk `i` through the cache with single-flight
     /// de-duplication. The returned chunk is shared — clones of one
     /// `Arc` — across every concurrent caller.
-    fn fetch_chunk(&self, state: &ReadState, i: usize) -> Result<Arc<NdArray<T>>> {
+    fn fetch_chunk(&self, state: &ReadState, i: usize, rid: u64) -> Result<Arc<NdArray<T>>> {
         if let Some(hit) = self.cache.get(state.keys[i]) {
             return Ok(hit);
         }
-        self.fetch_chunk_after_miss(state, i)
+        self.fetch_chunk_after_miss(state, i, rid)
     }
 
     /// The miss path: single-flight decode for a chunk the caller has
@@ -464,8 +544,11 @@ impl<T: Element> ArrayReader<T> {
     /// the region engine can probe the whole request cheaply first and
     /// spin up the parallel pool only when something actually needs
     /// decoding. Keyed by `(index, fingerprint)`, so decodes of the
-    /// same index for different generations never collide.
-    fn fetch_chunk_after_miss(&self, state: &ReadState, i: usize) -> Result<Arc<NdArray<T>>> {
+    /// same index for different generations never collide. `rid` is
+    /// the request id decode/wait spans are charged to (0 = none);
+    /// it is passed explicitly because fetches run on pool threads,
+    /// where the requesting thread's ambient id does not follow.
+    fn fetch_chunk_after_miss(&self, state: &ReadState, i: usize, rid: u64) -> Result<Arc<NdArray<T>>> {
         let key = state.keys[i];
         let (flight, leader) = {
             let mut map = self.inflight.lock();
@@ -489,7 +572,7 @@ impl<T: Element> ArrayReader<T> {
             }
         };
         if leader {
-            let res = self.decode_now(state, i);
+            let res = self.decode_now(state, i, rid);
             if let Ok(chunk) = &res {
                 self.cache.insert(key, chunk.clone());
             }
@@ -498,9 +581,12 @@ impl<T: Element> ArrayReader<T> {
             self.inflight.lock().remove(&key);
             res
         } else {
+            let _span = obs::span_on(self.metrics.span_flight_wait, rid);
+            let sw = Stopwatch::start();
             let mut slot = flight.result.lock();
             loop {
                 if let Some(res) = slot.as_ref() {
+                    self.metrics.flight_wait_ns.record(sw.elapsed_ns());
                     return res.clone();
                 }
                 flight.done.wait(&mut slot);
@@ -509,15 +595,13 @@ impl<T: Element> ArrayReader<T> {
     }
 
     /// The actual decompression, charged to this reader's counters.
-    fn decode_now(&self, state: &ReadState, i: usize) -> Result<Arc<NdArray<T>>> {
+    fn decode_now(&self, state: &ReadState, i: usize, rid: u64) -> Result<Arc<NdArray<T>>> {
         let codec = state.decoders[state.store.chunk_chain_index(i)].as_ref();
-        let t0 = Instant::now();
+        let _span = obs::span_on(self.metrics.span_decode, rid);
+        let sw = Stopwatch::start();
         let arr = state.store.decode_chunk::<T>(codec, i)?;
-        self.decode_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.decodes.fetch_add(1, Ordering::Relaxed);
-        self.decoded_bytes
-            .fetch_add(arr.nbytes() as u64, Ordering::Relaxed);
+        self.metrics.decode_ns.record(sw.elapsed_ns());
+        self.metrics.decoded_bytes.record(arr.nbytes() as u64);
         Ok(Arc::new(arr))
     }
 
@@ -529,26 +613,30 @@ impl<T: Element> ArrayReader<T> {
     /// costs a fraction of a whole decode. Everything else (including
     /// prefetches, which exist to warm the cache) goes through the
     /// cached single-flight whole-chunk path.
-    fn fetch_part(&self, state: &ReadState, i: usize, region: Option<&Region>) -> Result<Fetched<T>> {
+    fn fetch_part(
+        &self,
+        state: &ReadState,
+        i: usize,
+        region: Option<&Region>,
+        rid: u64,
+    ) -> Result<Fetched<T>> {
         if let Some(region) = region {
             // A leader may have cached the whole chunk since this
             // request's probe; sharing it beats decoding again.
             if self.cache.peek(state.keys[i]).is_none() {
                 let codec = state.decoders[state.store.chunk_chain_index(i)].as_ref();
-                let t0 = Instant::now();
+                let _span = obs::span_on(self.metrics.span_decode, rid);
+                let sw = Stopwatch::start();
                 if let Some((part, covered)) =
                     state.store.decode_chunk_region::<T>(codec, i, region)?
                 {
-                    self.decode_nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    self.partial_decodes.fetch_add(1, Ordering::Relaxed);
-                    self.decoded_bytes
-                        .fetch_add(part.nbytes() as u64, Ordering::Relaxed);
+                    self.metrics.partial_decode_ns.record(sw.elapsed_ns());
+                    self.metrics.decoded_bytes.record(part.nbytes() as u64);
                     return Ok(Fetched::Partial(part, covered));
                 }
             }
         }
-        self.fetch_chunk_after_miss(state, i).map(Fetched::Whole)
+        self.fetch_chunk_after_miss(state, i, rid).map(Fetched::Whole)
     }
 
     /// Raster-order chunk ids the prefetch policy adds after `last`.
@@ -564,16 +652,16 @@ impl<T: Element> ArrayReader<T> {
     /// Serves chunk `i` through the cache. Out-of-range indices are a
     /// typed error.
     pub fn read_chunk(&self, i: usize) -> Result<Arc<NdArray<T>>> {
-        let t0 = Instant::now();
+        let sw = Stopwatch::start();
+        let span = obs::root_span_id_from(self.metrics.span_read_chunk, sw);
+        let rid = span.as_ref().map_or(0, |s| s.request_id());
         let state = self.state.read().clone();
         if i >= state.store.n_chunks() {
             return Err(CodecError::Corrupt { context: "store chunk reference" });
         }
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.chunks_requested.fetch_add(1, Ordering::Relaxed);
-        let res = self.fetch_chunk(&state, i);
-        self.wall_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.metrics.chunks_requested.inc();
+        let res = self.fetch_chunk(&state, i, rid);
+        self.metrics.request_ns.record(sw.elapsed_ns());
         res
     }
 
@@ -596,12 +684,12 @@ impl<T: Element> ArrayReader<T> {
     /// # Panics
     /// Panics if the region does not fit inside the array shape.
     pub fn read_region_with_stats(&self, region: &Region) -> Result<(NdArray<T>, RequestStats)> {
-        let t0 = Instant::now();
+        let sw = Stopwatch::start();
+        let span = obs::root_span_id_from(self.metrics.span_read_region, sw);
+        let rid = span.as_ref().map_or(0, |s| s.request_id());
         let state = self.state.read().clone();
-        self.requests.fetch_add(1, Ordering::Relaxed);
         let wanted = state.store.grid().chunks_intersecting(region);
-        self.chunks_requested
-            .fetch_add(wanted.len() as u64, Ordering::Relaxed);
+        self.metrics.chunks_requested.add(wanted.len() as u64);
         // `chunks_intersecting` returns ascending raster order, so the
         // last entry is the scan frontier the prefetcher extends.
         // Regions have positive extents, so `wanted` is never empty for
@@ -610,7 +698,7 @@ impl<T: Element> ArrayReader<T> {
             return Err(CodecError::Internal { context: "region intersects no chunks" });
         };
         let ahead = self.prefetch_ids(&state, frontier);
-        self.prefetched.fetch_add(ahead.len() as u64, Ordering::Relaxed);
+        self.metrics.prefetched.add(ahead.len() as u64);
 
         // Probe the cache first: hits are two hash lookups, and a fully
         // warm request never touches the parallel pool at all. Only the
@@ -641,7 +729,7 @@ impl<T: Element> ArrayReader<T> {
                     .map(|&(i, slot)| {
                         // Only slotted fetches may decode partially: a
                         // prefetch's entire point is a cached chunk.
-                        (slot, self.fetch_part(&state, i, slot.map(|_| region)))
+                        (slot, self.fetch_part(&state, i, slot.map(|_| region), rid))
                     })
                     .collect()
             });
@@ -673,8 +761,7 @@ impl<T: Element> ArrayReader<T> {
                 }
             }
         }
-        self.wall_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.metrics.request_ns.record(sw.elapsed_ns());
         Ok((
             out,
             RequestStats {
@@ -703,7 +790,13 @@ impl<T: Element> ArrayReader<T> {
         if out.shape() != region.shape() {
             return Err(CodecError::Corrupt { context: "read_region_into buffer shape" });
         }
-        let t0 = Instant::now();
+        // Telemetry on this path stays allocation-free: the span name
+        // is pre-interned, the guard lives on the stack (sharing the
+        // stopwatch's clock read), and its drop stores into
+        // preallocated flight-recorder slots (`serve_alloc.rs` proves
+        // it with telemetry enabled).
+        let sw = Stopwatch::start();
+        let _span = obs::root_span_id_from(self.metrics.span_read_region, sw);
         let state = self.state.read().clone();
         let warm = WANTED.with(|w| {
             let mut wanted = w.borrow_mut();
@@ -719,10 +812,8 @@ impl<T: Element> ArrayReader<T> {
         });
         match warm {
             Some(n) => {
-                self.requests.fetch_add(1, Ordering::Relaxed);
-                self.chunks_requested.fetch_add(n as u64, Ordering::Relaxed);
-                self.wall_nanos
-                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                self.metrics.chunks_requested.add(n as u64);
+                self.metrics.request_ns.record(sw.elapsed_ns());
                 Ok(RequestStats {
                     chunks_touched: n,
                     chunks_from_cache: n,
@@ -743,13 +834,14 @@ impl<T: Element> ArrayReader<T> {
     /// deferred to the read that actually needs the chunk.
     pub fn prefetch_region(&self, region: &Region) {
         let state = self.state.read().clone();
+        let rid = obs::current_request_id();
         let ids: Vec<usize> = state
             .store
             .grid()
             .chunks_intersecting(region)
             .into_iter()
             .inspect(|_| {
-                self.prefetched.fetch_add(1, Ordering::Relaxed);
+                self.metrics.prefetched.inc();
             })
             .filter(|&i| self.cache.peek(state.keys[i]).is_none())
             .collect();
@@ -758,7 +850,7 @@ impl<T: Element> ArrayReader<T> {
         }
         let _: Vec<bool> = self.pool.install(|| {
             ids.par_iter()
-                .map(|&i| self.fetch_chunk_after_miss(&state, i).is_ok())
+                .map(|&i| self.fetch_chunk_after_miss(&state, i, rid).is_ok())
                 .collect()
         });
     }

@@ -37,6 +37,13 @@ static A: Counting = Counting;
 
 #[test]
 fn warm_read_region_into_allocates_nothing() {
+    // Telemetry ON: the zero-alloc property must hold with spans and
+    // the flight recorder live, not just with them compiled out. The
+    // recorder ring and interned span names are allocated lazily, so
+    // force them into existence before the measured window opens.
+    eblcio_obs::set_enabled(true);
+    eblcio_obs::flight_recorder();
+
     let data = NdArray::<f32>::from_fn(Shape::d2(64, 64), |i| {
         (i[0] as f32 * 0.17).sin() * 30.0 + (i[1] as f32 * 0.29).cos() * 11.0
     });

@@ -52,6 +52,7 @@
 
 pub mod grid;
 pub mod manifest;
+mod metrics;
 pub mod mutable;
 pub mod pfs_io;
 pub mod shard;
@@ -67,6 +68,6 @@ pub use pfs_io::{read_region_io, update_io, write_store};
 pub use shard::{build_shard, ShardIndex, SlotEntry};
 pub use storage::{
     named_backend, ByteRange, FaultPlan, FaultyStorage, FilesystemStorage, MemoryStorage,
-    ObjectCostModel, ObjectStoreStats, SimulatedObjectStorage, Storage,
+    MeteredStorage, ObjectCostModel, ObjectStoreStats, SimulatedObjectStorage, Storage,
 };
 pub use store::{ChunkedStore, RegionReadStats};

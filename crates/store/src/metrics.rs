@@ -1,0 +1,42 @@
+//! Process-global telemetry handles for the store layer.
+//!
+//! Stores are value types opened and dropped freely (a reader may hold
+//! dozens of generation snapshots at once), so unlike the serve layer —
+//! where one long-lived `ArrayReader` owns a private registry — store
+//! timings aggregate into the process registry ([`eblcio_obs::global`])
+//! under the `eblcio_store_*` names. Handles are resolved once and
+//! cached in a `OnceLock`, so the per-call cost on the read path is one
+//! relaxed atomic add into a histogram bucket.
+
+use eblcio_obs::{self as obs, Histogram, NameId};
+use std::sync::{Arc, OnceLock};
+
+pub(crate) struct StoreMetrics {
+    /// Wall time of [`crate::ChunkedStore::read_region_with_stats`]
+    /// (decode fan-out + scatter), per call.
+    pub read_region_ns: Arc<Histogram>,
+    /// Wall time of [`crate::MutableStore::apply`] — a generation
+    /// publish: append, root flip, re-validate, backend write-through.
+    pub publish_ns: Arc<Histogram>,
+    /// Wall time of [`crate::MutableStore::compact`] — the whole-file
+    /// rewrite down to the live set.
+    pub compact_ns: Arc<Histogram>,
+    pub span_read_region: NameId,
+    pub span_publish: NameId,
+    pub span_compact: NameId,
+}
+
+pub(crate) fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = obs::global();
+        StoreMetrics {
+            read_region_ns: g.histogram("eblcio_store_read_region_ns"),
+            publish_ns: g.histogram("eblcio_store_publish_ns"),
+            compact_ns: g.histogram("eblcio_store_compact_ns"),
+            span_read_region: obs::intern("store.read_region"),
+            span_publish: obs::intern("store.publish"),
+            span_compact: obs::intern("store.compact"),
+        }
+    })
+}

@@ -56,6 +56,7 @@
 
 use crate::grid::{copy_region, Region};
 use crate::manifest::{GenerationMeta, Manifest};
+use crate::metrics::store_metrics;
 use crate::storage::Storage;
 use crate::store::ChunkedStore;
 use eblcio_codec::header::Header;
@@ -66,6 +67,7 @@ use eblcio_codec::{
 };
 use eblcio_data::shape::MAX_RANK;
 use eblcio_data::{Element, NdArray, Shape};
+use eblcio_obs::{self as obs, Timed};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -571,6 +573,9 @@ impl MutableStore {
     /// file. Fails (leaving the store untouched) if the ops were
     /// prepared against a different file state than the current one.
     pub fn apply(&mut self, ops: PublishOps) -> Result<UpdateStats> {
+        let m = store_metrics();
+        let _span = obs::span_id(m.span_publish);
+        let _t = Timed::new(&m.publish_ns);
         if ops.base_len != self.bytes.len() || ops.generation != self.root.generation + 1 {
             return Err(CodecError::Corrupt { context: "stale store publish" });
         }
@@ -645,6 +650,9 @@ impl MutableStore {
     /// a fresh rootless manifest is published as the next generation.
     /// Time-travel history before the compaction is severed.
     pub fn compact(&mut self) -> Result<CompactStats> {
+        let m = store_metrics();
+        let _span = obs::span_id(m.span_compact);
+        let _t = Timed::new(&m.compact_ns);
         let cur = self.current()?;
         let before_bytes = self.bytes.len() as u64;
         let mut manifest = cur.manifest().clone();

@@ -1,0 +1,246 @@
+//! [`MeteredStorage`]: per-operation latency and byte telemetry over
+//! any inner backend.
+//!
+//! Where [`SimulatedObjectStorage`](super::SimulatedObjectStorage)
+//! charges a *model* (what the operation would cost on a cloud store),
+//! this decorator measures *reality*: every [`Storage`] call is timed
+//! with a [`Stopwatch`] into a per-op latency histogram, moved bytes
+//! land in read/write size histograms, and each call opens a
+//! `storage.<op>` span so backend time shows up in the flight recorder
+//! attributed to the request that caused it. Metric names follow the
+//! workspace scheme: `eblcio_storage_<op>_ns` for latencies,
+//! `eblcio_storage_{read,write}_bytes` for sizes.
+
+use super::{ByteRange, Storage};
+use eblcio_codec::Result;
+use eblcio_obs::{self as obs, Histogram, MetricsRegistry, NameId, Stopwatch};
+use std::sync::Arc;
+
+/// One latency histogram + span name per [`Storage`] operation.
+#[derive(Debug)]
+struct Op {
+    latency_ns: Arc<Histogram>,
+    span: NameId,
+}
+
+impl Op {
+    fn new(registry: &MetricsRegistry, metric: &str, span: &str) -> Self {
+        Self {
+            latency_ns: registry.histogram(metric),
+            span: obs::intern(span),
+        }
+    }
+}
+
+/// The decorator. Wraps an inner backend and records per-op latency
+/// and byte-size histograms into a [`MetricsRegistry`] — the process
+/// global one by default ([`MeteredStorage::over`]), or any registry
+/// the caller supplies ([`MeteredStorage::with_registry`]).
+///
+/// The telemetry cost per call is one `Instant` read pair plus one
+/// relaxed atomic add per histogram touched; spans are only captured
+/// when [`eblcio_obs::enabled`] says so.
+#[derive(Debug)]
+pub struct MeteredStorage {
+    inner: Arc<dyn Storage>,
+    registry: Arc<MetricsRegistry>,
+    get: Op,
+    get_range: Op,
+    set: Op,
+    append: Op,
+    write_at: Op,
+    exists: Op,
+    size: Op,
+    erase: Op,
+    list: Op,
+    read_bytes: Arc<Histogram>,
+    write_bytes: Arc<Histogram>,
+}
+
+impl MeteredStorage {
+    /// Wraps `inner`, recording into the process-global registry.
+    pub fn over(inner: Arc<dyn Storage>) -> Self {
+        Self::with_registry(inner, obs::global().clone())
+    }
+
+    /// Wraps `inner`, recording into `registry`.
+    pub fn with_registry(inner: Arc<dyn Storage>, registry: Arc<MetricsRegistry>) -> Self {
+        let r = registry.as_ref();
+        Self {
+            get: Op::new(r, "eblcio_storage_get_ns", "storage.get"),
+            get_range: Op::new(r, "eblcio_storage_get_range_ns", "storage.get_range"),
+            set: Op::new(r, "eblcio_storage_set_ns", "storage.set"),
+            append: Op::new(r, "eblcio_storage_append_ns", "storage.append"),
+            write_at: Op::new(r, "eblcio_storage_write_at_ns", "storage.write_at"),
+            exists: Op::new(r, "eblcio_storage_exists_ns", "storage.exists"),
+            size: Op::new(r, "eblcio_storage_size_ns", "storage.size"),
+            erase: Op::new(r, "eblcio_storage_erase_ns", "storage.erase"),
+            list: Op::new(r, "eblcio_storage_list_ns", "storage.list"),
+            read_bytes: r.histogram("eblcio_storage_read_bytes"),
+            write_bytes: r.histogram("eblcio_storage_write_bytes"),
+            inner,
+            registry,
+        }
+    }
+
+    /// The backend actually serving the operations.
+    pub fn inner(&self) -> &Arc<dyn Storage> {
+        &self.inner
+    }
+
+    /// The registry the histograms live in.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+impl Storage for MeteredStorage {
+    fn kind(&self) -> &'static str {
+        "metered"
+    }
+
+    fn get(&self, key: &str) -> Result<Arc<[u8]>> {
+        let _span = obs::span_id(self.get.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.get(key);
+        self.get.latency_ns.record(sw.elapsed_ns());
+        if let Ok(obj) = &out {
+            self.read_bytes.record(obj.len() as u64);
+        }
+        out
+    }
+
+    fn get_range(&self, key: &str, range: ByteRange) -> Result<Vec<u8>> {
+        let _span = obs::span_id(self.get_range.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.get_range(key, range);
+        self.get_range.latency_ns.record(sw.elapsed_ns());
+        if let Ok(bytes) = &out {
+            self.read_bytes.record(bytes.len() as u64);
+        }
+        out
+    }
+
+    fn set(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        let _span = obs::span_id(self.set.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.set(key, bytes);
+        self.set.latency_ns.record(sw.elapsed_ns());
+        if out.is_ok() {
+            self.write_bytes.record(bytes.len() as u64);
+        }
+        out
+    }
+
+    fn append(&self, key: &str, bytes: &[u8]) -> Result<u64> {
+        let _span = obs::span_id(self.append.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.append(key, bytes);
+        self.append.latency_ns.record(sw.elapsed_ns());
+        if out.is_ok() {
+            self.write_bytes.record(bytes.len() as u64);
+        }
+        out
+    }
+
+    fn write_at(&self, key: &str, offset: u64, bytes: &[u8]) -> Result<()> {
+        let _span = obs::span_id(self.write_at.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.write_at(key, offset, bytes);
+        self.write_at.latency_ns.record(sw.elapsed_ns());
+        if out.is_ok() {
+            self.write_bytes.record(bytes.len() as u64);
+        }
+        out
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        let _span = obs::span_id(self.exists.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.exists(key);
+        self.exists.latency_ns.record(sw.elapsed_ns());
+        out
+    }
+
+    fn size(&self, key: &str) -> Result<u64> {
+        let _span = obs::span_id(self.size.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.size(key);
+        self.size.latency_ns.record(sw.elapsed_ns());
+        out
+    }
+
+    fn erase(&self, key: &str) -> Result<()> {
+        let _span = obs::span_id(self.erase.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.erase(key);
+        self.erase.latency_ns.record(sw.elapsed_ns());
+        out
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let _span = obs::span_id(self.list.span);
+        let sw = Stopwatch::start();
+        let out = self.inner.list();
+        self.list.latency_ns.record(sw.elapsed_ns());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::MemoryStorage;
+    use super::*;
+
+    fn metered() -> MeteredStorage {
+        MeteredStorage::with_registry(
+            Arc::new(MemoryStorage::new()),
+            Arc::new(MetricsRegistry::default()),
+        )
+    }
+
+    #[test]
+    fn records_latency_and_bytes_per_op() {
+        let store = metered();
+        store.set("k", &[7u8; 128]).unwrap();
+        let obj = store.get("k").unwrap();
+        assert_eq!(obj.len(), 128);
+        store
+            .get_range("k", ByteRange::Bounded { offset: 0, len: 32 })
+            .unwrap();
+        assert_eq!(store.append("k", &[1u8; 16]).unwrap(), 144);
+
+        let r = store.registry();
+        assert_eq!(r.histogram("eblcio_storage_set_ns").count(), 1);
+        assert_eq!(r.histogram("eblcio_storage_get_ns").count(), 1);
+        assert_eq!(r.histogram("eblcio_storage_get_range_ns").count(), 1);
+        assert_eq!(r.histogram("eblcio_storage_append_ns").count(), 1);
+        // read = 128 (get) + 32 (ranged), write = 128 (set) + 16 (append).
+        let reads = r.histogram("eblcio_storage_read_bytes").snapshot();
+        assert_eq!((reads.count, reads.sum), (2, 160));
+        let writes = r.histogram("eblcio_storage_write_bytes").snapshot();
+        assert_eq!((writes.count, writes.sum), (2, 144));
+    }
+
+    #[test]
+    fn failed_reads_are_timed_but_not_sized() {
+        let store = metered();
+        assert!(store.get("missing").is_err());
+        let r = store.registry();
+        assert_eq!(r.histogram("eblcio_storage_get_ns").count(), 1);
+        assert_eq!(r.histogram("eblcio_storage_read_bytes").count(), 0);
+    }
+
+    #[test]
+    fn delegates_semantics_unchanged() {
+        let store = metered();
+        store.set("a/b", &[1, 2, 3]).unwrap();
+        assert!(store.exists("a/b").unwrap());
+        assert_eq!(store.size("a/b").unwrap(), 3);
+        assert_eq!(store.list().unwrap(), vec!["a/b".to_string()]);
+        store.erase("a/b").unwrap();
+        assert!(!store.exists("a/b").unwrap());
+        assert_eq!(store.kind(), "metered");
+        assert_eq!(store.inner().kind(), "memory");
+    }
+}

@@ -16,10 +16,13 @@
 //!   GETs, read-modify-write PUTs, per-request and per-byte prices)
 //!   derived from the [`PfsSim`](eblcio_pfs::PfsSim) network model,
 //!
-//! plus [`FaultyStorage`], a fault-injection decorator that cuts writes
-//! at configurable byte budgets and fails reads on demand, so the
-//! crash-consistency suites can prove the mutable-store publish
-//! protocol holds on *any* backend.
+//! plus two more decorators: [`FaultyStorage`], a fault-injection
+//! wrapper that cuts writes at configurable byte budgets and fails
+//! reads on demand, so the crash-consistency suites can prove the
+//! mutable-store publish protocol holds on *any* backend; and
+//! [`MeteredStorage`], which times every operation into per-op latency
+//! and byte histograms (`eblcio_storage_*`) in an
+//! [`eblcio_obs::MetricsRegistry`].
 //!
 //! ## The contract
 //!
@@ -50,11 +53,13 @@
 mod faulty;
 mod filesystem;
 mod memory;
+mod metered;
 mod object_sim;
 
 pub use faulty::{FaultPlan, FaultyStorage};
 pub use filesystem::FilesystemStorage;
 pub use memory::MemoryStorage;
+pub use metered::MeteredStorage;
 pub use object_sim::{ObjectCostModel, ObjectStoreStats, SimulatedObjectStorage};
 
 use eblcio_codec::{CodecError, Result};

@@ -13,6 +13,7 @@
 
 use super::{ByteRange, MemoryStorage, Storage};
 use eblcio_codec::Result;
+use eblcio_obs::{Counter, Gauge, MetricsRegistry};
 use eblcio_pfs::PfsSim;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -109,24 +110,66 @@ impl ObjectStoreStats {
     }
 }
 
+/// The registry-backed accumulators behind [`ObjectStoreStats`]. Each
+/// field is a handle registered in the instance's
+/// [`MetricsRegistry`], so exporters scrape the same numbers
+/// [`SimulatedObjectStorage::stats`] reports.
+#[derive(Debug)]
+struct ObjSimMetrics {
+    get_requests: Arc<Counter>,
+    put_requests: Arc<Counter>,
+    delete_requests: Arc<Counter>,
+    list_requests: Arc<Counter>,
+    bytes_downloaded: Arc<Counter>,
+    bytes_uploaded: Arc<Counter>,
+    simulated_seconds: Arc<Gauge>,
+    cost_usd: Arc<Gauge>,
+}
+
+impl ObjSimMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            get_requests: registry.counter("eblcio_objsim_get_requests_total"),
+            put_requests: registry.counter("eblcio_objsim_put_requests_total"),
+            delete_requests: registry.counter("eblcio_objsim_delete_requests_total"),
+            list_requests: registry.counter("eblcio_objsim_list_requests_total"),
+            bytes_downloaded: registry.counter("eblcio_objsim_bytes_downloaded_total"),
+            bytes_uploaded: registry.counter("eblcio_objsim_bytes_uploaded_total"),
+            simulated_seconds: registry.gauge("eblcio_objsim_simulated_seconds"),
+            cost_usd: registry.gauge("eblcio_objsim_cost_usd"),
+        }
+    }
+}
+
 /// A decorator that makes any inner backend behave — and bill — like a
 /// cloud object store. Reads map to (ranged) GETs; `set` is one PUT;
 /// `append` and `write_at` are read-modify-write (one GET of the whole
 /// existing object, one PUT of the whole new object) because object
-/// stores have no partial writes; `exists`/`size` are HEADs. Totals
-/// accumulate in [`ObjectStoreStats`], readable at any time through
+/// stores have no partial writes; `exists`/`size` are HEADs.
+///
+/// Totals accumulate in a per-instance [`MetricsRegistry`] (under the
+/// `eblcio_objsim_*` names, scrapeable through
+/// [`SimulatedObjectStorage::metrics`]); [`ObjectStoreStats`] is a
+/// snapshot view over those handles, readable at any time through
 /// [`SimulatedObjectStorage::stats`].
 #[derive(Debug)]
 pub struct SimulatedObjectStorage {
     inner: Arc<dyn Storage>,
     model: ObjectCostModel,
-    stats: Mutex<ObjectStoreStats>,
+    registry: Arc<MetricsRegistry>,
+    metrics: ObjSimMetrics,
+    /// Serializes multi-handle charges against [`Self::stats`] /
+    /// [`Self::reset_stats`], so a snapshot can never observe a
+    /// half-applied charge and a reset can never interleave with one.
+    op_lock: Mutex<()>,
 }
 
 impl SimulatedObjectStorage {
     /// Wraps `inner`, charging every operation to `model`.
     pub fn over(inner: Arc<dyn Storage>, model: ObjectCostModel) -> Self {
-        Self { inner, model, stats: Mutex::new(ObjectStoreStats::default()) }
+        let registry = Arc::new(MetricsRegistry::default());
+        let metrics = ObjSimMetrics::new(&registry);
+        Self { inner, model, registry, metrics, op_lock: Mutex::new(()) }
     }
 
     /// A simulated object store over a fresh [`MemoryStorage`].
@@ -144,28 +187,49 @@ impl SimulatedObjectStorage {
         &self.inner
     }
 
-    /// Snapshot of the accumulated request/byte/cost totals.
-    pub fn stats(&self) -> ObjectStoreStats {
-        *self.stats.lock()
+    /// The instance registry holding the `eblcio_objsim_*` metrics that
+    /// [`Self::stats`] snapshots.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
-    /// Resets the accumulated totals to zero.
+    /// Snapshot of the accumulated request/byte/cost totals. Taken
+    /// under the charge lock, so the fields are mutually consistent —
+    /// never a request counted whose bytes aren't, even while other
+    /// threads keep charging.
+    pub fn stats(&self) -> ObjectStoreStats {
+        let _g = self.op_lock.lock();
+        ObjectStoreStats {
+            get_requests: self.metrics.get_requests.get(),
+            put_requests: self.metrics.put_requests.get(),
+            delete_requests: self.metrics.delete_requests.get(),
+            list_requests: self.metrics.list_requests.get(),
+            bytes_downloaded: self.metrics.bytes_downloaded.get(),
+            bytes_uploaded: self.metrics.bytes_uploaded.get(),
+            simulated_seconds: self.metrics.simulated_seconds.get(),
+            cost_usd: self.metrics.cost_usd.get(),
+        }
+    }
+
+    /// Resets the accumulated totals to zero, atomically with respect
+    /// to concurrent charges and snapshots.
     pub fn reset_stats(&self) {
-        *self.stats.lock() = ObjectStoreStats::default();
+        let _g = self.op_lock.lock();
+        self.registry.reset_all();
     }
 
     fn charge(&self, kind: RequestKind, down: u64, up: u64) {
-        let mut s = self.stats.lock();
+        let _g = self.op_lock.lock();
         match kind {
-            RequestKind::Get => s.get_requests += 1,
-            RequestKind::Put => s.put_requests += 1,
-            RequestKind::Delete => s.delete_requests += 1,
-            RequestKind::List => s.list_requests += 1,
+            RequestKind::Get => self.metrics.get_requests.inc(),
+            RequestKind::Put => self.metrics.put_requests.inc(),
+            RequestKind::Delete => self.metrics.delete_requests.inc(),
+            RequestKind::List => self.metrics.list_requests.inc(),
         }
-        s.bytes_downloaded += down;
-        s.bytes_uploaded += up;
-        s.simulated_seconds += self.model.request_seconds(down + up);
-        s.cost_usd += self.model.request_cost(down + up);
+        self.metrics.bytes_downloaded.add(down);
+        self.metrics.bytes_uploaded.add(up);
+        self.metrics.simulated_seconds.add(self.model.request_seconds(down + up));
+        self.metrics.cost_usd.add(self.model.request_cost(down + up));
     }
 }
 
@@ -294,6 +358,23 @@ mod tests {
         assert_eq!(s.get_requests, 0);
         assert_eq!(s.put_requests, 1);
         assert_eq!(s.bytes_uploaded, 8);
+    }
+
+    /// The stats struct is a view over the instance registry: both
+    /// report identical totals, and a reset clears both together.
+    #[test]
+    fn registry_mirrors_stats() {
+        let store = SimulatedObjectStorage::in_memory(ObjectCostModel::default());
+        store.set("a", &[0u8; 10]).unwrap();
+        store.get("a").unwrap();
+        let s = store.stats();
+        assert_eq!((s.put_requests, s.get_requests), (1, 1));
+        let text = eblcio_obs::prometheus(store.metrics());
+        assert!(text.contains("eblcio_objsim_put_requests_total 1"), "{text}");
+        assert!(text.contains("eblcio_objsim_get_requests_total 1"), "{text}");
+        assert!(text.contains("eblcio_objsim_bytes_downloaded_total 10"), "{text}");
+        store.reset_stats();
+        assert_eq!(store.stats(), ObjectStoreStats::default());
     }
 
     #[test]

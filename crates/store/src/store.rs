@@ -5,6 +5,7 @@
 
 use crate::grid::{copy_region, gather, scatter_chunk, ChunkGrid, Region};
 use crate::manifest::{ChunkEntry, ChunkSlot, Manifest, ShardTable, MAX_CHAINS};
+use crate::metrics::store_metrics;
 use crate::shard::{build_shard, MAX_SLOTS};
 use crate::storage::Storage;
 use std::sync::Arc;
@@ -18,6 +19,7 @@ use eblcio_codec::{
 };
 use eblcio_data::shape::MAX_RANK;
 use eblcio_data::{Element, NdArray, QualityReport, Shape};
+use eblcio_obs::{self as obs, Stopwatch};
 use rayon::prelude::*;
 
 /// Statistics of a partial read — how much work a region read actually
@@ -817,6 +819,9 @@ impl ChunkedStore {
         &self,
         region: &Region,
     ) -> Result<(NdArray<T>, RegionReadStats)> {
+        let m = store_metrics();
+        let sw = Stopwatch::start();
+        let _span = obs::span_id_from(m.span_read_region, sw);
         self.check_dtype::<T>()?;
         let decoders = self.decoders()?;
         let hits = self.grid.chunks_intersecting(region);
@@ -840,6 +845,7 @@ impl ChunkedStore {
             stats.samples_decoded += part.len() as u64;
             scatter_chunk(&part, &part_region, region, &mut out);
         }
+        m.read_region_ns.record(sw.elapsed_ns());
         Ok((out, stats))
     }
 

@@ -8,8 +8,8 @@
 
 use eblcio_codec::CodecError;
 use eblcio_store::storage::{
-    named_backend, ByteRange, FaultyStorage, FilesystemStorage, MemoryStorage, ObjectCostModel,
-    SimulatedObjectStorage, Storage,
+    named_backend, ByteRange, FaultyStorage, FilesystemStorage, MemoryStorage, MeteredStorage,
+    ObjectCostModel, SimulatedObjectStorage, Storage,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,6 +67,20 @@ fn object_fixture() -> Fixture {
 fn faulty_passthrough_fixture() -> Fixture {
     Fixture {
         storage: Arc::new(FaultyStorage::new(Arc::new(MemoryStorage::new()))),
+        _guard: None,
+    }
+}
+
+/// MeteredStorage must be semantically invisible: the full suite over
+/// a metered memory backend proves the telemetry wrapper changes no
+/// observable behaviour. A private registry keeps the suite's traffic
+/// out of the process-global metrics.
+fn metered_fixture() -> Fixture {
+    Fixture {
+        storage: Arc::new(MeteredStorage::with_registry(
+            Arc::new(MemoryStorage::new()),
+            Arc::new(eblcio_obs::MetricsRegistry::default()),
+        )),
         _guard: None,
     }
 }
@@ -315,6 +329,7 @@ conformance!(memory, memory_fixture());
 conformance!(filesystem, filesystem_fixture());
 conformance!(simulated_object, object_fixture());
 conformance!(faulty_passthrough, faulty_passthrough_fixture());
+conformance!(metered, metered_fixture());
 conformance!(env_selected, env_fixture());
 
 /// The simulated object store must bill the suite's traffic: the

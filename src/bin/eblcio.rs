@@ -35,6 +35,16 @@
 //! In-place `update` through a backend publishes via the backing write
 //! path (append + root flip), the same protocol the fault-injection
 //! suites cut byte-by-byte.
+//!
+//! `query --metrics` (or `EBLCIO_METRICS=1`) turns the telemetry layer
+//! on: per-pass p50/p99 request latency columns, the full
+//! `eblcio_obs` percentile report for the reader and the process-wide
+//! registry, and a Prometheus text exposition. With telemetry on,
+//! `--backend` storage is additionally wrapped in [`MeteredStorage`]
+//! so per-op latency/byte histograms ride along, and
+//! `EBLCIO_OBS_DUMP=<path>` writes the flight recorder's recent span
+//! events as JSON lines. `inspect --json` appends a `metrics` block to
+//! its document when telemetry is enabled.
 
 use eblcio::prelude::*;
 use std::process::ExitCode;
@@ -58,7 +68,7 @@ fn main() -> ExitCode {
                  eblcio inspect [--json] <in.eblc|in.ebcs|in.ebms>\n  \
                  eblcio query <in.ebcs|in.ebms> --origin <AxBxC> --extent <AxBxC> \
                  [--repeat <n>] [--clients <n>] [--threads <n>] [--cache-mb <n>] \
-                 [--prefetch <chunks>]\n  \
+                 [--prefetch <chunks>] [--metrics]\n  \
                  eblcio update <store.ebms> --origin <AxBxC> --extent <AxBxC> \
                  <region.raw> [--out <path>]\n  \
                  eblcio compact <store.ebms> [--out <path>]\n  \
@@ -66,6 +76,8 @@ fn main() -> ExitCode {
                  compress/inspect/query/update accept --backend \
                  <fs|memory|object|object-fs> to route store I/O through a \
                  storage backend (object backends print a simulated bill)\n\
+                 query --metrics (or EBLCIO_METRICS=1) prints percentile \
+                 tables and a Prometheus exposition from the telemetry layer\n\
                  chain spec grammar: array[+byte...], e.g. sz3, sz3+raw, \
                  szx+fpc4, sz2+shuffle4+lz"
             );
@@ -149,6 +161,15 @@ fn cli_backend(args: &[String], path: &str) -> Result<Option<CliBackend>, String
                 "unknown --backend '{other}' (expected fs|memory|object|object-fs)"
             ))
         }
+    };
+    // With telemetry on, every backend gains per-op latency and byte
+    // histograms (`eblcio_storage_*` in the process registry) on top of
+    // whatever it already reports — the simulated bill keeps flowing
+    // from the `sim` handle underneath the decorator.
+    let storage: Arc<dyn Storage> = if eblcio::obs::enabled() {
+        Arc::new(MeteredStorage::over(storage))
+    } else {
+        storage
     };
     Ok(Some(CliBackend { storage, sim, volatile, key, path: path.to_string() }))
 }
@@ -519,6 +540,15 @@ fn print_store(store: &ChunkedStore, stream_len: usize) -> CliResult {
 }
 
 fn cmd_query(args: &[String]) -> CliResult {
+    // `--metrics` is a bare flag; strip it before positional parsing
+    // (which assumes every `--flag` carries a value). The env knob
+    // `EBLCIO_METRICS=1` is the non-flag spelling of the same switch.
+    if args.iter().any(|a| a == "--metrics") {
+        eblcio::obs::set_enabled(true);
+    }
+    let args: Vec<String> = args.iter().filter(|a| *a != "--metrics").cloned().collect();
+    let args = args.as_slice();
+    let metrics = eblcio::obs::enabled();
     let pos = positional(args);
     let [input] = pos.as_slice() else {
         return Err("expected <in.ebcs>".into());
@@ -590,8 +620,8 @@ fn cmd_query(args: &[String]) -> CliResult {
         },
     );
     let result = match store.dtype() {
-        0 => run_query::<f32>(store, &region, repeat, clients, config),
-        _ => run_query::<f64>(store, &region, repeat, clients, config),
+        0 => run_query::<f32>(store, &region, repeat, clients, config, metrics),
+        _ => run_query::<f64>(store, &region, repeat, clients, config, metrics),
     };
     if let Some(b) = &backend {
         b.finish();
@@ -601,21 +631,35 @@ fn cmd_query(args: &[String]) -> CliResult {
 
 /// Issues `repeat` passes of the region read, each pass fanned out
 /// across `clients` concurrent client threads sharing one reader, and
-/// reports per-pass wall time plus the reader's cache counters.
+/// reports per-pass wall time plus the reader's cache counters. With
+/// `metrics` on, each pass also reports the p50/p99 of that pass's
+/// per-request latency histogram (snapshot deltas isolate the pass),
+/// and the run ends with the full percentile report and a Prometheus
+/// exposition of both the reader's registry and the process registry.
 fn run_query<T: eblcio::data::Element>(
     store: ChunkedStore,
     region: &Region,
     repeat: usize,
     clients: usize,
     config: ReaderConfig,
+    metrics: bool,
 ) -> CliResult {
     let reader = ArrayReader::<T>::over(store, config).map_err(|e| e.to_string())?;
     let region_bytes = region.len() * std::mem::size_of::<T>();
-    println!(
-        "{:>5} {:>10} {:>12} {:>8} {:>8} {:>8}",
-        "pass", "ms", "MB/s", "hits", "misses", "decodes"
-    );
+    let request_ns = reader.metrics().histogram("eblcio_serve_request_ns");
+    if metrics {
+        println!(
+            "{:>5} {:>10} {:>12} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            "pass", "ms", "MB/s", "hits", "misses", "decodes", "p50_ms", "p99_ms"
+        );
+    } else {
+        println!(
+            "{:>5} {:>10} {:>12} {:>8} {:>8} {:>8}",
+            "pass", "ms", "MB/s", "hits", "misses", "decodes"
+        );
+    }
     for pass in 0..repeat {
+        let before = request_ns.snapshot();
         let t0 = std::time::Instant::now();
         std::thread::scope(|s| -> CliResult {
             let handles: Vec<_> = (0..clients)
@@ -633,15 +677,30 @@ fn run_query<T: eblcio::data::Element>(
         })?;
         let dt = t0.elapsed().as_secs_f64();
         let stats = reader.stats();
-        println!(
-            "{:>5} {:>10.2} {:>12.1} {:>8} {:>8} {:>8}",
-            pass,
-            dt * 1e3,
-            (region_bytes * clients) as f64 / 1e6 / dt,
-            stats.cache_hits,
-            stats.cache_misses,
-            stats.decodes
-        );
+        if metrics {
+            let pass_hist = request_ns.snapshot().delta_from(&before);
+            println!(
+                "{:>5} {:>10.2} {:>12.1} {:>8} {:>8} {:>8} {:>10.3} {:>10.3}",
+                pass,
+                dt * 1e3,
+                (region_bytes * clients) as f64 / 1e6 / dt,
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.decodes,
+                pass_hist.value_at_quantile(0.5) as f64 / 1e6,
+                pass_hist.value_at_quantile(0.99) as f64 / 1e6,
+            );
+        } else {
+            println!(
+                "{:>5} {:>10.2} {:>12.1} {:>8} {:>8} {:>8}",
+                pass,
+                dt * 1e3,
+                (region_bytes * clients) as f64 / 1e6 / dt,
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.decodes
+            );
+        }
     }
     let stats = reader.stats();
     println!(
@@ -656,6 +715,32 @@ fn run_query<T: eblcio::data::Element>(
         stats.evictions,
         stats.wall_seconds * 1e3,
     );
+    if metrics {
+        println!("\n-- reader metrics --");
+        print!("{}", eblcio::obs::report(reader.metrics()));
+        println!("\n-- process metrics (codec/store/storage) --");
+        print!("{}", eblcio::obs::report(eblcio::obs::global()));
+        println!("\n-- prometheus exposition --");
+        print!("{}", eblcio::obs::prometheus(reader.metrics()));
+        print!("{}", eblcio::obs::prometheus(eblcio::obs::global()));
+        dump_flight_recorder()?;
+    }
+    Ok(())
+}
+
+/// Writes the flight recorder's retained span events as JSON lines to
+/// `$EBLCIO_OBS_DUMP`, when set — the CLI is a sanctioned filesystem
+/// sink, so postmortem dumps stay inside the storage-boundary rule.
+fn dump_flight_recorder() -> CliResult {
+    let Ok(path) = std::env::var("EBLCIO_OBS_DUMP") else {
+        return Ok(());
+    };
+    if path.is_empty() {
+        return Ok(());
+    }
+    let events = eblcio::obs::events_jsonl(eblcio::obs::flight_recorder());
+    std::fs::write(&path, &events).map_err(|e| format!("{path}: {e}"))?;
+    println!("\nflight recorder: {} events -> {path}", events.lines().count());
     Ok(())
 }
 

@@ -11,6 +11,7 @@
 
 use eblcio_codec::header;
 use eblcio_codec::parallel_stream_info;
+use eblcio_obs::{MetricValue, MetricsRegistry};
 use eblcio_store::ChunkedStore;
 use serde::Value;
 
@@ -39,12 +40,49 @@ fn dtype_name(tag: u8) -> Value {
 /// report the generation history, reclaimable bytes, and the current
 /// generation's full store document under `current`.
 pub fn inspect_json(stream: &[u8]) -> Result<Value, String> {
-    match stream.get(..4) {
+    let mut doc = match stream.get(..4) {
         Some(m) if m == eblcio_store::manifest::MAGIC => store_json(stream),
         Some(m) if m == eblcio_store::mutable::MUTABLE_MAGIC => mutable_json(stream),
         Some(m) if m == PAR_MAGIC => parallel_json(stream),
         _ => stream_json(stream),
+    }?;
+    // With telemetry on (`--metrics` / `EBLCIO_METRICS=1`), the
+    // document additionally carries a snapshot of the process-wide
+    // metrics registry, so `inspect --json | jq .metrics` works as a
+    // scrape endpoint for one-shot tooling.
+    if eblcio_obs::enabled() {
+        if let Value::Map(entries) = &mut doc {
+            entries.push(("metrics".to_string(), metrics_json(eblcio_obs::global())));
+        }
     }
+    Ok(doc)
+}
+
+/// Renders a [`MetricsRegistry`] snapshot as a JSON-ready map: counters
+/// as integers, gauges as floats, histograms as
+/// `{count, sum, p50, p90, p99, max}` objects.
+pub fn metrics_json(registry: &MetricsRegistry) -> Value {
+    Value::Map(
+        registry
+            .snapshot()
+            .into_iter()
+            .map(|m| {
+                let value = match m.value {
+                    MetricValue::Counter(v) => Value::U64(v),
+                    MetricValue::Gauge(v) => Value::F64(v),
+                    MetricValue::Histogram(h) => map(vec![
+                        ("count", Value::U64(h.count)),
+                        ("sum", Value::U64(h.sum)),
+                        ("p50", Value::U64(h.value_at_quantile(0.5))),
+                        ("p90", Value::U64(h.value_at_quantile(0.9))),
+                        ("p99", Value::U64(h.value_at_quantile(0.99))),
+                        ("max", Value::U64(h.max())),
+                    ]),
+                };
+                (m.name, value)
+            })
+            .collect(),
+    )
 }
 
 fn stream_json(stream: &[u8]) -> Result<Value, String> {
@@ -298,6 +336,36 @@ mod tests {
         assert_eq!(current.get("version").unwrap().as_f64(), Some(4.0));
         let first = &current.get("chunks").unwrap().as_seq().unwrap()[0];
         assert_eq!(first.get("born_gen").unwrap().as_f64(), Some(2.0));
+        roundtrips(&doc);
+    }
+
+    #[test]
+    fn metrics_block_appears_when_enabled_and_roundtrips() {
+        // Put something recognisable in the process registry, then
+        // flip telemetry on for the duration of the inspection.
+        eblcio_obs::global()
+            .counter("eblcio_test_inspect_probe_total")
+            .add(3);
+        eblcio_obs::global()
+            .histogram("eblcio_test_inspect_probe_ns")
+            .record(1234);
+        eblcio_obs::set_enabled(true);
+        let codec = CompressorId::Sz3.instance();
+        let stream = compress(codec.as_ref(), &data(), ErrorBound::Relative(1e-3)).unwrap();
+        let doc = inspect_json(&stream).unwrap();
+        let metrics = doc.get("metrics").expect("metrics block when enabled");
+        assert_eq!(
+            metrics
+                .get("eblcio_test_inspect_probe_total")
+                .unwrap()
+                .as_f64(),
+            Some(3.0)
+        );
+        let probe = metrics.get("eblcio_test_inspect_probe_ns").unwrap();
+        assert_eq!(probe.get("count").unwrap().as_f64(), Some(1.0));
+        assert!(probe.get("p50").unwrap().as_f64().unwrap() >= 1156.0);
+        // The vendored serde_json path must round-trip the enriched
+        // document exactly, same as every other container document.
         roundtrips(&doc);
     }
 

@@ -67,6 +67,7 @@ pub use eblcio_codec as codec;
 pub use eblcio_core as core;
 pub use eblcio_data as data;
 pub use eblcio_energy as energy;
+pub use eblcio_obs as obs;
 pub use eblcio_pfs as pfs;
 pub use eblcio_serve as serve;
 pub use eblcio_store as store;
@@ -91,7 +92,8 @@ pub mod prelude {
     pub use eblcio_codec::CodecError;
     pub use eblcio_store::{
         named_backend, ByteRange, ChunkedStore, FaultPlan, FaultyStorage, FilesystemStorage,
-        MemoryStorage, MutableStore, ObjectCostModel, ObjectStoreStats, Region,
+        MemoryStorage, MeteredStorage, MutableStore, ObjectCostModel, ObjectStoreStats, Region,
         SimulatedObjectStorage, Storage, StoreWriter,
     };
+    pub use eblcio_obs::{MetricsRegistry, Stopwatch};
 }
