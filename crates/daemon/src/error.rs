@@ -1,0 +1,91 @@
+//! The daemon's typed error: everything a client call or a server
+//! start-up can fail with, without a `Box<dyn Error>` in sight.
+
+use crate::protocol::ErrorCode;
+use eblcio_codec::CodecError;
+use std::fmt;
+
+/// Result alias for daemon operations.
+pub type Result<T> = std::result::Result<T, DaemonError>;
+
+/// Everything that can go wrong talking to (or running) the daemon.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// Opening or decoding the served store failed.
+    Codec(CodecError),
+    /// Bytes arrived that do not decode as a protocol frame; the
+    /// context names the field that broke.
+    Decode(&'static str),
+    /// A frame header declared a length beyond the negotiated cap —
+    /// refused before any allocation.
+    FrameTooLarge {
+        /// Length the header claimed.
+        declared: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
+    /// The peer replied with a typed protocol error.
+    Remote {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The connection closed before a full reply arrived.
+    ConnectionClosed,
+}
+
+impl DaemonError {
+    /// Whether this is the server's typed admission rejection — the
+    /// reply load generators and retry loops key on.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            DaemonError::Remote {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaemonError::Io(e) => write!(f, "i/o: {e}"),
+            DaemonError::Codec(e) => write!(f, "store: {e}"),
+            DaemonError::Decode(context) => write!(f, "malformed frame: {context}"),
+            DaemonError::FrameTooLarge { declared, max } => {
+                write!(f, "frame declares {declared} bytes, cap is {max}")
+            }
+            DaemonError::Remote { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            DaemonError::ConnectionClosed => write!(f, "connection closed mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Io(e) => Some(e),
+            DaemonError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DaemonError {
+    fn from(e: std::io::Error) -> Self {
+        DaemonError::Io(e)
+    }
+}
+
+impl From<CodecError> for DaemonError {
+    fn from(e: CodecError) -> Self {
+        DaemonError::Codec(e)
+    }
+}

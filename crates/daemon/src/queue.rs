@@ -1,0 +1,189 @@
+//! Bounded MPMC work queue — the daemon's admission control.
+//!
+//! Producers (connection threads) never block: [`BoundedQueue::try_push`]
+//! either admits the job or refuses it on the spot, and the refusal is
+//! what becomes the protocol's typed `Overloaded` reply. Consumers
+//! (workers) block on [`BoundedQueue::pop`] until work arrives or the
+//! queue closes. That asymmetry is the no-hang guarantee: a saturated
+//! daemon answers "try later" immediately instead of wedging client
+//! connections behind an unbounded backlog.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Why a push was refused (the job comes back to the caller).
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — the caller should shed load.
+    Full(T),
+    /// The queue is closed — the daemon is shutting down.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue: non-blocking admission, blocking pop.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` (≥ 1) queued items.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits `item` if there is room, refusing immediately otherwise —
+    /// never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue closes. `None`
+    /// means closed **and drained** — workers finish queued jobs before
+    /// exiting.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            self.ready.wait(&mut g);
+        }
+    }
+
+    /// Closes the queue: future pushes fail, blocked pops wake, queued
+    /// items still drain.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_is_bounded_and_immediate() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(PushError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining one slot readmits.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_wakes_poppers_and_drains_backlog() {
+        let q = Arc::new(BoundedQueue::new(4));
+        assert!(q.try_push(10).is_ok());
+        q.close();
+        // Queued work still drains after close...
+        assert_eq!(q.pop(), Some(10));
+        // ...then pops report closed, and pushes are refused.
+        assert_eq!(q.pop(), None);
+        match q.try_push(11) {
+            Err(PushError::Closed(v)) => assert_eq!(v, 11),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+
+        // A popper blocked on an empty queue wakes on close.
+        let q2 = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q2 = q2.clone();
+            std::thread::spawn(move || q2.pop())
+        };
+        // Give the waiter time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_zero_still_admits_one() {
+        let q = BoundedQueue::new(0);
+        assert!(q.try_push(1).is_ok());
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        const PRODUCERS: usize = 8;
+        const PER: usize = 200;
+        let q = Arc::new(BoundedQueue::new(16));
+        let accepted = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let consumed: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        let mut n = 0usize;
+                        while q.pop().is_some() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            std::thread::scope(|p| {
+                for _ in 0..PRODUCERS {
+                    let q = q.clone();
+                    let accepted = accepted.clone();
+                    p.spawn(move || {
+                        for i in 0..PER {
+                            if q.try_push(i).is_ok() {
+                                accepted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            q.close();
+            let total: usize = consumed.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+            assert_eq!(total, accepted.load(std::sync::atomic::Ordering::Relaxed));
+        });
+    }
+}

@@ -1,0 +1,291 @@
+//! End-to-end daemon tests: a real `TcpListener` on loopback, real
+//! client connections, and the serve-path invariants the protocol
+//! promises — bit-equal data, typed errors for every bad request, and
+//! an `Overloaded` reply (never a hang) when admission refuses work.
+
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_daemon::{
+    AnyReader, Daemon, DaemonClient, DaemonConfig, DaemonError, ErrorCode, RegionSpec,
+};
+use eblcio_data::{NdArray, Shape};
+use eblcio_serve::{ArrayReader, ReaderConfig};
+use eblcio_store::{ChunkedStore, Region};
+use std::time::{Duration, Instant};
+
+/// A 32×32 f32 field stored as four 16×16 chunks.
+fn four_chunk_stream() -> Vec<u8> {
+    let data = NdArray::<f32>::from_fn(Shape::d2(32, 32), |i| {
+        (i[0] as f32 * 0.23).sin() * 40.0 + (i[1] as f32 * 0.31).cos() * 15.0
+    });
+    let codec = CompressorId::Sz3.instance();
+    ChunkedStore::write(codec.as_ref(), &data, ErrorBound::Relative(1e-3), Shape::d2(16, 16), 2)
+        .unwrap()
+}
+
+fn start_daemon(config: DaemonConfig) -> (Daemon, Vec<u8>) {
+    let stream = four_chunk_stream();
+    let reader = AnyReader::open(&stream, ReaderConfig::default()).unwrap();
+    let daemon = Daemon::start(reader, config, "127.0.0.1:0").unwrap();
+    (daemon, stream)
+}
+
+#[test]
+fn served_region_reads_are_bit_equal_to_direct_reads() {
+    let (daemon, stream) = start_daemon(DaemonConfig::default());
+    let direct = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+    let mut client = DaemonClient::connect(daemon.local_addr()).unwrap();
+
+    for region in [
+        Region::new(&[0, 0], &[32, 32]),
+        Region::new(&[5, 7], &[20, 18]),
+        Region::new(&[16, 16], &[16, 16]),
+        Region::new(&[31, 0], &[1, 32]),
+    ] {
+        let want = direct.read_region(&region).unwrap();
+        let got = client.read_region(&RegionSpec::from(&region)).unwrap();
+        assert_eq!(got.dtype, 0);
+        assert_eq!(got.dims, vec![region.extent()[0] as u64, region.extent()[1] as u64]);
+        assert_eq!(
+            got.as_f32().unwrap(),
+            want.as_slice(),
+            "served samples must be bit-equal to an in-process read"
+        );
+    }
+
+    // Whole chunks too.
+    for i in 0..4u64 {
+        let want = direct.read_chunk(i as usize).unwrap();
+        let got = client.read_chunk(i).unwrap();
+        assert_eq!(got.as_f32().unwrap(), want.as_slice());
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn batched_regions_come_back_in_request_order() {
+    let (daemon, stream) = start_daemon(DaemonConfig::default());
+    let direct = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+    let mut client = DaemonClient::connect(daemon.local_addr()).unwrap();
+
+    let regions: Vec<Region> = (0..4)
+        .map(|i| Region::new(&[(i / 2) * 16, (i % 2) * 16], &[16, 16]))
+        .collect();
+    let specs: Vec<RegionSpec> = regions.iter().map(RegionSpec::from).collect();
+    let items = client.batch(&specs).unwrap();
+    assert_eq!(items.len(), regions.len());
+    for (item, region) in items.iter().zip(&regions) {
+        let want = direct.read_region(region).unwrap();
+        assert_eq!(item.as_f32().unwrap(), want.as_slice());
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn stats_and_metrics_frames_reflect_served_work() {
+    let (daemon, _) = start_daemon(DaemonConfig::default());
+    let mut client = DaemonClient::connect(daemon.local_addr()).unwrap();
+
+    let before = client.stats().unwrap();
+    client
+        .read_region(&RegionSpec::new(&[0, 0], &[32, 32]))
+        .unwrap();
+    client.prefetch(&RegionSpec::new(&[0, 0], &[16, 16])).unwrap();
+    let after = client.stats().unwrap();
+    assert_eq!(after.requests, before.requests + 1);
+    assert!(after.cache_misses > before.cache_misses);
+
+    let exposition = client.metrics().unwrap();
+    assert!(exposition.contains("# TYPE eblcio_serve_cache_hits_total counter"));
+    assert!(
+        exposition.contains("# TYPE eblcio_daemon_requests_total counter"),
+        "daemon counters must ride in the reader's registry:\n{exposition}"
+    );
+    // Every daemon counter the protocol promises is present.
+    for name in [
+        "eblcio_daemon_connections_total",
+        "eblcio_daemon_overloaded_total",
+        "eblcio_daemon_malformed_total",
+    ] {
+        assert!(exposition.contains(name), "missing {name}");
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn bad_requests_get_typed_errors_and_the_connection_survives() {
+    let (daemon, _) = start_daemon(DaemonConfig::default());
+    let mut client = DaemonClient::connect(daemon.local_addr()).unwrap();
+
+    let expect_bad = |r: Result<_, DaemonError>| match r {
+        Err(DaemonError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    };
+
+    // Out of bounds, rank mismatch, zero extent, absurd chunk index,
+    // and the gated test opcode — each a typed reply, none fatal.
+    expect_bad(client.read_region(&RegionSpec::new(&[0, 0], &[33, 32])).map(|_| ()));
+    expect_bad(client.read_region(&RegionSpec::new(&[0], &[32])).map(|_| ()));
+    expect_bad(client.read_region(&RegionSpec::new(&[0, 0], &[0, 4])).map(|_| ()));
+    expect_bad(client.read_region(&RegionSpec::new(&[u64::MAX, 0], &[1, 1])).map(|_| ()));
+    expect_bad(client.read_chunk(4).map(|_| ()));
+    expect_bad(client.read_chunk(u64::MAX).map(|_| ()));
+    expect_bad(client.test_delay(1));
+
+    // The connection is still good for real work afterwards.
+    let data = client.read_region(&RegionSpec::new(&[0, 0], &[16, 16])).unwrap();
+    assert_eq!(data.bytes.len(), 16 * 16 * 4);
+    daemon.shutdown();
+}
+
+/// The admission contract: with one worker occupied and a queue of
+/// one filled, the next request is answered `Overloaded` immediately —
+/// not queued, not hung.
+#[test]
+fn saturation_returns_typed_overloaded_immediately() {
+    let (daemon, _) = start_daemon(DaemonConfig {
+        workers: 1,
+        queue_depth: 1,
+        test_ops: true,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.local_addr();
+
+    // Occupy the worker, then fill the queue slot — staggered, so the
+    // first slow request is already on the worker when the second is
+    // admitted to the queue.
+    let mut busy = Vec::new();
+    for _ in 0..2 {
+        busy.push(std::thread::spawn(move || {
+            let mut c = DaemonClient::connect(addr).unwrap();
+            c.test_delay(1500)
+        }));
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    let mut probe = DaemonClient::connect(addr).unwrap();
+    let start = Instant::now();
+    let err = probe.stats().unwrap_err();
+    let latency = start.elapsed();
+    assert!(
+        err.is_overloaded(),
+        "saturated daemon must reply Overloaded, got {err:?}"
+    );
+    assert!(
+        latency < Duration::from_millis(500),
+        "overload reply must be immediate, took {latency:?}"
+    );
+
+    // The slow requests complete normally — shedding is per-request.
+    for h in busy {
+        h.join().unwrap().unwrap();
+    }
+    // And once drained, the same connection serves again.
+    probe.stats().unwrap();
+    daemon.shutdown();
+}
+
+#[test]
+fn connection_limit_is_shed_with_a_typed_reply() {
+    let (daemon, _) = start_daemon(DaemonConfig {
+        max_connections: 2,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.local_addr();
+    let mut a = DaemonClient::connect(addr).unwrap();
+    let mut b = DaemonClient::connect(addr).unwrap();
+    // Prove both are registered (their conn threads are live).
+    a.stats().unwrap();
+    b.stats().unwrap();
+
+    // The third connect is accepted at the TCP level, answered with a
+    // typed Overloaded frame, and closed — read it without writing.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    match eblcio_daemon::protocol::read_frame(&mut raw, eblcio_daemon::MAX_REPLY_FRAME, || true)
+        .unwrap()
+    {
+        eblcio_daemon::protocol::FrameRead::Frame(p) => {
+            match eblcio_daemon::Reply::decode(&p).unwrap() {
+                eblcio_daemon::Reply::Error { code, .. } => {
+                    assert_eq!(code, ErrorCode::Overloaded)
+                }
+                other => panic!("expected Overloaded error, got {other:?}"),
+            }
+        }
+        other => panic!("expected a frame, got {other:?}"),
+    }
+
+    // Dropping one client frees a slot for a newcomer.
+    drop(a);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut c = loop {
+        let mut c = DaemonClient::connect(addr).unwrap();
+        match c.stats() {
+            Ok(_) => break c,
+            // The freed slot appears once the server reaps the closed
+            // connection; retry until then.
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50))
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    };
+    c.metrics().unwrap();
+    let _ = b;
+    daemon.shutdown();
+}
+
+#[test]
+fn many_concurrent_clients_all_read_correct_data() {
+    let (daemon, stream) = start_daemon(DaemonConfig::default());
+    let direct = ArrayReader::<f32>::open(&stream, ReaderConfig::default()).unwrap();
+    let addr = daemon.local_addr();
+
+    let regions: Vec<Region> = (0..4)
+        .map(|i| Region::new(&[(i / 2) * 16, (i % 2) * 16], &[16, 16]))
+        .collect();
+    let expected: Vec<Vec<f32>> = regions
+        .iter()
+        .map(|r| direct.read_region(r).unwrap().as_slice().to_vec())
+        .collect();
+
+    std::thread::scope(|s| {
+        for t in 0..32usize {
+            let regions = &regions;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut client = DaemonClient::connect(addr).unwrap();
+                for round in 0..4 {
+                    let i = (t + round) % regions.len();
+                    let got = client.read_region(&RegionSpec::from(&regions[i])).unwrap();
+                    assert_eq!(got.as_f32().unwrap(), expected[i]);
+                }
+            });
+        }
+    });
+    daemon.shutdown();
+}
+
+#[test]
+fn shutdown_is_prompt_even_with_idle_connections() {
+    let (daemon, _) = start_daemon(DaemonConfig::default());
+    let addr = daemon.local_addr();
+    // Park idle connections the daemon must unblock itself from.
+    let mut idle = Vec::new();
+    for _ in 0..4 {
+        let mut c = DaemonClient::connect(addr).unwrap();
+        c.stats().unwrap();
+        idle.push(c);
+    }
+    let start = Instant::now();
+    daemon.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait out idle connections, took {:?}",
+        start.elapsed()
+    );
+    // Idle clients now see a closed connection, not a hang.
+    let mut c = idle.pop().unwrap();
+    c.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    assert!(c.stats().is_err());
+}

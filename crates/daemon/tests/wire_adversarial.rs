@@ -1,0 +1,226 @@
+//! Adversarial wire-protocol tests: arbitrary bytes, torn frames,
+//! oversized declared lengths, and truncated payloads must all land as
+//! typed errors or clean closes — never a panic, never a hang, and
+//! never a wedged daemon for the *next* client.
+
+use eblcio_codec::{CompressorId, ErrorBound};
+use eblcio_daemon::protocol::{read_frame, write_frame, FrameRead};
+use eblcio_daemon::{
+    AnyReader, Daemon, DaemonClient, DaemonConfig, DaemonError, ErrorCode, RegionSpec, Reply,
+    Request, MAX_REPLY_FRAME,
+};
+use eblcio_data::{NdArray, Shape};
+use eblcio_serve::ReaderConfig;
+use eblcio_store::ChunkedStore;
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_daemon() -> Daemon {
+    let data = NdArray::<f32>::from_fn(Shape::d2(32, 32), |i| (i[0] + 2 * i[1]) as f32 * 0.5);
+    let codec = CompressorId::Sz3.instance();
+    let stream =
+        ChunkedStore::write(codec.as_ref(), &data, ErrorBound::Absolute(1e-2), Shape::d2(16, 16), 2)
+            .unwrap();
+    let reader = AnyReader::open(&stream, ReaderConfig::default()).unwrap();
+    let config = DaemonConfig {
+        // Short stall allowance so torn-frame tests finish quickly.
+        read_timeout: Duration::from_millis(300),
+        ..DaemonConfig::default()
+    };
+    Daemon::start(reader, config, "127.0.0.1:0").unwrap()
+}
+
+/// Reads the next reply frame off a raw socket.
+fn next_reply(stream: &mut TcpStream) -> Option<Reply> {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    match read_frame(stream, MAX_REPLY_FRAME, || true) {
+        Ok(FrameRead::Frame(p)) => Some(Reply::decode(&p).unwrap()),
+        _ => None,
+    }
+}
+
+/// After any adversarial exchange, a fresh client must still be served
+/// correctly — the daemon survived.
+fn assert_daemon_healthy(daemon: &Daemon) {
+    let mut client = DaemonClient::connect(daemon.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let data = client.read_region(&RegionSpec::new(&[0, 0], &[16, 16])).unwrap();
+    assert_eq!(data.bytes.len(), 16 * 16 * 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Request decode is total: arbitrary payload bytes either decode
+    /// or return a typed error — no panics, and a successful decode
+    /// re-encodes to the same bytes (the format is canonical).
+    #[test]
+    fn arbitrary_payloads_never_panic_the_request_decoder(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        if let Ok(req) = Request::decode(&payload) {
+            prop_assert_eq!(req.encode(), payload);
+        }
+    }
+
+    /// Same totality for the reply decoder (a hostile *server* cannot
+    /// panic a client either).
+    #[test]
+    fn arbitrary_payloads_never_panic_the_reply_decoder(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = Reply::decode(&payload);
+    }
+
+    /// Round-trip for structurally valid requests with extreme
+    /// coordinate values.
+    #[test]
+    fn extreme_regions_roundtrip(
+        origin in proptest::collection::vec(any::<u64>(), 1..5),
+        extent_seed in proptest::collection::vec(any::<u64>(), 1..5),
+    ) {
+        let rank = origin.len().min(extent_seed.len());
+        let spec = RegionSpec::new(&origin[..rank], &extent_seed[..rank]);
+        let req = Request::ReadRegion(spec);
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+}
+
+#[test]
+fn garbage_opcode_earns_malformed_then_clean_close() {
+    let daemon = start_daemon();
+    let mut raw = TcpStream::connect(daemon.local_addr()).unwrap();
+    write_frame(&mut raw, &[0xAB, 1, 2, 3]).unwrap();
+    match next_reply(&mut raw) {
+        Some(Reply::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    // The server closes after malformed framing: next read is EOF.
+    assert!(next_reply(&mut raw).is_none());
+    assert_daemon_healthy(&daemon);
+    daemon.shutdown();
+}
+
+#[test]
+fn trailing_bytes_after_a_valid_body_are_malformed() {
+    let daemon = start_daemon();
+    let mut raw = TcpStream::connect(daemon.local_addr()).unwrap();
+    let mut payload = Request::Stats.encode();
+    payload.extend_from_slice(b"extra");
+    write_frame(&mut raw, &payload).unwrap();
+    match next_reply(&mut raw) {
+        Some(Reply::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    assert_daemon_healthy(&daemon);
+    daemon.shutdown();
+}
+
+#[test]
+fn oversized_declared_length_is_refused_before_allocation() {
+    let daemon = start_daemon();
+    let mut raw = TcpStream::connect(daemon.local_addr()).unwrap();
+    // Header claims ~4 GiB; the server must answer without buffering it.
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    raw.flush().unwrap();
+    match next_reply(&mut raw) {
+        Some(Reply::Error { code, .. }) => assert_eq!(code, ErrorCode::FrameTooLarge),
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    assert!(next_reply(&mut raw).is_none());
+    assert_daemon_healthy(&daemon);
+    daemon.shutdown();
+}
+
+#[test]
+fn torn_header_then_close_is_a_clean_drop() {
+    let daemon = start_daemon();
+    let mut raw = TcpStream::connect(daemon.local_addr()).unwrap();
+    raw.write_all(&[7, 0]).unwrap(); // 2 of 4 header bytes
+    raw.flush().unwrap();
+    drop(raw);
+    assert_daemon_healthy(&daemon);
+    daemon.shutdown();
+}
+
+#[test]
+fn truncated_payload_then_stall_times_out_instead_of_wedging() {
+    let daemon = start_daemon();
+    let mut raw = TcpStream::connect(daemon.local_addr()).unwrap();
+    // Promise 100 bytes, deliver 10, then stall without closing.
+    raw.write_all(&100u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0u8; 10]).unwrap();
+    raw.flush().unwrap();
+    // The server's in-frame stall allowance (300 ms here) expires and
+    // it drops the connection; a healthy client is unaffected either
+    // way, which is the property under test.
+    std::thread::sleep(Duration::from_millis(600));
+    assert_daemon_healthy(&daemon);
+    daemon.shutdown();
+}
+
+#[test]
+fn a_swarm_of_hostile_connects_does_not_take_the_daemon_down() {
+    let daemon = start_daemon();
+    let addr = daemon.local_addr();
+    std::thread::scope(|s| {
+        for t in 0..24usize {
+            s.spawn(move || {
+                let Ok(mut raw) = TcpStream::connect(addr) else {
+                    return;
+                };
+                match t % 4 {
+                    // Garbage frame.
+                    0 => {
+                        let _ = write_frame(&mut raw, &[0xFF; 16]);
+                        let _ = next_reply(&mut raw);
+                    }
+                    // Oversized header.
+                    1 => {
+                        let _ = raw.write_all(&u32::MAX.to_le_bytes());
+                        let _ = next_reply(&mut raw);
+                    }
+                    // Torn header, instant close.
+                    2 => {
+                        let _ = raw.write_all(&[1]);
+                    }
+                    // Valid request, close without reading the reply.
+                    _ => {
+                        let _ = write_frame(&mut raw, &Request::Metrics.encode());
+                    }
+                }
+            });
+        }
+        // Honest clients interleaved with the swarm still get served.
+        for _ in 0..4 {
+            s.spawn(move || {
+                let mut client = DaemonClient::connect(addr).unwrap();
+                client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+                let data =
+                    client.read_region(&RegionSpec::new(&[8, 8], &[16, 16])).unwrap();
+                assert_eq!(data.bytes.len(), 16 * 16 * 4);
+            });
+        }
+    });
+    assert_daemon_healthy(&daemon);
+    daemon.shutdown();
+}
+
+#[test]
+fn client_surfaces_typed_remote_errors() {
+    let daemon = start_daemon();
+    let mut client = DaemonClient::connect(daemon.local_addr()).unwrap();
+    let err = client
+        .read_region(&RegionSpec::new(&[0, 0, 0], &[1, 1, 1]))
+        .unwrap_err();
+    match err {
+        DaemonError::Remote { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("rank"), "message should name the problem: {message}");
+        }
+        other => panic!("expected Remote, got {other:?}"),
+    }
+    daemon.shutdown();
+}

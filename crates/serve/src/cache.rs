@@ -34,7 +34,11 @@ pub type ChunkKey = (usize, u64);
 /// Configuration for a [`DecodedChunkCache`].
 #[derive(Clone, Copy, Debug)]
 pub struct CacheConfig {
-    /// Total decoded-byte budget across all ways.
+    /// Total decoded-byte budget across all ways. `0` disables the
+    /// cache entirely (every insert is dropped) — the spelling benches
+    /// use for an "uncached" reader. Any nonzero budget guarantees each
+    /// way can admit at least one entry, however small the budget or
+    /// large the chunk (see [`DecodedChunkCache::insert`]).
     pub capacity_bytes: usize,
     /// Number of independently locked ways the key space is sharded
     /// over (rounded up to at least 1).
@@ -90,7 +94,11 @@ struct Way<T: Element> {
 /// store's grid) with the chunk's content fingerprint.
 pub struct DecodedChunkCache<T: Element> {
     ways: Vec<Mutex<Way<T>>>,
-    capacity_per_way: usize,
+    /// Per-way byte budget: `capacity_bytes / ways`, clamped to at
+    /// least 1 so a degenerate config (`capacity_bytes < ways`) still
+    /// admits entries instead of silently caching nothing. `None` when
+    /// `capacity_bytes == 0`: the cache is explicitly disabled.
+    capacity_per_way: Option<usize>,
     tick: AtomicU64,
     // The counters are obs handles (one relaxed add, same cost as a
     // bare atomic) so the owning reader can register them into its
@@ -113,7 +121,8 @@ impl<T: Element> DecodedChunkCache<T> {
                     })
                 })
                 .collect(),
-            capacity_per_way: config.capacity_bytes / ways,
+            capacity_per_way: (config.capacity_bytes > 0)
+                .then(|| (config.capacity_bytes / ways).max(1)),
             tick: AtomicU64::new(0),
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
@@ -171,24 +180,30 @@ impl<T: Element> DecodedChunkCache<T> {
     }
 
     /// Inserts a decoded chunk, evicting least-recently-used entries of
-    /// the same way until it fits. A chunk larger than a whole way's
-    /// budget is not cached at all — the bound is a bound.
+    /// the same way until it fits — and always admitting it in the end.
+    /// A way can therefore hold at least one entry no matter how small
+    /// its budget: a single chunk larger than the whole way evicts
+    /// everything resident and then lives alone, so the byte bound is
+    /// exceeded only when one entry alone exceeds it, and only by that
+    /// entry. (The alternative — refusing oversized chunks — silently
+    /// degenerates into "cache nothing, decode every request" whenever
+    /// chunks outgrow `capacity_bytes / ways`.) A zero-budget config
+    /// disables the cache: every insert is dropped.
     pub fn insert(&self, key: ChunkKey, chunk: Arc<NdArray<T>>) {
-        let bytes = chunk.nbytes();
-        if bytes > self.capacity_per_way {
+        let Some(capacity) = self.capacity_per_way else {
             return;
-        }
+        };
+        let bytes = chunk.nbytes();
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut way = self.way(key).lock();
         if let Some(old) = way.map.remove(&key) {
             way.bytes -= old.chunk.nbytes();
         }
-        while way.bytes + bytes > self.capacity_per_way {
+        while way.bytes + bytes > capacity {
             // O(way population) victim scan; ways are small and the
-            // scan only runs when the cache is full. An empty way while
-            // over budget cannot happen (the new chunk fits per the
-            // capacity check above), but the loop stays panic-free and
-            // terminates regardless.
+            // scan only runs when the cache is full. The loop ends when
+            // the insert fits or the way is empty — an oversized chunk
+            // is then admitted as the way's sole entry.
             let victim = way.map.iter().min_by_key(|(_, e)| e.tick).map(|(&k, _)| k);
             let Some(evicted) = victim.and_then(|k| way.map.remove(&k)) else { break };
             way.bytes -= evicted.chunk.nbytes();
@@ -262,15 +277,61 @@ mod tests {
         assert!(s.resident_bytes <= 256);
     }
 
+    /// Regression: an insert larger than a way's whole budget used to
+    /// be refused outright, so stores whose chunks outgrew
+    /// `capacity_bytes / ways` silently cached nothing and re-decoded
+    /// every request. It now evicts the way and lives there alone.
     #[test]
-    fn oversized_chunk_is_not_cached() {
+    fn oversized_chunk_is_admitted_alone() {
         let c = DecodedChunkCache::<f32>::new(CacheConfig {
             capacity_bytes: 64,
             ways: 1,
         });
-        c.insert((0, 1), chunk(0.0, 1024));
+        c.insert((0, 1), chunk(0.5, 4));
+        c.insert((1, 1), chunk(0.0, 1024));
+        assert!(c.get((0, 1)).is_none(), "resident entries make way");
+        assert_eq!(c.get((1, 1)).unwrap().len(), 1024);
+        let s = c.stats();
+        assert_eq!(s.resident_chunks, 1);
+        assert_eq!(s.resident_bytes, 4096);
+        assert_eq!(s.evictions, 1);
+    }
+
+    /// Regression: `capacity_bytes < ways` used to floor the per-way
+    /// budget to 0 bytes, silently disabling the cache. Each way now
+    /// admits at least one entry.
+    #[test]
+    fn degenerate_capacity_still_admits_one_entry_per_way() {
+        let c = DecodedChunkCache::<f32>::new(CacheConfig {
+            capacity_bytes: 3,
+            ways: 8,
+        });
+        c.insert((0, 1), chunk(1.0, 16));
+        c.insert((1, 1), chunk(2.0, 16));
+        assert_eq!(c.get((0, 1)).unwrap().as_slice()[0], 1.0);
+        assert_eq!(c.get((1, 1)).unwrap().as_slice()[0], 2.0);
+        // Within one way the 1-entry budget still bounds residency.
+        c.insert((8, 1), chunk(3.0, 16));
+        assert!(c.get((0, 1)).is_none(), "same way: old entry evicted");
+        assert_eq!(c.get((8, 1)).unwrap().as_slice()[0], 3.0);
+        assert_eq!(c.stats().resident_chunks, 2);
+    }
+
+    /// `capacity_bytes: 0` is the documented "cache disabled" spelling
+    /// (the read benches rely on it for their uncached arm) — it must
+    /// not be clamped up to a 1-byte budget.
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let c = DecodedChunkCache::<f32>::new(CacheConfig {
+            capacity_bytes: 0,
+            ways: 4,
+        });
+        c.insert((0, 1), chunk(1.0, 16));
         assert!(c.get((0, 1)).is_none());
-        assert_eq!(c.stats().resident_bytes, 0);
+        let s = c.stats();
+        assert_eq!(s.resident_chunks, 0);
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.evictions, 0);
     }
 
     #[test]

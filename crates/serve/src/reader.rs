@@ -177,9 +177,9 @@ enum Fetched<T: Element> {
     Partial(NdArray<T>, Region),
 }
 
-/// A fetched piece tagged with its output slot (`None` = speculative
-/// prefetch with no slot to fill).
-type TaggedFetch<T> = (Option<usize>, Result<Fetched<T>>);
+/// A fetched piece tagged with its chunk id and whether the request
+/// actually wants it (`false` = speculative prefetch).
+type TaggedFetch<T> = (usize, bool, Result<Fetched<T>>);
 
 std::thread_local! {
     /// Reused intersecting-chunk id buffer for the warm read path
@@ -369,14 +369,27 @@ impl<T: Element> ArrayReader<T> {
         Self::over(store, config)
     }
 
+    /// Validates a store's dtype tag against `T`. A tag naming a known
+    /// dtype other than `T` is a [`CodecError::DtypeMismatch`]; a tag
+    /// naming no dtype at all is container corruption, reported as such
+    /// rather than as a mismatch against a dtype nobody stored. Shared
+    /// by [`ArrayReader::over`] and [`ArrayReader::refresh`] so the two
+    /// entry points cannot drift.
+    fn check_dtype(dtype: u8) -> Result<()> {
+        let expected = match dtype {
+            0 => "f32",
+            1 => "f64",
+            _ => return Err(CodecError::Corrupt { context: "dtype tag" }),
+        };
+        if dtype != Header::dtype_of::<T>() {
+            return Err(CodecError::DtypeMismatch { expected, got: T::NAME });
+        }
+        Ok(())
+    }
+
     /// Builds a reader over an already opened store.
     pub fn over(store: ChunkedStore, config: ReaderConfig) -> Result<Self> {
-        if store.dtype() != Header::dtype_of::<T>() {
-            return Err(CodecError::DtypeMismatch {
-                expected: if store.dtype() == 0 { "f32" } else { "f64" },
-                got: T::NAME,
-            });
-        }
+        Self::check_dtype(store.dtype())?;
         let threads = if config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -434,12 +447,7 @@ impl<T: Element> ArrayReader<T> {
     /// superseded entry after the sweep, where it stays unreachable
     /// until LRU pressure displaces it.
     pub fn refresh(&self, store: ChunkedStore) -> Result<RefreshStats> {
-        if store.dtype() != Header::dtype_of::<T>() {
-            return Err(CodecError::DtypeMismatch {
-                expected: if store.dtype() == 0 { "f32" } else { "f64" },
-                got: T::NAME,
-            });
-        }
+        Self::check_dtype(store.dtype())?;
         if store.generation() == 0 {
             return Err(CodecError::Corrupt { context: "refresh target is not generational" });
         }
@@ -675,114 +683,37 @@ impl<T: Element> ArrayReader<T> {
 
     /// Serves a region read and reports how much work it took.
     ///
-    /// Intersecting chunks (plus any prefetch extension) are fetched in
-    /// parallel on the shared pool; each fetch resolves through the
-    /// cache and single-flight layers, so concurrent overlapping
-    /// requests cooperate instead of duplicating decode work. The whole
-    /// request runs against one generation snapshot pinned on entry.
+    /// A freshly allocated output buffer handed to the engine behind
+    /// [`ArrayReader::read_region_into`] — one engine, one accounting
+    /// policy, whichever entry point a client uses.
     ///
     /// # Panics
     /// Panics if the region does not fit inside the array shape.
     pub fn read_region_with_stats(&self, region: &Region) -> Result<(NdArray<T>, RequestStats)> {
-        let sw = Stopwatch::start();
-        let span = obs::root_span_id_from(self.metrics.span_read_region, sw);
-        let rid = span.as_ref().map_or(0, |s| s.request_id());
-        let state = self.state.read().clone();
-        let wanted = state.store.grid().chunks_intersecting(region);
-        self.metrics.chunks_requested.add(wanted.len() as u64);
-        // `chunks_intersecting` returns ascending raster order, so the
-        // last entry is the scan frontier the prefetcher extends.
-        // Regions have positive extents, so `wanted` is never empty for
-        // a valid request; a violation is a typed error, not a panic.
-        let Some(&frontier) = wanted.last() else {
-            return Err(CodecError::Internal { context: "region intersects no chunks" });
-        };
-        let ahead = self.prefetch_ids(&state, frontier);
-        self.metrics.prefetched.add(ahead.len() as u64);
-
-        // Probe the cache first: hits are two hash lookups, and a fully
-        // warm request never touches the parallel pool at all. Only the
-        // chunks that actually need decoding fan out.
-        let mut parts: Vec<Option<Fetched<T>>> = wanted
-            .iter()
-            .map(|&i| self.cache.get(state.keys[i]).map(Fetched::Whole))
-            .collect();
-        let from_cache = parts.iter().filter(|p| p.is_some()).count();
-        // Each entry pairs a chunk id with the output slot it fills
-        // (`None` for speculative prefetches), so placement below is
-        // O(1) per fetched chunk.
-        let to_fetch: Vec<(usize, Option<usize>)> = wanted
-            .iter()
-            .enumerate()
-            .filter_map(|(slot, &i)| parts[slot].is_none().then_some((i, Some(slot))))
-            .chain(
-                ahead
-                    .iter()
-                    .filter(|&&i| self.cache.peek(state.keys[i]).is_none())
-                    .map(|&i| (i, None)),
-            )
-            .collect();
-        if !to_fetch.is_empty() {
-            let fetched: Vec<TaggedFetch<T>> = self.pool.install(|| {
-                to_fetch
-                    .par_iter()
-                    .map(|&(i, slot)| {
-                        // Only slotted fetches may decode partially: a
-                        // prefetch's entire point is a cached chunk.
-                        (slot, self.fetch_part(&state, i, slot.map(|_| region), rid))
-                    })
-                    .collect()
-            });
-            // A `None` slot is a speculative prefetch: its failure must
-            // not fail the request that merely happened to trigger it —
-            // a real read of that chunk will surface the error.
-            for (slot, part) in fetched {
-                if let Some(slot) = slot {
-                    parts[slot] = Some(part?);
-                }
-            }
-        }
-
         let mut out = NdArray::<T>::zeros(region.shape());
-        let mut partial = 0usize;
-        for (&i, part) in wanted.iter().zip(&parts) {
-            // Every slot was filled above (cache probe or fetch loop);
-            // surface a broken invariant as an error, not a panic.
-            match part.as_ref() {
-                Some(Fetched::Whole(p)) => {
-                    scatter_chunk(p, &state.store.grid().chunk_region(i), region, &mut out);
-                }
-                Some(Fetched::Partial(p, covered)) => {
-                    partial += 1;
-                    scatter_chunk(p, covered, region, &mut out);
-                }
-                None => {
-                    return Err(CodecError::Internal { context: "unresolved chunk in assembly" })
-                }
-            }
-        }
-        self.metrics.request_ns.record(sw.elapsed_ns());
-        Ok((
-            out,
-            RequestStats {
-                chunks_touched: wanted.len(),
-                chunks_from_cache: from_cache,
-                chunks_prefetched: ahead.len(),
-                partial_decodes: partial,
-            },
-        ))
+        let stats = self.read_region_into(region, &mut out)?;
+        Ok((out, stats))
     }
 
     /// Serves a region read into a caller-provided buffer shaped like
-    /// the region — the zero-allocation warm path. When every
-    /// intersecting chunk is already cached (the steady state of a hot
-    /// serving loop) the call performs **no heap allocation at all**:
-    /// the chunk-id scratch is a reused thread-local, cache hits hand
-    /// back shared `Arc`s, and assembly is pure `memcpy` into `out`.
-    /// Any cache miss falls back to the allocating engine
-    /// ([`ArrayReader::read_region_with_stats`]) and copies the result
-    /// over; probed hits before the miss are counted twice in the
-    /// cache-hit statistics in that case.
+    /// the region — the region engine every read path funnels through.
+    ///
+    /// Each intersecting chunk is probed in the cache **exactly once**,
+    /// through the counting lookup: hits scatter straight into `out`,
+    /// misses (plus any uncached prefetch extension) fan out in
+    /// parallel on the shared pool, where every fetch resolves through
+    /// the non-counting single-flight layer. Hit/miss statistics are
+    /// therefore exact across a warm/cold mix — one charge per chunk
+    /// per request, never re-probed. The whole request runs against one
+    /// generation snapshot pinned on entry.
+    ///
+    /// When every intersecting chunk is already cached (the steady
+    /// state of a hot serving loop) the call performs **no heap
+    /// allocation at all**: the chunk-id scratch is a reused
+    /// thread-local, the miss list is an empty `Vec` that never grows,
+    /// cache hits hand back shared `Arc`s, and assembly is pure
+    /// `memcpy` into `out` (`serve_alloc.rs` proves it with telemetry
+    /// enabled).
     ///
     /// # Panics
     /// Panics if the region does not fit inside the array shape.
@@ -793,39 +724,110 @@ impl<T: Element> ArrayReader<T> {
         // Telemetry on this path stays allocation-free: the span name
         // is pre-interned, the guard lives on the stack (sharing the
         // stopwatch's clock read), and its drop stores into
-        // preallocated flight-recorder slots (`serve_alloc.rs` proves
-        // it with telemetry enabled).
+        // preallocated flight-recorder slots.
         let sw = Stopwatch::start();
-        let _span = obs::root_span_id_from(self.metrics.span_read_region, sw);
+        let span = obs::root_span_id_from(self.metrics.span_read_region, sw);
+        let rid = span.as_ref().map_or(0, |s| s.request_id());
         let state = self.state.read().clone();
-        let warm = WANTED.with(|w| {
+        let (touched, frontier, misses) = WANTED.with(|w| {
             let mut wanted = w.borrow_mut();
             state
                 .store
                 .grid()
                 .chunks_intersecting_into(region, &mut wanted);
+            // `chunks_intersecting_into` fills ascending raster order,
+            // so the last entry is the scan frontier the prefetcher
+            // extends. Regions have positive extents, so `wanted` is
+            // never empty for a valid request; a violation is a typed
+            // error, not a panic.
+            let Some(&frontier) = wanted.last() else {
+                return Err(CodecError::Internal { context: "region intersects no chunks" });
+            };
+            let mut misses: Vec<usize> = Vec::new();
             for &i in wanted.iter() {
-                let part = self.cache.get(state.keys[i])?;
-                scatter_chunk(&part, &state.store.grid().chunk_region(i), region, out);
+                match self.cache.get(state.keys[i]) {
+                    Some(chunk) => {
+                        scatter_chunk(&chunk, &state.store.grid().chunk_region(i), region, out);
+                    }
+                    None => misses.push(i),
+                }
             }
-            Some(wanted.len())
-        });
-        match warm {
-            Some(n) => {
-                self.metrics.chunks_requested.add(n as u64);
-                self.metrics.request_ns.record(sw.elapsed_ns());
-                Ok(RequestStats {
-                    chunks_touched: n,
-                    chunks_from_cache: n,
-                    ..RequestStats::default()
+            Ok((wanted.len(), frontier, misses))
+        })?;
+        self.metrics.chunks_requested.add(touched as u64);
+        let ahead = self.prefetch_ids(&state, frontier);
+        self.metrics.prefetched.add(ahead.len() as u64);
+        let partial = self.finish_cold(&state, region, out, &misses, &ahead, rid)?;
+        self.metrics.request_ns.record(sw.elapsed_ns());
+        Ok(RequestStats {
+            chunks_touched: touched,
+            chunks_from_cache: touched - misses.len(),
+            chunks_prefetched: ahead.len(),
+            partial_decodes: partial,
+        })
+    }
+
+    /// The cold half of the region engine: fetches the probed-and-
+    /// missed chunks plus the uncached prefetch extension in parallel,
+    /// scattering the misses into `out`. Cache probes here are
+    /// non-counting (`peek` and the single-flight re-check) — the
+    /// caller already charged exactly one hit or miss per wanted chunk,
+    /// and charging again is the double-count this engine exists to
+    /// prevent. Returns how many misses were served by sub-chunk
+    /// (partial) decodes. A no-op when everything was warm and the
+    /// prefetch extension is empty or cached — the zero-allocation
+    /// case.
+    fn finish_cold(
+        &self,
+        state: &ReadState,
+        region: &Region,
+        out: &mut NdArray<T>,
+        misses: &[usize],
+        ahead: &[usize],
+        rid: u64,
+    ) -> Result<usize> {
+        let to_fetch: Vec<(usize, bool)> = misses
+            .iter()
+            .map(|&i| (i, true))
+            .chain(
+                ahead
+                    .iter()
+                    .filter(|&&i| self.cache.peek(state.keys[i]).is_none())
+                    .map(|&i| (i, false)),
+            )
+            .collect();
+        if to_fetch.is_empty() {
+            return Ok(0);
+        }
+        let fetched: Vec<TaggedFetch<T>> = self.pool.install(|| {
+            to_fetch
+                .par_iter()
+                .map(|&(i, wanted)| {
+                    // Only wanted chunks may decode partially: a
+                    // prefetch's entire point is a cached whole chunk.
+                    (i, wanted, self.fetch_part(state, i, wanted.then_some(region), rid))
                 })
+                .collect()
+        });
+        let mut partial = 0usize;
+        for (i, wanted, part) in fetched {
+            // A speculative prefetch failure must not fail the request
+            // that merely happened to trigger it — a real read of that
+            // chunk will surface the error.
+            if !wanted {
+                continue;
             }
-            None => {
-                let (arr, stats) = self.read_region_with_stats(region)?;
-                out.as_mut_slice().copy_from_slice(arr.as_slice());
-                Ok(stats)
+            match part? {
+                Fetched::Whole(p) => {
+                    scatter_chunk(&p, &state.store.grid().chunk_region(i), region, out);
+                }
+                Fetched::Partial(p, covered) => {
+                    partial += 1;
+                    scatter_chunk(&p, &covered, region, out);
+                }
             }
         }
+        Ok(partial)
     }
 
     /// Warms the cache with every chunk `region` intersects without

@@ -8,6 +8,7 @@
 //! eblcio decompress in.eblc out.raw
 //! eblcio inspect    [--json] in.eblc    # EBLC/EBLP streams, EBCS stores, EBMS mutable files
 //! eblcio query      out.ebcs --origin 0x0 --extent 16x16 --repeat 8 --clients 4
+//! eblcio serve      out.ebcs --addr 127.0.0.1:7979 --workers 8 --queue-depth 64
 //! eblcio update     out.ebms --origin 0x0 --extent 16x16 region.raw
 //! eblcio compact    out.ebms
 //! eblcio demo       [dataset]           # synthesize, compress with all codecs, report
@@ -22,6 +23,12 @@
 //! `sz3+raw`, `szx+fpc4`, `sz2+shuffle4+lz`). `query` serves repeated
 //! region reads through an `ArrayReader` and reports throughput plus
 //! cache behaviour; it serves the current generation of `EBMS` files.
+//! `serve` exposes the same reader over TCP (the `eblcio_daemon`
+//! length-prefixed protocol): a fixed worker pool behind bounded
+//! admission answers `read_region`/`read_chunk`/`prefetch`/`stats`
+//! frames plus a `metrics` frame carrying the Prometheus exposition;
+//! when saturated it replies with a typed `Overloaded` error instead
+//! of queueing unboundedly.
 //! `update` writes a region through re-compression (copy-on-write: a
 //! new generation is published, old generations stay readable) and
 //! `compact` reclaims the dead bytes updates strand.
@@ -56,6 +63,7 @@ fn main() -> ExitCode {
         Some("decompress") => cmd_decompress(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("update") => cmd_update(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
@@ -69,6 +77,9 @@ fn main() -> ExitCode {
                  eblcio query <in.ebcs|in.ebms> --origin <AxBxC> --extent <AxBxC> \
                  [--repeat <n>] [--clients <n>] [--threads <n>] [--cache-mb <n>] \
                  [--prefetch <chunks>] [--metrics]\n  \
+                 eblcio serve <in.ebcs|in.ebms> [--addr <host:port>] [--workers <n>] \
+                 [--queue-depth <n>] [--max-conns <n>] [--cache-mb <n>] [--threads <n>] \
+                 [--prefetch <chunks>] [--test-ops]\n  \
                  eblcio update <store.ebms> --origin <AxBxC> --extent <AxBxC> \
                  <region.raw> [--out <path>]\n  \
                  eblcio compact <store.ebms> [--out <path>]\n  \
@@ -627,6 +638,88 @@ fn cmd_query(args: &[String]) -> CliResult {
         b.finish();
     }
     result
+}
+
+/// `serve <in.ebcs|in.ebms>`: runs the network daemon over the store's
+/// current generation until killed. The bound address is printed on a
+/// `serving ... on <addr>` line so scripts (and the CI job) can target
+/// an ephemeral port.
+fn cmd_serve(args: &[String]) -> CliResult {
+    // `--test-ops` is a bare flag; strip it before positional parsing
+    // (which assumes every `--flag` carries a value).
+    let test_ops = args.iter().any(|a| a == "--test-ops");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--test-ops").cloned().collect();
+    let args = args.as_slice();
+    let pos = positional(args);
+    let [input] = pos.as_slice() else {
+        return Err("expected <in.ebcs|in.ebms>".into());
+    };
+    let addr = flag(args, "--addr").unwrap_or("127.0.0.1:7979");
+    let parse_opt = |name: &str, default: usize| -> Result<usize, String> {
+        flag(args, name)
+            .map(|s| s.parse().map_err(|e| format!("bad {name}: {e}")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let workers = parse_opt("--workers", 0)?;
+    let queue_depth = parse_opt("--queue-depth", 64)?.max(1);
+    let max_conns = parse_opt("--max-conns", 1024)?.max(1);
+    let cache_mb = parse_opt("--cache-mb", 256)?;
+    let threads = parse_opt("--threads", 0)?;
+    let prefetch = parse_opt("--prefetch", 0)?;
+
+    let reader_config = ReaderConfig {
+        cache: CacheConfig::with_capacity_mib(cache_mb),
+        threads,
+        prefetch: if prefetch == 0 {
+            PrefetchPolicy::None
+        } else {
+            PrefetchPolicy::Sequential { depth: prefetch }
+        },
+    };
+    let backend = cli_backend(args, input)?;
+    let reader = match &backend {
+        Some(b) => {
+            b.seed()?;
+            eblcio::daemon::AnyReader::open_from(b.storage.as_ref(), &b.key, reader_config)
+        }
+        None => {
+            let bytes: std::sync::Arc<[u8]> = std::fs::read(input)
+                .map_err(|e| format!("{input}: {e}"))?
+                .into();
+            eblcio::daemon::AnyReader::open_arc(bytes, reader_config)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let shape = reader.shape();
+    let n_chunks = reader.n_chunks();
+    let dtype = if reader.dtype() == 0 { "f32" } else { "f64" };
+    let daemon_config = eblcio::daemon::DaemonConfig {
+        workers,
+        queue_depth,
+        max_connections: max_conns,
+        test_ops,
+        ..eblcio::daemon::DaemonConfig::default()
+    };
+    let daemon = eblcio::daemon::Daemon::start(reader, daemon_config, addr)
+        .map_err(|e| e.to_string())?;
+    println!("serving {input} on {}", daemon.local_addr());
+    println!(
+        "  {dtype} {shape}, {n_chunks} chunks — workers {}, queue {queue_depth}, \
+         max {max_conns} connections, cache {cache_mb} MiB{}",
+        if workers == 0 {
+            "auto".to_string()
+        } else {
+            workers.to_string()
+        },
+        if test_ops { ", test ops ON" } else { "" },
+    );
+    // Foreground server: runs until the process is killed. (The daemon
+    // threads own all the work; this thread just keeps them alive.)
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    }
 }
 
 /// Issues `repeat` passes of the region read, each pass fanned out

@@ -31,7 +31,13 @@
 //!   [`ArrayReader`](serve::ArrayReader) handles with a decoded-chunk
 //!   LRU cache, single-flight decode, parallel region assembly,
 //!   prefetch, and generation-aware `refresh()` with per-chunk cache
-//!   invalidation.
+//!   invalidation,
+//! * [`daemon`] — the `eblcio serve` network daemon: a length-prefixed
+//!   binary protocol over TCP ([`Daemon`](daemon::Daemon) /
+//!   [`DaemonClient`](daemon::DaemonClient)) serving region and chunk
+//!   reads from a fixed worker pool behind bounded admission (typed
+//!   `Overloaded` replies under saturation, never a hang), with a
+//!   `metrics` frame exposing the Prometheus exposition.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +71,7 @@
 pub use eblcio_cluster as cluster;
 pub use eblcio_codec as codec;
 pub use eblcio_core as core;
+pub use eblcio_daemon as daemon;
 pub use eblcio_data as data;
 pub use eblcio_energy as energy;
 pub use eblcio_obs as obs;
@@ -86,6 +93,9 @@ pub mod prelude {
         NdArray, QualityReport, Shape,
     };
     pub use eblcio_data::generators::Scale;
+    pub use eblcio_daemon::{
+        AnyReader, Daemon, DaemonClient, DaemonConfig, DaemonError, RegionSpec,
+    };
     pub use eblcio_serve::{
         ArrayReader, CacheConfig, PrefetchPolicy, ReaderConfig, ReaderStats, RefreshStats,
     };
